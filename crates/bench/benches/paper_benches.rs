@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks wrapping reduced-size versions of every
+//! paper experiment, so `cargo bench` exercises each table/figure pipeline
+//! end-to-end. (The full-size sweeps live in the `bench-suite` binaries;
+//! see EXPERIMENTS.md.)
+//!
+//! These measure *host* time to run each simulation, which doubles as a
+//! performance regression guard for the simulator itself; the simulated
+//! cycle counts the binaries print are the paper-relevant output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use barrier_filter::BarrierMechanism;
+use bench_suite::barrier_latency;
+use kernels::autocorr::Autocorr;
+use kernels::livermore::{Loop2, Loop3, Loop6};
+use kernels::ocean::OceanProxy;
+use kernels::viterbi::Viterbi;
+
+fn bench_fig4_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_barrier_latency");
+    g.sample_size(10);
+    for mechanism in BarrierMechanism::ALL {
+        g.bench_function(mechanism.name(), |b| {
+            b.iter(|| barrier_latency(mechanism, 8, 8, 2).expect("latency"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_table1_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_kernels");
+    g.sample_size(10);
+    let l2 = Loop2::new(64);
+    g.bench_function("loop2_seq", |b| b.iter(|| l2.run_sequential().expect("ok")));
+    g.bench_function("loop2_filter", |b| {
+        b.iter(|| l2.run_parallel(8, BarrierMechanism::FilterI).expect("ok"))
+    });
+    let l3 = Loop3::new(128);
+    g.bench_function("loop3_filter", |b| {
+        b.iter(|| l3.run_parallel(8, BarrierMechanism::FilterD).expect("ok"))
+    });
+    let l6 = Loop6::new(32);
+    g.bench_function("loop6_filter", |b| {
+        b.iter(|| {
+            l6.run_parallel(8, BarrierMechanism::FilterDPingPong)
+                .expect("ok")
+        })
+    });
+    g.finish();
+}
+
+fn bench_eembc_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_fig6_eembc");
+    g.sample_size(10);
+    let ac = Autocorr::with_lags(256, 8);
+    g.bench_function("autocorr_filter", |b| {
+        b.iter(|| ac.run_parallel(8, BarrierMechanism::FilterI).expect("ok"))
+    });
+    let vit = Viterbi::new(32);
+    g.bench_function("viterbi_filter", |b| {
+        b.iter(|| vit.run_parallel(8, BarrierMechanism::FilterD).expect("ok"))
+    });
+    g.finish();
+}
+
+fn bench_ocean_proxy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ocean_coarse");
+    g.sample_size(10);
+    let ocean = OceanProxy::new(18, 4);
+    g.bench_function("ocean_filter", |b| {
+        b.iter(|| ocean.run_parallel(8, BarrierMechanism::FilterD).expect("ok"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig4_latency,
+    bench_table1_kernels,
+    bench_eembc_kernels,
+    bench_ocean_proxy
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 10: performance of Livermore Loop 6 (general linear recurrence)
+//! on 16 cores versus vector length.
+//!
+//! Paper shape: "fast barrier synchronization provided by barrier filters
+//! allows the 16-thread version … to be faster than a sequential version
+//! at vector lengths as small as 64 elements. The parallel version is more
+//! than a factor of 3 faster … for vector lengths of 256 elements."
+//!
+//! Usage: `fig10_loop6 [--quick]`.
+
+use barrier_filter::BarrierMechanism;
+use bench_suite::{measure, report, SpeedupRow};
+use kernels::livermore::Loop6;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick {
+        &[32, 64, 128]
+    } else {
+        &[16, 32, 64, 128, 256]
+    };
+    let threads = 16;
+    println!("Figure 10: Livermore Loop 6 on {threads} cores — cycles per invocation vs vector length");
+    println!();
+    let mut header = vec!["N".to_string(), "sequential".to_string()];
+    header.extend(BarrierMechanism::ALL.iter().map(|m| m.to_string()));
+    let mut rows = Vec::new();
+    let mut crossover: Option<usize> = None;
+    let mut at_256 = None;
+    for &n in sizes {
+        let kernel = Loop6::new(n);
+        let row: SpeedupRow = measure(
+            format!("loop6 N={n}"),
+            || kernel.run_sequential(),
+            |m| kernel.run_parallel(threads, m),
+        )
+        .expect("loop 6");
+        if crossover.is_none() && row.best_filter_speedup() > 1.0 {
+            crossover = Some(n);
+        }
+        if n == 256 {
+            at_256 = Some(row.best_filter_speedup());
+        }
+        let mut cells = vec![n.to_string(), report::f1(row.sequential)];
+        cells.extend(row.parallel.iter().map(|&(_, c)| report::f1(c)));
+        rows.push(cells);
+    }
+    print!("{}", report::table(&header, &rows));
+    println!();
+    println!(
+        "filter crossover at N = {} (paper: 64)",
+        crossover.map_or("none".into(), |n| n.to_string())
+    );
+    if let Some(s) = at_256 {
+        println!("filter speedup at N = 256: {s:.2}x (paper: more than 3x)");
+    }
+}

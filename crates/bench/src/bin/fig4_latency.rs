@@ -1,0 +1,40 @@
+//! Figure 4: average execution time of different barrier mechanisms versus
+//! core count (4–64 cores, one thread per core), measured as the paper does
+//! — a loop of 64 consecutive barriers executed 64 times with no work
+//! between them.
+//!
+//! Usage: `fig4_latency [--quick]` (`--quick` shrinks the rep counts for
+//! smoke runs).
+
+use barrier_filter::BarrierMechanism;
+use bench_suite::{barrier_latency, report};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (inner, outer) = if quick { (16, 4) } else { (64, 64) };
+    let core_counts = [4usize, 8, 16, 32, 64];
+
+    println!("Figure 4: average cycles per barrier (loop of {inner} barriers x {outer} reps)");
+    println!();
+    let mut header = vec!["mechanism".to_string()];
+    header.extend(core_counts.iter().map(|c| format!("{c} cores")));
+    let mut rows = Vec::new();
+    let mut waits = Vec::new();
+    for mechanism in BarrierMechanism::ALL {
+        let mut row = vec![mechanism.to_string()];
+        let mut wait_row = vec![mechanism.to_string()];
+        for &cores in &core_counts {
+            let p = barrier_latency(mechanism, cores, inner, outer)
+                .unwrap_or_else(|e| panic!("{mechanism} @ {cores} cores failed: {e}"));
+            row.push(report::f1(p.cycles_per_barrier));
+            wait_row.push(report::f1(p.bus_mean_wait));
+        }
+        rows.push(row);
+        waits.push(wait_row);
+    }
+    print!("{}", report::table(&header, &rows));
+    println!();
+    println!("Bus saturation signal: mean bus queueing delay per transaction (cycles)");
+    println!();
+    print!("{}", report::table(&header, &waits));
+}

@@ -1,0 +1,45 @@
+//! Figure 5: execution speed-up, relative to sequential execution, of the
+//! multi-threaded EEMBC Autocorrelation benchmark on 16 cores, by barrier
+//! mechanism.
+//!
+//! Paper shape: "parallelizes readily" — 3.86× with software combining
+//! barriers, 7.31× with the best filter barrier, 7.98× with the dedicated
+//! barrier network; "the barrier filter performs almost as well as the
+//! aggressively modeled Polychronopoulos barrier hardware, but requires
+//! less modification to the cores."
+//!
+//! Usage: `fig5_autocorr [--quick]`.
+
+use barrier_filter::BarrierMechanism;
+use bench_suite::{measure, report};
+use kernels::autocorr::Autocorr;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 512 } else { 2048 };
+    let threads = 16;
+    let kernel = Autocorr::new(n);
+    let row = measure(
+        format!("autocorr N={n} lag=32"),
+        || kernel.run_sequential(),
+        |m| kernel.run_parallel(threads, m),
+    )
+    .expect("autocorrelation");
+
+    println!("Figure 5: Autocorrelation speedup over sequential, 16 cores (N={n}, lag=32)");
+    println!();
+    let header = vec!["mechanism".to_string(), "speedup".to_string()];
+    let body: Vec<Vec<String>> = BarrierMechanism::ALL
+        .iter()
+        .map(|&m| vec![m.to_string(), report::f2(row.speedup(m))])
+        .collect();
+    print!("{}", report::table(&header, &body));
+    println!();
+    println!(
+        "best software {:.2}x | best filter {:.2}x | dedicated network {:.2}x",
+        row.best_software_speedup(),
+        row.best_filter_speedup(),
+        row.speedup(BarrierMechanism::HwDedicated),
+    );
+    println!("(paper: 3.86x software, 7.31x best filter, 7.98x dedicated network)");
+}

@@ -1,0 +1,51 @@
+//! Figure 6: execution speed-up, relative to sequential execution, of the
+//! multi-threaded EEMBC Viterbi decoder on 16 cores, by barrier mechanism.
+//!
+//! Paper shape: "the Viterbi decoder shows more limited improvements —
+//! notably, the parallel implementation using software barriers is actually
+//! slower than the sequential version. Only with lower overhead barriers
+//! was there a speedup from the multi-threaded approach."
+//!
+//! Usage: `fig6_viterbi [--quick]`.
+
+use barrier_filter::BarrierMechanism;
+use bench_suite::{measure, report};
+use kernels::viterbi::Viterbi;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bits = if quick { 128 } else { 512 };
+    let threads = 16;
+    let kernel = Viterbi::new(bits);
+    let row = measure(
+        format!("viterbi K=5 bits={bits}"),
+        || kernel.run_sequential(),
+        |m| kernel.run_parallel(threads, m),
+    )
+    .expect("viterbi");
+
+    println!(
+        "Figure 6: Viterbi decoder speedup over sequential, 16 cores (K=5, {} states, {bits} data bits)",
+        kernel.states()
+    );
+    println!();
+    let header = vec!["mechanism".to_string(), "speedup".to_string()];
+    let body: Vec<Vec<String>> = BarrierMechanism::ALL
+        .iter()
+        .map(|&m| vec![m.to_string(), report::f2(row.speedup(m))])
+        .collect();
+    print!("{}", report::table(&header, &body));
+    println!();
+    let sw = row.best_software_speedup();
+    let filt = row.best_filter_speedup();
+    println!("best software {sw:.2}x | best filter {filt:.2}x | dedicated {:.2}x",
+        row.speedup(BarrierMechanism::HwDedicated));
+    println!(
+        "software barriers are {} than sequential (paper: slower, 0.76x)",
+        if sw < 1.0 { "slower" } else { "FASTER (shape mismatch!)" }
+    );
+    println!(
+        "filter barriers give a speedup: {} (paper: yes)",
+        if filt > 1.0 { "yes" } else { "NO (shape mismatch!)" }
+    );
+}

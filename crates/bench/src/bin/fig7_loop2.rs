@@ -1,0 +1,56 @@
+//! Figure 7: performance (cycles per invocation) of Livermore Loop 2 on 16
+//! cores versus vector length, for each barrier mechanism against the
+//! sequential baseline.
+//!
+//! Paper shape: "the performance of the parallel version using filter
+//! barriers does not surpass that of the sequential version until vector
+//! lengths of 256 elements are reached", and the rapid halving of available
+//! parallelism per `do-while` stage gives this kernel "a qualitatively
+//! different curvature" from loops 3 and 6.
+//!
+//! Usage: `fig7_loop2 [--quick]`.
+
+use barrier_filter::BarrierMechanism;
+use bench_suite::{measure, report, SpeedupRow};
+use kernels::livermore::Loop2;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick {
+        &[32, 64, 256]
+    } else {
+        &[16, 32, 64, 128, 256, 512, 1024]
+    };
+    let threads = 16;
+    println!("Figure 7: Livermore Loop 2 on {threads} cores — cycles per invocation vs vector length");
+    println!();
+    let mut header = vec!["N".to_string(), "sequential".to_string()];
+    header.extend(BarrierMechanism::ALL.iter().map(|m| m.to_string()));
+    let mut rows = Vec::new();
+    let mut crossover: Option<usize> = None;
+    for &n in sizes {
+        let kernel = Loop2::new(n);
+        let row: SpeedupRow = measure(
+            format!("loop2 N={n}"),
+            || kernel.run_sequential(),
+            |m| kernel.run_parallel(threads, m),
+        )
+        .expect("loop 2");
+        if crossover.is_none() && row.best_filter_speedup() > 1.0 {
+            crossover = Some(n);
+        }
+        let mut cells = vec![n.to_string(), report::f1(row.sequential)];
+        cells.extend(
+            row.parallel
+                .iter()
+                .map(|&(_, cycles)| report::f1(cycles)),
+        );
+        rows.push(cells);
+    }
+    print!("{}", report::table(&header, &rows));
+    println!();
+    match crossover {
+        Some(n) => println!("filter-barrier crossover at N = {n} (paper: 256)"),
+        None => println!("no filter-barrier crossover in the sweep (paper: 256)"),
+    }
+}

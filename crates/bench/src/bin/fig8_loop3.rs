@@ -1,0 +1,57 @@
+//! Figure 8: performance (cycles per invocation) of Livermore Loop 3
+//! (inner product) on 16 cores versus vector length.
+//!
+//! Paper shape: "the performance of the parallel versions using filter
+//! barriers surpasses that of the sequential version at vector lengths as
+//! short as 64 elements (8 elements per thread from each input vector, due
+//! to the minimum partition size to avoid useless coherence traffic)";
+//! software barriers "required vector lengths longer by a factor of two to
+//! four to achieve a speedup".
+//!
+//! Usage: `fig8_loop3 [--quick]`.
+
+use barrier_filter::BarrierMechanism;
+use bench_suite::{measure, report, SpeedupRow};
+use kernels::livermore::Loop3;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick {
+        &[32, 64, 256]
+    } else {
+        &[16, 32, 64, 128, 256, 512, 1024]
+    };
+    let threads = 16;
+    println!("Figure 8: Livermore Loop 3 on {threads} cores — cycles per invocation vs vector length");
+    println!();
+    let mut header = vec!["N".to_string(), "sequential".to_string()];
+    header.extend(BarrierMechanism::ALL.iter().map(|m| m.to_string()));
+    let mut rows = Vec::new();
+    let mut filter_cross: Option<usize> = None;
+    let mut sw_cross: Option<usize> = None;
+    for &n in sizes {
+        let kernel = Loop3::new(n);
+        let row: SpeedupRow = measure(
+            format!("loop3 N={n}"),
+            || kernel.run_sequential(),
+            |m| kernel.run_parallel(threads, m),
+        )
+        .expect("loop 3");
+        if filter_cross.is_none() && row.best_filter_speedup() > 1.0 {
+            filter_cross = Some(n);
+        }
+        if sw_cross.is_none() && row.best_software_speedup() > 1.0 {
+            sw_cross = Some(n);
+        }
+        let mut cells = vec![n.to_string(), report::f1(row.sequential)];
+        cells.extend(row.parallel.iter().map(|&(_, c)| report::f1(c)));
+        rows.push(cells);
+    }
+    print!("{}", report::table(&header, &rows));
+    println!();
+    println!(
+        "filter crossover at N = {} (paper: 64); software crossover at N = {} (paper: 2-4x longer)",
+        filter_cross.map_or("none".into(), |n| n.to_string()),
+        sw_cross.map_or("none".into(), |n| n.to_string()),
+    );
+}

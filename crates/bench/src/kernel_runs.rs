@@ -1,0 +1,135 @@
+//! Shared speedup-measurement plumbing for the kernel experiments
+//! (Table 1, Figures 5–8 and 10).
+
+use barrier_filter::BarrierMechanism;
+use kernels::{KernelError, KernelOutcome};
+
+/// Sequential baseline plus one parallel measurement per mechanism.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Workload label.
+    pub label: String,
+    /// Sequential cycles per repetition.
+    pub sequential: f64,
+    /// `(mechanism, cycles_per_rep)` in [`BarrierMechanism::ALL`] order.
+    pub parallel: Vec<(BarrierMechanism, f64)>,
+}
+
+impl SpeedupRow {
+    /// Speedup of `mechanism` over sequential (>1 is faster).
+    pub fn speedup(&self, mechanism: BarrierMechanism) -> f64 {
+        let &(_, cycles) = self
+            .parallel
+            .iter()
+            .find(|(m, _)| *m == mechanism)
+            .expect("mechanism measured");
+        self.sequential / cycles
+    }
+
+    /// The best speedup achieved by a software-only barrier — the quantity
+    /// Table 1 reports.
+    pub fn best_software_speedup(&self) -> f64 {
+        BarrierMechanism::ALL
+            .into_iter()
+            .filter(|m| m.is_software())
+            .map(|m| self.speedup(m))
+            .fold(f64::MIN, f64::max)
+    }
+
+    /// The best speedup achieved by a filter barrier.
+    pub fn best_filter_speedup(&self) -> f64 {
+        BarrierMechanism::ALL
+            .into_iter()
+            .filter(|m| m.is_filter())
+            .map(|m| self.speedup(m))
+            .fold(f64::MIN, f64::max)
+    }
+}
+
+/// Measure a kernel: the `seq` closure runs the sequential baseline, and
+/// `par` runs the parallel version for a given mechanism. Both must
+/// validate internally (they return [`KernelOutcome`] only on a verified
+/// run).
+///
+/// # Errors
+///
+/// Propagates kernel failures, labelled with the workload and mechanism.
+pub fn measure(
+    label: impl Into<String>,
+    seq: impl Fn() -> Result<KernelOutcome, KernelError>,
+    par: impl Fn(BarrierMechanism) -> Result<KernelOutcome, KernelError>,
+) -> Result<SpeedupRow, String> {
+    let label = label.into();
+    let sequential = seq()
+        .map_err(|e| format!("{label} sequential: {e}"))?
+        .cycles_per_rep;
+    let mut parallel = Vec::new();
+    for m in BarrierMechanism::ALL {
+        let outcome = par(m).map_err(|e| format!("{label} {m}: {e}"))?;
+        parallel.push((m, outcome.cycles_per_rep));
+    }
+    Ok(SpeedupRow {
+        label,
+        sequential,
+        parallel,
+    })
+}
+
+/// Render rows as a speedup table (columns: workload, sequential cycles,
+/// one speedup per mechanism).
+pub fn speedup_table(rows: &[SpeedupRow]) -> String {
+    let mut header = vec!["workload".to_string(), "seq cycles".to_string()];
+    header.extend(BarrierMechanism::ALL.iter().map(|m| m.to_string()));
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.label.clone(), crate::report::f1(r.sequential)];
+            row.extend(
+                BarrierMechanism::ALL
+                    .iter()
+                    .map(|&m| crate::report::f2(r.speedup(m))),
+            );
+            row
+        })
+        .collect();
+    crate::report::table(&header, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_row() -> SpeedupRow {
+        SpeedupRow {
+            label: "x".into(),
+            sequential: 1000.0,
+            parallel: BarrierMechanism::ALL
+                .into_iter()
+                .map(|m| {
+                    let c = match m {
+                        BarrierMechanism::SwCentral => 2000.0,
+                        BarrierMechanism::SwTree => 800.0,
+                        BarrierMechanism::HwDedicated => 200.0,
+                        _ => 400.0,
+                    };
+                    (m, c)
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn speedups_and_bests() {
+        let r = fake_row();
+        assert_eq!(r.speedup(BarrierMechanism::SwCentral), 0.5);
+        assert_eq!(r.best_software_speedup(), 1.25);
+        assert_eq!(r.best_filter_speedup(), 2.5);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = speedup_table(&[fake_row()]);
+        assert!(t.contains("sw-central"));
+        assert!(t.contains("0.50"));
+    }
+}

@@ -1,0 +1,93 @@
+//! The Figure 4 micro-benchmark: average time per barrier over a loop of
+//! consecutive barriers with no work between them (the methodology of §4.2,
+//! following Culler/Singh/Gupta).
+
+use barrier_filter::{BarrierMechanism, BarrierSystem};
+use cmp_sim::{AddressSpace, MachineBuilder, SimConfig, SimError};
+use sim_isa::{Asm, Reg};
+
+/// One measured point of the Figure 4 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyPoint {
+    /// Barrier mechanism measured.
+    pub mechanism: BarrierMechanism,
+    /// Cores (= threads) participating.
+    pub cores: usize,
+    /// Average cycles per barrier.
+    pub cycles_per_barrier: f64,
+    /// Mean interconnect queueing delay per transaction, max over the
+    /// address and data networks (saturation signal).
+    pub bus_mean_wait: f64,
+}
+
+/// Measure average cycles/barrier: `inner` consecutive barriers, repeated
+/// `outer` times (the paper uses 64 × 64).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics on assembler/build failures (static program construction bugs).
+pub fn barrier_latency(
+    mechanism: BarrierMechanism,
+    cores: usize,
+    inner: u64,
+    outer: u64,
+) -> Result<LatencyPoint, SimError> {
+    let config = SimConfig::with_cores(cores);
+    let mut space = AddressSpace::new(&config);
+    let mut asm = Asm::new();
+    let mut sys =
+        BarrierSystem::new(&config, cores, &mut space).expect("barrier system allocation");
+    let barrier = sys
+        .create_barrier(&mut asm, &mut space, mechanism, cores)
+        .expect("barrier registration");
+    assert!(!barrier.is_fallback(), "latency sweep must not fall back");
+    asm.label("entry").expect("fresh assembler");
+    asm.li(Reg::S0, outer as i64);
+    asm.label("outer").expect("unique");
+    asm.li(Reg::S1, inner as i64);
+    asm.label("inner").expect("unique");
+    barrier.emit_call(&mut asm);
+    asm.addi(Reg::S1, Reg::S1, -1);
+    asm.bne(Reg::S1, Reg::ZERO, "inner");
+    asm.addi(Reg::S0, Reg::S0, -1);
+    asm.bne(Reg::S0, Reg::ZERO, "outer");
+    asm.halt();
+    let program = asm.assemble().expect("assembly");
+    let entry = program.require_symbol("entry");
+    let mut cfg = config;
+    cfg.cycle_limit = 2_000_000_000;
+    let mut mb = MachineBuilder::new(cfg, program).expect("builder");
+    for _ in 0..cores {
+        mb.add_thread(entry);
+    }
+    sys.install(&mut mb).expect("install");
+    let mut m = mb.build().expect("build");
+    let summary = m.run()?;
+    let stats = m.stats();
+    Ok(LatencyPoint {
+        mechanism,
+        cores,
+        cycles_per_barrier: summary.cycles as f64 / (inner * outer) as f64,
+        bus_mean_wait: stats.addr_bus.mean_wait().max(stats.data_bus.mean_wait()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_point_is_positive_and_scales() {
+        let p4 = barrier_latency(BarrierMechanism::FilterD, 4, 8, 2).unwrap();
+        let p16 = barrier_latency(BarrierMechanism::FilterD, 16, 8, 2).unwrap();
+        assert!(p4.cycles_per_barrier > 0.0);
+        assert!(
+            p16.cycles_per_barrier > p4.cycles_per_barrier,
+            "more threads -> more work per episode"
+        );
+    }
+}

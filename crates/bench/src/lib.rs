@@ -1,0 +1,26 @@
+//! `bench-suite`: the experiment harness that regenerates every table and
+//! figure of the paper's evaluation (§4).
+//!
+//! Each binary in `src/bin/` reproduces one artifact:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table 1 — best software-barrier speedups on 16 cores |
+//! | `fig4_latency` | Figure 4 — average barrier latency vs core count |
+//! | `fig5_autocorr` | Figure 5 — Autocorrelation speedup by mechanism |
+//! | `fig6_viterbi` | Figure 6 — Viterbi speedup by mechanism |
+//! | `fig7_loop2` | Figure 7 — Livermore Loop 2 time vs vector length |
+//! | `fig8_loop3` | Figure 8 — Livermore Loop 3 time vs vector length |
+//! | `fig10_loop6` | Figure 10 — Livermore Loop 6 time vs vector length |
+//! | `ocean_coarse` | §4.1 — coarse-grained (Ocean-like) barrier overhead |
+//! | `ablations` | design ablations called out in DESIGN.md |
+//!
+//! The library half hosts the shared runners so integration tests and
+//! Criterion benches reuse exactly the code the binaries run.
+
+pub mod kernel_runs;
+pub mod latency;
+pub mod report;
+
+pub use kernel_runs::{measure, speedup_table, SpeedupRow};
+pub use latency::{barrier_latency, LatencyPoint};

@@ -1,0 +1,277 @@
+//! MSI directory for the private L1 data caches.
+//!
+//! The directory is the bus-level authority on which cores hold which lines,
+//! driving invalidation and cache-to-cache-transfer timing. The paper's
+//! software barriers live or die by this traffic (shared counters ping-pong
+//! between cores), and its Livermore partitionings are chosen "so cache
+//! lines will only need to be transferred between cores at most once"
+//! (§4.4) — behaviour this module makes observable.
+
+use std::collections::HashMap;
+
+/// Who holds a line, as seen by the bus/directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Bitmask of cores holding the line in Shared state.
+    pub sharers: u64,
+    /// Core holding the line in Modified state, if any. When set, `sharers`
+    /// is zero.
+    pub owner: Option<u8>,
+}
+
+impl DirEntry {
+    /// Entry with no holders.
+    pub const EMPTY: DirEntry = DirEntry {
+        sharers: 0,
+        owner: None,
+    };
+
+    /// Whether no L1 holds the line.
+    pub fn is_empty(&self) -> bool {
+        self.sharers == 0 && self.owner.is_none()
+    }
+
+    /// Number of cores sharing the line.
+    pub fn sharer_count(&self) -> u32 {
+        self.sharers.count_ones()
+    }
+}
+
+/// Directory statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DirectoryStats {
+    /// Invalidation rounds sent to sharers so a writer could take ownership.
+    pub upgrade_invalidations: u64,
+    /// Individual sharer copies invalidated by upgrades.
+    pub copies_invalidated: u64,
+    /// Reads satisfied by a dirty remote L1 (cache-to-cache transfer).
+    pub dirty_transfers: u64,
+}
+
+/// MSI directory over all L1 data caches.
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: HashMap<u64, DirEntry>,
+    stats: DirectoryStats,
+}
+
+/// What the requesting core must do, as computed by the directory, before a
+/// read or write can complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// No other L1 holds the line dirty; fill from the L2/L3/memory path.
+    FromHierarchy,
+    /// Another core holds the line Modified: it supplies the data
+    /// (cache-to-cache) and downgrades to Shared.
+    FromOwner(u8),
+}
+
+/// Effect of a write request on other caches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Cores whose Shared copies must be invalidated.
+    pub invalidate: Vec<u8>,
+    /// Core holding the line Modified (data source + invalidate), if any.
+    pub dirty_owner: Option<u8>,
+}
+
+impl Directory {
+    /// Empty directory.
+    pub fn new() -> Directory {
+        Directory::default()
+    }
+
+    /// Current entry for a line.
+    pub fn entry(&self, line: u64) -> DirEntry {
+        self.entries.get(&line).copied().unwrap_or(DirEntry::EMPTY)
+    }
+
+    /// Core `core` wants to read `line`. Updates the directory (core becomes
+    /// a sharer; a dirty owner is downgraded) and reports where the data
+    /// comes from.
+    pub fn read(&mut self, core: u8, line: u64) -> ReadOutcome {
+        let e = self.entries.entry(line).or_insert(DirEntry::EMPTY);
+        let outcome = match e.owner {
+            Some(owner) if owner != core => {
+                // Remote dirty: downgrade owner to sharer.
+                e.sharers |= 1 << owner;
+                e.owner = None;
+                self.stats.dirty_transfers += 1;
+                ReadOutcome::FromOwner(owner)
+            }
+            Some(_) => {
+                // Already own it dirty; keep M (read hit path normally, but a
+                // directory read on own M line can happen after L1 eviction
+                // races — treat as hierarchy fill).
+                ReadOutcome::FromHierarchy
+            }
+            None => ReadOutcome::FromHierarchy,
+        };
+        if self.entries.get(&line).map(|e| e.owner) != Some(Some(core)) {
+            let e = self.entries.get_mut(&line).expect("just inserted");
+            e.sharers |= 1 << core;
+        }
+        outcome
+    }
+
+    /// Core `core` wants to write `line` (fetch-exclusive or upgrade).
+    /// Updates the directory (core becomes sole Modified owner) and reports
+    /// which remote copies must be invalidated / supply data.
+    pub fn write(&mut self, core: u8, line: u64) -> WriteOutcome {
+        let e = self.entries.entry(line).or_insert(DirEntry::EMPTY);
+        let mut invalidate = Vec::new();
+        let mut dirty_owner = None;
+        match e.owner {
+            Some(owner) if owner != core => dirty_owner = Some(owner),
+            _ => {}
+        }
+        let others = e.sharers & !(1 << core);
+        if others != 0 {
+            for c in 0..64u8 {
+                if others & (1 << c) != 0 {
+                    invalidate.push(c);
+                }
+            }
+            self.stats.upgrade_invalidations += 1;
+            self.stats.copies_invalidated += invalidate.len() as u64;
+        }
+        if dirty_owner.is_some() {
+            self.stats.dirty_transfers += 1;
+        }
+        *e = DirEntry {
+            sharers: 0,
+            owner: Some(core),
+        };
+        WriteOutcome {
+            invalidate,
+            dirty_owner,
+        }
+    }
+
+    /// Core `core` dropped `line` from its L1 (eviction). Returns `true` if
+    /// the line was held Modified (a writeback is required).
+    pub fn evict(&mut self, core: u8, line: u64) -> bool {
+        let Some(e) = self.entries.get_mut(&line) else {
+            return false;
+        };
+        let was_dirty = e.owner == Some(core);
+        if was_dirty {
+            e.owner = None;
+        }
+        e.sharers &= !(1 << core);
+        if e.is_empty() {
+            self.entries.remove(&line);
+        }
+        was_dirty
+    }
+
+    /// Remove every copy of `line` from every L1 (an explicit `dcbi`).
+    /// Returns the cores that held it and whether a writeback is required.
+    pub fn invalidate_all(&mut self, line: u64) -> (Vec<u8>, bool) {
+        let Some(e) = self.entries.remove(&line) else {
+            return (Vec::new(), false);
+        };
+        let mut holders = Vec::new();
+        for c in 0..64u8 {
+            if e.sharers & (1 << c) != 0 {
+                holders.push(c);
+            }
+        }
+        let dirty = e.owner.is_some();
+        if let Some(owner) = e.owner {
+            holders.push(owner);
+        }
+        (holders, dirty)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DirectoryStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_makes_sharer() {
+        let mut d = Directory::new();
+        assert_eq!(d.read(3, 10), ReadOutcome::FromHierarchy);
+        let e = d.entry(10);
+        assert_eq!(e.sharers, 1 << 3);
+        assert_eq!(e.owner, None);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut d = Directory::new();
+        d.read(0, 10);
+        d.read(1, 10);
+        d.read(2, 10);
+        let w = d.write(1, 10);
+        assert_eq!(w.invalidate, vec![0, 2]);
+        assert_eq!(w.dirty_owner, None);
+        let e = d.entry(10);
+        assert_eq!(e.owner, Some(1));
+        assert_eq!(e.sharers, 0);
+        assert_eq!(d.stats().upgrade_invalidations, 1);
+        assert_eq!(d.stats().copies_invalidated, 2);
+    }
+
+    #[test]
+    fn read_of_dirty_line_downgrades_owner() {
+        let mut d = Directory::new();
+        d.write(5, 20);
+        assert_eq!(d.read(6, 20), ReadOutcome::FromOwner(5));
+        let e = d.entry(20);
+        assert_eq!(e.owner, None);
+        assert_eq!(e.sharers, (1 << 5) | (1 << 6));
+        assert_eq!(d.stats().dirty_transfers, 1);
+    }
+
+    #[test]
+    fn write_steals_dirty_line() {
+        let mut d = Directory::new();
+        d.write(0, 30);
+        let w = d.write(1, 30);
+        assert_eq!(w.dirty_owner, Some(0));
+        assert!(w.invalidate.is_empty());
+        assert_eq!(d.entry(30).owner, Some(1));
+    }
+
+    #[test]
+    fn eviction_clears_holder() {
+        let mut d = Directory::new();
+        d.write(2, 40);
+        assert!(d.evict(2, 40), "dirty eviction needs writeback");
+        assert!(d.entry(40).is_empty());
+        d.read(3, 41);
+        assert!(!d.evict(3, 41), "clean eviction is silent");
+        assert!(!d.evict(3, 41), "double evict is a no-op");
+    }
+
+    #[test]
+    fn invalidate_all_reports_holders_and_dirtiness() {
+        let mut d = Directory::new();
+        d.read(0, 50);
+        d.read(1, 50);
+        let (holders, dirty) = d.invalidate_all(50);
+        assert_eq!(holders, vec![0, 1]);
+        assert!(!dirty);
+        d.write(4, 51);
+        let (holders, dirty) = d.invalidate_all(51);
+        assert_eq!(holders, vec![4]);
+        assert!(dirty);
+        assert_eq!(d.invalidate_all(52), (Vec::new(), false));
+    }
+
+    #[test]
+    fn own_write_after_read_has_no_invalidations() {
+        let mut d = Directory::new();
+        d.read(7, 60);
+        let w = d.write(7, 60);
+        assert!(w.invalidate.is_empty());
+        assert_eq!(w.dirty_owner, None);
+    }
+}

@@ -1,0 +1,156 @@
+//! The L2 bank hook interface.
+//!
+//! The paper's barrier filter is "a hardware structure consisting of a state
+//! table and associated state machines … placed in the controller for some
+//! shared level of memory" (§3.1). `cmp-sim` itself knows nothing about
+//! barriers: it exposes this trait, called for every invalidation message and
+//! every fill request that reaches an L2 bank, and the `barrier-filter` crate
+//! implements it. The hook port accepts one request per cycle
+//! ([`SimConfig::hook_cycles_per_request`](crate::SimConfig)), matching
+//! Table 2.
+
+use std::fmt;
+
+/// Identifies one parked fill request. Allocated by the engine when a fill
+/// reaches a bank; the hook hands tokens back to release (or error) the
+/// parked fills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParkToken(pub u64);
+
+/// Hook verdict on a fill request that reached its L2 bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillDecision {
+    /// The hook does not track this line; proceed down the normal
+    /// L2 → L3 → memory path.
+    NotMine,
+    /// The hook tracks this line and services the fill itself (the filter
+    /// replies directly from the controller).
+    Service,
+    /// Starve the request: the requester stalls until the hook releases the
+    /// token via [`HookOutcome::released`] (or errors it).
+    Park,
+}
+
+/// Results a hook pushes back to the engine from an invalidation or
+/// deadline callback.
+#[derive(Debug, Default)]
+pub struct HookOutcome {
+    /// Parked fills to service now. The engine staggers their responses by
+    /// the hook port's throughput (one per cycle).
+    pub released: Vec<ParkToken>,
+    /// Parked fills to complete with an error code embedded in the reply
+    /// (§3.3.4 hardware-timeout path). A data load receives
+    /// [`FILL_ERROR_SENTINEL`]; an instruction fetch raises a simulator
+    /// exception.
+    pub errored: Vec<ParkToken>,
+}
+
+impl HookOutcome {
+    /// Whether the hook produced nothing.
+    pub fn is_empty(&self) -> bool {
+        self.released.is_empty() && self.errored.is_empty()
+    }
+}
+
+/// Value returned by a data load whose fill was completed with an embedded
+/// error code rather than data.
+pub const FILL_ERROR_SENTINEL: u64 = 0xbad0_bad0_bad0_bad0;
+
+/// A protocol violation detected by the hook (§3.3.4: "an exception/fault
+/// should occur to tell the operating system that it has an incorrect
+/// implementation or use of the barrier filter").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HookViolation {
+    /// Human-readable description of the invalid transition.
+    pub message: String,
+}
+
+impl HookViolation {
+    /// Create a violation with the given description.
+    pub fn new(message: impl Into<String>) -> HookViolation {
+        HookViolation {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for HookViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for HookViolation {}
+
+/// Hardware attached to an L2 bank controller, observing the bank's
+/// invalidation and fill traffic.
+///
+/// All addresses are line-aligned byte addresses. Implementations must be
+/// deterministic: the engine replays callbacks in a fixed global order.
+pub trait BankHook {
+    /// An invalidation message for `line` reached this bank at cycle `now`.
+    /// Push any fills to release (or error) into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HookViolation`] to model the exception the filter raises
+    /// on an invalid FSM transition.
+    fn on_invalidate(
+        &mut self,
+        line: u64,
+        now: u64,
+        out: &mut HookOutcome,
+    ) -> Result<(), HookViolation>;
+
+    /// A fill request for `line` reached this bank at cycle `now`. `token`
+    /// identifies the request if the hook decides to park it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HookViolation`] on an invalid FSM transition (e.g. a fill
+    /// for an arrival address whose thread is in the Waiting state).
+    fn on_fill_request(
+        &mut self,
+        line: u64,
+        token: ParkToken,
+        now: u64,
+        out: &mut HookOutcome,
+    ) -> Result<FillDecision, HookViolation>;
+
+    /// A previously parked fill was cancelled by the requester (the OS
+    /// context-switched the blocked thread out, §3.3.3). The hook must
+    /// forget `token`; the thread will re-issue a fresh fill request when
+    /// rescheduled.
+    fn on_cancel(&mut self, token: ParkToken);
+
+    /// The earliest cycle at which the hook wants an [`on_deadline`]
+    /// callback (hardware-timeout support), or `None`.
+    ///
+    /// [`on_deadline`]: BankHook::on_deadline
+    fn deadline(&self) -> Option<u64> {
+        None
+    }
+
+    /// Called when the cycle returned by [`deadline`](BankHook::deadline)
+    /// arrives.
+    fn on_deadline(&mut self, _now: u64, _out: &mut HookOutcome) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_emptiness() {
+        let mut o = HookOutcome::default();
+        assert!(o.is_empty());
+        o.released.push(ParkToken(1));
+        assert!(!o.is_empty());
+    }
+
+    #[test]
+    fn violation_displays_message() {
+        let v = HookViolation::new("fill while Waiting");
+        assert_eq!(v.to_string(), "fill while Waiting");
+    }
+}

@@ -1,0 +1,1459 @@
+//! The event-driven cycle-level machine.
+//!
+//! A single global event queue, ordered by `(cycle, sequence)`, drives every
+//! core; shared resources (address and data buses, bank ports, hook ports,
+//! L3 port) are
+//! FIFO next-free-cycle arbiters ([`Resource`]). The engine is fully
+//! deterministic: two runs of the same machine produce identical cycle
+//! counts and identical memory images.
+//!
+//! ## Ordering guarantees relied on by the barrier filter
+//!
+//! Invalidation messages (`icbi`/`dcbi`) and fill requests travel the same
+//! bus in grant order, and an invalidation reaches its L2 bank hook strictly
+//! before any fill request the same core issues afterwards. This is the
+//! property §3.4 of the paper depends on: the filter must see a thread's
+//! arrival invalidate before that thread's (to-be-starved) fill request.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use sim_isa::{line_of, Instr, MemWidth, Program, Reg};
+
+use crate::bus::Resource;
+use crate::cache::{Cache, LineState};
+use crate::coherence::{Directory, ReadOutcome};
+use crate::core::{Continuation, Core, Waiting};
+use crate::error::SimError;
+use crate::hook::{BankHook, FillDecision, HookOutcome, ParkToken, FILL_ERROR_SENTINEL};
+use crate::hwnet::{DedicatedNetwork, HwBarResult};
+use crate::mem::Memory;
+use crate::stats::{MachineStats, RunSummary, TraceEvent};
+use crate::SimConfig;
+
+/// Outcome of `Machine::run_until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunState {
+    /// Every core has halted.
+    Finished(RunSummary),
+    /// The pause cycle was reached with work still pending.
+    Paused,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ev {
+    /// Execute the next instruction on a core.
+    CoreReady(usize),
+    /// The head of a core's store buffer finished draining.
+    StoreRetire(usize),
+    /// A fill's data became available at its source (L2/L3/memory, a
+    /// remote owner, or the bank hook): acquire the response bus and
+    /// deliver it.
+    FillReady {
+        core: usize,
+        line: u64,
+        kind: AccessKind,
+        purpose: FillPurpose,
+    },
+    /// An outstanding fill completed (delivered, or released/errored by a
+    /// bank hook).
+    FillDone { core: usize, line: u64, error: bool },
+    /// An invalidation message reached an L2 bank's hook.
+    HookInvalidate { bank: usize, line: u64 },
+    /// A hook-requested deadline arrived.
+    HookDeadline { bank: usize },
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Scheduled {
+    cycle: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.cycle, self.seq).cmp(&(other.cycle, other.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AccessKind {
+    DRead,
+    DWrite,
+    IFetch,
+}
+
+/// Who is waiting on a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FillPurpose {
+    /// The core is blocked; completion goes through `FillDone` and the
+    /// core's continuation.
+    Resume,
+    /// A store-buffer drain; completion retires the buffer head.
+    StoreDrain,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Access {
+    /// The request phase completed; a `FillReady` event will deliver the
+    /// data when it is available. Misses are two-phase so that a slow fill
+    /// (e.g. a full memory-latency round trip) does not reserve the shared
+    /// bus ahead of time and head-of-line-block every intervening request.
+    Pending,
+    /// The fill was parked at a bank hook; a `FillDone` event will arrive
+    /// once the hook releases it.
+    Parked,
+}
+
+/// Outcome of the store path.
+#[derive(Debug, Clone, Copy)]
+enum StoreOutcome {
+    /// Globally performed at the given cycle.
+    Done(u64),
+    /// A write-allocate fill is in flight (`FillReady` chain).
+    Pending,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ParkedFill {
+    core: usize,
+    line: u64,
+}
+
+/// The simulated chip multiprocessor.
+///
+/// Build one with [`MachineBuilder`](crate::MachineBuilder), run it with
+/// [`run`](Machine::run), then inspect results through the memory accessors
+/// and [`stats`](Machine::stats).
+pub struct Machine {
+    config: SimConfig,
+    program: Program,
+    mem: Memory,
+    cores: Vec<Core>,
+    l1d: Vec<Cache>,
+    l1i: Vec<Cache>,
+    l2: Vec<Cache>,
+    l3: Cache,
+    dir: Directory,
+    /// Address/command network: requests, invalidations, upgrade commands.
+    addr_bus: Resource,
+    /// Data network: line transfers (fills, writebacks, transfers).
+    data_bus: Resource,
+    bank_ports: Vec<Resource>,
+    hook_ports: Vec<Resource>,
+    l3_port: Resource,
+    hooks: Vec<Option<Box<dyn BankHook>>>,
+    hwnet: DedicatedNetwork,
+    events: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    now: u64,
+    parked: HashMap<ParkToken, ParkedFill>,
+    next_token: u64,
+    /// Per-line coherence-serialization point: successive ownership
+    /// transfers (dirty cache-to-cache reads, upgrades, exclusive fetches)
+    /// of the same line queue here, modelling the directory's pending-
+    /// transaction serialization. This is what makes a contended LL/SC
+    /// line cost a round trip per successful read-modify-write.
+    line_busy: HashMap<u64, u64>,
+    scheduled_deadlines: Vec<Option<u64>>,
+    trace: Vec<TraceEvent>,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cycle", &self.now)
+            .field("cores", &self.cores.len())
+            .field("pending_events", &self.events.len())
+            .field("parked_fills", &self.parked.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_builder(
+        config: SimConfig,
+        program: Program,
+        mem: Memory,
+        cores: Vec<Core>,
+        hooks: Vec<Option<Box<dyn BankHook>>>,
+        hwnet: DedicatedNetwork,
+    ) -> Machine {
+        let n = config.num_cores;
+        let banks = config.l2_banks;
+        let per_bank = crate::config::CacheConfig {
+            size_bytes: config.l2.size_bytes / banks as u64,
+            ways: config.l2.ways,
+            latency: config.l2.latency,
+        };
+        let mut m = Machine {
+            l1d: (0..n).map(|_| Cache::new(config.l1d)).collect(),
+            l1i: (0..n).map(|_| Cache::new(config.l1i)).collect(),
+            l2: (0..banks).map(|_| Cache::new(per_bank)).collect(),
+            l3: Cache::new(config.l3),
+            dir: Directory::new(),
+            addr_bus: Resource::new(),
+            data_bus: Resource::new(),
+            bank_ports: (0..banks).map(|_| Resource::new()).collect(),
+            hook_ports: (0..banks).map(|_| Resource::new()).collect(),
+            l3_port: Resource::new(),
+            hooks,
+            hwnet,
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            parked: HashMap::new(),
+            next_token: 0,
+            line_busy: HashMap::new(),
+            scheduled_deadlines: vec![None; banks],
+            trace: Vec::new(),
+            config,
+            program,
+            mem,
+            cores,
+        };
+        for c in 0..m.cores.len() {
+            if !m.cores[c].halted {
+                m.schedule(0, Ev::CoreReady(c));
+            }
+        }
+        m
+    }
+
+    fn schedule(&mut self, cycle: u64, ev: Ev) {
+        self.seq += 1;
+        self.events.push(Reverse(Scheduled {
+            cycle,
+            seq: self.seq,
+            ev,
+        }));
+    }
+
+    fn trace(&mut self, ev: TraceEvent) {
+        if self.config.trace {
+            self.trace.push(ev);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public API
+    // ------------------------------------------------------------------
+
+    /// Run until every core halts.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`], including [`SimError::Deadlock`] if cores remain
+    /// blocked with no pending events, and
+    /// [`SimError::CycleLimitExceeded`] past
+    /// [`SimConfig::cycle_limit`](crate::SimConfig::cycle_limit).
+    pub fn run(&mut self) -> Result<RunSummary, SimError> {
+        match self.run_until(u64::MAX)? {
+            RunState::Finished(s) => Ok(s),
+            RunState::Paused => unreachable!("run_until(u64::MAX) cannot pause"),
+        }
+    }
+
+    /// Run until every core halts or the simulation clock reaches
+    /// `pause_at`, whichever comes first. Used by tests that intervene
+    /// mid-run (e.g. the context-switch model of §3.3.3).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Machine::run).
+    pub fn run_until(&mut self, pause_at: u64) -> Result<RunState, SimError> {
+        loop {
+            if self.cores.iter().all(|c| c.halted) {
+                return Ok(RunState::Finished(self.summary()));
+            }
+            let Some(Reverse(head)) = self.events.peek() else {
+                // A machine whose only unfinished threads were context-
+                // switched out is quiescent, not deadlocked: it waits for
+                // the OS (the caller) to resume them.
+                if self
+                    .cores
+                    .iter()
+                    .all(|c| c.halted || matches!(c.waiting, Waiting::SwitchedOut { .. }))
+                {
+                    return Ok(RunState::Paused);
+                }
+                return Err(self.deadlock());
+            };
+            if head.cycle >= pause_at {
+                self.now = self.now.max(pause_at);
+                return Ok(RunState::Paused);
+            }
+            if head.cycle > self.config.cycle_limit {
+                return Err(SimError::CycleLimitExceeded {
+                    limit: self.config.cycle_limit,
+                });
+            }
+            let Reverse(sched) = self.events.pop().expect("peeked");
+            self.now = self.now.max(sched.cycle);
+            self.dispatch(sched.ev)?;
+        }
+    }
+
+    fn summary(&self) -> RunSummary {
+        RunSummary {
+            cycles: self
+                .cores
+                .iter()
+                .filter_map(|c| c.stats.halt_cycle)
+                .max()
+                .unwrap_or(self.now),
+            instructions: self.cores.iter().map(|c| c.stats.instructions).sum(),
+        }
+    }
+
+    fn deadlock(&self) -> SimError {
+        SimError::Deadlock {
+            cycle: self.now,
+            blocked: self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.halted)
+                .map(|(i, c)| (i, c.blocked_reason()))
+                .collect(),
+        }
+    }
+
+    /// Current simulation cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Read a u64 from simulated memory (host-side, no timing effect).
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.mem.read_u64(addr)
+    }
+
+    /// Read an f64 from simulated memory (host-side, no timing effect).
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        self.mem.read_f64(addr)
+    }
+
+    /// Read `n` consecutive f64 values (host-side).
+    pub fn read_f64_slice(&self, addr: u64, n: usize) -> Vec<f64> {
+        self.mem.read_f64_slice(addr, n)
+    }
+
+    /// Read `n` consecutive u64 values (host-side).
+    pub fn read_u64_slice(&self, addr: u64, n: usize) -> Vec<u64> {
+        self.mem.read_u64_slice(addr, n)
+    }
+
+    /// Write a u64 to simulated memory (host-side, no timing effect).
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.mem.write_u64(addr, v);
+    }
+
+    /// An integer register of a core (debug/validation).
+    pub fn core_reg(&self, core: usize, r: Reg) -> u64 {
+        self.cores[core].reg(r)
+    }
+
+    /// Counter snapshot across the whole machine.
+    pub fn stats(&self) -> MachineStats {
+        MachineStats {
+            cycles: self.now,
+            cores: self.cores.iter().map(|c| c.stats).collect(),
+            l1d: self.l1d.iter().map(Cache::stats).collect(),
+            l1i: self.l1i.iter().map(Cache::stats).collect(),
+            l2: self.l2.iter().map(Cache::stats).collect(),
+            l3: self.l3.stats(),
+            addr_bus: self.addr_bus.stats(),
+            data_bus: self.data_bus.stats(),
+            hook_ports: self.hook_ports.iter().map(Resource::stats).collect(),
+            directory: self.dir.stats(),
+            hw_network: self.hwnet.stats(),
+        }
+    }
+
+    /// Recorded trace events (empty unless [`SimConfig::trace`] is set).
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// Borrow a bank hook for inspection (tests).
+    pub fn hook(&self, bank: usize) -> Option<&dyn BankHook> {
+        self.hooks[bank].as_deref()
+    }
+
+    /// Model the OS context-switching out a thread whose fill is parked at a
+    /// bank hook (§3.3.3): the parked request is cancelled (its MSHR is
+    /// released) and the core is marked switched-out. Returns `false` if the
+    /// core was not parked.
+    pub fn context_switch_out(&mut self, core: usize) -> bool {
+        let Waiting::Fill {
+            line,
+            cont,
+            parked: true,
+        } = self.cores[core].waiting
+        else {
+            return false;
+        };
+        let Some((&token, _)) = self.parked.iter().find(|(_, p)| p.core == core) else {
+            return false;
+        };
+        self.parked.remove(&token);
+        let bank = self.config.bank_of(line);
+        if let Some(hook) = self.hooks[bank].as_mut() {
+            hook.on_cancel(token);
+        }
+        self.cores[core].mshr_used -= 1;
+        self.cores[core].waiting = Waiting::SwitchedOut { cont, line };
+        true
+    }
+
+    /// Model the OS rescheduling a switched-out thread: the blocked access
+    /// re-issues its fill request. If the barrier opened while the thread
+    /// was switched out, the filter services the request and the thread
+    /// resumes; otherwise it parks again (§3.3.3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the re-issued access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core was not switched out.
+    pub fn resume_thread(&mut self, core: usize) -> Result<(), SimError> {
+        let Waiting::SwitchedOut { cont, line } = self.cores[core].waiting else {
+            panic!("core {core} is not switched out");
+        };
+        let kind = match cont {
+            Continuation::IFetch => AccessKind::IFetch,
+            _ => AccessKind::DRead,
+        };
+        let now = self.now;
+        let access = self.miss_path(core, line, kind, now, FillPurpose::Resume)?;
+        self.cores[core].waiting = Waiting::Fill {
+            line,
+            cont,
+            parked: matches!(access, Access::Parked),
+        };
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, ev: Ev) -> Result<(), SimError> {
+        match ev {
+            Ev::CoreReady(c) => self.step_core(c),
+            Ev::StoreRetire(c) => self.store_retire(c),
+            Ev::FillReady {
+                core,
+                line,
+                kind,
+                purpose,
+            } => self.fill_ready(core, line, kind, purpose),
+            Ev::FillDone { core, line, error } => self.fill_done(core, line, error),
+            Ev::HookInvalidate { bank, line } => self.hook_invalidate(bank, line),
+            Ev::HookDeadline { bank } => self.hook_deadline(bank),
+        }
+    }
+
+    fn store_retire(&mut self, c: usize) -> Result<(), SimError> {
+        let now = self.now;
+        self.cores[c].store_buffer.pop_front();
+        if let Some(&line) = self.cores[c].store_buffer.front() {
+            match self.store_path(c, line, now, FillPurpose::StoreDrain)? {
+                StoreOutcome::Done(t) => self.schedule(t, Ev::StoreRetire(c)),
+                StoreOutcome::Pending => {}
+            }
+        } else {
+            self.cores[c].draining = false;
+            if let Waiting::Fence { residual } = self.cores[c].waiting {
+                self.cores[c].waiting = Waiting::None;
+                self.schedule(now + residual, Ev::CoreReady(c));
+            }
+        }
+        if self.cores[c].waiting == Waiting::StoreSlot {
+            self.cores[c].waiting = Waiting::None;
+            self.schedule(now, Ev::CoreReady(c));
+        }
+        Ok(())
+    }
+
+    /// The data for a pending fill is ready at its source: move it across
+    /// the bus now (response phase) and deliver.
+    fn fill_ready(
+        &mut self,
+        c: usize,
+        line: u64,
+        kind: AccessKind,
+        purpose: FillPurpose,
+    ) -> Result<(), SimError> {
+        let data = self.config.bus.data_cycles;
+        let grant = self.data_bus.acquire(self.now, data);
+        let done = grant + data + 1;
+        match purpose {
+            FillPurpose::Resume => {
+                self.schedule(
+                    done,
+                    Ev::FillDone {
+                        core: c,
+                        line,
+                        error: false,
+                    },
+                );
+            }
+            FillPurpose::StoreDrain => {
+                self.fill_l1(c, line, kind, done);
+                self.cores[c].mshr_used = self.cores[c].mshr_used.saturating_sub(1);
+                self.schedule(done, Ev::StoreRetire(c));
+            }
+        }
+        Ok(())
+    }
+
+    fn fill_done(&mut self, c: usize, line: u64, error: bool) -> Result<(), SimError> {
+        let now = self.now;
+        self.cores[c].mshr_used = self.cores[c].mshr_used.saturating_sub(1);
+        let Waiting::Fill { cont, .. } = self.cores[c].waiting else {
+            debug_assert!(false, "FillDone for a core that is not waiting on a fill");
+            return Ok(());
+        };
+        self.cores[c].waiting = Waiting::None;
+        self.complete_continuation(c, cont, line, error, now)
+    }
+
+    fn complete_continuation(
+        &mut self,
+        c: usize,
+        cont: Continuation,
+        line: u64,
+        error: bool,
+        at: u64,
+    ) -> Result<(), SimError> {
+        match cont {
+            Continuation::IFetch => {
+                if error {
+                    return Err(SimError::IFetchErrorReply { core: c, line });
+                }
+                self.fill_l1(c, line, AccessKind::IFetch, at);
+                self.schedule(at, Ev::CoreReady(c));
+            }
+            Continuation::Load {
+                rd,
+                addr,
+                width,
+                set_link,
+            } => {
+                // An error reply carries no data: nothing is installed, so
+                // a §3.3.4 retry re-issues a real fill request.
+                if !error {
+                    self.fill_l1(c, line, AccessKind::DRead, at);
+                }
+                let value = if error {
+                    FILL_ERROR_SENTINEL & mask_for(width)
+                } else {
+                    self.mem.read_le(addr, width.bytes() as usize)
+                };
+                self.cores[c].set_reg(rd, value);
+                if set_link {
+                    self.cores[c].link = Some(line);
+                }
+                self.schedule(at, Ev::CoreReady(c));
+            }
+            Continuation::FLoad { fd, addr } => {
+                if !error {
+                    self.fill_l1(c, line, AccessKind::DRead, at);
+                }
+                let value = if error {
+                    f64::from_bits(FILL_ERROR_SENTINEL)
+                } else {
+                    self.mem.read_f64(addr)
+                };
+                self.cores[c].set_freg(fd, value);
+                self.schedule(at, Ev::CoreReady(c));
+            }
+            Continuation::Sc { rd, src, addr } => {
+                // The success of a store-conditional is decided when the
+                // exclusive-ownership round trip completes: another core's
+                // commit in the meantime has cleared our reservation.
+                let ok = self.cores[c].link == Some(line) && !error;
+                if ok {
+                    self.fill_l1(c, line, AccessKind::DWrite, at);
+                    self.mem.write_u64(addr, src);
+                    self.clear_links(line);
+                    self.cores[c].stats.stores += 1;
+                }
+                self.cores[c].set_reg(rd, ok as u64);
+                self.schedule(at, Ev::CoreReady(c));
+            }
+        }
+        Ok(())
+    }
+
+    fn hook_invalidate(&mut self, bank: usize, line: u64) -> Result<(), SimError> {
+        if self.hooks[bank].is_none() {
+            return Ok(());
+        }
+        let now = self.now;
+        let th = self.hook_ports[bank].acquire(now, self.config.hook_cycles_per_request);
+        let mut out = HookOutcome::default();
+        let result = self.hooks[bank]
+            .as_mut()
+            .expect("checked above")
+            .on_invalidate(line, th, &mut out);
+        if let Err(v) = result {
+            return Err(SimError::Hook {
+                cycle: now,
+                line,
+                violation: v,
+            });
+        }
+        self.process_outcome(bank, th, out)?;
+        self.refresh_deadline(bank);
+        Ok(())
+    }
+
+    fn hook_deadline(&mut self, bank: usize) -> Result<(), SimError> {
+        let Some(hook) = self.hooks[bank].as_mut() else {
+            return Ok(());
+        };
+        let now = self.now;
+        self.scheduled_deadlines[bank] = None;
+        if hook.deadline().is_none_or(|d| d > now) {
+            // Deadline was pushed back or satisfied; re-arm if needed.
+            self.refresh_deadline(bank);
+            return Ok(());
+        }
+        let mut out = HookOutcome::default();
+        self.hooks[bank]
+            .as_mut()
+            .expect("checked above")
+            .on_deadline(now, &mut out);
+        self.process_outcome(bank, now, out)?;
+        self.refresh_deadline(bank);
+        Ok(())
+    }
+
+    fn refresh_deadline(&mut self, bank: usize) {
+        let Some(hook) = self.hooks[bank].as_ref() else {
+            return;
+        };
+        let Some(d) = hook.deadline() else {
+            return;
+        };
+        let d = d.max(self.now);
+        if self.scheduled_deadlines[bank].is_none_or(|s| s > d) {
+            self.scheduled_deadlines[bank] = Some(d);
+            self.schedule(d, Ev::HookDeadline { bank });
+        }
+    }
+
+    /// Service (or error) parked fills released by a hook. Responses leave
+    /// the hook at one per [`hook_cycles_per_request`] (Table 2), then cross
+    /// the bus.
+    fn process_outcome(
+        &mut self,
+        _bank: usize,
+        base: u64,
+        out: HookOutcome,
+    ) -> Result<(), SimError> {
+        let hc = self.config.hook_cycles_per_request;
+        let data = self.config.bus.data_cycles;
+        let mut slot = 0u64;
+        for (tokens, error) in [(&out.released, false), (&out.errored, true)] {
+            for &token in tokens.iter() {
+                let Some(p) = self.parked.remove(&token) else {
+                    return Err(SimError::Hook {
+                        cycle: self.now,
+                        line: 0,
+                        violation: crate::hook::HookViolation::new(format!(
+                            "hook released unknown park token {token:?}"
+                        )),
+                    });
+                };
+                slot += 1;
+                let t2 = base + slot * hc;
+                let grant = self.data_bus.acquire(t2, data);
+                let done = grant + data + 1;
+                self.trace(TraceEvent::Released {
+                    core: p.core,
+                    line: p.line,
+                });
+                self.schedule(
+                    done,
+                    Ev::FillDone {
+                        core: p.core,
+                        line: p.line,
+                        error,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Memory-system paths
+    // ------------------------------------------------------------------
+
+    /// Fill `line` into the requester's L1, handling eviction bookkeeping.
+    ///
+    /// If the directory no longer registers the core for this line — a
+    /// remote writer invalidated it while the fill was in flight — the data
+    /// is delivered to the pipeline but no (stale) tag is installed, as in
+    /// real protocols where an in-flight fill loses a race with an
+    /// invalidation.
+    fn fill_l1(&mut self, c: usize, line: u64, kind: AccessKind, t: u64) {
+        match kind {
+            AccessKind::IFetch => {
+                self.l1i[c].insert(line, LineState::Shared);
+            }
+            AccessKind::DRead | AccessKind::DWrite => {
+                let entry = self.dir.entry(line);
+                let still_mine = match kind {
+                    AccessKind::DWrite => entry.owner == Some(c as u8),
+                    _ => entry.sharers & (1 << c) != 0,
+                };
+                if !still_mine {
+                    return;
+                }
+                let state = match kind {
+                    AccessKind::DWrite => LineState::Modified,
+                    _ => LineState::Shared,
+                };
+                if let Some((victim, _)) = self.l1d[c].insert(line, state) {
+                    let dirty = self.dir.evict(c as u8, victim);
+                    if dirty {
+                        // Writeback occupies the bus but is off the critical
+                        // path of the fill.
+                        self.data_bus.acquire(t, self.config.bus.data_cycles);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The request phase of the miss path for `line`, starting at cycle
+    /// `start` (which already includes the L1 lookup that missed). The
+    /// response phase runs in the `FillReady` event this schedules.
+    fn miss_path(
+        &mut self,
+        c: usize,
+        line: u64,
+        kind: AccessKind,
+        start: u64,
+        purpose: FillPurpose,
+    ) -> Result<Access, SimError> {
+        let cmd = self.config.bus.cmd_cycles;
+        let l2_lat = self.config.l2.latency;
+        let hook_cy = self.config.hook_cycles_per_request;
+        let l3_lat = self.config.l3.latency;
+        let mem_lat = self.config.mem_latency;
+
+        self.cores[c].mshr_used += 1;
+        self.cores[c].note_mshr();
+        if self.cores[c].mshr_used > self.config.mshrs_per_core {
+            return Err(SimError::MshrOverflow { core: c });
+        }
+
+        let mut t = start;
+
+        // Directory interaction (data side only).
+        match kind {
+            AccessKind::DRead => {
+                self.trace(TraceEvent::DMiss { core: c, line });
+                if let ReadOutcome::FromOwner(owner) = self.dir.read(c as u8, line) {
+                    // Cache-to-cache transfer through the shared controller,
+                    // serialized against other transfers of this line.
+                    self.l1d[owner as usize].set_state(line, LineState::Shared);
+                    let grant = self.addr_bus.acquire(t, cmd);
+                    let g = self.line_acquire(line, grant + cmd, l2_lat);
+                    let ready = g + l2_lat;
+                    self.schedule(
+                        ready,
+                        Ev::FillReady {
+                            core: c,
+                            line,
+                            kind,
+                            purpose,
+                        },
+                    );
+                    return Ok(Access::Pending);
+                }
+            }
+            AccessKind::DWrite => {
+                self.trace(TraceEvent::DMiss { core: c, line });
+                let w = self.dir.write(c as u8, line);
+                if !w.invalidate.is_empty() {
+                    for &s in &w.invalidate {
+                        self.l1d[s as usize].invalidate(line);
+                    }
+                    self.trace(TraceEvent::Upgrade {
+                        core: c,
+                        line,
+                        copies: w.invalidate.len() as u32,
+                    });
+                    // One broadcast invalidation command.
+                    let grant = self.addr_bus.acquire(t, cmd);
+                    t = grant + cmd + 1;
+                }
+                if let Some(owner) = w.dirty_owner {
+                    self.l1d[owner as usize].invalidate(line);
+                    let grant = self.addr_bus.acquire(t, cmd);
+                    let g = self.line_acquire(line, grant + cmd, l2_lat);
+                    let ready = g + l2_lat;
+                    self.schedule(
+                        ready,
+                        Ev::FillReady {
+                            core: c,
+                            line,
+                            kind,
+                            purpose,
+                        },
+                    );
+                    return Ok(Access::Pending);
+                }
+            }
+            AccessKind::IFetch => {
+                self.trace(TraceEvent::IMiss { core: c, line });
+            }
+        }
+
+        // Request crosses the bus to the home bank.
+        let grant = self.addr_bus.acquire(t, cmd);
+        t = grant + cmd;
+        let bank = self.config.bank_of(line);
+        t = self.bank_ports[bank].acquire(t, 1) + 1;
+
+        // Bank hook (barrier filter): its lookup runs in parallel with the
+        // L2 access (§3.2), so a NotMine verdict adds no latency.
+        if self.hooks[bank].is_some() {
+            self.next_token += 1;
+            let token = ParkToken(self.next_token);
+            let mut out = HookOutcome::default();
+            let decision = self.hooks[bank]
+                .as_mut()
+                .expect("checked above")
+                .on_fill_request(line, token, t, &mut out);
+            let decision = match decision {
+                Ok(d) => d,
+                Err(v) => {
+                    return Err(SimError::Hook {
+                        cycle: self.now,
+                        line,
+                        violation: v,
+                    });
+                }
+            };
+            self.process_outcome(bank, t, out)?;
+            self.refresh_deadline(bank);
+            match decision {
+                FillDecision::NotMine => {}
+                FillDecision::Service => {
+                    let th = self.hook_ports[bank].acquire(t, hook_cy);
+                    let ready = th + hook_cy + l2_lat;
+                    self.schedule(
+                        ready,
+                        Ev::FillReady {
+                            core: c,
+                            line,
+                            kind,
+                            purpose,
+                        },
+                    );
+                    return Ok(Access::Pending);
+                }
+                FillDecision::Park => {
+                    if matches!(kind, AccessKind::DWrite) {
+                        return Err(SimError::Hook {
+                            cycle: self.now,
+                            line,
+                            violation: crate::hook::HookViolation::new(
+                                "a write-allocate fill was parked: stores must never target \
+                                 barrier arrival addresses",
+                            ),
+                        });
+                    }
+                    self.hook_ports[bank].acquire(t, hook_cy);
+                    self.parked.insert(token, ParkedFill { core: c, line });
+                    self.cores[c].stats.fills_parked += 1;
+                    self.trace(TraceEvent::Parked { core: c, line });
+                    return Ok(Access::Parked);
+                }
+            }
+        }
+
+        // L2 bank.
+        let l2_hit = self.l2[bank].lookup(line).is_some();
+        t += l2_lat;
+        if !l2_hit {
+            // L3.
+            t = self.l3_port.acquire(t, 1) + 1;
+            let l3_hit = self.l3.lookup(line).is_some();
+            t += l3_lat;
+            if !l3_hit {
+                t += mem_lat;
+                self.l3.insert(line, LineState::Shared);
+            }
+            self.l2[bank].insert(line, LineState::Shared);
+        }
+        self.schedule(
+            t,
+            Ev::FillReady {
+                core: c,
+                line,
+                kind,
+                purpose,
+            },
+        );
+        Ok(Access::Pending)
+    }
+
+    /// Perform a store to `line` (a drain from the store buffer, or a
+    /// blocking store-conditional when `purpose` is `Resume`).
+    fn store_path(
+        &mut self,
+        c: usize,
+        line: u64,
+        now: u64,
+        purpose: FillPurpose,
+    ) -> Result<StoreOutcome, SimError> {
+        let cmd = self.config.bus.cmd_cycles;
+        match self.l1d[c].lookup(line) {
+            Some(LineState::Modified) => Ok(StoreOutcome::Done(now + self.config.l1d.latency)),
+            Some(LineState::Shared) => {
+                // Upgrade: invalidate remote sharers via one bus command.
+                let w = self.dir.write(c as u8, line);
+                for &s in &w.invalidate {
+                    self.l1d[s as usize].invalidate(line);
+                }
+                if let Some(owner) = w.dirty_owner {
+                    // Our Shared tag was stale (an in-flight-fill race):
+                    // displace the true owner as well.
+                    self.l1d[owner as usize].invalidate(line);
+                }
+                if !w.invalidate.is_empty() {
+                    self.trace(TraceEvent::Upgrade {
+                        core: c,
+                        line,
+                        copies: w.invalidate.len() as u32,
+                    });
+                }
+                self.l1d[c].set_state(line, LineState::Modified);
+                let grant = self.addr_bus.acquire(now + self.config.l1d.latency, cmd);
+                // The invalidation round trip serializes against other
+                // transfers of this line at the directory.
+                let busy = self.config.upgrade_busy;
+                let g = self.line_acquire(line, grant + cmd, busy);
+                Ok(StoreOutcome::Done(g + busy))
+            }
+            None => {
+                let start = now + self.config.l1d.latency;
+                match self.miss_path(c, line, AccessKind::DWrite, start, purpose)? {
+                    Access::Pending => Ok(StoreOutcome::Pending),
+                    Access::Parked => unreachable!("DWrite park is rejected in miss_path"),
+                }
+            }
+        }
+    }
+
+    /// FIFO-acquire the per-line coherence serialization point.
+    fn line_acquire(&mut self, line: u64, t: u64, occupancy: u64) -> u64 {
+        let cursor = self.line_busy.entry(line).or_insert(0);
+        let grant = t.max(*cursor);
+        *cursor = grant + occupancy;
+        grant
+    }
+
+    fn clear_links(&mut self, line: u64) {
+        for core in &mut self.cores {
+            if core.link == Some(line) {
+                core.link = None;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Instruction execution
+    // ------------------------------------------------------------------
+
+    fn finish(&mut self, c: usize, cost: u64, next_pc: u64) {
+        self.cores[c].pc = next_pc;
+        self.cores[c].stats.instructions += 1;
+        let at = self.now + cost;
+        self.schedule(at, Ev::CoreReady(c));
+    }
+
+    /// Retire an instruction whose cost is divided by an issue width
+    /// (superscalar approximation): costs accumulate in twelfths of a
+    /// cycle, advancing the clock only when a whole cycle accrues.
+    fn finish_scaled(&mut self, c: usize, cost: u64, width: u64, next_pc: u64) {
+        let units = self.cores[c].issue_frac + cost * 12 / width.max(1);
+        self.cores[c].issue_frac = units % 12;
+        self.finish(c, units / 12, next_pc);
+    }
+
+    fn finish_at(&mut self, c: usize, at: u64, next_pc: u64) {
+        self.cores[c].pc = next_pc;
+        self.cores[c].stats.instructions += 1;
+        self.schedule(at, Ev::CoreReady(c));
+    }
+
+    fn step_core(&mut self, c: usize) -> Result<(), SimError> {
+        if self.cores[c].halted || self.cores[c].waiting != Waiting::None {
+            return Ok(());
+        }
+        let now = self.now;
+        let pc = self.cores[c].pc;
+
+        // Instruction fetch through the L1I, with a same-line fast path.
+        let fetch_line = line_of(pc);
+        if self.cores[c].last_ifetch_line != Some(fetch_line) {
+            if self.l1i[c].lookup(fetch_line).is_some() {
+                self.cores[c].last_ifetch_line = Some(fetch_line);
+            } else {
+                let start = now + self.config.l1i.latency;
+                let access =
+                    self.miss_path(c, fetch_line, AccessKind::IFetch, start, FillPurpose::Resume)?;
+                self.cores[c].waiting = Waiting::Fill {
+                    line: fetch_line,
+                    cont: Continuation::IFetch,
+                    parked: matches!(access, Access::Parked),
+                };
+                return Ok(());
+            }
+        }
+
+        let Some(instr) = self.program.fetch(pc) else {
+            return Err(SimError::IllegalPc { core: c, pc });
+        };
+        let t = self.config.timing;
+        let next = pc + sim_isa::INSTR_BYTES;
+
+        let width = t.issue_width;
+        macro_rules! alu {
+            ($cost:expr, $rd:expr, $val:expr) => {{
+                let v = $val;
+                self.cores[c].set_reg($rd, v);
+                self.finish_scaled(c, $cost, width, next);
+            }};
+        }
+        macro_rules! falu {
+            ($cost:expr, $fd:expr, $val:expr) => {{
+                let v = $val;
+                self.cores[c].set_freg($fd, v);
+                self.finish_scaled(c, $cost, width, next);
+            }};
+        }
+
+        let r = |r: Reg| self.cores[c].reg(r);
+        let fr = |f| self.cores[c].freg(f);
+
+        match instr {
+            Instr::Add(d, a, b) => alu!(t.int_op, d, r(a).wrapping_add(r(b))),
+            Instr::Sub(d, a, b) => alu!(t.int_op, d, r(a).wrapping_sub(r(b))),
+            Instr::Mul(d, a, b) => alu!(t.mul, d, r(a).wrapping_mul(r(b))),
+            Instr::Div(d, a, b) => {
+                if r(b) == 0 {
+                    return Err(SimError::DivisionByZero { core: c, pc });
+                }
+                alu!(t.div, d, (r(a) as i64).wrapping_div(r(b) as i64) as u64)
+            }
+            Instr::Rem(d, a, b) => {
+                if r(b) == 0 {
+                    return Err(SimError::DivisionByZero { core: c, pc });
+                }
+                alu!(t.div, d, (r(a) as i64).wrapping_rem(r(b) as i64) as u64)
+            }
+            Instr::And(d, a, b) => alu!(t.int_op, d, r(a) & r(b)),
+            Instr::Or(d, a, b) => alu!(t.int_op, d, r(a) | r(b)),
+            Instr::Xor(d, a, b) => alu!(t.int_op, d, r(a) ^ r(b)),
+            Instr::Sll(d, a, b) => alu!(t.int_op, d, r(a) << (r(b) & 63)),
+            Instr::Srl(d, a, b) => alu!(t.int_op, d, r(a) >> (r(b) & 63)),
+            Instr::Sra(d, a, b) => alu!(t.int_op, d, ((r(a) as i64) >> (r(b) & 63)) as u64),
+            Instr::Slt(d, a, b) => alu!(t.int_op, d, ((r(a) as i64) < (r(b) as i64)) as u64),
+            Instr::Sltu(d, a, b) => alu!(t.int_op, d, (r(a) < r(b)) as u64),
+            Instr::Min(d, a, b) => alu!(t.int_op, d, (r(a) as i64).min(r(b) as i64) as u64),
+            Instr::Max(d, a, b) => alu!(t.int_op, d, (r(a) as i64).max(r(b) as i64) as u64),
+            Instr::Addi(d, a, i) => alu!(t.int_op, d, r(a).wrapping_add(i as u64)),
+            Instr::Andi(d, a, i) => alu!(t.int_op, d, r(a) & i as u64),
+            Instr::Ori(d, a, i) => alu!(t.int_op, d, r(a) | i as u64),
+            Instr::Xori(d, a, i) => alu!(t.int_op, d, r(a) ^ i as u64),
+            Instr::Slli(d, a, s) => alu!(t.int_op, d, r(a) << (s & 63)),
+            Instr::Srli(d, a, s) => alu!(t.int_op, d, r(a) >> (s & 63)),
+            Instr::Srai(d, a, s) => alu!(t.int_op, d, ((r(a) as i64) >> (s & 63)) as u64),
+            Instr::Slti(d, a, i) => alu!(t.int_op, d, ((r(a) as i64) < i) as u64),
+            Instr::Li(d, i) => alu!(t.int_op, d, i as u64),
+
+            Instr::Fadd(d, a, b) => falu!(t.fp_op, d, fr(a) + fr(b)),
+            Instr::Fsub(d, a, b) => falu!(t.fp_op, d, fr(a) - fr(b)),
+            Instr::Fmul(d, a, b) => falu!(t.fp_op, d, fr(a) * fr(b)),
+            Instr::Fdiv(d, a, b) => falu!(t.fp_div, d, fr(a) / fr(b)),
+            Instr::Fmadd(d, a, b, e) => falu!(t.fp_op, d, fr(a).mul_add(fr(b), fr(e))),
+            Instr::Fneg(d, a) => falu!(t.fp_op, d, -fr(a)),
+            Instr::Fmov(d, a) => falu!(t.int_op, d, fr(a)),
+            Instr::Fli(d, v) => falu!(t.int_op, d, v),
+            Instr::Fcvtif(d, a) => falu!(t.fp_op, d, r(a) as i64 as f64),
+            Instr::Fcvtfi(d, a) => alu!(t.fp_op, d, fr(a) as i64 as u64),
+            Instr::Feq(d, a, b) => alu!(t.fp_op, d, (fr(a) == fr(b)) as u64),
+            Instr::Flt(d, a, b) => alu!(t.fp_op, d, (fr(a) < fr(b)) as u64),
+            Instr::Fle(d, a, b) => alu!(t.fp_op, d, (fr(a) <= fr(b)) as u64),
+
+            Instr::Ld(rd, base, off, width) => {
+                self.exec_load(c, rd, base, off, width, false, next)?;
+            }
+            Instr::Ll(rd, base, off) => {
+                self.exec_load(c, rd, base, off, MemWidth::D, true, next)?;
+            }
+            Instr::Fld(fd, base, off) => {
+                let addr = r(base).wrapping_add(off as u64);
+                self.check_aligned(c, pc, addr, 8)?;
+                let line = line_of(addr);
+                self.cores[c].stats.loads += 1;
+                if self.l1d[c].lookup(line).is_some() {
+                    let v = self.mem.read_f64(addr);
+                    self.cores[c].set_freg(fd, v);
+                    let cost = t.load.max(self.config.l1d.latency);
+                    self.finish_scaled(c, cost, t.mem_ports, next);
+                } else {
+                    let access =
+                        self.miss_path(c, line, AccessKind::DRead, now + t.load, FillPurpose::Resume)?;
+                    self.cores[c].pc = next;
+                    self.cores[c].stats.instructions += 1;
+                    self.cores[c].waiting = Waiting::Fill {
+                        line,
+                        cont: Continuation::FLoad { fd, addr },
+                        parked: matches!(access, Access::Parked),
+                    };
+                }
+            }
+            Instr::St(src, base, off, width) => {
+                let addr = r(base).wrapping_add(off as u64);
+                self.exec_store(c, pc, addr, width, r(src), next)?;
+            }
+            Instr::Fst(fs, base, off) => {
+                let addr = r(base).wrapping_add(off as u64);
+                let bits = fr(fs).to_bits();
+                self.exec_store(c, pc, addr, MemWidth::D, bits, next)?;
+            }
+            Instr::Sc(rd, src, base, off) => {
+                let addr = r(base).wrapping_add(off as u64);
+                self.check_aligned(c, pc, addr, 8)?;
+                if self.program.contains_code(addr) {
+                    return Err(SimError::CodeRegionWrite { core: c, pc, addr });
+                }
+                let line = line_of(addr);
+                if self.cores[c].link != Some(line) {
+                    // Fast fail: the reservation is already gone.
+                    self.cores[c].set_reg(rd, 0);
+                    self.finish(c, t.int_op, next);
+                } else {
+                    // The store-conditional blocks until it holds the line
+                    // exclusively; success is decided then (see the `Sc`
+                    // continuation).
+                    let cont = Continuation::Sc {
+                        rd,
+                        src: r(src),
+                        addr,
+                    };
+                    let start = now + t.store_issue;
+                    let cmd = self.config.bus.cmd_cycles;
+                    match self.l1d[c].lookup(line) {
+                        Some(LineState::Modified) => {
+                            self.cores[c].mshr_used += 1;
+                            self.cores[c].note_mshr();
+                            self.schedule(
+                                start + self.config.l1d.latency,
+                                Ev::FillDone {
+                                    core: c,
+                                    line,
+                                    error: false,
+                                },
+                            );
+                        }
+                        Some(LineState::Shared) => {
+                            let w = self.dir.write(c as u8, line);
+                            for &sh in &w.invalidate {
+                                self.l1d[sh as usize].invalidate(line);
+                            }
+                            if let Some(owner) = w.dirty_owner {
+                                self.l1d[owner as usize].invalidate(line);
+                            }
+                            if !w.invalidate.is_empty() {
+                                self.trace(TraceEvent::Upgrade {
+                                    core: c,
+                                    line,
+                                    copies: w.invalidate.len() as u32,
+                                });
+                            }
+                            self.l1d[c].set_state(line, LineState::Modified);
+                            let grant = self.addr_bus.acquire(start, cmd);
+                            let busy = self.config.upgrade_busy;
+                            let g = self.line_acquire(line, grant + cmd, busy);
+                            self.cores[c].mshr_used += 1;
+                            self.cores[c].note_mshr();
+                            self.schedule(
+                                g + busy,
+                                Ev::FillDone {
+                                    core: c,
+                                    line,
+                                    error: false,
+                                },
+                            );
+                        }
+                        None => {
+                            match self.miss_path(
+                                c,
+                                line,
+                                AccessKind::DWrite,
+                                start,
+                                FillPurpose::Resume,
+                            )? {
+                                Access::Pending => {}
+                                Access::Parked => {
+                                    unreachable!("DWrite park is rejected in miss_path")
+                                }
+                            }
+                        }
+                    }
+                    self.cores[c].pc = next;
+                    self.cores[c].stats.instructions += 1;
+                    self.cores[c].waiting = Waiting::Fill {
+                        line,
+                        cont,
+                        parked: false,
+                    };
+                }
+            }
+
+            Instr::Beq(a, b, tg) => self.branch(c, r(a) == r(b), tg.0, next),
+            Instr::Bne(a, b, tg) => self.branch(c, r(a) != r(b), tg.0, next),
+            Instr::Blt(a, b, tg) => self.branch(c, (r(a) as i64) < (r(b) as i64), tg.0, next),
+            Instr::Bge(a, b, tg) => self.branch(c, (r(a) as i64) >= (r(b) as i64), tg.0, next),
+            Instr::Bltu(a, b, tg) => self.branch(c, r(a) < r(b), tg.0, next),
+            Instr::Bgeu(a, b, tg) => self.branch(c, r(a) >= r(b), tg.0, next),
+            Instr::Jal(rd, tg) => {
+                self.cores[c].set_reg(rd, next);
+                self.finish(c, t.branch + t.branch_taken_penalty, tg.0);
+            }
+            Instr::Jalr(rd, base, off) => {
+                let target = r(base).wrapping_add(off as u64);
+                self.cores[c].set_reg(rd, next);
+                self.finish(c, t.branch + t.branch_taken_penalty, target);
+            }
+
+            Instr::Sync => {
+                if self.cores[c].store_buffer.is_empty() {
+                    self.finish(c, t.fence, next);
+                } else {
+                    self.cores[c].pc = next;
+                    self.cores[c].stats.instructions += 1;
+                    self.cores[c].waiting = Waiting::Fence { residual: t.fence };
+                }
+            }
+            Instr::Isync => {
+                self.cores[c].last_ifetch_line = None;
+                self.finish(c, t.isync, next);
+            }
+            Instr::Icbi(base, off) => {
+                let addr = r(base).wrapping_add(off as u64);
+                self.exec_invalidate(c, addr, true, next);
+            }
+            Instr::Dcbi(base, off) => {
+                let addr = r(base).wrapping_add(off as u64);
+                self.exec_invalidate(c, addr, false, next);
+            }
+            Instr::HwBar(id) => {
+                if !self.hwnet.has_group(id) {
+                    return Err(SimError::UnknownHwBarrier { core: c, id });
+                }
+                if !self.hwnet.is_member(id, c) {
+                    return Err(SimError::HwBarrierWrongCore { core: c, id });
+                }
+                self.cores[c].pc = next;
+                self.cores[c].stats.instructions += 1;
+                match self.hwnet.arrive(id, c, now) {
+                    HwBarResult::Stall => {
+                        self.cores[c].waiting = Waiting::HwBar;
+                    }
+                    HwBarResult::Release(list) => {
+                        for (core, at) in list {
+                            self.cores[core].waiting = Waiting::None;
+                            self.schedule(at, Ev::CoreReady(core));
+                        }
+                    }
+                }
+            }
+
+            Instr::Halt => {
+                self.cores[c].halted = true;
+                self.cores[c].stats.instructions += 1;
+                self.cores[c].stats.halt_cycle = Some(now);
+            }
+            Instr::Nop => self.finish(c, t.int_op, next),
+        }
+        Ok(())
+    }
+
+    fn branch(&mut self, c: usize, taken: bool, target: u64, next: u64) {
+        let t = self.config.timing;
+        if taken {
+            self.finish(c, t.branch + t.branch_taken_penalty, target);
+        } else {
+            self.finish(c, t.branch, next);
+        }
+    }
+
+    fn check_aligned(&self, c: usize, pc: u64, addr: u64, width: u64) -> Result<(), SimError> {
+        if addr % width != 0 {
+            return Err(SimError::UnalignedAccess {
+                core: c,
+                pc,
+                addr,
+                width,
+            });
+        }
+        Ok(())
+    }
+
+    fn exec_load(
+        &mut self,
+        c: usize,
+        rd: Reg,
+        base: Reg,
+        off: i64,
+        width: MemWidth,
+        set_link: bool,
+        next: u64,
+    ) -> Result<(), SimError> {
+        let now = self.now;
+        let pc = self.cores[c].pc;
+        let t = self.config.timing;
+        let addr = self.cores[c].reg(base).wrapping_add(off as u64);
+        self.check_aligned(c, pc, addr, width.bytes())?;
+        let line = line_of(addr);
+        self.cores[c].stats.loads += 1;
+        if self.l1d[c].lookup(line).is_some() {
+            let v = self.mem.read_le(addr, width.bytes() as usize);
+            self.cores[c].set_reg(rd, v);
+            if set_link {
+                self.cores[c].link = Some(line);
+            }
+            let cost = t.load.max(self.config.l1d.latency);
+            self.finish_scaled(c, cost, t.mem_ports, next);
+            return Ok(());
+        }
+        let access = self.miss_path(c, line, AccessKind::DRead, now + t.load, FillPurpose::Resume)?;
+        self.cores[c].pc = next;
+        self.cores[c].stats.instructions += 1;
+        self.cores[c].waiting = Waiting::Fill {
+            line,
+            cont: Continuation::Load {
+                rd,
+                addr,
+                width,
+                set_link,
+            },
+            parked: matches!(access, Access::Parked),
+        };
+        Ok(())
+    }
+
+    fn exec_store(
+        &mut self,
+        c: usize,
+        pc: u64,
+        addr: u64,
+        width: MemWidth,
+        value: u64,
+        next: u64,
+    ) -> Result<(), SimError> {
+        let now = self.now;
+        let t = self.config.timing;
+        self.check_aligned(c, pc, addr, width.bytes())?;
+        if self.program.contains_code(addr) {
+            return Err(SimError::CodeRegionWrite { core: c, pc, addr });
+        }
+        if self.cores[c].store_buffer.len() >= self.config.store_buffer_entries {
+            // Re-execute once a slot frees.
+            self.cores[c].waiting = Waiting::StoreSlot;
+            return Ok(());
+        }
+        let line = line_of(addr);
+        self.mem.write_le(addr, width.bytes() as usize, value);
+        self.clear_links(line);
+        self.cores[c].stats.stores += 1;
+        self.cores[c].store_buffer.push_back(line);
+        if !self.cores[c].draining {
+            self.cores[c].draining = true;
+            match self.store_path(c, line, now + t.store_issue, FillPurpose::StoreDrain)? {
+                StoreOutcome::Done(at) => self.schedule(at, Ev::StoreRetire(c)),
+                StoreOutcome::Pending => {}
+            }
+        }
+        self.finish_scaled(c, t.store_issue, t.mem_ports, next);
+        Ok(())
+    }
+
+    fn exec_invalidate(&mut self, c: usize, addr: u64, icache: bool, next: u64) {
+        let now = self.now;
+        let t = self.config.timing;
+        let line = line_of(addr);
+        self.cores[c].stats.invalidates += 1;
+        self.trace(TraceEvent::Invalidate {
+            core: c,
+            line,
+            icache,
+        });
+        if icache {
+            for i in 0..self.cores.len() {
+                self.l1i[i].invalidate(line);
+                if self.cores[i].last_ifetch_line == Some(line) {
+                    self.cores[i].last_ifetch_line = None;
+                }
+            }
+        } else {
+            let (holders, dirty) = self.dir.invalidate_all(line);
+            for h in holders {
+                self.l1d[h as usize].invalidate(line);
+            }
+            if dirty {
+                // Writeback of the dirty copy (bus occupancy only).
+                self.data_bus.acquire(now, self.config.bus.data_cycles);
+            }
+            self.clear_links(line);
+        }
+        let bank = self.config.bank_of(line);
+        self.l2[bank].invalidate(line);
+        self.l3.invalidate(line);
+        let grant = self.addr_bus.acquire(now + t.invalidate_issue, self.config.bus.cmd_cycles);
+        let done = grant + self.config.bus.cmd_cycles;
+        // The invalidation message reaches the bank controller one cycle
+        // after leaving the bus — the same pipe fills traverse, preserving
+        // invalidate-before-fill ordering per issuing core.
+        self.schedule(done + 1, Ev::HookInvalidate { bank, line });
+        self.finish_at(c, done, next);
+    }
+}
+
+fn mask_for(width: MemWidth) -> u64 {
+    match width {
+        MemWidth::B => 0xff,
+        MemWidth::H => 0xffff,
+        MemWidth::W => 0xffff_ffff,
+        MemWidth::D => u64::MAX,
+    }
+}

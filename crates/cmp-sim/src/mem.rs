@@ -1,0 +1,177 @@
+//! Functional (value-carrying) memory.
+//!
+//! The caches in this simulator are timing-only: data always lives here, in
+//! a sparse paged byte store, so that every kernel's numeric output can be
+//! checked against a host reference regardless of how the timing model
+//! reorders misses and fills.
+
+use std::collections::HashMap;
+
+const PAGE_BYTES: usize = 4096;
+const PAGE_SHIFT: u32 = 12;
+
+/// Sparse, paged, byte-addressable memory.
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl Memory {
+    /// Create an empty memory; pages materialize (zero-filled) on first
+    /// write, and reads of untouched pages return zero.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_BYTES]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_BYTES] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]))
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.page(addr)
+            .map_or(0, |p| p[(addr as usize) & (PAGE_BYTES - 1)])
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let p = self.page_mut(addr);
+        p[(addr as usize) & (PAGE_BYTES - 1)] = value;
+    }
+
+    /// Read `n <= 8` bytes little-endian, zero-extended to u64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8`.
+    pub fn read_le(&self, addr: u64, n: usize) -> u64 {
+        assert!(n <= 8, "read wider than 8 bytes");
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= (self.read_u8(addr + i as u64) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Write the low `n <= 8` bytes of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8`.
+    pub fn write_le(&mut self, addr: u64, n: usize, value: u64) {
+        assert!(n <= 8, "write wider than 8 bytes");
+        for i in 0..n {
+            self.write_u8(addr + i as u64, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Read a u64.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_le(addr, 8)
+    }
+
+    /// Write a u64.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_le(addr, 8, value);
+    }
+
+    /// Read an f64 (bit pattern).
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Write an f64 (bit pattern).
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Read `n` consecutive f64 values starting at `addr`.
+    pub fn read_f64_slice(&self, addr: u64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.read_f64(addr + 8 * i as u64)).collect()
+    }
+
+    /// Write consecutive f64 values starting at `addr`.
+    pub fn write_f64_slice(&mut self, addr: u64, values: &[f64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_f64(addr + 8 * i as u64, v);
+        }
+    }
+
+    /// Read `n` consecutive u64 values starting at `addr`.
+    pub fn read_u64_slice(&self, addr: u64, n: usize) -> Vec<u64> {
+        (0..n).map(|i| self.read_u64(addr + 8 * i as u64)).collect()
+    }
+
+    /// Write consecutive u64 values starting at `addr`.
+    pub fn write_u64_slice(&mut self, addr: u64, values: &[u64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_u64(addr + 8 * i as u64, v);
+        }
+    }
+
+    /// Number of pages materialized so far (diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_u64(0xdead_b000), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut m = Memory::new();
+        m.write_u64(0x1000, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u64(0x1000), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u8(0x1000), 0xef, "little endian");
+        assert_eq!(m.read_le(0x1000, 4), 0x89ab_cdef);
+    }
+
+    #[test]
+    fn partial_width_write_preserves_neighbours() {
+        let mut m = Memory::new();
+        m.write_u64(0x40, u64::MAX);
+        m.write_le(0x42, 2, 0);
+        assert_eq!(m.read_u64(0x40), 0xffff_ffff_0000_ffff);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        // straddles the 4 KiB page boundary
+        m.write_u64(0x0fff_fffc, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(0x0fff_fffc), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let mut m = Memory::new();
+        m.write_f64(0x100, -1234.5e-6);
+        assert_eq!(m.read_f64(0x100), -1234.5e-6);
+        let vals = [1.0, 2.5, -3.75];
+        m.write_f64_slice(0x200, &vals);
+        assert_eq!(m.read_f64_slice(0x200, 3), vals);
+    }
+
+    #[test]
+    fn u64_slice_round_trip() {
+        let mut m = Memory::new();
+        m.write_u64_slice(0x300, &[1, 2, 3]);
+        assert_eq!(m.read_u64_slice(0x300, 3), vec![1, 2, 3]);
+    }
+}

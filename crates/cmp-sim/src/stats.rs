@@ -1,0 +1,144 @@
+//! Whole-machine statistics snapshots.
+
+use crate::bus::ResourceStats;
+use crate::cache::CacheStats;
+use crate::coherence::DirectoryStats;
+use crate::core::CoreStats;
+use crate::hwnet::HwNetStats;
+
+/// Result of a completed simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Cycle at which the last core halted.
+    pub cycles: u64,
+    /// Total instructions retired across all cores.
+    pub instructions: u64,
+}
+
+impl RunSummary {
+    /// Aggregate instructions-per-cycle across the whole machine.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Point-in-time snapshot of every counter in the machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineStats {
+    /// Current simulation cycle.
+    pub cycles: u64,
+    /// Per-core retirement counters.
+    pub cores: Vec<CoreStats>,
+    /// Per-core L1 data cache counters.
+    pub l1d: Vec<CacheStats>,
+    /// Per-core L1 instruction cache counters.
+    pub l1i: Vec<CacheStats>,
+    /// Per-bank L2 counters.
+    pub l2: Vec<CacheStats>,
+    /// L3 counters.
+    pub l3: CacheStats,
+    /// Address/command network utilization.
+    pub addr_bus: ResourceStats,
+    /// Data network utilization.
+    pub data_bus: ResourceStats,
+    /// Per-bank hook-port utilization.
+    pub hook_ports: Vec<ResourceStats>,
+    /// Coherence directory counters.
+    pub directory: DirectoryStats,
+    /// Dedicated barrier network counters.
+    pub hw_network: HwNetStats,
+}
+
+impl MachineStats {
+    /// Total instructions retired across cores.
+    pub fn instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Total L1D misses across cores.
+    pub fn l1d_misses(&self) -> u64 {
+        self.l1d.iter().map(|c| c.misses).sum()
+    }
+
+    /// Total fills parked at bank hooks (barrier filter starvations).
+    pub fn fills_parked(&self) -> u64 {
+        self.cores.iter().map(|c| c.fills_parked).sum()
+    }
+}
+
+/// Memory-system trace events, recorded when
+/// [`SimConfig::trace`](crate::SimConfig) is enabled. Used by tests to
+/// assert *mechanisms* (e.g. "spinning generates no bus traffic", "the
+/// filter parked exactly one fill per thread per barrier").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A data-side miss left core `core` for `line`.
+    DMiss {
+        /// Requesting core.
+        core: usize,
+        /// Line address.
+        line: u64,
+    },
+    /// An instruction-side miss left core `core` for `line`.
+    IMiss {
+        /// Requesting core.
+        core: usize,
+        /// Line address.
+        line: u64,
+    },
+    /// An `icbi`/`dcbi` invalidation message was sent for `line`.
+    Invalidate {
+        /// Issuing core.
+        core: usize,
+        /// Line address.
+        line: u64,
+        /// True for `icbi`.
+        icache: bool,
+    },
+    /// A fill was parked at a bank hook.
+    Parked {
+        /// Requesting core.
+        core: usize,
+        /// Line address.
+        line: u64,
+    },
+    /// A parked fill was released (serviced) by a bank hook.
+    Released {
+        /// Requesting core.
+        core: usize,
+        /// Line address.
+        line: u64,
+    },
+    /// An upgrade invalidated `copies` shared copies of `line`.
+    Upgrade {
+        /// Writing core.
+        core: usize,
+        /// Line address.
+        line: u64,
+        /// Number of remote copies invalidated.
+        copies: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let s = RunSummary {
+            cycles: 0,
+            instructions: 0,
+        };
+        assert_eq!(s.ipc(), 0.0);
+        let s = RunSummary {
+            cycles: 100,
+            instructions: 50,
+        };
+        assert_eq!(s.ipc(), 0.5);
+    }
+}

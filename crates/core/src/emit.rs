@@ -1,0 +1,468 @@
+//! Assembly emitters for the barrier runtime library.
+//!
+//! Each emitter appends one callable routine (`jal ra, <label>` … `ret`) to
+//! the program and returns its label. Routines follow a fixed clobber
+//! convention so kernels can keep state live across barrier calls:
+//!
+//! > **Barrier routines may clobber `ra`, `k0`, `k1`, `t6`–`t9` only.**
+//!
+//! Every routine is preceded by a jump over its own body, so falling off the
+//! end of earlier code can never execute a barrier routine by accident.
+
+use sim_isa::{Asm, AsmError, Reg, INSTRS_PER_LINE, INSTR_BYTES, LINE_BYTES};
+
+/// Per-thread arrival (or exit) line for a range based at `base`:
+/// `base + tid * 64`, computed into `k0` (clobbers `k1`).
+fn per_thread_line(a: &mut Asm, base: u64) {
+    a.li(Reg::K0, base as i64);
+    a.slli(Reg::K1, Reg::TID, 6);
+    a.add(Reg::K0, Reg::K0, Reg::K1);
+}
+
+/// Emit the centralized sense-reversal software barrier (§4's baseline):
+/// one LL/SC fetch-and-increment on a counter line, the last thread resets
+/// the counter and toggles a release flag line, everyone else spins locally
+/// on the flag.
+///
+/// # Errors
+///
+/// Propagates assembler label errors.
+pub fn sw_central(
+    a: &mut Asm,
+    id: usize,
+    counter: u64,
+    flag: u64,
+    tls_off: i64,
+) -> Result<String, AsmError> {
+    let entry = format!("bar{id}_sw_central");
+    let skip = format!("bar{id}_skip");
+    a.j(skip.as_str());
+    a.label(&entry)?;
+    // sense ^= 1 (thread-local line: no coherence traffic)
+    a.ldd(Reg::T8, Reg::TLS, tls_off);
+    a.xori(Reg::T8, Reg::T8, 1);
+    a.std(Reg::T8, Reg::TLS, tls_off);
+    // fetch-and-increment the counter with ldq_l/stq_c
+    a.li(Reg::K0, counter as i64);
+    a.label(format!("bar{id}_retry").as_str())?;
+    a.ll(Reg::T9, Reg::K0, 0);
+    a.addi(Reg::T9, Reg::T9, 1);
+    a.sc(Reg::K1, Reg::T9, Reg::K0, 0);
+    a.beq(Reg::K1, Reg::ZERO, format!("bar{id}_retry").as_str());
+    a.bne(Reg::T9, Reg::NTID, format!("bar{id}_wait").as_str());
+    // last arrival: reset the counter, then toggle the release flag
+    a.std(Reg::ZERO, Reg::K0, 0);
+    a.li(Reg::K0, flag as i64);
+    a.std(Reg::T8, Reg::K0, 0);
+    a.ret();
+    a.label(format!("bar{id}_wait").as_str())?;
+    a.li(Reg::K0, flag as i64);
+    a.label(format!("bar{id}_spin").as_str())?;
+    a.ldd(Reg::K1, Reg::K0, 0);
+    a.bne(Reg::K1, Reg::T8, format!("bar{id}_spin").as_str());
+    a.ret();
+    a.label(&skip)?;
+    Ok(entry)
+}
+
+/// Emit the binary combining-tree software barrier: "a binary
+/// combining-tree of such barriers" (§4) — each tree node is a two-thread
+/// centralized sense-reversal barrier (LL/SC counter + release flag, every
+/// one on its own cache line).
+///
+/// The last thread to increment a node's counter resets it and ascends;
+/// the first spins on the node's flag. The thread that clears the root
+/// (or a spinner once released) walks back down, toggling the flag of
+/// every node it passed on the way up.
+///
+/// Node `(level, id)`'s counter lives at `counters + (level*T + id) * 64`
+/// and its flag at the same offset from `flags`.
+///
+/// # Errors
+///
+/// Propagates assembler label errors.
+pub fn sw_tree(
+    a: &mut Asm,
+    id: usize,
+    counters: u64,
+    flags: u64,
+    tls_off: i64,
+) -> Result<String, AsmError> {
+    let entry = format!("bar{id}_sw_tree");
+    let skip = format!("bar{id}_skip");
+    let ascend = format!("bar{id}_ascend");
+    let retry = format!("bar{id}_retry");
+    let spin = format!("bar{id}_spin");
+    let last = format!("bar{id}_last");
+    let up = format!("bar{id}_up");
+    let descend = format!("bar{id}_descend");
+    let ddown = format!("bar{id}_ddown");
+    let done = format!("bar{id}_done");
+
+    a.j(skip.as_str());
+    a.label(&entry)?;
+    // sense ^= 1
+    a.ldd(Reg::T8, Reg::TLS, tls_off);
+    a.xori(Reg::T8, Reg::T8, 1);
+    a.std(Reg::T8, Reg::TLS, tls_off);
+    a.li(Reg::T6, 0); // level
+    a.label(&ascend)?;
+    // node = tid >> (level+1); partner subtree base = ((node<<1)|1) << level
+    a.addi(Reg::T7, Reg::T6, 1);
+    a.srl(Reg::T9, Reg::TID, Reg::T7);
+    a.slli(Reg::K1, Reg::T9, 1);
+    a.ori(Reg::K1, Reg::K1, 1);
+    a.sll(Reg::K1, Reg::K1, Reg::T6);
+    a.bge(Reg::K1, Reg::NTID, up.as_str()); // no partner: ascend directly
+    // t7 = byte offset of node (level*T + node) * 64
+    a.mul(Reg::T7, Reg::T6, Reg::NTID);
+    a.add(Reg::T7, Reg::T7, Reg::T9);
+    a.slli(Reg::T7, Reg::T7, 6);
+    // fetch-and-increment the node counter with ldq_l/stq_c
+    a.li(Reg::K0, counters as i64);
+    a.add(Reg::K0, Reg::K0, Reg::T7);
+    a.label(&retry)?;
+    a.ll(Reg::T9, Reg::K0, 0);
+    a.addi(Reg::T9, Reg::T9, 1);
+    a.sc(Reg::K1, Reg::T9, Reg::K0, 0);
+    a.beq(Reg::K1, Reg::ZERO, retry.as_str());
+    a.li(Reg::K1, 2);
+    a.beq(Reg::T9, Reg::K1, last.as_str());
+    // first arriver: spin on this node's flag
+    a.li(Reg::K0, flags as i64);
+    a.add(Reg::K0, Reg::K0, Reg::T7);
+    a.label(&spin)?;
+    a.ldd(Reg::T9, Reg::K0, 0);
+    a.bne(Reg::T9, Reg::T8, spin.as_str());
+    a.j(descend.as_str());
+    a.label(&last)?;
+    // last arriver: reset the counter, ascend
+    a.std(Reg::ZERO, Reg::K0, 0);
+    a.label(&up)?;
+    a.addi(Reg::T6, Reg::T6, 1);
+    a.li(Reg::T9, 1);
+    a.sll(Reg::T9, Reg::T9, Reg::T6);
+    a.blt(Reg::T9, Reg::NTID, ascend.as_str());
+    a.label(&descend)?;
+    // release every node passed on the way up: levels (level-1) .. 0
+    a.addi(Reg::T6, Reg::T6, -1);
+    a.label(&ddown)?;
+    a.blt(Reg::T6, Reg::ZERO, done.as_str());
+    a.addi(Reg::T7, Reg::T6, 1);
+    a.srl(Reg::T9, Reg::TID, Reg::T7);
+    a.mul(Reg::T7, Reg::T6, Reg::NTID);
+    a.add(Reg::T7, Reg::T7, Reg::T9);
+    a.slli(Reg::T7, Reg::T7, 6);
+    a.li(Reg::K0, flags as i64);
+    a.add(Reg::K0, Reg::K0, Reg::T7);
+    a.std(Reg::T8, Reg::K0, 0);
+    a.addi(Reg::T6, Reg::T6, -1);
+    a.j(ddown.as_str());
+    a.label(&done)?;
+    a.ret();
+    a.label(&skip)?;
+    Ok(entry)
+}
+
+/// Emit the D-cache filter barrier, entry/exit variant (§3.4.2):
+///
+/// ```text
+/// sync                      ; order prior memory ops, flush pipeline
+/// dcbi  A(tid)              ; signal arrival, purge stale copies
+/// isync                     ; discard prefetched data
+/// ldd   k1, 0(A(tid))       ; starved until the barrier opens
+/// sync                      ; no later memory op may pass the load
+/// dcbi  E(tid)              ; signal exit
+/// ```
+///
+/// # Errors
+///
+/// Propagates assembler label errors.
+pub fn filter_d(a: &mut Asm, id: usize, a_base: u64, e_base: u64) -> Result<String, AsmError> {
+    let entry = format!("bar{id}_filter_d");
+    let skip = format!("bar{id}_skip");
+    a.j(skip.as_str());
+    a.label(&entry)?;
+    a.sync();
+    per_thread_line(a, a_base);
+    a.dcbi(Reg::K0, 0);
+    a.isync();
+    a.ldd(Reg::K1, Reg::K0, 0);
+    a.sync();
+    per_thread_line(a, e_base);
+    a.dcbi(Reg::K0, 0);
+    a.ret();
+    a.label(&skip)?;
+    Ok(entry)
+}
+
+/// Emit the *checked* D-cache filter barrier: identical to
+/// [`filter_d`], but the loaded arrival value is compared against the
+/// hardware-timeout error sentinel and the fill is re-issued on an error
+/// reply — the "retry the barrier" option of §3.3.4 ("the filter may
+/// generate a reply with an error code embedded in the response to the
+/// fill request. Upon receipt of an error code, the error-checking code in
+/// the barrier implementation could either retry the barrier or cause an
+/// exception").
+///
+/// # Errors
+///
+/// Propagates assembler label errors.
+pub fn filter_d_checked(
+    a: &mut Asm,
+    id: usize,
+    a_base: u64,
+    e_base: u64,
+) -> Result<String, AsmError> {
+    let entry = format!("bar{id}_filter_d_checked");
+    let skip = format!("bar{id}_skip");
+    let retry = format!("bar{id}_eretry");
+    a.j(skip.as_str());
+    a.label(&entry)?;
+    a.sync();
+    per_thread_line(a, a_base);
+    a.dcbi(Reg::K0, 0);
+    a.isync();
+    a.label(&retry)?;
+    a.ldd(Reg::K1, Reg::K0, 0);
+    a.li(Reg::T9, cmp_sim::FILL_ERROR_SENTINEL as i64);
+    a.beq(Reg::K1, Reg::T9, retry.as_str()); // error reply: re-issue
+    a.sync();
+    per_thread_line(a, e_base);
+    a.dcbi(Reg::K0, 0);
+    a.ret();
+    a.label(&skip)?;
+    Ok(entry)
+}
+
+/// Emit the D-cache ping-pong filter barrier (§3.5): two arrival ranges,
+/// the thread alternating between them under a TLS sense bit, one
+/// invalidate per invocation.
+///
+/// # Errors
+///
+/// Propagates assembler label errors.
+pub fn filter_d_ping_pong(
+    a: &mut Asm,
+    id: usize,
+    a0_base: u64,
+    a1_base: u64,
+    tls_off: i64,
+) -> Result<String, AsmError> {
+    let entry = format!("bar{id}_filter_d_pp");
+    let skip = format!("bar{id}_skip");
+    let use0 = format!("bar{id}_use0");
+    a.j(skip.as_str());
+    a.label(&entry)?;
+    a.sync();
+    a.ldd(Reg::T9, Reg::TLS, tls_off); // sense
+    a.li(Reg::K0, a0_base as i64);
+    a.beq(Reg::T9, Reg::ZERO, use0.as_str());
+    a.li(Reg::K0, a1_base as i64);
+    a.label(&use0)?;
+    a.slli(Reg::K1, Reg::TID, 6);
+    a.add(Reg::K0, Reg::K0, Reg::K1);
+    a.dcbi(Reg::K0, 0);
+    a.isync();
+    a.ldd(Reg::K1, Reg::K0, 0);
+    a.sync();
+    a.xori(Reg::T9, Reg::T9, 1);
+    a.std(Reg::T9, Reg::TLS, tls_off);
+    a.ret();
+    a.label(&skip)?;
+    Ok(entry)
+}
+
+/// Pad with `nop`s so the next `lines_needed` cache lines of code fall
+/// within a single bank-interleave granule (all of a barrier's arrival
+/// lines must map to one filter, §3.3.2), then align to a line boundary.
+fn align_for_stubs(a: &mut Asm, granule: u64, lines_needed: u64) {
+    a.align_line();
+    let here = a.here();
+    let within = here % granule;
+    if within + lines_needed * LINE_BYTES > granule {
+        let pad_bytes = granule - within;
+        for _ in 0..(pad_bytes / INSTR_BYTES) {
+            a.nop();
+        }
+    }
+    debug_assert_eq!(a.here() % LINE_BYTES, 0);
+}
+
+/// Emit one line-aligned arrival stub per thread. Each stub is the target
+/// of the barrier's `jalr k1` and simply returns through `k1`; the fetch of
+/// its (just invalidated) line is what the filter starves.
+fn emit_stub_lines(a: &mut Asm, threads: usize) -> u64 {
+    let base = a.here();
+    for _ in 0..threads {
+        a.jalr(Reg::ZERO, Reg::K1, 0);
+        for _ in 1..INSTRS_PER_LINE {
+            a.nop();
+        }
+    }
+    base
+}
+
+/// Emit one granule-contained range of per-thread arrival stub lines and
+/// jump over it. Returns the base code address of the stubs; the caller
+/// determines the range's L2 bank from that address and homes the exit
+/// lines there.
+pub fn arrival_stubs(a: &mut Asm, threads: usize, granule: u64) -> u64 {
+    let over = format!("stubs_over_{:#x}", a.here());
+    a.j(over.as_str());
+    align_for_stubs(a, granule, threads as u64);
+    let base = emit_stub_lines(a, threads);
+    a.label(&over).expect("address-derived label is unique");
+    base
+}
+
+/// Emit two granule-contained stub ranges (the ping-pong pair), jumped
+/// over. Returns both base addresses, guaranteed to share an L2 bank.
+pub fn arrival_stub_pair(a: &mut Asm, threads: usize, granule: u64) -> (u64, u64) {
+    let over = format!("stubs_over_{:#x}", a.here());
+    a.j(over.as_str());
+    align_for_stubs(a, granule, 2 * threads as u64);
+    let base0 = emit_stub_lines(a, threads);
+    let base1 = emit_stub_lines(a, threads);
+    a.label(&over).expect("address-derived label is unique");
+    (base0, base1)
+}
+
+/// Emit the I-cache filter barrier routine, entry/exit variant (§3.4.1).
+/// `a_base` is the stub range from [`arrival_stubs`]; `e_base` are data
+/// lines homed in the same L2 bank ("the exit address could be an
+/// instruction or data address — the content is never accessed").
+///
+/// # Errors
+///
+/// Propagates assembler label errors.
+pub fn filter_i(a: &mut Asm, id: usize, a_base: u64, e_base: u64) -> Result<String, AsmError> {
+    let entry = format!("bar{id}_filter_i");
+    let skip = format!("bar{id}_skip");
+    a.j(skip.as_str());
+    a.label(&entry)?;
+    a.sync();
+    per_thread_line(a, a_base);
+    a.icbi(Reg::K0, 0);
+    a.isync();
+    a.jalr(Reg::K1, Reg::K0, 0); // execute the arrival line; stalls here
+    per_thread_line(a, e_base);
+    a.icbi(Reg::K0, 0); // exit invalidate (instruction or data — unread)
+    a.ret();
+    a.label(&skip)?;
+    Ok(entry)
+}
+
+/// Emit the I-cache ping-pong filter barrier routine (§3.5): two stub
+/// ranges from [`arrival_stub_pair`], alternating under a TLS sense bit.
+///
+/// # Errors
+///
+/// Propagates assembler label errors.
+pub fn filter_i_ping_pong(
+    a: &mut Asm,
+    id: usize,
+    a0_base: u64,
+    a1_base: u64,
+    tls_off: i64,
+) -> Result<String, AsmError> {
+    let entry = format!("bar{id}_filter_i_pp");
+    let skip = format!("bar{id}_skip");
+    let use0 = format!("bar{id}_use0");
+    a.j(skip.as_str());
+    a.label(&entry)?;
+    a.sync();
+    a.ldd(Reg::T9, Reg::TLS, tls_off);
+    a.li(Reg::K0, a0_base as i64);
+    a.beq(Reg::T9, Reg::ZERO, use0.as_str());
+    a.li(Reg::K0, a1_base as i64);
+    a.label(&use0)?;
+    a.slli(Reg::K1, Reg::TID, 6);
+    a.add(Reg::K0, Reg::K0, Reg::K1);
+    a.icbi(Reg::K0, 0);
+    a.isync();
+    a.jalr(Reg::K1, Reg::K0, 0);
+    a.xori(Reg::T9, Reg::T9, 1);
+    a.std(Reg::T9, Reg::TLS, tls_off);
+    a.ret();
+    a.label(&skip)?;
+    Ok(entry)
+}
+
+/// Emit the dedicated-network barrier routine (baseline): a single `hwbar`.
+///
+/// # Errors
+///
+/// Propagates assembler label errors.
+pub fn hw_dedicated(a: &mut Asm, id: usize, hw_id: u16) -> Result<String, AsmError> {
+    let entry = format!("bar{id}_hw");
+    let skip = format!("bar{id}_skip");
+    a.j(skip.as_str());
+    a.label(&entry)?;
+    a.hwbar(hw_id);
+    a.ret();
+    a.label(&skip)?;
+    Ok(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stub_lines_are_line_aligned_and_within_one_granule() {
+        let mut a = Asm::new();
+        for _ in 0..200 {
+            a.nop(); // arbitrary unaligned prefix
+        }
+        let granule = 1u64 << 14;
+        let base = arrival_stubs(&mut a, 16, granule);
+        assert_eq!(base % 64, 0);
+        let first = base / granule;
+        let last = (base + 16 * 64 - 1) / granule;
+        assert_eq!(first, last, "stub range must not cross a granule");
+        filter_i(&mut a, 0, base, 0x2000_0000).unwrap();
+        a.assemble().unwrap();
+    }
+
+    #[test]
+    fn ping_pong_stub_ranges_share_a_granule() {
+        let mut a = Asm::new();
+        for _ in 0..4000 {
+            a.nop(); // force padding across the granule boundary
+        }
+        let granule = 1u64 << 14;
+        let (b0, b1) = arrival_stub_pair(&mut a, 64, granule);
+        assert_eq!(b0 / granule, (b1 + 64 * 64 - 1) / granule);
+        filter_i_ping_pong(&mut a, 1, b0, b1, 0).unwrap();
+        a.assemble().unwrap();
+    }
+
+    #[test]
+    fn routines_are_jumped_over() {
+        // the first emitted instruction must be a jump past the routine
+        let mut a = Asm::new();
+        let label = sw_central(&mut a, 7, 0x1000_0000, 0x1000_0040, 0).unwrap();
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert!(p.symbol(&label).is_some());
+        let first = p.fetch(sim_isa::CODE_BASE).unwrap();
+        assert!(matches!(first, sim_isa::Instr::Jal(Reg::ZERO, _)));
+    }
+
+    #[test]
+    fn all_emitters_assemble() {
+        let mut a = Asm::new();
+        sw_central(&mut a, 0, 0x1000_0000, 0x1000_0040, 0).unwrap();
+        sw_tree(&mut a, 1, 0x1000_1000, 0x1000_0080, 8).unwrap();
+        filter_d(&mut a, 2, 0x2000_0000, 0x2000_0400).unwrap();
+        filter_d_ping_pong(&mut a, 3, 0x2000_0800, 0x2000_0c00, 16).unwrap();
+        let base = arrival_stubs(&mut a, 8, 1 << 14);
+        filter_i(&mut a, 4, base, 0x2000_1000).unwrap();
+        let (b0, b1) = arrival_stub_pair(&mut a, 8, 1 << 14);
+        filter_i_ping_pong(&mut a, 5, b0, b1, 24).unwrap();
+        hw_dedicated(&mut a, 6, 0).unwrap();
+        a.halt();
+        a.assemble().unwrap();
+    }
+}

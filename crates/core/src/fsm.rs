@@ -1,0 +1,166 @@
+//! The per-thread finite state automaton of Figure 3.
+//!
+//! A thread is represented in a barrier filter by a two-bit state:
+//! *Waiting-on-arrival* → *Blocked-until-release* → *Service-until-exit* →
+//! back to *Waiting*. Invalid transitions are the architectural error cases
+//! of §3.3.4 and surface as [`FsmViolation`]s, which the filter converts to
+//! exceptions.
+
+use std::fmt;
+
+/// The two-bit per-thread state of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadState {
+    /// Waiting-on-arrival: the thread has not signalled this barrier yet.
+    Waiting,
+    /// Blocked-until-release: the thread invalidated its arrival address and
+    /// (typically) has a starved fill request pending.
+    Blocking,
+    /// Service-until-exit: the barrier opened; fills for the arrival address
+    /// are serviced until the thread invalidates its exit address.
+    Servicing,
+}
+
+impl fmt::Display for ThreadState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ThreadState::Waiting => "Waiting",
+            ThreadState::Blocking => "Blocking",
+            ThreadState::Servicing => "Servicing",
+        })
+    }
+}
+
+/// An input symbol to the FSM: what the filter observed for a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsmEvent {
+    /// An invalidation of the thread's arrival address.
+    ArrivalInvalidate,
+    /// A fill request for the thread's arrival address.
+    ArrivalFill,
+    /// An invalidation of the thread's exit address.
+    ExitInvalidate,
+}
+
+/// What the filter should do in response to a (state, event) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsmAction {
+    /// Transition into the new state; for `Waiting + ArrivalInvalidate` the
+    /// caller also increments the arrived counter.
+    Transition(ThreadState),
+    /// Stay in place (e.g. a repeated arrival invalidate while Blocking,
+    /// which Figure 3 draws as a self-loop).
+    Stay,
+    /// Park the fill request (starve it until the barrier opens).
+    Park,
+    /// Service the fill request immediately (barrier already open).
+    Service,
+}
+
+/// An invalid transition: the §3.3.4 error cases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsmViolation {
+    /// State the thread was in.
+    pub state: ThreadState,
+    /// Event that arrived.
+    pub event: FsmEvent,
+}
+
+impl fmt::Display for FsmViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.event {
+            FsmEvent::ArrivalInvalidate => "arrival-address invalidate",
+            FsmEvent::ArrivalFill => "arrival-address fill request",
+            FsmEvent::ExitInvalidate => "exit-address invalidate",
+        };
+        write!(
+            f,
+            "{what} while the thread is in the {} state (incorrect barrier \
+             implementation or use, §3.3.4)",
+            self.state
+        )
+    }
+}
+
+/// Evaluate the FSM of Figure 3.
+///
+/// `strict` additionally rejects a repeated arrival invalidate while
+/// Blocking. Figure 3 draws that case as a self-loop ("the thread will stay
+/// in the Blocking state") while the debugging discussion of §3.3.4 lists it
+/// as an error; the default follows Figure 3 and `strict` follows §3.3.4.
+///
+/// # Errors
+///
+/// Returns the violation for any transition Figure 3 does not permit.
+pub fn step(
+    state: ThreadState,
+    event: FsmEvent,
+    strict: bool,
+) -> Result<FsmAction, FsmViolation> {
+    use FsmEvent::*;
+    use ThreadState::*;
+    match (state, event) {
+        (Waiting, ArrivalInvalidate) => Ok(FsmAction::Transition(Blocking)),
+        (Blocking, ArrivalInvalidate) if !strict => Ok(FsmAction::Stay),
+        (Blocking, ArrivalFill) => Ok(FsmAction::Park),
+        (Servicing, ArrivalFill) => Ok(FsmAction::Service),
+        (Servicing, ExitInvalidate) => Ok(FsmAction::Transition(Waiting)),
+        _ => Err(FsmViolation { state, event }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::FsmAction::*;
+    use super::FsmEvent::*;
+    use super::ThreadState::*;
+    use super::*;
+
+    #[test]
+    fn legal_cycle() {
+        assert_eq!(
+            step(Waiting, ArrivalInvalidate, false),
+            Ok(Transition(Blocking))
+        );
+        assert_eq!(step(Blocking, ArrivalFill, false), Ok(Park));
+        // (the table, not the FSM, performs the Blocking -> Servicing move
+        // when the last thread arrives)
+        assert_eq!(step(Servicing, ArrivalFill, false), Ok(Service));
+        assert_eq!(
+            step(Servicing, ExitInvalidate, false),
+            Ok(Transition(Waiting))
+        );
+    }
+
+    #[test]
+    fn blocking_self_loop_is_lenient_by_default() {
+        assert_eq!(step(Blocking, ArrivalInvalidate, false), Ok(Stay));
+        assert!(step(Blocking, ArrivalInvalidate, true).is_err());
+    }
+
+    #[test]
+    fn error_cases_of_3_3_4() {
+        // fill while Waiting
+        assert!(step(Waiting, ArrivalFill, false).is_err());
+        // arrival invalidate while Servicing
+        assert!(step(Servicing, ArrivalInvalidate, false).is_err());
+        // exit invalidate while Waiting or Blocking
+        assert!(step(Waiting, ExitInvalidate, false).is_err());
+        assert!(step(Blocking, ExitInvalidate, false).is_err());
+    }
+
+    #[test]
+    fn violation_messages_name_the_state() {
+        let v = step(Waiting, ArrivalFill, false).unwrap_err();
+        let msg = v.to_string();
+        assert!(msg.contains("Waiting"));
+        assert!(msg.contains("fill request"));
+    }
+
+    #[test]
+    fn display_of_states() {
+        assert_eq!(Waiting.to_string(), "Waiting");
+        assert_eq!(Blocking.to_string(), "Blocking");
+        assert_eq!(Servicing.to_string(), "Servicing");
+    }
+}

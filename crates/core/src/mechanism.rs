@@ -1,0 +1,156 @@
+//! The seven barrier mechanisms compared in §4 of the paper.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A barrier implementation strategy.
+///
+/// The paper compares four variants of the barrier filter (I-cache and
+/// D-cache, each with entry/exit and ping-pong signalling), two software
+/// barriers, and an aggressive dedicated-network hardware barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BarrierMechanism {
+    /// Pure software centralized sense-reversal barrier over LL/SC: a single
+    /// counter and a single release flag, each on its own cache line.
+    SwCentral,
+    /// Binary combining tree of sense-reversal barriers, every counter/flag
+    /// on its own cache line.
+    SwTree,
+    /// Barrier filter synchronizing through instruction-cache lines
+    /// (§3.4.1): `sync; icbi A; isync;` execute the code at `A`, then
+    /// invalidate the exit address.
+    FilterI,
+    /// Barrier filter synchronizing through data-cache lines (§3.4.2):
+    /// `sync; dcbi A; isync; load A; sync`, then invalidate the exit
+    /// address.
+    FilterD,
+    /// Ping-pong I-cache filter (§3.5): two paired barriers, one invalidate
+    /// per invocation, sense kept in thread-local storage.
+    FilterIPingPong,
+    /// Ping-pong D-cache filter (§3.5).
+    FilterDPingPong,
+    /// Dedicated barrier network with core modifications (the aggressive
+    /// Beckmann & Polychronopoulos baseline).
+    HwDedicated,
+}
+
+impl BarrierMechanism {
+    /// All mechanisms, in the order the paper's figures list them.
+    pub const ALL: [BarrierMechanism; 7] = [
+        BarrierMechanism::SwCentral,
+        BarrierMechanism::SwTree,
+        BarrierMechanism::FilterD,
+        BarrierMechanism::FilterI,
+        BarrierMechanism::FilterDPingPong,
+        BarrierMechanism::FilterIPingPong,
+        BarrierMechanism::HwDedicated,
+    ];
+
+    /// Short stable name used in harness output and `FromStr`.
+    pub fn name(self) -> &'static str {
+        match self {
+            BarrierMechanism::SwCentral => "sw-central",
+            BarrierMechanism::SwTree => "sw-tree",
+            BarrierMechanism::FilterI => "filter-i",
+            BarrierMechanism::FilterD => "filter-d",
+            BarrierMechanism::FilterIPingPong => "filter-i-pp",
+            BarrierMechanism::FilterDPingPong => "filter-d-pp",
+            BarrierMechanism::HwDedicated => "hw-dedicated",
+        }
+    }
+
+    /// Whether this mechanism uses the barrier filter hardware.
+    pub fn is_filter(self) -> bool {
+        matches!(
+            self,
+            BarrierMechanism::FilterI
+                | BarrierMechanism::FilterD
+                | BarrierMechanism::FilterIPingPong
+                | BarrierMechanism::FilterDPingPong
+        )
+    }
+
+    /// Whether this mechanism is software-only (no hardware support beyond
+    /// LL/SC).
+    pub fn is_software(self) -> bool {
+        matches!(
+            self,
+            BarrierMechanism::SwCentral | BarrierMechanism::SwTree
+        )
+    }
+
+    /// Whether this mechanism synchronizes through instruction-cache lines.
+    pub fn is_icache(self) -> bool {
+        matches!(
+            self,
+            BarrierMechanism::FilterI | BarrierMechanism::FilterIPingPong
+        )
+    }
+
+    /// Whether this is a ping-pong (single-invalidate) variant.
+    pub fn is_ping_pong(self) -> bool {
+        matches!(
+            self,
+            BarrierMechanism::FilterIPingPong | BarrierMechanism::FilterDPingPong
+        )
+    }
+}
+
+impl fmt::Display for BarrierMechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a mechanism name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMechanismError(String);
+
+impl fmt::Display for ParseMechanismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown barrier mechanism `{}` (expected one of: sw-central, sw-tree, filter-i, \
+             filter-d, filter-i-pp, filter-d-pp, hw-dedicated)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseMechanismError {}
+
+impl FromStr for BarrierMechanism {
+    type Err = ParseMechanismError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BarrierMechanism::ALL
+            .into_iter()
+            .find(|m| m.name() == s)
+            .ok_or_else(|| ParseMechanismError(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for m in BarrierMechanism::ALL {
+            assert_eq!(m.name().parse::<BarrierMechanism>(), Ok(m));
+            assert_eq!(m.to_string(), m.name());
+        }
+        assert!("bogus".parse::<BarrierMechanism>().is_err());
+    }
+
+    #[test]
+    fn classification() {
+        use BarrierMechanism::*;
+        assert!(FilterI.is_filter() && FilterI.is_icache() && !FilterI.is_ping_pong());
+        assert!(FilterDPingPong.is_filter() && FilterDPingPong.is_ping_pong());
+        assert!(!FilterDPingPong.is_icache());
+        assert!(SwCentral.is_software() && !SwCentral.is_filter());
+        assert!(!HwDedicated.is_software() && !HwDedicated.is_filter());
+        assert_eq!(BarrierMechanism::ALL.len(), 7);
+    }
+}

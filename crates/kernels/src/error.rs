@@ -1,0 +1,83 @@
+//! Kernel-harness error type.
+
+use std::fmt;
+
+use barrier_filter::BarrierError;
+use cmp_sim::{BuildError, LayoutError, SimError};
+use sim_isa::AsmError;
+
+/// Everything that can go wrong while building, running or validating a
+/// kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    /// The simulation aborted.
+    Sim(SimError),
+    /// Barrier registration/installation failed.
+    Barrier(BarrierError),
+    /// Machine construction failed.
+    Build(BuildError),
+    /// Assembly failed.
+    Asm(AsmError),
+    /// Address-space allocation failed.
+    Layout(LayoutError),
+    /// The simulated output did not match the host reference.
+    Validation(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Sim(e) => write!(f, "simulation failed: {e}"),
+            KernelError::Barrier(e) => write!(f, "barrier setup failed: {e}"),
+            KernelError::Build(e) => write!(f, "machine build failed: {e}"),
+            KernelError::Asm(e) => write!(f, "assembly failed: {e}"),
+            KernelError::Layout(e) => write!(f, "allocation failed: {e}"),
+            KernelError::Validation(why) => write!(f, "output validation failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<SimError> for KernelError {
+    fn from(e: SimError) -> Self {
+        KernelError::Sim(e)
+    }
+}
+
+impl From<BarrierError> for KernelError {
+    fn from(e: BarrierError) -> Self {
+        KernelError::Barrier(e)
+    }
+}
+
+impl From<BuildError> for KernelError {
+    fn from(e: BuildError) -> Self {
+        KernelError::Build(e)
+    }
+}
+
+impl From<AsmError> for KernelError {
+    fn from(e: AsmError) -> Self {
+        KernelError::Asm(e)
+    }
+}
+
+impl From<LayoutError> for KernelError {
+    fn from(e: LayoutError) -> Self {
+        KernelError::Layout(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = KernelError::Validation("w[3] = 1.0, expected 2.0".into());
+        assert!(e.to_string().contains("w[3]"));
+        let e: KernelError = LayoutError::BarrierRegionFull.into();
+        assert!(e.to_string().contains("allocation"));
+    }
+}

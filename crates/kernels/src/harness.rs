@@ -1,0 +1,202 @@
+//! Shared plumbing for building and timing kernel runs.
+
+use barrier_filter::{Barrier, BarrierMechanism, BarrierSystem};
+use cmp_sim::{AddressSpace, Machine, MachineBuilder, SimConfig};
+use sim_isa::{Asm, Reg};
+
+use crate::KernelError;
+
+/// Repetitions of a kernel per measured run. The first repetition warms the
+/// caches; the reported [`KernelOutcome::cycles_per_rep`] averages over all
+/// of them (the paper's methodology runs each loop "many times", so the
+/// steady-state cost must dominate cold misses).
+pub const REPS: u64 = 24;
+
+/// Result of one validated kernel run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelOutcome {
+    /// Total simulated cycles of the whole run.
+    pub cycles: u64,
+    /// Cycles per kernel repetition.
+    pub cycles_per_rep: f64,
+    /// Instructions retired across all cores.
+    pub instructions: u64,
+}
+
+/// Everything a kernel needs while emitting itself.
+pub(crate) struct KernelBuild {
+    pub config: SimConfig,
+    pub space: AddressSpace,
+    pub asm: Asm,
+    pub sys: Option<BarrierSystem>,
+    threads: usize,
+}
+
+impl KernelBuild {
+    /// Sequential build: one thread, no barrier system.
+    pub fn sequential() -> KernelBuild {
+        let config = SimConfig::with_cores(1);
+        let space = AddressSpace::new(&config);
+        KernelBuild {
+            config,
+            space,
+            asm: Asm::new(),
+            sys: None,
+            threads: 1,
+        }
+    }
+
+    /// Parallel build: `threads` threads with a barrier of the requested
+    /// mechanism registered and ready to emit.
+    ///
+    /// # Errors
+    ///
+    /// Barrier registration failures.
+    pub fn parallel(
+        threads: usize,
+        mechanism: BarrierMechanism,
+    ) -> Result<(KernelBuild, Barrier), KernelError> {
+        let config = SimConfig::with_cores(threads);
+        let mut space = AddressSpace::new(&config);
+        let mut asm = Asm::new();
+        let mut sys = BarrierSystem::new(&config, threads, &mut space)?;
+        let barrier = sys.create_barrier(&mut asm, &mut space, mechanism, threads)?;
+        Ok((
+            KernelBuild {
+                config,
+                space,
+                asm,
+                sys: Some(sys),
+                threads,
+            },
+            barrier,
+        ))
+    }
+
+    /// Assemble, initialize memory via `init`, add the threads at label
+    /// `entry`, and build the machine.
+    ///
+    /// # Errors
+    ///
+    /// Assembly or machine-construction failures.
+    pub fn finish(
+        self,
+        init: impl FnOnce(&mut MachineBuilder),
+    ) -> Result<Machine, KernelError> {
+        let program = self.asm.assemble()?;
+        let entry = program.require_symbol("entry");
+        let mut config = self.config;
+        config.cycle_limit = 20_000_000_000;
+        let mut mb = MachineBuilder::new(config, program)?;
+        init(&mut mb);
+        for _ in 0..self.threads {
+            mb.add_thread(entry);
+        }
+        if let Some(sys) = self.sys {
+            sys.install(&mut mb)?;
+        }
+        Ok(mb.build()?)
+    }
+}
+
+/// Run a machine for a kernel of `reps` repetitions and package the result.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub(crate) fn run_reps(machine: &mut Machine, reps: u64) -> Result<KernelOutcome, KernelError> {
+    let summary = machine.run()?;
+    Ok(KernelOutcome {
+        cycles: summary.cycles,
+        cycles_per_rep: summary.cycles as f64 / reps as f64,
+        instructions: summary.instructions,
+    })
+}
+
+/// Emit the standard repetition wrapper: `s5` counts down `reps`
+/// repetitions of the code emitted by `body`. The body must leave `s5`
+/// intact. Defines the `entry` label and ends with `halt`.
+///
+/// # Errors
+///
+/// Assembler label failures.
+pub(crate) fn emit_rep_loop(
+    a: &mut Asm,
+    reps: u64,
+    body: impl FnOnce(&mut Asm) -> Result<(), KernelError>,
+) -> Result<(), KernelError> {
+    a.label("entry")?;
+    a.li(Reg::S5, reps as i64);
+    a.label("rep_loop")?;
+    body(a)?;
+    a.addi(Reg::S5, Reg::S5, -1);
+    a.bne(Reg::S5, Reg::ZERO, "rep_loop");
+    a.halt();
+    Ok(())
+}
+
+/// The paper partitions arrays "in chunks of at least 8 doubles, as that is
+/// the size of a cache line" (§4.4): elements per thread, floored at one
+/// cache line's worth.
+pub(crate) fn chunk_for(n: usize, threads: usize, min: usize) -> usize {
+    (n.div_ceil(threads)).max(min)
+}
+
+/// Compare two f64 slices with a relative tolerance, returning a
+/// human-readable mismatch description.
+pub(crate) fn check_f64(
+    what: &str,
+    got: &[f64],
+    want: &[f64],
+    rel_tol: f64,
+) -> Result<(), KernelError> {
+    assert_eq!(got.len(), want.len(), "validation length mismatch");
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        let scale = w.abs().max(1.0);
+        if (g - w).abs() > rel_tol * scale {
+            return Err(KernelError::Validation(format!(
+                "{what}[{i}] = {g}, expected {w}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Compare two u64 slices exactly.
+pub(crate) fn check_u64(what: &str, got: &[u64], want: &[u64]) -> Result<(), KernelError> {
+    assert_eq!(got.len(), want.len(), "validation length mismatch");
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        if g != w {
+            return Err(KernelError::Validation(format!(
+                "{what}[{i}] = {g}, expected {w}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_honours_cache_line_floor() {
+        assert_eq!(chunk_for(256, 16, 8), 16);
+        assert_eq!(chunk_for(64, 16, 8), 8, "floored at 8 doubles");
+        assert_eq!(chunk_for(17, 4, 8), 8);
+        assert_eq!(chunk_for(1000, 16, 8), 63);
+    }
+
+    #[test]
+    fn f64_check_tolerates_rounding() {
+        check_f64("x", &[1.0 + 1e-12], &[1.0], 1e-9).unwrap();
+        assert!(check_f64("x", &[1.1], &[1.0], 1e-9).is_err());
+    }
+
+    #[test]
+    fn u64_check_is_exact() {
+        check_u64("r", &[5], &[5]).unwrap();
+        let err = check_u64("r", &[5], &[6]).unwrap_err();
+        assert!(err.to_string().contains("r[0]"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Seeded synthetic input generators.
+//!
+//! The paper's EEMBC inputs (`xspeech`, `getti.dat`) are not distributable,
+//! so we generate equivalents with fixed seeds: what matters for the
+//! barrier study is the kernels' synchronization structure, which input
+//! values do not change (DESIGN.md §1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic generator seeded per use-site.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Uniform f64 values in `[lo, hi)`.
+pub fn f64_vec(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+}
+
+/// A speech-like waveform: a sum of sinusoids plus noise, quantized to a
+/// signed 12-bit range (stored sign-extended in i64), standing in for the
+/// EEMBC `xspeech` input.
+pub fn speech_like(seed: u64, n: usize) -> Vec<i64> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let s = 900.0 * (t * 0.031).sin()
+                + 500.0 * (t * 0.127 + 1.0).sin()
+                + 250.0 * (t * 0.311 + 2.0).sin()
+                + r.gen_range(-80.0..80.0);
+            (s as i64).clamp(-2048, 2047)
+        })
+        .collect()
+}
+
+/// A random bit sequence (0/1 values).
+pub fn bits(seed: u64, n: usize) -> Vec<u8> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0..2u8)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(f64_vec(1, 16, 0.0, 1.0), f64_vec(1, 16, 0.0, 1.0));
+        assert_ne!(f64_vec(1, 16, 0.0, 1.0), f64_vec(2, 16, 0.0, 1.0));
+        assert_eq!(speech_like(7, 64), speech_like(7, 64));
+        assert_eq!(bits(3, 32), bits(3, 32));
+    }
+
+    #[test]
+    fn speech_values_are_in_range() {
+        for v in speech_like(5, 1000) {
+            assert!((-2048..=2047).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bits_are_binary() {
+        assert!(bits(9, 100).iter().all(|&b| b <= 1));
+    }
+}

@@ -1,0 +1,24 @@
+//! Livermore loop kernels (§4.4).
+//!
+//! "Livermore loops have long been known for being a tough test for
+//! compilers and architectures … these loop kernels help us illustrate how
+//! multi-cores equipped with our mechanisms can be a realistic alternative
+//! to vector or special-purpose processors."
+//!
+//! The paper evaluates kernels 2, 3 and 6 and names the others as contrast
+//! cases: kernel 1 (hydro) is "embarrassingly parallel", kernel 4 is "a
+//! reduction" like kernel 3, and kernel 5 is "serial". All six are here.
+
+mod loop1;
+mod loop2;
+mod loop3;
+mod loop4;
+mod loop5;
+mod loop6;
+
+pub use loop1::Loop1;
+pub use loop2::Loop2;
+pub use loop3::Loop3;
+pub use loop4::Loop4;
+pub use loop5::Loop5;
+pub use loop6::Loop6;

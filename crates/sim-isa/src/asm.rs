@@ -1,0 +1,565 @@
+//! The MiniRISC assembler.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{FReg, Instr, MemWidth, Program, Reg, Target, CODE_BASE, INSTRS_PER_LINE, INSTR_BYTES};
+
+/// A control-flow target given to the assembler: a symbolic label name or an
+/// already-known absolute program counter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// Named label, resolved at [`Asm::assemble`] time (forward references
+    /// are allowed).
+    Name(String),
+    /// Absolute program counter.
+    Pc(u64),
+}
+
+impl From<&str> for Label {
+    fn from(name: &str) -> Label {
+        Label::Name(name.to_owned())
+    }
+}
+
+impl From<String> for Label {
+    fn from(name: String) -> Label {
+        Label::Name(name)
+    }
+}
+
+impl From<u64> for Label {
+    fn from(pc: u64) -> Label {
+        Label::Pc(pc)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Name(n) => f.write_str(n),
+            Label::Pc(pc) => write!(f, "{pc:#x}"),
+        }
+    }
+}
+
+/// Errors reported while building or assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// The same label name was defined twice.
+    DuplicateLabel(String),
+    /// A branch or jump referenced a label that was never defined.
+    UndefinedLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::DuplicateLabel(n) => write!(f, "label `{n}` defined more than once"),
+            AsmError::UndefinedLabel(n) => write!(f, "label `{n}` referenced but never defined"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Builder for MiniRISC programs.
+///
+/// Emit methods append one instruction each and return `&mut Self` so short
+/// sequences can be chained. Control-flow targets accept label names (string
+/// literals), resolved — including forward references — when
+/// [`assemble`](Asm::assemble) is called.
+///
+/// # Example
+///
+/// ```
+/// use sim_isa::{Asm, Reg};
+///
+/// # fn main() -> Result<(), sim_isa::AsmError> {
+/// let mut a = Asm::new();
+/// a.li(Reg::A0, 3);
+/// a.jal(Reg::RA, "double"); // forward reference
+/// a.halt();
+/// a.label("double")?;
+/// a.add(Reg::A0, Reg::A0, Reg::A0);
+/// a.jalr(Reg::ZERO, Reg::RA, 0); // return
+/// let p = a.assemble()?;
+/// assert!(p.symbol("double").is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Asm {
+    code: Vec<Instr>,
+    labels: BTreeMap<String, u64>,
+    // (instruction index, label) pairs awaiting resolution
+    fixups: Vec<(usize, String)>,
+}
+
+impl Asm {
+    /// Create an empty assembler.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// The program counter the next emitted instruction will occupy.
+    pub fn here(&self) -> u64 {
+        CODE_BASE + self.code.len() as u64 * INSTR_BYTES
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether no instructions have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Define a label at the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::DuplicateLabel`] if `name` is already defined.
+    pub fn label(&mut self, name: &str) -> Result<&mut Asm, AsmError> {
+        if self.labels.contains_key(name) {
+            return Err(AsmError::DuplicateLabel(name.to_owned()));
+        }
+        self.labels.insert(name.to_owned(), self.here());
+        Ok(self)
+    }
+
+    /// Pad with `nop`s until the next instruction starts a fresh 64-byte
+    /// instruction-cache line. Used for the I-cache barrier arrival stubs,
+    /// whose lines must be individually invalidatable (§3.4.1).
+    pub fn align_line(&mut self) -> &mut Asm {
+        while self.here() % (INSTRS_PER_LINE * INSTR_BYTES) != 0 {
+            self.nop();
+        }
+        self
+    }
+
+    fn push(&mut self, i: Instr) -> &mut Asm {
+        self.code.push(i);
+        self
+    }
+
+    fn push_branch(&mut self, target: Label, make: impl FnOnce(Target) -> Instr) -> &mut Asm {
+        match target {
+            Label::Pc(pc) => self.push(make(Target(pc))),
+            Label::Name(name) => {
+                // Emit with a placeholder target; patched during assemble().
+                self.fixups.push((self.code.len(), name));
+                self.push(make(Target(u64::MAX)))
+            }
+        }
+    }
+
+    /// Resolve all label references and produce the program image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] if any referenced label was never
+    /// defined.
+    pub fn assemble(mut self) -> Result<Program, AsmError> {
+        for (idx, name) in std::mem::take(&mut self.fixups) {
+            let pc = *self
+                .labels
+                .get(&name)
+                .ok_or_else(|| AsmError::UndefinedLabel(name.clone()))?;
+            let t = Target(pc);
+            self.code[idx] = match self.code[idx] {
+                Instr::Beq(a, b, _) => Instr::Beq(a, b, t),
+                Instr::Bne(a, b, _) => Instr::Bne(a, b, t),
+                Instr::Blt(a, b, _) => Instr::Blt(a, b, t),
+                Instr::Bge(a, b, _) => Instr::Bge(a, b, t),
+                Instr::Bltu(a, b, _) => Instr::Bltu(a, b, t),
+                Instr::Bgeu(a, b, _) => Instr::Bgeu(a, b, t),
+                Instr::Jal(rd, _) => Instr::Jal(rd, t),
+                other => other,
+            };
+        }
+        Ok(Program::from_parts(self.code, self.labels))
+    }
+}
+
+macro_rules! emit_rrr {
+    ($($(#[$doc:meta])* $name:ident => $variant:ident),* $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+                    self.push(Instr::$variant(rd, rs1, rs2))
+                }
+            )*
+        }
+    };
+}
+
+emit_rrr! {
+    /// `rd = rs1 + rs2`.
+    add => Add,
+    /// `rd = rs1 - rs2`.
+    sub => Sub,
+    /// `rd = rs1 * rs2`.
+    mul => Mul,
+    /// `rd = rs1 / rs2` (signed).
+    div => Div,
+    /// `rd = rs1 % rs2` (signed).
+    rem => Rem,
+    /// `rd = rs1 & rs2`.
+    and => And,
+    /// `rd = rs1 | rs2`.
+    or => Or,
+    /// `rd = rs1 ^ rs2`.
+    xor => Xor,
+    /// `rd = rs1 << rs2`.
+    sll => Sll,
+    /// `rd = rs1 >> rs2` (logical).
+    srl => Srl,
+    /// `rd = rs1 >> rs2` (arithmetic).
+    sra => Sra,
+    /// `rd = (rs1 < rs2) as i64` (signed).
+    slt => Slt,
+    /// `rd = (rs1 < rs2) as u64` (unsigned).
+    sltu => Sltu,
+    /// `rd = min(rs1, rs2)` (signed).
+    min => Min,
+    /// `rd = max(rs1, rs2)` (signed).
+    max => Max,
+}
+
+macro_rules! emit_rri {
+    ($($(#[$doc:meta])* $name:ident => $variant:ident),* $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+                    self.push(Instr::$variant(rd, rs1, imm))
+                }
+            )*
+        }
+    };
+}
+
+emit_rri! {
+    /// `rd = rs1 + imm`.
+    addi => Addi,
+    /// `rd = rs1 & imm`.
+    andi => Andi,
+    /// `rd = rs1 | imm`.
+    ori => Ori,
+    /// `rd = rs1 ^ imm`.
+    xori => Xori,
+    /// `rd = (rs1 < imm) as i64` (signed).
+    slti => Slti,
+}
+
+macro_rules! emit_branch {
+    ($($(#[$doc:meta])* $name:ident => $variant:ident),* $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rs1: Reg, rs2: Reg, target: impl Into<Label>) -> &mut Asm {
+                    self.push_branch(target.into(), |t| Instr::$variant(rs1, rs2, t))
+                }
+            )*
+        }
+    };
+}
+
+emit_branch! {
+    /// Branch if `rs1 == rs2`.
+    beq => Beq,
+    /// Branch if `rs1 != rs2`.
+    bne => Bne,
+    /// Branch if `rs1 < rs2` (signed).
+    blt => Blt,
+    /// Branch if `rs1 >= rs2` (signed).
+    bge => Bge,
+    /// Branch if `rs1 < rs2` (unsigned).
+    bltu => Bltu,
+    /// Branch if `rs1 >= rs2` (unsigned).
+    bgeu => Bgeu,
+}
+
+macro_rules! emit_fff {
+    ($($(#[$doc:meta])* $name:ident => $variant:ident),* $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Asm {
+                    self.push(Instr::$variant(fd, fs1, fs2))
+                }
+            )*
+        }
+    };
+}
+
+emit_fff! {
+    /// `fd = fs1 + fs2`.
+    fadd => Fadd,
+    /// `fd = fs1 - fs2`.
+    fsub => Fsub,
+    /// `fd = fs1 * fs2`.
+    fmul => Fmul,
+    /// `fd = fs1 / fs2`.
+    fdiv => Fdiv,
+}
+
+impl Asm {
+    /// `rd = rs1 << shamt`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: u8) -> &mut Asm {
+        self.push(Instr::Slli(rd, rs1, shamt))
+    }
+
+    /// `rd = rs1 >> shamt` (logical).
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: u8) -> &mut Asm {
+        self.push(Instr::Srli(rd, rs1, shamt))
+    }
+
+    /// `rd = rs1 >> shamt` (arithmetic).
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: u8) -> &mut Asm {
+        self.push(Instr::Srai(rd, rs1, shamt))
+    }
+
+    /// Load the 64-bit immediate `imm` into `rd`.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Asm {
+        self.push(Instr::Li(rd, imm))
+    }
+
+    /// Copy `rs1` into `rd` (pseudo-instruction: `addi rd, rs1, 0`).
+    pub fn mv(&mut self, rd: Reg, rs1: Reg) -> &mut Asm {
+        self.push(Instr::Addi(rd, rs1, 0))
+    }
+
+    /// Fused multiply-add `fd = fs1 * fs2 + fs3`.
+    pub fn fmadd(&mut self, fd: FReg, fs1: FReg, fs2: FReg, fs3: FReg) -> &mut Asm {
+        self.push(Instr::Fmadd(fd, fs1, fs2, fs3))
+    }
+
+    /// `fd = -fs1`.
+    pub fn fneg(&mut self, fd: FReg, fs1: FReg) -> &mut Asm {
+        self.push(Instr::Fneg(fd, fs1))
+    }
+
+    /// `fd = fs1`.
+    pub fn fmov(&mut self, fd: FReg, fs1: FReg) -> &mut Asm {
+        self.push(Instr::Fmov(fd, fs1))
+    }
+
+    /// Load the f64 immediate `imm` into `fd`.
+    pub fn fli(&mut self, fd: FReg, imm: f64) -> &mut Asm {
+        self.push(Instr::Fli(fd, imm))
+    }
+
+    /// `fd = rs1 as f64`.
+    pub fn fcvtif(&mut self, fd: FReg, rs1: Reg) -> &mut Asm {
+        self.push(Instr::Fcvtif(fd, rs1))
+    }
+
+    /// `rd = fs1 as i64` (truncating).
+    pub fn fcvtfi(&mut self, rd: Reg, fs1: FReg) -> &mut Asm {
+        self.push(Instr::Fcvtfi(rd, fs1))
+    }
+
+    /// `rd = (fs1 == fs2) as i64`.
+    pub fn feq(&mut self, rd: Reg, fs1: FReg, fs2: FReg) -> &mut Asm {
+        self.push(Instr::Feq(rd, fs1, fs2))
+    }
+
+    /// `rd = (fs1 < fs2) as i64`.
+    pub fn flt(&mut self, rd: Reg, fs1: FReg, fs2: FReg) -> &mut Asm {
+        self.push(Instr::Flt(rd, fs1, fs2))
+    }
+
+    /// `rd = (fs1 <= fs2) as i64`.
+    pub fn fle(&mut self, rd: Reg, fs1: FReg, fs2: FReg) -> &mut Asm {
+        self.push(Instr::Fle(rd, fs1, fs2))
+    }
+
+    /// Load `width` bytes (zero-extended) from `rs1 + offset` into `rd`.
+    pub fn ld(&mut self, rd: Reg, rs1: Reg, offset: i64, width: MemWidth) -> &mut Asm {
+        self.push(Instr::Ld(rd, rs1, offset, width))
+    }
+
+    /// Load 8 bytes from `rs1 + offset` into `rd`.
+    pub fn ldd(&mut self, rd: Reg, rs1: Reg, offset: i64) -> &mut Asm {
+        self.ld(rd, rs1, offset, MemWidth::D)
+    }
+
+    /// Store the low `width` bytes of `src` to `rs1 + offset`.
+    pub fn st(&mut self, src: Reg, rs1: Reg, offset: i64, width: MemWidth) -> &mut Asm {
+        self.push(Instr::St(src, rs1, offset, width))
+    }
+
+    /// Store 8 bytes of `src` to `rs1 + offset`.
+    pub fn std(&mut self, src: Reg, rs1: Reg, offset: i64) -> &mut Asm {
+        self.st(src, rs1, offset, MemWidth::D)
+    }
+
+    /// Load an f64 from `rs1 + offset` into `fd`.
+    pub fn fld(&mut self, fd: FReg, rs1: Reg, offset: i64) -> &mut Asm {
+        self.push(Instr::Fld(fd, rs1, offset))
+    }
+
+    /// Store `fs` to `rs1 + offset`.
+    pub fn fst(&mut self, fs: FReg, rs1: Reg, offset: i64) -> &mut Asm {
+        self.push(Instr::Fst(fs, rs1, offset))
+    }
+
+    /// Load-linked 8 bytes from `rs1 + offset` into `rd` (Alpha `ldq_l`).
+    pub fn ll(&mut self, rd: Reg, rs1: Reg, offset: i64) -> &mut Asm {
+        self.push(Instr::Ll(rd, rs1, offset))
+    }
+
+    /// Store-conditional `src` to `rs1 + offset`; `rd` receives 1 on success,
+    /// 0 on failure (Alpha `stq_c`).
+    pub fn sc(&mut self, rd: Reg, src: Reg, rs1: Reg, offset: i64) -> &mut Asm {
+        self.push(Instr::Sc(rd, src, rs1, offset))
+    }
+
+    /// Jump to `target`, writing the return address to `rd`.
+    pub fn jal(&mut self, rd: Reg, target: impl Into<Label>) -> &mut Asm {
+        self.push_branch(target.into(), |t| Instr::Jal(rd, t))
+    }
+
+    /// Unconditional jump (pseudo-instruction: `jal zero, target`).
+    pub fn j(&mut self, target: impl Into<Label>) -> &mut Asm {
+        self.jal(Reg::ZERO, target)
+    }
+
+    /// Jump to `rs1 + offset`, writing the return address to `rd`.
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg, offset: i64) -> &mut Asm {
+        self.push(Instr::Jalr(rd, rs1, offset))
+    }
+
+    /// Return (pseudo-instruction: `jalr zero, ra, 0`).
+    pub fn ret(&mut self) -> &mut Asm {
+        self.jalr(Reg::ZERO, Reg::RA, 0)
+    }
+
+    /// Full memory fence.
+    pub fn sync(&mut self) -> &mut Asm {
+        self.push(Instr::Sync)
+    }
+
+    /// Discard prefetched instructions / flush the pipeline.
+    pub fn isync(&mut self) -> &mut Asm {
+        self.push(Instr::Isync)
+    }
+
+    /// Invalidate the I-cache line containing `rs1 + offset`.
+    pub fn icbi(&mut self, rs1: Reg, offset: i64) -> &mut Asm {
+        self.push(Instr::Icbi(rs1, offset))
+    }
+
+    /// Invalidate the D-cache line containing `rs1 + offset`.
+    pub fn dcbi(&mut self, rs1: Reg, offset: i64) -> &mut Asm {
+        self.push(Instr::Dcbi(rs1, offset))
+    }
+
+    /// Dedicated-network barrier instruction (baseline hardware model).
+    pub fn hwbar(&mut self, id: u16) -> &mut Asm {
+        self.push(Instr::HwBar(id))
+    }
+
+    /// Stop this thread.
+    pub fn halt(&mut self) -> &mut Asm {
+        self.push(Instr::Halt)
+    }
+
+    /// No operation.
+    pub fn nop(&mut self) -> &mut Asm {
+        self.push(Instr::Nop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        a.j("end"); // forward
+        a.label("top").unwrap();
+        a.nop();
+        a.bne(Reg::T0, Reg::ZERO, "top"); // backward
+        a.label("end").unwrap();
+        a.halt();
+        let p = a.assemble().unwrap();
+        let end = p.symbol("end").unwrap();
+        let top = p.symbol("top").unwrap();
+        assert_eq!(p.fetch(CODE_BASE), Some(Instr::Jal(Reg::ZERO, Target(end))));
+        assert_eq!(
+            p.fetch(CODE_BASE + 2 * INSTR_BYTES),
+            Some(Instr::Bne(Reg::T0, Reg::ZERO, Target(top)))
+        );
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut a = Asm::new();
+        a.label("x").unwrap();
+        let err = a.label("x").map(|_| ()).unwrap_err();
+        assert_eq!(err, AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let mut a = Asm::new();
+        a.j("nowhere");
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn numeric_targets_pass_through() {
+        let mut a = Asm::new();
+        a.j(CODE_BASE + 8);
+        a.nop();
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(
+            p.fetch(CODE_BASE),
+            Some(Instr::Jal(Reg::ZERO, Target(CODE_BASE + 8)))
+        );
+    }
+
+    #[test]
+    fn align_line_pads_to_line_boundary() {
+        let mut a = Asm::new();
+        a.nop();
+        a.align_line();
+        assert_eq!(a.here() % 64, 0);
+        assert_eq!(a.len(), 16); // one nop + 15 pad
+        // aligning when already aligned is a no-op
+        a.align_line();
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn here_advances_by_instr_bytes() {
+        let mut a = Asm::new();
+        let start = a.here();
+        a.nop();
+        assert_eq!(a.here(), start + INSTR_BYTES);
+    }
+
+    #[test]
+    fn pseudo_instructions_expand() {
+        let mut a = Asm::new();
+        a.mv(Reg::T0, Reg::T1);
+        a.ret();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.fetch(CODE_BASE), Some(Instr::Addi(Reg::T0, Reg::T1, 0)));
+        assert_eq!(
+            p.fetch(CODE_BASE + INSTR_BYTES),
+            Some(Instr::Jalr(Reg::ZERO, Reg::RA, 0))
+        );
+    }
+}

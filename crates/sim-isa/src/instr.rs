@@ -1,0 +1,240 @@
+//! The MiniRISC instruction set.
+
+use crate::{FReg, Reg};
+
+/// Width of an integer memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 1 byte.
+    B,
+    /// 2 bytes.
+    H,
+    /// 4 bytes.
+    W,
+    /// 8 bytes.
+    D,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B => 1,
+            MemWidth::H => 2,
+            MemWidth::W => 4,
+            MemWidth::D => 8,
+        }
+    }
+}
+
+/// A resolved control-flow target: an absolute program counter value.
+///
+/// The assembler resolves symbolic [`Label`](crate::Label)s to `Target`s when
+/// [`Asm::assemble`](crate::Asm::assemble) runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Target(pub u64);
+
+/// A single MiniRISC instruction.
+///
+/// Register operands are ordered destination-first, matching the assembler
+/// methods. Every instruction occupies [`INSTR_BYTES`](crate::INSTR_BYTES)
+/// bytes of the code region and is fetched through the simulated instruction
+/// cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    // ---- integer ALU, register-register ----
+    /// `rd = rs1 + rs2` (wrapping).
+    Add(Reg, Reg, Reg),
+    /// `rd = rs1 - rs2` (wrapping).
+    Sub(Reg, Reg, Reg),
+    /// `rd = rs1 * rs2` (wrapping).
+    Mul(Reg, Reg, Reg),
+    /// `rd = rs1 / rs2` (signed; division by zero traps).
+    Div(Reg, Reg, Reg),
+    /// `rd = rs1 % rs2` (signed; division by zero traps).
+    Rem(Reg, Reg, Reg),
+    /// `rd = rs1 & rs2`.
+    And(Reg, Reg, Reg),
+    /// `rd = rs1 | rs2`.
+    Or(Reg, Reg, Reg),
+    /// `rd = rs1 ^ rs2`.
+    Xor(Reg, Reg, Reg),
+    /// `rd = rs1 << (rs2 & 63)`.
+    Sll(Reg, Reg, Reg),
+    /// `rd = rs1 >> (rs2 & 63)` (logical).
+    Srl(Reg, Reg, Reg),
+    /// `rd = rs1 >> (rs2 & 63)` (arithmetic).
+    Sra(Reg, Reg, Reg),
+    /// `rd = (rs1 < rs2) as i64` (signed).
+    Slt(Reg, Reg, Reg),
+    /// `rd = (rs1 < rs2) as u64` (unsigned).
+    Sltu(Reg, Reg, Reg),
+    /// `rd = min(rs1, rs2)` (signed). Convenience for Viterbi ACS.
+    Min(Reg, Reg, Reg),
+    /// `rd = max(rs1, rs2)` (signed).
+    Max(Reg, Reg, Reg),
+
+    // ---- integer ALU, register-immediate ----
+    /// `rd = rs1 + imm` (wrapping).
+    Addi(Reg, Reg, i64),
+    /// `rd = rs1 & imm`.
+    Andi(Reg, Reg, i64),
+    /// `rd = rs1 | imm`.
+    Ori(Reg, Reg, i64),
+    /// `rd = rs1 ^ imm`.
+    Xori(Reg, Reg, i64),
+    /// `rd = rs1 << shamt`.
+    Slli(Reg, Reg, u8),
+    /// `rd = rs1 >> shamt` (logical).
+    Srli(Reg, Reg, u8),
+    /// `rd = rs1 >> shamt` (arithmetic).
+    Srai(Reg, Reg, u8),
+    /// `rd = (rs1 < imm) as i64` (signed).
+    Slti(Reg, Reg, i64),
+    /// `rd = imm`. (Interpreted ISA: full 64-bit immediates are allowed.)
+    Li(Reg, i64),
+
+    // ---- floating point (f64) ----
+    /// `fd = fs1 + fs2`.
+    Fadd(FReg, FReg, FReg),
+    /// `fd = fs1 - fs2`.
+    Fsub(FReg, FReg, FReg),
+    /// `fd = fs1 * fs2`.
+    Fmul(FReg, FReg, FReg),
+    /// `fd = fs1 / fs2`.
+    Fdiv(FReg, FReg, FReg),
+    /// Fused multiply-add: `fd = fs1 * fs2 + fs3`.
+    Fmadd(FReg, FReg, FReg, FReg),
+    /// `fd = -fs1`.
+    Fneg(FReg, FReg),
+    /// `fd = fs1`.
+    Fmov(FReg, FReg),
+    /// `fd = imm`.
+    Fli(FReg, f64),
+    /// Convert signed integer to f64: `fd = rs1 as f64`.
+    Fcvtif(FReg, Reg),
+    /// Convert f64 to signed integer (truncating): `rd = fs1 as i64`.
+    Fcvtfi(Reg, FReg),
+    /// `rd = (fs1 == fs2) as i64`.
+    Feq(Reg, FReg, FReg),
+    /// `rd = (fs1 < fs2) as i64`.
+    Flt(Reg, FReg, FReg),
+    /// `rd = (fs1 <= fs2) as i64`.
+    Fle(Reg, FReg, FReg),
+
+    // ---- memory ----
+    /// `rd = zero_extend(mem[rs1 + offset])`.
+    Ld(Reg, Reg, i64, MemWidth),
+    /// `mem[rs1 + offset] = truncate(rs2)`. Operand order: (src, base, offset).
+    St(Reg, Reg, i64, MemWidth),
+    /// `fd = mem[rs1 + offset]` as f64.
+    Fld(FReg, Reg, i64),
+    /// `mem[rs1 + offset] = fs` bit pattern. Operand order: (src, base, offset).
+    Fst(FReg, Reg, i64),
+    /// Load-linked 8 bytes: `rd = mem[rs1 + offset]`, setting the link
+    /// register to the accessed line (Alpha `ldq_l`).
+    Ll(Reg, Reg, i64),
+    /// Store-conditional 8 bytes: if the link is still valid, performs
+    /// `mem[rs1 + offset] = rs2` and sets `rd = 1`; otherwise `rd = 0`
+    /// (Alpha `stq_c`). Operand order: (rd, src, base, offset).
+    Sc(Reg, Reg, Reg, i64),
+
+    // ---- control flow ----
+    /// Branch if `rs1 == rs2`.
+    Beq(Reg, Reg, Target),
+    /// Branch if `rs1 != rs2`.
+    Bne(Reg, Reg, Target),
+    /// Branch if `rs1 < rs2` (signed).
+    Blt(Reg, Reg, Target),
+    /// Branch if `rs1 >= rs2` (signed).
+    Bge(Reg, Reg, Target),
+    /// Branch if `rs1 < rs2` (unsigned).
+    Bltu(Reg, Reg, Target),
+    /// Branch if `rs1 >= rs2` (unsigned).
+    Bgeu(Reg, Reg, Target),
+    /// Jump and link: `rd = pc + 4; pc = target`.
+    Jal(Reg, Target),
+    /// Jump and link register: `rd = pc + 4; pc = rs1 + offset`.
+    Jalr(Reg, Reg, i64),
+
+    // ---- synchronization & cache management ----
+    /// Full memory fence (Alpha `mb` / PowerPC `sync`): stalls until the
+    /// store buffer has drained and all outstanding memory operations have
+    /// completed.
+    Sync,
+    /// Discard prefetched instructions and flush the pipeline
+    /// (PowerPC `ISYNC`).
+    Isync,
+    /// Invalidate the instruction-cache line containing `rs1 + offset`
+    /// throughout the hierarchy above the barrier filter (PowerPC `ICBI`).
+    /// User-mode; permission-checked like any memory reference.
+    Icbi(Reg, i64),
+    /// Invalidate the data-cache line containing `rs1 + offset` throughout
+    /// the hierarchy above the barrier filter, writing back first if dirty
+    /// (PowerPC `DCBI`).
+    Dcbi(Reg, i64),
+    /// Dedicated-network barrier (baseline): signal the global combining
+    /// logic for barrier `id` and stall until it fires. Models the
+    /// Beckmann & Polychronopoulos hardware with 2-cycle each-way latency.
+    HwBar(u16),
+
+    // ---- misc ----
+    /// Stop this thread; the core becomes idle.
+    Halt,
+    /// No operation (also used as alignment padding).
+    Nop,
+}
+
+impl Instr {
+    /// Whether this instruction reads or writes data memory (used by fence
+    /// drain logic and by the MSHR accounting tests).
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::Ld(..)
+                | Instr::St(..)
+                | Instr::Fld(..)
+                | Instr::Fst(..)
+                | Instr::Ll(..)
+                | Instr::Sc(..)
+        )
+    }
+
+    /// Whether this instruction is a control-flow instruction.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Beq(..)
+                | Instr::Bne(..)
+                | Instr::Blt(..)
+                | Instr::Bge(..)
+                | Instr::Bltu(..)
+                | Instr::Bgeu(..)
+                | Instr::Jal(..)
+                | Instr::Jalr(..)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_width_bytes() {
+        assert_eq!(MemWidth::B.bytes(), 1);
+        assert_eq!(MemWidth::H.bytes(), 2);
+        assert_eq!(MemWidth::W.bytes(), 4);
+        assert_eq!(MemWidth::D.bytes(), 8);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Instr::Ld(Reg::T0, Reg::T1, 0, MemWidth::D).is_memory());
+        assert!(Instr::Sc(Reg::T0, Reg::T1, Reg::T2, 0).is_memory());
+        assert!(!Instr::Sync.is_memory());
+        assert!(Instr::Jal(Reg::RA, Target(0)).is_control());
+        assert!(!Instr::Nop.is_control());
+    }
+}

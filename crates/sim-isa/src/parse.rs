@@ -1,0 +1,525 @@
+//! Text-format assembly parser: the inverse of the `Display`-based
+//! disassembler, so kernels can also be written as `.s`-style source
+//! strings and listings round-trip.
+//!
+//! ```text
+//! entry:
+//!     li   t0, 10        ; comments with ';' or '#'
+//! loop:
+//!     addi t0, t0, -1
+//!     bne  t0, zero, loop
+//!     halt
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use sim_isa::parse_asm;
+//!
+//! let program = parse_asm("
+//!     entry:
+//!         li t0, 3
+//!     spin:
+//!         addi t0, t0, -1
+//!         bne t0, zero, spin
+//!         halt
+//! ").unwrap();
+//! assert_eq!(program.len(), 4);
+//! assert!(program.symbol("spin").is_some());
+//! ```
+
+use std::fmt;
+
+use crate::{Asm, AsmError, FReg, MemWidth, Program, Reg};
+
+/// A parse failure, with the 1-based source line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+impl From<AsmError> for ParseAsmError {
+    fn from(e: AsmError) -> ParseAsmError {
+        ParseAsmError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseAsmError {
+    ParseAsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseAsmError> {
+    const NAMES: [&str; 32] = [
+        "zero", "ra", "sp", "tls", "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "t0", "t1",
+        "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "s0", "s1", "s2", "s3", "s4", "s5", "k0",
+        "k1", "tid", "ntid",
+    ];
+    if let Some(i) = NAMES.iter().position(|&n| n == tok) {
+        return Ok(Reg::new(i as u8));
+    }
+    if let Some(num) = tok.strip_prefix('x') {
+        if let Ok(i) = num.parse::<u8>() {
+            if i < 32 {
+                return Ok(Reg::new(i));
+            }
+        }
+    }
+    Err(err(line, format!("unknown integer register `{tok}`")))
+}
+
+fn parse_freg(tok: &str, line: usize) -> Result<FReg, ParseAsmError> {
+    if let Some(num) = tok.strip_prefix('f') {
+        if let Ok(i) = num.parse::<u8>() {
+            if i < 32 {
+                return Ok(FReg::new(i));
+            }
+        }
+    }
+    Err(err(line, format!("unknown fp register `{tok}`")))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseAsmError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_fimm(tok: &str, line: usize) -> Result<f64, ParseAsmError> {
+    tok.parse::<f64>()
+        .map_err(|_| err(line, format!("bad float immediate `{tok}`")))
+}
+
+/// Split `off(base)` into `(offset, base-register)`.
+fn parse_mem(tok: &str, line: usize) -> Result<(i64, Reg), ParseAsmError> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected `off(base)`, got `{tok}`")))?;
+    let close = tok
+        .strip_suffix(')')
+        .ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
+    let off_str = &tok[..open];
+    let base = parse_reg(&close[open + 1..], line)?;
+    let off = if off_str.is_empty() {
+        0
+    } else {
+        parse_imm(off_str, line)?
+    };
+    Ok((off, base))
+}
+
+/// Parse an assembly source string into a [`Program`].
+///
+/// Supported syntax: one instruction or `name:` label per line; operands
+/// separated by commas; `;` or `#` start a comment; every mnemonic the
+/// disassembler prints plus the pseudo-ops `mv`, `j`, `ret` and the
+/// `.align_line` directive. Branch/jump targets are label names.
+///
+/// # Errors
+///
+/// [`ParseAsmError`] with the offending line, or a relabelled
+/// [`AsmError`] (duplicate/undefined labels).
+pub fn parse_asm(source: &str) -> Result<Program, ParseAsmError> {
+    let mut a = Asm::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let code = raw.split([';', '#']).next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        if let Some(name) = code.strip_suffix(':') {
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(err(lineno, "bad label"));
+            }
+            a.label(name)
+                .map_err(|e| err(lineno, e.to_string()))
+                .map(|_| ())?;
+            continue;
+        }
+        let (mnemonic, rest) = match code.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (code, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let need = |n: usize| -> Result<(), ParseAsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    lineno,
+                    format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+                ))
+            }
+        };
+        let r = |i: usize| parse_reg(ops[i], lineno);
+        let fr = |i: usize| parse_freg(ops[i], lineno);
+        let imm = |i: usize| parse_imm(ops[i], lineno);
+        match mnemonic {
+            // register-register ALU
+            "add" | "sub" | "mul" | "div" | "rem" | "and" | "or" | "xor" | "sll" | "srl"
+            | "sra" | "slt" | "sltu" | "min" | "max" => {
+                need(3)?;
+                let (d, x, y) = (r(0)?, r(1)?, r(2)?);
+                match mnemonic {
+                    "add" => a.add(d, x, y),
+                    "sub" => a.sub(d, x, y),
+                    "mul" => a.mul(d, x, y),
+                    "div" => a.div(d, x, y),
+                    "rem" => a.rem(d, x, y),
+                    "and" => a.and(d, x, y),
+                    "or" => a.or(d, x, y),
+                    "xor" => a.xor(d, x, y),
+                    "sll" => a.sll(d, x, y),
+                    "srl" => a.srl(d, x, y),
+                    "sra" => a.sra(d, x, y),
+                    "slt" => a.slt(d, x, y),
+                    "sltu" => a.sltu(d, x, y),
+                    "min" => a.min(d, x, y),
+                    _ => a.max(d, x, y),
+                };
+            }
+            // register-immediate ALU
+            "addi" | "andi" | "ori" | "xori" | "slti" => {
+                need(3)?;
+                let (d, x, i) = (r(0)?, r(1)?, imm(2)?);
+                match mnemonic {
+                    "addi" => a.addi(d, x, i),
+                    "andi" => a.andi(d, x, i),
+                    "ori" => a.ori(d, x, i),
+                    "xori" => a.xori(d, x, i),
+                    _ => a.slti(d, x, i),
+                };
+            }
+            "slli" | "srli" | "srai" => {
+                need(3)?;
+                let (d, x, i) = (r(0)?, r(1)?, imm(2)?);
+                let sh = u8::try_from(i).map_err(|_| err(lineno, "shift amount out of range"))?;
+                match mnemonic {
+                    "slli" => a.slli(d, x, sh),
+                    "srli" => a.srli(d, x, sh),
+                    _ => a.srai(d, x, sh),
+                };
+            }
+            "li" => {
+                need(2)?;
+                let d = r(0)?;
+                let i = imm(1)?;
+                a.li(d, i);
+            }
+            "mv" => {
+                need(2)?;
+                let (d, x) = (r(0)?, r(1)?);
+                a.mv(d, x);
+            }
+            // floating point
+            "fadd" | "fsub" | "fmul" | "fdiv" => {
+                need(3)?;
+                let (d, x, y) = (fr(0)?, fr(1)?, fr(2)?);
+                match mnemonic {
+                    "fadd" => a.fadd(d, x, y),
+                    "fsub" => a.fsub(d, x, y),
+                    "fmul" => a.fmul(d, x, y),
+                    _ => a.fdiv(d, x, y),
+                };
+            }
+            "fmadd" => {
+                need(4)?;
+                a.fmadd(fr(0)?, fr(1)?, fr(2)?, fr(3)?);
+            }
+            "fneg" | "fmov" => {
+                need(2)?;
+                let (d, x) = (fr(0)?, fr(1)?);
+                if mnemonic == "fneg" {
+                    a.fneg(d, x)
+                } else {
+                    a.fmov(d, x)
+                };
+            }
+            "fli" => {
+                need(2)?;
+                let d = fr(0)?;
+                let v = parse_fimm(ops[1], lineno)?;
+                a.fli(d, v);
+            }
+            "fcvt.d.l" => {
+                need(2)?;
+                a.fcvtif(fr(0)?, r(1)?);
+            }
+            "fcvt.l.d" => {
+                need(2)?;
+                a.fcvtfi(r(0)?, fr(1)?);
+            }
+            "feq" | "flt" | "fle" => {
+                need(3)?;
+                let (d, x, y) = (r(0)?, fr(1)?, fr(2)?);
+                match mnemonic {
+                    "feq" => a.feq(d, x, y),
+                    "flt" => a.flt(d, x, y),
+                    _ => a.fle(d, x, y),
+                };
+            }
+            // memory
+            "ldb" | "ldh" | "ldw" | "ldd" => {
+                need(2)?;
+                let d = r(0)?;
+                let (off, base) = parse_mem(ops[1], lineno)?;
+                let w = match mnemonic {
+                    "ldb" => MemWidth::B,
+                    "ldh" => MemWidth::H,
+                    "ldw" => MemWidth::W,
+                    _ => MemWidth::D,
+                };
+                a.ld(d, base, off, w);
+            }
+            "stb" | "sth" | "stw" | "std" => {
+                need(2)?;
+                let s = r(0)?;
+                let (off, base) = parse_mem(ops[1], lineno)?;
+                let w = match mnemonic {
+                    "stb" => MemWidth::B,
+                    "sth" => MemWidth::H,
+                    "stw" => MemWidth::W,
+                    _ => MemWidth::D,
+                };
+                a.st(s, base, off, w);
+            }
+            "fld" => {
+                need(2)?;
+                let d = fr(0)?;
+                let (off, base) = parse_mem(ops[1], lineno)?;
+                a.fld(d, base, off);
+            }
+            "fst" => {
+                need(2)?;
+                let s = fr(0)?;
+                let (off, base) = parse_mem(ops[1], lineno)?;
+                a.fst(s, base, off);
+            }
+            "ll" => {
+                need(2)?;
+                let d = r(0)?;
+                let (off, base) = parse_mem(ops[1], lineno)?;
+                a.ll(d, base, off);
+            }
+            "sc" => {
+                need(3)?;
+                let (d, s) = (r(0)?, r(1)?);
+                let (off, base) = parse_mem(ops[2], lineno)?;
+                a.sc(d, s, base, off);
+            }
+            // control flow
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+                need(3)?;
+                let (x, y) = (r(0)?, r(1)?);
+                let target = ops[2];
+                match mnemonic {
+                    "beq" => a.beq(x, y, target),
+                    "bne" => a.bne(x, y, target),
+                    "blt" => a.blt(x, y, target),
+                    "bge" => a.bge(x, y, target),
+                    "bltu" => a.bltu(x, y, target),
+                    _ => a.bgeu(x, y, target),
+                };
+            }
+            "jal" => {
+                need(2)?;
+                let d = r(0)?;
+                a.jal(d, ops[1]);
+            }
+            "j" => {
+                need(1)?;
+                a.j(ops[0]);
+            }
+            "jalr" => {
+                need(2)?;
+                let d = r(0)?;
+                let (off, base) = parse_mem(ops[1], lineno)?;
+                a.jalr(d, base, off);
+            }
+            "ret" => {
+                need(0)?;
+                a.ret();
+            }
+            // sync & cache management
+            "sync" => {
+                need(0)?;
+                a.sync();
+            }
+            "isync" => {
+                need(0)?;
+                a.isync();
+            }
+            "icbi" | "dcbi" => {
+                need(1)?;
+                let (off, base) = parse_mem(ops[0], lineno)?;
+                if mnemonic == "icbi" {
+                    a.icbi(base, off)
+                } else {
+                    a.dcbi(base, off)
+                };
+            }
+            "hwbar" => {
+                need(1)?;
+                let id = u16::try_from(imm(0)?)
+                    .map_err(|_| err(lineno, "hwbar id out of range"))?;
+                a.hwbar(id);
+            }
+            "halt" => {
+                need(0)?;
+                a.halt();
+            }
+            "nop" => {
+                need(0)?;
+                a.nop();
+            }
+            ".align_line" => {
+                need(0)?;
+                a.align_line();
+            }
+            other => return Err(err(lineno, format!("unknown mnemonic `{other}`"))),
+        }
+    }
+    a.assemble().map_err(ParseAsmError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Instr;
+
+    #[test]
+    fn parses_a_small_program() {
+        let p = parse_asm(
+            "
+            entry:
+                li   t0, 0x10   ; sixteen
+                li   t1, -1
+            loop:
+                add  t1, t1, t0
+                addi t0, t0, -1
+                bne  t0, zero, loop
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(
+            p.fetch(p.require_symbol("entry")),
+            Some(Instr::Li(Reg::T0, 16))
+        );
+    }
+
+    #[test]
+    fn memory_operands_and_floats() {
+        let p = parse_asm(
+            "
+            start:
+                fld  f1, 8(t0)
+                fmadd f0, f1, f2, f0
+                fst  f0, -16(sp)
+                ldd  a0, (t1)
+                sc   t3, t2, 0(t0)
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(
+            p.fetch(p.require_symbol("start")),
+            Some(Instr::Fld(FReg::F1, Reg::T0, 8))
+        );
+    }
+
+    #[test]
+    fn disassembly_round_trips_for_straight_line_code() {
+        let mut a = Asm::new();
+        a.label("entry").unwrap();
+        a.li(Reg::T0, 42);
+        a.addi(Reg::T1, Reg::T0, -3);
+        a.fadd(FReg::F0, FReg::F1, FReg::F2);
+        a.ldd(Reg::A0, Reg::SP, 16);
+        a.std(Reg::A0, Reg::SP, 24);
+        a.sync();
+        a.icbi(Reg::K0, 0);
+        a.halt();
+        let original = a.assemble().unwrap();
+        // Program's Display prints `pc: instr` lines; strip the pc column
+        // and the label lines stay as-is.
+        let listing: String = original
+            .to_string()
+            .lines()
+            .map(|l| match l.split_once(":  ") {
+                Some((_, instr)) => format!("    {instr}\n"),
+                None => format!("{l}\n"),
+            })
+            .collect();
+        let reparsed = parse_asm(&listing).unwrap();
+        assert_eq!(reparsed.len(), original.len());
+        for ((_, a), (_, b)) in reparsed.iter().zip(original.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_asm("entry:\n  bogus t0, t1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = parse_asm("  add t0, t1\n").unwrap_err();
+        assert!(e.message.contains("expects 3 operands"));
+
+        let e = parse_asm("  li q9, 3\n").unwrap_err();
+        assert!(e.message.contains("unknown integer register"));
+
+        let e = parse_asm("  ldd t0, t1\n").unwrap_err();
+        assert!(e.message.contains("off(base)"));
+
+        let e = parse_asm("  j nowhere\n").unwrap_err();
+        assert!(e.message.contains("never defined"));
+    }
+
+    #[test]
+    fn numeric_register_names_work() {
+        let p = parse_asm("e:\n  add x5, x0, x31\n  halt\n").unwrap();
+        assert_eq!(
+            p.fetch(p.require_symbol("e")),
+            Some(Instr::Add(Reg::A1, Reg::ZERO, Reg::NTID))
+        );
+    }
+
+    #[test]
+    fn align_directive() {
+        let p = parse_asm("e:\n  nop\n  .align_line\nstub:\n  ret\n").unwrap();
+        assert_eq!(p.require_symbol("stub") % 64, 0);
+    }
+}

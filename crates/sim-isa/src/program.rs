@@ -1,0 +1,163 @@
+//! Assembled program images.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Instr;
+
+/// Base physical address of the code region.
+///
+/// Data allocations made by the machine builder start well above this, so
+/// code and data never overlap.
+pub const CODE_BASE: u64 = 0x1_0000;
+
+/// Bytes occupied by one instruction in the code region.
+pub const INSTR_BYTES: u64 = 4;
+
+/// An assembled MiniRISC program: a code image plus its symbol table.
+///
+/// All threads of a simulation share a single `Program` (the loader points
+/// each thread at its entry and sets `tid`/`ntid`), mirroring how the paper's
+/// kernels run one binary across all cores.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    code: Vec<Instr>,
+    symbols: BTreeMap<String, u64>,
+}
+
+impl Program {
+    pub(crate) fn from_parts(code: Vec<Instr>, symbols: BTreeMap<String, u64>) -> Program {
+        Program { code, symbols }
+    }
+
+    /// Number of instructions in the image.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the image contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The instruction at program counter `pc`, or `None` if `pc` is outside
+    /// the code region or misaligned.
+    pub fn fetch(&self, pc: u64) -> Option<Instr> {
+        if pc < CODE_BASE || (pc - CODE_BASE) % INSTR_BYTES != 0 {
+            return None;
+        }
+        let idx = ((pc - CODE_BASE) / INSTR_BYTES) as usize;
+        self.code.get(idx).copied()
+    }
+
+    /// The program counter of a label defined during assembly.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// The program counter of a label, panicking with a clear message if it
+    /// does not exist. Intended for loaders resolving required entry points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was never defined.
+    pub fn require_symbol(&self, name: &str) -> u64 {
+        self.symbol(name)
+            .unwrap_or_else(|| panic!("program has no symbol named `{name}`"))
+    }
+
+    /// Iterate over `(pc, instruction)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Instr)> + '_ {
+        self.code
+            .iter()
+            .enumerate()
+            .map(|(i, &ins)| (CODE_BASE + i as u64 * INSTR_BYTES, ins))
+    }
+
+    /// All symbols in name order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.symbols.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// First address past the end of the code image.
+    pub fn code_end(&self) -> u64 {
+        CODE_BASE + self.code.len() as u64 * INSTR_BYTES
+    }
+
+    /// Whether `addr` falls inside the code region of this program.
+    pub fn contains_code(&self, addr: u64) -> bool {
+        (CODE_BASE..self.code_end()).contains(&addr)
+    }
+}
+
+impl fmt::Display for Program {
+    /// Full disassembly listing with symbolized labels.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let by_pc: BTreeMap<u64, &str> = self
+            .symbols
+            .iter()
+            .map(|(name, &pc)| (pc, name.as_str()))
+            .collect();
+        for (pc, instr) in self.iter() {
+            if let Some(name) = by_pc.get(&pc) {
+                writeln!(f, "{name}:")?;
+            }
+            writeln!(f, "  {pc:#08x}:  {instr}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Asm, Reg};
+
+    fn small() -> Program {
+        let mut a = Asm::new();
+        a.label("entry").unwrap();
+        a.li(Reg::T0, 5);
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let p = small();
+        assert!(p.fetch(CODE_BASE).is_some());
+        assert!(p.fetch(CODE_BASE + INSTR_BYTES).is_some());
+        assert!(p.fetch(CODE_BASE + 2 * INSTR_BYTES).is_none());
+        assert!(p.fetch(CODE_BASE - INSTR_BYTES).is_none());
+        assert!(p.fetch(CODE_BASE + 1).is_none(), "misaligned pc");
+    }
+
+    #[test]
+    fn symbols_resolve() {
+        let p = small();
+        assert_eq!(p.symbol("entry"), Some(CODE_BASE));
+        assert_eq!(p.require_symbol("entry"), CODE_BASE);
+        assert_eq!(p.symbol("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no symbol")]
+    fn require_missing_symbol_panics() {
+        small().require_symbol("missing");
+    }
+
+    #[test]
+    fn code_extent() {
+        let p = small();
+        assert_eq!(p.code_end(), CODE_BASE + 2 * INSTR_BYTES);
+        assert!(p.contains_code(CODE_BASE));
+        assert!(!p.contains_code(p.code_end()));
+    }
+
+    #[test]
+    fn display_lists_all_instructions() {
+        let p = small();
+        let listing = p.to_string();
+        assert!(listing.contains("entry:"));
+        assert!(listing.contains("halt"));
+    }
+}

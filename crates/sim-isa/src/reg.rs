@@ -1,0 +1,223 @@
+//! Integer and floating-point register names.
+
+use std::fmt;
+
+/// One of the 32 integer registers.
+///
+/// `x0` ([`Reg::ZERO`]) is hardwired to zero: writes are discarded, reads
+/// return 0. The remaining registers are general purpose, but the runtime
+/// convention used by the barrier library and the kernels is:
+///
+/// | register | alias | use |
+/// |---|---|---|
+/// | x0 | `ZERO` | constant zero |
+/// | x1 | `RA` | return address (`jal`/`jalr` link) |
+/// | x2 | `SP` | stack pointer |
+/// | x3 | `TLS` | thread-local storage base |
+/// | x4–x11 | `A0`–`A7` | arguments / kernel parameters |
+/// | x12–x21 | `T0`–`T9` | caller-saved temporaries |
+/// | x22–x27 | `S0`–`S5` | callee-saved |
+/// | x28–x29 | `K0`–`K1` | reserved for the barrier runtime |
+/// | x30 | `TID` | thread id (set by the loader) |
+/// | x31 | `NTID` | number of threads (set by the loader) |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Constant-zero register (x0).
+    pub const ZERO: Reg = Reg(0);
+    /// Return-address register (x1).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer (x2).
+    pub const SP: Reg = Reg(2);
+    /// Thread-local storage base (x3).
+    pub const TLS: Reg = Reg(3);
+    /// Argument register 0 (x4).
+    pub const A0: Reg = Reg(4);
+    /// Argument register 1 (x5).
+    pub const A1: Reg = Reg(5);
+    /// Argument register 2 (x6).
+    pub const A2: Reg = Reg(6);
+    /// Argument register 3 (x7).
+    pub const A3: Reg = Reg(7);
+    /// Argument register 4 (x8).
+    pub const A4: Reg = Reg(8);
+    /// Argument register 5 (x9).
+    pub const A5: Reg = Reg(9);
+    /// Argument register 6 (x10).
+    pub const A6: Reg = Reg(10);
+    /// Argument register 7 (x11).
+    pub const A7: Reg = Reg(11);
+    /// Temporary 0 (x12).
+    pub const T0: Reg = Reg(12);
+    /// Temporary 1 (x13).
+    pub const T1: Reg = Reg(13);
+    /// Temporary 2 (x14).
+    pub const T2: Reg = Reg(14);
+    /// Temporary 3 (x15).
+    pub const T3: Reg = Reg(15);
+    /// Temporary 4 (x16).
+    pub const T4: Reg = Reg(16);
+    /// Temporary 5 (x17).
+    pub const T5: Reg = Reg(17);
+    /// Temporary 6 (x18).
+    pub const T6: Reg = Reg(18);
+    /// Temporary 7 (x19).
+    pub const T7: Reg = Reg(19);
+    /// Temporary 8 (x20).
+    pub const T8: Reg = Reg(20);
+    /// Temporary 9 (x21).
+    pub const T9: Reg = Reg(21);
+    /// Saved register 0 (x22).
+    pub const S0: Reg = Reg(22);
+    /// Saved register 1 (x23).
+    pub const S1: Reg = Reg(23);
+    /// Saved register 2 (x24).
+    pub const S2: Reg = Reg(24);
+    /// Saved register 3 (x25).
+    pub const S3: Reg = Reg(25);
+    /// Saved register 4 (x26).
+    pub const S4: Reg = Reg(26);
+    /// Saved register 5 (x27).
+    pub const S5: Reg = Reg(27);
+    /// Barrier-runtime reserved register 0 (x28).
+    pub const K0: Reg = Reg(28);
+    /// Barrier-runtime reserved register 1 (x29).
+    pub const K1: Reg = Reg(29);
+    /// Thread id, set by the loader (x30).
+    pub const TID: Reg = Reg(30);
+    /// Thread count, set by the loader (x31).
+    pub const NTID: Reg = Reg(31);
+
+    /// Number of integer registers.
+    pub const COUNT: usize = 32;
+
+    /// Construct a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub const fn new(index: u8) -> Reg {
+        assert!(index < 32, "integer register index out of range");
+        Reg(index)
+    }
+
+    /// The register's index in the register file (0–31).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "tls", "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "t0", "t1",
+            "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "s0", "s1", "s2", "s3", "s4", "s5",
+            "k0", "k1", "tid", "ntid",
+        ];
+        f.write_str(NAMES[self.0 as usize])
+    }
+}
+
+/// One of the 32 double-precision floating-point registers (`f0`–`f31`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// f0 — conventionally the primary FP accumulator / return value.
+    pub const F0: FReg = FReg(0);
+    /// f1.
+    pub const F1: FReg = FReg(1);
+    /// f2.
+    pub const F2: FReg = FReg(2);
+    /// f3.
+    pub const F3: FReg = FReg(3);
+    /// f4.
+    pub const F4: FReg = FReg(4);
+    /// f5.
+    pub const F5: FReg = FReg(5);
+    /// f6.
+    pub const F6: FReg = FReg(6);
+    /// f7.
+    pub const F7: FReg = FReg(7);
+    /// f8.
+    pub const F8: FReg = FReg(8);
+    /// f9.
+    pub const F9: FReg = FReg(9);
+    /// f10.
+    pub const F10: FReg = FReg(10);
+    /// f11.
+    pub const F11: FReg = FReg(11);
+
+    /// Number of floating-point registers.
+    pub const COUNT: usize = 32;
+
+    /// Construct a floating-point register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub const fn new(index: u8) -> FReg {
+        assert!(index < 32, "fp register index out of range");
+        FReg(index)
+    }
+
+    /// The register's index in the register file (0–31).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_map_to_expected_indices() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::RA.index(), 1);
+        assert_eq!(Reg::TLS.index(), 3);
+        assert_eq!(Reg::A0.index(), 4);
+        assert_eq!(Reg::T0.index(), 12);
+        assert_eq!(Reg::S0.index(), 22);
+        assert_eq!(Reg::K0.index(), 28);
+        assert_eq!(Reg::TID.index(), 30);
+        assert_eq!(Reg::NTID.index(), 31);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+        assert_eq!(Reg::T3.to_string(), "t3");
+        assert_eq!(Reg::NTID.to_string(), "ntid");
+        assert_eq!(FReg::F7.to_string(), "f7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_reg_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::RA.is_zero());
+    }
+}

@@ -1,0 +1,67 @@
+//! Barrier showdown: measure average barrier latency for all seven
+//! mechanisms of the paper at a chosen core count (default 16), using the
+//! paper's §4.2 methodology — a loop of back-to-back barriers with no work
+//! between them.
+//!
+//! ```text
+//! cargo run --release --example barrier_showdown [cores]
+//! ```
+
+use barrier_filter::{BarrierMechanism, BarrierSystem};
+use cmp_sim::{AddressSpace, MachineBuilder, SimConfig};
+use sim_isa::{Asm, Reg};
+
+fn latency(mechanism: BarrierMechanism, cores: usize) -> Result<f64, Box<dyn std::error::Error>> {
+    let (inner, outer) = (32u64, 8u64);
+    let config = SimConfig::with_cores(cores);
+    let mut space = AddressSpace::new(&config);
+    let mut asm = Asm::new();
+    let mut sys = BarrierSystem::new(&config, cores, &mut space)?;
+    let barrier = sys.create_barrier(&mut asm, &mut space, mechanism, cores)?;
+    asm.label("entry")?;
+    asm.li(Reg::S0, outer as i64);
+    asm.label("outer")?;
+    asm.li(Reg::S1, inner as i64);
+    asm.label("inner")?;
+    barrier.emit_call(&mut asm);
+    asm.addi(Reg::S1, Reg::S1, -1);
+    asm.bne(Reg::S1, Reg::ZERO, "inner");
+    asm.addi(Reg::S0, Reg::S0, -1);
+    asm.bne(Reg::S0, Reg::ZERO, "outer");
+    asm.halt();
+    let program = asm.assemble()?;
+    let entry = program.require_symbol("entry");
+    let mut mb = MachineBuilder::new(config, program)?;
+    for _ in 0..cores {
+        mb.add_thread(entry);
+    }
+    sys.install(&mut mb)?;
+    let mut machine = mb.build()?;
+    let summary = machine.run()?;
+    Ok(summary.cycles as f64 / (inner * outer) as f64)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cores: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(16);
+    println!("average cycles per barrier on {cores} cores (256 back-to-back barriers):");
+    println!();
+    let mut results: Vec<(BarrierMechanism, f64)> = Vec::new();
+    for mechanism in BarrierMechanism::ALL {
+        results.push((mechanism, latency(mechanism, cores)?));
+    }
+    let best = results
+        .iter()
+        .map(|&(_, c)| c)
+        .fold(f64::INFINITY, f64::min);
+    for (mechanism, cycles) in results {
+        let bar = "#".repeat((cycles / best).round() as usize).chars().take(60).collect::<String>();
+        println!("{:>13}  {cycles:8.1}  {bar}", mechanism.to_string());
+    }
+    println!();
+    println!("(each '#' is one multiple of the fastest mechanism)");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Livermore sweep: for one Livermore loop (2, 3 or 6), sweep the vector
+//! length and print sequential-vs-parallel cycles for a chosen barrier
+//! mechanism — a one-kernel slice of the paper's Figures 7, 8 and 10.
+//!
+//! ```text
+//! cargo run --release --example livermore_sweep [loop#] [mechanism]
+//! e.g. cargo run --release --example livermore_sweep 3 filter-i
+//! ```
+
+use barrier_filter::BarrierMechanism;
+use kernels::livermore::{Loop2, Loop3, Loop6};
+use kernels::KernelOutcome;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(3);
+    let mechanism: BarrierMechanism = std::env::args()
+        .nth(2)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(BarrierMechanism::FilterI);
+    let threads = 16;
+    let sizes: &[usize] = match which {
+        6 => &[16, 32, 64, 128],
+        _ => &[16, 32, 64, 128, 256, 512],
+    };
+
+    println!("Livermore loop {which} with the {mechanism} barrier on {threads} cores");
+    println!();
+    println!("{:>6}  {:>12}  {:>12}  {:>8}", "N", "sequential", "parallel", "speedup");
+    for &n in sizes {
+        let (seq, par): (KernelOutcome, KernelOutcome) = match which {
+            2 => {
+                let k = Loop2::new(n);
+                (k.run_sequential()?, k.run_parallel(threads, mechanism)?)
+            }
+            6 => {
+                let k = Loop6::new(n);
+                (k.run_sequential()?, k.run_parallel(threads, mechanism)?)
+            }
+            _ => {
+                let k = Loop3::new(n);
+                (k.run_sequential()?, k.run_parallel(threads, mechanism)?)
+            }
+        };
+        let marker = if par.cycles_per_rep < seq.cycles_per_rep {
+            "  <- parallel wins"
+        } else {
+            ""
+        };
+        println!(
+            "{n:>6}  {:>12.1}  {:>12.1}  {:>8.2}{marker}",
+            seq.cycles_per_rep,
+            par.cycles_per_rep,
+            seq.cycles_per_rep / par.cycles_per_rep
+        );
+    }
+    println!();
+    println!("every run above was validated against a host reference before being reported");
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! `fastbar` — a reproduction of *"Exploiting Fine-Grained Data Parallelism
+//! with Chip Multiprocessors and Fast Barriers"* (Sampson, González, Collard,
+//! Jouppi, Schlansker, Calder — MICRO 2006).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`sim_isa`] — the MiniRISC instruction set and assembler;
+//! * [`cmp_sim`] — the event-driven cycle-level CMP simulator;
+//! * [`barrier_filter`] — the paper's contribution: barrier filters, plus the
+//!   software and dedicated-network baseline barrier mechanisms;
+//! * [`kernels`] — the fine-grained data-parallel kernels the paper
+//!   evaluates (Livermore loops 2/3/6, EEMBC-like autocorrelation and
+//!   Viterbi).
+//!
+//! See `examples/quickstart.rs` for the fastest route to a running
+//! simulation, and the `bench-suite` crate for the binaries that regenerate
+//! every table and figure of the paper.
+
+pub use barrier_filter;
+pub use cmp_sim;
+pub use kernels;
+pub use sim_isa;
+
+/// Commonly needed items in one import.
+pub mod prelude {
+    pub use barrier_filter::{BarrierMechanism, BarrierSystem};
+    pub use cmp_sim::{Machine, MachineBuilder, SimConfig};
+    pub use sim_isa::{Asm, FReg, Instr, MemWidth, Program, Reg};
+}

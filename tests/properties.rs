@@ -1,0 +1,272 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use barrier_filter::{FilterTable, FilterTableConfig, TableFill, ThreadState};
+use cmp_sim::{AddressSpace, Memory, ParkToken, SimConfig};
+use sim_isa::{line_of, Asm, Reg, LINE_BYTES};
+
+// ---------------------------------------------------------------------
+// Memory: byte-accurate against a HashMap model
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn memory_matches_byte_model(
+        writes in prop::collection::vec(
+            (0u64..0x4000, 1usize..=8, any::<u64>()),
+            1..60
+        )
+    ) {
+        let mut mem = Memory::new();
+        let mut model = std::collections::HashMap::<u64, u8>::new();
+        for &(addr, width, value) in &writes {
+            mem.write_le(addr, width, value);
+            for i in 0..width as u64 {
+                model.insert(addr + i, (value >> (8 * i)) as u8);
+            }
+        }
+        for &(addr, width, _) in &writes {
+            let got = mem.read_le(addr, width);
+            let mut want = 0u64;
+            for i in 0..width as u64 {
+                want |= (*model.get(&(addr + i)).unwrap_or(&0) as u64) << (8 * i);
+            }
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn line_of_is_idempotent_and_aligned(addr in any::<u64>()) {
+        let l = line_of(addr);
+        prop_assert_eq!(l % LINE_BYTES, 0);
+        prop_assert_eq!(line_of(l), l);
+        prop_assert!(l <= addr && addr - l < LINE_BYTES);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Address space: bank homing and disjointness
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bank_homed_allocations_are_homed_and_disjoint(
+        requests in prop::collection::vec((0usize..4, 1u64..64), 1..20)
+    ) {
+        let config = SimConfig::default();
+        let mut space = AddressSpace::new(&config);
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for &(bank, lines) in &requests {
+            let base = space.alloc_bank_lines(bank, lines).unwrap();
+            for i in 0..lines {
+                prop_assert_eq!(config.bank_of(base + i * LINE_BYTES), bank);
+            }
+            let end = base + lines * LINE_BYTES;
+            for &(b, e) in &ranges {
+                prop_assert!(end <= b || base >= e, "overlap");
+            }
+            ranges.push((base, end));
+        }
+    }
+
+    #[test]
+    fn data_allocations_never_collide(
+        requests in prop::collection::vec((1u64..512, 0u32..4), 1..30)
+    ) {
+        let config = SimConfig::default();
+        let mut space = AddressSpace::new(&config);
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for &(bytes, align_log2) in &requests {
+            let align = 1u64 << (3 + align_log2);
+            let base = space.alloc(bytes, align).unwrap();
+            prop_assert_eq!(base % align, 0);
+            for &(b, e) in &ranges {
+                prop_assert!(base + bytes <= b || base >= e, "overlap");
+            }
+            ranges.push((base, base + bytes));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Filter table: protocol-conforming event sequences never fault, and the
+// barrier opens exactly when the last thread arrives.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn filter_table_protocol_invariants(
+        threads in 1usize..8,
+        schedule in prop::collection::vec(0usize..8, 1..200)
+    ) {
+        const A: u64 = 0x2000_0000;
+        const E: u64 = 0x2000_4000;
+        let mut table = FilterTable::new(FilterTableConfig::entry_exit(A, E, threads));
+        // Per-thread protocol position: 0 = before arrival invalidate,
+        // 1 = before fill, 2 = parked/waiting for release, 3 = past the
+        // barrier (before exit invalidate).
+        let mut pos = vec![0u8; threads];
+        let mut episodes = 0u64;
+        let mut token = 0u64;
+        for &pick in &schedule {
+            let t = pick % threads;
+            let line_a = A + 64 * t as u64;
+            let line_e = E + 64 * t as u64;
+            match pos[t] {
+                0 => {
+                    let out = table.on_invalidate(line_a).unwrap();
+                    pos[t] = 1;
+                    if !out.released.is_empty() || table.thread_state(t) == ThreadState::Servicing {
+                        // barrier opened: everyone blocked is now servicing
+                        episodes += 1;
+                        for (u, p) in pos.iter_mut().enumerate() {
+                            if *p == 2 || (*p == 1 && u != t) {
+                                *p = 3;
+                            }
+                        }
+                        // the arriving thread itself is also past
+                        pos[t] = 3;
+                    }
+                }
+                1 => {
+                    token += 1;
+                    match table.on_fill(line_a, ParkToken(token), 0).unwrap() {
+                        TableFill::Park => pos[t] = 2,
+                        TableFill::Service => pos[t] = 3,
+                        TableFill::NotMine => prop_assert!(false, "arrival must match"),
+                    }
+                }
+                2 => {
+                    // parked: nothing to do until release (handled in 0-arm)
+                }
+                3 => {
+                    table.on_invalidate(line_e).unwrap();
+                    pos[t] = 0;
+                }
+                _ => unreachable!(),
+            }
+            prop_assert!(table.arrived() < threads.max(1));
+        }
+        prop_assert_eq!(table.stats().episodes, episodes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Assembler / program round trips
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn assembled_programs_fetch_every_pc(nops in 1usize..100, jumps in 0usize..5) {
+        let mut a = Asm::new();
+        a.label("entry").unwrap();
+        for _ in 0..jumps {
+            a.j("end");
+        }
+        for _ in 0..nops {
+            a.nop();
+        }
+        a.label("end").unwrap();
+        a.halt();
+        let p = a.assemble().unwrap();
+        prop_assert_eq!(p.len(), nops + jumps + 1);
+        for (pc, _) in p.iter() {
+            prop_assert!(p.fetch(pc).is_some());
+        }
+        prop_assert!(p.fetch(p.code_end()).is_none());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole machine: a random integer reduction is exact for any thread count
+// and mechanism, and deterministic.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_sum_is_exact_for_any_gang(
+        threads in 1usize..6,
+        values in prop::collection::vec(0u64..1_000_000, 8..64),
+        mech_pick in 0usize..7,
+    ) {
+        use barrier_filter::{BarrierMechanism, BarrierSystem};
+        use cmp_sim::MachineBuilder;
+
+        let mechanism = BarrierMechanism::ALL[mech_pick];
+        let n = values.len();
+        let config = SimConfig::with_cores(threads);
+        let mut space = AddressSpace::new(&config);
+        let mut asm = Asm::new();
+        let mut sys = BarrierSystem::new(&config, threads, &mut space).unwrap();
+        let barrier = sys
+            .create_barrier(&mut asm, &mut space, mechanism, threads)
+            .unwrap();
+        let data = space.alloc_u64(n as u64).unwrap();
+        let partials = space.alloc_lines(threads as u64).unwrap();
+        let out = space.alloc_u64(1).unwrap();
+        let chunk = n.div_ceil(threads) as i64;
+
+        asm.label("entry").unwrap();
+        asm.li(Reg::T0, chunk);
+        asm.mul(Reg::T1, Reg::TID, Reg::T0); // lo
+        asm.add(Reg::T2, Reg::T1, Reg::T0);
+        asm.li(Reg::T3, n as i64);
+        asm.min(Reg::T2, Reg::T2, Reg::T3); // hi
+        asm.li(Reg::T4, 0);
+        asm.bge(Reg::T1, Reg::T2, "store");
+        asm.slli(Reg::T5, Reg::T1, 3);
+        asm.li(Reg::T0, data as i64);
+        asm.add(Reg::T5, Reg::T5, Reg::T0);
+        asm.sub(Reg::T3, Reg::T2, Reg::T1);
+        asm.label("acc").unwrap();
+        asm.ldd(Reg::T0, Reg::T5, 0);
+        asm.add(Reg::T4, Reg::T4, Reg::T0);
+        asm.addi(Reg::T5, Reg::T5, 8);
+        asm.addi(Reg::T3, Reg::T3, -1);
+        asm.bne(Reg::T3, Reg::ZERO, "acc");
+        asm.label("store").unwrap();
+        asm.slli(Reg::T5, Reg::TID, 6);
+        asm.li(Reg::T0, partials as i64);
+        asm.add(Reg::T0, Reg::T0, Reg::T5);
+        asm.std(Reg::T4, Reg::T0, 0);
+        barrier.emit_call(&mut asm);
+        asm.bne(Reg::TID, Reg::ZERO, "done");
+        asm.li(Reg::T0, partials as i64);
+        asm.li(Reg::T1, 0);
+        asm.li(Reg::T2, 0);
+        asm.label("red").unwrap();
+        asm.ldd(Reg::T3, Reg::T0, 0);
+        asm.add(Reg::T2, Reg::T2, Reg::T3);
+        asm.addi(Reg::T0, Reg::T0, 64);
+        asm.addi(Reg::T1, Reg::T1, 1);
+        asm.blt(Reg::T1, Reg::NTID, "red");
+        asm.li(Reg::T4, out as i64);
+        asm.std(Reg::T2, Reg::T4, 0);
+        asm.label("done").unwrap();
+        asm.halt();
+
+        let program = asm.assemble().unwrap();
+        let entry = program.require_symbol("entry");
+        let mut mb = MachineBuilder::new(config, program).unwrap();
+        mb.write_u64_slice(data, &values);
+        for _ in 0..threads {
+            mb.add_thread(entry);
+        }
+        sys.install(&mut mb).unwrap();
+        let mut machine = mb.build().unwrap();
+        let summary = machine.run().unwrap();
+        prop_assert_eq!(machine.read_u64(out), values.iter().sum::<u64>());
+        prop_assert!(summary.cycles > 0);
+    }
+}
