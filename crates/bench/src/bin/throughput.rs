@@ -1,0 +1,60 @@
+//! Simulator wall-clock throughput benchmark.
+//!
+//! Runs the fixed throughput workloads (the Figure 4 barrier sweep at 16
+//! cores and the Viterbi kernel) and reports simulated instructions per
+//! host second, writing the machine-readable trajectory file
+//! `BENCH_throughput.json` in the current directory.
+//!
+//! Usage: `throughput [--quick] [--out PATH]`
+//!
+//! `--quick` shrinks rep counts for smoke runs (and marks the workloads
+//! accordingly, so quick numbers are never confused with the tracked
+//! ones); `--out` overrides the JSON path.
+
+use bench_suite::throughput::{fig4_sample, to_json, viterbi_sample};
+use bench_suite::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_throughput.json", String::as_str);
+
+    let (inner, outer, vit_bits) = if quick { (8, 2, 24) } else { (64, 64, 96) };
+    let mut samples = vec![fig4_sample(16, inner, outer), viterbi_sample(vit_bits, 16)];
+    if quick {
+        for s in &mut samples {
+            s.workload.push_str("_quick");
+        }
+    }
+
+    println!("Simulator throughput (simulated instructions per host second)");
+    println!();
+    let header: Vec<String> = ["workload", "sim Mcycles", "sim Minstr", "host s", "Minstr/s", "stats digest"]
+        .map(String::from)
+        .to_vec();
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.workload.clone(),
+                report::f1(s.sim_cycles as f64 / 1e6),
+                report::f1(s.sim_instructions as f64 / 1e6),
+                format!("{:.3}", s.wall_seconds),
+                report::f2(s.instr_per_sec / 1e6),
+                s.stats_digest
+                    .map_or_else(|| "-".to_string(), |d| format!("{d:#018x}")),
+            ]
+        })
+        .collect();
+    print!("{}", report::table(&header, &rows));
+
+    let json = to_json(&samples);
+    std::fs::write(out_path, &json)
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!();
+    println!("wrote {out_path}");
+}

@@ -3,8 +3,54 @@
 //! following Culler/Singh/Gupta).
 
 use barrier_filter::{BarrierMechanism, BarrierSystem};
-use cmp_sim::{AddressSpace, MachineBuilder, SimConfig, SimError};
+use cmp_sim::{AddressSpace, Machine, MachineBuilder, SimConfig, SimError};
 use sim_isa::{Asm, Reg};
+
+/// Build (but do not run) the Figure 4 micro-benchmark machine: `inner`
+/// consecutive barriers of `mechanism` across `cores` threads, repeated
+/// `outer` times with no work in between. Shared by [`barrier_latency`]
+/// and the wall-clock throughput benchmark.
+///
+/// # Panics
+///
+/// Panics on assembler/build failures (static program construction bugs).
+pub fn build_latency_machine(
+    mechanism: BarrierMechanism,
+    cores: usize,
+    inner: u64,
+    outer: u64,
+) -> Machine {
+    let config = SimConfig::with_cores(cores);
+    let mut space = AddressSpace::new(&config);
+    let mut asm = Asm::new();
+    let mut sys =
+        BarrierSystem::new(&config, cores, &mut space).expect("barrier system allocation");
+    let barrier = sys
+        .create_barrier(&mut asm, &mut space, mechanism, cores)
+        .expect("barrier registration");
+    assert!(!barrier.is_fallback(), "latency sweep must not fall back");
+    asm.label("entry").expect("fresh assembler");
+    asm.li(Reg::S0, outer as i64);
+    asm.label("outer").expect("unique");
+    asm.li(Reg::S1, inner as i64);
+    asm.label("inner").expect("unique");
+    barrier.emit_call(&mut asm);
+    asm.addi(Reg::S1, Reg::S1, -1);
+    asm.bne(Reg::S1, Reg::ZERO, "inner");
+    asm.addi(Reg::S0, Reg::S0, -1);
+    asm.bne(Reg::S0, Reg::ZERO, "outer");
+    asm.halt();
+    let program = asm.assemble().expect("assembly");
+    let entry = program.require_symbol("entry");
+    let mut cfg = config;
+    cfg.cycle_limit = 2_000_000_000;
+    let mut mb = MachineBuilder::new(cfg, program).expect("builder");
+    for _ in 0..cores {
+        mb.add_thread(entry);
+    }
+    sys.install(&mut mb).expect("install");
+    mb.build().expect("build")
+}
 
 /// One measured point of the Figure 4 sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,36 +82,7 @@ pub fn barrier_latency(
     inner: u64,
     outer: u64,
 ) -> Result<LatencyPoint, SimError> {
-    let config = SimConfig::with_cores(cores);
-    let mut space = AddressSpace::new(&config);
-    let mut asm = Asm::new();
-    let mut sys =
-        BarrierSystem::new(&config, cores, &mut space).expect("barrier system allocation");
-    let barrier = sys
-        .create_barrier(&mut asm, &mut space, mechanism, cores)
-        .expect("barrier registration");
-    assert!(!barrier.is_fallback(), "latency sweep must not fall back");
-    asm.label("entry").expect("fresh assembler");
-    asm.li(Reg::S0, outer as i64);
-    asm.label("outer").expect("unique");
-    asm.li(Reg::S1, inner as i64);
-    asm.label("inner").expect("unique");
-    barrier.emit_call(&mut asm);
-    asm.addi(Reg::S1, Reg::S1, -1);
-    asm.bne(Reg::S1, Reg::ZERO, "inner");
-    asm.addi(Reg::S0, Reg::S0, -1);
-    asm.bne(Reg::S0, Reg::ZERO, "outer");
-    asm.halt();
-    let program = asm.assemble().expect("assembly");
-    let entry = program.require_symbol("entry");
-    let mut cfg = config;
-    cfg.cycle_limit = 2_000_000_000;
-    let mut mb = MachineBuilder::new(cfg, program).expect("builder");
-    for _ in 0..cores {
-        mb.add_thread(entry);
-    }
-    sys.install(&mut mb).expect("install");
-    let mut m = mb.build().expect("build");
+    let mut m = build_latency_machine(mechanism, cores, inner, outer);
     let summary = m.run()?;
     let stats = m.stats();
     Ok(LatencyPoint {

@@ -14,6 +14,7 @@
 //! | `fig10_loop6` | Figure 10 — Livermore Loop 6 time vs vector length |
 //! | `ocean_coarse` | §4.1 — coarse-grained (Ocean-like) barrier overhead |
 //! | `ablations` | design ablations called out in DESIGN.md |
+//! | `throughput` | host-side simulator throughput → `BENCH_throughput.json` |
 //!
 //! The library half hosts the shared runners so integration tests and
 //! Criterion benches reuse exactly the code the binaries run.
@@ -21,6 +22,8 @@
 pub mod kernel_runs;
 pub mod latency;
 pub mod report;
+pub mod throughput;
 
 pub use kernel_runs::{measure, speedup_table, SpeedupRow};
-pub use latency::{barrier_latency, LatencyPoint};
+pub use latency::{barrier_latency, build_latency_machine, LatencyPoint};
+pub use throughput::{fig4_sample, viterbi_sample, ThroughputSample};

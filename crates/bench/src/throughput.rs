@@ -1,0 +1,175 @@
+//! Wall-clock simulator-throughput benchmark.
+//!
+//! The paper's figures are about *simulated* cycles; this module is about
+//! how fast the simulator itself chews through them. Every PR that touches
+//! the engine hot path runs `cargo run --release -p bench-suite --bin
+//! throughput` and commits the resulting `BENCH_throughput.json`, so the
+//! host-throughput trajectory is tracked alongside the paper results.
+//!
+//! Two invariants make these numbers comparable across commits:
+//!
+//! 1. The workloads are fixed: the Figure 4 barrier-latency sweep (all
+//!    mechanisms, 16 cores, 64 × 64 barriers) and the Viterbi kernel
+//!    (K=5, 16 threads, FilterD).
+//! 2. Each sample reports the simulated cycle count and a
+//!    [`MachineStats::digest`](cmp_sim::MachineStats) fingerprint; an
+//!    engine optimization must leave both bit-identical. Host seconds may
+//!    move, simulated behaviour may not.
+
+use std::time::Instant;
+
+use barrier_filter::BarrierMechanism;
+use kernels::viterbi::Viterbi;
+
+use crate::latency::build_latency_machine;
+
+/// One measured workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputSample {
+    /// Workload identifier (stable across PRs; new workloads append).
+    pub workload: String,
+    /// Total simulated cycles (must not change across engine PRs).
+    pub sim_cycles: u64,
+    /// Total simulated instructions retired.
+    pub sim_instructions: u64,
+    /// Host wall-clock seconds for the simulation calls only (excludes
+    /// machine construction and input generation).
+    pub wall_seconds: f64,
+    /// `sim_instructions / wall_seconds` — the headline number.
+    pub instr_per_sec: f64,
+    /// Combined [`MachineStats::digest`](cmp_sim::MachineStats)
+    /// fingerprint, when the workload exposes full machine stats.
+    pub stats_digest: Option<u64>,
+}
+
+fn sample(
+    workload: &str,
+    sim_cycles: u64,
+    sim_instructions: u64,
+    wall_seconds: f64,
+    stats_digest: Option<u64>,
+) -> ThroughputSample {
+    ThroughputSample {
+        workload: workload.to_string(),
+        sim_cycles,
+        sim_instructions,
+        wall_seconds,
+        instr_per_sec: sim_instructions as f64 / wall_seconds.max(1e-9),
+        stats_digest,
+    }
+}
+
+/// The Figure 4 workload: every barrier mechanism at `cores` cores,
+/// `inner` × `outer` barriers each. Returns totals across mechanisms and a
+/// digest chained over each run's full stats snapshot.
+///
+/// # Panics
+///
+/// Panics if any mechanism's run fails: the workload is fixed and must
+/// always complete.
+pub fn fig4_sample(cores: usize, inner: u64, outer: u64) -> ThroughputSample {
+    let mut cycles = 0u64;
+    let mut instructions = 0u64;
+    let mut wall = 0f64;
+    // Chain per-mechanism digests order-sensitively.
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for mechanism in BarrierMechanism::ALL {
+        let mut m = build_latency_machine(mechanism, cores, inner, outer);
+        let t0 = Instant::now();
+        let summary = m
+            .run()
+            .unwrap_or_else(|e| panic!("fig4 {mechanism} @ {cores} cores failed: {e}"));
+        wall += t0.elapsed().as_secs_f64();
+        cycles += summary.cycles;
+        instructions += summary.instructions;
+        for b in m.stats().digest().to_le_bytes() {
+            digest ^= b as u64;
+            digest = digest.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    sample(
+        &format!("fig4_{cores}core"),
+        cycles,
+        instructions,
+        wall,
+        Some(digest),
+    )
+}
+
+/// The Viterbi workload: the paper's worst-scaling kernel (K=5, 16
+/// threads, FilterD), dominated by fine-grained barrier episodes and
+/// line ping-pong — a directory/coherence-heavy counterweight to the
+/// barrier-only fig4 loop.
+///
+/// # Panics
+///
+/// Panics if the kernel fails to run or validate.
+pub fn viterbi_sample(data_bits: usize, threads: usize) -> ThroughputSample {
+    let v = Viterbi::new(data_bits);
+    let t0 = Instant::now();
+    let outcome = v
+        .run_parallel(threads, BarrierMechanism::FilterD)
+        .expect("viterbi throughput workload");
+    let wall = t0.elapsed().as_secs_f64();
+    sample(
+        &format!("viterbi_k5_{threads}t"),
+        outcome.cycles,
+        outcome.instructions,
+        wall,
+        None,
+    )
+}
+
+/// Serialize samples as the `BENCH_throughput.json` document (std-only,
+/// hand-rolled JSON: the repo builds with no registry access).
+pub fn to_json(samples: &[ThroughputSample]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"fastbar-throughput/v1\",\n  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"workload\": \"{}\", ", s.workload));
+        out.push_str(&format!("\"sim_cycles\": {}, ", s.sim_cycles));
+        out.push_str(&format!("\"sim_instructions\": {}, ", s.sim_instructions));
+        out.push_str(&format!("\"wall_seconds\": {:.6}, ", s.wall_seconds));
+        out.push_str(&format!("\"instr_per_sec\": {:.1}, ", s.instr_per_sec));
+        match s.stats_digest {
+            Some(d) => out.push_str(&format!("\"stats_digest\": \"{d:#018x}\"")),
+            None => out.push_str("\"stats_digest\": null"),
+        }
+        out.push('}');
+        if i + 1 < samples.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_sample_is_deterministic_in_simulated_terms() {
+        let a = fig4_sample(4, 4, 2);
+        let b = fig4_sample(4, 4, 2);
+        assert_eq!(a.sim_cycles, b.sim_cycles);
+        assert_eq!(a.sim_instructions, b.sim_instructions);
+        assert_eq!(a.stats_digest, b.stats_digest);
+        assert!(a.stats_digest.is_some());
+        assert!(a.instr_per_sec > 0.0);
+    }
+
+    #[test]
+    fn json_document_has_schema_and_all_samples() {
+        let s = vec![
+            sample("w1", 10, 20, 0.5, Some(7)),
+            sample("w2", 1, 2, 0.25, None),
+        ];
+        let j = to_json(&s);
+        assert!(j.contains("fastbar-throughput/v1"));
+        assert!(j.contains("\"workload\": \"w1\""));
+        assert!(j.contains("\"stats_digest\": null"));
+        assert!(j.contains("\"instr_per_sec\": 40.0"));
+    }
+}

@@ -59,6 +59,46 @@ impl MachineStats {
         self.cores.iter().map(|c| c.instructions).sum()
     }
 
+    /// Order-sensitive FNV-1a fingerprint over every counter in the
+    /// snapshot. Two runs of the same machine must produce equal digests —
+    /// this is the determinism contract the engine's event ordering
+    /// guarantees, and what the throughput benchmark checks across
+    /// simulator optimizations (an optimization must not change *any*
+    /// simulated behaviour, only host time).
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.cycles);
+        for c in &self.cores {
+            h.u64(c.instructions);
+            h.u64(c.loads);
+            h.u64(c.stores);
+            h.u64(c.invalidates);
+            h.u64(c.fills_parked);
+            h.u64(c.halt_cycle.map_or(u64::MAX, |v| v));
+            h.u64(c.mshr_peak as u64);
+        }
+        for group in [&self.l1d, &self.l1i, &self.l2] {
+            for c in group.iter() {
+                h.cache(c);
+            }
+        }
+        h.cache(&self.l3);
+        for r in [&self.addr_bus, &self.data_bus]
+            .into_iter()
+            .chain(self.hook_ports.iter())
+        {
+            h.u64(r.grants);
+            h.u64(r.busy_cycles);
+            h.u64(r.wait_cycles);
+        }
+        h.u64(self.directory.upgrade_invalidations);
+        h.u64(self.directory.copies_invalidated);
+        h.u64(self.directory.dirty_transfers);
+        h.u64(self.hw_network.arrivals);
+        h.u64(self.hw_network.episodes);
+        h.0
+    }
+
     /// Total L1D misses across cores.
     pub fn l1d_misses(&self) -> u64 {
         self.l1d.iter().map(|c| c.misses).sum()
@@ -67,6 +107,30 @@ impl MachineStats {
     /// Total fills parked at bank hooks (barrier filter starvations).
     pub fn fills_parked(&self) -> u64 {
         self.cores.iter().map(|c| c.fills_parked).sum()
+    }
+}
+
+/// 64-bit FNV-1a accumulator for [`MachineStats::digest`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn cache(&mut self, c: &CacheStats) {
+        self.u64(c.hits);
+        self.u64(c.misses);
+        self.u64(c.evictions);
+        self.u64(c.dirty_evictions);
+        self.u64(c.invalidations);
     }
 }
 

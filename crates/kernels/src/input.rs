@@ -4,19 +4,88 @@
 //! so we generate equivalents with fixed seeds: what matters for the
 //! barrier study is the kernels' synchronization structure, which input
 //! values do not change (DESIGN.md §1).
+//!
+//! The generator is a self-contained xoshiro256++ (std only, no external
+//! crates — the build must work with no registry access). Streams are
+//! fully determined by the seed and stable across platforms and releases:
+//! kernel inputs are part of the determinism contract.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// Deterministic pseudo-random stream (xoshiro256++, SplitMix64-seeded).
+#[derive(Debug, Clone)]
+pub struct Prng {
+    s: [u64; 4],
+}
+
+impl Prng {
+    /// Seed the stream; equal seeds yield equal streams forever.
+    pub fn seed_from_u64(seed: u64) -> Prng {
+        // SplitMix64 expansion, the canonical way to fill xoshiro state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Prng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform u64 in `[0, n)` (widening-multiply range reduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform i64 in the half-open range `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        lo.wrapping_add(self.below(hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
 
 /// Deterministic generator seeded per use-site.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Prng {
+    Prng::seed_from_u64(seed)
 }
 
 /// Uniform f64 values in `[lo, hi)`.
 pub fn f64_vec(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+    (0..n).map(|_| r.range_f64(lo, hi)).collect()
 }
 
 /// A speech-like waveform: a sum of sinusoids plus noise, quantized to a
@@ -30,7 +99,7 @@ pub fn speech_like(seed: u64, n: usize) -> Vec<i64> {
             let s = 900.0 * (t * 0.031).sin()
                 + 500.0 * (t * 0.127 + 1.0).sin()
                 + 250.0 * (t * 0.311 + 2.0).sin()
-                + r.gen_range(-80.0..80.0);
+                + r.range_f64(-80.0, 80.0);
             (s as i64).clamp(-2048, 2047)
         })
         .collect()
@@ -39,7 +108,7 @@ pub fn speech_like(seed: u64, n: usize) -> Vec<i64> {
 /// A random bit sequence (0/1 values).
 pub fn bits(seed: u64, n: usize) -> Vec<u8> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(0..2u8)).collect()
+    (0..n).map(|_| r.below(2) as u8).collect()
 }
 
 #[cfg(test)]
@@ -64,5 +133,16 @@ mod tests {
     #[test]
     fn bits_are_binary() {
         assert!(bits(9, 100).iter().all(|&b| b <= 1));
+    }
+
+    #[test]
+    fn range_reduction_is_in_bounds() {
+        let mut r = rng(11);
+        for _ in 0..1000 {
+            let v = r.range_i64(-3, 4);
+            assert!((-3..4).contains(&v));
+            let f = r.range_f64(2.0, 3.0);
+            assert!((2.0..3.0).contains(&f));
+        }
     }
 }

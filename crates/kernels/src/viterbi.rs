@@ -15,7 +15,6 @@
 //! seeded random bitstream transmitted over a noisy soft channel.
 
 use barrier_filter::{Barrier, BarrierMechanism};
-use rand::Rng;
 use sim_isa::{Asm, MemWidth, Reg};
 
 use crate::harness::{check_u64, emit_rep_loop, run_reps, KernelBuild, KernelOutcome, REPS};
@@ -105,8 +104,8 @@ impl Viterbi {
         let mut p = 0u32;
         let mut soften = |bit: i64| -> i64 {
             let mut level = SOFT_ONE * bit;
-            if noise.gen_range(0..1000) < noise_per_mille {
-                level += noise.gen_range(-3..=3);
+            if noise.below(1000) < noise_per_mille as u64 {
+                level += noise.range_i64(-3, 4);
             }
             level.clamp(0, SOFT_ONE)
         };

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-a5c12a8e46d345d4.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-a5c12a8e46d345d4: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

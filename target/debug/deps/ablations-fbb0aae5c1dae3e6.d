@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-fbb0aae5c1dae3e6.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-fbb0aae5c1dae3e6: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

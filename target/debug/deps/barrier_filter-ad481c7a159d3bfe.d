@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/barrier_filter-ad481c7a159d3bfe.d: crates/core/src/lib.rs crates/core/src/bank.rs crates/core/src/emit.rs crates/core/src/fsm.rs crates/core/src/mechanism.rs crates/core/src/system.rs crates/core/src/table.rs
+
+/root/repo/target/debug/deps/barrier_filter-ad481c7a159d3bfe: crates/core/src/lib.rs crates/core/src/bank.rs crates/core/src/emit.rs crates/core/src/fsm.rs crates/core/src/mechanism.rs crates/core/src/system.rs crates/core/src/table.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bank.rs:
+crates/core/src/emit.rs:
+crates/core/src/fsm.rs:
+crates/core/src/mechanism.rs:
+crates/core/src/system.rs:
+crates/core/src/table.rs:

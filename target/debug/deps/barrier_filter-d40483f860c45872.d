@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/barrier_filter-d40483f860c45872.d: crates/core/src/lib.rs crates/core/src/bank.rs crates/core/src/emit.rs crates/core/src/fsm.rs crates/core/src/mechanism.rs crates/core/src/system.rs crates/core/src/table.rs
+
+/root/repo/target/debug/deps/libbarrier_filter-d40483f860c45872.rlib: crates/core/src/lib.rs crates/core/src/bank.rs crates/core/src/emit.rs crates/core/src/fsm.rs crates/core/src/mechanism.rs crates/core/src/system.rs crates/core/src/table.rs
+
+/root/repo/target/debug/deps/libbarrier_filter-d40483f860c45872.rmeta: crates/core/src/lib.rs crates/core/src/bank.rs crates/core/src/emit.rs crates/core/src/fsm.rs crates/core/src/mechanism.rs crates/core/src/system.rs crates/core/src/table.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bank.rs:
+crates/core/src/emit.rs:
+crates/core/src/fsm.rs:
+crates/core/src/mechanism.rs:
+crates/core/src/system.rs:
+crates/core/src/table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/barriers-d25cd60aa88f3a9c.d: crates/core/tests/barriers.rs
+
+/root/repo/target/debug/deps/barriers-d25cd60aa88f3a9c: crates/core/tests/barriers.rs
+
+crates/core/tests/barriers.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bench_suite-0f5ae3e410ebe8fb.d: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs
+
+/root/repo/target/debug/deps/libbench_suite-0f5ae3e410ebe8fb.rlib: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs
+
+/root/repo/target/debug/deps/libbench_suite-0f5ae3e410ebe8fb.rmeta: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/kernel_runs.rs:
+crates/bench/src/latency.rs:
+crates/bench/src/report.rs:
+crates/bench/src/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastbar-76f69d80a6ac86a1.d: src/lib.rs
+
+/root/repo/target/debug/deps/fastbar-76f69d80a6ac86a1: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fastbar-fa8ed3bd9490eef0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfastbar-fa8ed3bd9490eef0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfastbar-fa8ed3bd9490eef0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_loop6-181016a10f716805.d: crates/bench/src/bin/fig10_loop6.rs
+
+/root/repo/target/debug/deps/fig10_loop6-181016a10f716805: crates/bench/src/bin/fig10_loop6.rs
+
+crates/bench/src/bin/fig10_loop6.rs:

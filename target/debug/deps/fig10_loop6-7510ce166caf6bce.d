@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_loop6-7510ce166caf6bce.d: crates/bench/src/bin/fig10_loop6.rs
+
+/root/repo/target/debug/deps/fig10_loop6-7510ce166caf6bce: crates/bench/src/bin/fig10_loop6.rs
+
+crates/bench/src/bin/fig10_loop6.rs:

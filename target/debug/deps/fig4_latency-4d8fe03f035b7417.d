@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_latency-4d8fe03f035b7417.d: crates/bench/src/bin/fig4_latency.rs
+
+/root/repo/target/debug/deps/fig4_latency-4d8fe03f035b7417: crates/bench/src/bin/fig4_latency.rs
+
+crates/bench/src/bin/fig4_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_latency-64bd34de708c69d0.d: crates/bench/src/bin/fig4_latency.rs
+
+/root/repo/target/debug/deps/fig4_latency-64bd34de708c69d0: crates/bench/src/bin/fig4_latency.rs
+
+crates/bench/src/bin/fig4_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_autocorr-7bd7367466f4adca.d: crates/bench/src/bin/fig5_autocorr.rs
+
+/root/repo/target/debug/deps/fig5_autocorr-7bd7367466f4adca: crates/bench/src/bin/fig5_autocorr.rs
+
+crates/bench/src/bin/fig5_autocorr.rs:

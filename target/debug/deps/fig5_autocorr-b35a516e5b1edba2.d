@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_autocorr-b35a516e5b1edba2.d: crates/bench/src/bin/fig5_autocorr.rs
+
+/root/repo/target/debug/deps/fig5_autocorr-b35a516e5b1edba2: crates/bench/src/bin/fig5_autocorr.rs
+
+crates/bench/src/bin/fig5_autocorr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_viterbi-69d7155cafeaf756.d: crates/bench/src/bin/fig6_viterbi.rs
+
+/root/repo/target/debug/deps/fig6_viterbi-69d7155cafeaf756: crates/bench/src/bin/fig6_viterbi.rs
+
+crates/bench/src/bin/fig6_viterbi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_viterbi-e63922e8deb9da45.d: crates/bench/src/bin/fig6_viterbi.rs
+
+/root/repo/target/debug/deps/fig6_viterbi-e63922e8deb9da45: crates/bench/src/bin/fig6_viterbi.rs
+
+crates/bench/src/bin/fig6_viterbi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_loop2-34002edaaa1ed6f9.d: crates/bench/src/bin/fig7_loop2.rs
+
+/root/repo/target/debug/deps/fig7_loop2-34002edaaa1ed6f9: crates/bench/src/bin/fig7_loop2.rs
+
+crates/bench/src/bin/fig7_loop2.rs:

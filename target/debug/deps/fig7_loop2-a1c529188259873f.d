@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_loop2-a1c529188259873f.d: crates/bench/src/bin/fig7_loop2.rs
+
+/root/repo/target/debug/deps/fig7_loop2-a1c529188259873f: crates/bench/src/bin/fig7_loop2.rs
+
+crates/bench/src/bin/fig7_loop2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_loop3-430fdcb958db117e.d: crates/bench/src/bin/fig8_loop3.rs
+
+/root/repo/target/debug/deps/fig8_loop3-430fdcb958db117e: crates/bench/src/bin/fig8_loop3.rs
+
+crates/bench/src/bin/fig8_loop3.rs:

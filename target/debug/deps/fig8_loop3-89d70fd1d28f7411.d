@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_loop3-89d70fd1d28f7411.d: crates/bench/src/bin/fig8_loop3.rs
+
+/root/repo/target/debug/deps/fig8_loop3-89d70fd1d28f7411: crates/bench/src/bin/fig8_loop3.rs
+
+crates/bench/src/bin/fig8_loop3.rs:

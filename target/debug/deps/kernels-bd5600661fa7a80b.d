@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/kernels-bd5600661fa7a80b.d: crates/kernels/src/lib.rs crates/kernels/src/autocorr.rs crates/kernels/src/error.rs crates/kernels/src/harness.rs crates/kernels/src/input.rs crates/kernels/src/livermore/mod.rs crates/kernels/src/livermore/loop1.rs crates/kernels/src/livermore/loop2.rs crates/kernels/src/livermore/loop3.rs crates/kernels/src/livermore/loop4.rs crates/kernels/src/livermore/loop5.rs crates/kernels/src/livermore/loop6.rs crates/kernels/src/ocean.rs crates/kernels/src/viterbi.rs
+
+/root/repo/target/debug/deps/libkernels-bd5600661fa7a80b.rlib: crates/kernels/src/lib.rs crates/kernels/src/autocorr.rs crates/kernels/src/error.rs crates/kernels/src/harness.rs crates/kernels/src/input.rs crates/kernels/src/livermore/mod.rs crates/kernels/src/livermore/loop1.rs crates/kernels/src/livermore/loop2.rs crates/kernels/src/livermore/loop3.rs crates/kernels/src/livermore/loop4.rs crates/kernels/src/livermore/loop5.rs crates/kernels/src/livermore/loop6.rs crates/kernels/src/ocean.rs crates/kernels/src/viterbi.rs
+
+/root/repo/target/debug/deps/libkernels-bd5600661fa7a80b.rmeta: crates/kernels/src/lib.rs crates/kernels/src/autocorr.rs crates/kernels/src/error.rs crates/kernels/src/harness.rs crates/kernels/src/input.rs crates/kernels/src/livermore/mod.rs crates/kernels/src/livermore/loop1.rs crates/kernels/src/livermore/loop2.rs crates/kernels/src/livermore/loop3.rs crates/kernels/src/livermore/loop4.rs crates/kernels/src/livermore/loop5.rs crates/kernels/src/livermore/loop6.rs crates/kernels/src/ocean.rs crates/kernels/src/viterbi.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/autocorr.rs:
+crates/kernels/src/error.rs:
+crates/kernels/src/harness.rs:
+crates/kernels/src/input.rs:
+crates/kernels/src/livermore/mod.rs:
+crates/kernels/src/livermore/loop1.rs:
+crates/kernels/src/livermore/loop2.rs:
+crates/kernels/src/livermore/loop3.rs:
+crates/kernels/src/livermore/loop4.rs:
+crates/kernels/src/livermore/loop5.rs:
+crates/kernels/src/livermore/loop6.rs:
+crates/kernels/src/ocean.rs:
+crates/kernels/src/viterbi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine-0e4b25e86cd20522.d: crates/cmp-sim/tests/machine.rs
+
+/root/repo/target/debug/deps/machine-0e4b25e86cd20522: crates/cmp-sim/tests/machine.rs
+
+crates/cmp-sim/tests/machine.rs:

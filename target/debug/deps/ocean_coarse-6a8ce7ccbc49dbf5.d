@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ocean_coarse-6a8ce7ccbc49dbf5.d: crates/bench/src/bin/ocean_coarse.rs
+
+/root/repo/target/debug/deps/ocean_coarse-6a8ce7ccbc49dbf5: crates/bench/src/bin/ocean_coarse.rs
+
+crates/bench/src/bin/ocean_coarse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ocean_coarse-afdd0b1d3b8c82d9.d: crates/bench/src/bin/ocean_coarse.rs
+
+/root/repo/target/debug/deps/ocean_coarse-afdd0b1d3b8c82d9: crates/bench/src/bin/ocean_coarse.rs
+
+crates/bench/src/bin/ocean_coarse.rs:

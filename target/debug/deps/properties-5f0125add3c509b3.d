@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5f0125add3c509b3.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5f0125add3c509b3: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sim_isa-956b0193865ed08b.d: crates/sim-isa/src/lib.rs crates/sim-isa/src/asm.rs crates/sim-isa/src/disasm.rs crates/sim-isa/src/instr.rs crates/sim-isa/src/parse.rs crates/sim-isa/src/program.rs crates/sim-isa/src/reg.rs
+
+/root/repo/target/debug/deps/sim_isa-956b0193865ed08b: crates/sim-isa/src/lib.rs crates/sim-isa/src/asm.rs crates/sim-isa/src/disasm.rs crates/sim-isa/src/instr.rs crates/sim-isa/src/parse.rs crates/sim-isa/src/program.rs crates/sim-isa/src/reg.rs
+
+crates/sim-isa/src/lib.rs:
+crates/sim-isa/src/asm.rs:
+crates/sim-isa/src/disasm.rs:
+crates/sim-isa/src/instr.rs:
+crates/sim-isa/src/parse.rs:
+crates/sim-isa/src/program.rs:
+crates/sim-isa/src/reg.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sim_isa-e5cf56c56b429933.d: crates/sim-isa/src/lib.rs crates/sim-isa/src/asm.rs crates/sim-isa/src/disasm.rs crates/sim-isa/src/instr.rs crates/sim-isa/src/parse.rs crates/sim-isa/src/program.rs crates/sim-isa/src/reg.rs
+
+/root/repo/target/debug/deps/libsim_isa-e5cf56c56b429933.rlib: crates/sim-isa/src/lib.rs crates/sim-isa/src/asm.rs crates/sim-isa/src/disasm.rs crates/sim-isa/src/instr.rs crates/sim-isa/src/parse.rs crates/sim-isa/src/program.rs crates/sim-isa/src/reg.rs
+
+/root/repo/target/debug/deps/libsim_isa-e5cf56c56b429933.rmeta: crates/sim-isa/src/lib.rs crates/sim-isa/src/asm.rs crates/sim-isa/src/disasm.rs crates/sim-isa/src/instr.rs crates/sim-isa/src/parse.rs crates/sim-isa/src/program.rs crates/sim-isa/src/reg.rs
+
+crates/sim-isa/src/lib.rs:
+crates/sim-isa/src/asm.rs:
+crates/sim-isa/src/disasm.rs:
+crates/sim-isa/src/instr.rs:
+crates/sim-isa/src/parse.rs:
+crates/sim-isa/src/program.rs:
+crates/sim-isa/src/reg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-00e2877ed5eaeee9.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-00e2877ed5eaeee9: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e4138e0ece7bb7cc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e4138e0ece7bb7cc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-674d4d75fb896bcd.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/debug/deps/throughput-674d4d75fb896bcd: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autocorrelation-c2f2193aee955c95.d: examples/autocorrelation.rs
+
+/root/repo/target/debug/examples/autocorrelation-c2f2193aee955c95: examples/autocorrelation.rs
+
+examples/autocorrelation.rs:

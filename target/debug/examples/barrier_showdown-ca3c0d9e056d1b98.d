@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/barrier_showdown-ca3c0d9e056d1b98.d: examples/barrier_showdown.rs
+
+/root/repo/target/debug/examples/barrier_showdown-ca3c0d9e056d1b98: examples/barrier_showdown.rs
+
+examples/barrier_showdown.rs:

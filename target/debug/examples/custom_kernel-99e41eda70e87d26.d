@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-99e41eda70e87d26.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-99e41eda70e87d26: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

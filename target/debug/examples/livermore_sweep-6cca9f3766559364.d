@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/livermore_sweep-6cca9f3766559364.d: examples/livermore_sweep.rs
+
+/root/repo/target/debug/examples/livermore_sweep-6cca9f3766559364: examples/livermore_sweep.rs
+
+examples/livermore_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d3ab0371b4e026ec.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d3ab0371b4e026ec: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/viterbi-b303f235b24ee281.d: examples/viterbi.rs
+
+/root/repo/target/debug/examples/viterbi-b303f235b24ee281: examples/viterbi.rs
+
+examples/viterbi.rs:

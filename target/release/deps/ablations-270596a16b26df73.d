@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-270596a16b26df73.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-270596a16b26df73: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

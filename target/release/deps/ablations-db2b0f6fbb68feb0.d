@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-db2b0f6fbb68feb0.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-db2b0f6fbb68feb0: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bench_suite-36c6356d86829c5f.d: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs
+
+/root/repo/target/release/deps/libbench_suite-36c6356d86829c5f.rlib: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs
+
+/root/repo/target/release/deps/libbench_suite-36c6356d86829c5f.rmeta: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/kernel_runs.rs:
+crates/bench/src/latency.rs:
+crates/bench/src/report.rs:
+crates/bench/src/throughput.rs:

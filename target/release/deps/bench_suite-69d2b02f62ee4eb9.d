@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_suite-69d2b02f62ee4eb9.d: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs
+
+/root/repo/target/release/deps/bench_suite-69d2b02f62ee4eb9: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/kernel_runs.rs:
+crates/bench/src/latency.rs:
+crates/bench/src/report.rs:
+crates/bench/src/throughput.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bench_suite-e05eda94493e1ac7.d: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs
+
+/root/repo/target/release/deps/libbench_suite-e05eda94493e1ac7.rlib: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs
+
+/root/repo/target/release/deps/libbench_suite-e05eda94493e1ac7.rmeta: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/kernel_runs.rs:
+crates/bench/src/latency.rs:
+crates/bench/src/report.rs:
+crates/bench/src/throughput.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fastbar-5d68e715e01c6fb3.d: src/lib.rs
+
+/root/repo/target/release/deps/libfastbar-5d68e715e01c6fb3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfastbar-5d68e715e01c6fb3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_loop6-323619fcbd1caf9e.d: crates/bench/src/bin/fig10_loop6.rs
+
+/root/repo/target/release/deps/fig10_loop6-323619fcbd1caf9e: crates/bench/src/bin/fig10_loop6.rs
+
+crates/bench/src/bin/fig10_loop6.rs:

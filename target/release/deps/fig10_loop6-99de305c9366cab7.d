@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_loop6-99de305c9366cab7.d: crates/bench/src/bin/fig10_loop6.rs
+
+/root/repo/target/release/deps/fig10_loop6-99de305c9366cab7: crates/bench/src/bin/fig10_loop6.rs
+
+crates/bench/src/bin/fig10_loop6.rs:

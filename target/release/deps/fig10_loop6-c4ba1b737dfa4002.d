@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_loop6-c4ba1b737dfa4002.d: crates/bench/src/bin/fig10_loop6.rs
+
+/root/repo/target/release/deps/fig10_loop6-c4ba1b737dfa4002: crates/bench/src/bin/fig10_loop6.rs
+
+crates/bench/src/bin/fig10_loop6.rs:

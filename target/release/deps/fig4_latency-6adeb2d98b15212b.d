@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_latency-6adeb2d98b15212b.d: crates/bench/src/bin/fig4_latency.rs
+
+/root/repo/target/release/deps/fig4_latency-6adeb2d98b15212b: crates/bench/src/bin/fig4_latency.rs
+
+crates/bench/src/bin/fig4_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_latency-e8db80be139240ff.d: crates/bench/src/bin/fig4_latency.rs
+
+/root/repo/target/release/deps/fig4_latency-e8db80be139240ff: crates/bench/src/bin/fig4_latency.rs
+
+crates/bench/src/bin/fig4_latency.rs:

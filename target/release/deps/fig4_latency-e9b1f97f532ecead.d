@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_latency-e9b1f97f532ecead.d: crates/bench/src/bin/fig4_latency.rs
+
+/root/repo/target/release/deps/fig4_latency-e9b1f97f532ecead: crates/bench/src/bin/fig4_latency.rs
+
+crates/bench/src/bin/fig4_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_autocorr-0bcf1d26761e110b.d: crates/bench/src/bin/fig5_autocorr.rs
+
+/root/repo/target/release/deps/fig5_autocorr-0bcf1d26761e110b: crates/bench/src/bin/fig5_autocorr.rs
+
+crates/bench/src/bin/fig5_autocorr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_autocorr-7a1a6afec3f6c56a.d: crates/bench/src/bin/fig5_autocorr.rs
+
+/root/repo/target/release/deps/fig5_autocorr-7a1a6afec3f6c56a: crates/bench/src/bin/fig5_autocorr.rs
+
+crates/bench/src/bin/fig5_autocorr.rs:

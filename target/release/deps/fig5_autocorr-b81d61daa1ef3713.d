@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_autocorr-b81d61daa1ef3713.d: crates/bench/src/bin/fig5_autocorr.rs
+
+/root/repo/target/release/deps/fig5_autocorr-b81d61daa1ef3713: crates/bench/src/bin/fig5_autocorr.rs
+
+crates/bench/src/bin/fig5_autocorr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_viterbi-953dbaa40dc2e20e.d: crates/bench/src/bin/fig6_viterbi.rs
+
+/root/repo/target/release/deps/fig6_viterbi-953dbaa40dc2e20e: crates/bench/src/bin/fig6_viterbi.rs
+
+crates/bench/src/bin/fig6_viterbi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_viterbi-9813ad85e7396b93.d: crates/bench/src/bin/fig6_viterbi.rs
+
+/root/repo/target/release/deps/fig6_viterbi-9813ad85e7396b93: crates/bench/src/bin/fig6_viterbi.rs
+
+crates/bench/src/bin/fig6_viterbi.rs:

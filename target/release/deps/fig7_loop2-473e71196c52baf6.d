@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_loop2-473e71196c52baf6.d: crates/bench/src/bin/fig7_loop2.rs
+
+/root/repo/target/release/deps/fig7_loop2-473e71196c52baf6: crates/bench/src/bin/fig7_loop2.rs
+
+crates/bench/src/bin/fig7_loop2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_loop2-cd13f600971b12fc.d: crates/bench/src/bin/fig7_loop2.rs
+
+/root/repo/target/release/deps/fig7_loop2-cd13f600971b12fc: crates/bench/src/bin/fig7_loop2.rs
+
+crates/bench/src/bin/fig7_loop2.rs:

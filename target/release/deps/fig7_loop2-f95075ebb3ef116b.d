@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_loop2-f95075ebb3ef116b.d: crates/bench/src/bin/fig7_loop2.rs
+
+/root/repo/target/release/deps/fig7_loop2-f95075ebb3ef116b: crates/bench/src/bin/fig7_loop2.rs
+
+crates/bench/src/bin/fig7_loop2.rs:

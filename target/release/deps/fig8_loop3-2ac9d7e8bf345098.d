@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_loop3-2ac9d7e8bf345098.d: crates/bench/src/bin/fig8_loop3.rs
+
+/root/repo/target/release/deps/fig8_loop3-2ac9d7e8bf345098: crates/bench/src/bin/fig8_loop3.rs
+
+crates/bench/src/bin/fig8_loop3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_loop3-d35ae8f0bc3099ac.d: crates/bench/src/bin/fig8_loop3.rs
+
+/root/repo/target/release/deps/fig8_loop3-d35ae8f0bc3099ac: crates/bench/src/bin/fig8_loop3.rs
+
+crates/bench/src/bin/fig8_loop3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ocean_coarse-36e1c9397e6feb35.d: crates/bench/src/bin/ocean_coarse.rs
+
+/root/repo/target/release/deps/ocean_coarse-36e1c9397e6feb35: crates/bench/src/bin/ocean_coarse.rs
+
+crates/bench/src/bin/ocean_coarse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ocean_coarse-a9842d4969f6bb18.d: crates/bench/src/bin/ocean_coarse.rs
+
+/root/repo/target/release/deps/ocean_coarse-a9842d4969f6bb18: crates/bench/src/bin/ocean_coarse.rs
+
+crates/bench/src/bin/ocean_coarse.rs:

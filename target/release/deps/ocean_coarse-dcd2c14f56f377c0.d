@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ocean_coarse-dcd2c14f56f377c0.d: crates/bench/src/bin/ocean_coarse.rs
+
+/root/repo/target/release/deps/ocean_coarse-dcd2c14f56f377c0: crates/bench/src/bin/ocean_coarse.rs
+
+crates/bench/src/bin/ocean_coarse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_benches-3f21a28fe41478f4.d: crates/bench/benches/paper_benches.rs
+
+/root/repo/target/release/deps/paper_benches-3f21a28fe41478f4: crates/bench/benches/paper_benches.rs
+
+crates/bench/benches/paper_benches.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_benches-d79b4f7d38ca6a37.d: crates/bench/benches/paper_benches.rs
+
+/root/repo/target/release/deps/paper_benches-d79b4f7d38ca6a37: crates/bench/benches/paper_benches.rs
+
+crates/bench/benches/paper_benches.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sim_isa-f51002246ab21871.d: crates/sim-isa/src/lib.rs crates/sim-isa/src/asm.rs crates/sim-isa/src/disasm.rs crates/sim-isa/src/instr.rs crates/sim-isa/src/parse.rs crates/sim-isa/src/program.rs crates/sim-isa/src/reg.rs
+
+/root/repo/target/release/deps/libsim_isa-f51002246ab21871.rlib: crates/sim-isa/src/lib.rs crates/sim-isa/src/asm.rs crates/sim-isa/src/disasm.rs crates/sim-isa/src/instr.rs crates/sim-isa/src/parse.rs crates/sim-isa/src/program.rs crates/sim-isa/src/reg.rs
+
+/root/repo/target/release/deps/libsim_isa-f51002246ab21871.rmeta: crates/sim-isa/src/lib.rs crates/sim-isa/src/asm.rs crates/sim-isa/src/disasm.rs crates/sim-isa/src/instr.rs crates/sim-isa/src/parse.rs crates/sim-isa/src/program.rs crates/sim-isa/src/reg.rs
+
+crates/sim-isa/src/lib.rs:
+crates/sim-isa/src/asm.rs:
+crates/sim-isa/src/disasm.rs:
+crates/sim-isa/src/instr.rs:
+crates/sim-isa/src/parse.rs:
+crates/sim-isa/src/program.rs:
+crates/sim-isa/src/reg.rs:

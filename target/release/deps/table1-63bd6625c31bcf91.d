@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-63bd6625c31bcf91.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-63bd6625c31bcf91: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

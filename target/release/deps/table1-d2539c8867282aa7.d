@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-d2539c8867282aa7.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-d2539c8867282aa7: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

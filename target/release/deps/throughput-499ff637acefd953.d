@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-499ff637acefd953.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-499ff637acefd953: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-f3050982cbc3a412.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-f3050982cbc3a412: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-aa1515fd90328663.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-aa1515fd90328663: examples/quickstart.rs
+
+examples/quickstart.rs:

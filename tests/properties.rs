@@ -1,25 +1,34 @@
-//! Property-based tests over the core data structures and invariants.
+//! Property-style randomized tests over the core data structures and
+//! invariants.
+//!
+//! These used to be `proptest` properties; they are now driven by the
+//! repo's own seeded [`kernels::input::Prng`] so the whole workspace
+//! builds and tests with no registry access. Each property runs a fixed
+//! number of seeded cases — deterministic across runs, so a failure
+//! message's `case` number is always reproducible.
 
-use proptest::prelude::*;
+use kernels::input::Prng;
 
 use barrier_filter::{FilterTable, FilterTableConfig, TableFill, ThreadState};
 use cmp_sim::{AddressSpace, Memory, ParkToken, SimConfig};
 use sim_isa::{line_of, Asm, Reg, LINE_BYTES};
 
+/// Per-case RNG: decorrelated from neighbouring cases by a fixed stream id.
+fn case_rng(stream: u64, case: u64) -> Prng {
+    Prng::seed_from_u64(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ case)
+}
+
 // ---------------------------------------------------------------------
 // Memory: byte-accurate against a HashMap model
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn memory_matches_byte_model(
-        writes in prop::collection::vec(
-            (0u64..0x4000, 1usize..=8, any::<u64>()),
-            1..60
-        )
-    ) {
+#[test]
+fn memory_matches_byte_model() {
+    for case in 0..64 {
+        let mut r = case_rng(1, case);
+        let writes: Vec<(u64, usize, u64)> = (0..1 + r.below(59))
+            .map(|_| (r.below(0x4000), 1 + r.below(8) as usize, r.next_u64()))
+            .collect();
         let mut mem = Memory::new();
         let mut model = std::collections::HashMap::<u64, u8>::new();
         for &(addr, width, value) in &writes {
@@ -34,16 +43,20 @@ proptest! {
             for i in 0..width as u64 {
                 want |= (*model.get(&(addr + i)).unwrap_or(&0) as u64) << (8 * i);
             }
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want, "case {case}: read_le({addr:#x}, {width})");
         }
     }
+}
 
-    #[test]
-    fn line_of_is_idempotent_and_aligned(addr in any::<u64>()) {
+#[test]
+fn line_of_is_idempotent_and_aligned() {
+    let mut r = case_rng(2, 0);
+    for case in 0..256 {
+        let addr = r.next_u64();
         let l = line_of(addr);
-        prop_assert_eq!(l % LINE_BYTES, 0);
-        prop_assert_eq!(line_of(l), l);
-        prop_assert!(l <= addr && addr - l < LINE_BYTES);
+        assert_eq!(l % LINE_BYTES, 0, "case {case}");
+        assert_eq!(line_of(l), l, "case {case}");
+        assert!(l <= addr && addr - l < LINE_BYTES, "case {case}");
     }
 }
 
@@ -51,42 +64,46 @@ proptest! {
 // Address space: bank homing and disjointness
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn bank_homed_allocations_are_homed_and_disjoint(
-        requests in prop::collection::vec((0usize..4, 1u64..64), 1..20)
-    ) {
+#[test]
+fn bank_homed_allocations_are_homed_and_disjoint() {
+    for case in 0..32 {
+        let mut r = case_rng(3, case);
+        let requests: Vec<(usize, u64)> = (0..1 + r.below(19))
+            .map(|_| (r.below(4) as usize, 1 + r.below(63)))
+            .collect();
         let config = SimConfig::default();
         let mut space = AddressSpace::new(&config);
         let mut ranges: Vec<(u64, u64)> = Vec::new();
         for &(bank, lines) in &requests {
             let base = space.alloc_bank_lines(bank, lines).unwrap();
             for i in 0..lines {
-                prop_assert_eq!(config.bank_of(base + i * LINE_BYTES), bank);
+                assert_eq!(config.bank_of(base + i * LINE_BYTES), bank, "case {case}");
             }
             let end = base + lines * LINE_BYTES;
             for &(b, e) in &ranges {
-                prop_assert!(end <= b || base >= e, "overlap");
+                assert!(end <= b || base >= e, "case {case}: overlap");
             }
             ranges.push((base, end));
         }
     }
+}
 
-    #[test]
-    fn data_allocations_never_collide(
-        requests in prop::collection::vec((1u64..512, 0u32..4), 1..30)
-    ) {
+#[test]
+fn data_allocations_never_collide() {
+    for case in 0..32 {
+        let mut r = case_rng(4, case);
+        let requests: Vec<(u64, u32)> = (0..1 + r.below(29))
+            .map(|_| (1 + r.below(511), r.below(4) as u32))
+            .collect();
         let config = SimConfig::default();
         let mut space = AddressSpace::new(&config);
         let mut ranges: Vec<(u64, u64)> = Vec::new();
         for &(bytes, align_log2) in &requests {
             let align = 1u64 << (3 + align_log2);
             let base = space.alloc(bytes, align).unwrap();
-            prop_assert_eq!(base % align, 0);
+            assert_eq!(base % align, 0, "case {case}");
             for &(b, e) in &ranges {
-                prop_assert!(base + bytes <= b || base >= e, "overlap");
+                assert!(base + bytes <= b || base >= e, "case {case}: overlap");
             }
             ranges.push((base, base + bytes));
         }
@@ -98,14 +115,14 @@ proptest! {
 // barrier opens exactly when the last thread arrives.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn filter_table_protocol_invariants(
-        threads in 1usize..8,
-        schedule in prop::collection::vec(0usize..8, 1..200)
-    ) {
+#[test]
+fn filter_table_protocol_invariants() {
+    for case in 0..64 {
+        let mut r = case_rng(5, case);
+        let threads = 1 + r.below(6) as usize;
+        let schedule: Vec<usize> = (0..1 + r.below(199))
+            .map(|_| r.below(8) as usize)
+            .collect();
         const A: u64 = 0x2000_0000;
         const E: u64 = 0x2000_4000;
         let mut table = FilterTable::new(FilterTableConfig::entry_exit(A, E, threads));
@@ -140,7 +157,7 @@ proptest! {
                     match table.on_fill(line_a, ParkToken(token), 0).unwrap() {
                         TableFill::Park => pos[t] = 2,
                         TableFill::Service => pos[t] = 3,
-                        TableFill::NotMine => prop_assert!(false, "arrival must match"),
+                        TableFill::NotMine => panic!("case {case}: arrival must match"),
                     }
                 }
                 2 => {
@@ -152,9 +169,9 @@ proptest! {
                 }
                 _ => unreachable!(),
             }
-            prop_assert!(table.arrived() < threads.max(1));
+            assert!(table.arrived() < threads.max(1), "case {case}");
         }
-        prop_assert_eq!(table.stats().episodes, episodes);
+        assert_eq!(table.stats().episodes, episodes, "case {case}");
     }
 }
 
@@ -162,11 +179,12 @@ proptest! {
 // Assembler / program round trips
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn assembled_programs_fetch_every_pc(nops in 1usize..100, jumps in 0usize..5) {
+#[test]
+fn assembled_programs_fetch_every_pc() {
+    for case in 0..32 {
+        let mut r = case_rng(6, case);
+        let nops = 1 + r.below(99) as usize;
+        let jumps = r.below(5) as usize;
         let mut a = Asm::new();
         a.label("entry").unwrap();
         for _ in 0..jumps {
@@ -178,11 +196,11 @@ proptest! {
         a.label("end").unwrap();
         a.halt();
         let p = a.assemble().unwrap();
-        prop_assert_eq!(p.len(), nops + jumps + 1);
+        assert_eq!(p.len(), nops + jumps + 1, "case {case}");
         for (pc, _) in p.iter() {
-            prop_assert!(p.fetch(pc).is_some());
+            assert!(p.fetch(pc).is_some(), "case {case}: pc {pc:#x}");
         }
-        prop_assert!(p.fetch(p.code_end()).is_none());
+        assert!(p.fetch(p.code_end()).is_none(), "case {case}");
     }
 }
 
@@ -191,19 +209,17 @@ proptest! {
 // and mechanism, and deterministic.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn parallel_sum_is_exact_for_any_gang() {
+    use barrier_filter::{BarrierMechanism, BarrierSystem};
+    use cmp_sim::MachineBuilder;
 
-    #[test]
-    fn parallel_sum_is_exact_for_any_gang(
-        threads in 1usize..6,
-        values in prop::collection::vec(0u64..1_000_000, 8..64),
-        mech_pick in 0usize..7,
-    ) {
-        use barrier_filter::{BarrierMechanism, BarrierSystem};
-        use cmp_sim::MachineBuilder;
+    for case in 0..12 {
+        let mut r = case_rng(7, case);
+        let threads = 1 + r.below(5) as usize;
+        let values: Vec<u64> = (0..8 + r.below(56)).map(|_| r.below(1_000_000)).collect();
+        let mechanism = BarrierMechanism::ALL[r.below(7) as usize];
 
-        let mechanism = BarrierMechanism::ALL[mech_pick];
         let n = values.len();
         let config = SimConfig::with_cores(threads);
         let mut space = AddressSpace::new(&config);
@@ -266,7 +282,11 @@ proptest! {
         sys.install(&mut mb).unwrap();
         let mut machine = mb.build().unwrap();
         let summary = machine.run().unwrap();
-        prop_assert_eq!(machine.read_u64(out), values.iter().sum::<u64>());
-        prop_assert!(summary.cycles > 0);
+        assert_eq!(
+            machine.read_u64(out),
+            values.iter().sum::<u64>(),
+            "case {case}: {threads} threads, {mechanism:?}"
+        );
+        assert!(summary.cycles > 0, "case {case}");
     }
 }
