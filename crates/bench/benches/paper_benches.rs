@@ -88,7 +88,9 @@ fn bench_eembc_kernels() {
 fn bench_ocean_proxy() {
     let ocean = OceanProxy::new(18, 4);
     bench("ocean_coarse", "ocean_filter", || {
-        ocean.run_parallel(8, BarrierMechanism::FilterD).expect("ok");
+        ocean
+            .run_parallel(8, BarrierMechanism::FilterD)
+            .expect("ok");
     });
 }
 

@@ -61,13 +61,21 @@ fn main() {
             cores.to_string(),
             report::f1(d.cycles_per_barrier),
             report::f1(pp.cycles_per_barrier),
-            format!("{:.1}%", (1.0 - pp.cycles_per_barrier / d.cycles_per_barrier) * 100.0),
+            format!(
+                "{:.1}%",
+                (1.0 - pp.cycles_per_barrier / d.cycles_per_barrier) * 100.0
+            ),
         ]);
     }
     print!(
         "{}",
         report::table(
-            &["cores".into(), "filter-d".into(), "filter-d-pp".into(), "saving".into()],
+            &[
+                "cores".into(),
+                "filter-d".into(),
+                "filter-d-pp".into(),
+                "saving".into()
+            ],
             &rows
         )
     );
@@ -79,7 +87,11 @@ fn main() {
     println!(" adds its latency to every barrier episode)");
     println!();
     let mut rows = Vec::new();
-    for (name, l2_latency) in [("L2 (14 cy, paper)", 14u64), ("L3-like (38 cy)", 38), ("memory-side (138 cy)", 138)] {
+    for (name, l2_latency) in [
+        ("L2 (14 cy, paper)", 14u64),
+        ("L3-like (38 cy)", 38),
+        ("memory-side (138 cy)", 138),
+    ] {
         let mut config = SimConfig::with_cores(16);
         config.l2.latency = l2_latency;
         let lat = latency_with(config, BarrierMechanism::FilterD, inner, outer);
@@ -95,7 +107,11 @@ fn main() {
     println!("Ablation 3: shared-bus bandwidth and the Figure 4 saturation bend");
     println!();
     let mut rows = Vec::new();
-    for (name, data_cycles) in [("64B/2cy (default)", 2u64), ("64B/4cy (half bw)", 4), ("64B/8cy (quarter bw)", 8)] {
+    for (name, data_cycles) in [
+        ("64B/2cy (default)", 2u64),
+        ("64B/4cy (half bw)", 4),
+        ("64B/8cy (quarter bw)", 8),
+    ] {
         let mut row = vec![name.to_string()];
         for cores in [16usize, 64] {
             let mut config = SimConfig::with_cores(cores);
@@ -108,7 +124,11 @@ fn main() {
     print!(
         "{}",
         report::table(
-            &["bus data bandwidth".into(), "16 cores".into(), "64 cores".into()],
+            &[
+                "bus data bandwidth".into(),
+                "16 cores".into(),
+                "64 cores".into()
+            ],
             &rows
         )
     );

@@ -20,7 +20,9 @@ fn main() {
         &[16, 32, 64, 128, 256]
     };
     let threads = 16;
-    println!("Figure 10: Livermore Loop 6 on {threads} cores — cycles per invocation vs vector length");
+    println!(
+        "Figure 10: Livermore Loop 6 on {threads} cores — cycles per invocation vs vector length"
+    );
     println!();
     let mut header = vec!["N".to_string(), "sequential".to_string()];
     header.extend(BarrierMechanism::ALL.iter().map(|m| m.to_string()));

@@ -38,14 +38,24 @@ fn main() {
     println!();
     let sw = row.best_software_speedup();
     let filt = row.best_filter_speedup();
-    println!("best software {sw:.2}x | best filter {filt:.2}x | dedicated {:.2}x",
-        row.speedup(BarrierMechanism::HwDedicated));
+    println!(
+        "best software {sw:.2}x | best filter {filt:.2}x | dedicated {:.2}x",
+        row.speedup(BarrierMechanism::HwDedicated)
+    );
     println!(
         "software barriers are {} than sequential (paper: slower, 0.76x)",
-        if sw < 1.0 { "slower" } else { "FASTER (shape mismatch!)" }
+        if sw < 1.0 {
+            "slower"
+        } else {
+            "FASTER (shape mismatch!)"
+        }
     );
     println!(
         "filter barriers give a speedup: {} (paper: yes)",
-        if filt > 1.0 { "yes" } else { "NO (shape mismatch!)" }
+        if filt > 1.0 {
+            "yes"
+        } else {
+            "NO (shape mismatch!)"
+        }
     );
 }

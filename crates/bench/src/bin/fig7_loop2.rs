@@ -22,7 +22,9 @@ fn main() {
         &[16, 32, 64, 128, 256, 512, 1024]
     };
     let threads = 16;
-    println!("Figure 7: Livermore Loop 2 on {threads} cores — cycles per invocation vs vector length");
+    println!(
+        "Figure 7: Livermore Loop 2 on {threads} cores — cycles per invocation vs vector length"
+    );
     println!();
     let mut header = vec!["N".to_string(), "sequential".to_string()];
     header.extend(BarrierMechanism::ALL.iter().map(|m| m.to_string()));
@@ -40,11 +42,7 @@ fn main() {
             crossover = Some(n);
         }
         let mut cells = vec![n.to_string(), report::f1(row.sequential)];
-        cells.extend(
-            row.parallel
-                .iter()
-                .map(|&(_, cycles)| report::f1(cycles)),
-        );
+        cells.extend(row.parallel.iter().map(|&(_, cycles)| report::f1(cycles)));
         rows.push(cells);
     }
     print!("{}", report::table(&header, &rows));

@@ -22,7 +22,9 @@ fn main() {
         &[16, 32, 64, 128, 256, 512, 1024]
     };
     let threads = 16;
-    println!("Figure 8: Livermore Loop 3 on {threads} cores — cycles per invocation vs vector length");
+    println!(
+        "Figure 8: Livermore Loop 3 on {threads} cores — cycles per invocation vs vector length"
+    );
     println!();
     let mut header = vec!["N".to_string(), "sequential".to_string()];
     header.extend(BarrierMechanism::ALL.iter().map(|m| m.to_string()));

@@ -18,7 +18,11 @@ use kernels::viterbi::Viterbi;
 
 fn rows(quick: bool) -> Vec<SpeedupRow> {
     let threads = 16;
-    let (n_liv, n_ac, n_vit) = if quick { (64, 256, 64) } else { (256, 1024, 256) };
+    let (n_liv, n_ac, n_vit) = if quick {
+        (64, 256, 64)
+    } else {
+        (256, 1024, 256)
+    };
     let l2 = Loop2::new(n_liv);
     let l3 = Loop3::new(n_liv);
     let l6 = Loop6::new(n_liv);
@@ -92,13 +96,15 @@ fn main() {
     // The paper's headline claim: "the approach we will describe always
     // provides a speedup for the parallelized code for all of the
     // benchmarks."
-    let all_filter_speedups = rows
-        .iter()
-        .all(|r| r.best_filter_speedup() > 1.0);
+    let all_filter_speedups = rows.iter().all(|r| r.best_filter_speedup() > 1.0);
     println!();
     println!(
         "filter barriers provide a speedup on every kernel: {}",
-        if all_filter_speedups { "yes" } else { "NO (shape mismatch!)" }
+        if all_filter_speedups {
+            "yes"
+        } else {
+            "NO (shape mismatch!)"
+        }
     );
     let _ = BarrierMechanism::ALL;
 }

@@ -11,8 +11,8 @@
 //! accordingly, so quick numbers are never confused with the tracked
 //! ones); `--out` overrides the JSON path.
 
-use bench_suite::throughput::{fig4_sample, to_json, viterbi_sample};
 use bench_suite::report;
+use bench_suite::throughput::{fig4_sample, to_json, viterbi_sample};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -33,9 +33,16 @@ fn main() {
 
     println!("Simulator throughput (simulated instructions per host second)");
     println!();
-    let header: Vec<String> = ["workload", "sim Mcycles", "sim Minstr", "host s", "Minstr/s", "stats digest"]
-        .map(String::from)
-        .to_vec();
+    let header: Vec<String> = [
+        "workload",
+        "sim Mcycles",
+        "sim Minstr",
+        "host s",
+        "Minstr/s",
+        "stats digest",
+    ]
+    .map(String::from)
+    .to_vec();
     let rows: Vec<Vec<String>> = samples
         .iter()
         .map(|s| {
@@ -53,8 +60,7 @@ fn main() {
     print!("{}", report::table(&header, &rows));
 
     let json = to_json(&samples);
-    std::fs::write(out_path, &json)
-        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!();
     println!("wrote {out_path}");
 }

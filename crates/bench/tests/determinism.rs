@@ -1,0 +1,67 @@
+//! Determinism regression tests for the simulation engine.
+//!
+//! The engine's correctness contract is bit-level reproducibility: the same
+//! `SimConfig` and program must produce the same cycle counts, instruction
+//! counts and full `MachineStats` on every run, in every process. The
+//! hot-path machinery this guards — the calendar event queue's
+//! same-cycle FIFO order and the deterministic `FxHashMap` line tables —
+//! has no randomized fallback, so any divergence here is a real engine bug,
+//! not flakiness.
+
+use barrier_filter::BarrierMechanism;
+use bench_suite::build_latency_machine;
+use kernels::viterbi::Viterbi;
+
+/// Run the Figure 4 micro-benchmark twice from scratch and require the
+/// whole observable outcome — `RunSummary` and the full `MachineStats`
+/// snapshot (caches, directory, buses, per-core counters) — to match.
+fn assert_repeatable(mechanism: BarrierMechanism) {
+    let (cores, inner, outer) = (8, 8, 2);
+    let mut a = build_latency_machine(mechanism, cores, inner, outer);
+    let mut b = build_latency_machine(mechanism, cores, inner, outer);
+    let sa = a.run().expect("first run");
+    let sb = b.run().expect("second run");
+    assert_eq!(sa, sb, "{mechanism}: RunSummary must be identical");
+    assert!(sa.cycles > 0 && sa.instructions > 0);
+    assert_eq!(
+        a.stats(),
+        b.stats(),
+        "{mechanism}: full MachineStats must be identical"
+    );
+    assert_eq!(a.stats().digest(), b.stats().digest());
+}
+
+#[test]
+fn software_central_barrier_is_deterministic() {
+    assert_repeatable(BarrierMechanism::SwCentral);
+}
+
+#[test]
+fn software_tree_barrier_is_deterministic() {
+    assert_repeatable(BarrierMechanism::SwTree);
+}
+
+#[test]
+fn filter_d_barrier_is_deterministic() {
+    assert_repeatable(BarrierMechanism::FilterD);
+}
+
+#[test]
+fn filter_i_barrier_is_deterministic() {
+    assert_repeatable(BarrierMechanism::FilterI);
+}
+
+#[test]
+fn viterbi_kernel_is_deterministic_end_to_end() {
+    // A data-bearing kernel (not just the barrier loop): coherence traffic,
+    // store buffers and parked fills all in play.
+    let run = || {
+        Viterbi::new(32)
+            .run_parallel(4, BarrierMechanism::FilterD)
+            .expect("viterbi run")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert!(a.cycles > 0);
+}

@@ -45,7 +45,10 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
             BuildError::TooManyThreads { threads, cores } => {
-                write!(f, "{threads} threads requested but only {cores} cores exist")
+                write!(
+                    f,
+                    "{threads} threads requested but only {cores} cores exist"
+                )
             }
             BuildError::HookAlreadyInstalled { bank } => {
                 write!(f, "bank {bank} already has a hook installed")
@@ -189,11 +192,7 @@ impl MachineBuilder {
     /// # Errors
     ///
     /// [`BuildError::NoSuchBank`] or [`BuildError::HookAlreadyInstalled`].
-    pub fn install_hook(
-        &mut self,
-        bank: usize,
-        hook: Box<dyn BankHook>,
-    ) -> Result<(), BuildError> {
+    pub fn install_hook(&mut self, bank: usize, hook: Box<dyn BankHook>) -> Result<(), BuildError> {
         let slot = self
             .hooks
             .get_mut(bank)
@@ -270,8 +269,10 @@ mod tests {
 
     #[test]
     fn rejects_invalid_config() {
-        let mut cfg = SimConfig::default();
-        cfg.num_cores = 0;
+        let cfg = SimConfig {
+            num_cores: 0,
+            ..SimConfig::default()
+        };
         assert!(matches!(
             MachineBuilder::new(cfg, halt_program()),
             Err(BuildError::InvalidConfig(_))
@@ -288,7 +289,10 @@ mod tests {
         b.add_thread(entry);
         assert!(matches!(
             b.build(),
-            Err(BuildError::TooManyThreads { threads: 2, cores: 1 })
+            Err(BuildError::TooManyThreads {
+                threads: 2,
+                cores: 1
+            })
         ));
     }
 

@@ -7,7 +7,7 @@
 //! lines will only need to be transferred between cores at most once"
 //! (§4.4) — behaviour this module makes observable.
 
-use std::collections::HashMap;
+use crate::fastmap::FxHashMap;
 
 /// Who holds a line, as seen by the bus/directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,9 +49,13 @@ pub struct DirectoryStats {
 }
 
 /// MSI directory over all L1 data caches.
+///
+/// Looked up on every miss, upgrade and fill delivery; the line-keyed map
+/// uses the engine's deterministic fast hasher ([`crate::fastmap`]) since
+/// SipHash here was a measurable slice of whole-simulation runtime.
 #[derive(Debug, Default)]
 pub struct Directory {
-    entries: HashMap<u64, DirEntry>,
+    entries: FxHashMap<u64, DirEntry>,
     stats: DirectoryStats,
 }
 
@@ -91,10 +95,10 @@ impl Directory {
     /// comes from.
     pub fn read(&mut self, core: u8, line: u64) -> ReadOutcome {
         let e = self.entries.entry(line).or_insert(DirEntry::EMPTY);
-        let outcome = match e.owner {
+        match e.owner {
             Some(owner) if owner != core => {
-                // Remote dirty: downgrade owner to sharer.
-                e.sharers |= 1 << owner;
+                // Remote dirty: downgrade owner to sharer; requester joins.
+                e.sharers |= (1 << owner) | (1 << core);
                 e.owner = None;
                 self.stats.dirty_transfers += 1;
                 ReadOutcome::FromOwner(owner)
@@ -105,13 +109,11 @@ impl Directory {
                 // races — treat as hierarchy fill).
                 ReadOutcome::FromHierarchy
             }
-            None => ReadOutcome::FromHierarchy,
-        };
-        if self.entries.get(&line).map(|e| e.owner) != Some(Some(core)) {
-            let e = self.entries.get_mut(&line).expect("just inserted");
-            e.sharers |= 1 << core;
+            None => {
+                e.sharers |= 1 << core;
+                ReadOutcome::FromHierarchy
+            }
         }
-        outcome
     }
 
     /// Core `core` wants to write `line` (fetch-exclusive or upgrade).

@@ -321,24 +321,32 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut c = SimConfig::default();
-        c.num_cores = 0;
+        let c = SimConfig {
+            num_cores: 0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SimConfig::default();
-        c.num_cores = 65;
+        let c = SimConfig {
+            num_cores: 65,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SimConfig::default();
-        c.l2_banks = 3;
+        let c = SimConfig {
+            l2_banks: 3,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = SimConfig::default();
         c.l1d.size_bytes = 48 * 1024; // 768 lines / 2 ways = 384 sets: not a power of two
         assert!(c.validate().is_err());
 
-        let mut c = SimConfig::default();
-        c.mshrs_per_core = 1;
+        let c = SimConfig {
+            mshrs_per_core: 1,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -85,9 +85,13 @@ pub(crate) struct Core {
     /// Whether a `StoreRetire` event is in flight for the buffer head.
     pub draining: bool,
     pub waiting: Waiting,
-    /// Fast-path: the I-cache line the previous instruction was fetched
-    /// from. Cleared by `isync` and by `icbi` broadcasts.
-    pub last_ifetch_line: Option<u64>,
+    /// Fetch fast path: pcs in `ifetch_lo..ifetch_hi` (the bounds of the
+    /// I-cache line the previous instruction decoded from) skip the L1I
+    /// lookup. `(1, 0)` — an empty window — means no line is cached;
+    /// `isync` and `icbi` broadcasts reset to it. When valid, `ifetch_lo`
+    /// is the (64-byte-aligned) line address itself.
+    pub ifetch_lo: u64,
+    pub ifetch_hi: u64,
     /// Outstanding misses (loads, store drains, parked fills).
     pub mshr_used: usize,
     /// Fractional-cycle accumulator (twelfths) for superscalar issue.
@@ -106,7 +110,8 @@ impl Core {
             store_buffer: VecDeque::new(),
             draining: false,
             waiting: Waiting::None,
-            last_ifetch_line: None,
+            ifetch_lo: 1,
+            ifetch_hi: 0,
             mshr_used: 0,
             issue_frac: 0,
             stats: CoreStats::default(),
@@ -162,6 +167,12 @@ impl Core {
 
     pub fn note_mshr(&mut self) {
         self.stats.mshr_peak = self.stats.mshr_peak.max(self.mshr_used);
+    }
+
+    /// Invalidate the instruction-fetch fast-path window.
+    pub fn clear_ifetch_window(&mut self) {
+        self.ifetch_lo = 1;
+        self.ifetch_hi = 0;
     }
 }
 

@@ -112,7 +112,10 @@ impl fmt::Display for SimError {
                 "core {core} at pc {pc:#x}: unaligned {width}-byte access to {addr:#x}"
             ),
             SimError::CodeRegionWrite { core, pc, addr } => {
-                write!(f, "core {core} at pc {pc:#x}: store to code region at {addr:#x}")
+                write!(
+                    f,
+                    "core {core} at pc {pc:#x}: store to code region at {addr:#x}"
+                )
             }
             SimError::DivisionByZero { core, pc } => {
                 write!(f, "core {core} at pc {pc:#x}: division by zero")
@@ -147,7 +150,10 @@ impl fmt::Display for SimError {
                 write!(f, "core {core}: hwbar {id} has no configured barrier group")
             }
             SimError::HwBarrierWrongCore { core, id } => {
-                write!(f, "core {core} is not a member of hardware barrier group {id}")
+                write!(
+                    f,
+                    "core {core} is not a member of hardware barrier group {id}"
+                )
             }
         }
     }

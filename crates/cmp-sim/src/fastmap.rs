@@ -1,0 +1,107 @@
+//! A fast, deterministic, std-only hasher for the engine's hot-path maps.
+//!
+//! The default `HashMap` hasher (SipHash-1-3 with a per-process random key)
+//! showed up as ~15% of simulator runtime in profiles: the critical path
+//! hashes a `u64` line address on every directory lookup and every per-line
+//! serialization-point acquire. Those keys are trusted simulator-internal
+//! values (no DoS surface), so an FxHash-style multiply-xor hash is both
+//! sufficient and ~10× cheaper. It is also *deterministic across runs*,
+//! which removes a whole class of accidental iteration-order dependence.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed by trusted simulator-internal values (line addresses,
+/// page numbers), using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Multiply-xor hasher in the style of rustc's FxHash (std-only rewrite,
+/// not a copy): each word is folded in with a rotate, xor and an odd
+/// multiplicative constant derived from the golden ratio.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(26) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.fold(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.fold(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.fold(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.fold(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_lines_hash_distinctly() {
+        // Line addresses differ in their low-ish bits; the multiply must
+        // spread them across the full word.
+        let h = |v: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(v);
+            hasher.finish()
+        };
+        let hashes: Vec<u64> = (0..1024u64).map(|i| h(0x2000_0000 + i * 64)).collect();
+        let mut dedup = hashes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), hashes.len(), "no collisions on a line stride");
+        // Determinism: same input, same hash, every time.
+        assert_eq!(h(0x2000_0040), h(0x2000_0040));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..100u64 {
+            m.insert(i * 64, i);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&(42 * 64)), Some(&42));
+    }
+}

@@ -65,7 +65,10 @@ impl DedicatedNetwork {
     ///
     /// Panics if `members` is empty.
     pub fn configure_group(&mut self, id: u16, members: Vec<usize>) {
-        assert!(!members.is_empty(), "hardware barrier group must be nonempty");
+        assert!(
+            !members.is_empty(),
+            "hardware barrier group must be nonempty"
+        );
         let idx = id as usize;
         if self.groups.len() <= idx {
             self.groups.resize_with(idx + 1, || None);

@@ -63,6 +63,8 @@ mod coherence;
 mod config;
 mod core;
 mod error;
+mod event_queue;
+mod fastmap;
 mod hook;
 mod hwnet;
 mod layout;

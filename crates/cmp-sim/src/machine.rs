@@ -14,9 +14,17 @@
 //! before any fill request the same core issues afterwards. This is the
 //! property §3.4 of the paper depends on: the filter must see a thread's
 //! arrival invalidate before that thread's (to-be-starved) fill request.
-
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+//!
+//! ## Event-ordering audit
+//!
+//! Events are totally ordered by `(cycle, sequence)`: the sequence number
+//! is unique per scheduled event, so ties at equal `(cycle, seq)` cannot
+//! exist and no comparison in the engine is order-unstable. The calendar
+//! queue ([`crate::event_queue`]) preserves this exact drain order (it was
+//! verified by a bit-identical stats digest on the Figure 4 workload when
+//! it replaced the original `BinaryHeap<Reverse<Scheduled>>`). The
+//! deadlock detector below fires only when the queue is *empty*, so it has
+//! no ordering dependence at all: its report iterates cores by index.
 
 use sim_isa::{line_of, Instr, MemWidth, Program, Reg};
 
@@ -25,6 +33,8 @@ use crate::cache::{Cache, LineState};
 use crate::coherence::{Directory, ReadOutcome};
 use crate::core::{Continuation, Core, Waiting};
 use crate::error::SimError;
+use crate::event_queue::CalendarQueue;
+use crate::fastmap::FxHashMap;
 use crate::hook::{BankHook, FillDecision, HookOutcome, ParkToken, FILL_ERROR_SENTINEL};
 use crate::hwnet::{DedicatedNetwork, HwBarResult};
 use crate::mem::Memory;
@@ -62,25 +72,6 @@ enum Ev {
     HookInvalidate { bank: usize, line: u64 },
     /// A hook-requested deadline arrived.
     HookDeadline { bank: usize },
-}
-
-#[derive(Debug, PartialEq, Eq)]
-struct Scheduled {
-    cycle: u64,
-    seq: u64,
-    ev: Ev,
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.cycle, self.seq).cmp(&(other.cycle, other.seq))
-    }
-}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +118,39 @@ struct ParkedFill {
     line: u64,
 }
 
+/// Per-instruction-class issue costs, pre-scaled to twelfths of a cycle
+/// (`cost * 12 / width`, the quantity `finish_units` accumulates). Computed
+/// once at build time so the retire path performs no division.
+#[derive(Debug, Clone, Copy)]
+struct ScaledCosts {
+    int_op: u64,
+    mul: u64,
+    div: u64,
+    fp_op: u64,
+    fp_div: u64,
+    /// Load hit cost (`max(load, L1D latency)`) over the memory ports.
+    load: u64,
+    /// Store issue cost over the memory ports.
+    store_issue: u64,
+}
+
+impl ScaledCosts {
+    fn new(config: &SimConfig) -> ScaledCosts {
+        let t = config.timing;
+        let issue = |cost: u64| cost * 12 / t.issue_width.max(1);
+        let mem = |cost: u64| cost * 12 / t.mem_ports.max(1);
+        ScaledCosts {
+            int_op: issue(t.int_op),
+            mul: issue(t.mul),
+            div: issue(t.div),
+            fp_op: issue(t.fp_op),
+            fp_div: issue(t.fp_div),
+            load: mem(t.load.max(config.l1d.latency)),
+            store_issue: mem(t.store_issue),
+        }
+    }
+}
+
 /// The simulated chip multiprocessor.
 ///
 /// Build one with [`MachineBuilder`](crate::MachineBuilder), run it with
@@ -151,19 +175,24 @@ pub struct Machine {
     l3_port: Resource,
     hooks: Vec<Option<Box<dyn BankHook>>>,
     hwnet: DedicatedNetwork,
-    events: BinaryHeap<Reverse<Scheduled>>,
-    seq: u64,
+    events: CalendarQueue<Ev>,
     now: u64,
-    parked: HashMap<ParkToken, ParkedFill>,
+    /// Fills parked at bank hooks. At most one per core (a parked core is
+    /// blocked), so a tiny linear-scanned list beats any map — and unlike
+    /// the `HashMap` it replaced, scans are deterministic by construction.
+    parked: Vec<(ParkToken, ParkedFill)>,
     next_token: u64,
     /// Per-line coherence-serialization point: successive ownership
     /// transfers (dirty cache-to-cache reads, upgrades, exclusive fetches)
     /// of the same line queue here, modelling the directory's pending-
     /// transaction serialization. This is what makes a contended LL/SC
     /// line cost a round trip per successful read-modify-write.
-    line_busy: HashMap<u64, u64>,
+    line_busy: FxHashMap<u64, u64>,
     scheduled_deadlines: Vec<Option<u64>>,
     trace: Vec<TraceEvent>,
+    scaled: ScaledCosts,
+    /// Cores not yet halted (so the run loop's are-we-done check is O(1)).
+    live_cores: usize,
 }
 
 impl std::fmt::Debug for Machine {
@@ -207,14 +236,15 @@ impl Machine {
             l3_port: Resource::new(),
             hooks,
             hwnet,
-            events: BinaryHeap::new(),
-            seq: 0,
+            events: CalendarQueue::new(),
             now: 0,
-            parked: HashMap::new(),
+            parked: Vec::new(),
             next_token: 0,
-            line_busy: HashMap::new(),
+            line_busy: FxHashMap::default(),
             scheduled_deadlines: vec![None; banks],
             trace: Vec::new(),
+            scaled: ScaledCosts::new(&config),
+            live_cores: cores.iter().filter(|c| !c.halted).count(),
             config,
             program,
             mem,
@@ -229,12 +259,7 @@ impl Machine {
     }
 
     fn schedule(&mut self, cycle: u64, ev: Ev) {
-        self.seq += 1;
-        self.events.push(Reverse(Scheduled {
-            cycle,
-            seq: self.seq,
-            ev,
-        }));
+        self.events.push(cycle, ev);
     }
 
     fn trace(&mut self, ev: TraceEvent) {
@@ -271,10 +296,10 @@ impl Machine {
     /// Same as [`run`](Machine::run).
     pub fn run_until(&mut self, pause_at: u64) -> Result<RunState, SimError> {
         loop {
-            if self.cores.iter().all(|c| c.halted) {
+            if self.live_cores == 0 {
                 return Ok(RunState::Finished(self.summary()));
             }
-            let Some(Reverse(head)) = self.events.peek() else {
+            let Some(head_cycle) = self.events.next_cycle() else {
                 // A machine whose only unfinished threads were context-
                 // switched out is quiescent, not deadlocked: it waits for
                 // the OS (the caller) to resume them.
@@ -287,18 +312,18 @@ impl Machine {
                 }
                 return Err(self.deadlock());
             };
-            if head.cycle >= pause_at {
+            if head_cycle >= pause_at {
                 self.now = self.now.max(pause_at);
                 return Ok(RunState::Paused);
             }
-            if head.cycle > self.config.cycle_limit {
+            if head_cycle > self.config.cycle_limit {
                 return Err(SimError::CycleLimitExceeded {
                     limit: self.config.cycle_limit,
                 });
             }
-            let Reverse(sched) = self.events.pop().expect("peeked");
-            self.now = self.now.max(sched.cycle);
-            self.dispatch(sched.ev)?;
+            let (cycle, ev) = self.events.pop().expect("peeked");
+            self.now = self.now.max(cycle);
+            self.dispatch(ev)?;
         }
     }
 
@@ -407,10 +432,10 @@ impl Machine {
         else {
             return false;
         };
-        let Some((&token, _)) = self.parked.iter().find(|(_, p)| p.core == core) else {
+        let Some(idx) = self.parked.iter().position(|(_, p)| p.core == core) else {
             return false;
         };
-        self.parked.remove(&token);
+        let (token, _) = self.parked.swap_remove(idx);
         let bank = self.config.bank_of(line);
         if let Some(hook) = self.hooks[bank].as_mut() {
             hook.on_cancel(token);
@@ -485,7 +510,7 @@ impl Machine {
                 self.schedule(now + residual, Ev::CoreReady(c));
             }
         }
-        if self.cores[c].waiting == Waiting::StoreSlot {
+        if matches!(self.cores[c].waiting, Waiting::StoreSlot) {
             self.cores[c].waiting = Waiting::None;
             self.schedule(now, Ev::CoreReady(c));
         }
@@ -675,7 +700,12 @@ impl Machine {
         let mut slot = 0u64;
         for (tokens, error) in [(&out.released, false), (&out.errored, true)] {
             for &token in tokens.iter() {
-                let Some(p) = self.parked.remove(&token) else {
+                let Some(p) = self
+                    .parked
+                    .iter()
+                    .position(|&(t, _)| t == token)
+                    .map(|i| self.parked.swap_remove(i).1)
+                else {
                     return Err(SimError::Hook {
                         cycle: self.now,
                         line: 0,
@@ -888,7 +918,7 @@ impl Machine {
                         });
                     }
                     self.hook_ports[bank].acquire(t, hook_cy);
-                    self.parked.insert(token, ParkedFill { core: c, line });
+                    self.parked.push((token, ParkedFill { core: c, line }));
                     self.cores[c].stats.fills_parked += 1;
                     self.trace(TraceEvent::Parked { core: c, line });
                     return Ok(Access::Parked);
@@ -999,9 +1029,10 @@ impl Machine {
 
     /// Retire an instruction whose cost is divided by an issue width
     /// (superscalar approximation): costs accumulate in twelfths of a
-    /// cycle, advancing the clock only when a whole cycle accrues.
-    fn finish_scaled(&mut self, c: usize, cost: u64, width: u64, next_pc: u64) {
-        let units = self.cores[c].issue_frac + cost * 12 / width.max(1);
+    /// cycle ([`ScaledCosts`], precomputed at build), advancing the clock
+    /// only when a whole cycle accrues.
+    fn finish_units(&mut self, c: usize, scaled_cost: u64, next_pc: u64) {
+        let units = self.cores[c].issue_frac + scaled_cost;
         self.cores[c].issue_frac = units % 12;
         self.finish(c, units / 12, next_pc);
     }
@@ -1013,21 +1044,29 @@ impl Machine {
     }
 
     fn step_core(&mut self, c: usize) -> Result<(), SimError> {
-        if self.cores[c].halted || self.cores[c].waiting != Waiting::None {
+        if self.cores[c].halted || !matches!(self.cores[c].waiting, Waiting::None) {
             return Ok(());
         }
         let now = self.now;
         let pc = self.cores[c].pc;
 
-        // Instruction fetch through the L1I, with a same-line fast path.
-        let fetch_line = line_of(pc);
-        if self.cores[c].last_ifetch_line != Some(fetch_line) {
+        // Instruction fetch through the L1I. Fast path: a pc within the
+        // bounds of the line the previous instruction decoded from skips
+        // the line math and the tag lookup entirely.
+        if pc < self.cores[c].ifetch_lo || pc >= self.cores[c].ifetch_hi {
+            let fetch_line = line_of(pc);
             if self.l1i[c].lookup(fetch_line).is_some() {
-                self.cores[c].last_ifetch_line = Some(fetch_line);
+                self.cores[c].ifetch_lo = fetch_line;
+                self.cores[c].ifetch_hi = fetch_line + sim_isa::LINE_BYTES;
             } else {
                 let start = now + self.config.l1i.latency;
-                let access =
-                    self.miss_path(c, fetch_line, AccessKind::IFetch, start, FillPurpose::Resume)?;
+                let access = self.miss_path(
+                    c,
+                    fetch_line,
+                    AccessKind::IFetch,
+                    start,
+                    FillPurpose::Resume,
+                )?;
                 self.cores[c].waiting = Waiting::Fill {
                     line: fetch_line,
                     cont: Continuation::IFetch,
@@ -1041,21 +1080,21 @@ impl Machine {
             return Err(SimError::IllegalPc { core: c, pc });
         };
         let t = self.config.timing;
+        let sc = self.scaled;
         let next = pc + sim_isa::INSTR_BYTES;
 
-        let width = t.issue_width;
         macro_rules! alu {
-            ($cost:expr, $rd:expr, $val:expr) => {{
+            ($units:expr, $rd:expr, $val:expr) => {{
                 let v = $val;
                 self.cores[c].set_reg($rd, v);
-                self.finish_scaled(c, $cost, width, next);
+                self.finish_units(c, $units, next);
             }};
         }
         macro_rules! falu {
-            ($cost:expr, $fd:expr, $val:expr) => {{
+            ($units:expr, $fd:expr, $val:expr) => {{
                 let v = $val;
                 self.cores[c].set_freg($fd, v);
-                self.finish_scaled(c, $cost, width, next);
+                self.finish_units(c, $units, next);
             }};
         }
 
@@ -1063,54 +1102,54 @@ impl Machine {
         let fr = |f| self.cores[c].freg(f);
 
         match instr {
-            Instr::Add(d, a, b) => alu!(t.int_op, d, r(a).wrapping_add(r(b))),
-            Instr::Sub(d, a, b) => alu!(t.int_op, d, r(a).wrapping_sub(r(b))),
-            Instr::Mul(d, a, b) => alu!(t.mul, d, r(a).wrapping_mul(r(b))),
+            Instr::Add(d, a, b) => alu!(sc.int_op, d, r(a).wrapping_add(r(b))),
+            Instr::Sub(d, a, b) => alu!(sc.int_op, d, r(a).wrapping_sub(r(b))),
+            Instr::Mul(d, a, b) => alu!(sc.mul, d, r(a).wrapping_mul(r(b))),
             Instr::Div(d, a, b) => {
                 if r(b) == 0 {
                     return Err(SimError::DivisionByZero { core: c, pc });
                 }
-                alu!(t.div, d, (r(a) as i64).wrapping_div(r(b) as i64) as u64)
+                alu!(sc.div, d, (r(a) as i64).wrapping_div(r(b) as i64) as u64)
             }
             Instr::Rem(d, a, b) => {
                 if r(b) == 0 {
                     return Err(SimError::DivisionByZero { core: c, pc });
                 }
-                alu!(t.div, d, (r(a) as i64).wrapping_rem(r(b) as i64) as u64)
+                alu!(sc.div, d, (r(a) as i64).wrapping_rem(r(b) as i64) as u64)
             }
-            Instr::And(d, a, b) => alu!(t.int_op, d, r(a) & r(b)),
-            Instr::Or(d, a, b) => alu!(t.int_op, d, r(a) | r(b)),
-            Instr::Xor(d, a, b) => alu!(t.int_op, d, r(a) ^ r(b)),
-            Instr::Sll(d, a, b) => alu!(t.int_op, d, r(a) << (r(b) & 63)),
-            Instr::Srl(d, a, b) => alu!(t.int_op, d, r(a) >> (r(b) & 63)),
-            Instr::Sra(d, a, b) => alu!(t.int_op, d, ((r(a) as i64) >> (r(b) & 63)) as u64),
-            Instr::Slt(d, a, b) => alu!(t.int_op, d, ((r(a) as i64) < (r(b) as i64)) as u64),
-            Instr::Sltu(d, a, b) => alu!(t.int_op, d, (r(a) < r(b)) as u64),
-            Instr::Min(d, a, b) => alu!(t.int_op, d, (r(a) as i64).min(r(b) as i64) as u64),
-            Instr::Max(d, a, b) => alu!(t.int_op, d, (r(a) as i64).max(r(b) as i64) as u64),
-            Instr::Addi(d, a, i) => alu!(t.int_op, d, r(a).wrapping_add(i as u64)),
-            Instr::Andi(d, a, i) => alu!(t.int_op, d, r(a) & i as u64),
-            Instr::Ori(d, a, i) => alu!(t.int_op, d, r(a) | i as u64),
-            Instr::Xori(d, a, i) => alu!(t.int_op, d, r(a) ^ i as u64),
-            Instr::Slli(d, a, s) => alu!(t.int_op, d, r(a) << (s & 63)),
-            Instr::Srli(d, a, s) => alu!(t.int_op, d, r(a) >> (s & 63)),
-            Instr::Srai(d, a, s) => alu!(t.int_op, d, ((r(a) as i64) >> (s & 63)) as u64),
-            Instr::Slti(d, a, i) => alu!(t.int_op, d, ((r(a) as i64) < i) as u64),
-            Instr::Li(d, i) => alu!(t.int_op, d, i as u64),
+            Instr::And(d, a, b) => alu!(sc.int_op, d, r(a) & r(b)),
+            Instr::Or(d, a, b) => alu!(sc.int_op, d, r(a) | r(b)),
+            Instr::Xor(d, a, b) => alu!(sc.int_op, d, r(a) ^ r(b)),
+            Instr::Sll(d, a, b) => alu!(sc.int_op, d, r(a) << (r(b) & 63)),
+            Instr::Srl(d, a, b) => alu!(sc.int_op, d, r(a) >> (r(b) & 63)),
+            Instr::Sra(d, a, b) => alu!(sc.int_op, d, ((r(a) as i64) >> (r(b) & 63)) as u64),
+            Instr::Slt(d, a, b) => alu!(sc.int_op, d, ((r(a) as i64) < (r(b) as i64)) as u64),
+            Instr::Sltu(d, a, b) => alu!(sc.int_op, d, (r(a) < r(b)) as u64),
+            Instr::Min(d, a, b) => alu!(sc.int_op, d, (r(a) as i64).min(r(b) as i64) as u64),
+            Instr::Max(d, a, b) => alu!(sc.int_op, d, (r(a) as i64).max(r(b) as i64) as u64),
+            Instr::Addi(d, a, i) => alu!(sc.int_op, d, r(a).wrapping_add(i as u64)),
+            Instr::Andi(d, a, i) => alu!(sc.int_op, d, r(a) & i as u64),
+            Instr::Ori(d, a, i) => alu!(sc.int_op, d, r(a) | i as u64),
+            Instr::Xori(d, a, i) => alu!(sc.int_op, d, r(a) ^ i as u64),
+            Instr::Slli(d, a, s) => alu!(sc.int_op, d, r(a) << (s & 63)),
+            Instr::Srli(d, a, s) => alu!(sc.int_op, d, r(a) >> (s & 63)),
+            Instr::Srai(d, a, s) => alu!(sc.int_op, d, ((r(a) as i64) >> (s & 63)) as u64),
+            Instr::Slti(d, a, i) => alu!(sc.int_op, d, ((r(a) as i64) < i) as u64),
+            Instr::Li(d, i) => alu!(sc.int_op, d, i as u64),
 
-            Instr::Fadd(d, a, b) => falu!(t.fp_op, d, fr(a) + fr(b)),
-            Instr::Fsub(d, a, b) => falu!(t.fp_op, d, fr(a) - fr(b)),
-            Instr::Fmul(d, a, b) => falu!(t.fp_op, d, fr(a) * fr(b)),
-            Instr::Fdiv(d, a, b) => falu!(t.fp_div, d, fr(a) / fr(b)),
-            Instr::Fmadd(d, a, b, e) => falu!(t.fp_op, d, fr(a).mul_add(fr(b), fr(e))),
-            Instr::Fneg(d, a) => falu!(t.fp_op, d, -fr(a)),
-            Instr::Fmov(d, a) => falu!(t.int_op, d, fr(a)),
-            Instr::Fli(d, v) => falu!(t.int_op, d, v),
-            Instr::Fcvtif(d, a) => falu!(t.fp_op, d, r(a) as i64 as f64),
-            Instr::Fcvtfi(d, a) => alu!(t.fp_op, d, fr(a) as i64 as u64),
-            Instr::Feq(d, a, b) => alu!(t.fp_op, d, (fr(a) == fr(b)) as u64),
-            Instr::Flt(d, a, b) => alu!(t.fp_op, d, (fr(a) < fr(b)) as u64),
-            Instr::Fle(d, a, b) => alu!(t.fp_op, d, (fr(a) <= fr(b)) as u64),
+            Instr::Fadd(d, a, b) => falu!(sc.fp_op, d, fr(a) + fr(b)),
+            Instr::Fsub(d, a, b) => falu!(sc.fp_op, d, fr(a) - fr(b)),
+            Instr::Fmul(d, a, b) => falu!(sc.fp_op, d, fr(a) * fr(b)),
+            Instr::Fdiv(d, a, b) => falu!(sc.fp_div, d, fr(a) / fr(b)),
+            Instr::Fmadd(d, a, b, e) => falu!(sc.fp_op, d, fr(a).mul_add(fr(b), fr(e))),
+            Instr::Fneg(d, a) => falu!(sc.fp_op, d, -fr(a)),
+            Instr::Fmov(d, a) => falu!(sc.int_op, d, fr(a)),
+            Instr::Fli(d, v) => falu!(sc.int_op, d, v),
+            Instr::Fcvtif(d, a) => falu!(sc.fp_op, d, r(a) as i64 as f64),
+            Instr::Fcvtfi(d, a) => alu!(sc.fp_op, d, fr(a) as i64 as u64),
+            Instr::Feq(d, a, b) => alu!(sc.fp_op, d, (fr(a) == fr(b)) as u64),
+            Instr::Flt(d, a, b) => alu!(sc.fp_op, d, (fr(a) < fr(b)) as u64),
+            Instr::Fle(d, a, b) => alu!(sc.fp_op, d, (fr(a) <= fr(b)) as u64),
 
             Instr::Ld(rd, base, off, width) => {
                 self.exec_load(c, rd, base, off, width, false, next)?;
@@ -1126,11 +1165,15 @@ impl Machine {
                 if self.l1d[c].lookup(line).is_some() {
                     let v = self.mem.read_f64(addr);
                     self.cores[c].set_freg(fd, v);
-                    let cost = t.load.max(self.config.l1d.latency);
-                    self.finish_scaled(c, cost, t.mem_ports, next);
+                    self.finish_units(c, sc.load, next);
                 } else {
-                    let access =
-                        self.miss_path(c, line, AccessKind::DRead, now + t.load, FillPurpose::Resume)?;
+                    let access = self.miss_path(
+                        c,
+                        line,
+                        AccessKind::DRead,
+                        now + t.load,
+                        FillPurpose::Resume,
+                    )?;
                     self.cores[c].pc = next;
                     self.cores[c].stats.instructions += 1;
                     self.cores[c].waiting = Waiting::Fill {
@@ -1265,7 +1308,7 @@ impl Machine {
                 }
             }
             Instr::Isync => {
-                self.cores[c].last_ifetch_line = None;
+                self.cores[c].clear_ifetch_window();
                 self.finish(c, t.isync, next);
             }
             Instr::Icbi(base, off) => {
@@ -1300,6 +1343,7 @@ impl Machine {
 
             Instr::Halt => {
                 self.cores[c].halted = true;
+                self.live_cores -= 1;
                 self.cores[c].stats.instructions += 1;
                 self.cores[c].stats.halt_cycle = Some(now);
             }
@@ -1318,7 +1362,7 @@ impl Machine {
     }
 
     fn check_aligned(&self, c: usize, pc: u64, addr: u64, width: u64) -> Result<(), SimError> {
-        if addr % width != 0 {
+        if !addr.is_multiple_of(width) {
             return Err(SimError::UnalignedAccess {
                 core: c,
                 pc,
@@ -1329,6 +1373,7 @@ impl Machine {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_load(
         &mut self,
         c: usize,
@@ -1352,11 +1397,16 @@ impl Machine {
             if set_link {
                 self.cores[c].link = Some(line);
             }
-            let cost = t.load.max(self.config.l1d.latency);
-            self.finish_scaled(c, cost, t.mem_ports, next);
+            self.finish_units(c, self.scaled.load, next);
             return Ok(());
         }
-        let access = self.miss_path(c, line, AccessKind::DRead, now + t.load, FillPurpose::Resume)?;
+        let access = self.miss_path(
+            c,
+            line,
+            AccessKind::DRead,
+            now + t.load,
+            FillPurpose::Resume,
+        )?;
         self.cores[c].pc = next;
         self.cores[c].stats.instructions += 1;
         self.cores[c].waiting = Waiting::Fill {
@@ -1404,7 +1454,7 @@ impl Machine {
                 StoreOutcome::Pending => {}
             }
         }
-        self.finish_scaled(c, t.store_issue, t.mem_ports, next);
+        self.finish_units(c, self.scaled.store_issue, next);
         Ok(())
     }
 
@@ -1421,8 +1471,8 @@ impl Machine {
         if icache {
             for i in 0..self.cores.len() {
                 self.l1i[i].invalidate(line);
-                if self.cores[i].last_ifetch_line == Some(line) {
-                    self.cores[i].last_ifetch_line = None;
+                if self.cores[i].ifetch_lo == line {
+                    self.cores[i].clear_ifetch_window();
                 }
             }
         } else {
@@ -1439,7 +1489,9 @@ impl Machine {
         let bank = self.config.bank_of(line);
         self.l2[bank].invalidate(line);
         self.l3.invalidate(line);
-        let grant = self.addr_bus.acquire(now + t.invalidate_issue, self.config.bus.cmd_cycles);
+        let grant = self
+            .addr_bus
+            .acquire(now + t.invalidate_issue, self.config.bus.cmd_cycles);
         let done = grant + self.config.bus.cmd_cycles;
         // The invalidation message reaches the bank controller one cycle
         // after leaving the bus — the same pipe fills traverse, preserving

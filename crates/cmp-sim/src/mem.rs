@@ -4,16 +4,43 @@
 //! a sparse paged byte store, so that every kernel's numeric output can be
 //! checked against a host reference regardless of how the timing model
 //! reorders misses and fills.
+//!
+//! Every simulated load and store lands here, which made the old
+//! `HashMap<page, …>` layout the single hottest spot in the engine (a
+//! SipHash per *byte* of every access). Pages in the low address space —
+//! everything the layout allocator hands out — now live in a flat
+//! `Vec`-indexed table, and multi-byte accesses touch their page once
+//! instead of once per byte. Pages above [`FLAT_PAGES`] (stray test
+//! addresses) fall back to a hashed map with the engine's fast hasher.
 
-use std::collections::HashMap;
+use crate::fastmap::FxHashMap;
 
 const PAGE_BYTES: usize = 4096;
 const PAGE_SHIFT: u32 = 12;
 
+/// Page numbers below this are indexed directly (first 4 GiB of the
+/// simulated address space — the table grows only to the highest page
+/// actually touched).
+const FLAT_PAGES: u64 = 1 << 20;
+
+type Page = Box<[u8; PAGE_BYTES]>;
+
 /// Sparse, paged, byte-addressable memory.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    /// Flat page table for the low address space, indexed by page number.
+    flat: Vec<Option<Page>>,
+    /// Sparse fallback for pages at or above [`FLAT_PAGES`].
+    high: FxHashMap<u64, Page>,
+    resident: usize,
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory")
+            .field("resident_pages", &self.resident)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Memory {
@@ -23,17 +50,42 @@ impl Memory {
         Memory::default()
     }
 
+    #[inline]
     fn page(&self, addr: u64) -> Option<&[u8; PAGE_BYTES]> {
-        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+        let pn = addr >> PAGE_SHIFT;
+        if pn < FLAT_PAGES {
+            self.flat.get(pn as usize)?.as_deref()
+        } else {
+            self.high.get(&pn).map(|p| &**p)
+        }
     }
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_BYTES] {
-        self.pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]))
+        let pn = addr >> PAGE_SHIFT;
+        if pn < FLAT_PAGES {
+            let i = pn as usize;
+            if i >= self.flat.len() {
+                self.flat.resize_with(i + 1, || None);
+            }
+            let slot = &mut self.flat[i];
+            if slot.is_none() {
+                *slot = Some(Box::new([0u8; PAGE_BYTES]));
+                self.resident += 1;
+            }
+            slot.as_deref_mut().expect("just materialized")
+        } else {
+            match self.high.entry(pn) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    self.resident += 1;
+                    v.insert(Box::new([0u8; PAGE_BYTES]))
+                }
+            }
+        }
     }
 
     /// Read one byte.
+    #[inline]
     pub fn read_u8(&self, addr: u64) -> u8 {
         self.page(addr)
             .map_or(0, |p| p[(addr as usize) & (PAGE_BYTES - 1)])
@@ -50,13 +102,27 @@ impl Memory {
     /// # Panics
     ///
     /// Panics if `n > 8`.
+    #[inline]
     pub fn read_le(&self, addr: u64, n: usize) -> u64 {
         assert!(n <= 8, "read wider than 8 bytes");
-        let mut v = 0u64;
-        for i in 0..n {
-            v |= (self.read_u8(addr + i as u64) as u64) << (8 * i);
+        let off = (addr as usize) & (PAGE_BYTES - 1);
+        if off + n <= PAGE_BYTES {
+            // Within one page: touch the page table once.
+            match self.page(addr) {
+                Some(p) => {
+                    let mut buf = [0u8; 8];
+                    buf[..n].copy_from_slice(&p[off..off + n]);
+                    u64::from_le_bytes(buf)
+                }
+                None => 0,
+            }
+        } else {
+            let mut v = 0u64;
+            for i in 0..n {
+                v |= (self.read_u8(addr + i as u64) as u64) << (8 * i);
+            }
+            v
         }
-        v
     }
 
     /// Write the low `n <= 8` bytes of `value` little-endian.
@@ -64,14 +130,23 @@ impl Memory {
     /// # Panics
     ///
     /// Panics if `n > 8`.
+    #[inline]
     pub fn write_le(&mut self, addr: u64, n: usize, value: u64) {
         assert!(n <= 8, "write wider than 8 bytes");
-        for i in 0..n {
-            self.write_u8(addr + i as u64, (value >> (8 * i)) as u8);
+        let off = (addr as usize) & (PAGE_BYTES - 1);
+        if off + n <= PAGE_BYTES {
+            let p = self.page_mut(addr);
+            let bytes = value.to_le_bytes();
+            p[off..off + n].copy_from_slice(&bytes[..n]);
+        } else {
+            for i in 0..n {
+                self.write_u8(addr + i as u64, (value >> (8 * i)) as u8);
+            }
         }
     }
 
     /// Read a u64.
+    #[inline]
     pub fn read_u64(&self, addr: u64) -> u64 {
         self.read_le(addr, 8)
     }
@@ -82,6 +157,7 @@ impl Memory {
     }
 
     /// Read an f64 (bit pattern).
+    #[inline]
     pub fn read_f64(&self, addr: u64) -> f64 {
         f64::from_bits(self.read_u64(addr))
     }
@@ -117,7 +193,7 @@ impl Memory {
 
     /// Number of pages materialized so far (diagnostics).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.resident
     }
 }
 
@@ -156,6 +232,22 @@ mod tests {
         m.write_u64(0x0fff_fffc, 0x1122_3344_5566_7788);
         assert_eq!(m.read_u64(0x0fff_fffc), 0x1122_3344_5566_7788);
         assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn high_address_space_round_trips_through_the_fallback_map() {
+        let mut m = Memory::new();
+        // Above FLAT_PAGES (>= 4 GiB): lands in the hashed fallback.
+        let hi = (FLAT_PAGES << PAGE_SHIFT) + 0x123_4560;
+        assert_eq!(m.read_u64(hi), 0);
+        m.write_u64(hi, 77);
+        assert_eq!(m.read_u64(hi), 77);
+        assert_eq!(m.resident_pages(), 1);
+        // A straddle across the flat/high boundary.
+        let edge = (FLAT_PAGES << PAGE_SHIFT) - 4;
+        m.write_u64(edge, 0xaabb_ccdd_1122_3344);
+        assert_eq!(m.read_u64(edge), 0xaabb_ccdd_1122_3344);
+        assert_eq!(m.resident_pages(), 3);
     }
 
     #[test]

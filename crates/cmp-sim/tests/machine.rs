@@ -8,11 +8,7 @@ use cmp_sim::{
 };
 use sim_isa::{line_of, Asm, FReg, Program, Reg};
 
-fn build(
-    config: SimConfig,
-    program: Program,
-    threads: usize,
-) -> (cmp_sim::Machine, u64) {
+fn build(config: SimConfig, program: Program, threads: usize) -> (cmp_sim::Machine, u64) {
     let entry = program.require_symbol("entry");
     let mut b = MachineBuilder::new(config, program).unwrap();
     for _ in 0..threads {
@@ -41,7 +37,10 @@ fn arithmetic_loop_computes_correctly() {
     let summary = m.run().unwrap();
     assert_eq!(m.read_u64(out), 5050);
     assert!(summary.instructions > 300);
-    assert!(summary.cycles > summary.instructions, "loop has taken branches");
+    assert!(
+        summary.cycles > summary.instructions,
+        "loop has taken branches"
+    );
 }
 
 #[test]

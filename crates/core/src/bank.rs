@@ -210,11 +210,13 @@ mod tests {
         let mut bank = ping_pong_bank(2);
         let mut out = HookOutcome::default();
         bank.on_invalidate(A0, 0, &mut out).unwrap();
-        bank.on_fill_request(A0, ParkToken(42), 0, &mut out).unwrap();
+        bank.on_fill_request(A0, ParkToken(42), 0, &mut out)
+            .unwrap();
         bank.on_cancel(ParkToken(42));
         // the re-issued fill parks again (thread still Blocking)
         assert_eq!(
-            bank.on_fill_request(A0, ParkToken(43), 0, &mut out).unwrap(),
+            bank.on_fill_request(A0, ParkToken(43), 0, &mut out)
+                .unwrap(),
             FillDecision::Park
         );
     }

@@ -114,7 +114,7 @@ pub fn sw_tree(
     a.ori(Reg::K1, Reg::K1, 1);
     a.sll(Reg::K1, Reg::K1, Reg::T6);
     a.bge(Reg::K1, Reg::NTID, up.as_str()); // no partner: ascend directly
-    // t7 = byte offset of node (level*T + node) * 64
+                                            // t7 = byte offset of node (level*T + node) * 64
     a.mul(Reg::T7, Reg::T6, Reg::NTID);
     a.add(Reg::T7, Reg::T7, Reg::T9);
     a.slli(Reg::T7, Reg::T7, 6);

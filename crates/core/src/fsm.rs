@@ -92,11 +92,7 @@ impl fmt::Display for FsmViolation {
 /// # Errors
 ///
 /// Returns the violation for any transition Figure 3 does not permit.
-pub fn step(
-    state: ThreadState,
-    event: FsmEvent,
-    strict: bool,
-) -> Result<FsmAction, FsmViolation> {
+pub fn step(state: ThreadState, event: FsmEvent, strict: bool) -> Result<FsmAction, FsmViolation> {
     use FsmEvent::*;
     use ThreadState::*;
     match (state, event) {

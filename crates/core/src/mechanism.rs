@@ -73,10 +73,7 @@ impl BarrierMechanism {
     /// Whether this mechanism is software-only (no hardware support beyond
     /// LL/SC).
     pub fn is_software(self) -> bool {
-        matches!(
-            self,
-            BarrierMechanism::SwCentral | BarrierMechanism::SwTree
-        )
+        matches!(self, BarrierMechanism::SwCentral | BarrierMechanism::SwTree)
     }
 
     /// Whether this mechanism synchronizes through instruction-cache lines.

@@ -349,10 +349,7 @@ impl BarrierSystem {
                 let a_base = space.alloc_bank_lines(bank, threads as u64)?;
                 let e_base = space.alloc_bank_lines(bank, threads as u64)?;
                 arrival_base = Some(a_base);
-                let cfg = self.table_config(a_base,
-                    Some(e_base),
-                    threads,
-                    ThreadState::Waiting);
+                let cfg = self.table_config(a_base, Some(e_base), threads, ThreadState::Waiting);
                 self.per_bank[bank].push(cfg);
                 emit::filter_d(asm, id, a_base, e_base)?
             }
@@ -364,15 +361,9 @@ impl BarrierSystem {
                 let a1 = space.alloc_bank_lines(bank, threads as u64)?;
                 arrival_base = Some(a0);
                 let tls = self.alloc_tls_slot()?;
-                let cfg = self.table_config(a0,
-                    Some(a1),
-                    threads,
-                    ThreadState::Waiting);
+                let cfg = self.table_config(a0, Some(a1), threads, ThreadState::Waiting);
                 self.per_bank[bank].push(cfg);
-                let cfg = self.table_config(a1,
-                    Some(a0),
-                    threads,
-                    ThreadState::Servicing);
+                let cfg = self.table_config(a1, Some(a0), threads, ThreadState::Servicing);
                 self.per_bank[bank].push(cfg);
                 emit::filter_d_ping_pong(asm, id, a0, a1, tls)?
             }
@@ -384,10 +375,7 @@ impl BarrierSystem {
                 }
                 let e_base = space.alloc_bank_lines(bank, threads as u64)?;
                 arrival_base = Some(a_base);
-                let cfg = self.table_config(a_base,
-                    Some(e_base),
-                    threads,
-                    ThreadState::Waiting);
+                let cfg = self.table_config(a_base, Some(e_base), threads, ThreadState::Waiting);
                 self.per_bank[bank].push(cfg);
                 emit::filter_i(asm, id, a_base, e_base)?
             }
@@ -400,15 +388,9 @@ impl BarrierSystem {
                 }
                 arrival_base = Some(a0);
                 let tls = self.alloc_tls_slot()?;
-                let cfg = self.table_config(a0,
-                    Some(a1),
-                    threads,
-                    ThreadState::Waiting);
+                let cfg = self.table_config(a0, Some(a1), threads, ThreadState::Waiting);
                 self.per_bank[bank].push(cfg);
-                let cfg = self.table_config(a1,
-                    Some(a0),
-                    threads,
-                    ThreadState::Servicing);
+                let cfg = self.table_config(a1, Some(a0), threads, ThreadState::Servicing);
                 self.per_bank[bank].push(cfg);
                 emit::filter_i_ping_pong(asm, id, a0, a1, tls)?
             }

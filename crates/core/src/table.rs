@@ -233,7 +233,11 @@ impl FilterTable {
         }
         if let Some(t) = self.exit_thread(line) {
             out.matched = true;
-            match fsm::step(self.entries[t].state, FsmEvent::ExitInvalidate, self.config.strict)? {
+            match fsm::step(
+                self.entries[t].state,
+                FsmEvent::ExitInvalidate,
+                self.config.strict,
+            )? {
                 FsmAction::Transition(next) => {
                     self.entries[t].state = next;
                     self.stats.exits += 1;
@@ -262,14 +266,23 @@ impl FilterTable {
     /// # Errors
     ///
     /// Propagates FSM violations (a fill for a Waiting thread).
-    pub fn on_fill(&mut self, line: u64, token: ParkToken, now: u64) -> Result<TableFill, FsmViolation> {
+    pub fn on_fill(
+        &mut self,
+        line: u64,
+        token: ParkToken,
+        now: u64,
+    ) -> Result<TableFill, FsmViolation> {
         let Some(t) = self.arrival_thread(line) else {
             // Exit-range fills are not owned: the content of an exit address
             // is never accessed by the barrier protocol, and in ping-pong
             // pairs the same line is the partner table's arrival address.
             return Ok(TableFill::NotMine);
         };
-        match fsm::step(self.entries[t].state, FsmEvent::ArrivalFill, self.config.strict)? {
+        match fsm::step(
+            self.entries[t].state,
+            FsmEvent::ArrivalFill,
+            self.config.strict,
+        )? {
             FsmAction::Park => {
                 self.entries[t].pending = Some((token, now));
                 self.stats.parked += 1;

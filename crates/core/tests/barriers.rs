@@ -4,9 +4,7 @@
 //! violations, hardware timeout) must be observable.
 
 use barrier_filter::{Barrier, BarrierMechanism, BarrierSystem, FilterCapacity};
-use cmp_sim::{
-    AddressSpace, Machine, MachineBuilder, SimConfig, SimError, FILL_ERROR_SENTINEL,
-};
+use cmp_sim::{AddressSpace, Machine, MachineBuilder, SimConfig, SimError, FILL_ERROR_SENTINEL};
 use sim_isa::{Asm, Reg};
 
 /// Emit a phase-consistency kernel: each thread publishes its phase number,
@@ -188,11 +186,20 @@ fn latency_ordering_matches_figure_4() {
     // dedicated network is fastest; filters beat software; centralized
     // software is worst at scale (Figure 4 ordering)
     assert!(hw < filter_i_pp, "hw {hw} vs filter-i-pp {filter_i_pp}");
-    assert!(filter_i_pp < sw_tree, "i-pp {filter_i_pp} vs tree {sw_tree}");
-    assert!(filter_d_pp < sw_tree, "d-pp {filter_d_pp} vs tree {sw_tree}");
+    assert!(
+        filter_i_pp < sw_tree,
+        "i-pp {filter_i_pp} vs tree {sw_tree}"
+    );
+    assert!(
+        filter_d_pp < sw_tree,
+        "d-pp {filter_d_pp} vs tree {sw_tree}"
+    );
     assert!(filter_i < sw_tree, "i {filter_i} vs tree {sw_tree}");
     assert!(filter_d < sw_tree, "d {filter_d} vs tree {sw_tree}");
-    assert!(sw_tree < sw_central, "tree {sw_tree} vs central {sw_central}");
+    assert!(
+        sw_tree < sw_central,
+        "tree {sw_tree} vs central {sw_central}"
+    );
     // I-cache variants execute one memory fence per invocation where the
     // D-cache variants execute two: "slightly better performance" (§4.2)
     assert!(filter_i <= filter_d * 1.02, "i {filter_i} vs d {filter_d}");
@@ -330,7 +337,12 @@ fn many_barriers_coexist_in_one_program() {
         .create_barrier(&mut asm, &mut space, BarrierMechanism::FilterD, threads)
         .unwrap();
     let b2 = sys
-        .create_barrier(&mut asm, &mut space, BarrierMechanism::FilterIPingPong, threads)
+        .create_barrier(
+            &mut asm,
+            &mut space,
+            BarrierMechanism::FilterIPingPong,
+            threads,
+        )
         .unwrap();
     let b3 = sys
         .create_barrier(&mut asm, &mut space, BarrierMechanism::SwTree, threads)

@@ -222,12 +222,16 @@ mod tests {
 
     #[test]
     fn parallel_filter_matches_host() {
-        Autocorr::with_lags(256, 8).run_parallel(4, BarrierMechanism::FilterD).unwrap();
+        Autocorr::with_lags(256, 8)
+            .run_parallel(4, BarrierMechanism::FilterD)
+            .unwrap();
     }
 
     #[test]
     fn parallel_sw_matches_host() {
-        Autocorr::with_lags(128, 4).run_parallel(16, BarrierMechanism::SwTree).unwrap();
+        Autocorr::with_lags(128, 4)
+            .run_parallel(16, BarrierMechanism::SwTree)
+            .unwrap();
     }
 
     #[test]

@@ -79,10 +79,7 @@ impl KernelBuild {
     /// # Errors
     ///
     /// Assembly or machine-construction failures.
-    pub fn finish(
-        self,
-        init: impl FnOnce(&mut MachineBuilder),
-    ) -> Result<Machine, KernelError> {
+    pub fn finish(self, init: impl FnOnce(&mut MachineBuilder)) -> Result<Machine, KernelError> {
         let program = self.asm.assemble()?;
         let entry = program.require_symbol("entry");
         let mut config = self.config;

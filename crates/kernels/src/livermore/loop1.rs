@@ -11,7 +11,9 @@
 use barrier_filter::{Barrier, BarrierMechanism};
 use sim_isa::{Asm, FReg, Reg};
 
-use crate::harness::{check_f64, chunk_for, emit_rep_loop, run_reps, KernelBuild, KernelOutcome, REPS};
+use crate::harness::{
+    check_f64, chunk_for, emit_rep_loop, run_reps, KernelBuild, KernelOutcome, REPS,
+};
 use crate::{input, KernelError};
 
 const Q: f64 = 0.5;
@@ -48,13 +50,7 @@ impl Loop1 {
             .collect()
     }
 
-    fn emit_range_body(
-        &self,
-        a: &mut Asm,
-        x: u64,
-        y: u64,
-        z: u64,
-    ) -> Result<(), KernelError> {
+    fn emit_range_body(&self, a: &mut Asm, x: u64, y: u64, z: u64) -> Result<(), KernelError> {
         // On entry: t1 = lo, t2 = hi (t1 < t2). Clobbers t0-t5, f0-f5.
         a.slli(Reg::T4, Reg::T1, 3);
         a.li(Reg::T0, x as i64);
@@ -142,7 +138,7 @@ impl Loop1 {
         x: u64,
         y: u64,
         z: u64,
-    chunk: usize,
+        chunk: usize,
     ) -> Result<(), KernelError> {
         emit_rep_loop(a, REPS, |a| {
             a.li(Reg::T0, chunk as i64);
@@ -170,7 +166,9 @@ mod tests {
 
     #[test]
     fn parallel_matches_host() {
-        Loop1::new(256).run_parallel(8, BarrierMechanism::FilterIPingPong).unwrap();
+        Loop1::new(256)
+            .run_parallel(8, BarrierMechanism::FilterIPingPong)
+            .unwrap();
     }
 
     #[test]

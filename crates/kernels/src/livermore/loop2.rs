@@ -64,7 +64,10 @@ impl Loop2 {
     ///
     /// Panics unless `n` is a power of two of at least 4.
     pub fn new(n: usize) -> Loop2 {
-        assert!(n.is_power_of_two() && n >= 4, "loop 2 needs a power-of-two n >= 4");
+        assert!(
+            n.is_power_of_two() && n >= 4,
+            "loop 2 needs a power-of-two n >= 4"
+        );
         let total = 2 * n + 2;
         Loop2 {
             n,
@@ -253,19 +256,25 @@ mod tests {
 
     #[test]
     fn parallel_filter_matches_host() {
-        Loop2::new(128).run_parallel(4, BarrierMechanism::FilterD).unwrap();
+        Loop2::new(128)
+            .run_parallel(4, BarrierMechanism::FilterD)
+            .unwrap();
     }
 
     #[test]
     fn parallel_sw_matches_host() {
-        Loop2::new(64).run_parallel(16, BarrierMechanism::SwCentral).unwrap();
+        Loop2::new(64)
+            .run_parallel(16, BarrierMechanism::SwCentral)
+            .unwrap();
     }
 
     #[test]
     fn parallelism_halves_per_stage() {
         // n = 16: stages of 8, 4, 2, 1 halved iterations; with 16 threads
         // most threads idle at every stage yet results stay correct.
-        Loop2::new(16).run_parallel(16, BarrierMechanism::HwDedicated).unwrap();
+        Loop2::new(16)
+            .run_parallel(16, BarrierMechanism::HwDedicated)
+            .unwrap();
     }
 
     #[test]

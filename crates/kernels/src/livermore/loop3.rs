@@ -14,7 +14,9 @@
 use barrier_filter::{Barrier, BarrierMechanism};
 use sim_isa::{Asm, FReg, Reg};
 
-use crate::harness::{check_f64, chunk_for, emit_rep_loop, run_reps, KernelBuild, KernelOutcome, REPS};
+use crate::harness::{
+    check_f64, chunk_for, emit_rep_loop, run_reps, KernelBuild, KernelOutcome, REPS,
+};
 use crate::{input, KernelError};
 
 /// Livermore Loop 3 at vector length `n`.
@@ -214,12 +216,16 @@ mod tests {
 
     #[test]
     fn parallel_filter_matches_host() {
-        Loop3::new(128).run_parallel(4, BarrierMechanism::FilterD).unwrap();
+        Loop3::new(128)
+            .run_parallel(4, BarrierMechanism::FilterD)
+            .unwrap();
     }
 
     #[test]
     fn parallel_software_matches_host() {
-        Loop3::new(128).run_parallel(4, BarrierMechanism::SwTree).unwrap();
+        Loop3::new(128)
+            .run_parallel(4, BarrierMechanism::SwTree)
+            .unwrap();
     }
 
     #[test]
@@ -233,6 +239,8 @@ mod tests {
     #[test]
     fn short_vectors_leave_threads_idle_but_work() {
         // n = 16 with 16 threads: only 2 threads get work (chunk floor 8)
-        Loop3::new(16).run_parallel(16, BarrierMechanism::HwDedicated).unwrap();
+        Loop3::new(16)
+            .run_parallel(16, BarrierMechanism::HwDedicated)
+            .unwrap();
     }
 }

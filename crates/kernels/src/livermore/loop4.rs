@@ -262,11 +262,15 @@ mod tests {
 
     #[test]
     fn parallel_matches_host() {
-        Loop4::new(400).run_parallel(4, BarrierMechanism::FilterD).unwrap();
+        Loop4::new(400)
+            .run_parallel(4, BarrierMechanism::FilterD)
+            .unwrap();
     }
 
     #[test]
     fn parallel_sw_matches_host() {
-        Loop4::new(200).run_parallel(8, BarrierMechanism::SwCentral).unwrap();
+        Loop4::new(200)
+            .run_parallel(8, BarrierMechanism::SwCentral)
+            .unwrap();
     }
 }

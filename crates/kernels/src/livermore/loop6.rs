@@ -249,12 +249,16 @@ mod tests {
 
     #[test]
     fn parallel_filter_matches_host() {
-        Loop6::new(48).run_parallel(4, BarrierMechanism::FilterIPingPong).unwrap();
+        Loop6::new(48)
+            .run_parallel(4, BarrierMechanism::FilterIPingPong)
+            .unwrap();
     }
 
     #[test]
     fn parallel_sw_matches_host() {
-        Loop6::new(32).run_parallel(8, BarrierMechanism::SwTree).unwrap();
+        Loop6::new(32)
+            .run_parallel(8, BarrierMechanism::SwTree)
+            .unwrap();
     }
 
     #[test]
@@ -269,6 +273,8 @@ mod tests {
 
     #[test]
     fn tiny_n_works() {
-        Loop6::new(2).run_parallel(2, BarrierMechanism::HwDedicated).unwrap();
+        Loop6::new(2)
+            .run_parallel(2, BarrierMechanism::HwDedicated)
+            .unwrap();
     }
 }

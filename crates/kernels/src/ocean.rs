@@ -205,12 +205,16 @@ mod tests {
 
     #[test]
     fn parallel_matches_host() {
-        OceanProxy::new(18, 3).run_parallel(4, BarrierMechanism::FilterD).unwrap();
+        OceanProxy::new(18, 3)
+            .run_parallel(4, BarrierMechanism::FilterD)
+            .unwrap();
     }
 
     #[test]
     fn parallel_sw_matches_host() {
-        OceanProxy::new(16, 2).run_parallel(8, BarrierMechanism::SwCentral).unwrap();
+        OceanProxy::new(16, 2)
+            .run_parallel(8, BarrierMechanism::SwCentral)
+            .unwrap();
     }
 
     #[test]

@@ -113,7 +113,7 @@ impl Viterbi {
             .bits
             .iter()
             .copied()
-            .chain(std::iter::repeat(0).take(self.constraint as usize - 1));
+            .chain(std::iter::repeat_n(0, self.constraint as usize - 1));
         for u in padded {
             let m = (p << 1) | u as u32;
             let (o0, o1) = self.outputs(m);
@@ -324,7 +324,7 @@ impl Viterbi {
             a.ldd(Reg::T4, Reg::T3, 0);
             a.ld(Reg::T5, Reg::T3, half_off, MemWidth::D);
             a.slli(Reg::T2, Reg::T0, 3); // m0 table offset
-            // c0: soft branch metric for m0 = s
+                                         // c0: soft branch metric for m0 = s
             a.add(Reg::T3, Reg::A1, Reg::T2);
             a.ldd(Reg::A2, Reg::T3, 0);
             a.sub(Reg::A2, Reg::A2, Reg::S4);
@@ -335,7 +335,7 @@ impl Viterbi {
             a.sub(Reg::A2, Reg::A2, Reg::A5);
             emit_abs_into_a2(a);
             a.add(Reg::T4, Reg::T4, Reg::A2); // c0
-            // c1: soft branch metric for m1 = s + states
+                                              // c1: soft branch metric for m1 = s + states
             a.add(Reg::T3, Reg::A1, Reg::T2);
             a.ld(Reg::A2, Reg::T3, hi_off, MemWidth::D);
             a.sub(Reg::A2, Reg::A2, Reg::S4);
@@ -451,12 +451,16 @@ mod tests {
 
     #[test]
     fn parallel_filter_matches_host() {
-        Viterbi::new(48).run_parallel(4, BarrierMechanism::FilterD).unwrap();
+        Viterbi::new(48)
+            .run_parallel(4, BarrierMechanism::FilterD)
+            .unwrap();
     }
 
     #[test]
     fn parallel_sw_matches_host() {
-        Viterbi::new(32).run_parallel(8, BarrierMechanism::SwCentral).unwrap();
+        Viterbi::new(32)
+            .run_parallel(8, BarrierMechanism::SwCentral)
+            .unwrap();
     }
 
     #[test]

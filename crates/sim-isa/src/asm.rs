@@ -134,7 +134,7 @@ impl Asm {
     /// instruction-cache line. Used for the I-cache barrier arrival stubs,
     /// whose lines must be individually invalidatable (§3.4.1).
     pub fn align_line(&mut self) -> &mut Asm {
-        while self.here() % (INSTRS_PER_LINE * INSTR_BYTES) != 0 {
+        while !self.here().is_multiple_of(INSTRS_PER_LINE * INSTR_BYTES) {
             self.nop();
         }
         self
@@ -537,7 +537,7 @@ mod tests {
         a.align_line();
         assert_eq!(a.here() % 64, 0);
         assert_eq!(a.len(), 16); // one nop + 15 pad
-        // aligning when already aligned is a no-op
+                                 // aligning when already aligned is a no-op
         a.align_line();
         assert_eq!(a.len(), 16);
     }

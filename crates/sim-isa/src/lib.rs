@@ -50,8 +50,8 @@ mod program;
 mod reg;
 
 pub use asm::{Asm, AsmError, Label};
-pub use parse::{parse_asm, ParseAsmError};
 pub use instr::{Instr, MemWidth, Target};
+pub use parse::{parse_asm, ParseAsmError};
 pub use program::{Program, CODE_BASE, INSTR_BYTES};
 pub use reg::{FReg, Reg};
 

@@ -389,8 +389,8 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseAsmError> {
             }
             "hwbar" => {
                 need(1)?;
-                let id = u16::try_from(imm(0)?)
-                    .map_err(|_| err(lineno, "hwbar id out of range"))?;
+                let id =
+                    u16::try_from(imm(0)?).map_err(|_| err(lineno, "hwbar id out of range"))?;
                 a.hwbar(id);
             }
             "halt" => {

@@ -43,7 +43,7 @@ impl Program {
     /// The instruction at program counter `pc`, or `None` if `pc` is outside
     /// the code region or misaligned.
     pub fn fetch(&self, pc: u64) -> Option<Instr> {
-        if pc < CODE_BASE || (pc - CODE_BASE) % INSTR_BYTES != 0 {
+        if pc < CODE_BASE || !(pc - CODE_BASE).is_multiple_of(INSTR_BYTES) {
             return None;
         }
         let idx = ((pc - CODE_BASE) / INSTR_BYTES) as usize;

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     let seq = kernel.run_sequential()?;
-    println!("sequential: {:>10.1} cycles per invocation", seq.cycles_per_rep);
+    println!(
+        "sequential: {:>10.1} cycles per invocation",
+        seq.cycles_per_rep
+    );
     println!();
     for mechanism in BarrierMechanism::ALL {
         let par = kernel.run_parallel(threads, mechanism)?;

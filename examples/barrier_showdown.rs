@@ -58,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|&(_, c)| c)
         .fold(f64::INFINITY, f64::min);
     for (mechanism, cycles) in results {
-        let bar = "#".repeat((cycles / best).round() as usize).chars().take(60).collect::<String>();
+        let bar = "#"
+            .repeat((cycles / best).round() as usize)
+            .chars()
+            .take(60)
+            .collect::<String>();
         println!("{:>13}  {cycles:8.1}  {bar}", mechanism.to_string());
     }
     println!();

@@ -23,8 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut space = AddressSpace::new(&config);
     let mut asm = Asm::new();
     let mut sys = BarrierSystem::new(&config, threads, &mut space)?;
-    let barrier =
-        sys.create_barrier(&mut asm, &mut space, BarrierMechanism::FilterIPingPong, threads)?;
+    let barrier = sys.create_barrier(
+        &mut asm,
+        &mut space,
+        BarrierMechanism::FilterIPingPong,
+        threads,
+    )?;
 
     // Double-buffered scan: at step d, out[i] = in[i] + in[i - d] (i >= d).
     let a_buf = space.alloc_u64(n as u64)?;
@@ -55,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     asm.addi(Reg::T1, Reg::T1, 1);
     asm.blt(Reg::T1, Reg::T2, "elem_loop");
     barrier.emit_call(&mut asm); // wait before anyone reads dst as src
-    // swap buffers, double the step
+                                 // swap buffers, double the step
     asm.mv(Reg::T0, Reg::S1);
     asm.mv(Reg::S1, Reg::S2);
     asm.mv(Reg::S2, Reg::T0);
@@ -78,7 +82,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // log2(n) steps: the final scan lands in a_buf iff log2(n) is even.
     let steps = n.trailing_zeros();
-    let result_base = if steps % 2 == 0 { a_buf } else { b_buf };
+    let result_base = if steps.is_multiple_of(2) {
+        a_buf
+    } else {
+        b_buf
+    };
     let got = machine.read_u64_slice(result_base, n);
     let mut expected = Vec::with_capacity(n);
     let mut acc = 0u64;
@@ -90,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("parallel prefix sum over {n} elements on {threads} cores:");
     println!("  {steps} doubling steps, one barrier each");
-    println!("  {} cycles, {} instructions", summary.cycles, summary.instructions);
+    println!(
+        "  {} cycles, {} instructions",
+        summary.cycles, summary.instructions
+    );
     println!("  result verified against a host scan");
     Ok(())
 }

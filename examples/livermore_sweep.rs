@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("Livermore loop {which} with the {mechanism} barrier on {threads} cores");
     println!();
-    println!("{:>6}  {:>12}  {:>12}  {:>8}", "N", "sequential", "parallel", "speedup");
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>8}",
+        "N", "sequential", "parallel", "speedup"
+    );
     for &n in sizes {
         let (seq, par): (KernelOutcome, KernelOutcome) = match which {
             2 => {

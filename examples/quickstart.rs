@@ -82,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "ran {} instructions in {} cycles across {threads} cores",
         summary.instructions, summary.cycles
     );
-    println!("sum of doubled array = {} (expected {expected})", machine.read_u64(total));
+    println!(
+        "sum of doubled array = {} (expected {expected})",
+        machine.read_u64(total)
+    );
     println!(
         "the filter starved {} fill requests to implement the barrier",
         machine.stats().fills_parked()

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a PR must pass, in the order that fails fastest.
+# Usage: scripts/check.sh   (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings denied)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test"
+cargo test --workspace --release --offline -q
+
+echo "==> all checks passed"

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/barrier_filter-a11f96655f3c7833.d: crates/core/src/lib.rs crates/core/src/bank.rs crates/core/src/emit.rs crates/core/src/fsm.rs crates/core/src/mechanism.rs crates/core/src/system.rs crates/core/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarrier_filter-a11f96655f3c7833.rmeta: crates/core/src/lib.rs crates/core/src/bank.rs crates/core/src/emit.rs crates/core/src/fsm.rs crates/core/src/mechanism.rs crates/core/src/system.rs crates/core/src/table.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bank.rs:
+crates/core/src/emit.rs:
+crates/core/src/fsm.rs:
+crates/core/src/mechanism.rs:
+crates/core/src/system.rs:
+crates/core/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/barrier_filter-b7dd118cce52d78b.d: crates/core/src/lib.rs crates/core/src/bank.rs crates/core/src/emit.rs crates/core/src/fsm.rs crates/core/src/mechanism.rs crates/core/src/system.rs crates/core/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarrier_filter-b7dd118cce52d78b.rmeta: crates/core/src/lib.rs crates/core/src/bank.rs crates/core/src/emit.rs crates/core/src/fsm.rs crates/core/src/mechanism.rs crates/core/src/system.rs crates/core/src/table.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bank.rs:
+crates/core/src/emit.rs:
+crates/core/src/fsm.rs:
+crates/core/src/mechanism.rs:
+crates/core/src/system.rs:
+crates/core/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/barriers-978b1ba9252fa4e1.d: crates/core/tests/barriers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarriers-978b1ba9252fa4e1.rmeta: crates/core/tests/barriers.rs Cargo.toml
+
+crates/core/tests/barriers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bench_suite-fe3de983309ebedf.d: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_suite-fe3de983309ebedf.rmeta: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/kernel_runs.rs:
+crates/bench/src/latency.rs:
+crates/bench/src/report.rs:
+crates/bench/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

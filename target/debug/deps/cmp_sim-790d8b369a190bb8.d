@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/cmp_sim-790d8b369a190bb8.d: crates/cmp-sim/src/lib.rs crates/cmp-sim/src/builder.rs crates/cmp-sim/src/bus.rs crates/cmp-sim/src/cache.rs crates/cmp-sim/src/coherence.rs crates/cmp-sim/src/config.rs crates/cmp-sim/src/core.rs crates/cmp-sim/src/error.rs crates/cmp-sim/src/event_queue.rs crates/cmp-sim/src/fastmap.rs crates/cmp-sim/src/hook.rs crates/cmp-sim/src/hwnet.rs crates/cmp-sim/src/layout.rs crates/cmp-sim/src/machine.rs crates/cmp-sim/src/mem.rs crates/cmp-sim/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcmp_sim-790d8b369a190bb8.rmeta: crates/cmp-sim/src/lib.rs crates/cmp-sim/src/builder.rs crates/cmp-sim/src/bus.rs crates/cmp-sim/src/cache.rs crates/cmp-sim/src/coherence.rs crates/cmp-sim/src/config.rs crates/cmp-sim/src/core.rs crates/cmp-sim/src/error.rs crates/cmp-sim/src/event_queue.rs crates/cmp-sim/src/fastmap.rs crates/cmp-sim/src/hook.rs crates/cmp-sim/src/hwnet.rs crates/cmp-sim/src/layout.rs crates/cmp-sim/src/machine.rs crates/cmp-sim/src/mem.rs crates/cmp-sim/src/stats.rs Cargo.toml
+
+crates/cmp-sim/src/lib.rs:
+crates/cmp-sim/src/builder.rs:
+crates/cmp-sim/src/bus.rs:
+crates/cmp-sim/src/cache.rs:
+crates/cmp-sim/src/coherence.rs:
+crates/cmp-sim/src/config.rs:
+crates/cmp-sim/src/core.rs:
+crates/cmp-sim/src/error.rs:
+crates/cmp-sim/src/event_queue.rs:
+crates/cmp-sim/src/fastmap.rs:
+crates/cmp-sim/src/hook.rs:
+crates/cmp-sim/src/hwnet.rs:
+crates/cmp-sim/src/layout.rs:
+crates/cmp-sim/src/machine.rs:
+crates/cmp-sim/src/mem.rs:
+crates/cmp-sim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastbar-c954952720f1bbfb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastbar-c954952720f1bbfb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

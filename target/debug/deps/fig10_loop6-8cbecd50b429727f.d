@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_loop6-8cbecd50b429727f.d: crates/bench/src/bin/fig10_loop6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_loop6-8cbecd50b429727f.rmeta: crates/bench/src/bin/fig10_loop6.rs Cargo.toml
+
+crates/bench/src/bin/fig10_loop6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_latency-10efb5b55c98ba08.d: crates/bench/src/bin/fig4_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_latency-10efb5b55c98ba08.rmeta: crates/bench/src/bin/fig4_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig4_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

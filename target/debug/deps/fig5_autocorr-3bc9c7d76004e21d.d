@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_autocorr-3bc9c7d76004e21d.d: crates/bench/src/bin/fig5_autocorr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_autocorr-3bc9c7d76004e21d.rmeta: crates/bench/src/bin/fig5_autocorr.rs Cargo.toml
+
+crates/bench/src/bin/fig5_autocorr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

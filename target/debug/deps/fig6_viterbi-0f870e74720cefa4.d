@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_viterbi-0f870e74720cefa4.d: crates/bench/src/bin/fig6_viterbi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_viterbi-0f870e74720cefa4.rmeta: crates/bench/src/bin/fig6_viterbi.rs Cargo.toml
+
+crates/bench/src/bin/fig6_viterbi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_viterbi-a65ebc4cb70a43de.d: crates/bench/src/bin/fig6_viterbi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_viterbi-a65ebc4cb70a43de.rmeta: crates/bench/src/bin/fig6_viterbi.rs Cargo.toml
+
+crates/bench/src/bin/fig6_viterbi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_loop2-3a04df353d13f9b6.d: crates/bench/src/bin/fig7_loop2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_loop2-3a04df353d13f9b6.rmeta: crates/bench/src/bin/fig7_loop2.rs Cargo.toml
+
+crates/bench/src/bin/fig7_loop2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_loop2-97da020134d904d9.d: crates/bench/src/bin/fig7_loop2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_loop2-97da020134d904d9.rmeta: crates/bench/src/bin/fig7_loop2.rs Cargo.toml
+
+crates/bench/src/bin/fig7_loop2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_loop3-af6e3c9a42e9cddf.d: crates/bench/src/bin/fig8_loop3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_loop3-af6e3c9a42e9cddf.rmeta: crates/bench/src/bin/fig8_loop3.rs Cargo.toml
+
+crates/bench/src/bin/fig8_loop3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/kernels-ffcee94109df0a1d.d: crates/kernels/src/lib.rs crates/kernels/src/autocorr.rs crates/kernels/src/error.rs crates/kernels/src/harness.rs crates/kernels/src/input.rs crates/kernels/src/livermore/mod.rs crates/kernels/src/livermore/loop1.rs crates/kernels/src/livermore/loop2.rs crates/kernels/src/livermore/loop3.rs crates/kernels/src/livermore/loop4.rs crates/kernels/src/livermore/loop5.rs crates/kernels/src/livermore/loop6.rs crates/kernels/src/ocean.rs crates/kernels/src/viterbi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-ffcee94109df0a1d.rmeta: crates/kernels/src/lib.rs crates/kernels/src/autocorr.rs crates/kernels/src/error.rs crates/kernels/src/harness.rs crates/kernels/src/input.rs crates/kernels/src/livermore/mod.rs crates/kernels/src/livermore/loop1.rs crates/kernels/src/livermore/loop2.rs crates/kernels/src/livermore/loop3.rs crates/kernels/src/livermore/loop4.rs crates/kernels/src/livermore/loop5.rs crates/kernels/src/livermore/loop6.rs crates/kernels/src/ocean.rs crates/kernels/src/viterbi.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/autocorr.rs:
+crates/kernels/src/error.rs:
+crates/kernels/src/harness.rs:
+crates/kernels/src/input.rs:
+crates/kernels/src/livermore/mod.rs:
+crates/kernels/src/livermore/loop1.rs:
+crates/kernels/src/livermore/loop2.rs:
+crates/kernels/src/livermore/loop3.rs:
+crates/kernels/src/livermore/loop4.rs:
+crates/kernels/src/livermore/loop5.rs:
+crates/kernels/src/livermore/loop6.rs:
+crates/kernels/src/ocean.rs:
+crates/kernels/src/viterbi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

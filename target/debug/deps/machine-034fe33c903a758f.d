@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machine-034fe33c903a758f.d: crates/cmp-sim/tests/machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine-034fe33c903a758f.rmeta: crates/cmp-sim/tests/machine.rs Cargo.toml
+
+crates/cmp-sim/tests/machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

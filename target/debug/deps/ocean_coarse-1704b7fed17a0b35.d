@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ocean_coarse-1704b7fed17a0b35.d: crates/bench/src/bin/ocean_coarse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libocean_coarse-1704b7fed17a0b35.rmeta: crates/bench/src/bin/ocean_coarse.rs Cargo.toml
+
+crates/bench/src/bin/ocean_coarse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

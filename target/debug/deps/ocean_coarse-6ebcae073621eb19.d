@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ocean_coarse-6ebcae073621eb19.d: crates/bench/src/bin/ocean_coarse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libocean_coarse-6ebcae073621eb19.rmeta: crates/bench/src/bin/ocean_coarse.rs Cargo.toml
+
+crates/bench/src/bin/ocean_coarse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

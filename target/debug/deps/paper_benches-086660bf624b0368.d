@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_benches-086660bf624b0368.d: crates/bench/benches/paper_benches.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_benches-086660bf624b0368.rmeta: crates/bench/benches/paper_benches.rs Cargo.toml
+
+crates/bench/benches/paper_benches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ff168badc6a28b0d.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ff168badc6a28b0d.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sim_isa-bc0df7db79bcf3b8.d: crates/sim-isa/src/lib.rs crates/sim-isa/src/asm.rs crates/sim-isa/src/disasm.rs crates/sim-isa/src/instr.rs crates/sim-isa/src/parse.rs crates/sim-isa/src/program.rs crates/sim-isa/src/reg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_isa-bc0df7db79bcf3b8.rmeta: crates/sim-isa/src/lib.rs crates/sim-isa/src/asm.rs crates/sim-isa/src/disasm.rs crates/sim-isa/src/instr.rs crates/sim-isa/src/parse.rs crates/sim-isa/src/program.rs crates/sim-isa/src/reg.rs Cargo.toml
+
+crates/sim-isa/src/lib.rs:
+crates/sim-isa/src/asm.rs:
+crates/sim-isa/src/disasm.rs:
+crates/sim-isa/src/instr.rs:
+crates/sim-isa/src/parse.rs:
+crates/sim-isa/src/program.rs:
+crates/sim-isa/src/reg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/throughput-dcc2c052f2fe337e.d: crates/bench/src/bin/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthroughput-dcc2c052f2fe337e.rmeta: crates/bench/src/bin/throughput.rs Cargo.toml
+
+crates/bench/src/bin/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/throughput-f9545321ef3ce740.d: crates/bench/src/bin/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthroughput-f9545321ef3ce740.rmeta: crates/bench/src/bin/throughput.rs Cargo.toml
+
+crates/bench/src/bin/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/autocorrelation-c290e0eb3a69563b.d: examples/autocorrelation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautocorrelation-c290e0eb3a69563b.rmeta: examples/autocorrelation.rs Cargo.toml
+
+examples/autocorrelation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

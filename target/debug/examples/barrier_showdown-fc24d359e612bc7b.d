@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/barrier_showdown-fc24d359e612bc7b.d: examples/barrier_showdown.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbarrier_showdown-fc24d359e612bc7b.rmeta: examples/barrier_showdown.rs Cargo.toml
+
+examples/barrier_showdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

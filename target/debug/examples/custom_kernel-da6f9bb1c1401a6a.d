@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_kernel-da6f9bb1c1401a6a.d: examples/custom_kernel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_kernel-da6f9bb1c1401a6a.rmeta: examples/custom_kernel.rs Cargo.toml
+
+examples/custom_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/livermore_sweep-6d7551553160f99b.d: examples/livermore_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblivermore_sweep-6d7551553160f99b.rmeta: examples/livermore_sweep.rs Cargo.toml
+
+examples/livermore_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/viterbi-dffdff7a7563c570.d: examples/viterbi.rs Cargo.toml
+
+/root/repo/target/debug/examples/libviterbi-dffdff7a7563c570.rmeta: examples/viterbi.rs Cargo.toml
+
+examples/viterbi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-5c9adc8dda7b357d.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-5c9adc8dda7b357d: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-a63fffc3a22562b1.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-a63fffc3a22562b1: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/barrier_filter-5b5c87422418a3aa.d: crates/core/src/lib.rs crates/core/src/bank.rs crates/core/src/emit.rs crates/core/src/fsm.rs crates/core/src/mechanism.rs crates/core/src/system.rs crates/core/src/table.rs
+
+/root/repo/target/release/deps/barrier_filter-5b5c87422418a3aa: crates/core/src/lib.rs crates/core/src/bank.rs crates/core/src/emit.rs crates/core/src/fsm.rs crates/core/src/mechanism.rs crates/core/src/system.rs crates/core/src/table.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bank.rs:
+crates/core/src/emit.rs:
+crates/core/src/fsm.rs:
+crates/core/src/mechanism.rs:
+crates/core/src/system.rs:
+crates/core/src/table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/barriers-ed80676b1bcd4b9a.d: crates/core/tests/barriers.rs
+
+/root/repo/target/release/deps/barriers-ed80676b1bcd4b9a: crates/core/tests/barriers.rs
+
+crates/core/tests/barriers.rs:

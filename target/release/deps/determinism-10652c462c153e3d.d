@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-10652c462c153e3d.d: crates/bench/tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-10652c462c153e3d: crates/bench/tests/determinism.rs
+
+crates/bench/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-a59b0460e21e0122.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-a59b0460e21e0122: tests/end_to_end.rs
+
+tests/end_to_end.rs:

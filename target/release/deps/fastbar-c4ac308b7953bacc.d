@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fastbar-c4ac308b7953bacc.d: src/lib.rs
+
+/root/repo/target/release/deps/fastbar-c4ac308b7953bacc: src/lib.rs
+
+src/lib.rs:

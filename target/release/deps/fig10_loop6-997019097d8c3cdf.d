@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_loop6-997019097d8c3cdf.d: crates/bench/src/bin/fig10_loop6.rs
+
+/root/repo/target/release/deps/fig10_loop6-997019097d8c3cdf: crates/bench/src/bin/fig10_loop6.rs
+
+crates/bench/src/bin/fig10_loop6.rs:

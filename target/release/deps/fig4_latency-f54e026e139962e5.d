@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_latency-f54e026e139962e5.d: crates/bench/src/bin/fig4_latency.rs
+
+/root/repo/target/release/deps/fig4_latency-f54e026e139962e5: crates/bench/src/bin/fig4_latency.rs
+
+crates/bench/src/bin/fig4_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_autocorr-a767cb5f4f3cfde0.d: crates/bench/src/bin/fig5_autocorr.rs
+
+/root/repo/target/release/deps/fig5_autocorr-a767cb5f4f3cfde0: crates/bench/src/bin/fig5_autocorr.rs
+
+crates/bench/src/bin/fig5_autocorr.rs:

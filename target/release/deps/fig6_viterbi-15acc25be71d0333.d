@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_viterbi-15acc25be71d0333.d: crates/bench/src/bin/fig6_viterbi.rs
+
+/root/repo/target/release/deps/fig6_viterbi-15acc25be71d0333: crates/bench/src/bin/fig6_viterbi.rs
+
+crates/bench/src/bin/fig6_viterbi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_viterbi-8649d8c90a888090.d: crates/bench/src/bin/fig6_viterbi.rs
+
+/root/repo/target/release/deps/fig6_viterbi-8649d8c90a888090: crates/bench/src/bin/fig6_viterbi.rs
+
+crates/bench/src/bin/fig6_viterbi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_loop2-09b91baac34146a5.d: crates/bench/src/bin/fig7_loop2.rs
+
+/root/repo/target/release/deps/fig7_loop2-09b91baac34146a5: crates/bench/src/bin/fig7_loop2.rs
+
+crates/bench/src/bin/fig7_loop2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_loop3-cf6cb2230bdc7e72.d: crates/bench/src/bin/fig8_loop3.rs
+
+/root/repo/target/release/deps/fig8_loop3-cf6cb2230bdc7e72: crates/bench/src/bin/fig8_loop3.rs
+
+crates/bench/src/bin/fig8_loop3.rs:

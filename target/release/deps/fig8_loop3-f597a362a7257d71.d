@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_loop3-f597a362a7257d71.d: crates/bench/src/bin/fig8_loop3.rs
+
+/root/repo/target/release/deps/fig8_loop3-f597a362a7257d71: crates/bench/src/bin/fig8_loop3.rs
+
+crates/bench/src/bin/fig8_loop3.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/kernels-d556f87c1d72b20b.d: crates/kernels/src/lib.rs crates/kernels/src/autocorr.rs crates/kernels/src/error.rs crates/kernels/src/harness.rs crates/kernels/src/input.rs crates/kernels/src/livermore/mod.rs crates/kernels/src/livermore/loop1.rs crates/kernels/src/livermore/loop2.rs crates/kernels/src/livermore/loop3.rs crates/kernels/src/livermore/loop4.rs crates/kernels/src/livermore/loop5.rs crates/kernels/src/livermore/loop6.rs crates/kernels/src/ocean.rs crates/kernels/src/viterbi.rs
+
+/root/repo/target/release/deps/kernels-d556f87c1d72b20b: crates/kernels/src/lib.rs crates/kernels/src/autocorr.rs crates/kernels/src/error.rs crates/kernels/src/harness.rs crates/kernels/src/input.rs crates/kernels/src/livermore/mod.rs crates/kernels/src/livermore/loop1.rs crates/kernels/src/livermore/loop2.rs crates/kernels/src/livermore/loop3.rs crates/kernels/src/livermore/loop4.rs crates/kernels/src/livermore/loop5.rs crates/kernels/src/livermore/loop6.rs crates/kernels/src/ocean.rs crates/kernels/src/viterbi.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/autocorr.rs:
+crates/kernels/src/error.rs:
+crates/kernels/src/harness.rs:
+crates/kernels/src/input.rs:
+crates/kernels/src/livermore/mod.rs:
+crates/kernels/src/livermore/loop1.rs:
+crates/kernels/src/livermore/loop2.rs:
+crates/kernels/src/livermore/loop3.rs:
+crates/kernels/src/livermore/loop4.rs:
+crates/kernels/src/livermore/loop5.rs:
+crates/kernels/src/livermore/loop6.rs:
+crates/kernels/src/ocean.rs:
+crates/kernels/src/viterbi.rs:

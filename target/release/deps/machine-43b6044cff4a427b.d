@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/machine-43b6044cff4a427b.d: crates/cmp-sim/tests/machine.rs
+
+/root/repo/target/release/deps/machine-43b6044cff4a427b: crates/cmp-sim/tests/machine.rs
+
+crates/cmp-sim/tests/machine.rs:

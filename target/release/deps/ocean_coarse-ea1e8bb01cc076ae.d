@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ocean_coarse-ea1e8bb01cc076ae.d: crates/bench/src/bin/ocean_coarse.rs
+
+/root/repo/target/release/deps/ocean_coarse-ea1e8bb01cc076ae: crates/bench/src/bin/ocean_coarse.rs
+
+crates/bench/src/bin/ocean_coarse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-562186470d2f8e9c.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-562186470d2f8e9c: tests/properties.rs
+
+tests/properties.rs:

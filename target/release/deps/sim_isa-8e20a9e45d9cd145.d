@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sim_isa-8e20a9e45d9cd145.d: crates/sim-isa/src/lib.rs crates/sim-isa/src/asm.rs crates/sim-isa/src/disasm.rs crates/sim-isa/src/instr.rs crates/sim-isa/src/parse.rs crates/sim-isa/src/program.rs crates/sim-isa/src/reg.rs
+
+/root/repo/target/release/deps/sim_isa-8e20a9e45d9cd145: crates/sim-isa/src/lib.rs crates/sim-isa/src/asm.rs crates/sim-isa/src/disasm.rs crates/sim-isa/src/instr.rs crates/sim-isa/src/parse.rs crates/sim-isa/src/program.rs crates/sim-isa/src/reg.rs
+
+crates/sim-isa/src/lib.rs:
+crates/sim-isa/src/asm.rs:
+crates/sim-isa/src/disasm.rs:
+crates/sim-isa/src/instr.rs:
+crates/sim-isa/src/parse.rs:
+crates/sim-isa/src/program.rs:
+crates/sim-isa/src/reg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-4c6a8da2306f4431.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-4c6a8da2306f4431: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

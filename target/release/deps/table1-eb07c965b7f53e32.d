@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-eb07c965b7f53e32.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-eb07c965b7f53e32: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-4a43dd001c2c3cb0.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-4a43dd001c2c3cb0: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

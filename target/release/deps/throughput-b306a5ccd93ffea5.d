@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-b306a5ccd93ffea5.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-b306a5ccd93ffea5: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

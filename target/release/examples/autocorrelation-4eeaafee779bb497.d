@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/autocorrelation-4eeaafee779bb497.d: examples/autocorrelation.rs
+
+/root/repo/target/release/examples/autocorrelation-4eeaafee779bb497: examples/autocorrelation.rs
+
+examples/autocorrelation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/barrier_showdown-cdce8c5274f368e8.d: examples/barrier_showdown.rs
+
+/root/repo/target/release/examples/barrier_showdown-cdce8c5274f368e8: examples/barrier_showdown.rs
+
+examples/barrier_showdown.rs:

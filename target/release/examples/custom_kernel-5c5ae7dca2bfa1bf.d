@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_kernel-5c5ae7dca2bfa1bf.d: examples/custom_kernel.rs
+
+/root/repo/target/release/examples/custom_kernel-5c5ae7dca2bfa1bf: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

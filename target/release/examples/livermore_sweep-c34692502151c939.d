@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/livermore_sweep-c34692502151c939.d: examples/livermore_sweep.rs
+
+/root/repo/target/release/examples/livermore_sweep-c34692502151c939: examples/livermore_sweep.rs
+
+examples/livermore_sweep.rs:

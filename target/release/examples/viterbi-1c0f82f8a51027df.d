@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/viterbi-1c0f82f8a51027df.d: examples/viterbi.rs
+
+/root/repo/target/release/examples/viterbi-1c0f82f8a51027df: examples/viterbi.rs
+
+examples/viterbi.rs:

@@ -121,7 +121,10 @@ fn paper_claim_loop2_crossover_is_later_than_loop3() {
         loop2 >= loop3,
         "loop2 crossover N={loop2} must not precede loop3's N={loop3}"
     );
-    assert!(loop3 <= 256, "loop3 must cross over at modest vector lengths");
+    assert!(
+        loop3 <= 256,
+        "loop3 must cross over at modest vector lengths"
+    );
 }
 
 #[test]
@@ -203,7 +206,9 @@ fn whole_stack_is_deterministic() {
 fn sixty_four_core_machine_runs_a_kernel() {
     // The largest configuration the paper sweeps (Figure 4's right edge).
     let k = Loop3::new(1024);
-    let out = k.run_parallel(64, BarrierMechanism::FilterIPingPong).unwrap();
+    let out = k
+        .run_parallel(64, BarrierMechanism::FilterIPingPong)
+        .unwrap();
     assert!(out.cycles > 0);
 }
 

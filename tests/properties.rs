@@ -120,9 +120,7 @@ fn filter_table_protocol_invariants() {
     for case in 0..64 {
         let mut r = case_rng(5, case);
         let threads = 1 + r.below(6) as usize;
-        let schedule: Vec<usize> = (0..1 + r.below(199))
-            .map(|_| r.below(8) as usize)
-            .collect();
+        let schedule: Vec<usize> = (0..1 + r.below(199)).map(|_| r.below(8) as usize).collect();
         const A: u64 = 0x2000_0000;
         const E: u64 = 0x2000_4000;
         let mut table = FilterTable::new(FilterTableConfig::entry_exit(A, E, threads));
