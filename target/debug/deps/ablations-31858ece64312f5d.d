@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-31858ece64312f5d.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-31858ece64312f5d: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/bench_suite-633b6d267f85363d.d: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs
+/root/repo/target/debug/deps/bench_suite-633b6d267f85363d.d: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs
 
-/root/repo/target/debug/deps/libbench_suite-633b6d267f85363d.rlib: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs
+/root/repo/target/debug/deps/libbench_suite-633b6d267f85363d.rlib: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs
 
-/root/repo/target/debug/deps/libbench_suite-633b6d267f85363d.rmeta: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs
+/root/repo/target/debug/deps/libbench_suite-633b6d267f85363d.rmeta: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/kernel_runs.rs:
 crates/bench/src/latency.rs:
 crates/bench/src/report.rs:
+crates/bench/src/throughput.rs:

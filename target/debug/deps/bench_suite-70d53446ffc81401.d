@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/bench_suite-70d53446ffc81401.d: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs
+/root/repo/target/debug/deps/bench_suite-70d53446ffc81401.d: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs
 
-/root/repo/target/debug/deps/bench_suite-70d53446ffc81401: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs
+/root/repo/target/debug/deps/bench_suite-70d53446ffc81401: crates/bench/src/lib.rs crates/bench/src/kernel_runs.rs crates/bench/src/latency.rs crates/bench/src/report.rs crates/bench/src/throughput.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/kernel_runs.rs:
 crates/bench/src/latency.rs:
 crates/bench/src/report.rs:
+crates/bench/src/throughput.rs:

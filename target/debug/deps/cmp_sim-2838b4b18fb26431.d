@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/cmp_sim-2838b4b18fb26431.d: crates/cmp-sim/src/lib.rs crates/cmp-sim/src/builder.rs crates/cmp-sim/src/bus.rs crates/cmp-sim/src/cache.rs crates/cmp-sim/src/coherence.rs crates/cmp-sim/src/config.rs crates/cmp-sim/src/core.rs crates/cmp-sim/src/error.rs crates/cmp-sim/src/hook.rs crates/cmp-sim/src/hwnet.rs crates/cmp-sim/src/layout.rs crates/cmp-sim/src/machine.rs crates/cmp-sim/src/mem.rs crates/cmp-sim/src/stats.rs
+/root/repo/target/debug/deps/cmp_sim-2838b4b18fb26431.d: crates/cmp-sim/src/lib.rs crates/cmp-sim/src/builder.rs crates/cmp-sim/src/bus.rs crates/cmp-sim/src/cache.rs crates/cmp-sim/src/coherence.rs crates/cmp-sim/src/config.rs crates/cmp-sim/src/core.rs crates/cmp-sim/src/error.rs crates/cmp-sim/src/event_queue.rs crates/cmp-sim/src/fastmap.rs crates/cmp-sim/src/hook.rs crates/cmp-sim/src/hwnet.rs crates/cmp-sim/src/layout.rs crates/cmp-sim/src/machine.rs crates/cmp-sim/src/mem.rs crates/cmp-sim/src/stats.rs
 
-/root/repo/target/debug/deps/cmp_sim-2838b4b18fb26431: crates/cmp-sim/src/lib.rs crates/cmp-sim/src/builder.rs crates/cmp-sim/src/bus.rs crates/cmp-sim/src/cache.rs crates/cmp-sim/src/coherence.rs crates/cmp-sim/src/config.rs crates/cmp-sim/src/core.rs crates/cmp-sim/src/error.rs crates/cmp-sim/src/hook.rs crates/cmp-sim/src/hwnet.rs crates/cmp-sim/src/layout.rs crates/cmp-sim/src/machine.rs crates/cmp-sim/src/mem.rs crates/cmp-sim/src/stats.rs
+/root/repo/target/debug/deps/cmp_sim-2838b4b18fb26431: crates/cmp-sim/src/lib.rs crates/cmp-sim/src/builder.rs crates/cmp-sim/src/bus.rs crates/cmp-sim/src/cache.rs crates/cmp-sim/src/coherence.rs crates/cmp-sim/src/config.rs crates/cmp-sim/src/core.rs crates/cmp-sim/src/error.rs crates/cmp-sim/src/event_queue.rs crates/cmp-sim/src/fastmap.rs crates/cmp-sim/src/hook.rs crates/cmp-sim/src/hwnet.rs crates/cmp-sim/src/layout.rs crates/cmp-sim/src/machine.rs crates/cmp-sim/src/mem.rs crates/cmp-sim/src/stats.rs
 
 crates/cmp-sim/src/lib.rs:
 crates/cmp-sim/src/builder.rs:
@@ -10,6 +10,8 @@ crates/cmp-sim/src/coherence.rs:
 crates/cmp-sim/src/config.rs:
 crates/cmp-sim/src/core.rs:
 crates/cmp-sim/src/error.rs:
+crates/cmp-sim/src/event_queue.rs:
+crates/cmp-sim/src/fastmap.rs:
 crates/cmp-sim/src/hook.rs:
 crates/cmp-sim/src/hwnet.rs:
 crates/cmp-sim/src/layout.rs:

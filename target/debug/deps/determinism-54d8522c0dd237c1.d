@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-54d8522c0dd237c1.d: crates/bench/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-54d8522c0dd237c1: crates/bench/tests/determinism.rs
+
+crates/bench/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_loop6-6bf9a3232c36affc.d: crates/bench/src/bin/fig10_loop6.rs
+
+/root/repo/target/debug/deps/fig10_loop6-6bf9a3232c36affc: crates/bench/src/bin/fig10_loop6.rs
+
+crates/bench/src/bin/fig10_loop6.rs:

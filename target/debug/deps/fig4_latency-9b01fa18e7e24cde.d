@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_latency-9b01fa18e7e24cde.d: crates/bench/src/bin/fig4_latency.rs
+
+/root/repo/target/debug/deps/fig4_latency-9b01fa18e7e24cde: crates/bench/src/bin/fig4_latency.rs
+
+crates/bench/src/bin/fig4_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_autocorr-7aca2d3cb46fabec.d: crates/bench/src/bin/fig5_autocorr.rs
+
+/root/repo/target/debug/deps/fig5_autocorr-7aca2d3cb46fabec: crates/bench/src/bin/fig5_autocorr.rs
+
+crates/bench/src/bin/fig5_autocorr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_viterbi-6eba5a71200bce22.d: crates/bench/src/bin/fig6_viterbi.rs
+
+/root/repo/target/debug/deps/fig6_viterbi-6eba5a71200bce22: crates/bench/src/bin/fig6_viterbi.rs
+
+crates/bench/src/bin/fig6_viterbi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_loop2-776930d6940e73eb.d: crates/bench/src/bin/fig7_loop2.rs
+
+/root/repo/target/debug/deps/fig7_loop2-776930d6940e73eb: crates/bench/src/bin/fig7_loop2.rs
+
+crates/bench/src/bin/fig7_loop2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_loop3-4fb56fc6e4fbcf82.d: crates/bench/src/bin/fig8_loop3.rs
+
+/root/repo/target/debug/deps/fig8_loop3-4fb56fc6e4fbcf82: crates/bench/src/bin/fig8_loop3.rs
+
+crates/bench/src/bin/fig8_loop3.rs:

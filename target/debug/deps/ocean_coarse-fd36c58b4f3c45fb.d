@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ocean_coarse-fd36c58b4f3c45fb.d: crates/bench/src/bin/ocean_coarse.rs
+
+/root/repo/target/debug/deps/ocean_coarse-fd36c58b4f3c45fb: crates/bench/src/bin/ocean_coarse.rs
+
+crates/bench/src/bin/ocean_coarse.rs:

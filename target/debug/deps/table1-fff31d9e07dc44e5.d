@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-fff31d9e07dc44e5.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-fff31d9e07dc44e5: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

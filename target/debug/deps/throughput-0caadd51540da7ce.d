@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-0caadd51540da7ce.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/debug/deps/throughput-0caadd51540da7ce: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-6257136de7716b69.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/debug/deps/throughput-6257136de7716b69: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:
