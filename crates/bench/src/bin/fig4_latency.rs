@@ -3,14 +3,32 @@
 //! — a loop of 64 consecutive barriers executed 64 times with no work
 //! between them.
 //!
-//! Usage: `fig4_latency [--quick]` (`--quick` shrinks the rep counts for
-//! smoke runs).
+//! Usage: `fig4_latency [--quick] [--trace PREFIX]`
+//!
+//! `--quick` shrinks the rep counts for smoke runs. `--trace PREFIX`
+//! streams a Chrome trace of each mechanism's 16-core point to
+//! `PREFIX.<mechanism>.trace.json` (one file per mechanism; load them in
+//! `chrome://tracing` or <https://ui.perfetto.dev>). Only the 16-core
+//! points are traced: a full-sweep trace would be tens of megabytes per
+//! point, and 16 cores is the configuration the paper's Figure 4 table
+//! centres on. Tracing never changes the measured numbers.
 
 use barrier_filter::BarrierMechanism;
-use bench_suite::{barrier_latency, report};
+use bench_suite::latency::barrier_latency_traced;
+use bench_suite::report;
+use cmp_sim::TraceConfig;
+
+/// The core count whose points are traced under `--trace`.
+const TRACED_CORES: usize = 16;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trace_prefix = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
     let (inner, outer) = if quick { (16, 4) } else { (64, 64) };
     let core_counts = [4usize, 8, 16, 32, 64];
 
@@ -20,21 +38,49 @@ fn main() {
     header.extend(core_counts.iter().map(|c| format!("{c} cores")));
     let mut rows = Vec::new();
     let mut waits = Vec::new();
+    let mut spreads = Vec::new();
+    let mut traces_written = Vec::new();
     for mechanism in BarrierMechanism::ALL {
         let mut row = vec![mechanism.to_string()];
         let mut wait_row = vec![mechanism.to_string()];
+        let mut spread_row = vec![mechanism.to_string()];
         for &cores in &core_counts {
-            let p = barrier_latency(mechanism, cores, inner, outer)
+            let trace = match trace_prefix {
+                Some(prefix) if cores == TRACED_CORES => {
+                    let path = format!("{prefix}.{mechanism}.trace.json");
+                    traces_written.push(path.clone());
+                    TraceConfig::ChromeJson { path }
+                }
+                _ => TraceConfig::Off,
+            };
+            let p = barrier_latency_traced(mechanism, cores, inner, outer, trace)
                 .unwrap_or_else(|e| panic!("{mechanism} @ {cores} cores failed: {e}"));
             row.push(report::f1(p.cycles_per_barrier));
             wait_row.push(report::f1(p.bus_mean_wait));
+            spread_row.push(format!(
+                "{}/{}",
+                report::f1(p.episodes.mean_arrival_spread()),
+                report::f1(p.episodes.mean_release_fanout())
+            ));
         }
         rows.push(row);
         waits.push(wait_row);
+        spreads.push(spread_row);
     }
     print!("{}", report::table(&header, &rows));
     println!();
     println!("Bus saturation signal: mean bus queueing delay per transaction (cycles)");
     println!();
     print!("{}", report::table(&header, &waits));
+    println!();
+    println!("Episode decomposition: mean arrival spread / release fan-out per barrier (cycles)");
+    println!();
+    print!("{}", report::table(&header, &spreads));
+    if !traces_written.is_empty() {
+        println!();
+        println!("Chrome traces written ({TRACED_CORES}-core points):");
+        for path in traces_written {
+            println!("  {path}");
+        }
+    }
 }

@@ -5,14 +5,19 @@
 //! host second, writing the machine-readable trajectory file
 //! `BENCH_throughput.json` in the current directory.
 //!
-//! Usage: `throughput [--quick] [--out PATH]`
+//! Usage: `throughput [--quick] [--out PATH] [--trace PATH]`
 //!
 //! `--quick` shrinks rep counts for smoke runs (and marks the workloads
 //! accordingly, so quick numbers are never confused with the tracked
-//! ones); `--out` overrides the JSON path.
+//! ones); `--out` overrides the JSON path. `--trace PATH` additionally
+//! re-runs the Viterbi workload with a Chrome trace streamed to PATH
+//! (load it in `chrome://tracing` or <https://ui.perfetto.dev>) and
+//! checks that tracing left the stats digest bit-identical; the traced
+//! re-run is not written to the JSON file (its wall time includes trace
+//! I/O).
 
 use bench_suite::report;
-use bench_suite::throughput::{fig4_sample, to_json, viterbi_sample};
+use bench_suite::throughput::{fig4_sample, to_json, viterbi_sample, viterbi_sample_traced};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -22,6 +27,11 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map_or("BENCH_throughput.json", String::as_str);
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
 
     let (inner, outer, vit_bits) = if quick { (8, 2, 24) } else { (64, 64, 96) };
     let mut samples = vec![fig4_sample(16, inner, outer), viterbi_sample(vit_bits, 16)];
@@ -40,6 +50,8 @@ fn main() {
         "host s",
         "Minstr/s",
         "stats digest",
+        "episodes",
+        "spread/fanout",
     ]
     .map(String::from)
     .to_vec();
@@ -54,6 +66,12 @@ fn main() {
                 report::f2(s.instr_per_sec / 1e6),
                 s.stats_digest
                     .map_or_else(|| "-".to_string(), |d| format!("{d:#018x}")),
+                s.episodes.episodes.to_string(),
+                format!(
+                    "{}/{}",
+                    report::f1(s.episodes.mean_arrival_spread()),
+                    report::f1(s.episodes.mean_release_fanout())
+                ),
             ]
         })
         .collect();
@@ -63,4 +81,22 @@ fn main() {
     std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!();
     println!("wrote {out_path}");
+
+    if let Some(path) = trace_path {
+        let traced = viterbi_sample_traced(vit_bits, 16, path);
+        let untraced = samples
+            .iter()
+            .find(|s| s.workload.starts_with("viterbi"))
+            .expect("viterbi sample present");
+        assert_eq!(
+            (traced.sim_cycles, traced.stats_digest),
+            (untraced.sim_cycles, untraced.stats_digest),
+            "tracing changed simulated behaviour — sinks must be pure observers"
+        );
+        println!();
+        println!(
+            "wrote Chrome trace to {path} ({} barrier episodes; digest unchanged)",
+            traced.episodes.episodes
+        );
+    }
 }

@@ -3,7 +3,7 @@
 //! following Culler/Singh/Gupta).
 
 use barrier_filter::{BarrierMechanism, BarrierSystem};
-use cmp_sim::{AddressSpace, Machine, MachineBuilder, SimConfig, SimError};
+use cmp_sim::{AddressSpace, Machine, MachineBuilder, SimConfig, SimError, TraceConfig};
 use sim_isa::{Asm, Reg};
 
 /// Build (but do not run) the Figure 4 micro-benchmark machine: `inner`
@@ -19,6 +19,23 @@ pub fn build_latency_machine(
     cores: usize,
     inner: u64,
     outer: u64,
+) -> Machine {
+    build_latency_machine_traced(mechanism, cores, inner, outer, TraceConfig::Off)
+}
+
+/// [`build_latency_machine`] with trace events streamed to the sink
+/// `trace` selects. Tracing is an observer: the machine's simulated
+/// behaviour is bit-identical to the untraced build.
+///
+/// # Panics
+///
+/// Panics on assembler/build/trace-sink failures.
+pub fn build_latency_machine_traced(
+    mechanism: BarrierMechanism,
+    cores: usize,
+    inner: u64,
+    outer: u64,
+    trace: TraceConfig,
 ) -> Machine {
     let config = SimConfig::with_cores(cores);
     let mut space = AddressSpace::new(&config);
@@ -44,6 +61,7 @@ pub fn build_latency_machine(
     let entry = program.require_symbol("entry");
     let mut cfg = config;
     cfg.cycle_limit = 2_000_000_000;
+    cfg.trace = trace;
     let mut mb = MachineBuilder::new(cfg, program).expect("builder");
     for _ in 0..cores {
         mb.add_thread(entry);
@@ -64,6 +82,9 @@ pub struct LatencyPoint {
     /// Mean interconnect queueing delay per transaction, max over the
     /// address and data networks (saturation signal).
     pub bus_mean_wait: f64,
+    /// Per-barrier-episode metrics of the run (arrival spread, release
+    /// fan-out, park/release accounting).
+    pub episodes: cmp_sim::EpisodeStats,
 }
 
 /// Measure average cycles/barrier: `inner` consecutive barriers, repeated
@@ -82,7 +103,28 @@ pub fn barrier_latency(
     inner: u64,
     outer: u64,
 ) -> Result<LatencyPoint, SimError> {
-    let mut m = build_latency_machine(mechanism, cores, inner, outer);
+    barrier_latency_traced(mechanism, cores, inner, outer, TraceConfig::Off)
+}
+
+/// [`barrier_latency`] with trace events streamed to the sink `trace`
+/// selects (e.g. [`TraceConfig::ChromeJson`] for a Perfetto-loadable
+/// file). The measured point is bit-identical to the untraced run.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics on assembler/build/trace-sink failures.
+pub fn barrier_latency_traced(
+    mechanism: BarrierMechanism,
+    cores: usize,
+    inner: u64,
+    outer: u64,
+    trace: TraceConfig,
+) -> Result<LatencyPoint, SimError> {
+    let mut m = build_latency_machine_traced(mechanism, cores, inner, outer, trace);
     let summary = m.run()?;
     let stats = m.stats();
     Ok(LatencyPoint {
@@ -90,6 +132,7 @@ pub fn barrier_latency(
         cores,
         cycles_per_barrier: summary.cycles as f64 / (inner * outer) as f64,
         bus_mean_wait: stats.addr_bus.mean_wait().max(stats.data_bus.mean_wait()),
+        episodes: stats.episodes,
     })
 }
 

@@ -25,5 +25,8 @@ pub mod report;
 pub mod throughput;
 
 pub use kernel_runs::{measure, speedup_table, SpeedupRow};
-pub use latency::{barrier_latency, build_latency_machine, LatencyPoint};
-pub use throughput::{fig4_sample, viterbi_sample, ThroughputSample};
+pub use latency::{
+    barrier_latency, barrier_latency_traced, build_latency_machine, build_latency_machine_traced,
+    LatencyPoint,
+};
+pub use throughput::{fig4_sample, viterbi_sample, viterbi_sample_traced, ThroughputSample};

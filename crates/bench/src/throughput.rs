@@ -19,6 +19,7 @@
 use std::time::Instant;
 
 use barrier_filter::BarrierMechanism;
+use cmp_sim::{json_escape, EpisodeStats};
 use kernels::viterbi::Viterbi;
 
 use crate::latency::build_latency_machine;
@@ -40,6 +41,9 @@ pub struct ThroughputSample {
     /// Combined [`MachineStats::digest`](cmp_sim::MachineStats)
     /// fingerprint, when the workload exposes full machine stats.
     pub stats_digest: Option<u64>,
+    /// Per-barrier-episode metrics aggregated over the workload's
+    /// machines (not part of the digest: informational).
+    pub episodes: EpisodeStats,
 }
 
 fn sample(
@@ -48,6 +52,7 @@ fn sample(
     sim_instructions: u64,
     wall_seconds: f64,
     stats_digest: Option<u64>,
+    episodes: EpisodeStats,
 ) -> ThroughputSample {
     ThroughputSample {
         workload: workload.to_string(),
@@ -56,6 +61,7 @@ fn sample(
         wall_seconds,
         instr_per_sec: sim_instructions as f64 / wall_seconds.max(1e-9),
         stats_digest,
+        episodes,
     }
 }
 
@@ -71,6 +77,7 @@ pub fn fig4_sample(cores: usize, inner: u64, outer: u64) -> ThroughputSample {
     let mut cycles = 0u64;
     let mut instructions = 0u64;
     let mut wall = 0f64;
+    let mut episodes = EpisodeStats::default();
     // Chain per-mechanism digests order-sensitively.
     let mut digest = 0xcbf2_9ce4_8422_2325u64;
     for mechanism in BarrierMechanism::ALL {
@@ -82,7 +89,9 @@ pub fn fig4_sample(cores: usize, inner: u64, outer: u64) -> ThroughputSample {
         wall += t0.elapsed().as_secs_f64();
         cycles += summary.cycles;
         instructions += summary.instructions;
-        for b in m.stats().digest().to_le_bytes() {
+        let stats = m.stats();
+        episodes.merge(&stats.episodes);
+        for b in stats.digest().to_le_bytes() {
             digest ^= b as u64;
             digest = digest.wrapping_mul(0x100_0000_01b3);
         }
@@ -93,6 +102,7 @@ pub fn fig4_sample(cores: usize, inner: u64, outer: u64) -> ThroughputSample {
         instructions,
         wall,
         Some(digest),
+        episodes,
     )
 }
 
@@ -116,7 +126,41 @@ pub fn viterbi_sample(data_bits: usize, threads: usize) -> ThroughputSample {
         outcome.cycles,
         outcome.instructions,
         wall,
-        None,
+        Some(outcome.stats_digest),
+        outcome.episodes,
+    )
+}
+
+/// [`viterbi_sample`] with a Chrome trace streamed to `trace_path`
+/// (viewable in `chrome://tracing`/Perfetto). The digest and cycle count
+/// are bit-identical to the untraced run; `wall_seconds` includes the
+/// trace-writing overhead, so traced samples should not be committed to
+/// `BENCH_throughput.json`.
+///
+/// # Panics
+///
+/// Panics if the kernel fails to run, validate, or open the trace file.
+pub fn viterbi_sample_traced(
+    data_bits: usize,
+    threads: usize,
+    trace_path: &str,
+) -> ThroughputSample {
+    let v = Viterbi::new(data_bits);
+    let trace = cmp_sim::TraceConfig::ChromeJson {
+        path: trace_path.to_string(),
+    };
+    let t0 = Instant::now();
+    let outcome = v
+        .run_parallel_traced(threads, BarrierMechanism::FilterD, trace)
+        .expect("traced viterbi throughput workload");
+    let wall = t0.elapsed().as_secs_f64();
+    sample(
+        &format!("viterbi_k5_{threads}t_traced"),
+        outcome.cycles,
+        outcome.instructions,
+        wall,
+        Some(outcome.stats_digest),
+        outcome.episodes,
     )
 }
 
@@ -126,15 +170,27 @@ pub fn to_json(samples: &[ThroughputSample]) -> String {
     let mut out = String::from("{\n  \"schema\": \"fastbar-throughput/v1\",\n  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
         out.push_str("    {");
-        out.push_str(&format!("\"workload\": \"{}\", ", s.workload));
+        out.push_str(&format!("\"workload\": \"{}\", ", json_escape(&s.workload)));
         out.push_str(&format!("\"sim_cycles\": {}, ", s.sim_cycles));
         out.push_str(&format!("\"sim_instructions\": {}, ", s.sim_instructions));
         out.push_str(&format!("\"wall_seconds\": {:.6}, ", s.wall_seconds));
         out.push_str(&format!("\"instr_per_sec\": {:.1}, ", s.instr_per_sec));
         match s.stats_digest {
-            Some(d) => out.push_str(&format!("\"stats_digest\": \"{d:#018x}\"")),
-            None => out.push_str("\"stats_digest\": null"),
+            Some(d) => out.push_str(&format!("\"stats_digest\": \"{d:#018x}\", ")),
+            None => out.push_str("\"stats_digest\": null, "),
         }
+        let e = &s.episodes;
+        out.push_str(&format!(
+            "\"episodes\": {{\"count\": {}, \"parks\": {}, \"releases\": {}, \
+             \"serviced\": {}, \"mean_arrival_spread\": {:.1}, \
+             \"mean_release_fanout\": {:.1}}}",
+            e.episodes,
+            e.parks,
+            e.releases,
+            e.serviced,
+            e.mean_arrival_spread(),
+            e.mean_release_fanout(),
+        ));
         out.push('}');
         if i + 1 < samples.len() {
             out.push(',');
@@ -162,14 +218,30 @@ mod tests {
 
     #[test]
     fn json_document_has_schema_and_all_samples() {
+        let e = EpisodeStats::default();
         let s = vec![
-            sample("w1", 10, 20, 0.5, Some(7)),
-            sample("w2", 1, 2, 0.25, None),
+            sample("w1", 10, 20, 0.5, Some(7), e),
+            sample("w2", 1, 2, 0.25, None, e),
         ];
         let j = to_json(&s);
         assert!(j.contains("fastbar-throughput/v1"));
         assert!(j.contains("\"workload\": \"w1\""));
         assert!(j.contains("\"stats_digest\": null"));
         assert!(j.contains("\"instr_per_sec\": 40.0"));
+        assert!(j.contains("\"episodes\": {\"count\": 0"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let s = vec![sample(
+            "w\"quoted\\slash",
+            1,
+            1,
+            0.5,
+            None,
+            EpisodeStats::default(),
+        )];
+        let j = to_json(&s);
+        assert!(j.contains("\"workload\": \"w\\\"quoted\\\\slash\""));
     }
 }

@@ -10,6 +10,8 @@
 
 use barrier_filter::BarrierMechanism;
 use bench_suite::build_latency_machine;
+use bench_suite::latency::build_latency_machine_traced;
+use cmp_sim::TraceConfig;
 use kernels::viterbi::Viterbi;
 
 /// Run the Figure 4 micro-benchmark twice from scratch and require the
@@ -63,5 +65,86 @@ fn viterbi_kernel_is_deterministic_end_to_end() {
     let (a, b) = (run(), run());
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.stats_digest, b.stats_digest);
+    assert_eq!(a.episodes, b.episodes);
     assert!(a.cycles > 0);
+    assert!(
+        a.episodes.episodes > 0,
+        "FilterD runs have barrier episodes"
+    );
+}
+
+/// The sink-invariance contract: enabling ANY trace sink must leave
+/// `MachineStats::digest()` and cycle counts bit-identical to the
+/// untraced run. Sinks are observers; if one ever acquires a simulated
+/// resource or perturbs event order, this fails.
+#[test]
+fn trace_sinks_never_change_simulated_behaviour() {
+    let (cores, inner, outer) = (8, 8, 2);
+    let tmp = std::env::temp_dir().join("fastbar_determinism_sink.trace.json");
+    let chrome = TraceConfig::ChromeJson {
+        path: tmp.to_str().expect("utf-8 temp path").to_string(),
+    };
+    for mechanism in [
+        BarrierMechanism::FilterD,
+        BarrierMechanism::SwCentral,
+        BarrierMechanism::HwDedicated,
+    ] {
+        let mut base = build_latency_machine(mechanism, cores, inner, outer);
+        let sum_base = base.run().expect("untraced run");
+        let stats_base = base.stats();
+        for trace in [TraceConfig::ring(), TraceConfig::Metrics, chrome.clone()] {
+            let label = format!("{mechanism} with {trace:?}");
+            let mut m = build_latency_machine_traced(mechanism, cores, inner, outer, trace);
+            let sum = m.run().expect("traced run");
+            assert_eq!(sum, sum_base, "{label}: RunSummary diverged");
+            let stats = m.stats();
+            assert_eq!(
+                stats.digest(),
+                stats_base.digest(),
+                "{label}: stats digest diverged"
+            );
+            assert_eq!(stats, stats_base, "{label}: full MachineStats diverged");
+        }
+    }
+    std::fs::remove_file(&tmp).ok();
+}
+
+/// Per-episode accounting on a FilterD barrier loop at N threads: each of
+/// the `inner * outer` barriers runs exactly one episode, and every
+/// thread's arrival fill is either parked (it got there early) or serviced
+/// directly (it was the episode's own releaser — its dcbi opened the
+/// barrier before its read reached the hook). So across the run
+/// `parks + serviced == N * episodes` exactly, and every parked fill is
+/// released with data (`releases == parks`). Note serviced is *at least*
+/// one per episode, not exactly one: when release fan-out overlaps the
+/// next barrier's arrivals, a fast re-arriver can also be serviced
+/// directly rather than parked.
+#[test]
+fn filter_d_episode_accounting_is_exact() {
+    let (cores, inner, outer) = (8u64, 8u64, 2u64);
+    let mut m = build_latency_machine(BarrierMechanism::FilterD, cores as usize, inner, outer);
+    m.run().expect("FilterD loop");
+    let e = m.stats().episodes;
+    let episodes = inner * outer;
+    assert_eq!(e.episodes, episodes, "one episode per barrier");
+    assert_eq!(
+        e.parks + e.serviced,
+        cores * episodes,
+        "every thread's arrival fill is either parked or serviced"
+    );
+    assert_eq!(e.releases, e.parks, "every parked fill is released");
+    assert_eq!(e.errors, 0, "no timeouts in a clean run");
+    assert!(
+        e.serviced >= episodes,
+        "at least the releasing arriver of each episode is serviced directly \
+         ({} serviced < {episodes} episodes)",
+        e.serviced
+    );
+    assert!(e.arrival_spread_total > 0, "arrivals are not simultaneous");
+    assert!(e.release_fanout_total > 0, "release fan-out takes cycles");
+    // The digest must NOT cover episode stats (historical digests predate
+    // them); fills_parked, which it does cover, must agree with the
+    // episode layer.
+    assert_eq!(m.stats().fills_parked(), e.parks);
 }

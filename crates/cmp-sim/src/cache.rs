@@ -11,7 +11,7 @@ use crate::config::CacheConfig;
 ///
 /// L1 instruction caches and the shared L2/L3 only use `Shared`; L1 data
 /// caches use the full MSI set, with the directory (in
-/// [`coherence`](crate::coherence)) as the authority on who owns what.
+/// `coherence`) as the authority on who owns what.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LineState {
     /// Clean, potentially replicated.

@@ -51,7 +51,7 @@ pub struct DirectoryStats {
 /// MSI directory over all L1 data caches.
 ///
 /// Looked up on every miss, upgrade and fill delivery; the line-keyed map
-/// uses the engine's deterministic fast hasher ([`crate::fastmap`]) since
+/// uses the engine's deterministic fast hasher (`fastmap`) since
 /// SipHash here was a measurable slice of whole-simulation runtime.
 #[derive(Debug, Default)]
 pub struct Directory {

@@ -176,8 +176,10 @@ pub struct SimConfig {
     /// Abort the simulation if it exceeds this many cycles (deadlock guard
     /// for tests and the harness).
     pub cycle_limit: u64,
-    /// Record memory-system trace events (tests only; adds overhead).
-    pub trace: bool,
+    /// Trace-sink selection: where memory-system trace events stream to
+    /// (off by default; sinks are observers and never change simulated
+    /// behaviour).
+    pub trace: crate::trace::TraceConfig,
 }
 
 impl SimConfig {
@@ -279,7 +281,7 @@ impl Default for SimConfig {
             timing: CoreTiming::default(),
             hw_barrier: HwBarrierConfig::default(),
             cycle_limit: u64::MAX,
-            trace: false,
+            trace: crate::trace::TraceConfig::Off,
         }
     }
 }

@@ -64,6 +64,9 @@ pub struct CoreStats {
     pub invalidates: u64,
     /// Fills that were parked at a bank hook.
     pub fills_parked: u64,
+    /// Parked fills later released with data (not errored). Not part of
+    /// [`MachineStats::digest`](crate::MachineStats::digest).
+    pub fills_released: u64,
     /// Cycle at which the core executed `halt`, if it has.
     pub halt_cycle: Option<u64>,
     /// Peak simultaneous MSHR occupancy observed.

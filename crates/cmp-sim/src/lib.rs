@@ -71,6 +71,7 @@ mod layout;
 mod machine;
 mod mem;
 mod stats;
+mod trace;
 
 pub use builder::{BuildError, MachineBuilder};
 pub use bus::{Resource, ResourceStats};
@@ -86,4 +87,8 @@ pub use hwnet::{DedicatedNetwork, HwBarResult, HwNetStats};
 pub use layout::{AddressSpace, LayoutError, BARRIER_BASE, BARRIER_END, DATA_BASE};
 pub use machine::{Machine, RunState};
 pub use mem::Memory;
-pub use stats::{MachineStats, RunSummary, TraceEvent};
+pub use stats::{MachineStats, RunSummary};
+pub use trace::{
+    json_escape, ChromeTraceSink, EpisodeStats, MetricsSink, NullSink, RingSink, TraceConfig,
+    TraceEvent, TraceMetrics, TraceSink,
+};

@@ -38,7 +38,8 @@ use crate::fastmap::FxHashMap;
 use crate::hook::{BankHook, FillDecision, HookOutcome, ParkToken, FILL_ERROR_SENTINEL};
 use crate::hwnet::{DedicatedNetwork, HwBarResult};
 use crate::mem::Memory;
-use crate::stats::{MachineStats, RunSummary, TraceEvent};
+use crate::stats::{MachineStats, RunSummary};
+use crate::trace::{EpisodeTracker, TraceEvent, TraceMetrics, TraceSink};
 use crate::SimConfig;
 
 /// Outcome of `Machine::run_until`.
@@ -189,7 +190,15 @@ pub struct Machine {
     /// line cost a round trip per successful read-modify-write.
     line_busy: FxHashMap<u64, u64>,
     scheduled_deadlines: Vec<Option<u64>>,
-    trace: Vec<TraceEvent>,
+    /// Streaming trace consumer ([`SimConfig::trace`] selects which).
+    /// Sinks are pure observers: they never acquire a simulated resource,
+    /// so enabling one cannot change cycle counts or the stats digest.
+    sink: Box<dyn TraceSink>,
+    /// Cached `!config.trace.is_off()` so the hot path pays one branch.
+    trace_on: bool,
+    /// Always-on per-barrier-episode accounting (events on the barrier
+    /// path are rare next to instruction retirement).
+    tracker: EpisodeTracker,
     scaled: ScaledCosts,
     /// Cores not yet halted (so the run loop's are-we-done check is O(1)).
     live_cores: usize,
@@ -215,6 +224,8 @@ impl Machine {
         cores: Vec<Core>,
         hooks: Vec<Option<Box<dyn BankHook>>>,
         hwnet: DedicatedNetwork,
+        sink: Box<dyn TraceSink>,
+        trace_on: bool,
     ) -> Machine {
         let n = config.num_cores;
         let banks = config.l2_banks;
@@ -242,7 +253,9 @@ impl Machine {
             next_token: 0,
             line_busy: FxHashMap::default(),
             scheduled_deadlines: vec![None; banks],
-            trace: Vec::new(),
+            sink,
+            trace_on,
+            tracker: EpisodeTracker::new(banks),
             scaled: ScaledCosts::new(&config),
             live_cores: cores.iter().filter(|c| !c.halted).count(),
             config,
@@ -263,8 +276,8 @@ impl Machine {
     }
 
     fn trace(&mut self, ev: TraceEvent) {
-        if self.config.trace {
-            self.trace.push(ev);
+        if self.trace_on {
+            self.sink.record(self.now, &ev);
         }
     }
 
@@ -406,12 +419,28 @@ impl Machine {
             hook_ports: self.hook_ports.iter().map(Resource::stats).collect(),
             directory: self.dir.stats(),
             hw_network: self.hwnet.stats(),
+            episodes: self.tracker.stats(),
         }
     }
 
-    /// Recorded trace events (empty unless [`SimConfig::trace`] is set).
-    pub fn trace_events(&self) -> &[TraceEvent] {
-        &self.trace
+    /// Events retained by the configured sink, oldest first (empty unless
+    /// [`SimConfig::trace`] selects a storing sink such as
+    /// [`TraceConfig::Ring`](crate::TraceConfig::Ring)).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.sink.snapshot().into_iter().map(|(_, ev)| ev).collect()
+    }
+
+    /// Event-count metrics from the configured sink (present for
+    /// [`TraceConfig::Metrics`](crate::TraceConfig::Metrics)).
+    pub fn trace_metrics(&self) -> Option<TraceMetrics> {
+        self.sink.metrics()
+    }
+
+    /// Flush any buffered trace output (file sinks). Called automatically
+    /// when the machine is dropped; call it earlier to inspect a trace
+    /// file while the machine is still alive.
+    pub fn flush_trace(&mut self) {
+        self.sink.flush();
     }
 
     /// Borrow a bank hook for inspection (tests).
@@ -632,6 +661,7 @@ impl Machine {
         if self.hooks[bank].is_none() {
             return Ok(());
         }
+        self.tracker.note_invalidate(bank);
         let now = self.now;
         let th = self.hook_ports[bank].acquire(now, self.config.hook_cycles_per_request);
         let mut out = HookOutcome::default();
@@ -691,13 +721,16 @@ impl Machine {
     /// the bus.
     fn process_outcome(
         &mut self,
-        _bank: usize,
+        bank: usize,
         base: u64,
         out: HookOutcome,
     ) -> Result<(), SimError> {
         let hc = self.config.hook_cycles_per_request;
         let data = self.config.bus.data_cycles;
         let mut slot = 0u64;
+        let mut released = 0u32;
+        let mut errored = 0u32;
+        let mut last_delivery = base;
         for (tokens, error) in [(&out.released, false), (&out.errored, true)] {
             for &token in tokens.iter() {
                 let Some(p) = self
@@ -718,10 +751,21 @@ impl Machine {
                 let t2 = base + slot * hc;
                 let grant = self.data_bus.acquire(t2, data);
                 let done = grant + data + 1;
-                self.trace(TraceEvent::Released {
-                    core: p.core,
-                    line: p.line,
-                });
+                last_delivery = last_delivery.max(done);
+                if error {
+                    errored += 1;
+                    self.trace(TraceEvent::Errored {
+                        core: p.core,
+                        line: p.line,
+                    });
+                } else {
+                    released += 1;
+                    self.cores[p.core].stats.fills_released += 1;
+                    self.trace(TraceEvent::Released {
+                        core: p.core,
+                        line: p.line,
+                    });
+                }
                 self.schedule(
                     done,
                     Ev::FillDone {
@@ -731,6 +775,14 @@ impl Machine {
                     },
                 );
             }
+        }
+        if released + errored > 0 {
+            // A non-empty burst closes the bank's barrier episode: the
+            // hook observed its last arrival and opened the barrier.
+            let ev = self
+                .tracker
+                .close_bank(bank, base, released, errored, last_delivery);
+            self.trace(ev);
         }
         Ok(())
     }
@@ -808,6 +860,11 @@ impl Machine {
                 if let ReadOutcome::FromOwner(owner) = self.dir.read(c as u8, line) {
                     // Cache-to-cache transfer through the shared controller,
                     // serialized against other transfers of this line.
+                    self.trace(TraceEvent::CacheToCache {
+                        core: c,
+                        owner: owner as usize,
+                        line,
+                    });
                     self.l1d[owner as usize].set_state(line, LineState::Shared);
                     let grant = self.addr_bus.acquire(t, cmd);
                     let g = self.line_acquire(line, grant + cmd, l2_lat);
@@ -893,6 +950,11 @@ impl Machine {
             match decision {
                 FillDecision::NotMine => {}
                 FillDecision::Service => {
+                    // A barrier fill the hook answered without parking —
+                    // the thread found its barrier already open (typically
+                    // the episode's last arriver, released by its own
+                    // invalidate an event earlier).
+                    self.tracker.note_serviced();
                     let th = self.hook_ports[bank].acquire(t, hook_cy);
                     let ready = th + hook_cy + l2_lat;
                     self.schedule(
@@ -920,6 +982,7 @@ impl Machine {
                     self.hook_ports[bank].acquire(t, hook_cy);
                     self.parked.push((token, ParkedFill { core: c, line }));
                     self.cores[c].stats.fills_parked += 1;
+                    self.tracker.note_park(bank, t);
                     self.trace(TraceEvent::Parked { core: c, line });
                     return Ok(Access::Parked);
                 }
@@ -1328,15 +1391,20 @@ impl Machine {
                 }
                 self.cores[c].pc = next;
                 self.cores[c].stats.instructions += 1;
+                self.tracker.note_hw_arrival(id, now);
+                self.trace(TraceEvent::HwBarArrive { core: c, id });
                 match self.hwnet.arrive(id, c, now) {
                     HwBarResult::Stall => {
                         self.cores[c].waiting = Waiting::HwBar;
                     }
                     HwBarResult::Release(list) => {
+                        let resume = list.iter().map(|&(_, at)| at).max().unwrap_or(now);
                         for (core, at) in list {
                             self.cores[core].waiting = Waiting::None;
                             self.schedule(at, Ev::CoreReady(core));
                         }
+                        let ev = self.tracker.close_hw(id, now, resume);
+                        self.trace(ev);
                     }
                 }
             }

@@ -5,6 +5,7 @@ use crate::cache::CacheStats;
 use crate::coherence::DirectoryStats;
 use crate::core::CoreStats;
 use crate::hwnet::HwNetStats;
+use crate::trace::EpisodeStats;
 
 /// Result of a completed simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +52,10 @@ pub struct MachineStats {
     pub directory: DirectoryStats,
     /// Dedicated barrier network counters.
     pub hw_network: HwNetStats,
+    /// Per-barrier-episode metrics (always collected). Deliberately *not*
+    /// part of [`MachineStats::digest`], so the observability layer can
+    /// grow without invalidating historical digests.
+    pub episodes: EpisodeStats,
 }
 
 impl MachineStats {
@@ -96,6 +101,10 @@ impl MachineStats {
         h.u64(self.directory.dirty_transfers);
         h.u64(self.hw_network.arrivals);
         h.u64(self.hw_network.episodes);
+        // NOTE: `self.episodes` and `CoreStats::fills_released` are
+        // intentionally excluded — the digest fingerprints simulated
+        // behaviour established before the observability layer existed,
+        // and adding fields would break every recorded digest.
         h.0
     }
 
@@ -132,60 +141,6 @@ impl Fnv {
         self.u64(c.dirty_evictions);
         self.u64(c.invalidations);
     }
-}
-
-/// Memory-system trace events, recorded when
-/// [`SimConfig::trace`](crate::SimConfig) is enabled. Used by tests to
-/// assert *mechanisms* (e.g. "spinning generates no bus traffic", "the
-/// filter parked exactly one fill per thread per barrier").
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TraceEvent {
-    /// A data-side miss left core `core` for `line`.
-    DMiss {
-        /// Requesting core.
-        core: usize,
-        /// Line address.
-        line: u64,
-    },
-    /// An instruction-side miss left core `core` for `line`.
-    IMiss {
-        /// Requesting core.
-        core: usize,
-        /// Line address.
-        line: u64,
-    },
-    /// An `icbi`/`dcbi` invalidation message was sent for `line`.
-    Invalidate {
-        /// Issuing core.
-        core: usize,
-        /// Line address.
-        line: u64,
-        /// True for `icbi`.
-        icache: bool,
-    },
-    /// A fill was parked at a bank hook.
-    Parked {
-        /// Requesting core.
-        core: usize,
-        /// Line address.
-        line: u64,
-    },
-    /// A parked fill was released (serviced) by a bank hook.
-    Released {
-        /// Requesting core.
-        core: usize,
-        /// Line address.
-        line: u64,
-    },
-    /// An upgrade invalidated `copies` shared copies of `line`.
-    Upgrade {
-        /// Writing core.
-        core: usize,
-        /// Line address.
-        line: u64,
-        /// Number of remote copies invalidated.
-        copies: u32,
-    },
 }
 
 #[cfg(test)]

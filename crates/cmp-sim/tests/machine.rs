@@ -4,7 +4,7 @@
 
 use cmp_sim::{
     AddressSpace, BankHook, FillDecision, HookOutcome, HookViolation, MachineBuilder, ParkToken,
-    RunState, SimConfig, SimError, TraceEvent,
+    RunState, SimConfig, SimError, TraceConfig, TraceEvent,
 };
 use sim_isa::{line_of, Asm, FReg, Program, Reg};
 
@@ -300,7 +300,7 @@ fn icbi_invalidates_instruction_cache_everywhere() {
     a.bne(Reg::T0, Reg::ZERO, "loop");
     a.halt();
     let mut cfg_t = cfg;
-    cfg_t.trace = true;
+    cfg_t.trace = TraceConfig::ring();
     let (mut m, _) = build(cfg_t, a.assemble().unwrap(), 1);
     m.run().unwrap();
     let stats = m.stats();
@@ -319,7 +319,7 @@ fn icbi_invalidates_instruction_cache_everywhere() {
 #[test]
 fn spinning_on_a_cached_flag_generates_no_bus_traffic() {
     let mut cfg = SimConfig::with_cores(1);
-    cfg.trace = true;
+    cfg.trace = TraceConfig::ring();
     let mut space = AddressSpace::new(&cfg);
     let flag = space.alloc_u64(1).unwrap();
     let mut a = Asm::new();
@@ -549,7 +549,7 @@ impl BankHook for MockHook {
 #[test]
 fn parked_fill_starves_until_release_invalidate() {
     let mut cfg = SimConfig::with_cores(2);
-    cfg.trace = true;
+    cfg.trace = TraceConfig::ring();
     let mut space = AddressSpace::new(&cfg);
     let watched = space.alloc_bank_lines(0, 1).unwrap();
     let release = space.alloc_bank_lines(0, 1).unwrap();

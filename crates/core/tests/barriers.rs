@@ -4,7 +4,9 @@
 //! violations, hardware timeout) must be observable.
 
 use barrier_filter::{Barrier, BarrierMechanism, BarrierSystem, FilterCapacity};
-use cmp_sim::{AddressSpace, Machine, MachineBuilder, SimConfig, SimError, FILL_ERROR_SENTINEL};
+use cmp_sim::{
+    AddressSpace, Machine, MachineBuilder, SimConfig, SimError, TraceConfig, FILL_ERROR_SENTINEL,
+};
 use sim_isa::{Asm, Reg};
 
 /// Emit a phase-consistency kernel: each thread publishes its phase number,
@@ -384,7 +386,7 @@ fn filter_barriers_generate_no_coherence_upgrades() {
     let run = |mechanism| {
         let config = {
             let mut c = SimConfig::with_cores(threads);
-            c.trace = true;
+            c.trace = TraceConfig::ring();
             c
         };
         let mut space = AddressSpace::new(&config);

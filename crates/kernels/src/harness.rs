@@ -1,7 +1,7 @@
 //! Shared plumbing for building and timing kernel runs.
 
 use barrier_filter::{Barrier, BarrierMechanism, BarrierSystem};
-use cmp_sim::{AddressSpace, Machine, MachineBuilder, SimConfig};
+use cmp_sim::{AddressSpace, EpisodeStats, Machine, MachineBuilder, SimConfig, TraceConfig};
 use sim_isa::{Asm, Reg};
 
 use crate::KernelError;
@@ -21,6 +21,13 @@ pub struct KernelOutcome {
     pub cycles_per_rep: f64,
     /// Instructions retired across all cores.
     pub instructions: u64,
+    /// [`MachineStats::digest`](cmp_sim::MachineStats::digest) of the
+    /// finished machine — the bit-identical-behaviour fingerprint every
+    /// kernel workload now carries (previously dropped, which left
+    /// `stats_digest: null` holes in the throughput benchmark).
+    pub stats_digest: u64,
+    /// Per-barrier-episode metrics of the run.
+    pub episodes: EpisodeStats,
 }
 
 /// Everything a kernel needs while emitting itself.
@@ -29,6 +36,9 @@ pub(crate) struct KernelBuild {
     pub space: AddressSpace,
     pub asm: Asm,
     pub sys: Option<BarrierSystem>,
+    /// Trace-sink selection for the built machine (default off). Sinks
+    /// are observers: tracing a kernel never changes its outcome.
+    pub trace: TraceConfig,
     threads: usize,
 }
 
@@ -42,6 +52,7 @@ impl KernelBuild {
             space,
             asm: Asm::new(),
             sys: None,
+            trace: TraceConfig::Off,
             threads: 1,
         }
     }
@@ -67,6 +78,7 @@ impl KernelBuild {
                 space,
                 asm,
                 sys: Some(sys),
+                trace: TraceConfig::Off,
                 threads,
             },
             barrier,
@@ -84,6 +96,7 @@ impl KernelBuild {
         let entry = program.require_symbol("entry");
         let mut config = self.config;
         config.cycle_limit = 20_000_000_000;
+        config.trace = self.trace;
         let mut mb = MachineBuilder::new(config, program)?;
         init(&mut mb);
         for _ in 0..self.threads {
@@ -103,10 +116,13 @@ impl KernelBuild {
 /// Propagates simulator errors.
 pub(crate) fn run_reps(machine: &mut Machine, reps: u64) -> Result<KernelOutcome, KernelError> {
     let summary = machine.run()?;
+    let stats = machine.stats();
     Ok(KernelOutcome {
         cycles: summary.cycles,
         cycles_per_rep: summary.cycles as f64 / reps as f64,
         instructions: summary.instructions,
+        stats_digest: stats.digest(),
+        episodes: stats.episodes,
     })
 }
 

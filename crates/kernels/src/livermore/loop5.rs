@@ -54,7 +54,7 @@ impl Loop5 {
         false
     }
 
-    /// Host reference after `REPS` applications (x[0] is fixed).
+    /// Host reference after `REPS` applications (`x[0]` is fixed).
     pub fn reference(&self) -> Vec<f64> {
         let mut x = vec![0.0f64; self.n];
         x[0] = self.x0;

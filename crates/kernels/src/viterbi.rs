@@ -15,6 +15,7 @@
 //! seeded random bitstream transmitted over a noisy soft channel.
 
 use barrier_filter::{Barrier, BarrierMechanism};
+use cmp_sim::TraceConfig;
 use sim_isa::{Asm, MemWidth, Reg};
 
 use crate::harness::{check_u64, emit_rep_loop, run_reps, KernelBuild, KernelOutcome, REPS};
@@ -171,7 +172,7 @@ impl Viterbi {
     ///
     /// Simulation or validation failures.
     pub fn run_sequential(&self) -> Result<KernelOutcome, KernelError> {
-        self.run(None)
+        self.run(None, TraceConfig::Off)
     }
 
     /// Run the parallel version (states partitioned across threads, one
@@ -185,12 +186,30 @@ impl Viterbi {
         threads: usize,
         mechanism: BarrierMechanism,
     ) -> Result<KernelOutcome, KernelError> {
-        self.run(Some((threads, mechanism)))
+        self.run(Some((threads, mechanism)), TraceConfig::Off)
+    }
+
+    /// [`run_parallel`](Viterbi::run_parallel) with trace events streamed
+    /// to the sink `trace` selects (e.g. a Chrome trace file). Tracing is
+    /// an observer: the outcome is bit-identical to the untraced run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_parallel`](Viterbi::run_parallel), plus trace-sink
+    /// construction failures.
+    pub fn run_parallel_traced(
+        &self,
+        threads: usize,
+        mechanism: BarrierMechanism,
+        trace: TraceConfig,
+    ) -> Result<KernelOutcome, KernelError> {
+        self.run(Some((threads, mechanism)), trace)
     }
 
     fn run(
         &self,
         parallel: Option<(usize, BarrierMechanism)>,
+        trace: TraceConfig,
     ) -> Result<KernelOutcome, KernelError> {
         let s_count = self.states();
         let t_count = self.stages();
@@ -201,6 +220,7 @@ impl Viterbi {
             }
             None => (KernelBuild::sequential(), None),
         };
+        b.trace = trace;
         let threads = if let Some((t, _)) = parallel { t } else { 1 };
         let lvl0 = b.space.alloc_u64(2 * s_count as u64)?;
         let lvl1 = b.space.alloc_u64(2 * s_count as u64)?;

@@ -4,6 +4,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> no tracked build artifacts"
+if [ -n "$(git ls-files 'target/*')" ]; then
+    echo "error: build artifacts are tracked under target/ — run: git rm -r --cached target/" >&2
+    git ls-files 'target/*' | head -5 >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -15,5 +22,8 @@ cargo build --release --offline
 
 echo "==> cargo test"
 cargo test --workspace --release --offline -q
+
+echo "==> cargo doc (rustdoc rot gate)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
 
 echo "==> all checks passed"
