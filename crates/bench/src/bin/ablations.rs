@@ -6,10 +6,10 @@
 //! 4. minimum-chunk partitioning vs fine (cyclic-like) distribution for
 //!    Livermore Loop 2's coherence traffic (§4.4 motivation).
 //!
-//! Usage: `ablations [--quick]`.
+//! Usage: `ablations [--quick] [--jobs N]`.
 
 use barrier_filter::{BarrierMechanism, BarrierSystem};
-use bench_suite::{barrier_latency, report};
+use bench_suite::{barrier_latency, report, SweepRunner};
 use cmp_sim::{AddressSpace, MachineBuilder, SimConfig};
 use sim_isa::{Asm, Reg};
 
@@ -46,17 +46,36 @@ fn latency_with(config: SimConfig, mechanism: BarrierMechanism, inner: u64, oute
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("ablations: {e}");
+        std::process::exit(2);
+    });
     let (inner, outer) = if quick { (16, 4) } else { (64, 16) };
 
     // --- 1. invalidations per invocation -------------------------------
     println!("Ablation 1: invalidations per invocation (entry/exit = 2, ping-pong = 1)");
     println!();
+    let core_counts = [16usize, 32, 64];
+    // One job per (cores, mechanism) point, fanned out over the runner.
+    let grid: Vec<(usize, BarrierMechanism)> = core_counts
+        .iter()
+        .flat_map(|&c| {
+            [BarrierMechanism::FilterD, BarrierMechanism::FilterDPingPong]
+                .into_iter()
+                .map(move |m| (c, m))
+        })
+        .collect();
+    let points = runner
+        .run_all(&grid, |_, &(cores, m)| {
+            barrier_latency(m, cores, inner, outer).unwrap_or_else(|e| panic!("{m} @ {cores}: {e}"))
+        })
+        .expect("ablation 1 sweep");
     let mut rows = Vec::new();
-    for cores in [16usize, 32, 64] {
-        let d = barrier_latency(BarrierMechanism::FilterD, cores, inner, outer).expect("d");
-        let pp =
-            barrier_latency(BarrierMechanism::FilterDPingPong, cores, inner, outer).expect("pp");
+    for (i, &cores) in core_counts.iter().enumerate() {
+        let d = &points[2 * i];
+        let pp = &points[2 * i + 1];
         rows.push(vec![
             cores.to_string(),
             report::f1(d.cycles_per_barrier),
@@ -86,17 +105,23 @@ fn main() {
     println!("(the paper places the filter at the first shared level; deeper placement");
     println!(" adds its latency to every barrier episode)");
     println!();
-    let mut rows = Vec::new();
-    for (name, l2_latency) in [
+    let placements = [
         ("L2 (14 cy, paper)", 14u64),
         ("L3-like (38 cy)", 38),
         ("memory-side (138 cy)", 138),
-    ] {
-        let mut config = SimConfig::with_cores(16);
-        config.l2.latency = l2_latency;
-        let lat = latency_with(config, BarrierMechanism::FilterD, inner, outer);
-        rows.push(vec![name.to_string(), report::f1(lat)]);
-    }
+    ];
+    let lats = runner
+        .run_all(&placements, |_, &(_, l2_latency)| {
+            let mut config = SimConfig::with_cores(16);
+            config.l2.latency = l2_latency;
+            latency_with(config, BarrierMechanism::FilterD, inner, outer)
+        })
+        .expect("ablation 2 sweep");
+    let rows: Vec<Vec<String>> = placements
+        .iter()
+        .zip(&lats)
+        .map(|(&(name, _), &lat)| vec![name.to_string(), report::f1(lat)])
+        .collect();
     print!(
         "{}",
         report::table(&["filter placement".into(), "cycles/barrier".into()], &rows)
@@ -106,21 +131,32 @@ fn main() {
     // --- 3. bus bandwidth ------------------------------------------------
     println!("Ablation 3: shared-bus bandwidth and the Figure 4 saturation bend");
     println!();
-    let mut rows = Vec::new();
-    for (name, data_cycles) in [
+    let bandwidths = [
         ("64B/2cy (default)", 2u64),
         ("64B/4cy (half bw)", 4),
         ("64B/8cy (quarter bw)", 8),
-    ] {
-        let mut row = vec![name.to_string()];
-        for cores in [16usize, 64] {
+    ];
+    let bw_cores = [16usize, 64];
+    let bw_grid: Vec<(u64, usize)> = bandwidths
+        .iter()
+        .flat_map(|&(_, d)| bw_cores.iter().map(move |&c| (d, c)))
+        .collect();
+    let bw_lats = runner
+        .run_all(&bw_grid, |_, &(data_cycles, cores)| {
             let mut config = SimConfig::with_cores(cores);
             config.bus.data_cycles = data_cycles;
-            let lat = latency_with(config, BarrierMechanism::FilterD, inner, outer);
-            row.push(report::f1(lat));
-        }
-        rows.push(row);
-    }
+            latency_with(config, BarrierMechanism::FilterD, inner, outer)
+        })
+        .expect("ablation 3 sweep");
+    let rows: Vec<Vec<String>> = bandwidths
+        .iter()
+        .zip(bw_lats.chunks(bw_cores.len()))
+        .map(|(&(name, _), lats)| {
+            let mut row = vec![name.to_string()];
+            row.extend(lats.iter().map(|&lat| report::f1(lat)));
+            row
+        })
+        .collect();
     print!(
         "{}",
         report::table(

@@ -6,14 +6,19 @@
 //! at vector lengths as small as 64 elements. The parallel version is more
 //! than a factor of 3 faster … for vector lengths of 256 elements."
 //!
-//! Usage: `fig10_loop6 [--quick]`.
+//! Usage: `fig10_loop6 [--quick] [--jobs N]`.
 
 use barrier_filter::BarrierMechanism;
-use bench_suite::{measure, report, SpeedupRow};
+use bench_suite::{report, sweep_grid, SweepRunner};
 use kernels::livermore::Loop6;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("fig10_loop6: {e}");
+        std::process::exit(2);
+    });
     let sizes: &[usize] = if quick {
         &[32, 64, 128]
     } else {
@@ -24,19 +29,19 @@ fn main() {
         "Figure 10: Livermore Loop 6 on {threads} cores — cycles per invocation vs vector length"
     );
     println!();
+    let kernels: Vec<Loop6> = sizes.iter().map(|&n| Loop6::new(n)).collect();
+    let labels: Vec<String> = sizes.iter().map(|n| format!("loop6 N={n}")).collect();
+    let grid = sweep_grid(&runner, &labels, |row, variant| match variant {
+        None => kernels[row].run_sequential(),
+        Some(m) => kernels[row].run_parallel(threads, m),
+    })
+    .expect("loop 6");
     let mut header = vec!["N".to_string(), "sequential".to_string()];
     header.extend(BarrierMechanism::ALL.iter().map(|m| m.to_string()));
     let mut rows = Vec::new();
     let mut crossover: Option<usize> = None;
     let mut at_256 = None;
-    for &n in sizes {
-        let kernel = Loop6::new(n);
-        let row: SpeedupRow = measure(
-            format!("loop6 N={n}"),
-            || kernel.run_sequential(),
-            |m| kernel.run_parallel(threads, m),
-        )
-        .expect("loop 6");
+    for (&n, row) in sizes.iter().zip(&grid) {
         if crossover.is_none() && row.best_filter_speedup() > 1.0 {
             crossover = Some(n);
         }

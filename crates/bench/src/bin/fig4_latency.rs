@@ -3,8 +3,12 @@
 //! — a loop of 64 consecutive barriers executed 64 times with no work
 //! between them.
 //!
-//! Usage: `fig4_latency [--quick] [--trace PREFIX]`
+//! Usage: `fig4_latency [--quick] [--jobs N] [--trace PREFIX]`
 //!
+//! The 35-point grid (7 mechanisms × 5 core counts) is a batch of
+//! independent simulations; `--jobs N` spreads it over N host threads
+//! (default: all of them) without changing a single simulated cycle —
+//! results are assembled in grid order regardless of completion order.
 //! `--quick` shrinks the rep counts for smoke runs. `--trace PREFIX`
 //! streams a Chrome trace of each mechanism's 16-core point to
 //! `PREFIX.<mechanism>.trace.json` (one file per mechanism; load them in
@@ -15,7 +19,7 @@
 
 use barrier_filter::BarrierMechanism;
 use bench_suite::latency::barrier_latency_traced;
-use bench_suite::report;
+use bench_suite::{report, SweepRunner};
 use cmp_sim::TraceConfig;
 
 /// The core count whose points are traced under `--trace`.
@@ -29,32 +33,58 @@ fn main() {
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
+    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("fig4_latency: {e}");
+        std::process::exit(2);
+    });
     let (inner, outer) = if quick { (16, 4) } else { (64, 64) };
     let core_counts = [4usize, 8, 16, 32, 64];
 
-    println!("Figure 4: average cycles per barrier (loop of {inner} barriers x {outer} reps)");
+    println!(
+        "Figure 4: average cycles per barrier (loop of {inner} barriers x {outer} reps, \
+         {} host jobs)",
+        runner.jobs()
+    );
     println!();
+    // The full grid as one flat batch of independent jobs; the worker pool
+    // returns points in grid order regardless of completion order.
+    let grid: Vec<(BarrierMechanism, usize)> = BarrierMechanism::ALL
+        .into_iter()
+        .flat_map(|m| core_counts.iter().map(move |&cores| (m, cores)))
+        .collect();
+    let points = runner
+        .run_all(&grid, |_, &(mechanism, cores)| {
+            let trace = match trace_prefix {
+                Some(prefix) if cores == TRACED_CORES => TraceConfig::ChromeJson {
+                    path: format!("{prefix}.{mechanism}.trace.json"),
+                },
+                _ => TraceConfig::Off,
+            };
+            barrier_latency_traced(mechanism, cores, inner, outer, trace)
+                .unwrap_or_else(|e| panic!("{mechanism} @ {cores} cores failed: {e}"))
+        })
+        .unwrap_or_else(|e| panic!("fig4 sweep: {e}"));
+
     let mut header = vec!["mechanism".to_string()];
     header.extend(core_counts.iter().map(|c| format!("{c} cores")));
     let mut rows = Vec::new();
     let mut waits = Vec::new();
     let mut spreads = Vec::new();
-    let mut traces_written = Vec::new();
-    for mechanism in BarrierMechanism::ALL {
+    let traces_written: Vec<String> = match trace_prefix {
+        Some(prefix) => BarrierMechanism::ALL
+            .iter()
+            .map(|m| format!("{prefix}.{m}.trace.json"))
+            .collect(),
+        None => Vec::new(),
+    };
+    for (mechanism, chunk) in BarrierMechanism::ALL
+        .into_iter()
+        .zip(points.chunks(core_counts.len()))
+    {
         let mut row = vec![mechanism.to_string()];
         let mut wait_row = vec![mechanism.to_string()];
         let mut spread_row = vec![mechanism.to_string()];
-        for &cores in &core_counts {
-            let trace = match trace_prefix {
-                Some(prefix) if cores == TRACED_CORES => {
-                    let path = format!("{prefix}.{mechanism}.trace.json");
-                    traces_written.push(path.clone());
-                    TraceConfig::ChromeJson { path }
-                }
-                _ => TraceConfig::Off,
-            };
-            let p = barrier_latency_traced(mechanism, cores, inner, outer, trace)
-                .unwrap_or_else(|e| panic!("{mechanism} @ {cores} cores failed: {e}"));
+        for p in chunk {
             row.push(report::f1(p.cycles_per_barrier));
             wait_row.push(report::f1(p.bus_mean_wait));
             spread_row.push(format!(

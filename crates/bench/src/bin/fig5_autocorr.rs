@@ -8,18 +8,24 @@
 //! aggressively modeled Polychronopoulos barrier hardware, but requires
 //! less modification to the cores."
 //!
-//! Usage: `fig5_autocorr [--quick]`.
+//! Usage: `fig5_autocorr [--quick] [--jobs N]`.
 
 use barrier_filter::BarrierMechanism;
-use bench_suite::{measure, report};
+use bench_suite::{measure_on, report, SweepRunner};
 use kernels::autocorr::Autocorr;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("fig5_autocorr: {e}");
+        std::process::exit(2);
+    });
     let n = if quick { 512 } else { 2048 };
     let threads = 16;
     let kernel = Autocorr::new(n);
-    let row = measure(
+    let row = measure_on(
+        &runner,
         format!("autocorr N={n} lag=32"),
         || kernel.run_sequential(),
         |m| kernel.run_parallel(threads, m),

@@ -6,18 +6,24 @@
 //! slower than the sequential version. Only with lower overhead barriers
 //! was there a speedup from the multi-threaded approach."
 //!
-//! Usage: `fig6_viterbi [--quick]`.
+//! Usage: `fig6_viterbi [--quick] [--jobs N]`.
 
 use barrier_filter::BarrierMechanism;
-use bench_suite::{measure, report};
+use bench_suite::{measure_on, report, SweepRunner};
 use kernels::viterbi::Viterbi;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("fig6_viterbi: {e}");
+        std::process::exit(2);
+    });
     let bits = if quick { 128 } else { 512 };
     let threads = 16;
     let kernel = Viterbi::new(bits);
-    let row = measure(
+    let row = measure_on(
+        &runner,
         format!("viterbi K=5 bits={bits}"),
         || kernel.run_sequential(),
         |m| kernel.run_parallel(threads, m),

@@ -8,14 +8,19 @@
 //! parallelism per `do-while` stage gives this kernel "a qualitatively
 //! different curvature" from loops 3 and 6.
 //!
-//! Usage: `fig7_loop2 [--quick]`.
+//! Usage: `fig7_loop2 [--quick] [--jobs N]`.
 
 use barrier_filter::BarrierMechanism;
-use bench_suite::{measure, report, SpeedupRow};
+use bench_suite::{report, sweep_grid, SweepRunner};
 use kernels::livermore::Loop2;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("fig7_loop2: {e}");
+        std::process::exit(2);
+    });
     let sizes: &[usize] = if quick {
         &[32, 64, 256]
     } else {
@@ -26,18 +31,18 @@ fn main() {
         "Figure 7: Livermore Loop 2 on {threads} cores — cycles per invocation vs vector length"
     );
     println!();
+    let kernels: Vec<Loop2> = sizes.iter().map(|&n| Loop2::new(n)).collect();
+    let labels: Vec<String> = sizes.iter().map(|n| format!("loop2 N={n}")).collect();
+    let grid = sweep_grid(&runner, &labels, |row, variant| match variant {
+        None => kernels[row].run_sequential(),
+        Some(m) => kernels[row].run_parallel(threads, m),
+    })
+    .expect("loop 2");
     let mut header = vec!["N".to_string(), "sequential".to_string()];
     header.extend(BarrierMechanism::ALL.iter().map(|m| m.to_string()));
     let mut rows = Vec::new();
     let mut crossover: Option<usize> = None;
-    for &n in sizes {
-        let kernel = Loop2::new(n);
-        let row: SpeedupRow = measure(
-            format!("loop2 N={n}"),
-            || kernel.run_sequential(),
-            |m| kernel.run_parallel(threads, m),
-        )
-        .expect("loop 2");
+    for (&n, row) in sizes.iter().zip(&grid) {
         if crossover.is_none() && row.best_filter_speedup() > 1.0 {
             crossover = Some(n);
         }

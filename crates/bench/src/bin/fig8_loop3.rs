@@ -8,14 +8,19 @@
 //! software barriers "required vector lengths longer by a factor of two to
 //! four to achieve a speedup".
 //!
-//! Usage: `fig8_loop3 [--quick]`.
+//! Usage: `fig8_loop3 [--quick] [--jobs N]`.
 
 use barrier_filter::BarrierMechanism;
-use bench_suite::{measure, report, SpeedupRow};
+use bench_suite::{report, sweep_grid, SweepRunner};
 use kernels::livermore::Loop3;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("fig8_loop3: {e}");
+        std::process::exit(2);
+    });
     let sizes: &[usize] = if quick {
         &[32, 64, 256]
     } else {
@@ -26,19 +31,19 @@ fn main() {
         "Figure 8: Livermore Loop 3 on {threads} cores — cycles per invocation vs vector length"
     );
     println!();
+    let kernels: Vec<Loop3> = sizes.iter().map(|&n| Loop3::new(n)).collect();
+    let labels: Vec<String> = sizes.iter().map(|n| format!("loop3 N={n}")).collect();
+    let grid = sweep_grid(&runner, &labels, |row, variant| match variant {
+        None => kernels[row].run_sequential(),
+        Some(m) => kernels[row].run_parallel(threads, m),
+    })
+    .expect("loop 3");
     let mut header = vec!["N".to_string(), "sequential".to_string()];
     header.extend(BarrierMechanism::ALL.iter().map(|m| m.to_string()));
     let mut rows = Vec::new();
     let mut filter_cross: Option<usize> = None;
     let mut sw_cross: Option<usize> = None;
-    for &n in sizes {
-        let kernel = Loop3::new(n);
-        let row: SpeedupRow = measure(
-            format!("loop3 N={n}"),
-            || kernel.run_sequential(),
-            |m| kernel.run_parallel(threads, m),
-        )
-        .expect("loop 3");
+    for (&n, row) in sizes.iter().zip(&grid) {
         if filter_cross.is_none() && row.best_filter_speedup() > 1.0 {
             filter_cross = Some(n);
         }

@@ -11,14 +11,19 @@
 //! This binary runs the Ocean-like proxy (red-black relaxation, two
 //! barriers per sweep) and reports the same overhead comparison.
 //!
-//! Usage: `ocean_coarse [--quick]`.
+//! Usage: `ocean_coarse [--quick] [--jobs N]`.
 
 use barrier_filter::BarrierMechanism;
-use bench_suite::report;
+use bench_suite::{measure_on, report, SweepRunner};
 use kernels::ocean::OceanProxy;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("ocean_coarse: {e}");
+        std::process::exit(2);
+    });
     // SPLASH-2 Ocean's default input is a 258x258 grid; at that size the
     // per-sweep stencil work dwarfs any barrier, which is the paper's point.
     let (g, sweeps) = if quick { (130, 8) } else { (258, 24) };
@@ -29,24 +34,27 @@ fn main() {
         kernel.dynamic_barriers()
     );
     println!();
-    let seq = kernel.run_sequential().expect("sequential");
+    let row = measure_on(
+        &runner,
+        format!("ocean {g}x{g}"),
+        || kernel.run_sequential(),
+        |m| kernel.run_parallel(threads, m),
+    )
+    .expect("ocean proxy");
     let mut rows = Vec::new();
     let mut sw_central_cycles = None;
     let mut best_filter_cycles: Option<f64> = None;
-    for m in BarrierMechanism::ALL {
-        let par = kernel.run_parallel(threads, m).expect("parallel");
+    for &(m, cycles) in &row.parallel {
         if m == BarrierMechanism::SwCentral {
-            sw_central_cycles = Some(par.cycles_per_rep);
+            sw_central_cycles = Some(cycles);
         }
         if m.is_filter() {
-            best_filter_cycles = Some(
-                best_filter_cycles.map_or(par.cycles_per_rep, |b: f64| b.min(par.cycles_per_rep)),
-            );
+            best_filter_cycles = Some(best_filter_cycles.map_or(cycles, |b: f64| b.min(cycles)));
         }
         rows.push(vec![
             m.to_string(),
-            report::f1(par.cycles_per_rep),
-            report::f2(seq.cycles_per_rep / par.cycles_per_rep),
+            report::f1(cycles),
+            report::f2(row.sequential / cycles),
         ]);
     }
     let header = vec![

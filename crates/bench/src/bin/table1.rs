@@ -8,15 +8,19 @@
 //! 2.08, Autocorrelation → 3.86, Viterbi → 0.76. Livermore numbers use
 //! vector length 256.
 //!
-//! Usage: `table1 [--quick]`.
+//! Usage: `table1 [--quick] [--jobs N]`.
 
 use barrier_filter::BarrierMechanism;
-use bench_suite::{measure, report, speedup_table, SpeedupRow};
+use bench_suite::{report, speedup_table, sweep_grid, GridVariant, SpeedupRow, SweepRunner};
 use kernels::autocorr::Autocorr;
 use kernels::livermore::{Loop2, Loop3, Loop6};
 use kernels::viterbi::Viterbi;
+use kernels::{KernelError, KernelOutcome};
 
-fn rows(quick: bool) -> Vec<SpeedupRow> {
+/// One heterogeneous workload of the table, erased to a grid-cell runner.
+type Workload = Box<dyn Fn(GridVariant) -> Result<KernelOutcome, KernelError> + Sync>;
+
+fn rows(quick: bool, runner: &SweepRunner) -> Vec<SpeedupRow> {
     let threads = 16;
     let (n_liv, n_ac, n_vit) = if quick {
         (64, 256, 64)
@@ -28,43 +32,46 @@ fn rows(quick: bool) -> Vec<SpeedupRow> {
     let l6 = Loop6::new(n_liv);
     let ac = Autocorr::new(n_ac);
     let vit = Viterbi::new(n_vit);
-    vec![
-        measure(
-            format!("Livermore loop 2 (N={n_liv})"),
-            || l2.run_sequential(),
-            |m| l2.run_parallel(threads, m),
-        )
-        .expect("loop 2"),
-        measure(
-            format!("Livermore loop 3 (N={n_liv})"),
-            || l3.run_sequential(),
-            |m| l3.run_parallel(threads, m),
-        )
-        .expect("loop 3"),
-        measure(
-            format!("Livermore loop 6 (N={n_liv})"),
-            || l6.run_sequential(),
-            |m| l6.run_parallel(threads, m),
-        )
-        .expect("loop 6"),
-        measure(
-            format!("EEMBC Autocorrelation (N={n_ac})"),
-            || ac.run_sequential(),
-            |m| ac.run_parallel(threads, m),
-        )
-        .expect("autocorr"),
-        measure(
-            format!("EEMBC Viterbi (bits={n_vit})"),
-            || vit.run_sequential(),
-            |m| vit.run_parallel(threads, m),
-        )
-        .expect("viterbi"),
-    ]
+    let labels = vec![
+        format!("Livermore loop 2 (N={n_liv})"),
+        format!("Livermore loop 3 (N={n_liv})"),
+        format!("Livermore loop 6 (N={n_liv})"),
+        format!("EEMBC Autocorrelation (N={n_ac})"),
+        format!("EEMBC Viterbi (bits={n_vit})"),
+    ];
+    let workloads: Vec<Workload> = vec![
+        Box::new(move |v| match v {
+            None => l2.run_sequential(),
+            Some(m) => l2.run_parallel(threads, m),
+        }),
+        Box::new(move |v| match v {
+            None => l3.run_sequential(),
+            Some(m) => l3.run_parallel(threads, m),
+        }),
+        Box::new(move |v| match v {
+            None => l6.run_sequential(),
+            Some(m) => l6.run_parallel(threads, m),
+        }),
+        Box::new(move |v| match v {
+            None => ac.run_sequential(),
+            Some(m) => ac.run_parallel(threads, m),
+        }),
+        Box::new(move |v| match v {
+            None => vit.run_sequential(),
+            Some(m) => vit.run_parallel(threads, m),
+        }),
+    ];
+    sweep_grid(runner, &labels, |row, variant| workloads[row](variant)).expect("table 1 grid")
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let rows = rows(quick);
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("table1: {e}");
+        std::process::exit(2);
+    });
+    let rows = rows(quick, &runner);
 
     println!("Table 1: best software-barrier speedup on 16 cores (paper: 0.42 / 1.52 / 2.08 / 3.86 / 0.76)");
     println!();

@@ -1,27 +1,43 @@
 //! Simulator wall-clock throughput benchmark.
 //!
 //! Runs the fixed throughput workloads (the Figure 4 barrier sweep at 16
-//! cores and the Viterbi kernel) and reports simulated instructions per
-//! host second, writing the machine-readable trajectory file
-//! `BENCH_throughput.json` in the current directory.
+//! cores and the Viterbi kernel) twice — once with one worker, once on the
+//! requested job count — and reports simulated instructions per host
+//! second plus both whole-suite wall times, writing the machine-readable
+//! trajectory file `BENCH_throughput.json` in the current directory.
 //!
-//! Usage: `throughput [--quick] [--out PATH] [--trace PATH]`
+//! Usage: `throughput [--quick] [--jobs N] [--check] [--out PATH] [--trace PATH]`
 //!
-//! `--quick` shrinks rep counts for smoke runs (and marks the workloads
-//! accordingly, so quick numbers are never confused with the tracked
-//! ones); `--out` overrides the JSON path. `--trace PATH` additionally
-//! re-runs the Viterbi workload with a Chrome trace streamed to PATH
-//! (load it in `chrome://tracing` or <https://ui.perfetto.dev>) and
-//! checks that tracing left the stats digest bit-identical; the traced
-//! re-run is not written to the JSON file (its wall time includes trace
-//! I/O).
+//! `--jobs N` sizes the worker pool of the parallel pass (default: all
+//! host threads); simulated numbers and digests are bit-identical across
+//! job counts, only wall time moves. `--check` additionally asserts the
+//! committed full-workload digests
+//! ([`EXPECTED_FIG4_16CORE_DIGEST`]/[`EXPECTED_VITERBI_K5_16T_DIGEST`])
+//! and exits non-zero on mismatch — the CI smoke for host-parallelism
+//! regressions (it forces the full rep counts; `--quick` would change the
+//! digests). `--quick` shrinks rep counts for smoke runs (and marks the
+//! workloads accordingly, so quick numbers are never confused with the
+//! tracked ones); `--out` overrides the JSON path. `--trace PATH`
+//! additionally re-runs the Viterbi workload with a Chrome trace streamed
+//! to PATH (load it in `chrome://tracing` or <https://ui.perfetto.dev>)
+//! and checks that tracing left the stats digest bit-identical; the
+//! traced re-run is not written to the JSON file (its wall time includes
+//! trace I/O).
 
-use bench_suite::report;
-use bench_suite::throughput::{fig4_sample, to_json, viterbi_sample, viterbi_sample_traced};
+use bench_suite::throughput::{
+    run_suite, to_json, viterbi_sample_traced, ThroughputDoc, EXPECTED_FIG4_16CORE_DIGEST,
+    EXPECTED_VITERBI_K5_16T_DIGEST,
+};
+use bench_suite::{report, SweepRunner};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
+        eprintln!("throughput: {e}");
+        std::process::exit(2);
+    });
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -32,16 +48,40 @@ fn main() {
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
+    if quick && check {
+        eprintln!("throughput: --check asserts the full-workload digests; drop --quick");
+        std::process::exit(2);
+    }
 
     let (inner, outer, vit_bits) = if quick { (8, 2, 24) } else { (64, 64, 96) };
-    let mut samples = vec![fig4_sample(16, inner, outer), viterbi_sample(vit_bits, 16)];
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Serial pass: the reference numbers (per-workload walls comparable
+    // with the v1 trajectory), then the parallel pass on the requested
+    // worker count. Simulated numbers must agree bit-for-bit.
+    let serial = run_suite(&SweepRunner::new(1), 16, inner, outer, vit_bits, 16);
+    let parallel = run_suite(&runner, 16, inner, outer, vit_bits, 16);
+    for (s, p) in serial.samples.iter().zip(&parallel.samples) {
+        assert_eq!(
+            (s.sim_cycles, s.stats_digest),
+            (p.sim_cycles, p.stats_digest),
+            "{}: parallel pass diverged from serial — sweep jobs must be independent",
+            s.workload
+        );
+    }
+
+    let mut samples = serial.samples;
     if quick {
         for s in &mut samples {
             s.workload.push_str("_quick");
         }
     }
 
-    println!("Simulator throughput (simulated instructions per host second)");
+    println!(
+        "Simulator throughput (simulated instructions per host second; \
+         parallel pass: {} jobs on {host_threads} host threads)",
+        runner.jobs()
+    );
     println!();
     let header: Vec<String> = [
         "workload",
@@ -76,15 +116,49 @@ fn main() {
         })
         .collect();
     print!("{}", report::table(&header, &rows));
-
-    let json = to_json(&samples);
-    std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!();
+    println!(
+        "whole suite: {:.3}s serial, {:.3}s at {} jobs ({:.2}x)",
+        serial.suite_wall_seconds,
+        parallel.suite_wall_seconds,
+        runner.jobs(),
+        serial.suite_wall_seconds / parallel.suite_wall_seconds.max(1e-9),
+    );
+
+    if check {
+        for (workload, expected) in [
+            ("fig4_16core", EXPECTED_FIG4_16CORE_DIGEST),
+            ("viterbi_k5_16t", EXPECTED_VITERBI_K5_16T_DIGEST),
+        ] {
+            let s = samples
+                .iter()
+                .find(|s| s.workload == workload)
+                .unwrap_or_else(|| panic!("{workload} sample present"));
+            let got = s.stats_digest.expect("workload has a digest");
+            assert_eq!(
+                got, expected,
+                "{workload}: digest {got:#018x} != committed {expected:#018x} — \
+                 simulated behaviour changed"
+            );
+        }
+        println!("digest check passed: both workloads match the committed digests");
+    }
+
+    let doc = ThroughputDoc {
+        jobs: runner.jobs(),
+        host_threads,
+        serial_wall_seconds: serial.suite_wall_seconds,
+        parallel_wall_seconds: parallel.suite_wall_seconds,
+        samples,
+    };
+    let json = to_json(&doc);
+    std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("wrote {out_path}");
 
     if let Some(path) = trace_path {
         let traced = viterbi_sample_traced(vit_bits, 16, path);
-        let untraced = samples
+        let untraced = doc
+            .samples
             .iter()
             .find(|s| s.workload.starts_with("viterbi"))
             .expect("viterbi sample present");

@@ -37,7 +37,29 @@ pub fn build_latency_machine_traced(
     outer: u64,
     trace: TraceConfig,
 ) -> Machine {
-    let config = SimConfig::with_cores(cores);
+    let budget = SimConfig::with_cores(cores).burst_budget;
+    build_latency_machine_tuned(mechanism, cores, inner, outer, trace, budget)
+}
+
+/// [`build_latency_machine_traced`] with an explicit core-step burst
+/// budget (`0` disables the engine's burst fast path entirely). The burst
+/// path is an engine optimization, not a model change: any budget must
+/// yield a bit-identical [`MachineStats::digest`](cmp_sim::MachineStats)
+/// — the invariance test in `tests/determinism.rs` holds this line.
+///
+/// # Panics
+///
+/// Panics on assembler/build/trace-sink failures.
+pub fn build_latency_machine_tuned(
+    mechanism: BarrierMechanism,
+    cores: usize,
+    inner: u64,
+    outer: u64,
+    trace: TraceConfig,
+    burst_budget: u32,
+) -> Machine {
+    let mut config = SimConfig::with_cores(cores);
+    config.burst_budget = burst_budget;
     let mut space = AddressSpace::new(&config);
     let mut asm = Asm::new();
     let mut sys =

@@ -22,11 +22,16 @@
 pub mod kernel_runs;
 pub mod latency;
 pub mod report;
+pub mod sweep;
 pub mod throughput;
 
-pub use kernel_runs::{measure, speedup_table, SpeedupRow};
+pub use kernel_runs::{measure, measure_on, speedup_table, sweep_grid, GridVariant, SpeedupRow};
 pub use latency::{
     barrier_latency, barrier_latency_traced, build_latency_machine, build_latency_machine_traced,
-    LatencyPoint,
+    build_latency_machine_tuned, LatencyPoint,
 };
-pub use throughput::{fig4_sample, viterbi_sample, viterbi_sample_traced, ThroughputSample};
+pub use sweep::{JobPanic, SweepRunner};
+pub use throughput::{
+    fig4_sample, run_suite, to_json, viterbi_sample, viterbi_sample_traced, SuiteResult,
+    ThroughputDoc, ThroughputSample, EXPECTED_FIG4_16CORE_DIGEST, EXPECTED_VITERBI_K5_16T_DIGEST,
+};

@@ -1,0 +1,252 @@
+//! Host-parallel sweep execution: run independent simulations on a bounded
+//! worker pool without perturbing a single simulated cycle.
+//!
+//! Every figure in the paper is a sweep of *independent* simulations
+//! (mechanism × core count × kernel). Each sweep point builds its own
+//! [`Machine`](cmp_sim::Machine) from scratch — no shared mutable state, no
+//! RNG, no host-time dependence — so the host can run them on as many
+//! threads as it has without changing any simulated outcome. The
+//! determinism contract is structural, not best-effort:
+//!
+//! * **Job = one closure call.** The runner never splits or reorders work
+//!   inside a job; parallelism is purely across jobs.
+//! * **Results are returned in item order**, regardless of which worker
+//!   finished first. `run(items, f)[i]` is always the result of
+//!   `f(i, &items[i])`.
+//! * **Panics are captured per job**, not propagated to the pool: one
+//!   diverging sweep point reports as [`JobPanic`] in its own slot while
+//!   the remaining jobs still complete.
+//!
+//! The pool is built on `std::thread::scope` (std-only, no extra
+//! dependencies): workers claim job indices from a shared atomic cursor,
+//! write results into per-slot mailboxes, and join before `run` returns.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A sweep job that panicked, captured in its result slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the job in the input slice.
+    pub job: usize,
+    /// The panic payload, if it was a string (the common case for
+    /// `panic!`/`assert!`); `"<non-string panic payload>"` otherwise.
+    pub message: String,
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sweep job #{} panicked: {}", self.job, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// A bounded worker pool for embarrassingly parallel sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    jobs: usize,
+}
+
+impl SweepRunner {
+    /// A runner with exactly `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> SweepRunner {
+        SweepRunner { jobs: jobs.max(1) }
+    }
+
+    /// A runner sized to the host: one worker per available hardware
+    /// thread (1 if the host won't say).
+    pub fn available() -> SweepRunner {
+        let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+        SweepRunner::new(jobs)
+    }
+
+    /// Parse `--jobs N` (or `--jobs=N`) out of a CLI argument list,
+    /// defaulting to [`available`](SweepRunner::available) when absent.
+    /// Returns an error string on a malformed or missing value.
+    pub fn from_args(args: &[String]) -> Result<SweepRunner, String> {
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let value = if arg == "--jobs" {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| "--jobs requires a value".to_string())?
+            } else if let Some(v) = arg.strip_prefix("--jobs=") {
+                v.to_string()
+            } else {
+                continue;
+            };
+            let jobs: usize = value
+                .parse()
+                .map_err(|_| format!("--jobs: expected a positive integer, got {value:?}"))?;
+            if jobs == 0 {
+                return Err("--jobs: expected a positive integer, got 0".to_string());
+            }
+            return Ok(SweepRunner::new(jobs));
+        }
+        Ok(SweepRunner::available())
+    }
+
+    /// Number of workers this runner will spawn.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run `f(i, &items[i])` for every item on the worker pool and return
+    /// the results in item order. Each job's panic (if any) is captured in
+    /// its own slot; the other jobs run to completion regardless.
+    pub fn run<I, T, F>(&self, items: &[I], f: F) -> Vec<Result<T, JobPanic>>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let slots: Vec<Mutex<Option<Result<T, JobPanic>>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.jobs.min(items.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let result =
+                        catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| JobPanic {
+                            job: i,
+                            message: panic_message(payload.as_ref()),
+                        });
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every job index was claimed and completed")
+            })
+            .collect()
+    }
+
+    /// Like [`run`](SweepRunner::run), but unwrap: return all results in
+    /// item order, or a combined report of every job that panicked.
+    pub fn run_all<I, T, F>(&self, items: &[I], f: F) -> Result<Vec<T>, String>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let mut out = Vec::with_capacity(items.len());
+        let mut failures = Vec::new();
+        for result in self.run(items, f) {
+            match result {
+                Ok(v) => out.push(v),
+                Err(p) => failures.push(p.to_string()),
+            }
+        }
+        if failures.is_empty() {
+            Ok(out)
+        } else {
+            Err(failures.join("; "))
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        // Jobs sleep inversely to their index so later items finish first;
+        // ordering must still follow the input slice.
+        let items: Vec<u64> = (0..16).collect();
+        let out = SweepRunner::new(4)
+            .run_all(&items, |i, &x| {
+                std::thread::sleep(std::time::Duration::from_millis(16 - x));
+                (i, x * x)
+            })
+            .expect("no panics");
+        for (i, (job, sq)) in out.iter().enumerate() {
+            assert_eq!(*job, i);
+            assert_eq!(*sq, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn panics_are_captured_per_job() {
+        let items: Vec<u32> = (0..8).collect();
+        let results = SweepRunner::new(3).run(&items, |_, &x| {
+            assert!(x != 5, "job five exploded");
+            x + 1
+        });
+        for (i, r) in results.iter().enumerate() {
+            if i == 5 {
+                let p = r.as_ref().expect_err("job 5 panicked");
+                assert_eq!(p.job, 5);
+                assert!(p.message.contains("job five exploded"), "{}", p.message);
+            } else {
+                assert_eq!(*r.as_ref().expect("other jobs complete"), i as u32 + 1);
+            }
+        }
+        let err = SweepRunner::new(3)
+            .run_all(&items, |_, &x| {
+                assert!(x != 5, "job five exploded");
+                x
+            })
+            .expect_err("run_all reports the panic");
+        assert!(err.contains("sweep job #5"), "{err}");
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_defaults() {
+        assert_eq!(
+            SweepRunner::from_args(&strings(&["--jobs", "4"]))
+                .expect("parses")
+                .jobs(),
+            4
+        );
+        assert_eq!(
+            SweepRunner::from_args(&strings(&["--quick", "--jobs=2"]))
+                .expect("parses")
+                .jobs(),
+            2
+        );
+        let default = SweepRunner::from_args(&[]).expect("defaults");
+        assert!(default.jobs() >= 1);
+        assert!(SweepRunner::from_args(&strings(&["--jobs"])).is_err());
+        assert!(SweepRunner::from_args(&strings(&["--jobs", "zero"])).is_err());
+        assert!(SweepRunner::from_args(&strings(&["--jobs", "0"])).is_err());
+    }
+
+    #[test]
+    fn empty_and_oversubscribed_inputs_work() {
+        let none: Vec<u8> = Vec::new();
+        assert!(SweepRunner::new(8)
+            .run_all(&none, |_, &x| x)
+            .expect("ok")
+            .is_empty());
+        // More workers than items: extra workers exit immediately.
+        let out = SweepRunner::new(64)
+            .run_all(&[1u8, 2, 3], |_, &x| x * 2)
+            .expect("ok");
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+}

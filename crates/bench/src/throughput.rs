@@ -23,6 +23,16 @@ use cmp_sim::{json_escape, EpisodeStats};
 use kernels::viterbi::Viterbi;
 
 use crate::latency::build_latency_machine;
+use crate::sweep::SweepRunner;
+
+/// Committed digest of the full `fig4_16core` workload (16 cores, 64 × 64
+/// barriers, all mechanisms chained in [`BarrierMechanism::ALL`] order).
+/// Every engine optimization must reproduce it bit-for-bit.
+pub const EXPECTED_FIG4_16CORE_DIGEST: u64 = 0x0546_812c_cc90_cd5e;
+
+/// Committed digest of the full `viterbi_k5_16t` workload (96 data bits,
+/// 16 threads, FilterD).
+pub const EXPECTED_VITERBI_K5_16T_DIGEST: u64 = 0x6694_92d6_5199_a9fb;
 
 /// One measured workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,33 +75,51 @@ fn sample(
     }
 }
 
-/// The Figure 4 workload: every barrier mechanism at `cores` cores,
-/// `inner` × `outer` barriers each. Returns totals across mechanisms and a
-/// digest chained over each run's full stats snapshot.
-///
-/// # Panics
-///
-/// Panics if any mechanism's run fails: the workload is fixed and must
-/// always complete.
-pub fn fig4_sample(cores: usize, inner: u64, outer: u64) -> ThroughputSample {
+/// The measured outcome of one mechanism's run within the fig4 workload —
+/// the unit of host parallelism when the workload runs on a
+/// [`SweepRunner`].
+#[derive(Debug, Clone)]
+struct Fig4Part {
+    cycles: u64,
+    instructions: u64,
+    wall: f64,
+    digest: u64,
+    episodes: EpisodeStats,
+}
+
+fn fig4_part(mechanism: BarrierMechanism, cores: usize, inner: u64, outer: u64) -> Fig4Part {
+    let mut m = build_latency_machine(mechanism, cores, inner, outer);
+    let t0 = Instant::now();
+    let summary = m
+        .run()
+        .unwrap_or_else(|e| panic!("fig4 {mechanism} @ {cores} cores failed: {e}"));
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = m.stats();
+    Fig4Part {
+        cycles: summary.cycles,
+        instructions: summary.instructions,
+        wall,
+        digest: stats.digest(),
+        episodes: stats.episodes,
+    }
+}
+
+/// Fold per-mechanism parts — which must be in [`BarrierMechanism::ALL`]
+/// order — into the combined fig4 sample. The digest chain is
+/// order-sensitive by design, so the fold reproduces the serial digest
+/// exactly no matter which part's simulation finished first on the host.
+fn fold_fig4(cores: usize, parts: &[Fig4Part]) -> ThroughputSample {
     let mut cycles = 0u64;
     let mut instructions = 0u64;
     let mut wall = 0f64;
     let mut episodes = EpisodeStats::default();
-    // Chain per-mechanism digests order-sensitively.
     let mut digest = 0xcbf2_9ce4_8422_2325u64;
-    for mechanism in BarrierMechanism::ALL {
-        let mut m = build_latency_machine(mechanism, cores, inner, outer);
-        let t0 = Instant::now();
-        let summary = m
-            .run()
-            .unwrap_or_else(|e| panic!("fig4 {mechanism} @ {cores} cores failed: {e}"));
-        wall += t0.elapsed().as_secs_f64();
-        cycles += summary.cycles;
-        instructions += summary.instructions;
-        let stats = m.stats();
-        episodes.merge(&stats.episodes);
-        for b in stats.digest().to_le_bytes() {
+    for part in parts {
+        cycles += part.cycles;
+        instructions += part.instructions;
+        wall += part.wall;
+        episodes.merge(&part.episodes);
+        for b in part.digest.to_le_bytes() {
             digest ^= b as u64;
             digest = digest.wrapping_mul(0x100_0000_01b3);
         }
@@ -104,6 +132,22 @@ pub fn fig4_sample(cores: usize, inner: u64, outer: u64) -> ThroughputSample {
         Some(digest),
         episodes,
     )
+}
+
+/// The Figure 4 workload: every barrier mechanism at `cores` cores,
+/// `inner` × `outer` barriers each. Returns totals across mechanisms and a
+/// digest chained over each run's full stats snapshot.
+///
+/// # Panics
+///
+/// Panics if any mechanism's run fails: the workload is fixed and must
+/// always complete.
+pub fn fig4_sample(cores: usize, inner: u64, outer: u64) -> ThroughputSample {
+    let parts: Vec<Fig4Part> = BarrierMechanism::ALL
+        .into_iter()
+        .map(|mechanism| fig4_part(mechanism, cores, inner, outer))
+        .collect();
+    fold_fig4(cores, &parts)
 }
 
 /// The Viterbi workload: the paper's worst-scaling kernel (K=5, 16
@@ -164,10 +208,115 @@ pub fn viterbi_sample_traced(
     )
 }
 
-/// Serialize samples as the `BENCH_throughput.json` document (std-only,
+/// One independent simulation of the throughput suite — the job unit the
+/// [`SweepRunner`] schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SuiteJob {
+    /// One mechanism's run of the fig4 workload.
+    Fig4(BarrierMechanism),
+    /// The whole Viterbi workload (a single machine).
+    Viterbi,
+}
+
+enum SuiteOut {
+    Fig4(Fig4Part),
+    Viterbi(Box<ThroughputSample>),
+}
+
+/// The whole throughput suite executed on `runner`: the seven fig4
+/// mechanism runs and the Viterbi kernel as eight independent jobs.
+/// `samples` is `[fig4_{cores}core, viterbi_k5_{threads}t]` — built from
+/// per-job results reassembled in workload order, so every simulated
+/// number and digest is bit-identical to the serial suite.
+/// `suite_wall_seconds` is the host wall time of the whole batch, the
+/// quantity host parallelism actually improves (per-sample `wall_seconds`
+/// stays the *sum* of that workload's simulation times, comparable across
+/// job counts).
+pub struct SuiteResult {
+    /// `[fig4, viterbi]` samples, in that order.
+    pub samples: Vec<ThroughputSample>,
+    /// Host wall-clock seconds for the whole batch, dispatch to last join.
+    pub suite_wall_seconds: f64,
+}
+
+/// Run the throughput suite on `runner`.
+///
+/// # Panics
+///
+/// Panics if any workload fails: the suite is fixed and must always
+/// complete.
+pub fn run_suite(
+    runner: &SweepRunner,
+    cores: usize,
+    inner: u64,
+    outer: u64,
+    vit_bits: usize,
+    vit_threads: usize,
+) -> SuiteResult {
+    let jobs: Vec<SuiteJob> = BarrierMechanism::ALL
+        .into_iter()
+        .map(SuiteJob::Fig4)
+        .chain(std::iter::once(SuiteJob::Viterbi))
+        .collect();
+    let t0 = Instant::now();
+    let outs = runner
+        .run_all(&jobs, |_, &job| match job {
+            SuiteJob::Fig4(mechanism) => SuiteOut::Fig4(fig4_part(mechanism, cores, inner, outer)),
+            SuiteJob::Viterbi => SuiteOut::Viterbi(Box::new(viterbi_sample(vit_bits, vit_threads))),
+        })
+        .unwrap_or_else(|e| panic!("throughput suite: {e}"));
+    let suite_wall_seconds = t0.elapsed().as_secs_f64();
+    // Jobs come back in dispatch order: ALL-order fig4 parts, then viterbi.
+    let mut parts = Vec::new();
+    let mut viterbi = None;
+    for out in outs {
+        match out {
+            SuiteOut::Fig4(p) => parts.push(p),
+            SuiteOut::Viterbi(s) => viterbi = Some(*s),
+        }
+    }
+    SuiteResult {
+        samples: vec![
+            fold_fig4(cores, &parts),
+            viterbi.expect("viterbi job present"),
+        ],
+        suite_wall_seconds,
+    }
+}
+
+/// The `BENCH_throughput.json` document: the fixed workload samples plus
+/// the host-parallelism context that makes wall times interpretable.
+pub struct ThroughputDoc {
+    /// Worker count the parallel pass ran with.
+    pub jobs: usize,
+    /// Hardware threads the host reported (`available_parallelism`) — a
+    /// `jobs > host_threads` run is oversubscribed and its parallel wall
+    /// time says nothing about runner scaling.
+    pub host_threads: usize,
+    /// Whole-suite wall seconds with one worker.
+    pub serial_wall_seconds: f64,
+    /// Whole-suite wall seconds with `jobs` workers.
+    pub parallel_wall_seconds: f64,
+    /// Per-workload samples (simulated numbers identical in both passes).
+    pub samples: Vec<ThroughputSample>,
+}
+
+/// Serialize the document as `BENCH_throughput.json` (std-only,
 /// hand-rolled JSON: the repo builds with no registry access).
-pub fn to_json(samples: &[ThroughputSample]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"fastbar-throughput/v1\",\n  \"samples\": [\n");
+pub fn to_json(doc: &ThroughputDoc) -> String {
+    let mut out = String::from("{\n  \"schema\": \"fastbar-throughput/v2\",\n");
+    out.push_str(&format!("  \"jobs\": {},\n", doc.jobs));
+    out.push_str(&format!("  \"host_threads\": {},\n", doc.host_threads));
+    out.push_str(&format!(
+        "  \"serial_wall_seconds\": {:.6},\n",
+        doc.serial_wall_seconds
+    ));
+    out.push_str(&format!(
+        "  \"parallel_wall_seconds\": {:.6},\n",
+        doc.parallel_wall_seconds
+    ));
+    out.push_str("  \"samples\": [\n");
+    let samples = &doc.samples;
     for (i, s) in samples.iter().enumerate() {
         out.push_str("    {");
         out.push_str(&format!("\"workload\": \"{}\", ", json_escape(&s.workload)));
@@ -205,6 +354,16 @@ pub fn to_json(samples: &[ThroughputSample]) -> String {
 mod tests {
     use super::*;
 
+    fn doc(samples: Vec<ThroughputSample>) -> ThroughputDoc {
+        ThroughputDoc {
+            jobs: 2,
+            host_threads: 8,
+            serial_wall_seconds: 1.5,
+            parallel_wall_seconds: 0.75,
+            samples,
+        }
+    }
+
     #[test]
     fn fig4_sample_is_deterministic_in_simulated_terms() {
         let a = fig4_sample(4, 4, 2);
@@ -217,14 +376,34 @@ mod tests {
     }
 
     #[test]
+    fn parallel_suite_matches_serial_samples() {
+        let (cores, inner, outer, bits, threads) = (4, 4, 2, 24, 4);
+        let serial_fig4 = fig4_sample(cores, inner, outer);
+        let serial_vit = viterbi_sample(bits, threads);
+        let suite = run_suite(&SweepRunner::new(4), cores, inner, outer, bits, threads);
+        assert_eq!(suite.samples.len(), 2);
+        assert!(suite.suite_wall_seconds > 0.0);
+        for (par, ser) in suite.samples.iter().zip([&serial_fig4, &serial_vit]) {
+            assert_eq!(par.workload, ser.workload);
+            assert_eq!(par.sim_cycles, ser.sim_cycles);
+            assert_eq!(par.sim_instructions, ser.sim_instructions);
+            assert_eq!(par.stats_digest, ser.stats_digest);
+            assert_eq!(par.episodes, ser.episodes);
+        }
+    }
+
+    #[test]
     fn json_document_has_schema_and_all_samples() {
         let e = EpisodeStats::default();
-        let s = vec![
+        let j = to_json(&doc(vec![
             sample("w1", 10, 20, 0.5, Some(7), e),
             sample("w2", 1, 2, 0.25, None, e),
-        ];
-        let j = to_json(&s);
-        assert!(j.contains("fastbar-throughput/v1"));
+        ]));
+        assert!(j.contains("fastbar-throughput/v2"));
+        assert!(j.contains("\"jobs\": 2"));
+        assert!(j.contains("\"host_threads\": 8"));
+        assert!(j.contains("\"serial_wall_seconds\": 1.500000"));
+        assert!(j.contains("\"parallel_wall_seconds\": 0.750000"));
         assert!(j.contains("\"workload\": \"w1\""));
         assert!(j.contains("\"stats_digest\": null"));
         assert!(j.contains("\"instr_per_sec\": 40.0"));
@@ -233,15 +412,14 @@ mod tests {
 
     #[test]
     fn json_strings_are_escaped() {
-        let s = vec![sample(
+        let j = to_json(&doc(vec![sample(
             "w\"quoted\\slash",
             1,
             1,
             0.5,
             None,
             EpisodeStats::default(),
-        )];
-        let j = to_json(&s);
+        )]));
         assert!(j.contains("\"workload\": \"w\\\"quoted\\\\slash\""));
     }
 }

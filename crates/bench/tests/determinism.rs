@@ -9,8 +9,8 @@
 //! not flakiness.
 
 use barrier_filter::BarrierMechanism;
-use bench_suite::build_latency_machine;
-use bench_suite::latency::build_latency_machine_traced;
+use bench_suite::latency::{build_latency_machine_traced, build_latency_machine_tuned};
+use bench_suite::{build_latency_machine, SweepRunner};
 use cmp_sim::TraceConfig;
 use kernels::viterbi::Viterbi;
 
@@ -147,4 +147,87 @@ fn filter_d_episode_accounting_is_exact() {
     // them); fills_parked, which it does cover, must agree with the
     // episode layer.
     assert_eq!(m.stats().fills_parked(), e.parks);
+}
+
+/// The host-parallelism contract: running the Figure 4 grid on a
+/// `SweepRunner` with any worker count yields the same results, in the
+/// same order, as the serial sweep — bit-identical `RunSummary`, full
+/// `MachineStats`, and digests per grid point. The sweep points share no
+/// simulated state, so the only way this can fail is a runner bug
+/// (result-slot mixup, lost job) or a hidden global in the engine.
+#[test]
+fn parallel_sweep_matches_serial_sweep() {
+    let (inner, outer) = (8u64, 2);
+    let grid: Vec<(BarrierMechanism, usize)> = BarrierMechanism::ALL
+        .into_iter()
+        .flat_map(|m| [4usize, 8].into_iter().map(move |c| (m, c)))
+        .collect();
+    let sweep = |jobs: usize| {
+        SweepRunner::new(jobs)
+            .run_all(&grid, |_, &(mechanism, cores)| {
+                let mut m = build_latency_machine(mechanism, cores, inner, outer);
+                let summary = m.run().expect("grid point");
+                (summary, m.stats().clone())
+            })
+            .expect("no panics in the grid")
+    };
+    let serial = sweep(1);
+    let parallel = sweep(4);
+    assert_eq!(serial.len(), grid.len());
+    for (i, ((ser_sum, ser_stats), (par_sum, par_stats))) in
+        serial.iter().zip(&parallel).enumerate()
+    {
+        let (mechanism, cores) = grid[i];
+        let label = format!("{mechanism} @ {cores} cores (grid slot {i})");
+        assert_eq!(ser_sum, par_sum, "{label}: RunSummary diverged");
+        assert_eq!(ser_stats, par_stats, "{label}: full MachineStats diverged");
+        assert_eq!(
+            ser_stats.digest(),
+            par_stats.digest(),
+            "{label}: digest diverged"
+        );
+    }
+}
+
+/// The burst-fast-path contract: the engine's core-step burst (consuming
+/// a core's own ready events in place while every queued event is
+/// strictly later) is an execution shortcut, not a model change. Budget 0
+/// disables it entirely; any other budget must leave the `RunSummary`,
+/// the full `MachineStats`, and the digest bit-identical. Also pins the
+/// non-vacuousness of the test: the default budget must actually burst
+/// (`burst_retired > 0`) and budget 0 must not.
+#[test]
+fn burst_fast_path_never_changes_simulated_behaviour() {
+    let (cores, inner, outer) = (8, 8, 2);
+    for mechanism in [
+        BarrierMechanism::FilterD,
+        BarrierMechanism::SwCentral,
+        BarrierMechanism::HwDedicated,
+    ] {
+        let run = |budget: u32| {
+            let mut m = build_latency_machine_tuned(
+                mechanism,
+                cores,
+                inner,
+                outer,
+                TraceConfig::Off,
+                budget,
+            );
+            let summary = m.run().expect("barrier loop");
+            (summary, m.stats().clone(), m.burst_retired())
+        };
+        let (sum_off, stats_off, bursts_off) = run(0);
+        let (sum_on, stats_on, bursts_on) = run(cmp_sim::SimConfig::default().burst_budget);
+        assert_eq!(bursts_off, 0, "{mechanism}: budget 0 must never burst");
+        assert!(
+            bursts_on > 0,
+            "{mechanism}: default budget never engaged the fast path — vacuous test"
+        );
+        assert_eq!(sum_off, sum_on, "{mechanism}: RunSummary diverged");
+        assert_eq!(
+            stats_off, stats_on,
+            "{mechanism}: full MachineStats diverged"
+        );
+        assert_eq!(stats_off.digest(), stats_on.digest());
+    }
 }

@@ -176,6 +176,16 @@ pub struct SimConfig {
     /// Abort the simulation if it exceeds this many cycles (deadlock guard
     /// for tests and the harness).
     pub cycle_limit: u64,
+    /// Core-step burst budget: the maximum number of consecutive
+    /// instructions one core may retire back-to-back without re-enqueueing
+    /// itself on the event queue, taken only while every queued event lies
+    /// strictly later than the core's next ready cycle (see
+    /// `Machine::run_until`). This is a host-side fast path: simulated
+    /// behaviour — cycle counts, event order, every stats counter and the
+    /// [`MachineStats::digest`](crate::MachineStats::digest) — is
+    /// bit-identical at any budget. `0` disables the fast path (every
+    /// instruction round-trips the queue, the pre-burst engine behaviour).
+    pub burst_budget: u32,
     /// Trace-sink selection: where memory-system trace events stream to
     /// (off by default; sinks are observers and never change simulated
     /// behaviour).
@@ -281,6 +291,7 @@ impl Default for SimConfig {
             timing: CoreTiming::default(),
             hw_barrier: HwBarrierConfig::default(),
             cycle_limit: u64::MAX,
+            burst_budget: 64,
             trace: crate::trace::TraceConfig::Off,
         }
     }

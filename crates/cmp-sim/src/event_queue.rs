@@ -30,7 +30,7 @@
 
 use std::cell::Cell;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Ring capacity in cycles. Power of two; sized so that common latencies
 /// (L1/L2/L3 hits, bus grants, the 138-cycle memory round trip, short hook
@@ -64,8 +64,10 @@ impl<T: Eq> PartialOrd for Far<T> {
 pub(crate) struct CalendarQueue<T: Eq> {
     /// `WINDOW` per-cycle buckets; bucket `cycle % WINDOW` holds the events
     /// of one in-window cycle, sorted by (and in practice appended in)
-    /// `seq` order.
-    buckets: Vec<Vec<(u64, T)>>,
+    /// `seq` order. Deques, because the engine drains each bucket from the
+    /// front one event at a time (`Vec::remove(0)` would shift the tail on
+    /// every pop).
+    buckets: Vec<VecDeque<(u64, T)>>,
     /// One bit per bucket: set iff the bucket is non-empty.
     occupied: [u64; WORDS],
     /// Lower edge of the ring window. Invariant: `base` never exceeds the
@@ -86,7 +88,7 @@ pub(crate) struct CalendarQueue<T: Eq> {
 impl<T: Eq> CalendarQueue<T> {
     pub fn new() -> CalendarQueue<T> {
         CalendarQueue {
-            buckets: (0..WINDOW).map(|_| Vec::new()).collect(),
+            buckets: (0..WINDOW).map(|_| VecDeque::new()).collect(),
             occupied: [0; WORDS],
             base: 0,
             overflow: BinaryHeap::new(),
@@ -112,7 +114,7 @@ impl<T: Eq> CalendarQueue<T> {
         let seq = self.seq;
         if cycle - self.base < WINDOW {
             let b = (cycle % WINDOW) as usize;
-            self.buckets[b].push((seq, item));
+            self.buckets[b].push_back((seq, item));
             self.occupied[b / 64] |= 1 << (b % 64);
         } else {
             self.overflow.push(Reverse(Far { cycle, seq, item }));
@@ -123,6 +125,16 @@ impl<T: Eq> CalendarQueue<T> {
                 self.next_memo.set(Some(cycle));
             }
         }
+    }
+
+    /// True iff every pending event lies strictly after `cycle` (vacuously
+    /// true when empty). This is the burst-fast-path precondition
+    /// (machine.rs): an event the engine would push at `cycle` and
+    /// immediately pop — it would be the unique minimum, and same-cycle
+    /// FIFO order gives queued events at `cycle` priority only when they
+    /// exist — may instead be consumed in place.
+    pub fn all_later_than(&self, cycle: u64) -> bool {
+        self.next_cycle().is_none_or(|head| head > cycle)
     }
 
     /// Cycle of the earliest pending event.
@@ -155,8 +167,9 @@ impl<T: Eq> CalendarQueue<T> {
         self.migrate_overflow();
         let b = (target % WINDOW) as usize;
         let bucket = &mut self.buckets[b];
-        debug_assert!(!bucket.is_empty(), "target bucket holds the minimum");
-        let (_, item) = bucket.remove(0);
+        let Some((_, item)) = bucket.pop_front() else {
+            unreachable!("target bucket holds the minimum");
+        };
         if bucket.is_empty() {
             self.occupied[b / 64] &= !(1 << (b % 64));
             self.next_memo.set(None);

@@ -202,6 +202,19 @@ pub struct Machine {
     scaled: ScaledCosts,
     /// Cores not yet halted (so the run loop's are-we-done check is O(1)).
     live_cores: usize,
+    /// Core currently executing a burst ([`usize::MAX`] = none). While set,
+    /// [`finish`](Machine::finish) records that core's next ready cycle in
+    /// `burst_ready` instead of enqueueing a `CoreReady` event — the burst
+    /// loop in [`run_until`](Machine::run_until) either consumes it in
+    /// place or flushes it to the queue.
+    burst_core: usize,
+    /// The bursting core's deferred ready cycle, if its last instruction
+    /// retired through the deferring path.
+    burst_ready: Option<u64>,
+    /// Instructions retired via the burst fast path (host-side metric:
+    /// deliberately not part of [`MachineStats`], which fingerprints
+    /// simulated behaviour only).
+    burst_retired: u64,
 }
 
 impl std::fmt::Debug for Machine {
@@ -258,6 +271,9 @@ impl Machine {
             tracker: EpisodeTracker::new(banks),
             scaled: ScaledCosts::new(&config),
             live_cores: cores.iter().filter(|c| !c.halted).count(),
+            burst_core: usize::MAX,
+            burst_ready: None,
+            burst_retired: 0,
             config,
             program,
             mem,
@@ -336,8 +352,65 @@ impl Machine {
             }
             let (cycle, ev) = self.events.pop().expect("peeked");
             self.now = self.now.max(cycle);
-            self.dispatch(ev)?;
+            match ev {
+                Ev::CoreReady(c) => self.core_ready_burst(c, pause_at)?,
+                ev => self.dispatch(ev)?,
+            }
         }
+    }
+
+    /// Dispatch a popped `CoreReady` with the core-step burst fast path.
+    ///
+    /// After an instruction retires through [`finish`](Machine::finish),
+    /// the engine's only pending obligation for this core is a `CoreReady`
+    /// at the instruction's completion cycle `at`. If every queued event
+    /// lies *strictly* after `at` (and `at` clears the pause/cycle-limit
+    /// gates the run loop would apply), that event would be pushed and
+    /// immediately popped as the unique queue minimum — so the next
+    /// instruction executes in place instead, skipping the round trip.
+    ///
+    /// Bit-identity argument: the loop advances `now` exactly as the pop
+    /// would (`at >= now` always), every other side effect (cache, bus,
+    /// directory, memory, event pushes from store/miss paths) happens in
+    /// the same order at the same cycles, and the skipped `CoreReady` can
+    /// never tie with another event — events already queued are strictly
+    /// later by the precondition, and events pushed afterwards would have
+    /// carried larger sequence numbers (thus drained after it) anyway.
+    /// The burst drains back to the queue the moment the core blocks or
+    /// halts (no deferred ready), an instruction retires through a
+    /// non-deferring path (`finish_at`, hw-barrier release), the strictly-
+    /// later precondition fails, or the budget expires.
+    fn core_ready_burst(&mut self, c: usize, pause_at: u64) -> Result<(), SimError> {
+        let budget = self.config.burst_budget;
+        if budget == 0 {
+            return self.step_core(c);
+        }
+        self.burst_core = c;
+        let mut left = budget;
+        let result = loop {
+            debug_assert!(self.burst_ready.is_none());
+            if let Err(e) = self.step_core(c) {
+                break Err(e);
+            }
+            let Some(at) = self.burst_ready.take() else {
+                // Blocked, halted, or scheduled through a non-deferring
+                // path: the queue already holds whatever comes next.
+                break Ok(());
+            };
+            left -= 1;
+            let burst_on = left > 0
+                && at < pause_at
+                && at <= self.config.cycle_limit
+                && self.events.all_later_than(at);
+            if !burst_on {
+                self.schedule(at, Ev::CoreReady(c));
+                break Ok(());
+            }
+            self.burst_retired += 1;
+            self.now = at;
+        };
+        self.burst_core = usize::MAX;
+        result
     }
 
     fn summary(&self) -> RunSummary {
@@ -368,6 +441,17 @@ impl Machine {
     /// Current simulation cycle.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Instructions retired via the core-step burst fast path so far.
+    ///
+    /// A host-side engine metric: it varies with
+    /// [`SimConfig::burst_budget`](crate::SimConfig::burst_budget) while
+    /// every simulated number stays bit-identical, so it is deliberately
+    /// not part of [`MachineStats`]. Tests use it to prove the fast path
+    /// actually engaged.
+    pub fn burst_retired(&self) -> u64 {
+        self.burst_retired
     }
 
     /// The machine configuration.
@@ -1087,7 +1171,14 @@ impl Machine {
         self.cores[c].pc = next_pc;
         self.cores[c].stats.instructions += 1;
         let at = self.now + cost;
-        self.schedule(at, Ev::CoreReady(c));
+        if c == self.burst_core {
+            // Burst fast path: defer the CoreReady — the burst loop either
+            // executes the next instruction in place or flushes this to
+            // the queue untouched.
+            self.burst_ready = Some(at);
+        } else {
+            self.schedule(at, Ev::CoreReady(c));
+        }
     }
 
     /// Retire an instruction whose cost is divided by an issue width

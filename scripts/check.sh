@@ -26,4 +26,12 @@ cargo test --workspace --release --offline -q
 echo "==> cargo doc (rustdoc rot gate)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
 
+echo "==> throughput digest smoke (--jobs 2, committed digests)"
+# Runs the full fixed workloads on a 2-worker pool and asserts the
+# committed stats digests — catches both host-parallelism regressions
+# (sweep jobs leaking state into each other) and engine changes that
+# silently alter simulated behaviour.
+cargo run --release --offline -p bench-suite --bin throughput -q -- \
+    --check --jobs 2 --out "$(mktemp -t fastbar_check_throughput.XXXXXX.json)"
+
 echo "==> all checks passed"
