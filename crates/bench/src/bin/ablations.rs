@@ -9,7 +9,8 @@
 //! Usage: `ablations [--quick] [--jobs N]`.
 
 use barrier_filter::{BarrierMechanism, BarrierSystem};
-use bench_suite::{barrier_latency, report, SweepRunner};
+use bench_suite::cli::Cli;
+use bench_suite::{barrier_latency, report};
 use cmp_sim::{AddressSpace, MachineBuilder, SimConfig};
 use sim_isa::{Asm, Reg};
 
@@ -46,12 +47,8 @@ fn latency_with(config: SimConfig, mechanism: BarrierMechanism, inner: u64, oute
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
-        eprintln!("ablations: {e}");
-        std::process::exit(2);
-    });
+    let args = Cli::new("ablations", "Design ablations called out in DESIGN.md").parse();
+    let (quick, runner) = (args.quick, args.runner);
     let (inner, outer) = if quick { (16, 4) } else { (64, 16) };
 
     // --- 1. invalidations per invocation -------------------------------

@@ -1,0 +1,114 @@
+//! Chaos sweep: fault injection × barrier mechanism over the Viterbi and
+//! Livermore Loop 2 kernels (§3.3.3 recovery claims, measured).
+//!
+//! Usage: `chaos [--quick] [--jobs N] [--check] [--out PATH] [--faults N] [--seed S]`
+//!
+//! Every point must produce validated kernel output, quiescent filter
+//! tables, and a bit-identical replay from the same seed — the sweep
+//! panics otherwise. `--faults N` sweeps `{0, N}` events per run instead
+//! of the default ladder; `--seed S` replays a specific chaos schedule.
+//! `--check` additionally asserts the zero-fault Viterbi/FilterD point
+//! against the committed digest (full sizes only, so not with `--quick`).
+//! `--out` writes the `fastbar-chaos/v1` JSON document.
+
+use barrier_filter::BarrierMechanism;
+use bench_suite::chaos::{run_chaos, to_json};
+use bench_suite::cli::Cli;
+use bench_suite::report;
+use bench_suite::throughput::EXPECTED_VITERBI_K5_16T_DIGEST;
+
+fn main() {
+    let args = Cli::new(
+        "chaos",
+        "Fault-injection sweep — barrier recovery under OS interference (§3.3.3)",
+    )
+    .with_check()
+    .with_out("BENCH_chaos.json")
+    .with_faults()
+    .parse();
+    if args.quick && args.check {
+        eprintln!("chaos: --check asserts the full-workload digest; drop --quick");
+        std::process::exit(2);
+    }
+    let levels: Vec<usize> = if args.faults > 0 {
+        vec![0, args.faults]
+    } else if args.quick {
+        vec![0, 2, 6]
+    } else {
+        vec![0, 8, 32]
+    };
+
+    println!(
+        "Chaos sweep: faults {levels:?} x mechanisms x {{viterbi, loop2}} \
+         (seed {:#x}, {} host jobs)",
+        args.seed,
+        args.runner.jobs()
+    );
+    println!();
+    let doc = run_chaos(&args.runner, args.quick, &levels, args.seed);
+
+    let header: Vec<String> = [
+        "workload",
+        "mechanism",
+        "faults",
+        "injected",
+        "skipped",
+        "violations",
+        "resumed",
+        "cancels",
+        "reparks",
+        "stats digest",
+    ]
+    .map(String::from)
+    .to_vec();
+    let rows: Vec<Vec<String>> = doc
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.workload.to_string(),
+                p.mechanism.to_string(),
+                p.faults.to_string(),
+                p.report.injected.to_string(),
+                p.report.skipped.to_string(),
+                p.report.violations.to_string(),
+                p.report.resumed.to_string(),
+                p.sim.episodes.cancellations.to_string(),
+                p.sim.episodes.reparks.to_string(),
+                format!("{:#018x}", p.sim.stats_digest),
+            ]
+        })
+        .collect();
+    print!("{}", report::table(&header, &rows));
+    println!();
+    let injected: usize = doc.points.iter().map(|p| p.report.injected).sum();
+    let violations: usize = doc.points.iter().map(|p| p.report.violations).sum();
+    println!(
+        "{} points, {injected} faults injected, {violations} recoverable violations; \
+         every run validated, quiescent, and replay-identical",
+        doc.points.len()
+    );
+
+    if args.check {
+        let p = doc
+            .points
+            .iter()
+            .find(|p| {
+                p.workload == "viterbi" && p.mechanism == BarrierMechanism::FilterD && p.faults == 0
+            })
+            .expect("zero-fault viterbi FilterD point present");
+        assert_eq!(
+            p.sim.stats_digest, EXPECTED_VITERBI_K5_16T_DIGEST,
+            "viterbi baseline digest {:#018x} != committed {EXPECTED_VITERBI_K5_16T_DIGEST:#018x} — \
+             fault plumbing changed the fault-free path",
+            p.sim.stats_digest
+        );
+        println!("digest check passed: zero-fault viterbi matches the committed digest");
+    }
+
+    if let Some(path) = args.out.as_deref() {
+        let json = to_json(&doc);
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

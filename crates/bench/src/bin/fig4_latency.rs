@@ -18,25 +18,23 @@
 //! centres on. Tracing never changes the measured numbers.
 
 use barrier_filter::BarrierMechanism;
+use bench_suite::cli::Cli;
 use bench_suite::latency::barrier_latency_traced;
-use bench_suite::{report, SweepRunner};
+use bench_suite::report;
 use cmp_sim::TraceConfig;
 
 /// The core count whose points are traced under `--trace`.
 const TRACED_CORES: usize = 16;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let trace_prefix = args
-        .iter()
-        .position(|a| a == "--trace")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str);
-    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
-        eprintln!("fig4_latency: {e}");
-        std::process::exit(2);
-    });
+    let args = Cli::new(
+        "fig4_latency",
+        "Figure 4 — average barrier latency vs core count",
+    )
+    .with_trace()
+    .parse();
+    let (quick, runner) = (args.quick, args.runner);
+    let trace_prefix = args.trace.as_deref();
     let (inner, outer) = if quick { (16, 4) } else { (64, 64) };
     let core_counts = [4usize, 8, 16, 32, 64];
 
@@ -89,8 +87,8 @@ fn main() {
             wait_row.push(report::f1(p.bus_mean_wait));
             spread_row.push(format!(
                 "{}/{}",
-                report::f1(p.episodes.mean_arrival_spread()),
-                report::f1(p.episodes.mean_release_fanout())
+                report::f1(p.sim.episodes.mean_arrival_spread()),
+                report::f1(p.sim.episodes.mean_release_fanout())
             ));
         }
         rows.push(row);

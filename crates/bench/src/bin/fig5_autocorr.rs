@@ -11,16 +11,17 @@
 //! Usage: `fig5_autocorr [--quick] [--jobs N]`.
 
 use barrier_filter::BarrierMechanism;
-use bench_suite::{measure_on, report, SweepRunner};
+use bench_suite::cli::Cli;
+use bench_suite::{measure_on, report};
 use kernels::autocorr::Autocorr;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
-        eprintln!("fig5_autocorr: {e}");
-        std::process::exit(2);
-    });
+    let args = Cli::new(
+        "fig5_autocorr",
+        "Figure 5 — Autocorrelation speedup by barrier mechanism (16 cores)",
+    )
+    .parse();
+    let (quick, runner) = (args.quick, args.runner);
     let n = if quick { 512 } else { 2048 };
     let threads = 16;
     let kernel = Autocorr::new(n);

@@ -9,16 +9,17 @@
 //! Usage: `fig6_viterbi [--quick] [--jobs N]`.
 
 use barrier_filter::BarrierMechanism;
-use bench_suite::{measure_on, report, SweepRunner};
+use bench_suite::cli::Cli;
+use bench_suite::{measure_on, report};
 use kernels::viterbi::Viterbi;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
-        eprintln!("fig6_viterbi: {e}");
-        std::process::exit(2);
-    });
+    let args = Cli::new(
+        "fig6_viterbi",
+        "Figure 6 — Viterbi decoder speedup by barrier mechanism (16 cores)",
+    )
+    .parse();
+    let (quick, runner) = (args.quick, args.runner);
     let bits = if quick { 128 } else { 512 };
     let threads = 16;
     let kernel = Viterbi::new(bits);

@@ -11,16 +11,17 @@
 //! Usage: `fig7_loop2 [--quick] [--jobs N]`.
 
 use barrier_filter::BarrierMechanism;
-use bench_suite::{report, sweep_grid, SweepRunner};
+use bench_suite::cli::Cli;
+use bench_suite::{report, sweep_grid};
 use kernels::livermore::Loop2;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
-        eprintln!("fig7_loop2: {e}");
-        std::process::exit(2);
-    });
+    let args = Cli::new(
+        "fig7_loop2",
+        "Figure 7 — Livermore Loop 2 cycles vs vector length",
+    )
+    .parse();
+    let (quick, runner) = (args.quick, args.runner);
     let sizes: &[usize] = if quick {
         &[32, 64, 256]
     } else {

@@ -11,16 +11,17 @@
 //! Usage: `fig8_loop3 [--quick] [--jobs N]`.
 
 use barrier_filter::BarrierMechanism;
-use bench_suite::{report, sweep_grid, SweepRunner};
+use bench_suite::cli::Cli;
+use bench_suite::{report, sweep_grid};
 use kernels::livermore::Loop3;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
-        eprintln!("fig8_loop3: {e}");
-        std::process::exit(2);
-    });
+    let args = Cli::new(
+        "fig8_loop3",
+        "Figure 8 — Livermore Loop 3 cycles vs vector length",
+    )
+    .parse();
+    let (quick, runner) = (args.quick, args.runner);
     let sizes: &[usize] = if quick {
         &[32, 64, 256]
     } else {

@@ -14,16 +14,17 @@
 //! Usage: `ocean_coarse [--quick] [--jobs N]`.
 
 use barrier_filter::BarrierMechanism;
-use bench_suite::{measure_on, report, SweepRunner};
+use bench_suite::cli::Cli;
+use bench_suite::{measure_on, report};
 use kernels::ocean::OceanProxy;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
-        eprintln!("ocean_coarse: {e}");
-        std::process::exit(2);
-    });
+    let args = Cli::new(
+        "ocean_coarse",
+        "§4.1 — coarse-grained (Ocean-like) barrier overhead",
+    )
+    .parse();
+    let (quick, runner) = (args.quick, args.runner);
     // SPLASH-2 Ocean's default input is a 258x258 grid; at that size the
     // per-sweep stencil work dwarfs any barrier, which is the paper's point.
     let (g, sweeps) = if quick { (130, 8) } else { (258, 24) };

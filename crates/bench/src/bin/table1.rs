@@ -11,6 +11,7 @@
 //! Usage: `table1 [--quick] [--jobs N]`.
 
 use barrier_filter::BarrierMechanism;
+use bench_suite::cli::Cli;
 use bench_suite::{report, speedup_table, sweep_grid, GridVariant, SpeedupRow, SweepRunner};
 use kernels::autocorr::Autocorr;
 use kernels::livermore::{Loop2, Loop3, Loop6};
@@ -65,12 +66,12 @@ fn rows(quick: bool, runner: &SweepRunner) -> Vec<SpeedupRow> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
-        eprintln!("table1: {e}");
-        std::process::exit(2);
-    });
+    let args = Cli::new(
+        "table1",
+        "Table 1 — best software-barrier speedups on 16 cores",
+    )
+    .parse();
+    let (quick, runner) = (args.quick, args.runner);
     let rows = rows(quick, &runner);
 
     println!("Table 1: best software-barrier speedup on 16 cores (paper: 0.42 / 1.52 / 2.08 / 3.86 / 0.76)");

@@ -24,6 +24,7 @@
 //! traced re-run is not written to the JSON file (its wall time includes
 //! trace I/O).
 
+use bench_suite::cli::Cli;
 use bench_suite::throughput::{
     run_suite, to_json, viterbi_sample_traced, ThroughputDoc, EXPECTED_FIG4_16CORE_DIGEST,
     EXPECTED_VITERBI_K5_16T_DIGEST,
@@ -31,23 +32,17 @@ use bench_suite::throughput::{
 use bench_suite::{report, SweepRunner};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let check = args.iter().any(|a| a == "--check");
-    let runner = SweepRunner::from_args(&args).unwrap_or_else(|e| {
-        eprintln!("throughput: {e}");
-        std::process::exit(2);
-    });
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_throughput.json", String::as_str);
-    let trace_path = args
-        .iter()
-        .position(|a| a == "--trace")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str);
+    let args = Cli::new(
+        "throughput",
+        "Host-side simulator throughput → BENCH_throughput.json",
+    )
+    .with_check()
+    .with_trace()
+    .with_out("BENCH_throughput.json")
+    .parse();
+    let (quick, check, runner) = (args.quick, args.check, args.runner);
+    let out_path = args.out.as_deref().expect("--out has a default");
+    let trace_path = args.trace.as_deref();
     if quick && check {
         eprintln!("throughput: --check asserts the full-workload digests; drop --quick");
         std::process::exit(2);
@@ -63,8 +58,8 @@ fn main() {
     let parallel = run_suite(&runner, 16, inner, outer, vit_bits, 16);
     for (s, p) in serial.samples.iter().zip(&parallel.samples) {
         assert_eq!(
-            (s.sim_cycles, s.stats_digest),
-            (p.sim_cycles, p.stats_digest),
+            (s.sim.cycles, s.sim.stats_digest),
+            (p.sim.cycles, p.sim.stats_digest),
             "{}: parallel pass diverged from serial — sweep jobs must be independent",
             s.workload
         );
@@ -100,17 +95,16 @@ fn main() {
         .map(|s| {
             vec![
                 s.workload.clone(),
-                report::f1(s.sim_cycles as f64 / 1e6),
-                report::f1(s.sim_instructions as f64 / 1e6),
+                report::f1(s.sim.cycles as f64 / 1e6),
+                report::f1(s.sim.instructions as f64 / 1e6),
                 format!("{:.3}", s.wall_seconds),
                 report::f2(s.instr_per_sec / 1e6),
-                s.stats_digest
-                    .map_or_else(|| "-".to_string(), |d| format!("{d:#018x}")),
-                s.episodes.episodes.to_string(),
+                format!("{:#018x}", s.sim.stats_digest),
+                s.sim.episodes.episodes.to_string(),
                 format!(
                     "{}/{}",
-                    report::f1(s.episodes.mean_arrival_spread()),
-                    report::f1(s.episodes.mean_release_fanout())
+                    report::f1(s.sim.episodes.mean_arrival_spread()),
+                    report::f1(s.sim.episodes.mean_release_fanout())
                 ),
             ]
         })
@@ -134,7 +128,7 @@ fn main() {
                 .iter()
                 .find(|s| s.workload == workload)
                 .unwrap_or_else(|| panic!("{workload} sample present"));
-            let got = s.stats_digest.expect("workload has a digest");
+            let got = s.sim.stats_digest;
             assert_eq!(
                 got, expected,
                 "{workload}: digest {got:#018x} != committed {expected:#018x} — \
@@ -163,14 +157,14 @@ fn main() {
             .find(|s| s.workload.starts_with("viterbi"))
             .expect("viterbi sample present");
         assert_eq!(
-            (traced.sim_cycles, traced.stats_digest),
-            (untraced.sim_cycles, untraced.stats_digest),
+            (traced.sim.cycles, traced.sim.stats_digest),
+            (untraced.sim.cycles, untraced.sim.stats_digest),
             "tracing changed simulated behaviour — sinks must be pure observers"
         );
         println!();
         println!(
             "wrote Chrome trace to {path} ({} barrier episodes; digest unchanged)",
-            traced.episodes.episodes
+            traced.sim.episodes.episodes
         );
     }
 }

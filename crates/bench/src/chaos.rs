@@ -1,0 +1,338 @@
+//! Chaos sweep: barrier recovery under deterministic fault injection.
+//!
+//! §3.3.3 claims the barrier filter tolerates OS interference — parked
+//! threads can be context-switched out, delayed, or migrated (with the
+//! filters re-armed through the reprogram path) and the barrier still
+//! functions. This sweep measures that claim: every point drives a real
+//! kernel (Viterbi, Livermore Loop 2) through a seeded
+//! [`FaultPlan`] and demands three things of the run:
+//!
+//! 1. **Validated output** — the kernel's own host-reference check passes
+//!    even with faults injected mid-episode.
+//! 2. **Quiescent filters** — after the run, no filter table holds a
+//!    parked fill (checked by the kernel harness).
+//! 3. **Bit-identical replay** — the same `(seed, plan)` reproduces the
+//!    same [`Measurement`], run for run.
+//!
+//! A zero-fault point must additionally be bit-identical to the plain
+//! (never-faulted) run, so chaos plumbing is proven to be a pure observer
+//! when disabled.
+
+use barrier_filter::BarrierMechanism;
+use cmp_sim::{json_escape, FaultPlan, FaultReport, Lcg, Measurement};
+use kernels::livermore::Loop2;
+use kernels::viterbi::Viterbi;
+use kernels::{KernelError, KernelOutcome};
+
+use crate::sweep::SweepRunner;
+
+/// One kernel the chaos sweep drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosWorkload {
+    /// EEMBC Viterbi (K=5): fine-grained episodes, filter-heavy.
+    Viterbi,
+    /// Livermore Loop 2: halving parallelism, idle threads at late stages.
+    Loop2,
+}
+
+impl ChaosWorkload {
+    /// Both workloads, in sweep order.
+    pub const ALL: [ChaosWorkload; 2] = [ChaosWorkload::Viterbi, ChaosWorkload::Loop2];
+
+    /// Stable identifier used in reports and seed derivation.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosWorkload::Viterbi => "viterbi",
+            ChaosWorkload::Loop2 => "loop2",
+        }
+    }
+
+    /// Problem size / thread count for this workload (`quick` shrinks for
+    /// smoke runs; full sizes match the throughput workloads, so the
+    /// zero-fault Viterbi/FilterD point reproduces the committed digest).
+    fn shape(self, quick: bool) -> (usize, usize) {
+        match (self, quick) {
+            (ChaosWorkload::Viterbi, true) => (24, 8),
+            (ChaosWorkload::Viterbi, false) => (96, 16),
+            (ChaosWorkload::Loop2, true) => (64, 8),
+            (ChaosWorkload::Loop2, false) => (256, 16),
+        }
+    }
+
+    /// Run the workload under `plan`, validating output and filter
+    /// quiescence internally.
+    fn run(
+        self,
+        quick: bool,
+        mechanism: BarrierMechanism,
+        plan: &FaultPlan,
+    ) -> Result<(KernelOutcome, FaultReport), KernelError> {
+        let (size, threads) = self.shape(quick);
+        match self {
+            ChaosWorkload::Viterbi => {
+                Viterbi::new(size).run_parallel_faulted(threads, mechanism, plan)
+            }
+            ChaosWorkload::Loop2 => Loop2::new(size).run_parallel_faulted(threads, mechanism, plan),
+        }
+    }
+}
+
+/// One verified point of the sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosPoint {
+    /// Workload identifier ([`ChaosWorkload::name`]).
+    pub workload: &'static str,
+    /// Barrier mechanism under test.
+    pub mechanism: BarrierMechanism,
+    /// Scheduled fault events in the plan (0 = baseline).
+    pub faults: usize,
+    /// Seed the point's [`FaultPlan`] was generated from.
+    pub plan_seed: u64,
+    /// Simulated-run record (identical across replays by construction —
+    /// the sweep asserts it).
+    pub sim: Measurement,
+    /// What the injector actually did.
+    pub report: FaultReport,
+}
+
+/// The chaos document written as `BENCH_chaos.json`.
+pub struct ChaosDoc {
+    /// Master seed every per-point plan seed derives from.
+    pub seed: u64,
+    /// Worker count the sweep ran with.
+    pub jobs: usize,
+    /// Whether smoke sizes were used.
+    pub quick: bool,
+    /// Verified points, in workload × mechanism × fault-level order.
+    pub points: Vec<ChaosPoint>,
+}
+
+/// Derive a per-point plan seed from the master seed and the point's grid
+/// coordinates, so every point gets an independent (but replayable)
+/// schedule.
+fn plan_seed(
+    seed: u64,
+    workload: ChaosWorkload,
+    mechanism: BarrierMechanism,
+    faults: usize,
+) -> u64 {
+    let w = ChaosWorkload::ALL
+        .iter()
+        .position(|&x| x == workload)
+        .expect("known workload") as u64;
+    let m = BarrierMechanism::ALL
+        .iter()
+        .position(|&x| x == mechanism)
+        .expect("known mechanism") as u64;
+    Lcg::new(seed ^ (w << 48) ^ (m << 40) ^ faults as u64).next_u64()
+}
+
+/// Run the full sweep: `levels` fault counts × every [`BarrierMechanism`]
+/// × both workloads, on `runner`. Each faulted point runs **twice** from
+/// the same plan and the two [`Measurement`]s must match bit-for-bit;
+/// each zero-fault point must match the plain (fault-free) baseline run.
+/// Level 0 is always swept (prepended if absent) so the baseline
+/// comparison exists for every workload × mechanism cell.
+///
+/// # Panics
+///
+/// Panics if any run fails to complete, validate, or leave its filters
+/// quiescent, or if a replay diverges — each of those falsifies §3.3.3,
+/// so the sweep treats it as fatal rather than reporting around it.
+pub fn run_chaos(runner: &SweepRunner, quick: bool, levels: &[usize], seed: u64) -> ChaosDoc {
+    let mut levels: Vec<usize> = levels.to_vec();
+    if !levels.contains(&0) {
+        levels.insert(0, 0);
+    }
+    levels.sort_unstable();
+    levels.dedup();
+    let grid: Vec<(ChaosWorkload, BarrierMechanism)> = ChaosWorkload::ALL
+        .into_iter()
+        .flat_map(|w| BarrierMechanism::ALL.into_iter().map(move |m| (w, m)))
+        .collect();
+    // Baselines first: they pin the fault horizon (events must land inside
+    // the run, not after it) and the zero-fault reference measurement.
+    let baselines: Vec<Measurement> = runner
+        .run_all(&grid, |_, &(w, m)| {
+            let (outcome, report) = w
+                .run(quick, m, &FaultPlan::none())
+                .unwrap_or_else(|e| panic!("{} {m} baseline failed: {e}", w.name()));
+            assert_eq!(
+                report,
+                FaultReport::default(),
+                "empty plan must inject nothing"
+            );
+            outcome.sim
+        })
+        .unwrap_or_else(|e| panic!("chaos baselines: {e}"));
+
+    let cells: Vec<(ChaosWorkload, BarrierMechanism, usize, Measurement)> = grid
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(w, m))| {
+            let baseline = baselines[i];
+            levels.iter().map(move |&f| (w, m, f, baseline))
+        })
+        .collect();
+    let points = runner
+        .run_all(&cells, |_, &(w, m, faults, baseline)| {
+            if faults == 0 {
+                return ChaosPoint {
+                    workload: w.name(),
+                    mechanism: m,
+                    faults: 0,
+                    plan_seed: plan_seed(seed, w, m, 0),
+                    sim: baseline,
+                    report: FaultReport::default(),
+                };
+            }
+            let ps = plan_seed(seed, w, m, faults);
+            let plan = FaultPlan::generate(ps, faults, baseline.cycles);
+            let run = || {
+                w.run(quick, m, &plan)
+                    .unwrap_or_else(|e| panic!("{} {m} x{faults} faults failed: {e}", w.name()))
+            };
+            let (first, report) = run();
+            let (second, report2) = run();
+            assert_eq!(
+                (first.sim, report),
+                (second.sim, report2),
+                "{} {m} x{faults}: replay from seed {ps:#x} diverged",
+                w.name()
+            );
+            if !m.is_filter() {
+                // Non-filter barriers never park, so every fault is a
+                // counted no-op and the run must be bit-identical to the
+                // baseline.
+                assert_eq!(report.injected, 0, "{} {m}: nothing to inject", w.name());
+                assert_eq!(
+                    first.sim,
+                    baseline,
+                    "{} {m}: faults must be no-ops",
+                    w.name()
+                );
+            }
+            ChaosPoint {
+                workload: w.name(),
+                mechanism: m,
+                faults,
+                plan_seed: ps,
+                sim: first.sim,
+                report,
+            }
+        })
+        .unwrap_or_else(|e| panic!("chaos sweep: {e}"));
+    ChaosDoc {
+        seed,
+        jobs: runner.jobs(),
+        quick,
+        points,
+    }
+}
+
+/// Serialize the document (schema `fastbar-chaos/v1`; std-only JSON).
+pub fn to_json(doc: &ChaosDoc) -> String {
+    let mut out = String::from("{\n  \"schema\": \"fastbar-chaos/v1\",\n");
+    out.push_str(&format!("  \"seed\": \"{:#018x}\",\n", doc.seed));
+    out.push_str(&format!("  \"jobs\": {},\n", doc.jobs));
+    out.push_str(&format!("  \"quick\": {},\n", doc.quick));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in doc.points.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"workload\": \"{}\", ", json_escape(p.workload)));
+        out.push_str(&format!(
+            "\"mechanism\": \"{}\", ",
+            json_escape(&p.mechanism.to_string())
+        ));
+        out.push_str(&format!("\"faults\": {}, ", p.faults));
+        out.push_str(&format!("\"plan_seed\": \"{:#018x}\", ", p.plan_seed));
+        out.push_str(&format!("\"sim_cycles\": {}, ", p.sim.cycles));
+        out.push_str(&format!("\"sim_instructions\": {}, ", p.sim.instructions));
+        out.push_str(&format!(
+            "\"stats_digest\": \"{:#018x}\", ",
+            p.sim.stats_digest
+        ));
+        let r = &p.report;
+        out.push_str(&format!(
+            "\"injected\": {}, \"skipped\": {}, \"violations\": {}, \"resumed\": {}, ",
+            r.injected, r.skipped, r.violations, r.resumed
+        ));
+        let e = &p.sim.episodes;
+        out.push_str(&format!(
+            "\"episodes\": {}, \"parks\": {}, \"releases\": {}, \"cancellations\": {}, \
+             \"reparks\": {}, \"resumes_after_release\": {}",
+            e.episodes, e.parks, e.releases, e.cancellations, e.reparks, e.resumes_after_release
+        ));
+        out.push('}');
+        if i + 1 < doc.points.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmp_sim::EpisodeStats;
+
+    #[test]
+    fn plan_seeds_are_stable_and_distinct_per_cell() {
+        let a = plan_seed(1, ChaosWorkload::Viterbi, BarrierMechanism::FilterD, 4);
+        assert_eq!(
+            a,
+            plan_seed(1, ChaosWorkload::Viterbi, BarrierMechanism::FilterD, 4)
+        );
+        assert_ne!(
+            a,
+            plan_seed(1, ChaosWorkload::Loop2, BarrierMechanism::FilterD, 4)
+        );
+        assert_ne!(
+            a,
+            plan_seed(1, ChaosWorkload::Viterbi, BarrierMechanism::FilterI, 4)
+        );
+        assert_ne!(
+            a,
+            plan_seed(2, ChaosWorkload::Viterbi, BarrierMechanism::FilterD, 4)
+        );
+    }
+
+    #[test]
+    fn json_document_has_schema_and_fields() {
+        let doc = ChaosDoc {
+            seed: 0x2a,
+            jobs: 2,
+            quick: true,
+            points: vec![ChaosPoint {
+                workload: "viterbi",
+                mechanism: BarrierMechanism::FilterD,
+                faults: 4,
+                plan_seed: 7,
+                sim: Measurement {
+                    cycles: 10,
+                    instructions: 20,
+                    stats_digest: 9,
+                    episodes: EpisodeStats::default(),
+                },
+                report: FaultReport {
+                    injected: 3,
+                    skipped: 1,
+                    violations: 2,
+                    resumed: 3,
+                },
+            }],
+        };
+        let j = to_json(&doc);
+        assert!(j.contains("fastbar-chaos/v1"));
+        assert!(j.contains("\"seed\": \"0x000000000000002a\""));
+        assert!(j.contains("\"workload\": \"viterbi\""));
+        assert!(j.contains("\"mechanism\": \"filter-d\""));
+        assert!(j.contains("\"faults\": 4"));
+        assert!(j.contains("\"injected\": 3"));
+        assert!(j.contains("\"violations\": 2"));
+        assert!(j.contains("\"stats_digest\": \"0x0000000000000009\""));
+        assert!(j.contains("\"cancellations\": 0"));
+    }
+}

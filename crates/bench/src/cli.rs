@@ -1,0 +1,356 @@
+//! One argument parser for every figure binary.
+//!
+//! Each binary used to hand-roll its own `std::env::args()` scan, with
+//! drifting help text and error conventions. [`Cli`] is the single
+//! replacement: every binary gets `--quick`, `--jobs N` and `--help` for
+//! free, and opts into the flags it actually supports (`--check`,
+//! `--trace`, `--out`, and the fault-injection pair `--faults`/`--seed`).
+//! Unrecognized flags are rejected — a binary never silently ignores a
+//! flag it does not implement.
+//!
+//! ```no_run
+//! use bench_suite::cli::Cli;
+//!
+//! let args = Cli::new("fig5_autocorr", "Figure 5 — Autocorrelation speedup").parse();
+//! let n = if args.quick { 512 } else { 2048 };
+//! ```
+
+use crate::sweep::SweepRunner;
+
+/// Default fault-plan seed for `--seed` (an arbitrary committed constant:
+/// the point is that every run without an explicit seed replays the same
+/// chaos schedule).
+pub const DEFAULT_SEED: u64 = 0x5eed_ba44_1e4a_0001;
+
+/// Flag declaration for one figure binary: the universal flags plus
+/// whichever optional ones the binary supports.
+#[derive(Debug, Clone, Copy)]
+pub struct Cli {
+    name: &'static str,
+    about: &'static str,
+    check: bool,
+    trace: bool,
+    out: Option<&'static str>,
+    faults: bool,
+}
+
+/// Parsed command line, with defaults filled in for every flag the binary
+/// did not receive (and `0`/[`DEFAULT_SEED`] for fault flags the binary
+/// does not even declare, so downstream code can read them unconditionally).
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// `--quick`: shrink problem sizes/rep counts for a smoke run.
+    pub quick: bool,
+    /// `--check`: assert committed digests, exit non-zero on mismatch.
+    pub check: bool,
+    /// Worker pool sized by `--jobs N` (default: all host threads).
+    pub runner: SweepRunner,
+    /// `--trace PATH` (or prefix), if given.
+    pub trace: Option<String>,
+    /// `--out PATH`, defaulted to the binary's declared output path.
+    pub out: Option<String>,
+    /// `--faults N`: scheduled fault events per run (default 0).
+    pub faults: usize,
+    /// `--seed S`: fault-plan seed, decimal or `0x` hex.
+    pub seed: u64,
+}
+
+/// Outcome of [`Cli::parse_from`]: either a parsed argument set or a
+/// request for the usage text.
+#[derive(Debug, Clone)]
+pub enum Parse {
+    /// Flags parsed; run the benchmark.
+    Run(BenchArgs),
+    /// `--help`/`-h` was present; print [`Cli::usage`] and exit 0.
+    Help,
+}
+
+impl Cli {
+    /// A parser accepting the universal flags (`--quick`, `--jobs N`,
+    /// `--help`) for the binary `name`, described by `about` in the help
+    /// text.
+    pub fn new(name: &'static str, about: &'static str) -> Cli {
+        Cli {
+            name,
+            about,
+            check: false,
+            trace: false,
+            out: None,
+            faults: false,
+        }
+    }
+
+    /// Accept `--check` (digest assertion mode).
+    #[must_use]
+    pub fn with_check(mut self) -> Cli {
+        self.check = true;
+        self
+    }
+
+    /// Accept `--trace PATH`.
+    #[must_use]
+    pub fn with_trace(mut self) -> Cli {
+        self.trace = true;
+        self
+    }
+
+    /// Accept `--out PATH`, defaulting to `default_path` when absent.
+    #[must_use]
+    pub fn with_out(mut self, default_path: &'static str) -> Cli {
+        self.out = Some(default_path);
+        self
+    }
+
+    /// Accept the fault-injection pair `--faults N` and `--seed S`.
+    #[must_use]
+    pub fn with_faults(mut self) -> Cli {
+        self.faults = true;
+        self
+    }
+
+    /// The full help text for this binary's declared flags.
+    pub fn usage(&self) -> String {
+        let mut flags = String::from("[--quick] [--jobs N]");
+        if self.check {
+            flags.push_str(" [--check]");
+        }
+        if self.trace {
+            flags.push_str(" [--trace PATH]");
+        }
+        if self.out.is_some() {
+            flags.push_str(" [--out PATH]");
+        }
+        if self.faults {
+            flags.push_str(" [--faults N] [--seed S]");
+        }
+        let mut text = format!(
+            "Usage: {} {flags} [--help]\n\n{}\n\nOptions:\n      \
+             --quick        shrink problem sizes for a fast smoke run\n      \
+             --jobs N       worker threads for the sweep (default: all host threads)\n",
+            self.name, self.about
+        );
+        if self.check {
+            text.push_str(
+                "      --check        assert the committed stats digests; exit non-zero on mismatch\n",
+            );
+        }
+        if self.trace {
+            text.push_str("      --trace PATH   stream a Chrome trace to PATH\n");
+        }
+        if let Some(default) = self.out {
+            text.push_str(&format!(
+                "      --out PATH     write the JSON document to PATH (default: {default})\n"
+            ));
+        }
+        if self.faults {
+            text.push_str(&format!(
+                "      --faults N     scheduled fault events per run (default: 0)\n      \
+                 --seed S       fault-plan seed, decimal or 0x hex (default: {DEFAULT_SEED:#x})\n"
+            ));
+        }
+        text.push_str("  -h, --help         print this help\n");
+        text
+    }
+
+    /// Parse the process arguments, handling `--help` (usage to stdout,
+    /// exit 0) and errors (message plus usage to stderr, exit 2) the same
+    /// way in every binary.
+    pub fn parse(&self) -> BenchArgs {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match self.parse_from(&args) {
+            Ok(Parse::Run(parsed)) => parsed,
+            Ok(Parse::Help) => {
+                print!("{}", self.usage());
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("{}: {e}\n\n{}", self.name, self.usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse an explicit argument list (no `argv[0]`). Pure — the testable
+    /// core of [`parse`](Cli::parse).
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message for an unrecognized flag, a missing or
+    /// malformed value, or a positional argument (no binary takes any).
+    pub fn parse_from(&self, args: &[String]) -> Result<Parse, String> {
+        let mut parsed = BenchArgs {
+            quick: false,
+            check: false,
+            runner: SweepRunner::available(),
+            trace: None,
+            out: self.out.map(String::from),
+            faults: 0,
+            seed: DEFAULT_SEED,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f, Some(v.to_string())),
+                None => (arg.as_str(), None),
+            };
+            let mut value = |flag: &str| {
+                inline
+                    .clone()
+                    .or_else(|| it.next().cloned())
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match flag {
+                "--help" | "-h" => return Ok(Parse::Help),
+                "--quick" => parsed.quick = true,
+                "--check" if self.check => parsed.check = true,
+                "--jobs" => {
+                    let v = value("--jobs")?;
+                    let jobs: usize =
+                        v.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                            format!("--jobs: expected a positive integer, got {v:?}")
+                        })?;
+                    parsed.runner = SweepRunner::new(jobs);
+                }
+                "--trace" if self.trace => parsed.trace = Some(value("--trace")?),
+                "--out" if self.out.is_some() => parsed.out = Some(value("--out")?),
+                "--faults" if self.faults => {
+                    let v = value("--faults")?;
+                    parsed.faults = v
+                        .parse()
+                        .map_err(|_| format!("--faults: expected a count, got {v:?}"))?;
+                }
+                "--seed" if self.faults => {
+                    let v = value("--seed")?;
+                    parsed.seed = parse_seed(&v)
+                        .ok_or_else(|| format!("--seed: expected decimal or 0x hex, got {v:?}"))?;
+                }
+                _ => return Err(format!("unrecognized argument {arg:?} (try --help)")),
+            }
+        }
+        Ok(Parse::Run(parsed))
+    }
+}
+
+/// Parse a seed as decimal or `0x`-prefixed hex.
+fn parse_seed(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run(cli: &Cli, args: &[&str]) -> Result<BenchArgs, String> {
+        match cli.parse_from(&strings(args))? {
+            Parse::Run(a) => Ok(a),
+            Parse::Help => Err("help requested".into()),
+        }
+    }
+
+    #[test]
+    fn universal_flags_parse() {
+        let cli = Cli::new("t", "test binary");
+        let a = run(&cli, &["--quick", "--jobs", "3"]).unwrap();
+        assert!(a.quick);
+        assert!(!a.check);
+        assert_eq!(a.runner.jobs(), 3);
+        assert_eq!(a.faults, 0);
+        assert_eq!(a.seed, DEFAULT_SEED);
+        let b = run(&cli, &["--jobs=2"]).unwrap();
+        assert_eq!(b.runner.jobs(), 2);
+        assert!(!b.quick);
+    }
+
+    #[test]
+    fn undeclared_flags_are_rejected() {
+        let cli = Cli::new("t", "test binary");
+        for flags in [
+            &["--check"][..],
+            &["--trace", "x"],
+            &["--out", "x"],
+            &["--faults", "3"],
+            &["--seed", "1"],
+            &["--frobnicate"],
+            &["positional"],
+        ] {
+            let err = run(&cli, flags).unwrap_err();
+            assert!(err.contains("unrecognized"), "{flags:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn declared_flags_parse_with_defaults() {
+        let cli = Cli::new("t", "test binary")
+            .with_check()
+            .with_trace()
+            .with_out("OUT.json")
+            .with_faults();
+        let a = run(&cli, &[]).unwrap();
+        assert!(!a.check);
+        assert_eq!(a.trace, None);
+        assert_eq!(a.out.as_deref(), Some("OUT.json"));
+        let b = run(
+            &cli,
+            &[
+                "--check", "--trace", "t.json", "--out", "o.json", "--faults", "7", "--seed",
+                "0x2a",
+            ],
+        )
+        .unwrap();
+        assert!(b.check);
+        assert_eq!(b.trace.as_deref(), Some("t.json"));
+        assert_eq!(b.out.as_deref(), Some("o.json"));
+        assert_eq!(b.faults, 7);
+        assert_eq!(b.seed, 0x2a);
+        let c = run(&cli, &["--seed", "42"]).unwrap();
+        assert_eq!(c.seed, 42);
+    }
+
+    #[test]
+    fn bad_values_report_the_flag() {
+        let cli = Cli::new("t", "test binary").with_faults();
+        for (flags, needle) in [
+            (&["--jobs"][..], "--jobs"),
+            (&["--jobs", "0"], "--jobs"),
+            (&["--jobs", "many"], "--jobs"),
+            (&["--faults", "-1"], "--faults"),
+            (&["--seed", "0xZZ"], "--seed"),
+            (&["--seed"], "--seed"),
+        ] {
+            let err = run(&cli, flags).unwrap_err();
+            assert!(err.contains(needle), "{flags:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn help_short_circuits_and_usage_lists_declared_flags() {
+        let cli = Cli::new("t", "test binary").with_faults();
+        assert!(matches!(
+            cli.parse_from(&strings(&["--quick", "--help"])).unwrap(),
+            Parse::Help
+        ));
+        assert!(matches!(
+            cli.parse_from(&strings(&["-h"])).unwrap(),
+            Parse::Help
+        ));
+        let usage = cli.usage();
+        assert!(usage.contains("test binary"));
+        assert!(usage.contains("--faults"));
+        assert!(usage.contains("--seed"));
+        assert!(!usage.contains("--check"));
+        assert!(!usage.contains("--trace"));
+        let full = Cli::new("t", "x").with_check().with_trace().with_out("O");
+        let usage = full.usage();
+        assert!(usage.contains("--check"));
+        assert!(usage.contains("--trace"));
+        assert!(usage.contains("default: O"));
+    }
+}

@@ -238,11 +238,13 @@ mod tests {
         };
         let cycles = (100 * row + col) as u64;
         Ok(KernelOutcome {
-            cycles,
+            sim: cmp_sim::Measurement {
+                cycles,
+                instructions: 1,
+                stats_digest: cycles,
+                episodes: Default::default(),
+            },
             cycles_per_rep: cycles as f64,
-            instructions: 1,
-            stats_digest: cycles,
-            episodes: Default::default(),
         })
     }
 

@@ -3,7 +3,9 @@
 //! following Culler/Singh/Gupta).
 
 use barrier_filter::{BarrierMechanism, BarrierSystem};
-use cmp_sim::{AddressSpace, Machine, MachineBuilder, SimConfig, SimError, TraceConfig};
+use cmp_sim::{
+    AddressSpace, Machine, MachineBuilder, Measurement, SimConfig, SimError, TraceConfig,
+};
 use sim_isa::{Asm, Reg};
 
 /// Build (but do not run) the Figure 4 micro-benchmark machine: `inner`
@@ -104,9 +106,9 @@ pub struct LatencyPoint {
     /// Mean interconnect queueing delay per transaction, max over the
     /// address and data networks (saturation signal).
     pub bus_mean_wait: f64,
-    /// Per-barrier-episode metrics of the run (arrival spread, release
-    /// fan-out, park/release accounting).
-    pub episodes: cmp_sim::EpisodeStats,
+    /// The simulated-run record shared with every other measurement layer
+    /// (cycles, instructions, digest, episode metrics).
+    pub sim: Measurement,
 }
 
 /// Measure average cycles/barrier: `inner` consecutive barriers, repeated
@@ -154,7 +156,7 @@ pub fn barrier_latency_traced(
         cores,
         cycles_per_barrier: summary.cycles as f64 / (inner * outer) as f64,
         bus_mean_wait: stats.addr_bus.mean_wait().max(stats.data_bus.mean_wait()),
-        episodes: stats.episodes,
+        sim: Measurement::new(&summary, &stats),
     })
 }
 

@@ -19,12 +19,16 @@
 //! The library half hosts the shared runners so integration tests and
 //! Criterion benches reuse exactly the code the binaries run.
 
+pub mod chaos;
+pub mod cli;
 pub mod kernel_runs;
 pub mod latency;
 pub mod report;
 pub mod sweep;
 pub mod throughput;
 
+pub use chaos::{run_chaos, ChaosDoc, ChaosPoint, ChaosWorkload};
+pub use cli::{BenchArgs, Cli};
 pub use kernel_runs::{measure, measure_on, speedup_table, sweep_grid, GridVariant, SpeedupRow};
 pub use latency::{
     barrier_latency, barrier_latency_traced, build_latency_machine, build_latency_machine_traced,

@@ -19,7 +19,7 @@
 use std::time::Instant;
 
 use barrier_filter::BarrierMechanism;
-use cmp_sim::{json_escape, EpisodeStats};
+use cmp_sim::{json_escape, Measurement};
 use kernels::viterbi::Viterbi;
 
 use crate::latency::build_latency_machine;
@@ -34,44 +34,28 @@ pub const EXPECTED_FIG4_16CORE_DIGEST: u64 = 0x0546_812c_cc90_cd5e;
 /// 16 threads, FilterD).
 pub const EXPECTED_VITERBI_K5_16T_DIGEST: u64 = 0x6694_92d6_5199_a9fb;
 
-/// One measured workload.
+/// One measured workload: the shared [`Measurement`] record (simulated
+/// cycles, instructions, digest, episode metrics — none of which may
+/// change across engine PRs) plus the host-side timing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputSample {
     /// Workload identifier (stable across PRs; new workloads append).
     pub workload: String,
-    /// Total simulated cycles (must not change across engine PRs).
-    pub sim_cycles: u64,
-    /// Total simulated instructions retired.
-    pub sim_instructions: u64,
+    /// The simulated-run record shared with every other measurement layer.
+    pub sim: Measurement,
     /// Host wall-clock seconds for the simulation calls only (excludes
     /// machine construction and input generation).
     pub wall_seconds: f64,
-    /// `sim_instructions / wall_seconds` — the headline number.
+    /// `sim.instructions / wall_seconds` — the headline number.
     pub instr_per_sec: f64,
-    /// Combined [`MachineStats::digest`](cmp_sim::MachineStats)
-    /// fingerprint, when the workload exposes full machine stats.
-    pub stats_digest: Option<u64>,
-    /// Per-barrier-episode metrics aggregated over the workload's
-    /// machines (not part of the digest: informational).
-    pub episodes: EpisodeStats,
 }
 
-fn sample(
-    workload: &str,
-    sim_cycles: u64,
-    sim_instructions: u64,
-    wall_seconds: f64,
-    stats_digest: Option<u64>,
-    episodes: EpisodeStats,
-) -> ThroughputSample {
+fn sample(workload: &str, sim: Measurement, wall_seconds: f64) -> ThroughputSample {
     ThroughputSample {
         workload: workload.to_string(),
-        sim_cycles,
-        sim_instructions,
+        sim,
         wall_seconds,
-        instr_per_sec: sim_instructions as f64 / wall_seconds.max(1e-9),
-        stats_digest,
-        episodes,
+        instr_per_sec: sim.instructions as f64 / wall_seconds.max(1e-9),
     }
 }
 
@@ -80,11 +64,8 @@ fn sample(
 /// [`SweepRunner`].
 #[derive(Debug, Clone)]
 struct Fig4Part {
-    cycles: u64,
-    instructions: u64,
+    sim: Measurement,
     wall: f64,
-    digest: u64,
-    episodes: EpisodeStats,
 }
 
 fn fig4_part(mechanism: BarrierMechanism, cores: usize, inner: u64, outer: u64) -> Fig4Part {
@@ -94,13 +75,9 @@ fn fig4_part(mechanism: BarrierMechanism, cores: usize, inner: u64, outer: u64) 
         .run()
         .unwrap_or_else(|e| panic!("fig4 {mechanism} @ {cores} cores failed: {e}"));
     let wall = t0.elapsed().as_secs_f64();
-    let stats = m.stats();
     Fig4Part {
-        cycles: summary.cycles,
-        instructions: summary.instructions,
+        sim: Measurement::new(&summary, &m.stats()),
         wall,
-        digest: stats.digest(),
-        episodes: stats.episodes,
     }
 }
 
@@ -109,29 +86,21 @@ fn fig4_part(mechanism: BarrierMechanism, cores: usize, inner: u64, outer: u64) 
 /// order-sensitive by design, so the fold reproduces the serial digest
 /// exactly no matter which part's simulation finished first on the host.
 fn fold_fig4(cores: usize, parts: &[Fig4Part]) -> ThroughputSample {
-    let mut cycles = 0u64;
-    let mut instructions = 0u64;
+    let mut sim = Measurement::default();
     let mut wall = 0f64;
-    let mut episodes = EpisodeStats::default();
     let mut digest = 0xcbf2_9ce4_8422_2325u64;
     for part in parts {
-        cycles += part.cycles;
-        instructions += part.instructions;
+        sim.cycles += part.sim.cycles;
+        sim.instructions += part.sim.instructions;
         wall += part.wall;
-        episodes.merge(&part.episodes);
-        for b in part.digest.to_le_bytes() {
+        sim.episodes.merge(&part.sim.episodes);
+        for b in part.sim.stats_digest.to_le_bytes() {
             digest ^= b as u64;
             digest = digest.wrapping_mul(0x100_0000_01b3);
         }
     }
-    sample(
-        &format!("fig4_{cores}core"),
-        cycles,
-        instructions,
-        wall,
-        Some(digest),
-        episodes,
-    )
+    sim.stats_digest = digest;
+    sample(&format!("fig4_{cores}core"), sim, wall)
 }
 
 /// The Figure 4 workload: every barrier mechanism at `cores` cores,
@@ -165,14 +134,7 @@ pub fn viterbi_sample(data_bits: usize, threads: usize) -> ThroughputSample {
         .run_parallel(threads, BarrierMechanism::FilterD)
         .expect("viterbi throughput workload");
     let wall = t0.elapsed().as_secs_f64();
-    sample(
-        &format!("viterbi_k5_{threads}t"),
-        outcome.cycles,
-        outcome.instructions,
-        wall,
-        Some(outcome.stats_digest),
-        outcome.episodes,
-    )
+    sample(&format!("viterbi_k5_{threads}t"), outcome.sim, wall)
 }
 
 /// [`viterbi_sample`] with a Chrome trace streamed to `trace_path`
@@ -198,14 +160,7 @@ pub fn viterbi_sample_traced(
         .run_parallel_traced(threads, BarrierMechanism::FilterD, trace)
         .expect("traced viterbi throughput workload");
     let wall = t0.elapsed().as_secs_f64();
-    sample(
-        &format!("viterbi_k5_{threads}t_traced"),
-        outcome.cycles,
-        outcome.instructions,
-        wall,
-        Some(outcome.stats_digest),
-        outcome.episodes,
-    )
+    sample(&format!("viterbi_k5_{threads}t_traced"), outcome.sim, wall)
 }
 
 /// One independent simulation of the throughput suite — the job unit the
@@ -320,15 +275,15 @@ pub fn to_json(doc: &ThroughputDoc) -> String {
     for (i, s) in samples.iter().enumerate() {
         out.push_str("    {");
         out.push_str(&format!("\"workload\": \"{}\", ", json_escape(&s.workload)));
-        out.push_str(&format!("\"sim_cycles\": {}, ", s.sim_cycles));
-        out.push_str(&format!("\"sim_instructions\": {}, ", s.sim_instructions));
+        out.push_str(&format!("\"sim_cycles\": {}, ", s.sim.cycles));
+        out.push_str(&format!("\"sim_instructions\": {}, ", s.sim.instructions));
         out.push_str(&format!("\"wall_seconds\": {:.6}, ", s.wall_seconds));
         out.push_str(&format!("\"instr_per_sec\": {:.1}, ", s.instr_per_sec));
-        match s.stats_digest {
-            Some(d) => out.push_str(&format!("\"stats_digest\": \"{d:#018x}\", ")),
-            None => out.push_str("\"stats_digest\": null, "),
-        }
-        let e = &s.episodes;
+        out.push_str(&format!(
+            "\"stats_digest\": \"{:#018x}\", ",
+            s.sim.stats_digest
+        ));
+        let e = &s.sim.episodes;
         out.push_str(&format!(
             "\"episodes\": {{\"count\": {}, \"parks\": {}, \"releases\": {}, \
              \"serviced\": {}, \"mean_arrival_spread\": {:.1}, \
@@ -353,6 +308,7 @@ pub fn to_json(doc: &ThroughputDoc) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cmp_sim::EpisodeStats;
 
     fn doc(samples: Vec<ThroughputSample>) -> ThroughputDoc {
         ThroughputDoc {
@@ -364,14 +320,22 @@ mod tests {
         }
     }
 
+    fn meas(cycles: u64, instructions: u64, stats_digest: u64) -> Measurement {
+        Measurement {
+            cycles,
+            instructions,
+            stats_digest,
+            episodes: EpisodeStats::default(),
+        }
+    }
+
     #[test]
     fn fig4_sample_is_deterministic_in_simulated_terms() {
         let a = fig4_sample(4, 4, 2);
         let b = fig4_sample(4, 4, 2);
-        assert_eq!(a.sim_cycles, b.sim_cycles);
-        assert_eq!(a.sim_instructions, b.sim_instructions);
-        assert_eq!(a.stats_digest, b.stats_digest);
-        assert!(a.stats_digest.is_some());
+        assert_eq!(a.sim.cycles, b.sim.cycles);
+        assert_eq!(a.sim.instructions, b.sim.instructions);
+        assert_eq!(a.sim.stats_digest, b.sim.stats_digest);
         assert!(a.instr_per_sec > 0.0);
     }
 
@@ -385,19 +349,15 @@ mod tests {
         assert!(suite.suite_wall_seconds > 0.0);
         for (par, ser) in suite.samples.iter().zip([&serial_fig4, &serial_vit]) {
             assert_eq!(par.workload, ser.workload);
-            assert_eq!(par.sim_cycles, ser.sim_cycles);
-            assert_eq!(par.sim_instructions, ser.sim_instructions);
-            assert_eq!(par.stats_digest, ser.stats_digest);
-            assert_eq!(par.episodes, ser.episodes);
+            assert_eq!(par.sim, ser.sim, "simulated record must be identical");
         }
     }
 
     #[test]
     fn json_document_has_schema_and_all_samples() {
-        let e = EpisodeStats::default();
         let j = to_json(&doc(vec![
-            sample("w1", 10, 20, 0.5, Some(7), e),
-            sample("w2", 1, 2, 0.25, None, e),
+            sample("w1", meas(10, 20, 7), 0.5),
+            sample("w2", meas(1, 2, 9), 0.25),
         ]));
         assert!(j.contains("fastbar-throughput/v2"));
         assert!(j.contains("\"jobs\": 2"));
@@ -405,21 +365,17 @@ mod tests {
         assert!(j.contains("\"serial_wall_seconds\": 1.500000"));
         assert!(j.contains("\"parallel_wall_seconds\": 0.750000"));
         assert!(j.contains("\"workload\": \"w1\""));
-        assert!(j.contains("\"stats_digest\": null"));
+        assert!(
+            j.contains("\"stats_digest\": \"0x0000000000000007\""),
+            "digests are always emitted as hex now"
+        );
         assert!(j.contains("\"instr_per_sec\": 40.0"));
         assert!(j.contains("\"episodes\": {\"count\": 0"));
     }
 
     #[test]
     fn json_strings_are_escaped() {
-        let j = to_json(&doc(vec![sample(
-            "w\"quoted\\slash",
-            1,
-            1,
-            0.5,
-            None,
-            EpisodeStats::default(),
-        )]));
+        let j = to_json(&doc(vec![sample("w\"quoted\\slash", meas(1, 1, 0), 0.5)]));
         assert!(j.contains("\"workload\": \"w\\\"quoted\\\\slash\""));
     }
 }

@@ -94,6 +94,13 @@ pub enum SimError {
         /// The barrier id.
         id: u16,
     },
+    /// [`Machine::resume_thread`](crate::Machine::resume_thread) was called
+    /// for a core that is not context-switched out. Recoverable: fault
+    /// injectors and OS models get a typed error instead of a panic.
+    NotSwitchedOut {
+        /// The core that was not switched out.
+        core: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -154,6 +161,9 @@ impl fmt::Display for SimError {
                     f,
                     "core {core} is not a member of hardware barrier group {id}"
                 )
+            }
+            SimError::NotSwitchedOut { core } => {
+                write!(f, "core {core} is not context-switched out")
             }
         }
     }

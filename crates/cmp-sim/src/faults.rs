@@ -1,0 +1,358 @@
+//! Deterministic fault injection for barrier recovery (§3.3.3).
+//!
+//! The paper argues the barrier filter survives OS interference: a parked
+//! thread can be context-switched out (its fill cancelled), rescheduled
+//! later (the access re-issues and either re-parks or is serviced because
+//! the barrier opened in the meantime), or migrated to another core with
+//! the filter re-armed through the OS save/restore path. This module turns
+//! those claims into a *measured* property: a [`FaultPlan`] is a schedule
+//! of disturbances generated from a seeded [`Lcg`], and
+//! [`run_with_faults`] drives a [`Machine`] through the plan — so every
+//! chaos run replays bit-identically from `(seed, plan)`.
+//!
+//! Faults are modelled strictly through the machine's public OS surface
+//! ([`Machine::context_switch_out`], [`Machine::resume_thread`],
+//! [`Machine::migrate_thread`], [`Machine::reprogram_bank`]): the injector
+//! holds no back door into simulated state, and a plan with no events is
+//! exactly [`Machine::run`].
+
+use crate::error::SimError;
+use crate::machine::{Machine, RunState};
+use crate::stats::RunSummary;
+
+/// Minimal in-repo pseudo-random generator (the workspace builds offline,
+/// so there is no `rand`): a 64-bit multiplicative-congruential step with
+/// an output mix. Not cryptographic — it only needs to be deterministic
+/// and well-spread across the fault dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// A generator seeded with `seed` (any value, including 0).
+    pub fn new(seed: u64) -> Lcg {
+        Lcg {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let mut z = self.state;
+        z ^= z >> 33;
+        z = z.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        z ^= z >> 33;
+        z
+    }
+
+    /// A value uniform-ish in `0..n` (modulo bias is irrelevant here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Lcg::below(0)");
+        self.next_u64() % n
+    }
+}
+
+/// One kind of OS disturbance the injector can apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Context-switch out one currently parked core; schedule its resume
+    /// `delay` cycles later.
+    SwitchOut {
+        /// Cycles until the thread is rescheduled (min 1).
+        delay: u64,
+    },
+    /// Push one pending resume back by `extra` cycles (the OS ran
+    /// something else first).
+    DelayResume {
+        /// Additional cycles before the delayed thread resumes.
+        extra: u64,
+    },
+    /// Migrate two parked threads across cores: both are switched out,
+    /// their architectural state swaps, every filter is re-armed through
+    /// the OS reprogram path, and both resume (staggered) `delay` cycles
+    /// later — each re-arriving at the barrier from the other core.
+    /// Degrades to [`FaultKind::SwitchOut`] when only one core is parked.
+    Migrate {
+        /// Cycles until the first migrated thread resumes (min 1).
+        delay: u64,
+    },
+    /// Probe one bank's OS reprogram path directly. Against a filter that
+    /// holds parked fills this is deliberate misprogramming: it surfaces
+    /// as a recoverable [`HookViolation`](crate::HookViolation) counted in
+    /// [`FaultReport::violations`], never a panic.
+    Reprogram,
+}
+
+/// One scheduled disturbance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulation cycle at (or after) which the fault fires.
+    pub at: u64,
+    /// Raw random value used to pick the fault's target (core, resume
+    /// slot, or bank) among whatever is eligible when it fires.
+    pub pick: u64,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// A replayable schedule of disturbances: the full input of a chaos run is
+/// `(machine, plan)`, and [`FaultPlan::generate`] makes the plan itself a
+/// pure function of `(seed, faults, horizon)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed the plan was generated from (0 for hand-built plans).
+    pub seed: u64,
+    /// Events in non-decreasing `at` order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: [`run_with_faults`] degenerates to [`Machine::run`].
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Generate `faults` events spread over cycles `0..horizon`, with
+    /// kinds and targets drawn from an [`Lcg`] seeded with `seed`. Delays
+    /// are drawn from `1..=400` cycles — long enough to overlap whole
+    /// barrier episodes, short enough to keep chaos runs fast.
+    pub fn generate(seed: u64, faults: usize, horizon: u64) -> FaultPlan {
+        let mut rng = Lcg::new(seed);
+        let mut events: Vec<FaultEvent> = (0..faults)
+            .map(|_| {
+                let at = rng.below(horizon.max(1));
+                let pick = rng.next_u64();
+                let kind = match rng.below(4) {
+                    0 => FaultKind::SwitchOut {
+                        delay: 1 + rng.below(400),
+                    },
+                    1 => FaultKind::DelayResume {
+                        extra: 1 + rng.below(400),
+                    },
+                    2 => FaultKind::Migrate {
+                        delay: 1 + rng.below(400),
+                    },
+                    _ => FaultKind::Reprogram,
+                };
+                FaultEvent { at, pick, kind }
+            })
+            .collect();
+        // Stable: ties keep generation order, so the plan is deterministic.
+        events.sort_by_key(|e| e.at);
+        FaultPlan { seed, events }
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// What a chaos run actually did, next to what the plan asked for.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Events that found an eligible target and were applied.
+    pub injected: usize,
+    /// Events skipped because nothing was eligible when they fired (no
+    /// core parked, no resume pending, no hook on the picked bank) or
+    /// because the run finished first.
+    pub skipped: usize,
+    /// Recoverable [`HookViolation`](crate::HookViolation)s surfaced by
+    /// reprogram probes against busy filters.
+    pub violations: usize,
+    /// Threads resumed by the injector (switch-outs and migrations that
+    /// ran to their scheduled resume).
+    pub resumed: usize,
+}
+
+/// Drive `m` to completion while applying `plan`.
+///
+/// The driver alternates [`Machine::run_until`] with fault application:
+/// it pauses at each event's cycle (or immediately, if the machine went
+/// quiescent because every unfinished thread is switched out), resolves
+/// the event's target among what is eligible *at that moment* using the
+/// plan's recorded `pick`, and keeps a deterministic pending-resume list
+/// for switched-out threads. Every decision is a pure function of
+/// `(machine state, plan)`, so a rerun from the same seed is
+/// bit-identical.
+///
+/// # Errors
+///
+/// Any [`SimError`] from the underlying run. Reprogram misfires are *not*
+/// errors — they are counted in [`FaultReport::violations`].
+pub fn run_with_faults(
+    m: &mut Machine,
+    plan: &FaultPlan,
+) -> Result<(RunSummary, FaultReport), SimError> {
+    let mut report = FaultReport::default();
+    let mut resumes: Vec<(u64, usize)> = Vec::new();
+    let mut idx = 0usize;
+    loop {
+        let next_fault = plan.events.get(idx).map(|e| e.at);
+        let next_resume = resumes.iter().map(|&(at, _)| at).min();
+        let Some(stop) = [next_fault, next_resume].into_iter().flatten().min() else {
+            let s = m.run()?;
+            return Ok((s, report));
+        };
+        // Always move the pause point forward so each iteration makes
+        // progress even when an event's nominal cycle is already past.
+        let stop = stop.max(m.now().saturating_add(1));
+        match m.run_until(stop)? {
+            RunState::Finished(s) => {
+                report.skipped += plan.events.len() - idx;
+                return Ok((s, report));
+            }
+            RunState::Paused => {}
+        }
+        // If the machine paused *before* `stop`, every unfinished thread
+        // is switched out and time cannot advance on its own: act now.
+        // Either way, everything scheduled up to `stop` is due.
+        resumes.sort_unstable();
+        while let Some(&(at, core)) = resumes.first() {
+            if at > stop {
+                break;
+            }
+            resumes.remove(0);
+            m.resume_thread(core)?;
+            report.resumed += 1;
+        }
+        while idx < plan.events.len() && plan.events[idx].at <= stop {
+            let ev = plan.events[idx];
+            idx += 1;
+            apply_fault(m, &ev, &mut resumes, &mut report)?;
+        }
+    }
+}
+
+fn apply_fault(
+    m: &mut Machine,
+    ev: &FaultEvent,
+    resumes: &mut Vec<(u64, usize)>,
+    report: &mut FaultReport,
+) -> Result<(), SimError> {
+    match ev.kind {
+        FaultKind::SwitchOut { delay } => {
+            let eligible = m.parked_cores();
+            if eligible.is_empty() {
+                report.skipped += 1;
+                return Ok(());
+            }
+            let core = eligible[(ev.pick % eligible.len() as u64) as usize];
+            let switched = m.context_switch_out(core);
+            debug_assert!(switched, "parked_cores() returned a non-parked core");
+            resumes.push((m.now().saturating_add(delay.max(1)), core));
+            report.injected += 1;
+        }
+        FaultKind::DelayResume { extra } => {
+            if resumes.is_empty() {
+                report.skipped += 1;
+                return Ok(());
+            }
+            resumes.sort_unstable();
+            let i = (ev.pick % resumes.len() as u64) as usize;
+            resumes[i].0 = resumes[i].0.saturating_add(extra);
+            report.injected += 1;
+        }
+        FaultKind::Migrate { delay } => {
+            let eligible = m.parked_cores();
+            match eligible.len() {
+                0 => report.skipped += 1,
+                1 => {
+                    // One parked thread cannot swap with anyone: degrade
+                    // to a plain switch-out so the plan still perturbs.
+                    let core = eligible[0];
+                    m.context_switch_out(core);
+                    resumes.push((m.now().saturating_add(delay.max(1)), core));
+                    report.injected += 1;
+                }
+                n => {
+                    let i = (ev.pick % n as u64) as usize;
+                    let step = 1 + (ev.pick / n as u64 % (n as u64 - 1)) as usize;
+                    let j = (i + step) % n;
+                    let (a, b) = (eligible[i], eligible[j]);
+                    m.context_switch_out(a);
+                    m.context_switch_out(b);
+                    m.migrate_thread(a, b)?;
+                    // §3.3.3: migration re-arms every filter through the
+                    // OS save/restore path. A filter still holding other
+                    // threads' parks refuses — recoverable, counted.
+                    for bank in 0..m.config().l2_banks {
+                        if let Some(Err(_)) = m.reprogram_bank(bank) {
+                            report.violations += 1;
+                        }
+                    }
+                    let t = m.now().saturating_add(delay.max(1));
+                    resumes.push((t, a));
+                    resumes.push((t + 1, b));
+                    report.injected += 1;
+                }
+            }
+        }
+        FaultKind::Reprogram => {
+            let bank = (ev.pick % m.config().l2_banks as u64) as usize;
+            match m.reprogram_bank(bank) {
+                None => report.skipped += 1,
+                Some(Ok(())) => report.injected += 1,
+                Some(Err(_)) => {
+                    report.injected += 1;
+                    report.violations += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic_and_spread() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).all(|w| w[0] != w[1]));
+        let mut c = Lcg::new(43);
+        assert_ne!(c.next_u64(), xs[0], "seeds must diverge");
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = Lcg::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn generate_is_pure_and_sorted() {
+        let p1 = FaultPlan::generate(0xfeed, 32, 100_000);
+        let p2 = FaultPlan::generate(0xfeed, 32, 100_000);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.events.len(), 32);
+        assert!(p1.events.windows(2).all(|w| w[0].at <= w[1].at));
+        let p3 = FaultPlan::generate(0xbeef, 32, 100_000);
+        assert_ne!(p1, p3, "different seeds give different plans");
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(!FaultPlan::generate(1, 4, 100).is_empty());
+    }
+}

@@ -134,6 +134,25 @@ pub trait BankHook {
     /// Called when the cycle returned by [`deadline`](BankHook::deadline)
     /// arrives.
     fn on_deadline(&mut self, _now: u64, _out: &mut HookOutcome) {}
+
+    /// Reprogram the hook through its OS save/restore path (§3.3.3: the
+    /// handler that re-arms filters after a thread migration). The default
+    /// is a no-op for hooks with no reprogrammable state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HookViolation`] when the hook cannot be reprogrammed in
+    /// its current state (e.g. the OS attempted a save while fills were
+    /// still parked) — recoverable misprogramming, not a panic.
+    fn reprogram(&mut self) -> Result<(), HookViolation> {
+        Ok(())
+    }
+
+    /// Number of fills the hook currently holds parked. Used by the fault
+    /// harness to assert filter tables are quiescent after a chaos run.
+    fn pending_parks(&self) -> usize {
+        0
+    }
 }
 
 #[cfg(test)]

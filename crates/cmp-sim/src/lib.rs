@@ -65,6 +65,7 @@ mod core;
 mod error;
 mod event_queue;
 mod fastmap;
+mod faults;
 mod hook;
 mod hwnet;
 mod layout;
@@ -80,6 +81,7 @@ pub use coherence::{DirEntry, Directory, DirectoryStats, ReadOutcome, WriteOutco
 pub use config::{BusConfig, CacheConfig, CoreTiming, HwBarrierConfig, SimConfig};
 pub use core::CoreStats;
 pub use error::SimError;
+pub use faults::{run_with_faults, FaultEvent, FaultKind, FaultPlan, FaultReport, Lcg};
 pub use hook::{
     BankHook, FillDecision, HookOutcome, HookViolation, ParkToken, FILL_ERROR_SENTINEL,
 };
@@ -87,7 +89,7 @@ pub use hwnet::{DedicatedNetwork, HwBarResult, HwNetStats};
 pub use layout::{AddressSpace, LayoutError, BARRIER_BASE, BARRIER_END, DATA_BASE};
 pub use machine::{Machine, RunState};
 pub use mem::Memory;
-pub use stats::{MachineStats, RunSummary};
+pub use stats::{MachineStats, Measurement, RunSummary};
 pub use trace::{
     json_escape, ChromeTraceSink, EpisodeStats, MetricsSink, NullSink, RingSink, TraceConfig,
     TraceEvent, TraceMetrics, TraceSink,

@@ -35,7 +35,9 @@ use crate::core::{Continuation, Core, Waiting};
 use crate::error::SimError;
 use crate::event_queue::CalendarQueue;
 use crate::fastmap::FxHashMap;
-use crate::hook::{BankHook, FillDecision, HookOutcome, ParkToken, FILL_ERROR_SENTINEL};
+use crate::hook::{
+    BankHook, FillDecision, HookOutcome, HookViolation, ParkToken, FILL_ERROR_SENTINEL,
+};
 use crate::hwnet::{DedicatedNetwork, HwBarResult};
 use crate::mem::Memory;
 use crate::stats::{MachineStats, RunSummary};
@@ -329,14 +331,32 @@ impl Machine {
                 return Ok(RunState::Finished(self.summary()));
             }
             let Some(head_cycle) = self.events.next_cycle() else {
-                // A machine whose only unfinished threads were context-
-                // switched out is quiescent, not deadlocked: it waits for
-                // the OS (the caller) to resume them.
-                if self
+                // With no events pending, a machine is quiescent — not
+                // deadlocked — if only the OS (the caller) can make
+                // progress: every unfinished thread is context-switched
+                // out, or parked behind a bank hook waiting on a barrier
+                // that a switched-out thread still has to arrive at.
+                // Without a switched-out thread to resume, parked-only is
+                // a true deadlock (nothing can ever release the fills).
+                let any_switched_out = self
                     .cores
                     .iter()
-                    .all(|c| c.halted || matches!(c.waiting, Waiting::SwitchedOut { .. }))
-                {
+                    .any(|c| matches!(c.waiting, Waiting::SwitchedOut { .. }));
+                let os_resumable = self.cores.iter().all(|c| {
+                    c.halted
+                        || matches!(
+                            c.waiting,
+                            Waiting::SwitchedOut { .. } | Waiting::Fill { parked: true, .. }
+                        )
+                });
+                if any_switched_out && os_resumable {
+                    // The machine idles until the OS's next intervention:
+                    // advance the clock to the requested pause point so a
+                    // resume scheduled for cycle T happens at cycle T,
+                    // not at whatever cycle the machine went quiescent.
+                    if pause_at != u64::MAX {
+                        self.now = self.now.max(pause_at);
+                    }
                     return Ok(RunState::Paused);
                 }
                 return Err(self.deadlock());
@@ -507,11 +527,13 @@ impl Machine {
         }
     }
 
-    /// Events retained by the configured sink, oldest first (empty unless
-    /// [`SimConfig::trace`] selects a storing sink such as
-    /// [`TraceConfig::Ring`](crate::TraceConfig::Ring)).
-    pub fn trace_events(&self) -> Vec<TraceEvent> {
-        self.sink.snapshot().into_iter().map(|(_, ev)| ev).collect()
+    /// Events retained by the configured sink as `(cycle, event)` pairs,
+    /// oldest first (empty unless [`SimConfig::trace`] selects a storing
+    /// sink such as [`TraceConfig::Ring`](crate::TraceConfig::Ring)).
+    /// Borrows the sink's storage — the old `trace_events()` cloned the
+    /// whole buffer per call.
+    pub fn trace_snapshot(&mut self) -> &[(u64, TraceEvent)] {
+        self.sink.snapshot()
     }
 
     /// Event-count metrics from the configured sink (present for
@@ -553,6 +575,7 @@ impl Machine {
         if let Some(hook) = self.hooks[bank].as_mut() {
             hook.on_cancel(token);
         }
+        self.tracker.note_cancel();
         self.cores[core].mshr_used -= 1;
         self.cores[core].waiting = Waiting::SwitchedOut { cont, line };
         true
@@ -565,14 +588,12 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Propagates any [`SimError`] from the re-issued access.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the core was not switched out.
+    /// [`SimError::NotSwitchedOut`] if the core is not switched out
+    /// (recoverable — fault injectors probe cores without panicking), and
+    /// any [`SimError`] from the re-issued access.
     pub fn resume_thread(&mut self, core: usize) -> Result<(), SimError> {
         let Waiting::SwitchedOut { cont, line } = self.cores[core].waiting else {
-            panic!("core {core} is not switched out");
+            return Err(SimError::NotSwitchedOut { core });
         };
         let kind = match cont {
             Continuation::IFetch => AccessKind::IFetch,
@@ -580,12 +601,93 @@ impl Machine {
         };
         let now = self.now;
         let access = self.miss_path(core, line, kind, now, FillPurpose::Resume)?;
-        self.cores[core].waiting = Waiting::Fill {
-            line,
-            cont,
-            parked: matches!(access, Access::Parked),
-        };
+        let parked = matches!(access, Access::Parked);
+        if parked {
+            self.tracker.note_repark();
+        } else {
+            self.tracker.note_resume_after_release();
+        }
+        self.cores[core].waiting = Waiting::Fill { line, cont, parked };
         Ok(())
+    }
+
+    /// Cores currently parked at a bank hook — the §3.3.3 fault surface:
+    /// these are the threads a context switch or migration can disturb.
+    /// A core whose release is already in flight (the hook let it go but
+    /// the response has not yet delivered) is no longer cancelable and is
+    /// not listed — [`context_switch_out`](Machine::context_switch_out) is
+    /// guaranteed to succeed for every returned core.
+    pub fn parked_cores(&self) -> Vec<usize> {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter(|&(i, c)| {
+                matches!(c.waiting, Waiting::Fill { parked: true, .. })
+                    && self.parked.iter().any(|(_, p)| p.core == i)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Cores currently context-switched out (awaiting
+    /// [`resume_thread`](Machine::resume_thread)).
+    pub fn switched_out_cores(&self) -> Vec<usize> {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c.waiting, Waiting::SwitchedOut { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Model the OS migrating two switched-out threads across cores
+    /// (§3.3.3): their architectural state — registers, program counter and
+    /// the blocked arrival access — swaps between the physical cores, so
+    /// each thread re-arrives at the barrier from the other core when
+    /// resumed. LL/SC reservations and fetch windows do not survive a
+    /// migration; in-flight posted stores stay with the physical core (the
+    /// store buffer is a timing structure whose architectural effect has
+    /// already happened).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotSwitchedOut`] if either core is not switched out.
+    pub fn migrate_thread(&mut self, a: usize, b: usize) -> Result<(), SimError> {
+        for core in [a, b] {
+            if !matches!(self.cores[core].waiting, Waiting::SwitchedOut { .. }) {
+                return Err(SimError::NotSwitchedOut { core });
+            }
+        }
+        if a == b {
+            return Ok(());
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (left, right) = self.cores.split_at_mut(hi);
+        let (ca, cb) = (&mut left[lo], &mut right[0]);
+        std::mem::swap(&mut ca.regs, &mut cb.regs);
+        std::mem::swap(&mut ca.fregs, &mut cb.fregs);
+        std::mem::swap(&mut ca.pc, &mut cb.pc);
+        std::mem::swap(&mut ca.waiting, &mut cb.waiting);
+        for c in [a, b] {
+            self.cores[c].link = None;
+            self.cores[c].clear_ifetch_window();
+        }
+        Ok(())
+    }
+
+    /// Run bank `bank`'s hook through its OS reprogram path (§3.3.3 filter
+    /// re-arm). Returns `None` if the bank has no hook; `Some(Err(_))` is
+    /// the recoverable misprogramming case — the OS attempted a
+    /// save/restore while the filter held parked fills.
+    pub fn reprogram_bank(&mut self, bank: usize) -> Option<Result<(), HookViolation>> {
+        self.hooks[bank].as_mut().map(|h| h.reprogram())
+    }
+
+    /// Whether every bank hook is quiescent: no fill parked in the engine
+    /// and no park pending inside any hook. Chaos runs assert this after
+    /// completion — a fault must never strand state in a filter table.
+    pub fn hooks_quiescent(&self) -> bool {
+        self.parked.is_empty() && self.hooks.iter().flatten().all(|h| h.pending_parks() == 0)
     }
 
     // ------------------------------------------------------------------

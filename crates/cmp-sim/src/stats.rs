@@ -27,6 +27,49 @@ impl RunSummary {
     }
 }
 
+/// The simulated-outcome record shared by every measurement layer in the
+/// workspace: kernel harness outcomes, barrier-latency points and
+/// throughput samples all embed one `Measurement`, so "what the simulation
+/// did" has a single shape everywhere.
+///
+/// The digest is the determinism fingerprint
+/// ([`MachineStats::digest`]); `episodes` carries the per-barrier-episode
+/// decomposition including the §3.3.3 recovery counters (cancellations,
+/// re-parks, resumes after release).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Measurement {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Total simulated instructions retired.
+    pub instructions: u64,
+    /// [`MachineStats::digest`] fingerprint of the run.
+    pub stats_digest: u64,
+    /// Per-barrier-episode metrics of the run.
+    pub episodes: EpisodeStats,
+}
+
+impl Measurement {
+    /// Snapshot a finished run: the summary's totals plus the stats digest
+    /// and episode decomposition.
+    pub fn new(summary: &RunSummary, stats: &MachineStats) -> Measurement {
+        Measurement {
+            cycles: summary.cycles,
+            instructions: summary.instructions,
+            stats_digest: stats.digest(),
+            episodes: stats.episodes,
+        }
+    }
+
+    /// Aggregate instructions-per-cycle of the run.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
 /// Point-in-time snapshot of every counter in the machine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineStats {

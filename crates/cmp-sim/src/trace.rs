@@ -188,10 +188,12 @@ pub trait TraceSink {
     /// Consume one event recorded at `cycle`.
     fn record(&mut self, cycle: u64, ev: &TraceEvent);
 
-    /// The retained events, oldest first, for sinks that store any
-    /// (the default stores none).
-    fn snapshot(&self) -> Vec<(u64, TraceEvent)> {
-        Vec::new()
+    /// The retained events, oldest first, for sinks that store any (the
+    /// default stores none). Borrows instead of cloning: inspecting a
+    /// long traced run costs nothing. Takes `&mut self` so ring-buffer
+    /// sinks may linearize their storage in place.
+    fn snapshot(&mut self) -> &[(u64, TraceEvent)] {
+        &[]
     }
 
     /// The event-count metrics, for sinks that keep them.
@@ -256,8 +258,8 @@ impl TraceSink for RingSink {
         self.buf.push_back((cycle, *ev));
     }
 
-    fn snapshot(&self) -> Vec<(u64, TraceEvent)> {
-        self.buf.iter().copied().collect()
+    fn snapshot(&mut self) -> &[(u64, TraceEvent)] {
+        self.buf.make_contiguous()
     }
 }
 
@@ -560,6 +562,18 @@ pub struct EpisodeStats {
     pub release_fanout_total: u64,
     /// Largest single-episode release fan-out.
     pub release_fanout_max: u64,
+    /// Parked fills cancelled by a context-switch-out (§3.3.3 recovery).
+    /// Invariant for timeout-free filter runs: `parks == releases +
+    /// cancellations` (the dedicated network counts releases with no
+    /// parks, so whole-machine stats only satisfy it when every release
+    /// came from a filter).
+    pub cancellations: u64,
+    /// Resumed threads whose re-issued arrival fill parked again (the
+    /// barrier was still closed when the thread was switched back in).
+    pub reparks: u64,
+    /// Resumed threads whose re-issued arrival fill was serviced
+    /// immediately (the barrier released while they were switched out).
+    pub resumes_after_release: u64,
 }
 
 impl EpisodeStats {
@@ -576,6 +590,9 @@ impl EpisodeStats {
         self.arrival_spread_max = self.arrival_spread_max.max(other.arrival_spread_max);
         self.release_fanout_total += other.release_fanout_total;
         self.release_fanout_max = self.release_fanout_max.max(other.release_fanout_max);
+        self.cancellations += other.cancellations;
+        self.reparks += other.reparks;
+        self.resumes_after_release += other.resumes_after_release;
     }
 
     /// Mean arrival spread per episode (first arrival to the releasing
@@ -655,6 +672,22 @@ impl EpisodeTracker {
     /// A hook serviced a fill directly (no park).
     pub(crate) fn note_serviced(&mut self) {
         self.agg.serviced += 1;
+    }
+
+    /// A parked fill was cancelled by a context-switch-out (§3.3.3).
+    pub(crate) fn note_cancel(&mut self) {
+        self.agg.cancellations += 1;
+    }
+
+    /// A resumed thread's re-issued arrival fill parked again.
+    pub(crate) fn note_repark(&mut self) {
+        self.agg.reparks += 1;
+    }
+
+    /// A resumed thread's re-issued arrival fill was serviced immediately
+    /// because its barrier had released while it was switched out.
+    pub(crate) fn note_resume_after_release(&mut self) {
+        self.agg.resumes_after_release += 1;
     }
 
     /// A hook burst released and/or errored parked fills at cycle `closed`,

@@ -311,9 +311,9 @@ fn icbi_invalidates_instruction_cache_everywhere() {
         stats.l1i[0].misses
     );
     assert!(m
-        .trace_events()
+        .trace_snapshot()
         .iter()
-        .any(|e| matches!(e, TraceEvent::Invalidate { icache: true, .. })));
+        .any(|(_, e)| matches!(e, TraceEvent::Invalidate { icache: true, .. })));
 }
 
 #[test]
@@ -598,13 +598,13 @@ fn parked_fill_starves_until_release_invalidate() {
     // (400 iterations at >= 1 cycle each)
     assert!(summary.cycles > 400, "cycles = {}", summary.cycles);
     assert!(m
-        .trace_events()
+        .trace_snapshot()
         .iter()
-        .any(|e| matches!(e, TraceEvent::Parked { core: 0, .. })));
+        .any(|(_, e)| matches!(e, TraceEvent::Parked { core: 0, .. })));
     assert!(m
-        .trace_events()
+        .trace_snapshot()
         .iter()
-        .any(|e| matches!(e, TraceEvent::Released { core: 0, .. })));
+        .any(|(_, e)| matches!(e, TraceEvent::Released { core: 0, .. })));
     assert_eq!(m.stats().fills_parked(), 1);
 }
 

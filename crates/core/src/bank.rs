@@ -122,6 +122,25 @@ impl BankHook for FilterBank {
             self.owners.remove(token);
         }
     }
+
+    /// §3.3.3 OS re-arm after a migration: save and restore every table
+    /// through the swap path. A round trip is state-preserving, so a
+    /// successful reprogram is observable only through this path's own
+    /// refusal case — a table still holding parked fills, the §3.3.4
+    /// misprogramming the fault harness counts as a recoverable violation.
+    fn reprogram(&mut self) -> Result<(), HookViolation> {
+        for (i, table) in self.tables.iter_mut().enumerate() {
+            let saved = table
+                .try_swap_out()
+                .map_err(|v| HookViolation::new(format!("filter table {i}: {v}")))?;
+            table.swap_in(saved);
+        }
+        Ok(())
+    }
+
+    fn pending_parks(&self) -> usize {
+        self.owners.len()
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! bits index the thread within the table and a single tag identifies the
 //! whole range (§3.2): thread `t`'s arrival line is `arrival_tag + 64 * t`.
 
-use cmp_sim::ParkToken;
+use cmp_sim::{HookViolation, ParkToken};
 use sim_isa::LINE_BYTES;
 
 use crate::fsm::{self, FsmAction, FsmEvent, FsmViolation, ThreadState};
@@ -344,12 +344,30 @@ impl FilterTable {
     ///
     /// Panics if any fill is currently parked: the OS must not swap out a
     /// barrier whose threads are blocked in the hardware (it context
-    /// switches them out first, which cancels their fills).
+    /// switches them out first, which cancels their fills). Fault
+    /// injectors that must survive misprogramming use
+    /// [`try_swap_out`](FilterTable::try_swap_out) instead.
     pub fn swap_out(&mut self) -> SavedFilter {
-        assert!(
-            self.entries.iter().all(|e| e.pending.is_none()),
-            "cannot swap out a filter with parked fills"
-        );
+        match self.try_swap_out() {
+            Ok(saved) => saved,
+            Err(_) => panic!("cannot swap out a filter with parked fills"),
+        }
+    }
+
+    /// Fallible [`swap_out`](FilterTable::swap_out): the §3.3.4
+    /// misprogramming case (an OS save while fills are parked) surfaces as
+    /// a recoverable [`HookViolation`] with the table unchanged, instead
+    /// of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`HookViolation`] if any fill is currently parked.
+    pub fn try_swap_out(&mut self) -> Result<SavedFilter, HookViolation> {
+        if self.entries.iter().any(|e| e.pending.is_some()) {
+            return Err(HookViolation::new(
+                "cannot swap out a filter with parked fills",
+            ));
+        }
         let saved = SavedFilter {
             config: self.config.clone(),
             entries: self.entries.clone(),
@@ -357,7 +375,7 @@ impl FilterTable {
             last_valid: self.last_valid,
         };
         *self = FilterTable::new_unregistered(self.config.clone());
-        saved
+        Ok(saved)
     }
 
     /// Restore previously swapped-out contents.

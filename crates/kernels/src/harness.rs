@@ -1,7 +1,10 @@
 //! Shared plumbing for building and timing kernel runs.
 
 use barrier_filter::{Barrier, BarrierMechanism, BarrierSystem};
-use cmp_sim::{AddressSpace, EpisodeStats, Machine, MachineBuilder, SimConfig, TraceConfig};
+use cmp_sim::{
+    run_with_faults, AddressSpace, FaultPlan, FaultReport, Machine, MachineBuilder, Measurement,
+    SimConfig, TraceConfig,
+};
 use sim_isa::{Asm, Reg};
 
 use crate::KernelError;
@@ -12,22 +15,15 @@ use crate::KernelError;
 /// steady-state cost must dominate cold misses).
 pub const REPS: u64 = 24;
 
-/// Result of one validated kernel run.
+/// Result of one validated kernel run: the shared [`Measurement`] record
+/// (cycles, instructions, digest, episode metrics) plus the kernel-level
+/// per-repetition figure.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelOutcome {
-    /// Total simulated cycles of the whole run.
-    pub cycles: u64,
+    /// The simulated-run record shared with every other measurement layer.
+    pub sim: Measurement,
     /// Cycles per kernel repetition.
     pub cycles_per_rep: f64,
-    /// Instructions retired across all cores.
-    pub instructions: u64,
-    /// [`MachineStats::digest`](cmp_sim::MachineStats::digest) of the
-    /// finished machine — the bit-identical-behaviour fingerprint every
-    /// kernel workload now carries (previously dropped, which left
-    /// `stats_digest: null` holes in the throughput benchmark).
-    pub stats_digest: u64,
-    /// Per-barrier-episode metrics of the run.
-    pub episodes: EpisodeStats,
 }
 
 /// Everything a kernel needs while emitting itself.
@@ -118,12 +114,38 @@ pub(crate) fn run_reps(machine: &mut Machine, reps: u64) -> Result<KernelOutcome
     let summary = machine.run()?;
     let stats = machine.stats();
     Ok(KernelOutcome {
-        cycles: summary.cycles,
+        sim: Measurement::new(&summary, &stats),
         cycles_per_rep: summary.cycles as f64 / reps as f64,
-        instructions: summary.instructions,
-        stats_digest: stats.digest(),
-        episodes: stats.episodes,
     })
+}
+
+/// Like [`run_reps`], but drive the machine through a [`FaultPlan`] and
+/// require the filter hooks to be quiescent afterwards — the chaos
+/// harness's graceful-degradation contract (§3.3.3).
+///
+/// # Errors
+///
+/// Propagates simulator errors; [`KernelError::Validation`] if any filter
+/// table still holds parked state after the run.
+pub(crate) fn run_reps_faulted(
+    machine: &mut Machine,
+    reps: u64,
+    plan: &FaultPlan,
+) -> Result<(KernelOutcome, FaultReport), KernelError> {
+    let (summary, report) = run_with_faults(machine, plan)?;
+    if !machine.hooks_quiescent() {
+        return Err(KernelError::Validation(
+            "filter tables not quiescent after a faulted run".into(),
+        ));
+    }
+    let stats = machine.stats();
+    Ok((
+        KernelOutcome {
+            sim: Measurement::new(&summary, &stats),
+            cycles_per_rep: summary.cycles as f64 / reps as f64,
+        },
+        report,
+    ))
 }
 
 /// Emit the standard repetition wrapper: `s5` counts down `reps`

@@ -22,9 +22,12 @@
 //! kernel has the latest crossover of the three (vector length 256).
 
 use barrier_filter::{Barrier, BarrierMechanism};
+use cmp_sim::{FaultPlan, FaultReport};
 use sim_isa::{Asm, FReg, Reg};
 
-use crate::harness::{check_f64, emit_rep_loop, run_reps, KernelBuild, KernelOutcome, REPS};
+use crate::harness::{
+    check_f64, emit_rep_loop, run_reps, run_reps_faulted, KernelBuild, KernelOutcome, REPS,
+};
 use crate::{input, KernelError};
 
 /// Livermore Loop 2 at vector length `n` (must be a power of two ≥ 4).
@@ -172,6 +175,25 @@ impl Loop2 {
         threads: usize,
         mechanism: BarrierMechanism,
     ) -> Result<KernelOutcome, KernelError> {
+        Ok(self
+            .run_parallel_faulted(threads, mechanism, &FaultPlan::none())?
+            .0)
+    }
+
+    /// [`run_parallel`](Loop2::run_parallel) driven through a seeded
+    /// [`FaultPlan`]: the output is still validated against the host
+    /// reference and the filter tables must end quiescent (§3.3.3).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_parallel`](Loop2::run_parallel), plus
+    /// [`KernelError::Validation`] if the filters are not quiescent.
+    pub fn run_parallel_faulted(
+        &self,
+        threads: usize,
+        mechanism: BarrierMechanism,
+        plan: &FaultPlan,
+    ) -> Result<(KernelOutcome, FaultReport), KernelError> {
         let (mut b, barrier) = KernelBuild::parallel(threads, mechanism)?;
         let x = b.space.alloc_f64(self.total() as u64)?;
         let v = b.space.alloc_f64(self.total() as u64)?;
@@ -181,7 +203,7 @@ impl Loop2 {
             mb.write_f64_slice(x, &xs);
             mb.write_f64_slice(v, &vs);
         })?;
-        let outcome = run_reps(&mut m, REPS)?;
+        let outcome = run_reps_faulted(&mut m, REPS, plan)?;
         check_f64(
             "x",
             &m.read_f64_slice(x, self.total()),

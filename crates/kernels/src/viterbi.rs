@@ -15,10 +15,12 @@
 //! seeded random bitstream transmitted over a noisy soft channel.
 
 use barrier_filter::{Barrier, BarrierMechanism};
-use cmp_sim::TraceConfig;
+use cmp_sim::{FaultPlan, FaultReport, TraceConfig};
 use sim_isa::{Asm, MemWidth, Reg};
 
-use crate::harness::{check_u64, emit_rep_loop, run_reps, KernelBuild, KernelOutcome, REPS};
+use crate::harness::{
+    check_u64, emit_rep_loop, run_reps_faulted, KernelBuild, KernelOutcome, REPS,
+};
 use crate::{input, KernelError};
 
 const BIG: i64 = 1 << 20;
@@ -172,7 +174,7 @@ impl Viterbi {
     ///
     /// Simulation or validation failures.
     pub fn run_sequential(&self) -> Result<KernelOutcome, KernelError> {
-        self.run(None, TraceConfig::Off)
+        Ok(self.run(None, TraceConfig::Off, &FaultPlan::none())?.0)
     }
 
     /// Run the parallel version (states partitioned across threads, one
@@ -186,7 +188,32 @@ impl Viterbi {
         threads: usize,
         mechanism: BarrierMechanism,
     ) -> Result<KernelOutcome, KernelError> {
-        self.run(Some((threads, mechanism)), TraceConfig::Off)
+        Ok(self
+            .run(
+                Some((threads, mechanism)),
+                TraceConfig::Off,
+                &FaultPlan::none(),
+            )?
+            .0)
+    }
+
+    /// [`run_parallel`](Viterbi::run_parallel) driven through a seeded
+    /// [`FaultPlan`] (context switches, delayed resumes, migrations,
+    /// reprogram probes). The decoded output is still validated against
+    /// the host decoder and the filter tables must end quiescent — the
+    /// §3.3.3 graceful-degradation contract.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_parallel`](Viterbi::run_parallel), plus
+    /// [`KernelError::Validation`] if the filters are not quiescent.
+    pub fn run_parallel_faulted(
+        &self,
+        threads: usize,
+        mechanism: BarrierMechanism,
+        plan: &FaultPlan,
+    ) -> Result<(KernelOutcome, FaultReport), KernelError> {
+        self.run(Some((threads, mechanism)), TraceConfig::Off, plan)
     }
 
     /// [`run_parallel`](Viterbi::run_parallel) with trace events streamed
@@ -203,14 +230,17 @@ impl Viterbi {
         mechanism: BarrierMechanism,
         trace: TraceConfig,
     ) -> Result<KernelOutcome, KernelError> {
-        self.run(Some((threads, mechanism)), trace)
+        Ok(self
+            .run(Some((threads, mechanism)), trace, &FaultPlan::none())?
+            .0)
     }
 
     fn run(
         &self,
         parallel: Option<(usize, BarrierMechanism)>,
         trace: TraceConfig,
-    ) -> Result<KernelOutcome, KernelError> {
+        faults: &FaultPlan,
+    ) -> Result<(KernelOutcome, FaultReport), KernelError> {
         let s_count = self.states();
         let t_count = self.stages();
         let (mut b, barrier) = match parallel {
@@ -260,7 +290,7 @@ impl Viterbi {
             mb.write_u64_slice(recv0, &r0);
             mb.write_u64_slice(recv1, &r1);
         })?;
-        let outcome = run_reps(&mut m, REPS)?;
+        let outcome = run_reps_faulted(&mut m, REPS, faults)?;
         check_u64(
             "decoded",
             &m.read_u64_slice(out, t_count),

@@ -34,4 +34,13 @@ echo "==> throughput digest smoke (--jobs 2, committed digests)"
 cargo run --release --offline -p bench-suite --bin throughput -q -- \
     --check --jobs 2 --out "$(mktemp -t fastbar_check_throughput.XXXXXX.json)"
 
+echo "==> chaos recovery smoke (fixed seed, quick grid)"
+# Quick fault-injection sweep at a pinned seed: every point must produce
+# validated kernel output, quiescent filter tables and a bit-identical
+# replay (the sweep itself runs each faulted point twice and asserts it),
+# so a barrier-recovery regression fails here before it lands.
+cargo run --release --offline -p bench-suite --bin chaos -q -- \
+    --quick --jobs 2 --seed 0x5eedba441e4a0001 \
+    --out "$(mktemp -t fastbar_check_chaos.XXXXXX.json)"
+
 echo "==> all checks passed"

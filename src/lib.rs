@@ -21,9 +21,15 @@ pub use cmp_sim;
 pub use kernels;
 pub use sim_isa;
 
-/// Commonly needed items in one import.
+/// Commonly needed items in one import: machine construction, the barrier
+/// mechanisms, the shared [`Measurement`](cmp_sim::Measurement) record
+/// every benchmark layer reports, and the fault-injection surface.
 pub mod prelude {
     pub use barrier_filter::{BarrierMechanism, BarrierSystem};
-    pub use cmp_sim::{Machine, MachineBuilder, SimConfig};
+    pub use cmp_sim::{
+        run_with_faults, FaultKind, FaultPlan, FaultReport, Machine, MachineBuilder, Measurement,
+        SimConfig, SimError,
+    };
+    pub use kernels::{KernelError, KernelOutcome};
     pub use sim_isa::{Asm, FReg, Instr, MemWidth, Program, Reg};
 }

@@ -197,6 +197,7 @@ fn whole_stack_is_deterministic() {
         let k = Loop6::new(24);
         k.run_parallel(4, BarrierMechanism::FilterDPingPong)
             .unwrap()
+            .sim
             .cycles
     };
     assert_eq!(run(), run());
@@ -209,7 +210,7 @@ fn sixty_four_core_machine_runs_a_kernel() {
     let out = k
         .run_parallel(64, BarrierMechanism::FilterIPingPong)
         .unwrap();
-    assert!(out.cycles > 0);
+    assert!(out.sim.cycles > 0);
 }
 
 #[test]
