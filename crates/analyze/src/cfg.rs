@@ -1,0 +1,290 @@
+//! Control-flow graph over a MiniRISC program image.
+//!
+//! The graph is built at instruction granularity (every program has at
+//! most a few thousand instructions) with basic blocks layered on top for
+//! reporting. Structural defects found while building — branches to
+//! addresses outside the image, paths that can run off the end — come
+//! back as diagnostics alongside the graph.
+//!
+//! Call treatment is the standard intraprocedural compromise:
+//!
+//! * `jal zero, t` is a plain jump: one successor, `t`.
+//! * `jal rd, t` (rd ≠ zero) is a call: successors `t` *and* the return
+//!   point `pc + 4` (the callee is assumed to return).
+//! * `jalr zero, …` is an indirect jump or return: no static successors.
+//! * `jalr rd, …` (rd ≠ zero) is an indirect call: successor `pc + 4`.
+
+use sim_isa::{Instr, Program, CODE_BASE, INSTR_BYTES};
+
+use crate::diag::{rules, Diagnostic, Severity};
+
+/// A basic block: a maximal straight-line run of instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the index of the last instruction.
+    pub end: usize,
+}
+
+/// Instruction-granularity control-flow graph with basic-block structure.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor instruction indices, per instruction.
+    succs: Vec<Vec<usize>>,
+    /// Basic blocks in layout order.
+    blocks: Vec<Block>,
+}
+
+/// Convert an instruction index to its program counter.
+pub fn pc_of(idx: usize) -> u64 {
+    CODE_BASE + idx as u64 * INSTR_BYTES
+}
+
+/// Convert a program counter to an instruction index, if it is a valid
+/// instruction address for an image of `len` instructions.
+pub fn idx_of(pc: u64, len: usize) -> Option<usize> {
+    if pc < CODE_BASE || !(pc - CODE_BASE).is_multiple_of(INSTR_BYTES) {
+        return None;
+    }
+    let idx = ((pc - CODE_BASE) / INSTR_BYTES) as usize;
+    (idx < len).then_some(idx)
+}
+
+impl Cfg {
+    /// Build the graph for `program`, reporting structural defects
+    /// ([`rules::CFG_TARGET`], [`rules::CFG_FALLOFF`]) into `diags`.
+    pub fn build(program: &Program, diags: &mut Vec<Diagnostic>) -> Cfg {
+        let n = program.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (name, pc) in program.symbols() {
+            if let Some(i) = idx_of(pc, n) {
+                leader[i] = true;
+            } else if pc != program.code_end() {
+                diags.push(Diagnostic::global(
+                    Severity::Warning,
+                    rules::CFG_TARGET,
+                    format!("symbol `{name}` resolves to {pc:#x}, outside the image"),
+                ));
+            }
+        }
+        for idx in 0..n {
+            let instr = program.fetch(pc_of(idx)).expect("idx in range");
+            let (takes_target, falls_through) = match instr {
+                Instr::Beq(..)
+                | Instr::Bne(..)
+                | Instr::Blt(..)
+                | Instr::Bge(..)
+                | Instr::Bltu(..)
+                | Instr::Bgeu(..) => (true, true),
+                Instr::Jal(rd, _) => (true, !rd.is_zero()),
+                // Indirect: a return (`jalr zero`) terminates the path;
+                // an indirect call is assumed to come back.
+                Instr::Jalr(rd, ..) => (false, !rd.is_zero()),
+                Instr::Halt => (false, false),
+                _ => (false, true),
+            };
+            if takes_target {
+                let target = instr
+                    .branch_target()
+                    .expect("direct transfers have targets");
+                if let Some(t) = idx_of(target, n) {
+                    succs[idx].push(t);
+                    leader[t] = true;
+                } else {
+                    diags.push(Diagnostic::at(
+                        Severity::Error,
+                        pc_of(idx),
+                        rules::CFG_TARGET,
+                        format!("control transfer to {target:#x}, outside the code image"),
+                    ));
+                }
+            }
+            if falls_through {
+                if idx + 1 < n {
+                    succs[idx].push(idx + 1);
+                } else {
+                    diags.push(Diagnostic::at(
+                        Severity::Error,
+                        pc_of(idx),
+                        rules::CFG_FALLOFF,
+                        "execution can fall off the end of the code image",
+                    ));
+                }
+            }
+            if instr.is_control() && idx + 1 < n {
+                leader[idx + 1] = true;
+            }
+        }
+        let mut blocks = Vec::new();
+        let mut start = 0;
+        for (idx, &lead) in leader.iter().enumerate().skip(1) {
+            if lead {
+                blocks.push(Block { start, end: idx });
+                start = idx;
+            }
+        }
+        if n > 0 {
+            blocks.push(Block { start, end: n });
+        }
+        Cfg { succs, blocks }
+    }
+
+    /// Number of instructions in the graph.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Successor instruction indices of `idx`.
+    pub fn succs(&self, idx: usize) -> &[usize] {
+        &self.succs[idx]
+    }
+
+    /// Basic blocks in layout order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Every instruction reachable from `roots` (instruction indices),
+    /// as a membership mask.
+    pub fn reachable_from(&self, roots: impl IntoIterator<Item = usize>) -> Vec<bool> {
+        let mut seen = vec![false; self.succs.len()];
+        let mut stack: Vec<usize> = roots.into_iter().filter(|&r| r < seen.len()).collect();
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut seen[i], true) {
+                continue;
+            }
+            stack.extend(self.succs[i].iter().copied());
+        }
+        seen
+    }
+
+    /// Like [`reachable_from`](Cfg::reachable_from), but paths may not
+    /// pass *through* any instruction in `barrier`: a barrier node is
+    /// marked reached when hit, but its successors are never followed.
+    /// This answers "can X reach Y while avoiding every Z" — the shape of
+    /// every protocol all-paths check.
+    pub fn reachable_avoiding(
+        &self,
+        roots: impl IntoIterator<Item = usize>,
+        barrier: &[usize],
+    ) -> Vec<bool> {
+        let mut blocked = vec![false; self.succs.len()];
+        for &b in barrier {
+            if b < blocked.len() {
+                blocked[b] = true;
+            }
+        }
+        let mut seen = vec![false; self.succs.len()];
+        let mut stack: Vec<usize> = roots.into_iter().filter(|&r| r < seen.len()).collect();
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut seen[i], true) {
+                continue;
+            }
+            if blocked[i] {
+                continue;
+            }
+            stack.extend(self.succs[i].iter().copied());
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::{Asm, Reg};
+
+    fn program(build: impl FnOnce(&mut Asm)) -> Program {
+        let mut a = Asm::new();
+        build(&mut a);
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn straight_line_with_halt_is_one_block() {
+        let p = program(|a| {
+            a.li(Reg::T0, 1);
+            a.addi(Reg::T0, Reg::T0, 1);
+            a.halt();
+        });
+        let mut diags = Vec::new();
+        let cfg = Cfg::build(&p, &mut diags);
+        assert!(diags.is_empty());
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.succs(2), &[] as &[usize]);
+    }
+
+    #[test]
+    fn branch_splits_blocks_and_adds_both_edges() {
+        let p = program(|a| {
+            a.label("top").unwrap();
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bne(Reg::T0, Reg::ZERO, "top");
+            a.halt();
+        });
+        let mut diags = Vec::new();
+        let cfg = Cfg::build(&p, &mut diags);
+        assert!(diags.is_empty());
+        assert_eq!(cfg.succs(1), &[0, 2]);
+        assert_eq!(cfg.blocks().len(), 2);
+    }
+
+    #[test]
+    fn fall_off_end_is_an_error() {
+        let p = program(|a| {
+            a.li(Reg::T0, 1);
+        });
+        let mut diags = Vec::new();
+        Cfg::build(&p, &mut diags);
+        assert!(diags.iter().any(|d| d.rule == rules::CFG_FALLOFF));
+    }
+
+    #[test]
+    fn bad_branch_target_is_an_error() {
+        let p = program(|a| {
+            a.beq(Reg::T0, Reg::ZERO, 0xdead_0000u64);
+            a.halt();
+        });
+        let mut diags = Vec::new();
+        let cfg = Cfg::build(&p, &mut diags);
+        let d = diags
+            .iter()
+            .find(|d| d.rule == rules::CFG_TARGET)
+            .expect("target diagnostic");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.pc, Some(CODE_BASE));
+        // no edge to the bogus target; fallthrough edge remains
+        assert_eq!(cfg.succs(0), &[1]);
+    }
+
+    #[test]
+    fn reachability_and_avoidance() {
+        let p = program(|a| {
+            a.label("entry").unwrap();
+            a.beq(Reg::T0, Reg::ZERO, "skip"); // 0
+            a.li(Reg::T1, 1); // 1 (the "barrier" node)
+            a.label("skip").unwrap();
+            a.halt(); // 2
+        });
+        let mut diags = Vec::new();
+        let cfg = Cfg::build(&p, &mut diags);
+        let r = cfg.reachable_from([0]);
+        assert!(r.iter().all(|&x| x));
+        // avoiding node 1, node 2 is still reachable via the branch edge
+        let r = cfg.reachable_avoiding([0], &[1]);
+        assert!(r[2]);
+        // but starting *below* the branch, blocking 1 blocks 2
+        let r = cfg.reachable_avoiding([1], &[1]);
+        assert!(r[1] && !r[2], "barrier node explored but not crossed");
+    }
+}

@@ -1,0 +1,303 @@
+//! Register def-use dataflow: possibly-uninitialized reads and dead
+//! stores.
+//!
+//! Both passes run over the instruction-level [`Cfg`] with 64-bit
+//! register masks (32 integer + 32 floating-point registers):
+//!
+//! * **Uninitialized reads** ([`rules::DF_UNINIT`], Warning): forward
+//!   may-defined analysis (union at joins). A read is flagged only when
+//!   *no* path from any entry point writes the register first — the
+//!   conservative direction for a lint.
+//! * **Dead stores** ([`rules::DF_DEADSTORE`], Info): backward liveness
+//!   (union at joins). A write is flagged when no path onward reads the
+//!   register before it is overwritten or execution ends.
+//!
+//! Registers the loader initializes (`zero`, `sp`, `tls`, `tid`, `ntid`)
+//! are treated as defined at every entry point. Roots entered mid-protocol
+//! (the I-cache filter arrival stubs, reached by an indirect call) start
+//! with *every* register defined, since their live state comes from the
+//! caller.
+
+use sim_isa::{Instr, Program, Reg};
+
+use crate::cfg::{pc_of, Cfg};
+use crate::diag::{rules, Diagnostic, Severity};
+
+/// Bitmask over the 64 architectural registers: integer register `r` is
+/// bit `r.index()`, FP register `f` is bit `32 + f.index()`.
+type RegMask = u64;
+
+fn int_bit(r: Reg) -> RegMask {
+    1u64 << r.index()
+}
+
+fn def_mask(instr: &Instr) -> RegMask {
+    let mut m = 0;
+    if let Some(d) = instr.def() {
+        if !d.is_zero() {
+            m |= int_bit(d);
+        }
+    }
+    if let Some(d) = instr.fdef() {
+        m |= 1u64 << (32 + d.index());
+    }
+    m
+}
+
+fn use_mask(instr: &Instr) -> RegMask {
+    let mut m = 0;
+    for r in instr.int_uses().into_iter().flatten() {
+        if !r.is_zero() {
+            m |= int_bit(r);
+        }
+    }
+    for f in instr.fp_uses().into_iter().flatten() {
+        m |= 1u64 << (32 + f.index());
+    }
+    m
+}
+
+/// Registers the thread loader sets before the first instruction runs.
+fn loader_defined() -> RegMask {
+    int_bit(Reg::ZERO)
+        | int_bit(Reg::SP)
+        | int_bit(Reg::TLS)
+        | int_bit(Reg::TID)
+        | int_bit(Reg::NTID)
+}
+
+/// An analysis entry point: an instruction index plus the registers that
+/// are live-in there by convention.
+#[derive(Debug, Clone, Copy)]
+pub struct Root {
+    /// Instruction index where execution can begin.
+    pub idx: usize,
+    /// Whether every register should be treated as already defined (true
+    /// for code entered mid-protocol, like arrival stubs).
+    pub all_defined: bool,
+}
+
+fn reg_name(bit: u32) -> String {
+    if bit < 32 {
+        Reg::new(bit as u8).to_string()
+    } else {
+        format!("f{}", bit - 32)
+    }
+}
+
+/// Run both dataflow lints over the instructions reachable from `roots`.
+pub fn check(program: &Program, cfg: &Cfg, roots: &[Root], diags: &mut Vec<Diagnostic>) {
+    let n = cfg.len();
+    if n == 0 {
+        return;
+    }
+    let instrs: Vec<Instr> = (0..n)
+        .map(|i| program.fetch(pc_of(i)).expect("idx in range"))
+        .collect();
+    let reachable = cfg.reachable_from(roots.iter().map(|r| r.idx));
+
+    // Forward may-defined: in[i] = union over preds of out[p]; a root
+    // contributes its convention mask. Union joins mean a register is
+    // "possibly defined" as soon as any path writes it.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, _) in instrs.iter().enumerate() {
+        for &s in cfg.succs(i) {
+            preds[s].push(i);
+        }
+    }
+    let mut root_mask: Vec<Option<RegMask>> = vec![None; n];
+    for r in roots {
+        if r.idx < n {
+            let mask = if r.all_defined {
+                u64::MAX
+            } else {
+                loader_defined()
+            };
+            root_mask[r.idx] = Some(root_mask[r.idx].unwrap_or(0) | mask);
+        }
+    }
+    let mut defined_in: Vec<RegMask> = vec![0; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            if !reachable[i] {
+                continue;
+            }
+            let mut new_in = root_mask[i].unwrap_or(0);
+            for &p in &preds[i] {
+                if reachable[p] {
+                    new_in |= defined_in[p] | def_mask(&instrs[p]);
+                }
+            }
+            if new_in != defined_in[i] {
+                defined_in[i] = new_in;
+                changed = true;
+            }
+        }
+    }
+    for (i, instr) in instrs.iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        let unseen = use_mask(instr) & !defined_in[i];
+        let mut bits = unseen;
+        while bits != 0 {
+            let bit = bits.trailing_zeros();
+            bits &= bits - 1;
+            diags.push(Diagnostic::at(
+                Severity::Warning,
+                pc_of(i),
+                rules::DF_UNINIT,
+                format!(
+                    "register {} is read here but written on no path from any entry point",
+                    reg_name(bit)
+                ),
+            ));
+        }
+    }
+
+    // Backward liveness for dead stores.
+    let mut live_in: Vec<RegMask> = vec![0; n];
+    changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            if !reachable[i] {
+                continue;
+            }
+            let mut live_out = 0;
+            for &s in cfg.succs(i) {
+                live_out |= live_in[s];
+            }
+            let new_in = use_mask(&instrs[i]) | (live_out & !def_mask(&instrs[i]));
+            if new_in != live_in[i] {
+                live_in[i] = new_in;
+                changed = true;
+            }
+        }
+    }
+    for (i, instr) in instrs.iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        // Link-register defs are calling convention, not data: the use
+        // sits behind an indirect edge the CFG cannot see.
+        if matches!(instr, Instr::Jal(..) | Instr::Jalr(..)) {
+            continue;
+        }
+        let mut live_out = 0;
+        for &s in cfg.succs(i) {
+            live_out |= live_in[s];
+        }
+        let dead = def_mask(instr) & !live_out;
+        let mut bits = dead;
+        while bits != 0 {
+            let bit = bits.trailing_zeros();
+            bits &= bits - 1;
+            diags.push(Diagnostic::at(
+                Severity::Info,
+                pc_of(i),
+                rules::DF_DEADSTORE,
+                format!(
+                    "register {} is written here but never read afterwards",
+                    reg_name(bit)
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::Asm;
+
+    fn analyze(build: impl FnOnce(&mut Asm)) -> Vec<Diagnostic> {
+        let mut a = Asm::new();
+        build(&mut a);
+        let p = a.assemble().unwrap();
+        let mut diags = Vec::new();
+        let cfg = Cfg::build(&p, &mut diags);
+        check(
+            &p,
+            &cfg,
+            &[Root {
+                idx: 0,
+                all_defined: false,
+            }],
+            &mut diags,
+        );
+        diags
+    }
+
+    #[test]
+    fn uninitialized_read_is_flagged() {
+        let diags = analyze(|a| {
+            a.add(Reg::T0, Reg::T1, Reg::T2); // t1, t2 never written
+            a.halt();
+        });
+        let uninit: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == rules::DF_UNINIT)
+            .collect();
+        assert_eq!(uninit.len(), 2);
+        assert!(uninit[0].message.contains("t1"));
+    }
+
+    #[test]
+    fn loader_registers_are_predefined() {
+        let diags = analyze(|a| {
+            a.add(Reg::T0, Reg::TID, Reg::NTID);
+            a.std(Reg::T0, Reg::TLS, 0);
+            a.halt();
+        });
+        assert!(diags.iter().all(|d| d.rule != rules::DF_UNINIT));
+    }
+
+    #[test]
+    fn write_on_one_path_suppresses_the_warning() {
+        let diags = analyze(|a| {
+            a.beq(Reg::TID, Reg::ZERO, "skip");
+            a.li(Reg::T0, 7);
+            a.label("skip").unwrap();
+            a.addi(Reg::T1, Reg::T0, 1); // t0 defined on the fallthrough path only
+            a.halt();
+        });
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.rule != rules::DF_UNINIT || !d.message.contains("t0 ")),
+            "may-defined analysis must not warn: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn dead_store_is_info() {
+        let diags = analyze(|a| {
+            a.li(Reg::T0, 1); // overwritten before any read
+            a.li(Reg::T0, 2);
+            a.std(Reg::T0, Reg::TLS, 0);
+            a.halt();
+        });
+        let dead: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == rules::DF_DEADSTORE)
+            .collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].severity, Severity::Info);
+        assert_eq!(dead[0].pc, Some(pc_of(0)));
+    }
+
+    #[test]
+    fn loop_carried_values_are_live() {
+        let diags = analyze(|a| {
+            a.li(Reg::T0, 8);
+            a.label("top").unwrap();
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bne(Reg::T0, Reg::ZERO, "top");
+            a.halt();
+        });
+        assert!(diags.iter().all(|d| d.rule != rules::DF_DEADSTORE));
+    }
+}

@@ -1,0 +1,142 @@
+//! Diagnostics: what the verifier reports and how severe it is.
+
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// Ordered: `Info < Warning < Error`, so callers can gate on
+/// `severity >= Severity::Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Stylistic or likely-harmless (dead stores).
+    Info,
+    /// Suspicious but not provably wrong (unreachable code, possible
+    /// uninitialized reads).
+    Warning,
+    /// A contract violation: the program can crash, hang or synchronize
+    /// incorrectly.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable rule identifiers. Every diagnostic carries exactly one of
+/// these; tests and CI match on them rather than on message text.
+pub mod rules {
+    /// A branch or `jal` targets an address outside the code image or not
+    /// on an instruction boundary.
+    pub const CFG_TARGET: &str = "R-CFG-TARGET";
+    /// Execution can fall off the end of the code image (a path reaches
+    /// the last instruction and falls through).
+    pub const CFG_FALLOFF: &str = "R-CFG-FALLOFF";
+    /// A non-padding instruction is unreachable from every entry point.
+    pub const CFG_UNREACHABLE: &str = "R-CFG-UNREACHABLE";
+    /// A register is read but written on no path from any entry point.
+    pub const DF_UNINIT: &str = "R-DF-UNINIT";
+    /// A register write is never observed: overwritten or dead on every
+    /// path onward.
+    pub const DF_DEADSTORE: &str = "R-DF-DEADSTORE";
+    /// A barrier's entry label is missing from the program image.
+    pub const BARRIER_ENTRY: &str = "R-BARRIER-ENTRY";
+    /// A filter barrier routine does not begin with `sync` (arrival must
+    /// publish all prior stores), or a D-filter lacks the post-fetch
+    /// `sync` (the release fence).
+    pub const BARRIER_SYNC: &str = "R-BARRIER-SYNC";
+    /// An arrival-line invalidate (`dcbi`/`icbi`) is not followed on every
+    /// path by a fetch of that same line — the thread would signal arrival
+    /// but never stall for the release.
+    pub const BARRIER_DCBI_FETCH: &str = "R-BARRIER-DCBI-FETCH";
+    /// The arrival invalidate can reach its fetch without an intervening
+    /// `isync` — prefetched stale instructions/data could satisfy the
+    /// fetch before the invalidate takes effect.
+    pub const BARRIER_ISYNC: &str = "R-BARRIER-ISYNC";
+    /// An entry/exit filter routine can return without invalidating its
+    /// exit line, leaving the next episode's state machine stuck.
+    pub const BARRIER_EXIT: &str = "R-BARRIER-EXIT";
+    /// A ping-pong routine does not alternate between both arrival
+    /// ranges.
+    pub const BARRIER_PINGPONG: &str = "R-BARRIER-PINGPONG";
+    /// A sense-reversing routine never toggles its TLS sense flag.
+    pub const BARRIER_SENSE: &str = "R-BARRIER-SENSE";
+    /// A dedicated-network routine does not consist of exactly one
+    /// `hwbar` with the registered id (and no memory traffic).
+    pub const BARRIER_HWBAR: &str = "R-BARRIER-HWBAR";
+    /// A load-linked is not followed by a matching store-conditional with
+    /// a retry loop back to the `ll`.
+    pub const BARRIER_LLSC: &str = "R-BARRIER-LLSC";
+}
+
+/// One verifier finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How severe the finding is.
+    pub severity: Severity,
+    /// Program counter the finding anchors to, when it has one.
+    pub pc: Option<u64>,
+    /// Stable rule id from [`rules`].
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic anchored at `pc`.
+    pub fn at(severity: Severity, pc: u64, rule: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity,
+            pc: Some(pc),
+            rule,
+            message: message.into(),
+        }
+    }
+
+    /// Build a program-wide diagnostic.
+    pub fn global(severity: Severity, rule: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity,
+            pc: None,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pc {
+            Some(pc) => write!(
+                f,
+                "{}: {pc:#x}: [{}] {}",
+                self.severity, self.rule, self.message
+            ),
+            None => write!(f, "{}: [{}] {}", self.severity, self.rule, self.message),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = Diagnostic::at(Severity::Error, 0x1_0004, rules::CFG_TARGET, "bad target");
+        assert_eq!(d.to_string(), "error: 0x10004: [R-CFG-TARGET] bad target");
+        let g = Diagnostic::global(Severity::Warning, rules::DF_UNINIT, "x");
+        assert_eq!(g.to_string(), "warning: [R-DF-UNINIT] x");
+    }
+}

@@ -1,0 +1,627 @@
+//! Barrier-protocol lint: check an emitted barrier routine against the
+//! contract of its mechanism, symbolically.
+//!
+//! The linter walks the routine reachable from the barrier's entry label
+//! with a tiny abstract interpreter that tracks three shapes of register
+//! value — exact constants, `tid * 64`, and `base + tid * 64` (the
+//! per-thread-line idiom every filter routine uses) — and classifies each
+//! memory reference against the barrier's [`ProtocolSpec`] regions. The
+//! protocol rules are then graph queries over the routine CFG:
+//!
+//! * every arrival-line invalidate must be followed **on all paths** by a
+//!   fetch of that line ([`rules::BARRIER_DCBI_FETCH`]), with an `isync`
+//!   in between ([`rules::BARRIER_ISYNC`]);
+//! * filter routines begin with `sync`, and D-cache variants fence again
+//!   after the fetch ([`rules::BARRIER_SYNC`]);
+//! * entry/exit filters must invalidate their exit line on every path
+//!   from fetch to return ([`rules::BARRIER_EXIT`]);
+//! * ping-pong variants must address both arrival ranges and toggle the
+//!   TLS sense flag ([`rules::BARRIER_PINGPONG`],
+//!   [`rules::BARRIER_SENSE`]);
+//! * software barriers use well-formed `ll`/`sc` retry loops
+//!   ([`rules::BARRIER_LLSC`]);
+//! * the dedicated-network routine is exactly one `hwbar` with the
+//!   registered id and no memory traffic ([`rules::BARRIER_HWBAR`]).
+//!
+//! "On all paths" is implemented as reachability with removal: if a
+//! return stays reachable from the invalidate after deleting every fetch
+//! node, some path skips the fetch.
+
+use std::collections::BTreeSet;
+
+use barrier_filter::{BarrierMechanism, ProtocolSpec, RegionKind};
+use sim_isa::{Instr, Program, Reg};
+
+use crate::cfg::{idx_of, pc_of, Cfg};
+use crate::diag::{rules, Diagnostic, Severity};
+
+/// A symbolic register value the interpreter can track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Expr {
+    /// An exact constant.
+    Imm(i64),
+    /// `tid * 64` — the per-thread line stride.
+    Tid64,
+    /// `base + tid * 64` — a per-thread line address.
+    ImmPlusTid64(i64),
+}
+
+/// Abstract register value: a small set of possible [`Expr`]s, or
+/// unknown. Sets are capped; joins past the cap collapse to unknown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum AbsVal {
+    Unknown,
+    Vals(BTreeSet<Expr>),
+}
+
+const VALS_CAP: usize = 8;
+
+impl AbsVal {
+    fn of(e: Expr) -> AbsVal {
+        AbsVal::Vals(BTreeSet::from([e]))
+    }
+
+    fn join(&self, other: &AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Vals(a), AbsVal::Vals(b)) => {
+                let u: BTreeSet<Expr> = a.union(b).copied().collect();
+                if u.len() > VALS_CAP {
+                    AbsVal::Unknown
+                } else {
+                    AbsVal::Vals(u)
+                }
+            }
+            _ => AbsVal::Unknown,
+        }
+    }
+
+    fn map(&self, f: impl Fn(Expr) -> Option<Expr>) -> AbsVal {
+        match self {
+            AbsVal::Unknown => AbsVal::Unknown,
+            AbsVal::Vals(vs) => {
+                let mut out = BTreeSet::new();
+                for &v in vs {
+                    match f(v) {
+                        Some(e) => {
+                            out.insert(e);
+                        }
+                        None => return AbsVal::Unknown,
+                    }
+                }
+                AbsVal::Vals(out)
+            }
+        }
+    }
+}
+
+type State = Vec<AbsVal>; // indexed by Reg::index()
+
+fn fresh_state() -> State {
+    let mut s = vec![AbsVal::Unknown; 32];
+    s[Reg::ZERO.index()] = AbsVal::of(Expr::Imm(0));
+    s
+}
+
+fn join_states(a: &State, b: &State) -> State {
+    a.iter().zip(b).map(|(x, y)| x.join(y)).collect()
+}
+
+fn transfer(instr: &Instr, state: &mut State) {
+    let set = |state: &mut State, d: Reg, v: AbsVal| {
+        if !d.is_zero() {
+            state[d.index()] = v;
+        }
+    };
+    match *instr {
+        Instr::Li(d, imm) => set(state, d, AbsVal::of(Expr::Imm(imm))),
+        Instr::Slli(d, s, sh) => {
+            let v = if s == Reg::TID && sh == 6 {
+                AbsVal::of(Expr::Tid64)
+            } else {
+                state[s.index()].map(|e| match e {
+                    Expr::Imm(x) => Some(Expr::Imm(x.wrapping_shl(sh.into()))),
+                    _ => None,
+                })
+            };
+            set(state, d, v);
+        }
+        Instr::Addi(d, a, imm) => {
+            let v = state[a.index()].map(|e| match e {
+                Expr::Imm(x) => Some(Expr::Imm(x.wrapping_add(imm))),
+                Expr::Tid64 => Some(Expr::ImmPlusTid64(imm)),
+                Expr::ImmPlusTid64(x) => Some(Expr::ImmPlusTid64(x.wrapping_add(imm))),
+            });
+            set(state, d, v);
+        }
+        Instr::Add(d, a, b) => {
+            let (va, vb) = (state[a.index()].clone(), state[b.index()].clone());
+            let v = match (&va, &vb) {
+                (AbsVal::Vals(xs), AbsVal::Vals(ys)) => {
+                    let mut out = BTreeSet::new();
+                    let mut ok = true;
+                    'outer: for &x in xs {
+                        for &y in ys {
+                            let sum = match (x, y) {
+                                (Expr::Imm(p), Expr::Imm(q)) => Expr::Imm(p.wrapping_add(q)),
+                                (Expr::Imm(p), Expr::Tid64) | (Expr::Tid64, Expr::Imm(p)) => {
+                                    Expr::ImmPlusTid64(p)
+                                }
+                                (Expr::Imm(p), Expr::ImmPlusTid64(q))
+                                | (Expr::ImmPlusTid64(q), Expr::Imm(p)) => {
+                                    Expr::ImmPlusTid64(p.wrapping_add(q))
+                                }
+                                _ => {
+                                    ok = false;
+                                    break 'outer;
+                                }
+                            };
+                            out.insert(sum);
+                            if out.len() > VALS_CAP {
+                                ok = false;
+                                break 'outer;
+                            }
+                        }
+                    }
+                    if ok {
+                        AbsVal::Vals(out)
+                    } else {
+                        AbsVal::Unknown
+                    }
+                }
+                _ => AbsVal::Unknown,
+            };
+            set(state, d, v);
+        }
+        _ => {
+            if let Some(d) = instr.def() {
+                set(state, d, AbsVal::Unknown);
+            }
+        }
+    }
+}
+
+/// How a memory reference's effective address classifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum AddrClass {
+    /// A single concrete address.
+    Exact(u64),
+    /// `base + tid * 64` for the running thread.
+    PerThread(u64),
+}
+
+fn classify(state: &State, base: Reg, offset: i64) -> Option<BTreeSet<AddrClass>> {
+    match &state[base.index()] {
+        AbsVal::Unknown => None,
+        AbsVal::Vals(vs) => {
+            let mut out = BTreeSet::new();
+            for &v in vs {
+                match v {
+                    Expr::Imm(x) => {
+                        out.insert(AddrClass::Exact(x.wrapping_add(offset) as u64));
+                    }
+                    Expr::Tid64 => {
+                        out.insert(AddrClass::PerThread(offset as u64));
+                    }
+                    Expr::ImmPlusTid64(x) => {
+                        out.insert(AddrClass::PerThread(x.wrapping_add(offset) as u64));
+                    }
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+fn region_kind_of(spec: &ProtocolSpec, class: AddrClass) -> Option<RegionKind> {
+    let addr = match class {
+        AddrClass::Exact(a) | AddrClass::PerThread(a) => a,
+    };
+    spec.region_of(addr).map(|r| r.kind)
+}
+
+fn is_arrival(kind: Option<RegionKind>) -> bool {
+    matches!(kind, Some(RegionKind::Arrival | RegionKind::ArrivalAlt))
+}
+
+/// Per-instruction facts the rule checks query.
+struct RoutineFacts {
+    /// Instruction indices in the routine, reachable from its entry.
+    members: Vec<usize>,
+    /// Entry instruction index.
+    entry: usize,
+    /// Invalidates (`dcbi`/`icbi`) of arrival/arrival-alt lines.
+    arrival_invs: Vec<usize>,
+    /// Invalidates of exit lines.
+    exit_invs: Vec<usize>,
+    /// Arrival fetches: loads (D) or indirect calls (I) of arrival lines.
+    fetches: Vec<usize>,
+    /// `isync` instructions.
+    isyncs: Vec<usize>,
+    /// `sync` instructions.
+    syncs: Vec<usize>,
+    /// Instructions with no successors (returns/halts).
+    returns: Vec<usize>,
+    /// `hwbar` instructions with their ids.
+    hwbars: Vec<(usize, u16)>,
+    /// `ll` instructions.
+    lls: Vec<usize>,
+    /// Arrival-range bases named by arrival invalidates.
+    inv_bases: BTreeSet<u64>,
+    /// Whether a store to the spec's TLS sense slot exists.
+    toggles_sense: bool,
+    /// Whether any instruction in the routine references memory.
+    touches_memory: bool,
+}
+
+fn gather(program: &Program, cfg: &Cfg, spec: &ProtocolSpec, entry: usize) -> RoutineFacts {
+    let n = cfg.len();
+    let instr_at = |i: usize| program.fetch(pc_of(i)).expect("idx in range");
+
+    // Reachable routine members.
+    let in_routine = cfg.reachable_from([entry]);
+    let members: Vec<usize> = (0..n).filter(|&i| in_routine[i]).collect();
+
+    // Abstract interpretation to a fixpoint over the routine.
+    let mut states: Vec<Option<State>> = vec![None; n];
+    states[entry] = Some(fresh_state());
+    let mut work = vec![entry];
+    while let Some(i) = work.pop() {
+        let mut out = states[i].clone().expect("on worklist implies state");
+        transfer(&instr_at(i), &mut out);
+        for &s in cfg.succs(i) {
+            let merged = match &states[s] {
+                None => out.clone(),
+                Some(prev) => join_states(prev, &out),
+            };
+            if states[s].as_ref() != Some(&merged) {
+                states[s] = Some(merged);
+                work.push(s);
+            }
+        }
+    }
+
+    let mut facts = RoutineFacts {
+        members: members.clone(),
+        entry,
+        arrival_invs: Vec::new(),
+        exit_invs: Vec::new(),
+        fetches: Vec::new(),
+        isyncs: Vec::new(),
+        syncs: Vec::new(),
+        returns: Vec::new(),
+        hwbars: Vec::new(),
+        lls: Vec::new(),
+        inv_bases: BTreeSet::new(),
+        toggles_sense: false,
+        touches_memory: false,
+    };
+    for &i in &members {
+        let instr = instr_at(i);
+        let state = states[i].as_ref();
+        if cfg.succs(i).is_empty() {
+            facts.returns.push(i);
+        }
+        if instr.mem_ref().is_some() {
+            facts.touches_memory = true;
+        }
+        match instr {
+            Instr::Isync => facts.isyncs.push(i),
+            Instr::Sync => facts.syncs.push(i),
+            Instr::HwBar(id) => facts.hwbars.push((i, id)),
+            Instr::Ll(..) => facts.lls.push(i),
+            // The sense flag lives at a fixed TLS offset; the TLS base
+            // itself is outside the abstract domain, so match it directly.
+            Instr::St(_, base, off, sim_isa::MemWidth::D)
+                if base == Reg::TLS && Some(off) == spec.tls_offset =>
+            {
+                facts.toggles_sense = true;
+            }
+            // An I-filter "fetch" is the indirect call into the arrival
+            // stub line (no `mem_ref`: it is an instruction fetch).
+            Instr::Jalr(rd, base, off) if !rd.is_zero() => {
+                if let Some(classes) = state.and_then(|st| classify(st, base, off)) {
+                    if classes.iter().any(|&c| is_arrival(region_kind_of(spec, c))) {
+                        facts.fetches.push(i);
+                    }
+                }
+            }
+            _ => {}
+        }
+        let classes = instr
+            .mem_ref()
+            .and_then(|m| state.and_then(|st| classify(st, m.base, m.offset)));
+        let Some(classes) = classes else { continue };
+        let kinds: Vec<Option<RegionKind>> =
+            classes.iter().map(|&c| region_kind_of(spec, c)).collect();
+        match instr {
+            Instr::Dcbi(..) | Instr::Icbi(..) => {
+                if kinds.iter().any(|&k| is_arrival(k)) {
+                    facts.arrival_invs.push(i);
+                    for &c in &classes {
+                        if let AddrClass::PerThread(base) = c {
+                            if is_arrival(region_kind_of(spec, c)) {
+                                facts.inv_bases.insert(base);
+                            }
+                        }
+                    }
+                }
+                if kinds.contains(&Some(RegionKind::Exit)) {
+                    facts.exit_invs.push(i);
+                }
+            }
+            Instr::Ld(..) | Instr::Ll(..) if kinds.iter().any(|&k| is_arrival(k)) => {
+                facts.fetches.push(i);
+            }
+            _ => {}
+        }
+    }
+    facts
+}
+
+/// Check one barrier's routine against its protocol contract.
+pub fn check(program: &Program, cfg: &Cfg, spec: &ProtocolSpec, diags: &mut Vec<Diagnostic>) {
+    use BarrierMechanism::*;
+    let Some(entry_pc) = program.symbol(&spec.entry) else {
+        diags.push(Diagnostic::global(
+            Severity::Error,
+            rules::BARRIER_ENTRY,
+            format!("barrier entry label `{}` is not in the program", spec.entry),
+        ));
+        return;
+    };
+    let Some(entry) = idx_of(entry_pc, cfg.len()) else {
+        diags.push(Diagnostic::global(
+            Severity::Error,
+            rules::BARRIER_ENTRY,
+            format!(
+                "barrier entry `{}` resolves to {entry_pc:#x}, outside the image",
+                spec.entry
+            ),
+        ));
+        return;
+    };
+    let facts = gather(program, cfg, spec, entry);
+    match spec.mechanism {
+        SwCentral | SwTree => {
+            check_llsc(program, cfg, &facts, diags);
+            check_sense(spec, &facts, diags);
+        }
+        FilterD => {
+            check_entry_sync(program, spec, &facts, diags);
+            check_arrival(cfg, spec, &facts, diags);
+            check_post_fetch_sync(cfg, spec, &facts, diags);
+            check_exit(cfg, spec, &facts, diags);
+        }
+        FilterDPingPong => {
+            check_entry_sync(program, spec, &facts, diags);
+            check_arrival(cfg, spec, &facts, diags);
+            check_post_fetch_sync(cfg, spec, &facts, diags);
+            check_ping_pong(spec, &facts, diags);
+            check_sense(spec, &facts, diags);
+        }
+        FilterI => {
+            check_entry_sync(program, spec, &facts, diags);
+            check_arrival(cfg, spec, &facts, diags);
+            check_exit(cfg, spec, &facts, diags);
+        }
+        FilterIPingPong => {
+            check_entry_sync(program, spec, &facts, diags);
+            check_arrival(cfg, spec, &facts, diags);
+            check_ping_pong(spec, &facts, diags);
+            check_sense(spec, &facts, diags);
+        }
+        HwDedicated => check_hwbar(spec, &facts, diags),
+    }
+}
+
+fn check_entry_sync(
+    program: &Program,
+    spec: &ProtocolSpec,
+    facts: &RoutineFacts,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let first = program.fetch(pc_of(facts.entry)).expect("entry in range");
+    if first != Instr::Sync {
+        diags.push(Diagnostic::at(
+            Severity::Error,
+            pc_of(facts.entry),
+            rules::BARRIER_SYNC,
+            format!(
+                "{} routine must begin with `sync` so arrival publishes all prior stores",
+                spec.mechanism
+            ),
+        ));
+    }
+}
+
+fn check_arrival(
+    cfg: &Cfg,
+    spec: &ProtocolSpec,
+    facts: &RoutineFacts,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if facts.arrival_invs.is_empty() {
+        diags.push(Diagnostic::at(
+            Severity::Error,
+            pc_of(facts.entry),
+            rules::BARRIER_DCBI_FETCH,
+            format!(
+                "{} routine never invalidates an arrival line",
+                spec.mechanism
+            ),
+        ));
+        return;
+    }
+    for &inv in &facts.arrival_invs {
+        // All paths from the invalidate must hit a fetch before returning.
+        let avoid_fetch = cfg.reachable_avoiding(cfg.succs(inv).iter().copied(), &facts.fetches);
+        if facts.returns.iter().any(|&r| avoid_fetch[r]) {
+            diags.push(Diagnostic::at(
+                Severity::Error,
+                pc_of(inv),
+                rules::BARRIER_DCBI_FETCH,
+                "arrival line is invalidated but a path returns without fetching it \
+                 (the thread would never stall for the release)",
+            ));
+        }
+        // ... and an `isync` must separate the invalidate from the fetch.
+        let avoid_isync = cfg.reachable_avoiding(cfg.succs(inv).iter().copied(), &facts.isyncs);
+        if facts.fetches.iter().any(|&f| avoid_isync[f]) {
+            diags.push(Diagnostic::at(
+                Severity::Error,
+                pc_of(inv),
+                rules::BARRIER_ISYNC,
+                "arrival fetch can execute without an `isync` after the invalidate \
+                 (a prefetched stale line could satisfy it)",
+            ));
+        }
+    }
+}
+
+fn check_post_fetch_sync(
+    cfg: &Cfg,
+    spec: &ProtocolSpec,
+    facts: &RoutineFacts,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let _ = spec;
+    for &f in &facts.fetches {
+        let avoid_sync = cfg.reachable_avoiding(cfg.succs(f).iter().copied(), &facts.syncs);
+        if facts.returns.iter().any(|&r| avoid_sync[r]) {
+            diags.push(Diagnostic::at(
+                Severity::Error,
+                pc_of(f),
+                rules::BARRIER_SYNC,
+                "a path returns after the arrival fetch without a `sync` release fence",
+            ));
+        }
+    }
+}
+
+fn check_exit(cfg: &Cfg, spec: &ProtocolSpec, facts: &RoutineFacts, diags: &mut Vec<Diagnostic>) {
+    let _ = spec;
+    for &f in &facts.fetches {
+        let avoid_exit = cfg.reachable_avoiding(cfg.succs(f).iter().copied(), &facts.exit_invs);
+        if facts.returns.iter().any(|&r| avoid_exit[r]) {
+            diags.push(Diagnostic::at(
+                Severity::Error,
+                pc_of(f),
+                rules::BARRIER_EXIT,
+                "a path returns without invalidating the exit line; the next episode's \
+                 state machine would never reset",
+            ));
+        }
+    }
+}
+
+fn check_ping_pong(spec: &ProtocolSpec, facts: &RoutineFacts, diags: &mut Vec<Diagnostic>) {
+    let wanted: Vec<u64> = spec
+        .regions
+        .iter()
+        .filter(|r| matches!(r.kind, RegionKind::Arrival | RegionKind::ArrivalAlt))
+        .map(|r| r.base)
+        .collect();
+    for base in wanted {
+        if !facts.inv_bases.contains(&base) {
+            diags.push(Diagnostic::at(
+                Severity::Error,
+                pc_of(facts.entry),
+                rules::BARRIER_PINGPONG,
+                format!("ping-pong routine never signals through the arrival range at {base:#x}"),
+            ));
+        }
+    }
+}
+
+fn check_sense(spec: &ProtocolSpec, facts: &RoutineFacts, diags: &mut Vec<Diagnostic>) {
+    if spec.tls_offset.is_some() && !facts.toggles_sense {
+        diags.push(Diagnostic::at(
+            Severity::Error,
+            pc_of(facts.entry),
+            rules::BARRIER_SENSE,
+            "sense-reversing routine never stores its TLS sense flag; the next episode \
+             would observe a stale sense",
+        ));
+    }
+}
+
+fn check_llsc(program: &Program, cfg: &Cfg, facts: &RoutineFacts, diags: &mut Vec<Diagnostic>) {
+    let _ = cfg;
+    let n = facts.members.last().map_or(0, |&m| m + 1);
+    for &ll in &facts.lls {
+        let Instr::Ll(_, ll_base, ll_off) = program.fetch(pc_of(ll)).expect("ll in range") else {
+            continue;
+        };
+        let mut sc = None;
+        for j in ll + 1..(ll + 9).min(n) {
+            if let Instr::Sc(d, _, base, off) = program.fetch(pc_of(j)).expect("in range") {
+                if base == ll_base && off == ll_off {
+                    sc = Some((j, d));
+                }
+                break;
+            }
+        }
+        let Some((sc_idx, sc_dest)) = sc else {
+            diags.push(Diagnostic::at(
+                Severity::Error,
+                pc_of(ll),
+                rules::BARRIER_LLSC,
+                "load-linked has no matching store-conditional to the same address",
+            ));
+            continue;
+        };
+        let mut retries = false;
+        for j in sc_idx + 1..(sc_idx + 5).min(n) {
+            if let Instr::Beq(a, b, t) = program.fetch(pc_of(j)).expect("in range") {
+                let tests_sc = (a == sc_dest && b.is_zero()) || (b == sc_dest && a.is_zero());
+                if tests_sc && t.0 == pc_of(ll) {
+                    retries = true;
+                    break;
+                }
+            }
+        }
+        if !retries {
+            diags.push(Diagnostic::at(
+                Severity::Error,
+                pc_of(sc_idx),
+                rules::BARRIER_LLSC,
+                "store-conditional failure does not branch back to the load-linked",
+            ));
+        }
+    }
+}
+
+fn check_hwbar(spec: &ProtocolSpec, facts: &RoutineFacts, diags: &mut Vec<Diagnostic>) {
+    match facts.hwbars.as_slice() {
+        [(_, id)] if spec.hw_id.is_none() || Some(*id) == spec.hw_id => {}
+        [(i, id)] => diags.push(Diagnostic::at(
+            Severity::Error,
+            pc_of(*i),
+            rules::BARRIER_HWBAR,
+            format!(
+                "hwbar id {id} does not match the registered group {:?}",
+                spec.hw_id
+            ),
+        )),
+        [] => diags.push(Diagnostic::at(
+            Severity::Error,
+            pc_of(facts.entry),
+            rules::BARRIER_HWBAR,
+            "dedicated-network routine contains no `hwbar`",
+        )),
+        more => diags.push(Diagnostic::at(
+            Severity::Error,
+            pc_of(more[1].0),
+            rules::BARRIER_HWBAR,
+            "dedicated-network routine signals more than once per crossing",
+        )),
+    }
+    if facts.touches_memory {
+        diags.push(Diagnostic::at(
+            Severity::Error,
+            pc_of(facts.entry),
+            rules::BARRIER_HWBAR,
+            "dedicated-network routine must not touch memory",
+        ));
+    }
+}

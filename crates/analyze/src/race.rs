@@ -1,0 +1,596 @@
+//! Happens-before race detection over a simulator trace.
+//!
+//! [`RaceDetectorSink`] is a pure observer: it implements
+//! [`TraceSink`], so it sees every event the machine emits but cannot
+//! perturb timing or digests. It reconstructs a happens-before order
+//! from the synchronization the trace shows actually happened, then
+//! checks every ordinary data access against it (FastTrack-style: a
+//! last-write epoch plus an epoch-or-vector read state per byte).
+//!
+//! Synchronization edges, per mechanism family:
+//!
+//! * **Filter barriers** — a `dcbi`/`icbi` of a line inside an arrival or
+//!   exit region is a *release*: the issuing core's clock joins the
+//!   region's clock. A `Released`/`Serviced`/`Errored` fill completion on
+//!   such a line is the matching *acquire*. The simulator only completes
+//!   those fills once every thread has invalidated, so each thread
+//!   acquires every other thread's pre-barrier history — but the detector
+//!   never assumes that: if a buggy mechanism released early, the region
+//!   clock would be missing arrivals and downstream conflicts would
+//!   surface as races.
+//! * **Software barriers** — loads and stores whose address falls in a
+//!   declared sync region (counter or flag lines) act as lock
+//!   acquire/release on their 8-byte granule's clock. These accesses are
+//!   synchronization, not data, so they are excluded from race candidacy.
+//! * **Dedicated network** — `HwBarArrive` releases into the group's
+//!   clock, `HwBarRelease` acquires from it.
+//!
+//! Region clocks are monotone (never reset between episodes). That is a
+//! sound over-approximation of ordering — consecutive episodes really are
+//! ordered through the barrier — so it can only suppress impossible
+//! interleavings, never invent false races.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+use barrier_filter::{ProtocolSpec, SyncRegion};
+use cmp_sim::{TraceEvent, TraceSink};
+
+/// Vector clock, indexed by core.
+type Vc = Vec<u32>;
+
+fn grown(vc: &mut Vc, n: usize) {
+    if vc.len() < n {
+        vc.resize(n, 0);
+    }
+}
+
+fn join(dst: &mut Vc, src: &Vc) {
+    grown(dst, src.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(s);
+    }
+}
+
+fn at(vc: &Vc, core: usize) -> u32 {
+    vc.get(core).copied().unwrap_or(0)
+}
+
+/// What kind of conflict a race is, named `previous access`/`current
+/// access`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceKind {
+    /// Two unordered writes.
+    WriteWrite,
+    /// A write unordered after a read.
+    ReadWrite,
+    /// A read unordered after a write.
+    WriteRead,
+}
+
+impl RaceKind {
+    /// Short human-readable name (`write-write`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            RaceKind::WriteWrite => "write-write",
+            RaceKind::ReadWrite => "read-write",
+            RaceKind::WriteRead => "write-read",
+        }
+    }
+}
+
+/// One detected race: two accesses to the same byte with no
+/// happens-before path between them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// Byte address both accesses touch.
+    pub addr: u64,
+    /// Core performing the later (detected) access.
+    pub core: usize,
+    /// Core that performed the earlier conflicting access.
+    pub prev_core: usize,
+    /// Cycle of the detected access.
+    pub cycle: u64,
+    /// Conflict shape.
+    pub kind: RaceKind,
+}
+
+/// Aggregate detector results, shared out through [`RaceHandle`].
+#[derive(Debug, Clone, Default)]
+pub struct RaceReport {
+    /// First race per 8-byte granule, in detection order (capped).
+    pub races: Vec<Race>,
+    /// Total conflicting access pairs seen, including suppressed repeats.
+    pub total_races: u64,
+    /// Ordinary (non-synchronization) reads checked.
+    pub reads_checked: u64,
+    /// Ordinary writes checked.
+    pub writes_checked: u64,
+    /// Synchronization accesses observed (excluded from race candidacy).
+    pub sync_accesses: u64,
+}
+
+impl RaceReport {
+    /// Whether any race was detected.
+    pub fn racy(&self) -> bool {
+        self.total_races > 0
+    }
+}
+
+/// Cloneable handle onto a detector's results; read it after the run
+/// while the sink itself stays owned by the machine.
+#[derive(Debug, Clone)]
+pub struct RaceHandle(Arc<Mutex<RaceReport>>);
+
+impl RaceHandle {
+    /// Snapshot the current report.
+    pub fn report(&self) -> RaceReport {
+        self.0.lock().expect("race report lock").clone()
+    }
+}
+
+/// FastTrack read state for one byte.
+#[derive(Debug, Clone)]
+enum ReadState {
+    None,
+    /// A single read epoch `(clock, core)`.
+    One(u32, usize),
+    /// Concurrent reads, as a full vector clock.
+    Many(Vc),
+}
+
+/// Per-byte shadow: last write epoch and read state.
+#[derive(Debug, Clone)]
+struct Shadow {
+    write: Option<(u32, usize)>,
+    read: ReadState,
+}
+
+const RACES_KEPT: usize = 64;
+const GRANULE_MASK: u64 = !7;
+
+/// Trace-sink race detector. Build it with the [`ProtocolSpec`]s of the
+/// barriers installed in the machine (so synchronization addresses are
+/// classified correctly), attach via
+/// `MachineBuilder::with_trace_sink(Box::new(sink))`, and read results
+/// through the [`RaceHandle`] from [`RaceDetectorSink::handle`].
+pub struct RaceDetectorSink {
+    regions: Vec<SyncRegion>,
+    /// Per-core vector clocks.
+    clocks: Vec<Vc>,
+    /// Per-region release accumulators (indexed like `regions`).
+    region_clocks: Vec<Vc>,
+    /// Dedicated-network group clocks.
+    hw_clocks: HashMap<u16, Vc>,
+    /// Software-sync granule clocks.
+    lock_clocks: HashMap<u64, Vc>,
+    shadow: HashMap<u64, Shadow>,
+    reported: HashSet<u64>,
+    state: Arc<Mutex<RaceReport>>,
+}
+
+impl RaceDetectorSink {
+    /// Build a detector that treats the regions of `specs` as
+    /// synchronization state. An empty spec list means every access is an
+    /// ordinary data access.
+    pub fn new<'a>(specs: impl IntoIterator<Item = &'a ProtocolSpec>) -> Self {
+        let regions = specs.into_iter().flat_map(|s| s.regions.clone()).collect();
+        RaceDetectorSink {
+            regions,
+            clocks: Vec::new(),
+            region_clocks: Vec::new(),
+            hw_clocks: HashMap::new(),
+            lock_clocks: HashMap::new(),
+            shadow: HashMap::new(),
+            reported: HashSet::new(),
+            state: Arc::new(Mutex::new(RaceReport::default())),
+        }
+    }
+
+    /// Handle for reading results after the machine consumes the sink.
+    pub fn handle(&self) -> RaceHandle {
+        RaceHandle(Arc::clone(&self.state))
+    }
+
+    fn region_idx(&self, addr: u64) -> Option<usize> {
+        self.regions.iter().position(|r| r.contains(addr))
+    }
+
+    /// The running clock of `core`, created on first touch with its own
+    /// component at 1 (so epochs are never the all-zero "no access yet").
+    fn clock(&mut self, core: usize) -> &mut Vc {
+        if self.clocks.len() <= core {
+            self.clocks.resize_with(core + 1, Vec::new);
+        }
+        let vc = &mut self.clocks[core];
+        grown(vc, core + 1);
+        if vc[core] == 0 {
+            vc[core] = 1;
+        }
+        vc
+    }
+
+    fn release_region(&mut self, core: usize, idx: usize) {
+        if self.region_clocks.len() <= idx {
+            self.region_clocks.resize_with(idx + 1, Vec::new);
+        }
+        let c = self.clock(core).clone();
+        join(&mut self.region_clocks[idx], &c);
+        self.clock(core)[core] += 1;
+    }
+
+    fn acquire_region(&mut self, core: usize, idx: usize) {
+        if let Some(rc) = self.region_clocks.get(idx).cloned() {
+            join(self.clock(core), &rc);
+        }
+    }
+
+    fn record_race(
+        &mut self,
+        addr: u64,
+        core: usize,
+        prev_core: usize,
+        cycle: u64,
+        kind: RaceKind,
+    ) {
+        let mut st = self.state.lock().expect("race report lock");
+        st.total_races += 1;
+        if st.races.len() < RACES_KEPT && self.reported.insert(addr & GRANULE_MASK) {
+            st.races.push(Race {
+                addr,
+                core,
+                prev_core,
+                cycle,
+                kind,
+            });
+        }
+    }
+
+    fn data_write(&mut self, core: usize, addr: u64, bytes: u64, cycle: u64) {
+        let c = self.clock(core).clone();
+        let epoch = (c[core], core);
+        self.state.lock().expect("race report lock").writes_checked += 1;
+        for b in addr..addr + bytes {
+            let sh = self.shadow.entry(b).or_insert(Shadow {
+                write: None,
+                read: ReadState::None,
+            });
+            let mut conflict = None;
+            if let Some((wc, wt)) = sh.write {
+                if wt != core && wc > at(&c, wt) {
+                    conflict = Some((wt, RaceKind::WriteWrite));
+                }
+            }
+            if conflict.is_none() {
+                match &sh.read {
+                    ReadState::One(rc, rt) => {
+                        if *rt != core && *rc > at(&c, *rt) {
+                            conflict = Some((*rt, RaceKind::ReadWrite));
+                        }
+                    }
+                    ReadState::Many(rv) => {
+                        for (rt, &rc) in rv.iter().enumerate() {
+                            if rt != core && rc > at(&c, rt) {
+                                conflict = Some((rt, RaceKind::ReadWrite));
+                                break;
+                            }
+                        }
+                    }
+                    ReadState::None => {}
+                }
+            }
+            sh.write = Some(epoch);
+            sh.read = ReadState::None;
+            if let Some((prev, kind)) = conflict {
+                self.record_race(b, core, prev, cycle, kind);
+            }
+        }
+    }
+
+    fn data_read(&mut self, core: usize, addr: u64, bytes: u64, cycle: u64) {
+        let c = self.clock(core).clone();
+        let epoch = (c[core], core);
+        self.state.lock().expect("race report lock").reads_checked += 1;
+        for b in addr..addr + bytes {
+            let sh = self.shadow.entry(b).or_insert(Shadow {
+                write: None,
+                read: ReadState::None,
+            });
+            let mut conflict = None;
+            if let Some((wc, wt)) = sh.write {
+                if wt != core && wc > at(&c, wt) {
+                    conflict = Some((wt, RaceKind::WriteRead));
+                }
+            }
+            sh.read = match std::mem::replace(&mut sh.read, ReadState::None) {
+                ReadState::None => ReadState::One(epoch.0, epoch.1),
+                ReadState::One(rc, rt) => {
+                    if rt == core || rc <= at(&c, rt) {
+                        ReadState::One(epoch.0, epoch.1)
+                    } else {
+                        let mut rv = vec![0; rt.max(core) + 1];
+                        rv[rt] = rc;
+                        rv[core] = epoch.0;
+                        ReadState::Many(rv)
+                    }
+                }
+                ReadState::Many(mut rv) => {
+                    grown(&mut rv, core + 1);
+                    rv[core] = epoch.0;
+                    ReadState::Many(rv)
+                }
+            };
+            if let Some((prev, kind)) = conflict {
+                self.record_race(b, core, prev, cycle, kind);
+            }
+        }
+    }
+
+    fn sync_write(&mut self, core: usize, addr: u64) {
+        self.state.lock().expect("race report lock").sync_accesses += 1;
+        let g = addr & GRANULE_MASK;
+        let c = self.clock(core).clone();
+        join(self.lock_clocks.entry(g).or_default(), &c);
+        self.clock(core)[core] += 1;
+    }
+
+    fn sync_read(&mut self, core: usize, addr: u64) {
+        self.state.lock().expect("race report lock").sync_accesses += 1;
+        let g = addr & GRANULE_MASK;
+        if let Some(lc) = self.lock_clocks.get(&g).cloned() {
+            join(self.clock(core), &lc);
+        }
+    }
+
+    fn is_sync(&self, addr: u64) -> bool {
+        self.regions.iter().any(|r| r.contains(addr))
+    }
+}
+
+impl TraceSink for RaceDetectorSink {
+    fn record(&mut self, cycle: u64, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::Invalidate { core, line, .. } => {
+                if let Some(idx) = self.region_idx(line) {
+                    self.release_region(core, idx);
+                }
+            }
+            TraceEvent::Released { core, line }
+            | TraceEvent::Serviced { core, line }
+            | TraceEvent::Errored { core, line } => {
+                if let Some(idx) = self.region_idx(line) {
+                    self.acquire_region(core, idx);
+                }
+            }
+            TraceEvent::HwBarArrive { core, id } => {
+                let c = self.clock(core).clone();
+                join(self.hw_clocks.entry(id).or_default(), &c);
+                self.clock(core)[core] += 1;
+            }
+            TraceEvent::HwBarRelease { core, id } => {
+                if let Some(hc) = self.hw_clocks.get(&id).cloned() {
+                    join(self.clock(core), &hc);
+                }
+            }
+            TraceEvent::DataWrite { core, addr, bytes } => {
+                if self.is_sync(addr) {
+                    self.sync_write(core, addr);
+                } else {
+                    self.data_write(core, addr, bytes, cycle);
+                }
+            }
+            TraceEvent::DataRead { core, addr, bytes } => {
+                if self.is_sync(addr) {
+                    self.sync_read(core, addr);
+                } else {
+                    self.data_read(core, addr, bytes, cycle);
+                }
+            }
+            TraceEvent::DMiss { .. }
+            | TraceEvent::IMiss { .. }
+            | TraceEvent::Parked { .. }
+            | TraceEvent::Upgrade { .. }
+            | TraceEvent::CacheToCache { .. }
+            | TraceEvent::EpisodeEnd { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use barrier_filter::{RegionKind, SyncRegion};
+
+    fn spec_with(regions: Vec<SyncRegion>) -> ProtocolSpec {
+        ProtocolSpec {
+            mechanism: barrier_filter::BarrierMechanism::FilterD,
+            entry: "entry".into(),
+            threads: 2,
+            regions,
+            tls_offset: None,
+            hw_id: None,
+        }
+    }
+
+    fn write(sink: &mut RaceDetectorSink, cycle: u64, core: usize, addr: u64) {
+        sink.record(
+            cycle,
+            &TraceEvent::DataWrite {
+                core,
+                addr,
+                bytes: 8,
+            },
+        );
+    }
+
+    fn read(sink: &mut RaceDetectorSink, cycle: u64, core: usize, addr: u64) {
+        sink.record(
+            cycle,
+            &TraceEvent::DataRead {
+                core,
+                addr,
+                bytes: 8,
+            },
+        );
+    }
+
+    #[test]
+    fn unsynchronized_writes_race() {
+        let mut sink = RaceDetectorSink::new([]);
+        let h = sink.handle();
+        write(&mut sink, 10, 0, 0x8000);
+        write(&mut sink, 20, 1, 0x8000);
+        let r = h.report();
+        assert!(r.racy());
+        assert_eq!(r.races[0].kind, RaceKind::WriteWrite);
+        assert_eq!(r.races[0].prev_core, 0);
+        assert_eq!(r.races[0].core, 1);
+    }
+
+    #[test]
+    fn same_core_never_races_with_itself() {
+        let mut sink = RaceDetectorSink::new([]);
+        let h = sink.handle();
+        write(&mut sink, 10, 0, 0x8000);
+        read(&mut sink, 20, 0, 0x8000);
+        write(&mut sink, 30, 0, 0x8000);
+        assert!(!h.report().racy());
+    }
+
+    #[test]
+    fn barrier_orders_cross_core_accesses() {
+        let arrival = SyncRegion {
+            kind: RegionKind::Arrival,
+            base: 0x2_0000,
+            bytes: 128,
+        };
+        let spec = spec_with(vec![arrival]);
+        let mut sink = RaceDetectorSink::new([&spec]);
+        let h = sink.handle();
+        write(&mut sink, 10, 0, 0x8000);
+        // Both cores invalidate their arrival line (release) ...
+        sink.record(
+            11,
+            &TraceEvent::Invalidate {
+                core: 0,
+                line: 0x2_0000,
+                icache: false,
+            },
+        );
+        sink.record(
+            12,
+            &TraceEvent::Invalidate {
+                core: 1,
+                line: 0x2_0040,
+                icache: false,
+            },
+        );
+        // ... and their fills complete (acquire).
+        sink.record(
+            20,
+            &TraceEvent::Released {
+                core: 0,
+                line: 0x2_0000,
+            },
+        );
+        sink.record(
+            20,
+            &TraceEvent::Released {
+                core: 1,
+                line: 0x2_0040,
+            },
+        );
+        write(&mut sink, 30, 1, 0x8000);
+        assert!(!h.report().racy(), "{:?}", h.report().races);
+    }
+
+    #[test]
+    fn early_release_is_still_a_race() {
+        // Core 1's fill completes *before* core 0 arrives: core 0's write
+        // is not in the region clock yet, so the conflict must surface.
+        let arrival = SyncRegion {
+            kind: RegionKind::Arrival,
+            base: 0x2_0000,
+            bytes: 128,
+        };
+        let spec = spec_with(vec![arrival]);
+        let mut sink = RaceDetectorSink::new([&spec]);
+        let h = sink.handle();
+        write(&mut sink, 10, 0, 0x8000);
+        sink.record(
+            11,
+            &TraceEvent::Released {
+                core: 1,
+                line: 0x2_0040,
+            },
+        );
+        write(&mut sink, 12, 1, 0x8000);
+        sink.record(
+            13,
+            &TraceEvent::Invalidate {
+                core: 0,
+                line: 0x2_0000,
+                icache: false,
+            },
+        );
+        let r = h.report();
+        assert!(r.racy());
+        assert_eq!(r.races[0].kind, RaceKind::WriteWrite);
+    }
+
+    #[test]
+    fn software_sync_granule_orders_accesses() {
+        let flag = SyncRegion {
+            kind: RegionKind::Flag,
+            base: 0x3_0000,
+            bytes: 64,
+        };
+        let spec = spec_with(vec![flag]);
+        let mut sink = RaceDetectorSink::new([&spec]);
+        let h = sink.handle();
+        write(&mut sink, 10, 0, 0x8000);
+        write(&mut sink, 11, 0, 0x3_0000); // release: store to the flag
+        read(&mut sink, 20, 1, 0x3_0000); // acquire: spin load sees it
+        write(&mut sink, 21, 1, 0x8000);
+        let r = h.report();
+        assert!(!r.racy(), "{:?}", r.races);
+        assert_eq!(r.sync_accesses, 2);
+    }
+
+    #[test]
+    fn hw_barrier_orders_accesses() {
+        let mut sink = RaceDetectorSink::new([]);
+        let h = sink.handle();
+        write(&mut sink, 10, 0, 0x8000);
+        sink.record(11, &TraceEvent::HwBarArrive { core: 0, id: 3 });
+        sink.record(12, &TraceEvent::HwBarArrive { core: 1, id: 3 });
+        sink.record(13, &TraceEvent::HwBarRelease { core: 0, id: 3 });
+        sink.record(13, &TraceEvent::HwBarRelease { core: 1, id: 3 });
+        write(&mut sink, 20, 1, 0x8000);
+        assert!(!h.report().racy());
+    }
+
+    #[test]
+    fn read_write_race_reports_the_reader() {
+        let mut sink = RaceDetectorSink::new([]);
+        let h = sink.handle();
+        read(&mut sink, 10, 0, 0x8000);
+        write(&mut sink, 20, 1, 0x8000);
+        let r = h.report();
+        assert!(r.racy());
+        assert_eq!(r.races[0].kind, RaceKind::ReadWrite);
+        assert_eq!(r.races[0].prev_core, 0);
+    }
+
+    #[test]
+    fn repeat_races_on_a_granule_are_counted_once_in_the_list() {
+        let mut sink = RaceDetectorSink::new([]);
+        let h = sink.handle();
+        write(&mut sink, 10, 0, 0x8000);
+        write(&mut sink, 20, 1, 0x8000);
+        write(&mut sink, 30, 0, 0x8000);
+        let r = h.report();
+        assert_eq!(r.races.len(), 1);
+        assert!(r.total_races >= 2);
+    }
+}

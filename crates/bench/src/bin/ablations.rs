@@ -35,7 +35,7 @@ fn latency_with(config: SimConfig, mechanism: BarrierMechanism, inner: u64, oute
     asm.bne(Reg::S0, Reg::ZERO, "outer");
     asm.halt();
     let program = asm.assemble().expect("assemble");
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut mb = MachineBuilder::new(config, program).expect("builder");
     for _ in 0..cores {
         mb.add_thread(entry);

@@ -1,0 +1,108 @@
+//! Program verifier + race detector over the kernel × mechanism grid.
+//!
+//! Runs every parallel kernel under every barrier mechanism with the
+//! happens-before race detector attached, statically analyzes the exact
+//! program each run executed, and writes the machine-readable verdict
+//! file `BENCH_verify.json` in the current directory.
+//!
+//! Usage: `verify [--quick] [--jobs N] [--out PATH]`
+//!
+//! Every cell must come back *clean* — no static `Error` diagnostics and
+//! no dynamic race — or the binary exits non-zero, printing each dirty
+//! cell's findings. `--quick` shrinks problem sizes for the CI smoke run
+//! (verdicts are size-independent for the shipped kernels; only cycle
+//! counts move). `--jobs N` sizes the host worker pool; cells are
+//! independent simulations, so parallelism cannot change a verdict.
+
+use bench_suite::cli::Cli;
+use bench_suite::report;
+use bench_suite::verify::{run_verify, to_json};
+
+fn main() {
+    let args = Cli::new(
+        "verify",
+        "Static verifier + race detector over every kernel × mechanism → BENCH_verify.json",
+    )
+    .with_out("BENCH_verify.json")
+    .parse();
+    let out_path = args.out.as_deref().expect("--out has a default");
+    let threads = 4;
+
+    let doc = match run_verify(&args.runner, threads, args.quick) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("verify: sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let header: Vec<String> = [
+        "kernel",
+        "mechanism",
+        "errors",
+        "warnings",
+        "races",
+        "reads",
+        "writes",
+        "verdict",
+    ]
+    .map(String::from)
+    .to_vec();
+    let rows: Vec<Vec<String>> = doc
+        .cases
+        .iter()
+        .map(|c| {
+            vec![
+                c.kernel.to_string(),
+                c.mechanism.to_string(),
+                c.errors().to_string(),
+                c.warnings().to_string(),
+                c.races.total_races.to_string(),
+                c.races.reads_checked.to_string(),
+                c.races.writes_checked.to_string(),
+                if c.clean() { "clean" } else { "DIRTY" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "Verifying {} kernels × {} mechanisms at {threads} threads{}",
+        bench_suite::verify::VerifyKernel::ALL.len(),
+        barrier_filter::BarrierMechanism::ALL.len(),
+        if doc.quick { " (quick sizes)" } else { "" },
+    );
+    println!();
+    print!("{}", report::table(&header, &rows));
+
+    if let Err(e) = std::fs::write(out_path, to_json(&doc)) {
+        eprintln!("verify: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!();
+    println!("wrote {out_path}");
+
+    if !doc.passed() {
+        for c in doc.cases.iter().filter(|c| !c.clean()) {
+            eprintln!("{} × {}:", c.kernel, c.mechanism);
+            for d in c
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == analyze::Severity::Error)
+            {
+                eprintln!("  {d}");
+            }
+            for r in &c.races.races {
+                eprintln!(
+                    "  race: {} at {:#x} (cores {} and {}, cycle {})",
+                    r.kind.name(),
+                    r.addr,
+                    r.prev_core,
+                    r.core,
+                    r.cycle
+                );
+            }
+        }
+        eprintln!("verify: FAILED — the cells above are not clean");
+        std::process::exit(1);
+    }
+    println!("verify: all {} cells clean", doc.cases.len());
+}

@@ -2,9 +2,9 @@
 //! consecutive barriers with no work between them (the methodology of §4.2,
 //! following Culler/Singh/Gupta).
 
-use barrier_filter::{BarrierMechanism, BarrierSystem};
+use barrier_filter::{Barrier, BarrierMechanism, BarrierSystem};
 use cmp_sim::{
-    AddressSpace, Machine, MachineBuilder, Measurement, SimConfig, SimError, TraceConfig,
+    AddressSpace, Machine, MachineBuilder, Measurement, SimConfig, SimError, TraceConfig, TraceSink,
 };
 use sim_isa::{Asm, Reg};
 
@@ -60,6 +60,47 @@ pub fn build_latency_machine_tuned(
     trace: TraceConfig,
     burst_budget: u32,
 ) -> Machine {
+    build_latency_machine_inner(mechanism, cores, inner, outer, trace, burst_budget, |_| {
+        None
+    })
+}
+
+/// [`build_latency_machine`] with a hook that may attach a trace sink
+/// (e.g. a race detector) once the barrier is registered. Sinks are
+/// observers: the machine's simulated behaviour is bit-identical to the
+/// unobserved build.
+///
+/// # Panics
+///
+/// Panics on assembler/build failures.
+pub fn build_latency_machine_observed(
+    mechanism: BarrierMechanism,
+    cores: usize,
+    inner: u64,
+    outer: u64,
+    observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
+) -> Machine {
+    let budget = SimConfig::with_cores(cores).burst_budget;
+    build_latency_machine_inner(
+        mechanism,
+        cores,
+        inner,
+        outer,
+        TraceConfig::Off,
+        budget,
+        observe,
+    )
+}
+
+fn build_latency_machine_inner(
+    mechanism: BarrierMechanism,
+    cores: usize,
+    inner: u64,
+    outer: u64,
+    trace: TraceConfig,
+    burst_budget: u32,
+    observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
+) -> Machine {
     let mut config = SimConfig::with_cores(cores);
     config.burst_budget = burst_budget;
     let mut space = AddressSpace::new(&config);
@@ -82,7 +123,7 @@ pub fn build_latency_machine_tuned(
     asm.bne(Reg::S0, Reg::ZERO, "outer");
     asm.halt();
     let program = asm.assemble().expect("assembly");
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut cfg = config;
     cfg.cycle_limit = 2_000_000_000;
     cfg.trace = trace;
@@ -91,6 +132,9 @@ pub fn build_latency_machine_tuned(
         mb.add_thread(entry);
     }
     sys.install(&mut mb).expect("install");
+    if let Some(sink) = observe(&barrier) {
+        mb.with_trace_sink(sink);
+    }
     mb.build().expect("build")
 }
 

@@ -15,6 +15,7 @@
 //! | `ocean_coarse` | §4.1 — coarse-grained (Ocean-like) barrier overhead |
 //! | `ablations` | design ablations called out in DESIGN.md |
 //! | `throughput` | host-side simulator throughput → `BENCH_throughput.json` |
+//! | `verify` | static verifier + race detector grid → `BENCH_verify.json` |
 //!
 //! The library half hosts the shared runners so integration tests and
 //! Criterion benches reuse exactly the code the binaries run.
@@ -26,16 +27,19 @@ pub mod latency;
 pub mod report;
 pub mod sweep;
 pub mod throughput;
+pub mod verify;
 
 pub use chaos::{run_chaos, ChaosDoc, ChaosPoint, ChaosWorkload};
 pub use cli::{BenchArgs, Cli};
 pub use kernel_runs::{measure, measure_on, speedup_table, sweep_grid, GridVariant, SpeedupRow};
 pub use latency::{
-    barrier_latency, barrier_latency_traced, build_latency_machine, build_latency_machine_traced,
-    build_latency_machine_tuned, LatencyPoint,
+    barrier_latency, barrier_latency_traced, build_latency_machine, build_latency_machine_observed,
+    build_latency_machine_traced, build_latency_machine_tuned, LatencyPoint,
 };
 pub use sweep::{JobPanic, SweepRunner};
 pub use throughput::{
-    fig4_sample, run_suite, to_json, viterbi_sample, viterbi_sample_traced, SuiteResult,
-    ThroughputDoc, ThroughputSample, EXPECTED_FIG4_16CORE_DIGEST, EXPECTED_VITERBI_K5_16T_DIGEST,
+    fig4_sample, fig4_sample_observed, run_suite, to_json, viterbi_sample, viterbi_sample_traced,
+    SuiteResult, ThroughputDoc, ThroughputSample, EXPECTED_FIG4_16CORE_DIGEST,
+    EXPECTED_VITERBI_K5_16T_DIGEST,
 };
+pub use verify::{run_verify, verify_case, VerifyCase, VerifyDoc, VerifyKernel};

@@ -119,6 +119,45 @@ pub fn fig4_sample(cores: usize, inner: u64, outer: u64) -> ThroughputSample {
     fold_fig4(cores, &parts)
 }
 
+/// [`fig4_sample`] with a hook that may attach a trace sink (e.g. a race
+/// detector) to each mechanism's machine once its barrier is registered.
+/// Sinks are observers: the chained digest is bit-identical to the
+/// unobserved sample — `tests/determinism.rs` pins this against the
+/// committed [`EXPECTED_FIG4_16CORE_DIGEST`].
+///
+/// # Panics
+///
+/// Panics if any mechanism's run fails.
+pub fn fig4_sample_observed(
+    cores: usize,
+    inner: u64,
+    outer: u64,
+    mut observe: impl FnMut(&barrier_filter::Barrier) -> Option<Box<dyn cmp_sim::TraceSink>>,
+) -> ThroughputSample {
+    let parts: Vec<Fig4Part> = BarrierMechanism::ALL
+        .into_iter()
+        .map(|mechanism| {
+            let mut m = crate::latency::build_latency_machine_observed(
+                mechanism,
+                cores,
+                inner,
+                outer,
+                &mut observe,
+            );
+            let t0 = Instant::now();
+            let summary = m
+                .run()
+                .unwrap_or_else(|e| panic!("fig4 {mechanism} @ {cores} cores failed: {e}"));
+            let wall = t0.elapsed().as_secs_f64();
+            Fig4Part {
+                sim: Measurement::new(&summary, &m.stats()),
+                wall,
+            }
+        })
+        .collect();
+    fold_fig4(cores, &parts)
+}
+
 /// The Viterbi workload: the paper's worst-scaling kernel (K=5, 16
 /// threads, FilterD), dominated by fine-grained barrier episodes and
 /// line ping-pong — a directory/coherence-heavy counterweight to the

@@ -1,0 +1,313 @@
+//! Kernel × mechanism verification sweep: both layers of the `analyze`
+//! crate driven over every shipped parallel kernel.
+//!
+//! Each grid cell runs one kernel under one barrier mechanism with a
+//! [`RaceDetectorSink`] attached, then feeds the assembled program and
+//! its registered [`ProtocolSpec`](barrier_filter::ProtocolSpec) through
+//! the static verifier. A cell is *clean* when the static pass reports no
+//! `Error` and the dynamic pass observed no race — the shipped kernels
+//! must be clean under every mechanism, and the `verify` binary exits
+//! non-zero otherwise.
+//!
+//! The sweep rides the same [`SweepRunner`] as every figure binary: cells
+//! are independent simulations, so host parallelism cannot change a
+//! single verdict.
+
+use analyze::{analyze_program, Diagnostic, RaceDetectorSink, RaceReport, Severity};
+use barrier_filter::BarrierMechanism;
+use cmp_sim::json_escape;
+use kernels::autocorr::Autocorr;
+use kernels::livermore::{Loop1, Loop2, Loop3, Loop4, Loop6};
+use kernels::ocean::OceanProxy;
+use kernels::viterbi::Viterbi;
+use kernels::{KernelError, KernelOutcome};
+use sim_isa::Program;
+
+use crate::sweep::SweepRunner;
+
+/// One verifiable workload: a parallel kernel at the sweep's fixed size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyKernel {
+    /// Livermore Loop 1 (hydro fragment).
+    Loop1,
+    /// Livermore Loop 2 (ICCG).
+    Loop2,
+    /// Livermore Loop 3 (inner product).
+    Loop3,
+    /// Livermore Loop 4 (banded linear equations).
+    Loop4,
+    /// Livermore Loop 6 (general linear recurrence).
+    Loop6,
+    /// EEMBC-like Autocorrelation.
+    Autocorr,
+    /// EEMBC-like Viterbi decoder.
+    Viterbi,
+    /// SPLASH-2 Ocean-like stencil (coarse-grained contrast case).
+    Ocean,
+}
+
+impl VerifyKernel {
+    /// Every parallel kernel in the suite (Loop 5 is inherently serial
+    /// and has no parallel version to verify).
+    pub const ALL: [VerifyKernel; 8] = [
+        VerifyKernel::Loop1,
+        VerifyKernel::Loop2,
+        VerifyKernel::Loop3,
+        VerifyKernel::Loop4,
+        VerifyKernel::Loop6,
+        VerifyKernel::Autocorr,
+        VerifyKernel::Viterbi,
+        VerifyKernel::Ocean,
+    ];
+
+    /// Workload label.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyKernel::Loop1 => "loop1",
+            VerifyKernel::Loop2 => "loop2",
+            VerifyKernel::Loop3 => "loop3",
+            VerifyKernel::Loop4 => "loop4",
+            VerifyKernel::Loop6 => "loop6",
+            VerifyKernel::Autocorr => "autocorr",
+            VerifyKernel::Viterbi => "viterbi",
+            VerifyKernel::Ocean => "ocean",
+        }
+    }
+}
+
+/// The verdict for one kernel × mechanism cell.
+#[derive(Debug, Clone)]
+pub struct VerifyCase {
+    /// Workload label ([`VerifyKernel::name`]).
+    pub kernel: &'static str,
+    /// Barrier mechanism the kernel ran under.
+    pub mechanism: BarrierMechanism,
+    /// Core/thread count of the run.
+    pub threads: usize,
+    /// Every static finding, sorted by program counter.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The dynamic pass's happens-before report.
+    pub races: RaceReport,
+    /// Simulated cycles of the observed run.
+    pub cycles: u64,
+    /// Stats digest of the observed run (must equal the unobserved one).
+    pub stats_digest: u64,
+}
+
+impl VerifyCase {
+    /// Static findings at `Error` severity.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Static findings at `Warning` severity.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// No static `Error` and no dynamic race.
+    pub fn clean(&self) -> bool {
+        self.errors() == 0 && !self.races.racy()
+    }
+}
+
+/// The whole sweep: one [`VerifyCase`] per kernel × mechanism cell.
+#[derive(Debug, Clone)]
+pub struct VerifyDoc {
+    /// Core/thread count every cell ran at.
+    pub threads: usize,
+    /// Whether `--quick` shrank the workloads.
+    pub quick: bool,
+    /// Cells in kernel-major, [`BarrierMechanism::ALL`]-column order.
+    pub cases: Vec<VerifyCase>,
+}
+
+impl VerifyDoc {
+    /// Whether every cell verified clean.
+    pub fn passed(&self) -> bool {
+        self.cases.iter().all(VerifyCase::clean)
+    }
+}
+
+/// Verify one kernel under one mechanism: run it with the race detector
+/// attached, then statically analyze the very program that ran.
+///
+/// # Errors
+///
+/// Labels and propagates kernel failures (which include the harness's own
+/// output validation — a cell that computes wrong answers never reaches
+/// the verifier).
+pub fn verify_case(
+    kernel: VerifyKernel,
+    mechanism: BarrierMechanism,
+    threads: usize,
+    quick: bool,
+) -> Result<VerifyCase, String> {
+    let mut handle = None;
+    let mut spec = None;
+    let (outcome, program) =
+        run_observed(kernel, mechanism, threads, quick, &mut handle, &mut spec)
+            .map_err(|e| format!("{} × {mechanism}: {e}", kernel.name()))?;
+    let spec = spec.expect("parallel kernels always register a barrier");
+    let handle = handle.expect("observe hook always installs the detector");
+    let diagnostics = analyze_program(&program, std::slice::from_ref(&spec));
+    Ok(VerifyCase {
+        kernel: kernel.name(),
+        mechanism,
+        threads,
+        diagnostics,
+        races: handle.report(),
+        cycles: outcome.sim.cycles,
+        stats_digest: outcome.sim.stats_digest,
+    })
+}
+
+fn run_observed(
+    kernel: VerifyKernel,
+    mechanism: BarrierMechanism,
+    threads: usize,
+    quick: bool,
+    handle: &mut Option<analyze::RaceHandle>,
+    spec: &mut Option<barrier_filter::ProtocolSpec>,
+) -> Result<(KernelOutcome, Program), KernelError> {
+    let observe = |bar: &barrier_filter::Barrier| {
+        *spec = Some(bar.protocol().clone());
+        let sink = RaceDetectorSink::new([bar.protocol()]);
+        *handle = Some(sink.handle());
+        Some(Box::new(sink) as Box<dyn cmp_sim::TraceSink>)
+    };
+    match kernel {
+        VerifyKernel::Loop1 => Loop1::new(if quick { 64 } else { 128 })
+            .run_parallel_observed(threads, mechanism, observe),
+        VerifyKernel::Loop2 => Loop2::new(if quick { 64 } else { 128 })
+            .run_parallel_observed(threads, mechanism, observe),
+        VerifyKernel::Loop3 => Loop3::new(if quick { 64 } else { 128 })
+            .run_parallel_observed(threads, mechanism, observe),
+        VerifyKernel::Loop4 => Loop4::new(if quick { 64 } else { 128 })
+            .run_parallel_observed(threads, mechanism, observe),
+        VerifyKernel::Loop6 => Loop6::new(if quick { 24 } else { 40 })
+            .run_parallel_observed(threads, mechanism, observe),
+        VerifyKernel::Autocorr => Autocorr::new(if quick { 64 } else { 96 })
+            .run_parallel_observed(threads, mechanism, observe),
+        VerifyKernel::Viterbi => Viterbi::new(if quick { 24 } else { 48 })
+            .run_parallel_observed(threads, mechanism, observe),
+        VerifyKernel::Ocean => OceanProxy::new(16, if quick { 2 } else { 3 })
+            .run_parallel_observed(threads, mechanism, observe),
+    }
+}
+
+/// Run the full kernel × mechanism grid on `runner`.
+///
+/// # Errors
+///
+/// Collects every failed cell (kernel error or captured panic) into one
+/// report; any failure fails the sweep.
+pub fn run_verify(runner: &SweepRunner, threads: usize, quick: bool) -> Result<VerifyDoc, String> {
+    let grid: Vec<(VerifyKernel, BarrierMechanism)> = VerifyKernel::ALL
+        .into_iter()
+        .flat_map(|k| BarrierMechanism::ALL.into_iter().map(move |m| (k, m)))
+        .collect();
+    let cases = runner.run_all(&grid, |_, &(kernel, mechanism)| {
+        verify_case(kernel, mechanism, threads, quick)
+    })?;
+    let cases: Result<Vec<VerifyCase>, String> = cases.into_iter().collect();
+    Ok(VerifyDoc {
+        threads,
+        quick,
+        cases: cases?,
+    })
+}
+
+/// Render the sweep as the machine-readable `BENCH_verify.json` document.
+pub fn to_json(doc: &VerifyDoc) -> String {
+    let mut out = String::from("{\n  \"schema\": \"fastbar-verify/v1\",\n");
+    out.push_str(&format!("  \"threads\": {},\n", doc.threads));
+    out.push_str(&format!("  \"quick\": {},\n", doc.quick));
+    out.push_str(&format!("  \"passed\": {},\n", doc.passed()));
+    out.push_str("  \"cases\": [\n");
+    for (i, c) in doc.cases.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"kernel\": \"{}\", ", json_escape(c.kernel)));
+        out.push_str(&format!(
+            "\"mechanism\": \"{}\", ",
+            json_escape(&c.mechanism.to_string())
+        ));
+        out.push_str(&format!("\"errors\": {}, ", c.errors()));
+        out.push_str(&format!("\"warnings\": {}, ", c.warnings()));
+        out.push_str(&format!("\"races\": {}, ", c.races.total_races));
+        out.push_str(&format!("\"reads_checked\": {}, ", c.races.reads_checked));
+        out.push_str(&format!("\"writes_checked\": {}, ", c.races.writes_checked));
+        out.push_str(&format!("\"sync_accesses\": {}, ", c.races.sync_accesses));
+        out.push_str(&format!("\"cycles\": {}, ", c.cycles));
+        out.push_str(&format!("\"stats_digest\": \"{:#018x}\", ", c.stats_digest));
+        out.push_str("\"findings\": [");
+        for (j, d) in c.diagnostics.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"severity\": \"{}\", \"rule\": \"{}\", \"message\": \"{}\"",
+                d.severity,
+                json_escape(d.rule),
+                json_escape(&d.message)
+            ));
+            if let Some(pc) = d.pc {
+                out.push_str(&format!(", \"pc\": \"{pc:#x}\""));
+            }
+            out.push('}');
+            if j + 1 < c.diagnostics.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("]}");
+        if i + 1 < doc.cases.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_cell_verifies_clean() {
+        let case = verify_case(VerifyKernel::Loop3, BarrierMechanism::FilterD, 4, true)
+            .expect("cell runs");
+        assert!(case.clean(), "shipped kernel must be clean: {case:#?}");
+        assert!(case.races.reads_checked > 0);
+        assert!(case.races.writes_checked > 0);
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let case = verify_case(
+            VerifyKernel::Autocorr,
+            BarrierMechanism::HwDedicated,
+            4,
+            true,
+        )
+        .expect("cell runs");
+        let doc = VerifyDoc {
+            threads: 4,
+            quick: true,
+            cases: vec![case],
+        };
+        let json = to_json(&doc);
+        assert!(json.contains("\"schema\": \"fastbar-verify/v1\""));
+        assert!(json.contains("\"kernel\": \"autocorr\""));
+        assert!(json.contains("\"passed\": true"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+    }
+}

@@ -8,10 +8,14 @@
 //! has no randomized fallback, so any divergence here is a real engine bug,
 //! not flakiness.
 
+use analyze::RaceDetectorSink;
 use barrier_filter::BarrierMechanism;
 use bench_suite::latency::{build_latency_machine_traced, build_latency_machine_tuned};
+use bench_suite::throughput::{
+    fig4_sample_observed, EXPECTED_FIG4_16CORE_DIGEST, EXPECTED_VITERBI_K5_16T_DIGEST,
+};
 use bench_suite::{build_latency_machine, SweepRunner};
-use cmp_sim::TraceConfig;
+use cmp_sim::{TraceConfig, TraceSink};
 use kernels::viterbi::Viterbi;
 
 /// Run the Figure 4 micro-benchmark twice from scratch and require the
@@ -105,6 +109,61 @@ fn trace_sinks_never_change_simulated_behaviour() {
         }
     }
     std::fs::remove_file(&tmp).ok();
+}
+
+/// The strongest form of the observer contract: attaching the
+/// happens-before race detector to the two committed throughput
+/// workloads must reproduce their *pinned* digests bit-for-bit — not
+/// merely match an unobserved re-run, but land on the exact constants
+/// every past trajectory committed to. A detector that acquires a
+/// simulated resource, reorders an event, or even perturbs trace
+/// emission timing fails here. And the observation is not vacuous: the
+/// detector must actually have processed events and found both
+/// workloads race-free.
+#[test]
+fn race_detector_leaves_pinned_digests_bit_identical() {
+    // fig4_16core: all seven mechanisms at 16 cores, 64 × 64 barriers,
+    // one detector per mechanism run.
+    let mut handles = Vec::new();
+    let fig4 = fig4_sample_observed(16, 64, 64, |bar| {
+        let sink = RaceDetectorSink::new([bar.protocol()]);
+        handles.push(sink.handle());
+        Some(Box::new(sink) as Box<dyn TraceSink>)
+    });
+    assert_eq!(
+        fig4.sim.stats_digest, EXPECTED_FIG4_16CORE_DIGEST,
+        "fig4_16core digest moved under observation: {:#018x} != committed {:#018x}",
+        fig4.sim.stats_digest, EXPECTED_FIG4_16CORE_DIGEST
+    );
+    assert_eq!(handles.len(), BarrierMechanism::ALL.len());
+    let mut observed_traffic = 0;
+    for handle in &handles {
+        let report = handle.report();
+        assert!(!report.racy(), "barrier loop raced: {:?}", report.races);
+        // The dedicated-network loop legitimately touches no memory at
+        // all; the software and filter loops must show sync traffic.
+        observed_traffic += report.sync_accesses + report.writes_checked;
+    }
+    assert!(observed_traffic > 0, "no detector saw any event — vacuous");
+
+    // viterbi_k5_16t: the committed kernel workload (K=5, 96 data bits,
+    // 16 threads, FilterD), observed end to end.
+    let mut handle = None;
+    let (outcome, _) = Viterbi::new(96)
+        .run_parallel_observed(16, BarrierMechanism::FilterD, |bar| {
+            let sink = RaceDetectorSink::new([bar.protocol()]);
+            handle = Some(sink.handle());
+            Some(Box::new(sink))
+        })
+        .expect("observed viterbi workload");
+    assert_eq!(
+        outcome.sim.stats_digest, EXPECTED_VITERBI_K5_16T_DIGEST,
+        "viterbi_k5_16t digest moved under observation: {:#018x} != committed {:#018x}",
+        outcome.sim.stats_digest, EXPECTED_VITERBI_K5_16T_DIGEST
+    );
+    let report = handle.expect("observe hook ran").report();
+    assert!(!report.racy(), "viterbi raced: {:?}", report.races);
+    assert!(report.reads_checked > 0 && report.writes_checked > 0);
 }
 
 /// Per-episode accounting on a FilterD barrier loop at N threads: each of

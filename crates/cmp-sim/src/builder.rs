@@ -307,7 +307,7 @@ mod tests {
     fn rejects_too_many_threads() {
         let cfg = SimConfig::with_cores(1);
         let p = halt_program();
-        let entry = p.require_symbol("entry");
+        let entry = p.require_symbol("entry").unwrap();
         let mut b = MachineBuilder::new(cfg, p).unwrap();
         b.add_thread(entry);
         b.add_thread(entry);
@@ -368,7 +368,7 @@ mod tests {
     fn tid_and_ntid_are_set() {
         let cfg = SimConfig::with_cores(4);
         let p = halt_program();
-        let entry = p.require_symbol("entry");
+        let entry = p.require_symbol("entry").unwrap();
         let mut b = MachineBuilder::new(cfg, p).unwrap();
         for _ in 0..3 {
             b.add_thread(entry);

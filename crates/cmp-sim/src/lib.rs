@@ -45,7 +45,7 @@
 //! a.halt();
 //! let program = a.assemble()?;
 //!
-//! let entry = program.require_symbol("entry");
+//! let entry = program.require_symbol("entry").unwrap();
 //! let mut b = MachineBuilder::new(config, program)?;
 //! b.add_thread(entry);
 //! b.add_thread(entry);

@@ -463,6 +463,11 @@ impl Machine {
         self.now
     }
 
+    /// The program this machine executes (for post-run static analysis).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
     /// Instructions retired via the core-step burst fast path so far.
     ///
     /// A host-side engine metric: it varies with
@@ -805,6 +810,11 @@ impl Machine {
                 let value = if error {
                     FILL_ERROR_SENTINEL & mask_for(width)
                 } else {
+                    self.trace(TraceEvent::DataRead {
+                        core: c,
+                        addr,
+                        bytes: width.bytes(),
+                    });
                     self.mem.read_le(addr, width.bytes() as usize)
                 };
                 self.cores[c].set_reg(rd, value);
@@ -820,6 +830,11 @@ impl Machine {
                 let value = if error {
                     f64::from_bits(FILL_ERROR_SENTINEL)
                 } else {
+                    self.trace(TraceEvent::DataRead {
+                        core: c,
+                        addr,
+                        bytes: 8,
+                    });
                     self.mem.read_f64(addr)
                 };
                 self.cores[c].set_freg(fd, value);
@@ -835,6 +850,11 @@ impl Machine {
                     self.mem.write_u64(addr, src);
                     self.clear_links(line);
                     self.cores[c].stats.stores += 1;
+                    self.trace(TraceEvent::DataWrite {
+                        core: c,
+                        addr,
+                        bytes: 8,
+                    });
                 }
                 self.cores[c].set_reg(rd, ok as u64);
                 self.schedule(at, Ev::CoreReady(c));
@@ -1141,6 +1161,7 @@ impl Machine {
                     // the episode's last arriver, released by its own
                     // invalidate an event earlier).
                     self.tracker.note_serviced();
+                    self.trace(TraceEvent::Serviced { core: c, line });
                     let th = self.hook_ports[bank].acquire(t, hook_cy);
                     let ready = th + hook_cy + l2_lat;
                     self.schedule(
@@ -1421,6 +1442,11 @@ impl Machine {
                 if self.l1d[c].lookup(line).is_some() {
                     let v = self.mem.read_f64(addr);
                     self.cores[c].set_freg(fd, v);
+                    self.trace(TraceEvent::DataRead {
+                        core: c,
+                        addr,
+                        bytes: 8,
+                    });
                     self.finish_units(c, sc.load, next);
                 } else {
                     let access = self.miss_path(
@@ -1451,7 +1477,7 @@ impl Machine {
             Instr::Sc(rd, src, base, off) => {
                 let addr = r(base).wrapping_add(off as u64);
                 self.check_aligned(c, pc, addr, 8)?;
-                if self.program.contains_code(addr) {
+                if self.program.overlaps_code(addr, 8) {
                     return Err(SimError::CodeRegionWrite { core: c, pc, addr });
                 }
                 let line = line_of(addr);
@@ -1594,6 +1620,7 @@ impl Machine {
                         let resume = list.iter().map(|&(_, at)| at).max().unwrap_or(now);
                         for (core, at) in list {
                             self.cores[core].waiting = Waiting::None;
+                            self.trace(TraceEvent::HwBarRelease { core, id });
                             self.schedule(at, Ev::CoreReady(core));
                         }
                         let ev = self.tracker.close_hw(id, now, resume);
@@ -1658,6 +1685,11 @@ impl Machine {
             if set_link {
                 self.cores[c].link = Some(line);
             }
+            self.trace(TraceEvent::DataRead {
+                core: c,
+                addr,
+                bytes: width.bytes(),
+            });
             self.finish_units(c, self.scaled.load, next);
             return Ok(());
         }
@@ -1695,7 +1727,7 @@ impl Machine {
         let now = self.now;
         let t = self.config.timing;
         self.check_aligned(c, pc, addr, width.bytes())?;
-        if self.program.contains_code(addr) {
+        if self.program.overlaps_code(addr, width.bytes()) {
             return Err(SimError::CodeRegionWrite { core: c, pc, addr });
         }
         if self.cores[c].store_buffer.len() >= self.config.store_buffer_entries {
@@ -1707,6 +1739,11 @@ impl Machine {
         self.mem.write_le(addr, width.bytes() as usize, value);
         self.clear_links(line);
         self.cores[c].stats.stores += 1;
+        self.trace(TraceEvent::DataWrite {
+            core: c,
+            addr,
+            bytes: width.bytes(),
+        });
         self.cores[c].store_buffer.push_back(line);
         if !self.cores[c].draining {
             self.cores[c].draining = true;

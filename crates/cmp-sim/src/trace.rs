@@ -99,9 +99,46 @@ pub enum TraceEvent {
         /// Line address.
         line: u64,
     },
+    /// A data value was read from memory (load, `fld` or `ll` retiring,
+    /// whether it hit or came back from a miss). Carries the byte address
+    /// and width so the race detector can compare overlapping accesses.
+    DataRead {
+        /// Reading core.
+        core: usize,
+        /// Byte address of the access.
+        addr: u64,
+        /// Access width in bytes.
+        bytes: u64,
+    },
+    /// A data value was written to memory (store, `fst`, or a successful
+    /// `sc`).
+    DataWrite {
+        /// Writing core.
+        core: usize,
+        /// Byte address of the access.
+        addr: u64,
+        /// Access width in bytes.
+        bytes: u64,
+    },
+    /// A fill arrived at an open bank hook and was serviced straight
+    /// through without parking (typically the last arriver of an episode).
+    Serviced {
+        /// Requesting core.
+        core: usize,
+        /// Line address.
+        line: u64,
+    },
     /// A core signalled the dedicated barrier network (`hwbar`).
     HwBarArrive {
         /// Arriving core.
+        core: usize,
+        /// Barrier group id.
+        id: u16,
+    },
+    /// The dedicated barrier network released a stalled core (all members
+    /// of group `id` had arrived).
+    HwBarRelease {
+        /// Resumed core.
         core: usize,
         /// Barrier group id.
         id: u16,
@@ -284,8 +321,16 @@ pub struct TraceMetrics {
     pub cache_to_cache: u64,
     /// Dedicated-network arrival signals.
     pub hw_arrivals: u64,
+    /// Dedicated-network core releases.
+    pub hw_releases: u64,
     /// Barrier episodes completed.
     pub episodes: u64,
+    /// Data values read from memory.
+    pub data_reads: u64,
+    /// Data values written to memory.
+    pub data_writes: u64,
+    /// Fills serviced straight through an open hook without parking.
+    pub serviced: u64,
 }
 
 impl TraceMetrics {
@@ -300,7 +345,11 @@ impl TraceMetrics {
             + self.upgrades
             + self.cache_to_cache
             + self.hw_arrivals
+            + self.hw_releases
             + self.episodes
+            + self.data_reads
+            + self.data_writes
+            + self.serviced
     }
 }
 
@@ -330,7 +379,11 @@ impl TraceSink for MetricsSink {
             TraceEvent::Upgrade { .. } => m.upgrades += 1,
             TraceEvent::CacheToCache { .. } => m.cache_to_cache += 1,
             TraceEvent::HwBarArrive { .. } => m.hw_arrivals += 1,
+            TraceEvent::HwBarRelease { .. } => m.hw_releases += 1,
             TraceEvent::EpisodeEnd { .. } => m.episodes += 1,
+            TraceEvent::DataRead { .. } => m.data_reads += 1,
+            TraceEvent::DataWrite { .. } => m.data_writes += 1,
+            TraceEvent::Serviced { .. } => m.serviced += 1,
         }
     }
 
@@ -468,6 +521,28 @@ impl TraceSink for ChromeTraceSink {
             }
             TraceEvent::HwBarArrive { core, id } => {
                 self.instant(cycle, "hwbar-arrive", core, &format!("\"group\":{id}"));
+            }
+            TraceEvent::HwBarRelease { core, id } => {
+                self.instant(cycle, "hwbar-release", core, &format!("\"group\":{id}"));
+            }
+            TraceEvent::DataRead { core, addr, bytes } => {
+                self.instant(
+                    cycle,
+                    "data-read",
+                    core,
+                    &format!("\"addr\":\"{addr:#x}\",\"bytes\":{bytes}"),
+                );
+            }
+            TraceEvent::DataWrite { core, addr, bytes } => {
+                self.instant(
+                    cycle,
+                    "data-write",
+                    core,
+                    &format!("\"addr\":\"{addr:#x}\",\"bytes\":{bytes}"),
+                );
+            }
+            TraceEvent::Serviced { core, line } => {
+                self.instant(cycle, "serviced", core, &format!("\"line\":\"{line:#x}\""));
             }
             TraceEvent::EpisodeEnd {
                 bank,

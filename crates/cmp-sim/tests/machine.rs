@@ -9,7 +9,7 @@ use cmp_sim::{
 use sim_isa::{line_of, Asm, FReg, Program, Reg};
 
 fn build(config: SimConfig, program: Program, threads: usize) -> (cmp_sim::Machine, u64) {
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut b = MachineBuilder::new(config, program).unwrap();
     for _ in 0..threads {
         b.add_thread(entry);
@@ -61,7 +61,7 @@ fn fp_kernel_matches_host() {
     a.fst(FReg::F0, Reg::T1, 0);
     a.halt();
     let program = a.assemble().unwrap();
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut b = MachineBuilder::new(cfg, program).unwrap();
     b.write_f64_slice(data, &[1.5, -2.0, 0.25]);
     b.add_thread(entry);
@@ -287,7 +287,7 @@ fn icbi_invalidates_instruction_cache_everywhere() {
     a.bne(Reg::T0, Reg::ZERO, "loop");
     a.halt();
     let program = a.assemble().unwrap();
-    let loop_pc = program.require_symbol("loop");
+    let loop_pc = program.require_symbol("loop").unwrap();
     // Rebuild with the correct immediate (simpler than label math in asm).
     let mut a = Asm::new();
     a.label("entry").unwrap();
@@ -359,7 +359,7 @@ fn hwbar_synchronizes_and_is_fast() {
     a.std(Reg::T3, Reg::T1, 0);
     a.halt();
     let program = a.assemble().unwrap();
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut b = MachineBuilder::new(cfg, program).unwrap();
     for _ in 0..4 {
         b.add_thread(entry);
@@ -396,7 +396,7 @@ fn one_sided_hwbar_deadlocks_with_report() {
     a.label("skip").unwrap();
     a.halt();
     let program = a.assemble().unwrap();
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut b = MachineBuilder::new(cfg, program).unwrap();
     b.add_thread(entry);
     b.add_thread(entry);
@@ -576,7 +576,7 @@ fn parked_fill_starves_until_release_invalidate() {
     a.dcbi(Reg::T0, 0);
     a.halt();
     let program = a.assemble().unwrap();
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut b = MachineBuilder::new(cfg, program).unwrap();
     b.add_thread(entry);
     b.add_thread(entry);
@@ -620,7 +620,7 @@ fn parked_fill_with_no_release_deadlocks() {
     a.ldd(Reg::T1, Reg::T0, 0);
     a.halt();
     let program = a.assemble().unwrap();
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut b = MachineBuilder::new(cfg, program).unwrap();
     b.add_thread(entry);
     b.install_hook(
@@ -669,7 +669,7 @@ fn context_switch_out_and_resume_reissues_fill() {
     a.dcbi(Reg::T0, 0);
     a.halt();
     let program = a.assemble().unwrap();
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut b = MachineBuilder::new(cfg, program).unwrap();
     b.add_thread(entry);
     b.add_thread(entry);
@@ -722,7 +722,7 @@ fn resume_after_release_is_serviced_immediately() {
     a.dcbi(Reg::T0, 0);
     a.halt();
     let program = a.assemble().unwrap();
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut b = MachineBuilder::new(cfg, program).unwrap();
     b.add_thread(entry);
     b.add_thread(entry);

@@ -52,7 +52,7 @@
 //! asm.halt();
 //!
 //! let program = asm.assemble()?;
-//! let entry = program.require_symbol("entry");
+//! let entry = program.require_symbol("entry").unwrap();
 //! let mut mb = MachineBuilder::new(config, program)?;
 //! for _ in 0..4 {
 //!     mb.add_thread(entry);
@@ -69,12 +69,14 @@ mod bank;
 pub mod emit;
 pub mod fsm;
 mod mechanism;
+mod protocol;
 mod system;
 mod table;
 
 pub use bank::FilterBank;
 pub use fsm::{FsmAction, FsmEvent, FsmViolation, ThreadState};
 pub use mechanism::{BarrierMechanism, ParseMechanismError};
+pub use protocol::{ProtocolSpec, RegionKind, SyncRegion};
 pub use system::{Barrier, BarrierError, BarrierSystem, FilterCapacity};
 pub use table::{
     FilterTable, FilterTableConfig, FilterTableStats, SavedFilter, TableFill, TableInvalidate,

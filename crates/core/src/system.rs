@@ -24,6 +24,7 @@ use crate::bank::FilterBank;
 use crate::emit;
 use crate::fsm::ThreadState;
 use crate::mechanism::BarrierMechanism;
+use crate::protocol::{ProtocolSpec, RegionKind, SyncRegion};
 use crate::table::{FilterTable, FilterTableConfig};
 
 /// Hardware provisioning: how many filter tables each L2 bank controller
@@ -122,6 +123,7 @@ pub struct Barrier {
     label: String,
     threads: usize,
     arrival_base: Option<u64>,
+    protocol: ProtocolSpec,
 }
 
 impl Barrier {
@@ -167,6 +169,13 @@ impl Barrier {
     /// for software and dedicated-network barriers.
     pub fn arrival_base(&self) -> Option<u64> {
         self.arrival_base
+    }
+
+    /// The machine-readable protocol description: which address ranges
+    /// this barrier synchronizes through and what role each plays. Static
+    /// linters and the dynamic race detector consume this.
+    pub fn protocol(&self) -> &ProtocolSpec {
+        &self.protocol
     }
 }
 
@@ -328,18 +337,44 @@ impl BarrierSystem {
         self.next_id += 1;
         let granule = self.config.bank_granule();
         let mut arrival_base = None;
+        let mut regions = Vec::new();
+        let mut tls_offset = None;
+        let mut hw_group = None;
         let label = match actual {
             SwCentral => {
                 let counter = space.alloc_lines(1)?;
                 let flag = space.alloc_lines(1)?;
                 let tls = self.alloc_tls_slot()?;
+                regions.push(SyncRegion {
+                    kind: RegionKind::Counter,
+                    base: counter,
+                    bytes: LINE_BYTES,
+                });
+                regions.push(SyncRegion {
+                    kind: RegionKind::Flag,
+                    base: flag,
+                    bytes: LINE_BYTES,
+                });
+                tls_offset = Some(tls);
                 emit::sw_central(asm, id, counter, flag, tls)?
             }
             SwTree => {
                 let levels = usize::BITS as usize - (threads.max(2) - 1).leading_zeros() as usize;
-                let counters = space.alloc_lines(levels as u64 * threads as u64)?;
-                let flags = space.alloc_lines(levels as u64 * threads as u64)?;
+                let lines = levels as u64 * threads as u64;
+                let counters = space.alloc_lines(lines)?;
+                let flags = space.alloc_lines(lines)?;
                 let tls = self.alloc_tls_slot()?;
+                regions.push(SyncRegion {
+                    kind: RegionKind::Counter,
+                    base: counters,
+                    bytes: lines * LINE_BYTES,
+                });
+                regions.push(SyncRegion {
+                    kind: RegionKind::Flag,
+                    base: flags,
+                    bytes: lines * LINE_BYTES,
+                });
+                tls_offset = Some(tls);
                 emit::sw_tree(asm, id, counters, flags, tls)?
             }
             FilterD => {
@@ -349,6 +384,16 @@ impl BarrierSystem {
                 let a_base = space.alloc_bank_lines(bank, threads as u64)?;
                 let e_base = space.alloc_bank_lines(bank, threads as u64)?;
                 arrival_base = Some(a_base);
+                regions.push(ProtocolSpec::thread_lines(
+                    RegionKind::Arrival,
+                    a_base,
+                    threads,
+                ));
+                regions.push(ProtocolSpec::thread_lines(
+                    RegionKind::Exit,
+                    e_base,
+                    threads,
+                ));
                 let cfg = self.table_config(a_base, Some(e_base), threads, ThreadState::Waiting);
                 self.per_bank[bank].push(cfg);
                 emit::filter_d(asm, id, a_base, e_base)?
@@ -361,6 +406,13 @@ impl BarrierSystem {
                 let a1 = space.alloc_bank_lines(bank, threads as u64)?;
                 arrival_base = Some(a0);
                 let tls = self.alloc_tls_slot()?;
+                regions.push(ProtocolSpec::thread_lines(RegionKind::Arrival, a0, threads));
+                regions.push(ProtocolSpec::thread_lines(
+                    RegionKind::ArrivalAlt,
+                    a1,
+                    threads,
+                ));
+                tls_offset = Some(tls);
                 let cfg = self.table_config(a0, Some(a1), threads, ThreadState::Waiting);
                 self.per_bank[bank].push(cfg);
                 let cfg = self.table_config(a1, Some(a0), threads, ThreadState::Servicing);
@@ -375,6 +427,16 @@ impl BarrierSystem {
                 }
                 let e_base = space.alloc_bank_lines(bank, threads as u64)?;
                 arrival_base = Some(a_base);
+                regions.push(ProtocolSpec::thread_lines(
+                    RegionKind::Arrival,
+                    a_base,
+                    threads,
+                ));
+                regions.push(ProtocolSpec::thread_lines(
+                    RegionKind::Exit,
+                    e_base,
+                    threads,
+                ));
                 let cfg = self.table_config(a_base, Some(e_base), threads, ThreadState::Waiting);
                 self.per_bank[bank].push(cfg);
                 emit::filter_i(asm, id, a_base, e_base)?
@@ -388,6 +450,13 @@ impl BarrierSystem {
                 }
                 arrival_base = Some(a0);
                 let tls = self.alloc_tls_slot()?;
+                regions.push(ProtocolSpec::thread_lines(RegionKind::Arrival, a0, threads));
+                regions.push(ProtocolSpec::thread_lines(
+                    RegionKind::ArrivalAlt,
+                    a1,
+                    threads,
+                ));
+                tls_offset = Some(tls);
                 let cfg = self.table_config(a0, Some(a1), threads, ThreadState::Waiting);
                 self.per_bank[bank].push(cfg);
                 let cfg = self.table_config(a1, Some(a0), threads, ThreadState::Servicing);
@@ -397,8 +466,17 @@ impl BarrierSystem {
             HwDedicated => {
                 let hw_id = self.hw_groups.len() as u16;
                 self.hw_groups.push((hw_id, threads));
+                hw_group = Some(hw_id);
                 emit::hw_dedicated(asm, id, hw_id)?
             }
+        };
+        let protocol = ProtocolSpec {
+            mechanism: actual,
+            entry: label.clone(),
+            threads,
+            regions,
+            tls_offset,
+            hw_id: hw_group,
         };
         Ok(Barrier {
             id,
@@ -407,6 +485,7 @@ impl BarrierSystem {
             label,
             threads,
             arrival_base,
+            protocol,
         })
     }
 
@@ -444,6 +523,17 @@ impl BarrierSystem {
         let cfg = self.table_config(a_base, Some(e_base), threads, ThreadState::Waiting);
         self.per_bank[bank].push(cfg);
         let label = emit::filter_d_checked(asm, id, a_base, e_base)?;
+        let protocol = ProtocolSpec {
+            mechanism: BarrierMechanism::FilterD,
+            entry: label.clone(),
+            threads,
+            regions: vec![
+                ProtocolSpec::thread_lines(RegionKind::Arrival, a_base, threads),
+                ProtocolSpec::thread_lines(RegionKind::Exit, e_base, threads),
+            ],
+            tls_offset: None,
+            hw_id: None,
+        };
         Ok(Barrier {
             id,
             mechanism: BarrierMechanism::FilterD,
@@ -451,6 +541,7 @@ impl BarrierSystem {
             label,
             threads,
             arrival_base: Some(a_base),
+            protocol,
         })
     }
 
@@ -576,7 +667,7 @@ mod tests {
         asm.label("entry").unwrap();
         asm.halt();
         let program = asm.assemble().unwrap();
-        let entry = program.require_symbol("entry");
+        let entry = program.require_symbol("entry").unwrap();
         let mut mb = MachineBuilder::new(config, program).unwrap();
         mb.add_thread(entry); // only one of four
         assert!(matches!(

@@ -59,7 +59,7 @@ fn run_phase_test(mechanism: BarrierMechanism, threads: usize, phases: u64) -> M
     let errs = space.alloc_lines(threads as u64).unwrap();
     emit_phase_kernel(&mut asm, &barrier, slots, errs, phases);
     let program = asm.assemble().unwrap();
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut cfg = config;
     cfg.cycle_limit = 50_000_000;
     let mut mb = MachineBuilder::new(cfg, program).unwrap();
@@ -158,7 +158,7 @@ fn barrier_latency(mechanism: BarrierMechanism, threads: usize, inner: u64, oute
     asm.bne(Reg::S0, Reg::ZERO, "outer");
     asm.halt();
     let program = asm.assemble().unwrap();
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut cfg = config;
     cfg.cycle_limit = 500_000_000;
     let mut mb = MachineBuilder::new(cfg, program).unwrap();
@@ -230,7 +230,7 @@ fn software_fallback_still_synchronizes() {
     let errs = space.alloc_lines(threads as u64).unwrap();
     emit_phase_kernel(&mut asm, &barrier, slots, errs, 3);
     let program = asm.assemble().unwrap();
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut mb = MachineBuilder::new(config, program).unwrap();
     for _ in 0..threads {
         mb.add_thread(entry);
@@ -261,7 +261,7 @@ fn loading_an_arrival_address_without_invalidate_is_an_exception() {
     barrier.emit_call(&mut asm);
     asm.halt();
     let program = asm.assemble().unwrap();
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut mb = MachineBuilder::new(config, program).unwrap();
     for _ in 0..threads {
         mb.add_thread(entry);
@@ -312,7 +312,7 @@ fn hardware_timeout_embeds_error_code_in_reply() {
     asm.label("absent").unwrap();
     asm.halt();
     let program = asm.assemble().unwrap();
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut mb = MachineBuilder::new(config, program).unwrap();
     for _ in 0..threads {
         mb.add_thread(entry);
@@ -365,7 +365,7 @@ fn many_barriers_coexist_in_one_program() {
     asm.std(Reg::T2, Reg::T1, 0);
     asm.halt();
     let program = asm.assemble().unwrap();
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut mb = MachineBuilder::new(config, program).unwrap();
     for _ in 0..threads {
         mb.add_thread(entry);
@@ -403,7 +403,7 @@ fn filter_barriers_generate_no_coherence_upgrades() {
         asm.bne(Reg::S0, Reg::ZERO, "loop");
         asm.halt();
         let program = asm.assemble().unwrap();
-        let entry = program.require_symbol("entry");
+        let entry = program.require_symbol("entry").unwrap();
         let mut mb = MachineBuilder::new(config, program).unwrap();
         for _ in 0..threads {
             mb.add_thread(entry);
@@ -438,7 +438,7 @@ fn checked_barrier_retries_through_hardware_timeouts() {
     asm.label("entry").unwrap();
     a_delay_then_barrier(&mut asm, &barrier, out);
     let program = asm.assemble().unwrap();
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut mb = MachineBuilder::new(config, program).unwrap();
     for _ in 0..threads {
         mb.add_thread(entry);

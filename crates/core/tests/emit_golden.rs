@@ -1,0 +1,121 @@
+//! Golden-disassembly snapshots for every barrier runtime routine.
+//!
+//! Each test emits one mechanism at fixed addresses, disassembles the
+//! whole image (labels included), and compares it byte-for-byte against
+//! `tests/golden/<name>.asm`. A mismatch means the emitted runtime code
+//! changed: inspect the diff, and if the change is intended refresh the
+//! snapshots with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p barrier-filter --test emit_golden
+//! ```
+//!
+//! The snapshots double as readable documentation of the seven §4
+//! mechanisms, and pin exactly the sequences the static barrier-protocol
+//! linter checks for (dcbi→fetch, isync placement, ping-pong
+//! alternation).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use barrier_filter::emit;
+use sim_isa::{Asm, AsmError, CODE_BASE, INSTR_BYTES};
+
+/// Line-aligned data addresses well clear of the code region.
+const BASE_A: u64 = 0x2_0000;
+const BASE_B: u64 = 0x2_0800;
+const THREADS: usize = 4;
+const GRANULE: u64 = 4096;
+
+fn disasm_image(asm: Asm) -> String {
+    let program = asm.assemble().expect("routine must assemble");
+    let mut by_pc: BTreeMap<u64, Vec<&str>> = BTreeMap::new();
+    for (name, pc) in program.symbols() {
+        by_pc.entry(pc).or_default().push(name);
+    }
+    let mut out = String::new();
+    let mut pc = CODE_BASE;
+    while pc < program.code_end() {
+        for name in by_pc.get(&pc).into_iter().flatten() {
+            let _ = writeln!(out, "{name}:");
+        }
+        let instr = program.fetch(pc).expect("pc inside the image");
+        let _ = writeln!(out, "    {pc:#x}: {instr}");
+        pc += INSTR_BYTES;
+    }
+    out
+}
+
+fn check(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.asm"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {}: {e}", path.display()));
+    assert_eq!(
+        actual, want,
+        "emitted code for `{name}` no longer matches its snapshot; \
+         if the change is intended, refresh with UPDATE_GOLDEN=1"
+    );
+}
+
+fn snapshot(name: &str, emit_body: impl FnOnce(&mut Asm) -> Result<String, AsmError>) {
+    let mut asm = Asm::new();
+    emit_body(&mut asm).expect("emitter succeeds");
+    check(name, &disasm_image(asm));
+}
+
+#[test]
+fn sw_central_matches_snapshot() {
+    snapshot("sw_central", |a| emit::sw_central(a, 0, BASE_A, BASE_B, 0));
+}
+
+#[test]
+fn sw_tree_matches_snapshot() {
+    snapshot("sw_tree", |a| emit::sw_tree(a, 0, BASE_A, BASE_B, 0));
+}
+
+#[test]
+fn filter_d_matches_snapshot() {
+    snapshot("filter_d", |a| emit::filter_d(a, 0, BASE_A, BASE_B));
+}
+
+#[test]
+fn filter_d_checked_matches_snapshot() {
+    snapshot("filter_d_checked", |a| {
+        emit::filter_d_checked(a, 0, BASE_A, BASE_B)
+    });
+}
+
+#[test]
+fn filter_d_ping_pong_matches_snapshot() {
+    snapshot("filter_d_ping_pong", |a| {
+        emit::filter_d_ping_pong(a, 0, BASE_A, BASE_B, 0)
+    });
+}
+
+#[test]
+fn filter_i_matches_snapshot() {
+    snapshot("filter_i", |a| {
+        let a_base = emit::arrival_stubs(a, THREADS, GRANULE);
+        emit::filter_i(a, 0, a_base, BASE_B)
+    });
+}
+
+#[test]
+fn filter_i_ping_pong_matches_snapshot() {
+    snapshot("filter_i_ping_pong", |a| {
+        let (a0, a1) = emit::arrival_stub_pair(a, THREADS, GRANULE);
+        emit::filter_i_ping_pong(a, 0, a0, a1, 0)
+    });
+}
+
+#[test]
+fn hw_dedicated_matches_snapshot() {
+    snapshot("hw_dedicated", |a| emit::hw_dedicated(a, 0, 7));
+}

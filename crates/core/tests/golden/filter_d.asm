@@ -1,0 +1,15 @@
+    0x10000: jal zero, 0x10038
+bar0_filter_d:
+    0x10004: sync
+    0x10008: li k0, 131072
+    0x1000c: slli k1, tid, 6
+    0x10010: add k0, k0, k1
+    0x10014: dcbi 0(k0)
+    0x10018: isync
+    0x1001c: ldd k1, 0(k0)
+    0x10020: sync
+    0x10024: li k0, 133120
+    0x10028: slli k1, tid, 6
+    0x1002c: add k0, k0, k1
+    0x10030: dcbi 0(k0)
+    0x10034: jalr zero, 0(ra)

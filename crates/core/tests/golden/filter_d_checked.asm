@@ -1,0 +1,18 @@
+    0x10000: jal zero, 0x10040
+bar0_filter_d_checked:
+    0x10004: sync
+    0x10008: li k0, 131072
+    0x1000c: slli k1, tid, 6
+    0x10010: add k0, k0, k1
+    0x10014: dcbi 0(k0)
+    0x10018: isync
+bar0_eretry:
+    0x1001c: ldd k1, 0(k0)
+    0x10020: li t9, -4985279381848933680
+    0x10024: beq k1, t9, 0x1001c
+    0x10028: sync
+    0x1002c: li k0, 133120
+    0x10030: slli k1, tid, 6
+    0x10034: add k0, k0, k1
+    0x10038: dcbi 0(k0)
+    0x1003c: jalr zero, 0(ra)

@@ -1,0 +1,17 @@
+    0x10000: jal zero, 0x1003c
+bar0_filter_d_pp:
+    0x10004: sync
+    0x10008: ldd t9, 0(tls)
+    0x1000c: li k0, 131072
+    0x10010: beq t9, zero, 0x10018
+    0x10014: li k0, 133120
+bar0_use0:
+    0x10018: slli k1, tid, 6
+    0x1001c: add k0, k0, k1
+    0x10020: dcbi 0(k0)
+    0x10024: isync
+    0x10028: ldd k1, 0(k0)
+    0x1002c: sync
+    0x10030: xori t9, t9, 1
+    0x10034: std t9, 0(tls)
+    0x10038: jalr zero, 0(ra)

@@ -1,0 +1,4 @@
+    0x10000: jal zero, 0x1000c
+bar0_hw:
+    0x10004: hwbar 7
+    0x10008: jalr zero, 0(ra)

@@ -1,0 +1,22 @@
+    0x10000: jal zero, 0x10048
+bar0_sw_central:
+    0x10004: ldd t8, 0(tls)
+    0x10008: xori t8, t8, 1
+    0x1000c: std t8, 0(tls)
+    0x10010: li k0, 131072
+bar0_retry:
+    0x10014: ll t9, 0(k0)
+    0x10018: addi t9, t9, 1
+    0x1001c: sc k1, t9, 0(k0)
+    0x10020: beq k1, zero, 0x10014
+    0x10024: bne t9, ntid, 0x10038
+    0x10028: std zero, 0(k0)
+    0x1002c: li k0, 133120
+    0x10030: std t8, 0(k0)
+    0x10034: jalr zero, 0(ra)
+bar0_wait:
+    0x10038: li k0, 133120
+bar0_spin:
+    0x1003c: ldd k1, 0(k0)
+    0x10040: bne k1, t8, 0x1003c
+    0x10044: jalr zero, 0(ra)

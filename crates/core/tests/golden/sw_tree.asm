@@ -1,0 +1,54 @@
+    0x10000: jal zero, 0x100b4
+bar0_sw_tree:
+    0x10004: ldd t8, 0(tls)
+    0x10008: xori t8, t8, 1
+    0x1000c: std t8, 0(tls)
+    0x10010: li t6, 0
+bar0_ascend:
+    0x10014: addi t7, t6, 1
+    0x10018: srl t9, tid, t7
+    0x1001c: slli k1, t9, 1
+    0x10020: ori k1, k1, 1
+    0x10024: sll k1, k1, t6
+    0x10028: bge k1, ntid, 0x10070
+    0x1002c: mul t7, t6, ntid
+    0x10030: add t7, t7, t9
+    0x10034: slli t7, t7, 6
+    0x10038: li k0, 131072
+    0x1003c: add k0, k0, t7
+bar0_retry:
+    0x10040: ll t9, 0(k0)
+    0x10044: addi t9, t9, 1
+    0x10048: sc k1, t9, 0(k0)
+    0x1004c: beq k1, zero, 0x10040
+    0x10050: li k1, 2
+    0x10054: beq t9, k1, 0x1006c
+    0x10058: li k0, 133120
+    0x1005c: add k0, k0, t7
+bar0_spin:
+    0x10060: ldd t9, 0(k0)
+    0x10064: bne t9, t8, 0x10060
+    0x10068: jal zero, 0x10080
+bar0_last:
+    0x1006c: std zero, 0(k0)
+bar0_up:
+    0x10070: addi t6, t6, 1
+    0x10074: li t9, 1
+    0x10078: sll t9, t9, t6
+    0x1007c: blt t9, ntid, 0x10014
+bar0_descend:
+    0x10080: addi t6, t6, -1
+bar0_ddown:
+    0x10084: blt t6, zero, 0x100b0
+    0x10088: addi t7, t6, 1
+    0x1008c: srl t9, tid, t7
+    0x10090: mul t7, t6, ntid
+    0x10094: add t7, t7, t9
+    0x10098: slli t7, t7, 6
+    0x1009c: li k0, 133120
+    0x100a0: add k0, k0, t7
+    0x100a4: std t8, 0(k0)
+    0x100a8: addi t6, t6, -1
+    0x100ac: jal zero, 0x10084
+bar0_done:
+    0x100b0: jalr zero, 0(ra)

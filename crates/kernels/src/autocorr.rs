@@ -15,7 +15,8 @@
 //! ```
 
 use barrier_filter::{Barrier, BarrierMechanism};
-use sim_isa::{Asm, Reg};
+use cmp_sim::TraceSink;
+use sim_isa::{Asm, Program, Reg};
 
 use crate::harness::{check_u64, emit_rep_loop, run_reps, KernelBuild, KernelOutcome, REPS};
 use crate::{input, KernelError};
@@ -127,7 +128,26 @@ impl Autocorr {
         threads: usize,
         mechanism: BarrierMechanism,
     ) -> Result<KernelOutcome, KernelError> {
+        Ok(self.run_parallel_observed(threads, mechanism, |_| None)?.0)
+    }
+
+    /// [`run_parallel`](Autocorr::run_parallel) with a hook that may
+    /// attach a trace sink (e.g. a race detector) once the barrier is
+    /// registered; the assembled [`Program`] comes back for post-run
+    /// static analysis. Sinks are observers: the outcome is bit-identical
+    /// to the unobserved run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_parallel`](Autocorr::run_parallel).
+    pub fn run_parallel_observed(
+        &self,
+        threads: usize,
+        mechanism: BarrierMechanism,
+        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
+    ) -> Result<(KernelOutcome, Program), KernelError> {
         let (mut b, barrier) = KernelBuild::parallel(threads, mechanism)?;
+        b.sink = observe(&barrier);
         let x = b.space.alloc_u64(self.n as u64)?;
         let r = b.space.alloc_u64(self.lags as u64)?;
         let partials = b.space.alloc_lines(threads as u64)?;
@@ -138,7 +158,7 @@ impl Autocorr {
         })?;
         let outcome = run_reps(&mut m, REPS)?;
         check_u64("r", &m.read_u64_slice(r, self.lags), &self.reference())?;
-        Ok(outcome)
+        Ok((outcome, m.program().clone()))
     }
 
     fn emit_parallel_body(

@@ -4,7 +4,7 @@ use std::fmt;
 
 use barrier_filter::BarrierError;
 use cmp_sim::{BuildError, LayoutError, SimError};
-use sim_isa::AsmError;
+use sim_isa::{AsmError, MissingSymbol};
 
 /// Everything that can go wrong while building, running or validating a
 /// kernel.
@@ -18,6 +18,8 @@ pub enum KernelError {
     Build(BuildError),
     /// Assembly failed.
     Asm(AsmError),
+    /// A required entry-point symbol was missing from the program.
+    Symbol(MissingSymbol),
     /// Address-space allocation failed.
     Layout(LayoutError),
     /// The simulated output did not match the host reference.
@@ -31,6 +33,7 @@ impl fmt::Display for KernelError {
             KernelError::Barrier(e) => write!(f, "barrier setup failed: {e}"),
             KernelError::Build(e) => write!(f, "machine build failed: {e}"),
             KernelError::Asm(e) => write!(f, "assembly failed: {e}"),
+            KernelError::Symbol(e) => write!(f, "entry resolution failed: {e}"),
             KernelError::Layout(e) => write!(f, "allocation failed: {e}"),
             KernelError::Validation(why) => write!(f, "output validation failed: {why}"),
         }
@@ -66,6 +69,12 @@ impl From<AsmError> for KernelError {
 impl From<LayoutError> for KernelError {
     fn from(e: LayoutError) -> Self {
         KernelError::Layout(e)
+    }
+}
+
+impl From<MissingSymbol> for KernelError {
+    fn from(e: MissingSymbol) -> Self {
+        KernelError::Symbol(e)
     }
 }
 

@@ -3,7 +3,7 @@
 use barrier_filter::{Barrier, BarrierMechanism, BarrierSystem};
 use cmp_sim::{
     run_with_faults, AddressSpace, FaultPlan, FaultReport, Machine, MachineBuilder, Measurement,
-    SimConfig, TraceConfig,
+    SimConfig, TraceConfig, TraceSink,
 };
 use sim_isa::{Asm, Reg};
 
@@ -35,6 +35,9 @@ pub(crate) struct KernelBuild {
     /// Trace-sink selection for the built machine (default off). Sinks
     /// are observers: tracing a kernel never changes its outcome.
     pub trace: TraceConfig,
+    /// An explicit sink instance to attach (e.g. the race detector);
+    /// overrides `trace` when set. Still a pure observer.
+    pub sink: Option<Box<dyn TraceSink>>,
     threads: usize,
 }
 
@@ -49,6 +52,7 @@ impl KernelBuild {
             asm: Asm::new(),
             sys: None,
             trace: TraceConfig::Off,
+            sink: None,
             threads: 1,
         }
     }
@@ -75,6 +79,7 @@ impl KernelBuild {
                 asm,
                 sys: Some(sys),
                 trace: TraceConfig::Off,
+                sink: None,
                 threads,
             },
             barrier,
@@ -89,12 +94,15 @@ impl KernelBuild {
     /// Assembly or machine-construction failures.
     pub fn finish(self, init: impl FnOnce(&mut MachineBuilder)) -> Result<Machine, KernelError> {
         let program = self.asm.assemble()?;
-        let entry = program.require_symbol("entry");
+        let entry = program.require_symbol("entry")?;
         let mut config = self.config;
         config.cycle_limit = 20_000_000_000;
         config.trace = self.trace;
         let mut mb = MachineBuilder::new(config, program)?;
         init(&mut mb);
+        if let Some(sink) = self.sink {
+            mb.with_trace_sink(sink);
+        }
         for _ in 0..self.threads {
             mb.add_thread(entry);
         }

@@ -9,7 +9,8 @@
 //! ```
 
 use barrier_filter::{Barrier, BarrierMechanism};
-use sim_isa::{Asm, FReg, Reg};
+use cmp_sim::TraceSink;
+use sim_isa::{Asm, FReg, Program, Reg};
 
 use crate::harness::{
     check_f64, chunk_for, emit_rep_loop, run_reps, KernelBuild, KernelOutcome, REPS,
@@ -115,7 +116,26 @@ impl Loop1 {
         threads: usize,
         mechanism: BarrierMechanism,
     ) -> Result<KernelOutcome, KernelError> {
+        Ok(self.run_parallel_observed(threads, mechanism, |_| None)?.0)
+    }
+
+    /// [`run_parallel`](Loop1::run_parallel) with a hook that may attach a
+    /// trace sink (e.g. a race detector) once the barrier is registered;
+    /// the assembled [`Program`] comes back for post-run static analysis.
+    /// Sinks are observers: the outcome is bit-identical to the unobserved
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_parallel`](Loop1::run_parallel).
+    pub fn run_parallel_observed(
+        &self,
+        threads: usize,
+        mechanism: BarrierMechanism,
+        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
+    ) -> Result<(KernelOutcome, Program), KernelError> {
         let (mut b, barrier) = KernelBuild::parallel(threads, mechanism)?;
+        b.sink = observe(&barrier);
         let x = b.space.alloc_f64(self.n as u64)?;
         let y = b.space.alloc_f64(self.n as u64)?;
         let z = b.space.alloc_f64(self.n as u64 + 11)?;
@@ -128,7 +148,7 @@ impl Loop1 {
         })?;
         let outcome = run_reps(&mut m, REPS)?;
         check_f64("x", &m.read_f64_slice(x, self.n), &self.reference(), 1e-9)?;
-        Ok(outcome)
+        Ok((outcome, m.program().clone()))
     }
 
     fn emit_parallel_body(

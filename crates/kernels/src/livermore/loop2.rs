@@ -22,8 +22,8 @@
 //! kernel has the latest crossover of the three (vector length 256).
 
 use barrier_filter::{Barrier, BarrierMechanism};
-use cmp_sim::{FaultPlan, FaultReport};
-use sim_isa::{Asm, FReg, Reg};
+use cmp_sim::{FaultPlan, FaultReport, TraceSink};
+use sim_isa::{Asm, FReg, Program, Reg};
 
 use crate::harness::{
     check_f64, emit_rep_loop, run_reps, run_reps_faulted, KernelBuild, KernelOutcome, REPS,
@@ -194,7 +194,39 @@ impl Loop2 {
         mechanism: BarrierMechanism,
         plan: &FaultPlan,
     ) -> Result<(KernelOutcome, FaultReport), KernelError> {
+        let (outcome, report, _) = self.run_inner(threads, mechanism, plan, |_| None)?;
+        Ok((outcome, report))
+    }
+
+    /// [`run_parallel`](Loop2::run_parallel) with a hook that may attach a
+    /// trace sink (e.g. a race detector) once the barrier is registered;
+    /// the assembled [`Program`] comes back for post-run static analysis.
+    /// Sinks are observers: the outcome is bit-identical to the unobserved
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_parallel`](Loop2::run_parallel).
+    pub fn run_parallel_observed(
+        &self,
+        threads: usize,
+        mechanism: BarrierMechanism,
+        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
+    ) -> Result<(KernelOutcome, Program), KernelError> {
+        let (outcome, _, program) =
+            self.run_inner(threads, mechanism, &FaultPlan::none(), observe)?;
+        Ok((outcome, program))
+    }
+
+    fn run_inner(
+        &self,
+        threads: usize,
+        mechanism: BarrierMechanism,
+        plan: &FaultPlan,
+        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
+    ) -> Result<(KernelOutcome, FaultReport, Program), KernelError> {
         let (mut b, barrier) = KernelBuild::parallel(threads, mechanism)?;
+        b.sink = observe(&barrier);
         let x = b.space.alloc_f64(self.total() as u64)?;
         let v = b.space.alloc_f64(self.total() as u64)?;
         self.emit_parallel_body(&mut b.asm, &barrier, x, v)?;
@@ -203,14 +235,14 @@ impl Loop2 {
             mb.write_f64_slice(x, &xs);
             mb.write_f64_slice(v, &vs);
         })?;
-        let outcome = run_reps_faulted(&mut m, REPS, plan)?;
+        let (outcome, report) = run_reps_faulted(&mut m, REPS, plan)?;
         check_f64(
             "x",
             &m.read_f64_slice(x, self.total()),
             &self.reference(),
             1e-9,
         )?;
-        Ok(outcome)
+        Ok((outcome, report, m.program().clone()))
     }
 
     fn emit_parallel_body(

@@ -24,7 +24,8 @@
 //! natural choice."
 
 use barrier_filter::{Barrier, BarrierMechanism};
-use sim_isa::{Asm, FReg, Reg};
+use cmp_sim::TraceSink;
+use sim_isa::{Asm, FReg, Program, Reg};
 
 use crate::harness::{check_f64, emit_rep_loop, run_reps, KernelBuild, KernelOutcome, REPS};
 use crate::{input, KernelError};
@@ -158,8 +159,27 @@ impl Loop6 {
         threads: usize,
         mechanism: BarrierMechanism,
     ) -> Result<KernelOutcome, KernelError> {
+        Ok(self.run_parallel_observed(threads, mechanism, |_| None)?.0)
+    }
+
+    /// [`run_parallel`](Loop6::run_parallel) with a hook that may attach a
+    /// trace sink (e.g. a race detector) once the barrier is registered;
+    /// the assembled [`Program`] comes back for post-run static analysis.
+    /// Sinks are observers: the outcome is bit-identical to the unobserved
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_parallel`](Loop6::run_parallel).
+    pub fn run_parallel_observed(
+        &self,
+        threads: usize,
+        mechanism: BarrierMechanism,
+        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
+    ) -> Result<(KernelOutcome, Program), KernelError> {
         let n = self.n;
         let (mut bld, barrier) = KernelBuild::parallel(threads, mechanism)?;
+        bld.sink = observe(&barrier);
         let w = bld.space.alloc_f64(n as u64)?;
         let b = bld.space.alloc_f64((n * n) as u64)?;
         let chunk = (n - 1).div_ceil(threads);
@@ -176,7 +196,7 @@ impl Loop6 {
             &self.reference_parallel(),
             1e-9,
         )?;
-        Ok(outcome)
+        Ok((outcome, m.program().clone()))
     }
 
     fn emit_parallel_body(

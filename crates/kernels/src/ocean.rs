@@ -10,7 +10,8 @@
 //! barriers per sweep, with per-barrier work that dwarfs barrier latency.
 
 use barrier_filter::{Barrier, BarrierMechanism};
-use sim_isa::{Asm, FReg, Reg};
+use cmp_sim::TraceSink;
+use sim_isa::{Asm, FReg, Program, Reg};
 
 use crate::harness::{check_f64, run_reps, KernelBuild, KernelOutcome};
 use crate::{input, KernelError};
@@ -78,7 +79,7 @@ impl OceanProxy {
     ///
     /// Simulation or validation failures.
     pub fn run_sequential(&self) -> Result<KernelOutcome, KernelError> {
-        self.run(None)
+        Ok(self.run(None, |_| None)?.0)
     }
 
     /// Run the row-partitioned parallel version and validate.
@@ -91,13 +92,32 @@ impl OceanProxy {
         threads: usize,
         mechanism: BarrierMechanism,
     ) -> Result<KernelOutcome, KernelError> {
-        self.run(Some((threads, mechanism)))
+        Ok(self.run(Some((threads, mechanism)), |_| None)?.0)
+    }
+
+    /// [`run_parallel`](OceanProxy::run_parallel) with a hook that may
+    /// attach a trace sink (e.g. a race detector) once the barrier is
+    /// registered; the assembled [`Program`] comes back for post-run
+    /// static analysis. Sinks are observers: the outcome is bit-identical
+    /// to the unobserved run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_parallel`](OceanProxy::run_parallel).
+    pub fn run_parallel_observed(
+        &self,
+        threads: usize,
+        mechanism: BarrierMechanism,
+        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
+    ) -> Result<(KernelOutcome, Program), KernelError> {
+        self.run(Some((threads, mechanism)), observe)
     }
 
     fn run(
         &self,
         parallel: Option<(usize, BarrierMechanism)>,
-    ) -> Result<KernelOutcome, KernelError> {
+        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
+    ) -> Result<(KernelOutcome, Program), KernelError> {
         let g = self.g;
         let (mut b, barrier) = match parallel {
             Some((threads, mechanism)) => {
@@ -106,6 +126,9 @@ impl OceanProxy {
             }
             None => (KernelBuild::sequential(), None),
         };
+        if let Some(bar) = &barrier {
+            b.sink = observe(bar);
+        }
         let threads = if let Some((t, _)) = parallel { t } else { 1 };
         let u = b.space.alloc_f64((g * g) as u64)?;
         self.emit_body(&mut b.asm, barrier.as_ref(), u, threads)?;
@@ -116,7 +139,7 @@ impl OceanProxy {
         // One "rep" = the whole multi-sweep solve.
         let outcome = run_reps(&mut m, 1)?;
         check_f64("u", &m.read_f64_slice(u, g * g), &self.reference(), 1e-9)?;
-        Ok(outcome)
+        Ok((outcome, m.program().clone()))
     }
 
     fn emit_body(

@@ -15,8 +15,8 @@
 //! seeded random bitstream transmitted over a noisy soft channel.
 
 use barrier_filter::{Barrier, BarrierMechanism};
-use cmp_sim::{FaultPlan, FaultReport, TraceConfig};
-use sim_isa::{Asm, MemWidth, Reg};
+use cmp_sim::{FaultPlan, FaultReport, TraceConfig, TraceSink};
+use sim_isa::{Asm, MemWidth, Program, Reg};
 
 use crate::harness::{
     check_u64, emit_rep_loop, run_reps_faulted, KernelBuild, KernelOutcome, REPS,
@@ -174,7 +174,10 @@ impl Viterbi {
     ///
     /// Simulation or validation failures.
     pub fn run_sequential(&self) -> Result<KernelOutcome, KernelError> {
-        Ok(self.run(None, TraceConfig::Off, &FaultPlan::none())?.0)
+        Ok(self
+            .run(None, TraceConfig::Off, &FaultPlan::none(), |_| None)?
+            .0
+             .0)
     }
 
     /// Run the parallel version (states partitioned across threads, one
@@ -193,8 +196,34 @@ impl Viterbi {
                 Some((threads, mechanism)),
                 TraceConfig::Off,
                 &FaultPlan::none(),
+                |_| None,
             )?
-            .0)
+            .0
+             .0)
+    }
+
+    /// [`run_parallel`](Viterbi::run_parallel) with a hook that may attach
+    /// a trace sink (e.g. a race detector) once the barrier is registered;
+    /// the assembled [`Program`] comes back for post-run static analysis.
+    /// Sinks are observers: the outcome is bit-identical to the unobserved
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_parallel`](Viterbi::run_parallel).
+    pub fn run_parallel_observed(
+        &self,
+        threads: usize,
+        mechanism: BarrierMechanism,
+        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
+    ) -> Result<(KernelOutcome, Program), KernelError> {
+        let ((outcome, _), program) = self.run(
+            Some((threads, mechanism)),
+            TraceConfig::Off,
+            &FaultPlan::none(),
+            observe,
+        )?;
+        Ok((outcome, program))
     }
 
     /// [`run_parallel`](Viterbi::run_parallel) driven through a seeded
@@ -213,7 +242,9 @@ impl Viterbi {
         mechanism: BarrierMechanism,
         plan: &FaultPlan,
     ) -> Result<(KernelOutcome, FaultReport), KernelError> {
-        self.run(Some((threads, mechanism)), TraceConfig::Off, plan)
+        Ok(self
+            .run(Some((threads, mechanism)), TraceConfig::Off, plan, |_| None)?
+            .0)
     }
 
     /// [`run_parallel`](Viterbi::run_parallel) with trace events streamed
@@ -231,8 +262,14 @@ impl Viterbi {
         trace: TraceConfig,
     ) -> Result<KernelOutcome, KernelError> {
         Ok(self
-            .run(Some((threads, mechanism)), trace, &FaultPlan::none())?
-            .0)
+            .run(
+                Some((threads, mechanism)),
+                trace,
+                &FaultPlan::none(),
+                |_| None,
+            )?
+            .0
+             .0)
     }
 
     fn run(
@@ -240,7 +277,8 @@ impl Viterbi {
         parallel: Option<(usize, BarrierMechanism)>,
         trace: TraceConfig,
         faults: &FaultPlan,
-    ) -> Result<(KernelOutcome, FaultReport), KernelError> {
+        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
+    ) -> Result<((KernelOutcome, FaultReport), Program), KernelError> {
         let s_count = self.states();
         let t_count = self.stages();
         let (mut b, barrier) = match parallel {
@@ -251,6 +289,9 @@ impl Viterbi {
             None => (KernelBuild::sequential(), None),
         };
         b.trace = trace;
+        if let Some(bar) = &barrier {
+            b.sink = observe(bar);
+        }
         let threads = if let Some((t, _)) = parallel { t } else { 1 };
         let lvl0 = b.space.alloc_u64(2 * s_count as u64)?;
         let lvl1 = b.space.alloc_u64(2 * s_count as u64)?;
@@ -296,7 +337,7 @@ impl Viterbi {
             &m.read_u64_slice(out, t_count),
             &self.reference_decode(),
         )?;
-        Ok(outcome)
+        Ok((outcome, m.program().clone()))
     }
 
     fn emit_body(

@@ -50,9 +50,9 @@ mod program;
 mod reg;
 
 pub use asm::{Asm, AsmError, Label};
-pub use instr::{Instr, MemWidth, Target};
+pub use instr::{Instr, MemRef, MemRefKind, MemWidth, Target};
 pub use parse::{parse_asm, ParseAsmError};
-pub use program::{Program, CODE_BASE, INSTR_BYTES};
+pub use program::{MissingSymbol, Program, CODE_BASE, INSTR_BYTES};
 pub use reg::{FReg, Reg};
 
 /// Size in bytes of a cache line; fixed across the whole machine model.

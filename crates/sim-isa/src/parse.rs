@@ -30,7 +30,7 @@
 
 use std::fmt;
 
-use crate::{Asm, AsmError, FReg, MemWidth, Program, Reg};
+use crate::{Asm, AsmError, FReg, Label, MemWidth, Program, Reg};
 
 /// A parse failure, with the 1-based source line it occurred on.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,13 +100,36 @@ fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseAsmError> {
         Some(rest) => (true, rest),
         None => (false, tok),
     };
-    let value = if let Some(hex) = body.strip_prefix("0x") {
-        i64::from_str_radix(hex, 16)
+    let bad = || err(line, format!("bad immediate `{tok}`"));
+    // Parse the magnitude in i128 so `i64::MIN` (whose magnitude does not
+    // fit in i64) round-trips; unsigned hex up to u64::MAX is accepted and
+    // reinterpreted as two's-complement (addresses print that way).
+    let magnitude = if let Some(hex) = body.strip_prefix("0x") {
+        i128::from_str_radix(hex, 16).map_err(|_| bad())?
     } else {
-        body.parse::<i64>()
+        body.parse::<i128>().map_err(|_| bad())?
+    };
+    let value = if neg { -magnitude } else { magnitude };
+    if let Ok(v) = i64::try_from(value) {
+        return Ok(v);
     }
-    .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
-    Ok(if neg { -value } else { value })
+    if !neg && body.starts_with("0x") {
+        if let Ok(v) = u64::try_from(value) {
+            return Ok(v as i64);
+        }
+    }
+    Err(bad())
+}
+
+/// A branch/jump target operand: a `0x…` absolute program counter (the form
+/// the disassembler prints) or a symbolic label name.
+fn parse_target(tok: &str, line: usize) -> Result<Label, ParseAsmError> {
+    if let Some(hex) = tok.strip_prefix("0x") {
+        let pc = u64::from_str_radix(hex, 16)
+            .map_err(|_| err(line, format!("bad target address `{tok}`")))?;
+        return Ok(Label::Pc(pc));
+    }
+    Ok(Label::Name(tok.to_owned()))
 }
 
 fn parse_fimm(tok: &str, line: usize) -> Result<f64, ParseAsmError> {
@@ -137,7 +160,9 @@ fn parse_mem(tok: &str, line: usize) -> Result<(i64, Reg), ParseAsmError> {
 /// Supported syntax: one instruction or `name:` label per line; operands
 /// separated by commas; `;` or `#` start a comment; every mnemonic the
 /// disassembler prints plus the pseudo-ops `mv`, `j`, `ret` and the
-/// `.align_line` directive. Branch/jump targets are label names.
+/// `.align_line` directive. Branch/jump targets are label names or `0x…`
+/// absolute program counters (the form the disassembler prints), so
+/// listings re-parse without symbolization.
 ///
 /// # Errors
 ///
@@ -340,7 +365,7 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseAsmError> {
             "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
                 need(3)?;
                 let (x, y) = (r(0)?, r(1)?);
-                let target = ops[2];
+                let target = parse_target(ops[2], lineno)?;
                 match mnemonic {
                     "beq" => a.beq(x, y, target),
                     "bne" => a.bne(x, y, target),
@@ -353,11 +378,13 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseAsmError> {
             "jal" => {
                 need(2)?;
                 let d = r(0)?;
-                a.jal(d, ops[1]);
+                let target = parse_target(ops[1], lineno)?;
+                a.jal(d, target);
             }
             "j" => {
                 need(1)?;
-                a.j(ops[0]);
+                let target = parse_target(ops[0], lineno)?;
+                a.j(target);
             }
             "jalr" => {
                 need(2)?;
@@ -433,7 +460,7 @@ mod tests {
         .unwrap();
         assert_eq!(p.len(), 6);
         assert_eq!(
-            p.fetch(p.require_symbol("entry")),
+            p.fetch(p.require_symbol("entry").unwrap()),
             Some(Instr::Li(Reg::T0, 16))
         );
     }
@@ -454,7 +481,7 @@ mod tests {
         .unwrap();
         assert_eq!(p.len(), 6);
         assert_eq!(
-            p.fetch(p.require_symbol("start")),
+            p.fetch(p.require_symbol("start").unwrap()),
             Some(Instr::Fld(FReg::F1, Reg::T0, 8))
         );
     }
@@ -512,14 +539,162 @@ mod tests {
     fn numeric_register_names_work() {
         let p = parse_asm("e:\n  add x5, x0, x31\n  halt\n").unwrap();
         assert_eq!(
-            p.fetch(p.require_symbol("e")),
+            p.fetch(p.require_symbol("e").unwrap()),
             Some(Instr::Add(Reg::A1, Reg::ZERO, Reg::NTID))
         );
     }
 
     #[test]
+    fn hex_targets_parse_as_absolute_pcs() {
+        let p = parse_asm("  beq t0, zero, 0x10040\n  jal ra, 0x10080\n  j 0x10000\n").unwrap();
+        use crate::Target;
+        assert_eq!(
+            p.fetch(crate::CODE_BASE),
+            Some(Instr::Beq(Reg::T0, Reg::ZERO, Target(0x10040)))
+        );
+        assert_eq!(
+            p.fetch(crate::CODE_BASE + 4),
+            Some(Instr::Jal(Reg::RA, Target(0x10080)))
+        );
+        assert_eq!(
+            p.fetch(crate::CODE_BASE + 8),
+            Some(Instr::Jal(Reg::ZERO, Target(0x10000)))
+        );
+        let e = parse_asm("  j 0xZZ\n").unwrap_err();
+        assert!(e.message.contains("bad target"));
+    }
+
+    #[test]
+    fn boundary_immediates_round_trip() {
+        let p = parse_asm(&format!(
+            "  li t0, {}\n  li t1, {}\n  addi t2, t0, {}\n",
+            i64::MIN,
+            i64::MAX,
+            i64::MIN
+        ))
+        .unwrap();
+        assert_eq!(
+            p.fetch(crate::CODE_BASE),
+            Some(Instr::Li(Reg::T0, i64::MIN))
+        );
+        assert_eq!(
+            p.fetch(crate::CODE_BASE + 4),
+            Some(Instr::Li(Reg::T1, i64::MAX))
+        );
+        assert_eq!(
+            p.fetch(crate::CODE_BASE + 8),
+            Some(Instr::Addi(Reg::T2, Reg::T0, i64::MIN))
+        );
+        // unsigned hex above i64::MAX is reinterpreted as two's-complement
+        let p = parse_asm("  li t0, 0xffffffffffffffff\n").unwrap();
+        assert_eq!(p.fetch(crate::CODE_BASE), Some(Instr::Li(Reg::T0, -1)));
+    }
+
+    /// Satellite of the analyzer PR: every [`Instr`] variant, exercised with
+    /// boundary operands, must survive `Display` → [`parse_asm`] unchanged.
+    /// (NaN is excluded: `Instr`'s `PartialEq` follows f64 semantics.)
+    #[test]
+    fn every_instruction_round_trips_through_disasm_and_parse() {
+        use crate::{MemWidth as W, Target};
+        use Instr as I;
+        let (z, ra, sp, tls) = (Reg::ZERO, Reg::RA, Reg::SP, Reg::TLS);
+        let (t0, t9, k0, k1) = (Reg::T0, Reg::T9, Reg::K0, Reg::K1);
+        let (tid, ntid) = (Reg::TID, Reg::NTID);
+        let (f0, f1, f2, f31) = (FReg::F0, FReg::F1, FReg::F2, FReg::new(31));
+        let code = vec![
+            // integer register-register (all 15)
+            I::Add(t0, z, ntid),
+            I::Sub(Reg::A0, t9, t0),
+            I::Mul(k0, k1, tid),
+            I::Div(t0, t0, t0),
+            I::Rem(Reg::S5, Reg::S0, Reg::A7),
+            I::And(t0, t9, z),
+            I::Or(Reg::A1, Reg::A2, Reg::A3),
+            I::Xor(t9, t9, t9),
+            I::Sll(t0, t9, k0),
+            I::Srl(t0, t9, k0),
+            I::Sra(t0, t9, k0),
+            I::Slt(t0, tid, ntid),
+            I::Sltu(t0, tid, ntid),
+            I::Min(t0, t9, k0),
+            I::Max(t0, t9, k0),
+            // integer register-immediate, boundary immediates
+            I::Addi(t0, t9, i64::MIN),
+            I::Andi(t0, t9, -1),
+            I::Ori(t0, t9, i64::MAX),
+            I::Xori(t0, t9, 0),
+            I::Slli(t0, t9, 0),
+            I::Srli(t0, t9, 63),
+            I::Srai(t0, t9, 63),
+            I::Slti(t0, t9, -1),
+            I::Li(t0, i64::MIN),
+            I::Li(t9, i64::MAX),
+            // floating point, boundary values (NaN excluded)
+            I::Fadd(f0, f1, f2),
+            I::Fsub(f0, f1, f2),
+            I::Fmul(f0, f1, f2),
+            I::Fdiv(f0, f1, f2),
+            I::Fmadd(f0, f1, f2, f31),
+            I::Fneg(f0, f31),
+            I::Fmov(f31, f0),
+            I::Fli(f0, 0.0),
+            I::Fli(f1, -2.5),
+            I::Fli(f2, f64::MAX),
+            I::Fli(f2, f64::MIN_POSITIVE),
+            I::Fli(f31, f64::INFINITY),
+            I::Fli(f31, f64::NEG_INFINITY),
+            I::Fcvtif(f0, t0),
+            I::Fcvtfi(t0, f0),
+            I::Feq(t0, f0, f1),
+            I::Flt(t0, f0, f1),
+            I::Fle(t0, f0, f1),
+            // memory, every width, boundary offsets
+            I::Ld(t0, sp, i64::MIN, W::B),
+            I::Ld(t0, sp, -1, W::H),
+            I::Ld(t0, sp, 0, W::W),
+            I::Ld(t0, sp, i64::MAX, W::D),
+            I::St(t0, sp, i64::MIN, W::B),
+            I::St(t0, sp, 1, W::H),
+            I::St(t0, sp, -8, W::W),
+            I::St(t0, sp, i64::MAX, W::D),
+            I::Fld(f0, tls, -16),
+            I::Fst(f31, tls, i64::MAX),
+            I::Ll(t9, k0, 0),
+            I::Sc(k1, t9, k0, -64),
+            // control flow, boundary targets
+            I::Beq(t0, z, Target(0)),
+            I::Bne(t0, z, Target(u64::MAX)),
+            I::Blt(t0, z, Target(crate::CODE_BASE)),
+            I::Bge(t0, z, Target(crate::CODE_BASE + 4)),
+            I::Bltu(t0, z, Target(1)),
+            I::Bgeu(t0, z, Target(0x1_0040)),
+            I::Jal(ra, Target(u64::MAX)),
+            I::Jal(z, Target(0)),
+            I::Jalr(z, ra, 0),
+            I::Jalr(t0, k1, i64::MIN),
+            // synchronization & cache management
+            I::Sync,
+            I::Isync,
+            I::Icbi(k0, 0),
+            I::Dcbi(k0, i64::MIN),
+            I::HwBar(0),
+            I::HwBar(u16::MAX),
+            // misc
+            I::Halt,
+            I::Nop,
+        ];
+        let original = Program::from_parts(code, std::collections::BTreeMap::new());
+        let listing: String = original.iter().map(|(_, i)| format!("  {i}\n")).collect();
+        let reparsed = parse_asm(&listing).unwrap();
+        assert_eq!(reparsed.len(), original.len());
+        for (idx, ((_, got), (_, want))) in reparsed.iter().zip(original.iter()).enumerate() {
+            assert_eq!(got, want, "instruction {idx} (`{want}`) did not round-trip");
+        }
+    }
+
+    #[test]
     fn align_directive() {
         let p = parse_asm("e:\n  nop\n  .align_line\nstub:\n  ret\n").unwrap();
-        assert_eq!(p.require_symbol("stub") % 64, 0);
+        assert_eq!(p.require_symbol("stub").unwrap() % 64, 0);
     }
 }

@@ -14,6 +14,24 @@ pub const CODE_BASE: u64 = 0x1_0000;
 /// Bytes occupied by one instruction in the code region.
 pub const INSTR_BYTES: u64 = 4;
 
+/// A required symbol was not defined in the program image.
+///
+/// Returned by [`Program::require_symbol`] so loaders and the static
+/// analyzer can report a malformed program instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingSymbol {
+    /// The symbol name that was looked up.
+    pub name: String,
+}
+
+impl fmt::Display for MissingSymbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "program has no symbol named `{}`", self.name)
+    }
+}
+
+impl std::error::Error for MissingSymbol {}
+
 /// An assembled MiniRISC program: a code image plus its symbol table.
 ///
 /// All threads of a simulation share a single `Program` (the loader points
@@ -55,15 +73,17 @@ impl Program {
         self.symbols.get(name).copied()
     }
 
-    /// The program counter of a label, panicking with a clear message if it
-    /// does not exist. Intended for loaders resolving required entry points.
+    /// The program counter of a label, as a typed error if it does not
+    /// exist. Intended for loaders resolving required entry points and for
+    /// the static analyzer, which reports the error as a diagnostic.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `name` was never defined.
-    pub fn require_symbol(&self, name: &str) -> u64 {
-        self.symbol(name)
-            .unwrap_or_else(|| panic!("program has no symbol named `{name}`"))
+    /// Returns [`MissingSymbol`] if `name` was never defined.
+    pub fn require_symbol(&self, name: &str) -> Result<u64, MissingSymbol> {
+        self.symbol(name).ok_or_else(|| MissingSymbol {
+            name: name.to_owned(),
+        })
     }
 
     /// Iterate over `(pc, instruction)` pairs in address order.
@@ -84,9 +104,23 @@ impl Program {
         CODE_BASE + self.code.len() as u64 * INSTR_BYTES
     }
 
-    /// Whether `addr` falls inside the code region of this program.
+    /// Whether the single byte at `addr` falls inside the code region of
+    /// this program. `code_end()` itself is outside (the range is
+    /// half-open), and an empty program contains no code at all. For
+    /// multi-byte accesses use [`overlaps_code`](Program::overlaps_code),
+    /// which catches accesses that merely straddle the boundary.
     pub fn contains_code(&self, addr: u64) -> bool {
         (CODE_BASE..self.code_end()).contains(&addr)
+    }
+
+    /// Whether the `bytes`-byte access starting at `addr` overlaps the code
+    /// region anywhere. Unlike [`contains_code`](Program::contains_code)
+    /// (which inspects only the first byte), this flags stores that start
+    /// below `CODE_BASE` or just under `code_end()` and spill into code.
+    /// A zero-length access overlaps nothing.
+    pub fn overlaps_code(&self, addr: u64, bytes: u64) -> bool {
+        let end = addr.saturating_add(bytes);
+        addr < self.code_end() && end > CODE_BASE
     }
 }
 
@@ -135,14 +169,15 @@ mod tests {
     fn symbols_resolve() {
         let p = small();
         assert_eq!(p.symbol("entry"), Some(CODE_BASE));
-        assert_eq!(p.require_symbol("entry"), CODE_BASE);
+        assert_eq!(p.require_symbol("entry"), Ok(CODE_BASE));
         assert_eq!(p.symbol("nope"), None);
     }
 
     #[test]
-    #[should_panic(expected = "no symbol")]
-    fn require_missing_symbol_panics() {
-        small().require_symbol("missing");
+    fn require_missing_symbol_is_a_typed_error() {
+        let err = small().require_symbol("missing").unwrap_err();
+        assert_eq!(err.name, "missing");
+        assert!(err.to_string().contains("missing"));
     }
 
     #[test]
@@ -151,6 +186,37 @@ mod tests {
         assert_eq!(p.code_end(), CODE_BASE + 2 * INSTR_BYTES);
         assert!(p.contains_code(CODE_BASE));
         assert!(!p.contains_code(p.code_end()));
+        assert!(p.contains_code(p.code_end() - 1));
+    }
+
+    #[test]
+    fn zero_length_program_edges() {
+        let p = Asm::new().assemble().unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.code_end(), CODE_BASE);
+        assert_eq!(p.fetch(CODE_BASE), None);
+        assert!(!p.contains_code(CODE_BASE));
+        assert!(!p.overlaps_code(CODE_BASE, 8));
+        assert_eq!(p.require_symbol("entry").unwrap_err().name, "entry");
+    }
+
+    #[test]
+    fn overlaps_code_is_width_aware() {
+        let p = small(); // two instructions: [CODE_BASE, CODE_BASE + 8)
+                         // a store whose first byte is below CODE_BASE but spills into code
+        assert!(p.overlaps_code(CODE_BASE - 4, 8));
+        assert!(!p.contains_code(CODE_BASE - 4));
+        // a store starting just under code_end still overlaps
+        assert!(p.overlaps_code(p.code_end() - 1, 8));
+        // at or past code_end: clear
+        assert!(!p.overlaps_code(p.code_end(), 8));
+        // entirely below
+        assert!(!p.overlaps_code(CODE_BASE - 8, 8));
+        // zero-length access overlaps nothing, even inside the region
+        assert!(!p.overlaps_code(CODE_BASE, 0));
+        // wrapping access is saturated, not wrapped around
+        assert!(!p.overlaps_code(u64::MAX - 2, 8));
     }
 
     #[test]

@@ -30,7 +30,7 @@ fn latency(mechanism: BarrierMechanism, cores: usize) -> Result<f64, Box<dyn std
     asm.bne(Reg::S0, Reg::ZERO, "outer");
     asm.halt();
     let program = asm.assemble()?;
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut mb = MachineBuilder::new(config, program)?;
     for _ in 0..cores {
         mb.add_thread(entry);

@@ -69,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     asm.halt();
 
     let program = asm.assemble()?;
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut mb = MachineBuilder::new(config, program)?;
     let input: Vec<u64> = (0..n as u64).map(|i| i % 7 + 1).collect();
     mb.write_u64_slice(a_buf, &input);

@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Build the machine: program, initial memory, threads, filter tables.
     let program = asm.assemble()?;
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut mb = MachineBuilder::new(config, program)?;
     let input: Vec<u64> = (1..=n).collect();
     mb.write_u64_slice(data, &input);

@@ -43,4 +43,11 @@ cargo run --release --offline -p bench-suite --bin chaos -q -- \
     --quick --jobs 2 --seed 0x5eedba441e4a0001 \
     --out "$(mktemp -t fastbar_check_chaos.XXXXXX.json)"
 
+echo "==> program verifier + race detector smoke (quick kernel grid)"
+# Every parallel kernel under every barrier mechanism, race detector
+# attached, assembled program statically verified: any static Error or
+# observed race exits non-zero. Quick sizes; verdicts are size-independent.
+cargo run --release --offline -p bench-suite --bin verify -q -- \
+    --quick --jobs 2 --out "$(mktemp -t fastbar_check_verify.XXXXXX.json)"
+
 echo "==> all checks passed"

@@ -10,12 +10,15 @@
 //!   software and dedicated-network baseline barrier mechanisms;
 //! * [`kernels`] — the fine-grained data-parallel kernels the paper
 //!   evaluates (Livermore loops 2/3/6, EEMBC-like autocorrelation and
-//!   Viterbi).
+//!   Viterbi);
+//! * [`analyze`] — the static MiniRISC program verifier and the dynamic
+//!   happens-before race detector for barrier kernels.
 //!
 //! See `examples/quickstart.rs` for the fastest route to a running
 //! simulation, and the `bench-suite` crate for the binaries that regenerate
 //! every table and figure of the paper.
 
+pub use analyze;
 pub use barrier_filter;
 pub use cmp_sim;
 pub use kernels;

@@ -18,7 +18,7 @@ fn prelude_builds_a_machine() {
     asm.label("entry").unwrap();
     asm.halt();
     let program = asm.assemble().unwrap();
-    let entry = program.require_symbol("entry");
+    let entry = program.require_symbol("entry").unwrap();
     let mut mb = MachineBuilder::new(config, program).unwrap();
     mb.add_thread(entry);
     mb.add_thread(entry);

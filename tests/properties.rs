@@ -271,7 +271,7 @@ fn parallel_sum_is_exact_for_any_gang() {
         asm.halt();
 
         let program = asm.assemble().unwrap();
-        let entry = program.require_symbol("entry");
+        let entry = program.require_symbol("entry").unwrap();
         let mut mb = MachineBuilder::new(config, program).unwrap();
         mb.write_u64_slice(data, &values);
         for _ in 0..threads {
