@@ -245,6 +245,7 @@ mod tests {
                 episodes: Default::default(),
             },
             cycles_per_rep: cycles as f64,
+            decode: Default::default(),
         })
     }
 

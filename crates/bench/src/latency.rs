@@ -60,9 +60,48 @@ pub fn build_latency_machine_tuned(
     trace: TraceConfig,
     burst_budget: u32,
 ) -> Machine {
-    build_latency_machine_inner(mechanism, cores, inner, outer, trace, burst_budget, |_| {
-        None
-    })
+    let decode_cache = SimConfig::with_cores(cores).decode_cache;
+    build_latency_machine_engine(
+        mechanism,
+        cores,
+        inner,
+        outer,
+        trace,
+        burst_budget,
+        decode_cache,
+    )
+}
+
+/// [`build_latency_machine_tuned`] with every engine fast-path knob
+/// explicit: the core-step burst budget *and* the decoded-superblock
+/// cache. Both are host-side execution strategies, not model changes —
+/// any combination must yield a bit-identical
+/// [`MachineStats::digest`](cmp_sim::MachineStats); the matrix test in
+/// `tests/determinism.rs` holds this line across all mechanisms.
+///
+/// # Panics
+///
+/// Panics on assembler/build/trace-sink failures.
+#[allow(clippy::too_many_arguments)]
+pub fn build_latency_machine_engine(
+    mechanism: BarrierMechanism,
+    cores: usize,
+    inner: u64,
+    outer: u64,
+    trace: TraceConfig,
+    burst_budget: u32,
+    decode_cache: bool,
+) -> Machine {
+    build_latency_machine_inner(
+        mechanism,
+        cores,
+        inner,
+        outer,
+        trace,
+        burst_budget,
+        decode_cache,
+        |_| None,
+    )
 }
 
 /// [`build_latency_machine`] with a hook that may attach a trace sink
@@ -80,18 +119,20 @@ pub fn build_latency_machine_observed(
     outer: u64,
     observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
 ) -> Machine {
-    let budget = SimConfig::with_cores(cores).burst_budget;
+    let defaults = SimConfig::with_cores(cores);
     build_latency_machine_inner(
         mechanism,
         cores,
         inner,
         outer,
         TraceConfig::Off,
-        budget,
+        defaults.burst_budget,
+        defaults.decode_cache,
         observe,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_latency_machine_inner(
     mechanism: BarrierMechanism,
     cores: usize,
@@ -99,10 +140,12 @@ fn build_latency_machine_inner(
     outer: u64,
     trace: TraceConfig,
     burst_budget: u32,
+    decode_cache: bool,
     observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
 ) -> Machine {
     let mut config = SimConfig::with_cores(cores);
     config.burst_budget = burst_budget;
+    config.decode_cache = decode_cache;
     let mut space = AddressSpace::new(&config);
     let mut asm = Asm::new();
     let mut sys =

@@ -19,10 +19,10 @@
 use std::time::Instant;
 
 use barrier_filter::BarrierMechanism;
-use cmp_sim::{json_escape, Measurement};
+use cmp_sim::{json_escape, DecodeCacheStats, Measurement, SimConfig, TraceConfig};
 use kernels::viterbi::Viterbi;
 
-use crate::latency::build_latency_machine;
+use crate::latency::{build_latency_machine, build_latency_machine_engine};
 use crate::sweep::SweepRunner;
 
 /// Committed digest of the full `fig4_16core` workload (16 cores, 64 × 64
@@ -48,14 +48,24 @@ pub struct ThroughputSample {
     pub wall_seconds: f64,
     /// `sim.instructions / wall_seconds` — the headline number.
     pub instr_per_sec: f64,
+    /// Decoded-superblock cache counters summed over the workload's
+    /// machines. Host-side engine metrics (schema v3): they vary with
+    /// [`SimConfig::decode_cache`] while `sim` stays bit-identical.
+    pub decode: DecodeCacheStats,
 }
 
-fn sample(workload: &str, sim: Measurement, wall_seconds: f64) -> ThroughputSample {
+fn sample(
+    workload: &str,
+    sim: Measurement,
+    wall_seconds: f64,
+    decode: DecodeCacheStats,
+) -> ThroughputSample {
     ThroughputSample {
         workload: workload.to_string(),
         sim,
         wall_seconds,
         instr_per_sec: sim.instructions as f64 / wall_seconds.max(1e-9),
+        decode,
     }
 }
 
@@ -66,10 +76,10 @@ fn sample(workload: &str, sim: Measurement, wall_seconds: f64) -> ThroughputSamp
 struct Fig4Part {
     sim: Measurement,
     wall: f64,
+    decode: DecodeCacheStats,
 }
 
-fn fig4_part(mechanism: BarrierMechanism, cores: usize, inner: u64, outer: u64) -> Fig4Part {
-    let mut m = build_latency_machine(mechanism, cores, inner, outer);
+fn fig4_finish(mechanism: BarrierMechanism, cores: usize, mut m: cmp_sim::Machine) -> Fig4Part {
     let t0 = Instant::now();
     let summary = m
         .run()
@@ -78,7 +88,13 @@ fn fig4_part(mechanism: BarrierMechanism, cores: usize, inner: u64, outer: u64) 
     Fig4Part {
         sim: Measurement::new(&summary, &m.stats()),
         wall,
+        decode: m.decode_stats(),
     }
+}
+
+fn fig4_part(mechanism: BarrierMechanism, cores: usize, inner: u64, outer: u64) -> Fig4Part {
+    let m = build_latency_machine(mechanism, cores, inner, outer);
+    fig4_finish(mechanism, cores, m)
 }
 
 /// Fold per-mechanism parts — which must be in [`BarrierMechanism::ALL`]
@@ -88,11 +104,15 @@ fn fig4_part(mechanism: BarrierMechanism, cores: usize, inner: u64, outer: u64) 
 fn fold_fig4(cores: usize, parts: &[Fig4Part]) -> ThroughputSample {
     let mut sim = Measurement::default();
     let mut wall = 0f64;
+    let mut decode = DecodeCacheStats::default();
     let mut digest = 0xcbf2_9ce4_8422_2325u64;
     for part in parts {
         sim.cycles += part.sim.cycles;
         sim.instructions += part.sim.instructions;
         wall += part.wall;
+        decode.hits += part.decode.hits;
+        decode.builds += part.decode.builds;
+        decode.invalidations += part.decode.invalidations;
         sim.episodes.merge(&part.sim.episodes);
         for b in part.sim.stats_digest.to_le_bytes() {
             digest ^= b as u64;
@@ -100,7 +120,7 @@ fn fold_fig4(cores: usize, parts: &[Fig4Part]) -> ThroughputSample {
         }
     }
     sim.stats_digest = digest;
-    sample(&format!("fig4_{cores}core"), sim, wall)
+    sample(&format!("fig4_{cores}core"), sim, wall, decode)
 }
 
 /// The Figure 4 workload: every barrier mechanism at `cores` cores,
@@ -115,6 +135,40 @@ pub fn fig4_sample(cores: usize, inner: u64, outer: u64) -> ThroughputSample {
     let parts: Vec<Fig4Part> = BarrierMechanism::ALL
         .into_iter()
         .map(|mechanism| fig4_part(mechanism, cores, inner, outer))
+        .collect();
+    fold_fig4(cores, &parts)
+}
+
+/// [`fig4_sample`] with the decoded-superblock cache forced on or off
+/// (instead of the process-wide default). The cache is a host-side
+/// execution strategy, not a model change: the chained digest must be
+/// bit-identical either way — `tests/determinism.rs` pins both settings
+/// against the committed [`EXPECTED_FIG4_16CORE_DIGEST`].
+///
+/// # Panics
+///
+/// Panics if any mechanism's run fails.
+pub fn fig4_sample_engine(
+    cores: usize,
+    inner: u64,
+    outer: u64,
+    decode_cache: bool,
+) -> ThroughputSample {
+    let budget = SimConfig::with_cores(cores).burst_budget;
+    let parts: Vec<Fig4Part> = BarrierMechanism::ALL
+        .into_iter()
+        .map(|mechanism| {
+            let m = build_latency_machine_engine(
+                mechanism,
+                cores,
+                inner,
+                outer,
+                TraceConfig::Off,
+                budget,
+                decode_cache,
+            );
+            fig4_finish(mechanism, cores, m)
+        })
         .collect();
     fold_fig4(cores, &parts)
 }
@@ -137,22 +191,14 @@ pub fn fig4_sample_observed(
     let parts: Vec<Fig4Part> = BarrierMechanism::ALL
         .into_iter()
         .map(|mechanism| {
-            let mut m = crate::latency::build_latency_machine_observed(
+            let m = crate::latency::build_latency_machine_observed(
                 mechanism,
                 cores,
                 inner,
                 outer,
                 &mut observe,
             );
-            let t0 = Instant::now();
-            let summary = m
-                .run()
-                .unwrap_or_else(|e| panic!("fig4 {mechanism} @ {cores} cores failed: {e}"));
-            let wall = t0.elapsed().as_secs_f64();
-            Fig4Part {
-                sim: Measurement::new(&summary, &m.stats()),
-                wall,
-            }
+            fig4_finish(mechanism, cores, m)
         })
         .collect();
     fold_fig4(cores, &parts)
@@ -173,7 +219,12 @@ pub fn viterbi_sample(data_bits: usize, threads: usize) -> ThroughputSample {
         .run_parallel(threads, BarrierMechanism::FilterD)
         .expect("viterbi throughput workload");
     let wall = t0.elapsed().as_secs_f64();
-    sample(&format!("viterbi_k5_{threads}t"), outcome.sim, wall)
+    sample(
+        &format!("viterbi_k5_{threads}t"),
+        outcome.sim,
+        wall,
+        outcome.decode,
+    )
 }
 
 /// [`viterbi_sample`] with a Chrome trace streamed to `trace_path`
@@ -199,7 +250,12 @@ pub fn viterbi_sample_traced(
         .run_parallel_traced(threads, BarrierMechanism::FilterD, trace)
         .expect("traced viterbi throughput workload");
     let wall = t0.elapsed().as_secs_f64();
-    sample(&format!("viterbi_k5_{threads}t_traced"), outcome.sim, wall)
+    sample(
+        &format!("viterbi_k5_{threads}t_traced"),
+        outcome.sim,
+        wall,
+        outcome.decode,
+    )
 }
 
 /// One independent simulation of the throughput suite — the job unit the
@@ -297,8 +353,12 @@ pub struct ThroughputDoc {
 
 /// Serialize the document as `BENCH_throughput.json` (std-only,
 /// hand-rolled JSON: the repo builds with no registry access).
+///
+/// Schema `fastbar-throughput/v3` extends v2 with a per-sample `decode`
+/// object (decoded-superblock cache hits/builds/invalidations) — host-side
+/// engine counters; every simulated field keeps its v2 meaning.
 pub fn to_json(doc: &ThroughputDoc) -> String {
-    let mut out = String::from("{\n  \"schema\": \"fastbar-throughput/v2\",\n");
+    let mut out = String::from("{\n  \"schema\": \"fastbar-throughput/v3\",\n");
     out.push_str(&format!("  \"jobs\": {},\n", doc.jobs));
     out.push_str(&format!("  \"host_threads\": {},\n", doc.host_threads));
     out.push_str(&format!(
@@ -326,13 +386,18 @@ pub fn to_json(doc: &ThroughputDoc) -> String {
         out.push_str(&format!(
             "\"episodes\": {{\"count\": {}, \"parks\": {}, \"releases\": {}, \
              \"serviced\": {}, \"mean_arrival_spread\": {:.1}, \
-             \"mean_release_fanout\": {:.1}}}",
+             \"mean_release_fanout\": {:.1}}}, ",
             e.episodes,
             e.parks,
             e.releases,
             e.serviced,
             e.mean_arrival_spread(),
             e.mean_release_fanout(),
+        ));
+        let d = &s.decode;
+        out.push_str(&format!(
+            "\"decode\": {{\"hits\": {}, \"builds\": {}, \"invalidations\": {}}}",
+            d.hits, d.builds, d.invalidations,
         ));
         out.push('}');
         if i + 1 < samples.len() {
@@ -368,6 +433,14 @@ mod tests {
         }
     }
 
+    fn decode(hits: u64, builds: u64, invalidations: u64) -> DecodeCacheStats {
+        DecodeCacheStats {
+            hits,
+            builds,
+            invalidations,
+        }
+    }
+
     #[test]
     fn fig4_sample_is_deterministic_in_simulated_terms() {
         let a = fig4_sample(4, 4, 2);
@@ -395,10 +468,10 @@ mod tests {
     #[test]
     fn json_document_has_schema_and_all_samples() {
         let j = to_json(&doc(vec![
-            sample("w1", meas(10, 20, 7), 0.5),
-            sample("w2", meas(1, 2, 9), 0.25),
+            sample("w1", meas(10, 20, 7), 0.5, decode(100, 4, 1)),
+            sample("w2", meas(1, 2, 9), 0.25, decode(0, 0, 0)),
         ]));
-        assert!(j.contains("fastbar-throughput/v2"));
+        assert!(j.contains("fastbar-throughput/v3"));
         assert!(j.contains("\"jobs\": 2"));
         assert!(j.contains("\"host_threads\": 8"));
         assert!(j.contains("\"serial_wall_seconds\": 1.500000"));
@@ -410,11 +483,21 @@ mod tests {
         );
         assert!(j.contains("\"instr_per_sec\": 40.0"));
         assert!(j.contains("\"episodes\": {\"count\": 0"));
+        assert!(
+            j.contains("\"decode\": {\"hits\": 100, \"builds\": 4, \"invalidations\": 1}"),
+            "v3 samples carry the decoded-superblock counters"
+        );
+        assert!(j.contains("\"decode\": {\"hits\": 0, \"builds\": 0, \"invalidations\": 0}"));
     }
 
     #[test]
     fn json_strings_are_escaped() {
-        let j = to_json(&doc(vec![sample("w\"quoted\\slash", meas(1, 1, 0), 0.5)]));
+        let j = to_json(&doc(vec![sample(
+            "w\"quoted\\slash",
+            meas(1, 1, 0),
+            0.5,
+            decode(0, 0, 0),
+        )]));
         assert!(j.contains("\"workload\": \"w\\\"quoted\\\\slash\""));
     }
 }

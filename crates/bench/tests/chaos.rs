@@ -288,3 +288,81 @@ fn faulted_kernels_still_validate_loop2() {
         assert_eq!(report.injected + report.skipped, 16);
     }
 }
+
+/// The `RunSummary::cycles` monotonicity contract under faults: the
+/// reported cycle count must equal `Machine::now()` at the moment the run
+/// finishes and dominate every core's halt cycle. Fault-driven runs are
+/// where the two can drift — switch-outs and delayed resumes push `now`
+/// through quiescent-advance pauses and trailing hook timers that no
+/// core's halt cycle reflects — so a summary that re-derived `cycles`
+/// from halt cycles alone could roll time backwards. Non-vacuous: the
+/// plan must actually round-trip switched-out threads.
+#[test]
+fn faulted_summaries_stay_monotone_with_now() {
+    for mechanism in FILTERS {
+        let start = first_time_with_parked(mechanism, 1);
+        let (cycles, _) = baseline(mechanism);
+        let events = (0..12)
+            .map(|i| FaultEvent {
+                at: start + (cycles.saturating_sub(start) * i) / 16,
+                pick: 0x2545_f491_4f6c_dd1du64.wrapping_mul(i + 1),
+                kind: FaultKind::SwitchOut { delay: 90 + 17 * i },
+            })
+            .collect();
+        let mut m = machine(mechanism);
+        let (summary, report) = run_with_faults(&mut m, &plan(events)).expect("faulted run");
+        assert!(
+            report.resumed > 0,
+            "{mechanism}: no switched-out thread resumed — vacuous"
+        );
+        assert_eq!(
+            summary.cycles,
+            m.now(),
+            "{mechanism}: summary cycles must match the machine clock"
+        );
+        for (core, stats) in m.stats().cores.iter().enumerate() {
+            let halt = stats.halt_cycle.expect("every core halted");
+            assert!(
+                summary.cycles >= halt,
+                "{mechanism}: summary ({}) behind core {core}'s halt ({halt})",
+                summary.cycles
+            );
+        }
+    }
+}
+
+/// The strongest form of the monotonicity contract: a quiescent-advance
+/// pause jumps `Machine::now()` straight to the requested pause horizon
+/// (so an OS resume scheduled for cycle T lands at cycle T), and the
+/// final summary must carry that overshoot forward rather than report
+/// the (much earlier) cycle the machine actually went idle at.
+#[test]
+fn quiescent_advance_overshoot_never_rolls_the_summary_back() {
+    let mechanism = BarrierMechanism::FilterD;
+    let start = first_time_with_parked(mechanism, 1);
+    let mut m = machine(mechanism);
+    assert!(matches!(m.run_until(start), Ok(RunState::Paused)));
+    let victim = m.parked_cores()[0];
+    assert!(m.context_switch_out(victim));
+    // With the victim switched out, every other thread parks behind the
+    // barrier and the event queue drains; the machine is then quiescent
+    // (only the OS can make progress) and run_until jumps the clock to
+    // the pause horizon.
+    let horizon = m.now() + 100_000;
+    match m.run_until(horizon).expect("quiescent pause") {
+        RunState::Paused => {}
+        RunState::Finished(_) => panic!("cannot finish with a switched-out thread"),
+    }
+    assert_eq!(m.now(), horizon, "quiescent-advance must reach the horizon");
+    m.resume_thread(victim).expect("resume the victim");
+    let summary = match m.run_until(u64::MAX).expect("finish the run") {
+        RunState::Finished(s) => s,
+        RunState::Paused => panic!("resumed machine must finish"),
+    };
+    assert_eq!(summary.cycles, m.now());
+    assert!(
+        summary.cycles >= horizon,
+        "summary ({}) rolled back past the quiescent-advance horizon ({horizon})",
+        summary.cycles
+    );
+}

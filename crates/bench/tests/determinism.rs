@@ -10,9 +10,10 @@
 
 use analyze::RaceDetectorSink;
 use barrier_filter::BarrierMechanism;
-use bench_suite::latency::{build_latency_machine_traced, build_latency_machine_tuned};
+use bench_suite::latency::{build_latency_machine_engine, build_latency_machine_traced};
 use bench_suite::throughput::{
-    fig4_sample_observed, EXPECTED_FIG4_16CORE_DIGEST, EXPECTED_VITERBI_K5_16T_DIGEST,
+    fig4_sample_engine, fig4_sample_observed, EXPECTED_FIG4_16CORE_DIGEST,
+    EXPECTED_VITERBI_K5_16T_DIGEST,
 };
 use bench_suite::{build_latency_machine, SweepRunner};
 use cmp_sim::{TraceConfig, TraceSink};
@@ -245,45 +246,103 @@ fn parallel_sweep_matches_serial_sweep() {
     }
 }
 
-/// The burst-fast-path contract: the engine's core-step burst (consuming
-/// a core's own ready events in place while every queued event is
-/// strictly later) is an execution shortcut, not a model change. Budget 0
-/// disables it entirely; any other budget must leave the `RunSummary`,
-/// the full `MachineStats`, and the digest bit-identical. Also pins the
-/// non-vacuousness of the test: the default budget must actually burst
-/// (`burst_retired > 0`) and budget 0 must not.
+/// The engine fast-path contract, as a full matrix: the core-step burst
+/// (consuming a core's own ready events in place while every queued event
+/// is strictly later) and the decoded-superblock cache (executing
+/// pre-decoded instruction runs without touching `Program::fetch`) are
+/// execution shortcuts, not model changes. Every combination of
+/// `burst_budget ∈ {0, 1, 64}` × `decode_cache ∈ {off, on}` must yield a
+/// bit-identical `RunSummary`, full `MachineStats`, and digest for every
+/// barrier mechanism. The matrix is held non-vacuous through the engine's
+/// own host-side counters: budgets 0 and 1 must never burst (a burst
+/// needs at least two steps), budget 64 must; the decode cache must hit
+/// when enabled and stay silent when disabled.
 #[test]
-fn burst_fast_path_never_changes_simulated_behaviour() {
+fn engine_fast_paths_never_change_simulated_behaviour() {
     let (cores, inner, outer) = (8, 8, 2);
-    for mechanism in [
-        BarrierMechanism::FilterD,
-        BarrierMechanism::SwCentral,
-        BarrierMechanism::HwDedicated,
-    ] {
-        let run = |budget: u32| {
-            let mut m = build_latency_machine_tuned(
+    let budgets = [0u32, 1, 64];
+    for mechanism in BarrierMechanism::ALL {
+        let run = |budget: u32, decode: bool| {
+            let mut m = build_latency_machine_engine(
                 mechanism,
                 cores,
                 inner,
                 outer,
                 TraceConfig::Off,
                 budget,
+                decode,
             );
             let summary = m.run().expect("barrier loop");
-            (summary, m.stats().clone(), m.burst_retired())
+            (
+                summary,
+                m.stats().clone(),
+                m.burst_retired(),
+                m.decode_stats(),
+            )
         };
-        let (sum_off, stats_off, bursts_off) = run(0);
-        let (sum_on, stats_on, bursts_on) = run(cmp_sim::SimConfig::default().burst_budget);
-        assert_eq!(bursts_off, 0, "{mechanism}: budget 0 must never burst");
-        assert!(
-            bursts_on > 0,
-            "{mechanism}: default budget never engaged the fast path — vacuous test"
-        );
-        assert_eq!(sum_off, sum_on, "{mechanism}: RunSummary diverged");
+        let (ref_sum, ref_stats, _, _) = run(0, false);
+        let ref_digest = ref_stats.digest();
+        for budget in budgets {
+            for decode in [false, true] {
+                let label = format!("{mechanism} budget={budget} decode={decode}");
+                let (sum, stats, bursts, dstats) = run(budget, decode);
+                assert_eq!(sum, ref_sum, "{label}: RunSummary diverged");
+                assert_eq!(stats, ref_stats, "{label}: full MachineStats diverged");
+                assert_eq!(stats.digest(), ref_digest, "{label}: digest diverged");
+                if budget < 2 {
+                    assert_eq!(bursts, 0, "{label}: a burst needs at least two steps");
+                } else {
+                    assert!(bursts > 0, "{label}: burst path never engaged — vacuous");
+                }
+                if decode {
+                    assert!(dstats.hits > 0, "{label}: decode cache never hit — vacuous");
+                    assert!(dstats.builds > 0, "{label}: decode cache built nothing");
+                } else {
+                    assert_eq!(
+                        dstats,
+                        Default::default(),
+                        "{label}: disabled decode cache must stay silent"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The decode cache must reproduce the *pinned* digests of both committed
+/// throughput workloads with the cache disabled — not merely match a
+/// same-process re-run. The committed constants were minted by engine
+/// trajectories without the decoded-superblock layer, so hitting them
+/// from both sides of the switch proves the cache is invisible to the
+/// simulated machine on the real workloads, at full 16-core scale.
+/// Non-vacuousness is pinned through the host-side counters on both
+/// sides: off-runs must report zero decode activity, on-runs must hit.
+#[test]
+fn decode_cache_reproduces_pinned_digests_on_and_off() {
+    for decode in [false, true] {
+        let fig4 = fig4_sample_engine(16, 64, 64, decode);
         assert_eq!(
-            stats_off, stats_on,
-            "{mechanism}: full MachineStats diverged"
+            fig4.sim.stats_digest, EXPECTED_FIG4_16CORE_DIGEST,
+            "fig4_16core digest moved with decode_cache={decode}: {:#018x} != committed {:#018x}",
+            fig4.sim.stats_digest, EXPECTED_FIG4_16CORE_DIGEST
         );
-        assert_eq!(stats_off.digest(), stats_on.digest());
+        let outcome = Viterbi::new(96)
+            .run_parallel_engine(16, BarrierMechanism::FilterD, decode)
+            .expect("viterbi workload");
+        assert_eq!(
+            outcome.sim.stats_digest, EXPECTED_VITERBI_K5_16T_DIGEST,
+            "viterbi_k5_16t digest moved with decode_cache={decode}: {:#018x} != committed {:#018x}",
+            outcome.sim.stats_digest, EXPECTED_VITERBI_K5_16T_DIGEST
+        );
+        if decode {
+            assert!(
+                fig4.decode.hits > 0,
+                "fig4 decode cache never hit — vacuous"
+            );
+            assert!(outcome.decode.hits > 0, "viterbi decode cache never hit");
+        } else {
+            assert_eq!(fig4.decode, Default::default());
+            assert_eq!(outcome.decode, Default::default());
+        }
     }
 }

@@ -20,13 +20,24 @@ pub enum LineState {
     Modified,
 }
 
+/// Sentinel for an unoccupied way. Real line addresses are line-aligned and
+/// far below `u64::MAX`, so the sentinel can never match a lookup.
+const EMPTY_LINE: u64 = u64::MAX;
+
 #[derive(Debug, Clone, Copy)]
 struct Way {
     line: u64,
     state: LineState,
-    /// Higher = more recently used.
+    /// Higher = more recently used. Ticks are unique across the cache, so
+    /// the LRU victim in a set is always unambiguous.
     lru: u64,
 }
+
+const EMPTY_WAY: Way = Way {
+    line: EMPTY_LINE,
+    state: LineState::Shared,
+    lru: 0,
+};
 
 /// Hit/miss/eviction counters for one cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -60,9 +71,16 @@ impl CacheStats {
 }
 
 /// A set-associative, true-LRU, timing-only cache.
+///
+/// Storage is one flat way arena with a fixed per-set stride (no per-set
+/// `Vec`), so a lookup touches a single contiguous slab — this sits on the
+/// simulator's per-memory-op hot path. Within a set, way order carries no
+/// meaning: lines are unique per set and LRU ticks are unique per cache, so
+/// hit, victim, and eviction decisions are identical to any other layout.
 #[derive(Debug)]
 pub struct Cache {
-    sets: Vec<Vec<Way>>,
+    /// `sets * ways` entries; set `s` occupies `s*ways .. (s+1)*ways`.
+    slots: Vec<Way>,
     ways: usize,
     set_mask: u64,
     latency: u64,
@@ -74,9 +92,10 @@ impl Cache {
     /// Build a cache with the given geometry.
     pub fn new(config: CacheConfig) -> Cache {
         let sets = config.sets() as usize;
+        let ways = config.ways as usize;
         Cache {
-            sets: (0..sets).map(|_| Vec::new()).collect(),
-            ways: config.ways as usize,
+            slots: vec![EMPTY_WAY; sets * ways],
+            ways,
             set_mask: sets as u64 - 1,
             latency: config.latency,
             tick: 0,
@@ -95,13 +114,19 @@ impl Cache {
         ((line / sim_isa::LINE_BYTES) & self.set_mask) as usize
     }
 
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let start = self.set_of(line) * self.ways;
+        start..start + self.ways
+    }
+
     /// Look up `line` (a line-aligned byte address). On a hit the LRU
     /// position is refreshed and the state returned.
+    #[inline]
     pub fn lookup(&mut self, line: u64) -> Option<LineState> {
         self.tick += 1;
         let tick = self.tick;
-        let set = self.set_of(line);
-        match self.sets[set].iter_mut().find(|w| w.line == line) {
+        let range = self.set_range(line);
+        match self.slots[range].iter_mut().find(|w| w.line == line) {
             Some(w) => {
                 w.lru = tick;
                 self.stats.hits += 1;
@@ -116,8 +141,8 @@ impl Cache {
 
     /// Check for presence without disturbing LRU or counting stats.
     pub fn probe(&self, line: u64) -> Option<LineState> {
-        let set = self.set_of(line);
-        self.sets[set]
+        let range = self.set_range(line);
+        self.slots[range]
             .iter()
             .find(|w| w.line == line)
             .map(|w| w.state)
@@ -128,31 +153,29 @@ impl Cache {
     pub fn insert(&mut self, line: u64, state: LineState) -> Option<(u64, LineState)> {
         self.tick += 1;
         let tick = self.tick;
-        let ways = self.ways;
-        let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
+        let range = self.set_range(line);
+        let set = &mut self.slots[range];
         if let Some(w) = set.iter_mut().find(|w| w.line == line) {
             // Fill of an already-present line just refreshes it.
             w.state = state;
             w.lru = tick;
             return None;
         }
-        if set.len() < ways {
-            set.push(Way {
+        if let Some(w) = set.iter_mut().find(|w| w.line == EMPTY_LINE) {
+            *w = Way {
                 line,
                 state,
                 lru: tick,
-            });
+            };
             return None;
         }
-        let victim_idx = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.lru)
-            .map(|(i, _)| i)
+        // Every way occupied: evict the (unique) least recently used one.
+        let victim_way = set
+            .iter_mut()
+            .min_by_key(|w| w.lru)
             .expect("nonzero associativity");
-        let victim = set[victim_idx];
-        set[victim_idx] = Way {
+        let victim = *victim_way;
+        *victim_way = Way {
             line,
             state,
             lru: tick,
@@ -166,19 +189,19 @@ impl Cache {
 
     /// Remove `line` if present, returning its state.
     pub fn invalidate(&mut self, line: u64) -> Option<LineState> {
-        let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
-        let pos = set.iter().position(|w| w.line == line)?;
-        let w = set.swap_remove(pos);
+        let range = self.set_range(line);
+        let w = self.slots[range].iter_mut().find(|w| w.line == line)?;
+        let state = w.state;
+        *w = EMPTY_WAY;
         self.stats.invalidations += 1;
-        Some(w.state)
+        Some(state)
     }
 
     /// Change the state of a resident line (e.g. S→M on upgrade, M→S on a
     /// remote read). No-op if the line is absent.
     pub fn set_state(&mut self, line: u64, state: LineState) {
-        let set_idx = self.set_of(line);
-        if let Some(w) = self.sets[set_idx].iter_mut().find(|w| w.line == line) {
+        let range = self.set_range(line);
+        if let Some(w) = self.slots[range].iter_mut().find(|w| w.line == line) {
             w.state = state;
         }
     }
@@ -190,7 +213,7 @@ impl Cache {
 
     /// Number of resident lines (diagnostics).
     pub fn resident(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.slots.iter().filter(|w| w.line != EMPTY_LINE).count()
     }
 }
 

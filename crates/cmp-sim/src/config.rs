@@ -186,6 +186,18 @@ pub struct SimConfig {
     /// bit-identical at any budget. `0` disables the fast path (every
     /// instruction round-trips the queue, the pre-burst engine behaviour).
     pub burst_budget: u32,
+    /// Decoded-superblock cache toggle. When on (the default), the engine
+    /// retires instructions out of pre-decoded blocks with pre-scaled issue
+    /// costs instead of fetching and decoding from the [`sim_isa::Program`]
+    /// image each step. Like `burst_budget`, this is a host-side fast path:
+    /// simulated behaviour and the
+    /// [`MachineStats::digest`](crate::MachineStats::digest) are
+    /// bit-identical either way; only the host-side
+    /// [`DecodeCacheStats`](crate::DecodeCacheStats) counters differ. The
+    /// default honours the `FASTBAR_DECODE_CACHE` environment variable
+    /// (read once per process; `0` disables) so CI can smoke the
+    /// interpreter path without code changes.
+    pub decode_cache: bool,
     /// Trace-sink selection: where memory-system trace events stream to
     /// (off by default; sinks are observers and never change simulated
     /// behaviour).
@@ -253,6 +265,15 @@ impl SimConfig {
     }
 }
 
+/// Process-wide default for [`SimConfig::decode_cache`]: on unless
+/// `FASTBAR_DECODE_CACHE=0`. Read once so every machine in a process (and
+/// both sides of an in-process A/B comparison that sets the field
+/// explicitly) sees a stable default.
+fn decode_cache_env_default() -> bool {
+    static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| std::env::var("FASTBAR_DECODE_CACHE").map_or(true, |v| v != "0"))
+}
+
 impl Default for SimConfig {
     fn default() -> SimConfig {
         SimConfig {
@@ -292,6 +313,7 @@ impl Default for SimConfig {
             hw_barrier: HwBarrierConfig::default(),
             cycle_limit: u64::MAX,
             burst_budget: 64,
+            decode_cache: decode_cache_env_default(),
             trace: crate::trace::TraceConfig::Off,
         }
     }

@@ -75,19 +75,33 @@ pub struct CoreStats {
 
 /// One core: architectural registers plus the blocking state the engine
 /// tracks for it.
+///
+/// `repr(C)` with the per-step scalars (`pc`, flags, decoded-block cursor,
+/// fetch window, issue accumulator) declared first: every instruction the
+/// engine steps touches exactly these, and clustering them keeps a step to
+/// a couple of host cache lines instead of scattering hot fields between
+/// the 512-byte register arrays. Purely a host-side layout choice.
 #[derive(Debug)]
+#[repr(C)]
 pub(crate) struct Core {
-    pub regs: [u64; Reg::COUNT],
-    pub fregs: [f64; FReg::COUNT],
     pub pc: u64,
     pub halted: bool,
-    /// LL reservation: the line address of a valid load-linked, if any.
-    pub link: Option<u64>,
-    /// Lines of committed-but-undrained stores, oldest first.
-    pub store_buffer: VecDeque<u64>,
     /// Whether a `StoreRetire` event is in flight for the buffer head.
     pub draining: bool,
-    pub waiting: Waiting,
+    /// Decoded-block cursor: next arena position to execute when the cursor
+    /// is live. Live iff `dec_pos < dec_end && dec_pc == pc && dec_gen`
+    /// matches the decode cache's generation; a live cursor implies the
+    /// ifetch window covers `pc` (blocks never cross lines), so
+    /// [`Core::clear_ifetch_window`] also resets the cursor and every
+    /// window invalidation (isync, icbi broadcast, migration) invalidates
+    /// both together.
+    pub dec_pos: u32,
+    /// One past the last arena position of the cursor's block.
+    pub dec_end: u32,
+    /// The pc the op at `dec_pos` was decoded from.
+    pub dec_pc: u64,
+    /// Decode-cache generation the cursor was stamped with.
+    pub dec_gen: u64,
     /// Fetch fast path: pcs in `ifetch_lo..ifetch_hi` (the bounds of the
     /// I-cache line the previous instruction decoded from) skip the L1I
     /// lookup. `(1, 0)` — an empty window — means no line is cached;
@@ -95,11 +109,18 @@ pub(crate) struct Core {
     /// is the (64-byte-aligned) line address itself.
     pub ifetch_lo: u64,
     pub ifetch_hi: u64,
-    /// Outstanding misses (loads, store drains, parked fills).
-    pub mshr_used: usize,
     /// Fractional-cycle accumulator (twelfths) for superscalar issue.
     pub issue_frac: u64,
+    pub waiting: Waiting,
     pub stats: CoreStats,
+    pub regs: [u64; Reg::COUNT],
+    pub fregs: [f64; FReg::COUNT],
+    /// LL reservation: the line address of a valid load-linked, if any.
+    pub link: Option<u64>,
+    /// Lines of committed-but-undrained stores, oldest first.
+    pub store_buffer: VecDeque<u64>,
+    /// Outstanding misses (loads, store drains, parked fills).
+    pub mshr_used: usize,
 }
 
 impl Core {
@@ -115,6 +136,10 @@ impl Core {
             waiting: Waiting::None,
             ifetch_lo: 1,
             ifetch_hi: 0,
+            dec_pos: 0,
+            dec_end: 0,
+            dec_pc: 0,
+            dec_gen: 0,
             mshr_used: 0,
             issue_frac: 0,
             stats: CoreStats::default(),
@@ -172,10 +197,14 @@ impl Core {
         self.stats.mshr_peak = self.stats.mshr_peak.max(self.mshr_used);
     }
 
-    /// Invalidate the instruction-fetch fast-path window.
+    /// Invalidate the instruction-fetch fast-path window, and with it the
+    /// decoded-block cursor (a live cursor always lies inside the window's
+    /// line, so the two must drop together).
     pub fn clear_ifetch_window(&mut self) {
         self.ifetch_lo = 1;
         self.ifetch_hi = 0;
+        self.dec_pos = 0;
+        self.dec_end = 0;
     }
 }
 

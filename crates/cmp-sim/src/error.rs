@@ -94,6 +94,13 @@ pub enum SimError {
         /// The barrier id.
         id: u16,
     },
+    /// [`Machine::patch_code`](crate::Machine::patch_code) named an address
+    /// outside the program image (or misaligned), so there is no
+    /// instruction slot to patch.
+    PatchOutsideCode {
+        /// The offending address.
+        pc: u64,
+    },
     /// [`Machine::resume_thread`](crate::Machine::resume_thread) was called
     /// for a core that is not context-switched out. Recoverable: fault
     /// injectors and OS models get a typed error instead of a panic.
@@ -161,6 +168,9 @@ impl fmt::Display for SimError {
                     f,
                     "core {core} is not a member of hardware barrier group {id}"
                 )
+            }
+            SimError::PatchOutsideCode { pc } => {
+                write!(f, "code patch targets {pc:#x}, outside the program image")
             }
             SimError::NotSwitchedOut { core } => {
                 write!(f, "core {core} is not context-switched out")

@@ -34,8 +34,10 @@ use std::collections::{BinaryHeap, VecDeque};
 
 /// Ring capacity in cycles. Power of two; sized so that common latencies
 /// (L1/L2/L3 hits, bus grants, the 138-cycle memory round trip, short hook
-/// deadlines) stay in-window even under queueing backlogs.
-const WINDOW: u64 = 4096;
+/// deadlines) stay in-window even under queueing backlogs, while keeping
+/// the bucket-header array small enough to live in cache (the engine
+/// touches a bucket per event; 512 deque headers are 16 KiB).
+const WINDOW: u64 = 512;
 const WORDS: usize = (WINDOW as usize) / 64;
 
 /// A far-future event parked in the overflow heap, ordered by
@@ -75,6 +77,10 @@ pub(crate) struct CalendarQueue<T: Eq> {
     base: u64,
     /// Events at `cycle >= base + WINDOW`.
     overflow: BinaryHeap<Reverse<Far<T>>>,
+    /// Cycle of the earliest overflow event (`u64::MAX` when empty), so the
+    /// per-pop migration check is a register compare instead of a heap
+    /// peek.
+    overflow_min: u64,
     /// Last assigned sequence number (0 = none yet).
     seq: u64,
     len: usize,
@@ -92,6 +98,7 @@ impl<T: Eq> CalendarQueue<T> {
             occupied: [0; WORDS],
             base: 0,
             overflow: BinaryHeap::new(),
+            overflow_min: u64::MAX,
             seq: 0,
             len: 0,
             next_memo: Cell::new(None),
@@ -118,6 +125,7 @@ impl<T: Eq> CalendarQueue<T> {
             self.occupied[b / 64] |= 1 << (b % 64);
         } else {
             self.overflow.push(Reverse(Far { cycle, seq, item }));
+            self.overflow_min = self.overflow_min.min(cycle);
         }
         self.len += 1;
         if let Some(memo) = self.next_memo.get() {
@@ -146,7 +154,7 @@ impl<T: Eq> CalendarQueue<T> {
             return Some(memo);
         }
         let ring = self.scan().map(|(cycle, _)| cycle);
-        let over = self.overflow.peek().map(|Reverse(f)| f.cycle);
+        let over = (self.overflow_min != u64::MAX).then_some(self.overflow_min);
         let min = match (ring, over) {
             (Some(r), Some(o)) => Some(r.min(o)),
             (r, None) => r,
@@ -164,7 +172,9 @@ impl<T: Eq> CalendarQueue<T> {
         // event *at* the target cycle must interleave by `seq` with the
         // bucket's direct pushes.
         self.base = target;
-        self.migrate_overflow();
+        if self.overflow_min < self.base + WINDOW {
+            self.migrate_overflow();
+        }
         let b = (target % WINDOW) as usize;
         let bucket = &mut self.buckets[b];
         let Some((_, item)) = bucket.pop_front() else {
@@ -226,6 +236,7 @@ impl<T: Eq> CalendarQueue<T> {
             bucket.insert(pos, (f.seq, f.item));
             self.occupied[b / 64] |= 1 << (b % 64);
         }
+        self.overflow_min = self.overflow.peek().map_or(u64::MAX, |Reverse(f)| f.cycle);
     }
 }
 

@@ -62,6 +62,7 @@ mod cache;
 mod coherence;
 mod config;
 mod core;
+mod decode;
 mod error;
 mod event_queue;
 mod fastmap;
@@ -80,6 +81,7 @@ pub use cache::{Cache, CacheStats, LineState};
 pub use coherence::{DirEntry, Directory, DirectoryStats, ReadOutcome, WriteOutcome};
 pub use config::{BusConfig, CacheConfig, CoreTiming, HwBarrierConfig, SimConfig};
 pub use core::CoreStats;
+pub use decode::DecodeCacheStats;
 pub use error::SimError;
 pub use faults::{run_with_faults, FaultEvent, FaultKind, FaultPlan, FaultReport, Lcg};
 pub use hook::{

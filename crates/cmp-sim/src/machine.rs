@@ -32,6 +32,7 @@ use crate::bus::Resource;
 use crate::cache::{Cache, LineState};
 use crate::coherence::{Directory, ReadOutcome};
 use crate::core::{Continuation, Core, Waiting};
+use crate::decode::{DecodeCache, DecodeCacheStats};
 use crate::error::SimError;
 use crate::event_queue::CalendarQueue;
 use crate::fastmap::FxHashMap;
@@ -53,28 +54,31 @@ pub enum RunState {
     Paused,
 }
 
+/// An engine event. Core and bank indices are `u32` so the whole enum
+/// packs into 16 bytes — the queue moves one of these per simulated
+/// instruction, so entry size is host-bandwidth that matters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Ev {
     /// Execute the next instruction on a core.
-    CoreReady(usize),
+    CoreReady(u32),
     /// The head of a core's store buffer finished draining.
-    StoreRetire(usize),
+    StoreRetire(u32),
     /// A fill's data became available at its source (L2/L3/memory, a
     /// remote owner, or the bank hook): acquire the response bus and
     /// deliver it.
     FillReady {
-        core: usize,
+        core: u32,
         line: u64,
         kind: AccessKind,
         purpose: FillPurpose,
     },
     /// An outstanding fill completed (delivered, or released/errored by a
     /// bank hook).
-    FillDone { core: usize, line: u64, error: bool },
+    FillDone { core: u32, line: u64, error: bool },
     /// An invalidation message reached an L2 bank's hook.
-    HookInvalidate { bank: usize, line: u64 },
+    HookInvalidate { bank: u32, line: u64 },
     /// A hook-requested deadline arrived.
-    HookDeadline { bank: usize },
+    HookDeadline { bank: u32 },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,7 +129,7 @@ struct ParkedFill {
 /// (`cost * 12 / width`, the quantity `finish_units` accumulates). Computed
 /// once at build time so the retire path performs no division.
 #[derive(Debug, Clone, Copy)]
-struct ScaledCosts {
+pub(crate) struct ScaledCosts {
     int_op: u64,
     mul: u64,
     div: u64,
@@ -150,6 +154,30 @@ impl ScaledCosts {
             fp_div: issue(t.fp_div),
             load: mem(t.load.max(config.l1d.latency)),
             store_issue: mem(t.store_issue),
+        }
+    }
+
+    /// The pre-scaled issue cost the retire path charges for `instr` (its
+    /// `finish_units` argument). Instructions whose cost is decided
+    /// elsewhere — control flow, fences, barriers, `sc`, `halt`, `nop` —
+    /// retire through whole-cycle paths and map to 0 here; the decoded
+    /// executor never reads the field for them.
+    pub(crate) fn units_of(&self, instr: &Instr) -> u64 {
+        use Instr::*;
+        match instr {
+            Add(..) | Sub(..) | And(..) | Or(..) | Xor(..) | Sll(..) | Srl(..) | Sra(..)
+            | Slt(..) | Sltu(..) | Min(..) | Max(..) | Addi(..) | Andi(..) | Ori(..) | Xori(..)
+            | Slli(..) | Srli(..) | Srai(..) | Slti(..) | Li(..) | Fmov(..) | Fli(..) => {
+                self.int_op
+            }
+            Mul(..) => self.mul,
+            Div(..) | Rem(..) => self.div,
+            Fadd(..) | Fsub(..) | Fmul(..) | Fmadd(..) | Fneg(..) | Fcvtif(..) | Fcvtfi(..)
+            | Feq(..) | Flt(..) | Fle(..) => self.fp_op,
+            Fdiv(..) => self.fp_div,
+            Ld(..) | Ll(..) | Fld(..) => self.load,
+            St(..) | Fst(..) => self.store_issue,
+            _ => 0,
         }
     }
 }
@@ -217,6 +245,24 @@ pub struct Machine {
     /// deliberately not part of [`MachineStats`], which fingerprints
     /// simulated behaviour only).
     burst_retired: u64,
+    /// Decoded-superblock cache (see [`crate::decode`]): pre-decoded
+    /// straight-line runs with pre-scaled issue costs, so the hot path
+    /// skips `Program::fetch` and the cost tables entirely.
+    decode: DecodeCache,
+    /// Cached [`SimConfig::decode_cache`]: routes `CoreReady` stepping
+    /// through the decoded executor or the reference interpreter.
+    decode_on: bool,
+    /// Cores currently holding a LL reservation; lets the per-store
+    /// [`clear_links`](Machine::clear_links) broadcast skip its all-cores
+    /// scan in the (overwhelmingly common) no-reservation case.
+    live_links: u32,
+    /// Self-modifying-code patches staged by [`Machine::patch_code`],
+    /// deduplicated by pc. A patch lands in the program image only when an
+    /// `icbi` broadcast covers its line — until then every fetch
+    /// (windowed, decoded, or cold) architecturally sees the old word, so
+    /// the stale-fetch window is deterministic and identical with the
+    /// decode cache on or off.
+    pending_patches: Vec<(u64, Instr)>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -276,6 +322,10 @@ impl Machine {
             burst_core: usize::MAX,
             burst_ready: None,
             burst_retired: 0,
+            decode: DecodeCache::new(&program),
+            decode_on: config.decode_cache,
+            live_links: 0,
+            pending_patches: Vec::new(),
             config,
             program,
             mem,
@@ -283,7 +333,7 @@ impl Machine {
         };
         for c in 0..m.cores.len() {
             if !m.cores[c].halted {
-                m.schedule(0, Ev::CoreReady(c));
+                m.schedule(0, Ev::CoreReady(c as u32));
             }
         }
         m
@@ -373,7 +423,7 @@ impl Machine {
             let (cycle, ev) = self.events.pop().expect("peeked");
             self.now = self.now.max(cycle);
             match ev {
-                Ev::CoreReady(c) => self.core_ready_burst(c, pause_at)?,
+                Ev::CoreReady(c) => self.core_ready_burst(c as usize, pause_at)?,
                 ev => self.dispatch(ev)?,
             }
         }
@@ -403,13 +453,13 @@ impl Machine {
     fn core_ready_burst(&mut self, c: usize, pause_at: u64) -> Result<(), SimError> {
         let budget = self.config.burst_budget;
         if budget == 0 {
-            return self.step_core(c);
+            return self.step_once(c);
         }
         self.burst_core = c;
         let mut left = budget;
         let result = loop {
             debug_assert!(self.burst_ready.is_none());
-            if let Err(e) = self.step_core(c) {
+            if let Err(e) = self.step_once(c) {
                 break Err(e);
             }
             let Some(at) = self.burst_ready.take() else {
@@ -423,7 +473,7 @@ impl Machine {
                 && at <= self.config.cycle_limit
                 && self.events.all_later_than(at);
             if !burst_on {
-                self.schedule(at, Ev::CoreReady(c));
+                self.schedule(at, Ev::CoreReady(c as u32));
                 break Ok(());
             }
             self.burst_retired += 1;
@@ -434,13 +484,17 @@ impl Machine {
     }
 
     fn summary(&self) -> RunSummary {
+        // Monotone with `Machine::now()`: trailing events that drain after
+        // the last core halts (bank-hook timers, delayed fault resumes,
+        // quiescent-advance pauses) still advance `now`, and the reported
+        // cycle count must not roll backwards past them to the halt cycle.
         RunSummary {
             cycles: self
                 .cores
                 .iter()
                 .filter_map(|c| c.stats.halt_cycle)
                 .max()
-                .unwrap_or(self.now),
+                .map_or(self.now, |h| h.max(self.now)),
             instructions: self.cores.iter().map(|c| c.stats.instructions).sum(),
         }
     }
@@ -477,6 +531,43 @@ impl Machine {
     /// actually engaged.
     pub fn burst_retired(&self) -> u64 {
         self.burst_retired
+    }
+
+    /// Decoded-superblock cache counters so far (hits/builds/invalidations).
+    ///
+    /// Host-side engine metrics like [`burst_retired`](Machine::burst_retired):
+    /// they vary with [`SimConfig::decode_cache`] while every simulated
+    /// number stays bit-identical, so they are not part of [`MachineStats`]
+    /// or its digest. Tests use the hit counter to prove the decoded
+    /// executor actually engaged.
+    pub fn decode_stats(&self) -> DecodeCacheStats {
+        self.decode.stats()
+    }
+
+    /// Stage a self-modifying-code patch: replace the instruction at `pc`
+    /// with `instr`, effective at the next `icbi` broadcast covering that
+    /// line. Until a running core executes `icbi` for the patched line,
+    /// every fetch architecturally sees the old word (matching the stale
+    /// window real weakly-ordered ISAs permit between a code store and the
+    /// `icbi`/`isync` sequence), so runs are deterministic — and identical
+    /// with the decode cache on or off — even when a core races the patch.
+    /// Restaging the same pc before the `icbi` lands replaces the staged
+    /// word.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::PatchOutsideCode`] if `pc` is outside the program image
+    /// or misaligned.
+    pub fn patch_code(&mut self, pc: u64, instr: Instr) -> Result<(), SimError> {
+        if self.program.fetch(pc).is_none() {
+            return Err(SimError::PatchOutsideCode { pc });
+        }
+        if let Some(slot) = self.pending_patches.iter_mut().find(|(p, _)| *p == pc) {
+            slot.1 = instr;
+        } else {
+            self.pending_patches.push((pc, instr));
+        }
+        Ok(())
     }
 
     /// The machine configuration.
@@ -674,7 +765,9 @@ impl Machine {
         std::mem::swap(&mut ca.pc, &mut cb.pc);
         std::mem::swap(&mut ca.waiting, &mut cb.waiting);
         for c in [a, b] {
-            self.cores[c].link = None;
+            if self.cores[c].link.take().is_some() {
+                self.live_links -= 1;
+            }
             self.cores[c].clear_ifetch_window();
         }
         Ok(())
@@ -701,17 +794,17 @@ impl Machine {
 
     fn dispatch(&mut self, ev: Ev) -> Result<(), SimError> {
         match ev {
-            Ev::CoreReady(c) => self.step_core(c),
-            Ev::StoreRetire(c) => self.store_retire(c),
+            Ev::CoreReady(c) => self.step_once(c as usize),
+            Ev::StoreRetire(c) => self.store_retire(c as usize),
             Ev::FillReady {
                 core,
                 line,
                 kind,
                 purpose,
-            } => self.fill_ready(core, line, kind, purpose),
-            Ev::FillDone { core, line, error } => self.fill_done(core, line, error),
-            Ev::HookInvalidate { bank, line } => self.hook_invalidate(bank, line),
-            Ev::HookDeadline { bank } => self.hook_deadline(bank),
+            } => self.fill_ready(core as usize, line, kind, purpose),
+            Ev::FillDone { core, line, error } => self.fill_done(core as usize, line, error),
+            Ev::HookInvalidate { bank, line } => self.hook_invalidate(bank as usize, line),
+            Ev::HookDeadline { bank } => self.hook_deadline(bank as usize),
         }
     }
 
@@ -720,19 +813,19 @@ impl Machine {
         self.cores[c].store_buffer.pop_front();
         if let Some(&line) = self.cores[c].store_buffer.front() {
             match self.store_path(c, line, now, FillPurpose::StoreDrain)? {
-                StoreOutcome::Done(t) => self.schedule(t, Ev::StoreRetire(c)),
+                StoreOutcome::Done(t) => self.schedule(t, Ev::StoreRetire(c as u32)),
                 StoreOutcome::Pending => {}
             }
         } else {
             self.cores[c].draining = false;
             if let Waiting::Fence { residual } = self.cores[c].waiting {
                 self.cores[c].waiting = Waiting::None;
-                self.schedule(now + residual, Ev::CoreReady(c));
+                self.schedule(now + residual, Ev::CoreReady(c as u32));
             }
         }
         if matches!(self.cores[c].waiting, Waiting::StoreSlot) {
             self.cores[c].waiting = Waiting::None;
-            self.schedule(now, Ev::CoreReady(c));
+            self.schedule(now, Ev::CoreReady(c as u32));
         }
         Ok(())
     }
@@ -754,7 +847,7 @@ impl Machine {
                 self.schedule(
                     done,
                     Ev::FillDone {
-                        core: c,
+                        core: c as u32,
                         line,
                         error: false,
                     },
@@ -763,7 +856,7 @@ impl Machine {
             FillPurpose::StoreDrain => {
                 self.fill_l1(c, line, kind, done);
                 self.cores[c].mshr_used = self.cores[c].mshr_used.saturating_sub(1);
-                self.schedule(done, Ev::StoreRetire(c));
+                self.schedule(done, Ev::StoreRetire(c as u32));
             }
         }
         Ok(())
@@ -794,7 +887,7 @@ impl Machine {
                     return Err(SimError::IFetchErrorReply { core: c, line });
                 }
                 self.fill_l1(c, line, AccessKind::IFetch, at);
-                self.schedule(at, Ev::CoreReady(c));
+                self.schedule(at, Ev::CoreReady(c as u32));
             }
             Continuation::Load {
                 rd,
@@ -819,9 +912,9 @@ impl Machine {
                 };
                 self.cores[c].set_reg(rd, value);
                 if set_link {
-                    self.cores[c].link = Some(line);
+                    self.set_link(c, line);
                 }
-                self.schedule(at, Ev::CoreReady(c));
+                self.schedule(at, Ev::CoreReady(c as u32));
             }
             Continuation::FLoad { fd, addr } => {
                 if !error {
@@ -838,7 +931,7 @@ impl Machine {
                     self.mem.read_f64(addr)
                 };
                 self.cores[c].set_freg(fd, value);
-                self.schedule(at, Ev::CoreReady(c));
+                self.schedule(at, Ev::CoreReady(c as u32));
             }
             Continuation::Sc { rd, src, addr } => {
                 // The success of a store-conditional is decided when the
@@ -857,7 +950,7 @@ impl Machine {
                     });
                 }
                 self.cores[c].set_reg(rd, ok as u64);
-                self.schedule(at, Ev::CoreReady(c));
+                self.schedule(at, Ev::CoreReady(c as u32));
             }
         }
         Ok(())
@@ -918,7 +1011,7 @@ impl Machine {
         let d = d.max(self.now);
         if self.scheduled_deadlines[bank].is_none_or(|s| s > d) {
             self.scheduled_deadlines[bank] = Some(d);
-            self.schedule(d, Ev::HookDeadline { bank });
+            self.schedule(d, Ev::HookDeadline { bank: bank as u32 });
         }
     }
 
@@ -975,7 +1068,7 @@ impl Machine {
                 self.schedule(
                     done,
                     Ev::FillDone {
-                        core: p.core,
+                        core: p.core as u32,
                         line: p.line,
                         error,
                     },
@@ -1078,7 +1171,7 @@ impl Machine {
                     self.schedule(
                         ready,
                         Ev::FillReady {
-                            core: c,
+                            core: c as u32,
                             line,
                             kind,
                             purpose,
@@ -1111,7 +1204,7 @@ impl Machine {
                     self.schedule(
                         ready,
                         Ev::FillReady {
-                            core: c,
+                            core: c as u32,
                             line,
                             kind,
                             purpose,
@@ -1167,7 +1260,7 @@ impl Machine {
                     self.schedule(
                         ready,
                         Ev::FillReady {
-                            core: c,
+                            core: c as u32,
                             line,
                             kind,
                             purpose,
@@ -1213,7 +1306,7 @@ impl Machine {
         self.schedule(
             t,
             Ev::FillReady {
-                core: c,
+                core: c as u32,
                 line,
                 kind,
                 purpose,
@@ -1279,20 +1372,37 @@ impl Machine {
     }
 
     fn clear_links(&mut self, line: u64) {
+        if self.live_links == 0 {
+            return;
+        }
         for core in &mut self.cores {
             if core.link == Some(line) {
                 core.link = None;
+                self.live_links -= 1;
             }
         }
+    }
+
+    /// Establish core `c`'s LL reservation, keeping the live-link count in
+    /// step (every `link` transition in the engine goes through this, the
+    /// clear paths, or migration).
+    #[inline]
+    fn set_link(&mut self, c: usize, line: u64) {
+        if self.cores[c].link.is_none() {
+            self.live_links += 1;
+        }
+        self.cores[c].link = Some(line);
     }
 
     // ------------------------------------------------------------------
     // Instruction execution
     // ------------------------------------------------------------------
 
+    #[inline]
     fn finish(&mut self, c: usize, cost: u64, next_pc: u64) {
-        self.cores[c].pc = next_pc;
-        self.cores[c].stats.instructions += 1;
+        let core = &mut self.cores[c];
+        core.pc = next_pc;
+        core.stats.instructions += 1;
         let at = self.now + cost;
         if c == self.burst_core {
             // Burst fast path: defer the CoreReady — the burst loop either
@@ -1300,7 +1410,7 @@ impl Machine {
             // the queue untouched.
             self.burst_ready = Some(at);
         } else {
-            self.schedule(at, Ev::CoreReady(c));
+            self.schedule(at, Ev::CoreReady(c as u32));
         }
     }
 
@@ -1308,35 +1418,50 @@ impl Machine {
     /// (superscalar approximation): costs accumulate in twelfths of a
     /// cycle ([`ScaledCosts`], precomputed at build), advancing the clock
     /// only when a whole cycle accrues.
+    #[inline]
     fn finish_units(&mut self, c: usize, scaled_cost: u64, next_pc: u64) {
-        let units = self.cores[c].issue_frac + scaled_cost;
-        self.cores[c].issue_frac = units % 12;
-        self.finish(c, units / 12, next_pc);
+        let core = &mut self.cores[c];
+        let units = core.issue_frac + scaled_cost;
+        core.issue_frac = units % 12;
+        core.pc = next_pc;
+        core.stats.instructions += 1;
+        let at = self.now + units / 12;
+        if c == self.burst_core {
+            self.burst_ready = Some(at);
+        } else {
+            self.schedule(at, Ev::CoreReady(c as u32));
+        }
     }
 
     fn finish_at(&mut self, c: usize, at: u64, next_pc: u64) {
         self.cores[c].pc = next_pc;
         self.cores[c].stats.instructions += 1;
-        self.schedule(at, Ev::CoreReady(c));
+        self.schedule(at, Ev::CoreReady(c as u32));
     }
 
-    fn step_core(&mut self, c: usize) -> Result<(), SimError> {
-        if self.cores[c].halted || !matches!(self.cores[c].waiting, Waiting::None) {
-            return Ok(());
+    /// Execute one instruction on core `c`, routed through the decoded
+    /// executor or the reference interpreter per [`SimConfig::decode_cache`].
+    /// Both produce identical simulated behaviour (see [`crate::decode`]).
+    fn step_once(&mut self, c: usize) -> Result<(), SimError> {
+        if self.decode_on {
+            self.step_core_fast(c)
+        } else {
+            self.step_core(c)
         }
-        let now = self.now;
-        let pc = self.cores[c].pc;
+    }
 
-        // Instruction fetch through the L1I. Fast path: a pc within the
-        // bounds of the line the previous instruction decoded from skips
-        // the line math and the tag lookup entirely.
+    /// Shared I-fetch front end: ensure the ifetch window covers `pc`,
+    /// going through the L1I (and on a miss, the fill machinery) exactly as
+    /// before. Returns `false` when the core blocked on an instruction
+    /// fill.
+    fn ifetch_window(&mut self, c: usize, pc: u64) -> Result<bool, SimError> {
         if pc < self.cores[c].ifetch_lo || pc >= self.cores[c].ifetch_hi {
             let fetch_line = line_of(pc);
             if self.l1i[c].lookup(fetch_line).is_some() {
                 self.cores[c].ifetch_lo = fetch_line;
                 self.cores[c].ifetch_hi = fetch_line + sim_isa::LINE_BYTES;
             } else {
-                let start = now + self.config.l1i.latency;
+                let start = self.now + self.config.l1i.latency;
                 let access = self.miss_path(
                     c,
                     fetch_line,
@@ -1349,29 +1474,100 @@ impl Machine {
                     cont: Continuation::IFetch,
                     parked: matches!(access, Access::Parked),
                 };
-                return Ok(());
+                return Ok(false);
             }
         }
+        Ok(true)
+    }
 
+    /// Reference interpreter step: fetch from the program image, compute
+    /// the issue cost from the tables, execute.
+    fn step_core(&mut self, c: usize) -> Result<(), SimError> {
+        let core = &self.cores[c];
+        if core.halted || !matches!(core.waiting, Waiting::None) {
+            return Ok(());
+        }
+        let pc = core.pc;
+        if !self.ifetch_window(c, pc)? {
+            return Ok(());
+        }
         let Some(instr) = self.program.fetch(pc) else {
             return Err(SimError::IllegalPc { core: c, pc });
         };
-        let t = self.config.timing;
-        let sc = self.scaled;
+        let units = self.scaled.units_of(&instr);
+        self.exec_instr(c, pc, instr, units)
+    }
+
+    /// Decoded-executor step: retire the next instruction straight out of
+    /// the decoded-superblock cache. The per-core cursor makes the common
+    /// case (straight-line code inside a block) a bounds-check and an
+    /// arena read — no window math, no block-table probe, no
+    /// `Program::fetch`, no cost lookup.
+    fn step_core_fast(&mut self, c: usize) -> Result<(), SimError> {
+        let core = &self.cores[c];
+        if core.halted || !matches!(core.waiting, Waiting::None) {
+            return Ok(());
+        }
+        let pc = core.pc;
+        if core.dec_pos < core.dec_end && core.dec_pc == pc && core.dec_gen == self.decode.gen {
+            // Cursor hit. A live cursor implies the ifetch window covers
+            // `pc` (blocks never cross lines and window invalidations
+            // clear the cursor), so the window check is skipped exactly
+            // when it would have passed.
+            let pos = core.dec_pos;
+            return self.exec_decoded(c, pc, pos);
+        }
+        if !self.ifetch_window(c, pc)? {
+            return Ok(());
+        }
+        let Some((start, end)) = self.decode.block_at(pc, &self.program, &self.scaled) else {
+            return Err(SimError::IllegalPc { core: c, pc });
+        };
+        let core = &mut self.cores[c];
+        core.dec_pos = start;
+        core.dec_end = end;
+        core.dec_pc = pc;
+        core.dec_gen = self.decode.gen;
+        self.exec_decoded(c, pc, start)
+    }
+
+    /// Execute the decoded op at arena position `pos`, advancing the
+    /// cursor to the fall-through successor first. The optimistic advance
+    /// is exact: ops that divert (branches, `jal`, `halt`) are always the
+    /// last op of their block, so the advanced cursor is already invalid
+    /// (`dec_pos == dec_end`); ops that block and later resume do so at
+    /// the fall-through pc; and an op that re-executes at the same pc
+    /// (store-buffer-full) misses the cursor and re-enters through the
+    /// block table.
+    fn exec_decoded(&mut self, c: usize, pc: u64, pos: u32) -> Result<(), SimError> {
+        let op = self.decode.op(pos);
+        let core = &mut self.cores[c];
+        core.dec_pos = pos + 1;
+        core.dec_pc = pc + sim_isa::INSTR_BYTES;
+        self.exec_instr(c, pc, op.instr, op.units)
+    }
+
+    /// Execute one already-fetched instruction at `pc` on core `c`.
+    /// `units` is the pre-scaled issue cost [`ScaledCosts::units_of`]
+    /// assigns the instruction — passed in so the decoded executor can
+    /// serve it from the block cache without a table lookup.
+    fn exec_instr(&mut self, c: usize, pc: u64, instr: Instr, units: u64) -> Result<(), SimError> {
+        let now = self.now;
+        let t = &self.config.timing;
         let next = pc + sim_isa::INSTR_BYTES;
 
         macro_rules! alu {
-            ($units:expr, $rd:expr, $val:expr) => {{
+            ($rd:expr, $val:expr) => {{
                 let v = $val;
                 self.cores[c].set_reg($rd, v);
-                self.finish_units(c, $units, next);
+                self.finish_units(c, units, next);
             }};
         }
         macro_rules! falu {
-            ($units:expr, $fd:expr, $val:expr) => {{
+            ($fd:expr, $val:expr) => {{
                 let v = $val;
                 self.cores[c].set_freg($fd, v);
-                self.finish_units(c, $units, next);
+                self.finish_units(c, units, next);
             }};
         }
 
@@ -1379,60 +1575,60 @@ impl Machine {
         let fr = |f| self.cores[c].freg(f);
 
         match instr {
-            Instr::Add(d, a, b) => alu!(sc.int_op, d, r(a).wrapping_add(r(b))),
-            Instr::Sub(d, a, b) => alu!(sc.int_op, d, r(a).wrapping_sub(r(b))),
-            Instr::Mul(d, a, b) => alu!(sc.mul, d, r(a).wrapping_mul(r(b))),
+            Instr::Add(d, a, b) => alu!(d, r(a).wrapping_add(r(b))),
+            Instr::Sub(d, a, b) => alu!(d, r(a).wrapping_sub(r(b))),
+            Instr::Mul(d, a, b) => alu!(d, r(a).wrapping_mul(r(b))),
             Instr::Div(d, a, b) => {
                 if r(b) == 0 {
                     return Err(SimError::DivisionByZero { core: c, pc });
                 }
-                alu!(sc.div, d, (r(a) as i64).wrapping_div(r(b) as i64) as u64)
+                alu!(d, (r(a) as i64).wrapping_div(r(b) as i64) as u64)
             }
             Instr::Rem(d, a, b) => {
                 if r(b) == 0 {
                     return Err(SimError::DivisionByZero { core: c, pc });
                 }
-                alu!(sc.div, d, (r(a) as i64).wrapping_rem(r(b) as i64) as u64)
+                alu!(d, (r(a) as i64).wrapping_rem(r(b) as i64) as u64)
             }
-            Instr::And(d, a, b) => alu!(sc.int_op, d, r(a) & r(b)),
-            Instr::Or(d, a, b) => alu!(sc.int_op, d, r(a) | r(b)),
-            Instr::Xor(d, a, b) => alu!(sc.int_op, d, r(a) ^ r(b)),
-            Instr::Sll(d, a, b) => alu!(sc.int_op, d, r(a) << (r(b) & 63)),
-            Instr::Srl(d, a, b) => alu!(sc.int_op, d, r(a) >> (r(b) & 63)),
-            Instr::Sra(d, a, b) => alu!(sc.int_op, d, ((r(a) as i64) >> (r(b) & 63)) as u64),
-            Instr::Slt(d, a, b) => alu!(sc.int_op, d, ((r(a) as i64) < (r(b) as i64)) as u64),
-            Instr::Sltu(d, a, b) => alu!(sc.int_op, d, (r(a) < r(b)) as u64),
-            Instr::Min(d, a, b) => alu!(sc.int_op, d, (r(a) as i64).min(r(b) as i64) as u64),
-            Instr::Max(d, a, b) => alu!(sc.int_op, d, (r(a) as i64).max(r(b) as i64) as u64),
-            Instr::Addi(d, a, i) => alu!(sc.int_op, d, r(a).wrapping_add(i as u64)),
-            Instr::Andi(d, a, i) => alu!(sc.int_op, d, r(a) & i as u64),
-            Instr::Ori(d, a, i) => alu!(sc.int_op, d, r(a) | i as u64),
-            Instr::Xori(d, a, i) => alu!(sc.int_op, d, r(a) ^ i as u64),
-            Instr::Slli(d, a, s) => alu!(sc.int_op, d, r(a) << (s & 63)),
-            Instr::Srli(d, a, s) => alu!(sc.int_op, d, r(a) >> (s & 63)),
-            Instr::Srai(d, a, s) => alu!(sc.int_op, d, ((r(a) as i64) >> (s & 63)) as u64),
-            Instr::Slti(d, a, i) => alu!(sc.int_op, d, ((r(a) as i64) < i) as u64),
-            Instr::Li(d, i) => alu!(sc.int_op, d, i as u64),
+            Instr::And(d, a, b) => alu!(d, r(a) & r(b)),
+            Instr::Or(d, a, b) => alu!(d, r(a) | r(b)),
+            Instr::Xor(d, a, b) => alu!(d, r(a) ^ r(b)),
+            Instr::Sll(d, a, b) => alu!(d, r(a) << (r(b) & 63)),
+            Instr::Srl(d, a, b) => alu!(d, r(a) >> (r(b) & 63)),
+            Instr::Sra(d, a, b) => alu!(d, ((r(a) as i64) >> (r(b) & 63)) as u64),
+            Instr::Slt(d, a, b) => alu!(d, ((r(a) as i64) < (r(b) as i64)) as u64),
+            Instr::Sltu(d, a, b) => alu!(d, (r(a) < r(b)) as u64),
+            Instr::Min(d, a, b) => alu!(d, (r(a) as i64).min(r(b) as i64) as u64),
+            Instr::Max(d, a, b) => alu!(d, (r(a) as i64).max(r(b) as i64) as u64),
+            Instr::Addi(d, a, i) => alu!(d, r(a).wrapping_add(i as u64)),
+            Instr::Andi(d, a, i) => alu!(d, r(a) & i as u64),
+            Instr::Ori(d, a, i) => alu!(d, r(a) | i as u64),
+            Instr::Xori(d, a, i) => alu!(d, r(a) ^ i as u64),
+            Instr::Slli(d, a, s) => alu!(d, r(a) << (s & 63)),
+            Instr::Srli(d, a, s) => alu!(d, r(a) >> (s & 63)),
+            Instr::Srai(d, a, s) => alu!(d, ((r(a) as i64) >> (s & 63)) as u64),
+            Instr::Slti(d, a, i) => alu!(d, ((r(a) as i64) < i) as u64),
+            Instr::Li(d, i) => alu!(d, i as u64),
 
-            Instr::Fadd(d, a, b) => falu!(sc.fp_op, d, fr(a) + fr(b)),
-            Instr::Fsub(d, a, b) => falu!(sc.fp_op, d, fr(a) - fr(b)),
-            Instr::Fmul(d, a, b) => falu!(sc.fp_op, d, fr(a) * fr(b)),
-            Instr::Fdiv(d, a, b) => falu!(sc.fp_div, d, fr(a) / fr(b)),
-            Instr::Fmadd(d, a, b, e) => falu!(sc.fp_op, d, fr(a).mul_add(fr(b), fr(e))),
-            Instr::Fneg(d, a) => falu!(sc.fp_op, d, -fr(a)),
-            Instr::Fmov(d, a) => falu!(sc.int_op, d, fr(a)),
-            Instr::Fli(d, v) => falu!(sc.int_op, d, v),
-            Instr::Fcvtif(d, a) => falu!(sc.fp_op, d, r(a) as i64 as f64),
-            Instr::Fcvtfi(d, a) => alu!(sc.fp_op, d, fr(a) as i64 as u64),
-            Instr::Feq(d, a, b) => alu!(sc.fp_op, d, (fr(a) == fr(b)) as u64),
-            Instr::Flt(d, a, b) => alu!(sc.fp_op, d, (fr(a) < fr(b)) as u64),
-            Instr::Fle(d, a, b) => alu!(sc.fp_op, d, (fr(a) <= fr(b)) as u64),
+            Instr::Fadd(d, a, b) => falu!(d, fr(a) + fr(b)),
+            Instr::Fsub(d, a, b) => falu!(d, fr(a) - fr(b)),
+            Instr::Fmul(d, a, b) => falu!(d, fr(a) * fr(b)),
+            Instr::Fdiv(d, a, b) => falu!(d, fr(a) / fr(b)),
+            Instr::Fmadd(d, a, b, e) => falu!(d, fr(a).mul_add(fr(b), fr(e))),
+            Instr::Fneg(d, a) => falu!(d, -fr(a)),
+            Instr::Fmov(d, a) => falu!(d, fr(a)),
+            Instr::Fli(d, v) => falu!(d, v),
+            Instr::Fcvtif(d, a) => falu!(d, r(a) as i64 as f64),
+            Instr::Fcvtfi(d, a) => alu!(d, fr(a) as i64 as u64),
+            Instr::Feq(d, a, b) => alu!(d, (fr(a) == fr(b)) as u64),
+            Instr::Flt(d, a, b) => alu!(d, (fr(a) < fr(b)) as u64),
+            Instr::Fle(d, a, b) => alu!(d, (fr(a) <= fr(b)) as u64),
 
             Instr::Ld(rd, base, off, width) => {
-                self.exec_load(c, rd, base, off, width, false, next)?;
+                self.exec_load(c, pc, rd, base, off, width, false, units, next)?;
             }
             Instr::Ll(rd, base, off) => {
-                self.exec_load(c, rd, base, off, MemWidth::D, true, next)?;
+                self.exec_load(c, pc, rd, base, off, MemWidth::D, true, units, next)?;
             }
             Instr::Fld(fd, base, off) => {
                 let addr = r(base).wrapping_add(off as u64);
@@ -1447,7 +1643,7 @@ impl Machine {
                         addr,
                         bytes: 8,
                     });
-                    self.finish_units(c, sc.load, next);
+                    self.finish_units(c, units, next);
                 } else {
                     let access = self.miss_path(
                         c,
@@ -1467,12 +1663,12 @@ impl Machine {
             }
             Instr::St(src, base, off, width) => {
                 let addr = r(base).wrapping_add(off as u64);
-                self.exec_store(c, pc, addr, width, r(src), next)?;
+                self.exec_store(c, pc, addr, width, r(src), units, next)?;
             }
             Instr::Fst(fs, base, off) => {
                 let addr = r(base).wrapping_add(off as u64);
                 let bits = fr(fs).to_bits();
-                self.exec_store(c, pc, addr, MemWidth::D, bits, next)?;
+                self.exec_store(c, pc, addr, MemWidth::D, bits, units, next)?;
             }
             Instr::Sc(rd, src, base, off) => {
                 let addr = r(base).wrapping_add(off as u64);
@@ -1503,7 +1699,7 @@ impl Machine {
                             self.schedule(
                                 start + self.config.l1d.latency,
                                 Ev::FillDone {
-                                    core: c,
+                                    core: c as u32,
                                     line,
                                     error: false,
                                 },
@@ -1533,7 +1729,7 @@ impl Machine {
                             self.schedule(
                                 g + busy,
                                 Ev::FillDone {
-                                    core: c,
+                                    core: c as u32,
                                     line,
                                     error: false,
                                 },
@@ -1621,7 +1817,7 @@ impl Machine {
                         for (core, at) in list {
                             self.cores[core].waiting = Waiting::None;
                             self.trace(TraceEvent::HwBarRelease { core, id });
-                            self.schedule(at, Ev::CoreReady(core));
+                            self.schedule(at, Ev::CoreReady(core as u32));
                         }
                         let ev = self.tracker.close_hw(id, now, resume);
                         self.trace(ev);
@@ -1640,8 +1836,9 @@ impl Machine {
         Ok(())
     }
 
+    #[inline]
     fn branch(&mut self, c: usize, taken: bool, target: u64, next: u64) {
-        let t = self.config.timing;
+        let t = &self.config.timing;
         if taken {
             self.finish(c, t.branch + t.branch_taken_penalty, target);
         } else {
@@ -1665,16 +1862,16 @@ impl Machine {
     fn exec_load(
         &mut self,
         c: usize,
+        pc: u64,
         rd: Reg,
         base: Reg,
         off: i64,
         width: MemWidth,
         set_link: bool,
+        units: u64,
         next: u64,
     ) -> Result<(), SimError> {
         let now = self.now;
-        let pc = self.cores[c].pc;
-        let t = self.config.timing;
         let addr = self.cores[c].reg(base).wrapping_add(off as u64);
         self.check_aligned(c, pc, addr, width.bytes())?;
         let line = line_of(addr);
@@ -1683,21 +1880,21 @@ impl Machine {
             let v = self.mem.read_le(addr, width.bytes() as usize);
             self.cores[c].set_reg(rd, v);
             if set_link {
-                self.cores[c].link = Some(line);
+                self.set_link(c, line);
             }
             self.trace(TraceEvent::DataRead {
                 core: c,
                 addr,
                 bytes: width.bytes(),
             });
-            self.finish_units(c, self.scaled.load, next);
+            self.finish_units(c, units, next);
             return Ok(());
         }
         let access = self.miss_path(
             c,
             line,
             AccessKind::DRead,
-            now + t.load,
+            now + self.config.timing.load,
             FillPurpose::Resume,
         )?;
         self.cores[c].pc = next;
@@ -1715,6 +1912,7 @@ impl Machine {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_store(
         &mut self,
         c: usize,
@@ -1722,10 +1920,10 @@ impl Machine {
         addr: u64,
         width: MemWidth,
         value: u64,
+        units: u64,
         next: u64,
     ) -> Result<(), SimError> {
         let now = self.now;
-        let t = self.config.timing;
         self.check_aligned(c, pc, addr, width.bytes())?;
         if self.program.overlaps_code(addr, width.bytes()) {
             return Err(SimError::CodeRegionWrite { core: c, pc, addr });
@@ -1747,18 +1945,18 @@ impl Machine {
         self.cores[c].store_buffer.push_back(line);
         if !self.cores[c].draining {
             self.cores[c].draining = true;
-            match self.store_path(c, line, now + t.store_issue, FillPurpose::StoreDrain)? {
-                StoreOutcome::Done(at) => self.schedule(at, Ev::StoreRetire(c)),
+            let issue_at = now + self.config.timing.store_issue;
+            match self.store_path(c, line, issue_at, FillPurpose::StoreDrain)? {
+                StoreOutcome::Done(at) => self.schedule(at, Ev::StoreRetire(c as u32)),
                 StoreOutcome::Pending => {}
             }
         }
-        self.finish_units(c, self.scaled.store_issue, next);
+        self.finish_units(c, units, next);
         Ok(())
     }
 
     fn exec_invalidate(&mut self, c: usize, addr: u64, icache: bool, next: u64) {
         let now = self.now;
-        let t = self.config.timing;
         let line = line_of(addr);
         self.cores[c].stats.invalidates += 1;
         self.trace(TraceEvent::Invalidate {
@@ -1770,8 +1968,19 @@ impl Machine {
             for i in 0..self.cores.len() {
                 self.l1i[i].invalidate(line);
                 if self.cores[i].ifetch_lo == line {
+                    // Also resets the core's decoded-block cursor: a live
+                    // cursor always lies inside the window's line.
                     self.cores[i].clear_ifetch_window();
                 }
+            }
+            if self.program.overlaps_code(line, sim_isa::LINE_BYTES) {
+                // The icbi broadcast is the architectural point where new
+                // code becomes fetchable: land any staged patches for this
+                // line, then drop the line's decoded blocks so they are
+                // rebuilt from the patched image. Gated on the code region
+                // so data-line icbis (the barrier-filter arrival protocol)
+                // stay off this path.
+                self.apply_patches(line);
             }
         } else {
             let (holders, dirty) = self.dir.invalidate_all(line);
@@ -1787,15 +1996,51 @@ impl Machine {
         let bank = self.config.bank_of(line);
         self.l2[bank].invalidate(line);
         self.l3.invalidate(line);
-        let grant = self
-            .addr_bus
-            .acquire(now + t.invalidate_issue, self.config.bus.cmd_cycles);
+        let grant = self.addr_bus.acquire(
+            now + self.config.timing.invalidate_issue,
+            self.config.bus.cmd_cycles,
+        );
         let done = grant + self.config.bus.cmd_cycles;
         // The invalidation message reaches the bank controller one cycle
         // after leaving the bus — the same pipe fills traverse, preserving
         // invalidate-before-fill ordering per issuing core.
-        self.schedule(done + 1, Ev::HookInvalidate { bank, line });
+        self.schedule(
+            done + 1,
+            Ev::HookInvalidate {
+                bank: bank as u32,
+                line,
+            },
+        );
         self.finish_at(c, done, next);
+    }
+
+    /// Land every staged [`patch_code`](Machine::patch_code) patch on
+    /// `line` in the program image and invalidate the line's decoded
+    /// blocks. Called only from an `icbi` broadcast covering `line`, which
+    /// has already reset the ifetch window (and with it the decoded-block
+    /// cursor) of every core fetching from it.
+    fn apply_patches(&mut self, line: u64) {
+        let mut patched = false;
+        let mut i = 0;
+        while i < self.pending_patches.len() {
+            let (pc, instr) = self.pending_patches[i];
+            if line_of(pc) == line {
+                self.pending_patches.swap_remove(i);
+                let old = self.program.patch(pc, instr);
+                debug_assert!(old.is_some(), "patch_code validated the pc");
+                patched = true;
+            } else {
+                i += 1;
+            }
+        }
+        // Only an actually-patched line invalidates decoded blocks: a
+        // code-line icbi with nothing staged (the instruction-filter
+        // barrier's arrival protocol fires one per arrival) leaves the
+        // image unchanged, so its blocks are still exact. A disabled
+        // cache is never consulted, so it also keeps its counters silent.
+        if patched && self.decode_on {
+            self.decode.note_patched_line(line, &self.program);
+        }
     }
 }
 

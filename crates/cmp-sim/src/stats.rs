@@ -10,7 +10,12 @@ use crate::trace::EpisodeStats;
 /// Result of a completed simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunSummary {
-    /// Cycle at which the last core halted.
+    /// Simulation clock at the end of the run: the cycle the last core
+    /// halted, or [`Machine::now()`](crate::Machine::now) if later.
+    /// Monotone with the clock — trailing events and quiescent-advance
+    /// pauses that push `now` past the last halt (fault-driven runs do
+    /// this) are carried forward, never rolled back; the regression tests
+    /// in `bench/tests/chaos.rs` hold this line.
     pub cycles: u64,
     /// Total instructions retired across all cores.
     pub instructions: u64,

@@ -753,3 +753,125 @@ fn resume_after_release_is_serviced_immediately() {
     m.run().unwrap();
     assert_eq!(m.read_u64(out), 1);
 }
+
+/// Build the self-modifying-code fixture: three passes over a patchable
+/// payload instruction, each storing the payload's value into the next
+/// `out` slot. When `with_icbi` is set, every pass ends with
+/// `icbi payload; isync` — the architectural point where staged
+/// [`patch_code`](cmp_sim::Machine::patch_code) patches become fetchable.
+/// Returns the machine, the `out` base address, and the payload pc.
+fn build_smc_machine(with_icbi: bool, decode_cache: bool) -> (cmp_sim::Machine, u64, u64) {
+    let mut cfg = SimConfig::with_cores(1);
+    cfg.decode_cache = decode_cache;
+    let mut space = AddressSpace::new(&cfg);
+    let out = space.alloc_u64(3).unwrap();
+    let emit = |payload_pc: i64| {
+        let mut a = Asm::new();
+        a.label("entry").unwrap();
+        a.li(Reg::S0, 3);
+        a.li(Reg::T0, out as i64);
+        a.label("payload").unwrap();
+        a.li(Reg::T1, 111); // patched to li t1, 222
+        a.std(Reg::T1, Reg::T0, 0);
+        a.addi(Reg::T0, Reg::T0, 8);
+        if with_icbi {
+            a.li(Reg::T2, payload_pc);
+            a.icbi(Reg::T2, 0);
+            a.isync();
+        }
+        a.addi(Reg::S0, Reg::S0, -1);
+        a.bne(Reg::S0, Reg::ZERO, "payload");
+        a.halt();
+        a
+    };
+    // Two-pass assembly: learn the payload pc, then re-emit with the
+    // correct icbi target immediate.
+    let payload_pc = emit(0)
+        .assemble()
+        .unwrap()
+        .require_symbol("payload")
+        .unwrap();
+    let (m, _) = build(cfg, emit(payload_pc as i64).assemble().unwrap(), 1);
+    (m, out, payload_pc)
+}
+
+/// The self-modifying-code contract: a patch staged with `patch_code`
+/// lands exactly at the first `icbi` broadcast covering its line. The
+/// first pass still executes the original payload (staging is invisible
+/// to fetch), every later pass executes the patched one — and the whole
+/// run is bit-identical with the decoded-superblock cache on or off,
+/// because the icbi both applies the patch and drops the line's decoded
+/// blocks. The decode counters pin non-vacuousness from both sides: the
+/// enabled cache must rebuild after exactly one patch invalidation and
+/// serve the *patched* block from cache on the third pass, while the
+/// disabled cache stays silent.
+#[test]
+fn staged_code_patch_lands_at_icbi_broadcast() {
+    let mut reference = None;
+    for decode_cache in [false, true] {
+        let (mut m, out, payload_pc) = build_smc_machine(true, decode_cache);
+        m.patch_code(payload_pc, sim_isa::Instr::Li(Reg::T1, 222))
+            .unwrap();
+        let summary = m.run().unwrap();
+        assert_eq!(
+            m.read_u64_slice(out, 3),
+            vec![111, 222, 222],
+            "decode_cache={decode_cache}: patch must land at the first icbi"
+        );
+        let d = m.decode_stats();
+        if decode_cache {
+            assert_eq!(d.invalidations, 1, "exactly one pass lands a patch");
+            assert!(d.builds > 0, "payload line must be re-decoded");
+            assert!(d.hits > 0, "third pass reuses the patched block");
+        } else {
+            assert_eq!(d, Default::default(), "disabled cache stays silent");
+        }
+        match &reference {
+            None => reference = Some((summary, m.stats().clone())),
+            Some((ref_sum, ref_stats)) => {
+                assert_eq!(&summary, ref_sum, "RunSummary diverged across decode_cache");
+                assert_eq!(&m.stats(), ref_stats, "MachineStats diverged");
+                assert_eq!(m.stats().digest(), ref_stats.digest());
+            }
+        }
+    }
+}
+
+/// Without the `icbi`, a staged patch never becomes fetchable: every pass
+/// architecturally sees the old payload word, exactly like the stale
+/// window a real weakly-ordered ISA permits between a code store and the
+/// `icbi`/`isync` sequence. The point of the test is that this staleness
+/// is *deterministic* — same result on every run, with the decode cache
+/// on or off — rather than dependent on which host execution strategy
+/// happened to have the line decoded.
+#[test]
+fn missing_icbi_keeps_stale_code_deterministic() {
+    let mut reference = None;
+    for decode_cache in [false, true] {
+        for run in 0..2 {
+            let (mut m, out, payload_pc) = build_smc_machine(false, decode_cache);
+            m.patch_code(payload_pc, sim_isa::Instr::Li(Reg::T1, 222))
+                .unwrap();
+            let summary = m.run().unwrap();
+            assert_eq!(
+                m.read_u64_slice(out, 3),
+                vec![111, 111, 111],
+                "decode_cache={decode_cache} run={run}: no icbi, no patch"
+            );
+            let d = m.decode_stats();
+            if decode_cache {
+                assert_eq!(d.invalidations, 0, "the staged patch never lands");
+                assert!(d.hits > 0, "later passes reuse the stale block");
+            } else {
+                assert_eq!(d, Default::default());
+            }
+            match &reference {
+                None => reference = Some((summary, m.stats().clone())),
+                Some((ref_sum, ref_stats)) => {
+                    assert_eq!(&summary, ref_sum, "stale window must be deterministic");
+                    assert_eq!(&m.stats(), ref_stats);
+                }
+            }
+        }
+    }
+}

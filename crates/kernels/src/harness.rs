@@ -2,8 +2,8 @@
 
 use barrier_filter::{Barrier, BarrierMechanism, BarrierSystem};
 use cmp_sim::{
-    run_with_faults, AddressSpace, FaultPlan, FaultReport, Machine, MachineBuilder, Measurement,
-    SimConfig, TraceConfig, TraceSink,
+    run_with_faults, AddressSpace, DecodeCacheStats, FaultPlan, FaultReport, Machine,
+    MachineBuilder, Measurement, SimConfig, TraceConfig, TraceSink,
 };
 use sim_isa::{Asm, Reg};
 
@@ -24,6 +24,11 @@ pub struct KernelOutcome {
     pub sim: Measurement,
     /// Cycles per kernel repetition.
     pub cycles_per_rep: f64,
+    /// Decoded-superblock cache counters for the run. Host-side engine
+    /// metrics: they vary with
+    /// [`SimConfig::decode_cache`](cmp_sim::SimConfig::decode_cache) while
+    /// `sim` stays bit-identical, so they live outside [`Measurement`].
+    pub decode: DecodeCacheStats,
 }
 
 /// Everything a kernel needs while emitting itself.
@@ -124,6 +129,7 @@ pub(crate) fn run_reps(machine: &mut Machine, reps: u64) -> Result<KernelOutcome
     Ok(KernelOutcome {
         sim: Measurement::new(&summary, &stats),
         cycles_per_rep: summary.cycles as f64 / reps as f64,
+        decode: machine.decode_stats(),
     })
 }
 
@@ -151,6 +157,7 @@ pub(crate) fn run_reps_faulted(
         KernelOutcome {
             sim: Measurement::new(&summary, &stats),
             cycles_per_rep: summary.cycles as f64 / reps as f64,
+            decode: machine.decode_stats(),
         },
         report,
     ))

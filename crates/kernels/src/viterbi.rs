@@ -202,6 +202,35 @@ impl Viterbi {
              .0)
     }
 
+    /// [`run_parallel`](Viterbi::run_parallel) with the decoded-superblock
+    /// cache forced on or off (instead of the process-wide default). The
+    /// cache is a host-side execution strategy, not a model change: the
+    /// outcome's [`Measurement`](cmp_sim::Measurement) — including the
+    /// stats digest — must be bit-identical either way, and
+    /// `bench/tests/determinism.rs` pins the committed workload digest
+    /// against both settings.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_parallel`](Viterbi::run_parallel).
+    pub fn run_parallel_engine(
+        &self,
+        threads: usize,
+        mechanism: BarrierMechanism,
+        decode_cache: bool,
+    ) -> Result<KernelOutcome, KernelError> {
+        Ok(self
+            .run_tuned(
+                Some((threads, mechanism)),
+                TraceConfig::Off,
+                &FaultPlan::none(),
+                Some(decode_cache),
+                |_| None,
+            )?
+            .0
+             .0)
+    }
+
     /// [`run_parallel`](Viterbi::run_parallel) with a hook that may attach
     /// a trace sink (e.g. a race detector) once the barrier is registered;
     /// the assembled [`Program`] comes back for post-run static analysis.
@@ -279,6 +308,17 @@ impl Viterbi {
         faults: &FaultPlan,
         observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
     ) -> Result<((KernelOutcome, FaultReport), Program), KernelError> {
+        self.run_tuned(parallel, trace, faults, None, observe)
+    }
+
+    fn run_tuned(
+        &self,
+        parallel: Option<(usize, BarrierMechanism)>,
+        trace: TraceConfig,
+        faults: &FaultPlan,
+        decode_cache: Option<bool>,
+        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
+    ) -> Result<((KernelOutcome, FaultReport), Program), KernelError> {
         let s_count = self.states();
         let t_count = self.stages();
         let (mut b, barrier) = match parallel {
@@ -289,6 +329,9 @@ impl Viterbi {
             None => (KernelBuild::sequential(), None),
         };
         b.trace = trace;
+        if let Some(decode) = decode_cache {
+            b.config.decode_cache = decode;
+        }
         if let Some(bar) = &barrier {
             b.sink = observe(bar);
         }

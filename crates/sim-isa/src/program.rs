@@ -37,15 +37,30 @@ impl std::error::Error for MissingSymbol {}
 /// All threads of a simulation share a single `Program` (the loader points
 /// each thread at its entry and sets `tid`/`ntid`), mirroring how the paper's
 /// kernels run one binary across all cores.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Program {
     code: Vec<Instr>,
     symbols: BTreeMap<String, u64>,
+    /// FNV-1a fingerprint of `code`, maintained across [`Program::patch`].
+    /// Decoded-instruction caches key on `(pc, code digest)`; any image
+    /// mutation must change this value so stale decodes cannot be served.
+    digest: u64,
+}
+
+impl Default for Program {
+    fn default() -> Program {
+        Program::from_parts(Vec::new(), BTreeMap::new())
+    }
 }
 
 impl Program {
     pub(crate) fn from_parts(code: Vec<Instr>, symbols: BTreeMap<String, u64>) -> Program {
-        Program { code, symbols }
+        let digest = compute_code_digest(&code);
+        Program {
+            code,
+            symbols,
+            digest,
+        }
     }
 
     /// Number of instructions in the image.
@@ -66,6 +81,35 @@ impl Program {
         }
         let idx = ((pc - CODE_BASE) / INSTR_BYTES) as usize;
         self.code.get(idx).copied()
+    }
+
+    /// Replace the instruction at program counter `pc`, returning the old
+    /// instruction, or `None` (leaving the image untouched) if `pc` is
+    /// outside the code region or misaligned.
+    ///
+    /// This is the self-modifying-code primitive: the simulator stages
+    /// patches and applies them here when the owning cache line is
+    /// invalidated (`icbi`), the point at which the architecture makes a
+    /// code write visible to instruction fetch. The code digest is
+    /// recomputed so decoded-instruction caches keyed on
+    /// [`code_digest`](Program::code_digest) observe the change.
+    pub fn patch(&mut self, pc: u64, instr: Instr) -> Option<Instr> {
+        if pc < CODE_BASE || !(pc - CODE_BASE).is_multiple_of(INSTR_BYTES) {
+            return None;
+        }
+        let idx = ((pc - CODE_BASE) / INSTR_BYTES) as usize;
+        let slot = self.code.get_mut(idx)?;
+        let old = std::mem::replace(slot, instr);
+        self.digest = compute_code_digest(&self.code);
+        Some(old)
+    }
+
+    /// Order-sensitive FNV-1a fingerprint of the code image. Two programs
+    /// with different instruction sequences produce different digests (up
+    /// to hash collision); [`patch`](Program::patch) recomputes it. Decoded
+    /// superblock caches use `(pc, code_digest)` as their key.
+    pub fn code_digest(&self) -> u64 {
+        self.digest
     }
 
     /// The program counter of a label defined during assembly.
@@ -122,6 +166,30 @@ impl Program {
         let end = addr.saturating_add(bytes);
         addr < self.code_end() && end > CODE_BASE
     }
+}
+
+/// Order-sensitive FNV-1a hash over the textual form of each instruction
+/// (index-tagged, so swapped instructions hash differently). The textual
+/// form is injective enough for cache keying: any visible difference
+/// between two instructions produces different text, and the digest only
+/// needs to *change* when the image changes.
+fn compute_code_digest(code: &[Instr]) -> u64 {
+    use std::fmt::Write;
+    struct Fnv(u64);
+    impl Write for Fnv {
+        fn write_str(&mut self, s: &str) -> fmt::Result {
+            for &b in s.as_bytes() {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+            Ok(())
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    for (i, instr) in code.iter().enumerate() {
+        let _ = write!(h, "{i}:{instr};");
+    }
+    h.0
 }
 
 impl fmt::Display for Program {
@@ -217,6 +285,47 @@ mod tests {
         assert!(!p.overlaps_code(CODE_BASE, 0));
         // wrapping access is saturated, not wrapped around
         assert!(!p.overlaps_code(u64::MAX - 2, 8));
+    }
+
+    #[test]
+    fn patch_replaces_instruction_and_changes_digest() {
+        let mut p = small();
+        let before = p.code_digest();
+        let old = p.patch(CODE_BASE, Instr::Nop).unwrap();
+        assert_eq!(old, Instr::Li(Reg::T0, 5));
+        assert_eq!(p.fetch(CODE_BASE), Some(Instr::Nop));
+        assert_ne!(p.code_digest(), before, "patch must change the digest");
+
+        // Patching back restores the original digest (pure function of the
+        // image).
+        p.patch(CODE_BASE, old).unwrap();
+        assert_eq!(p.code_digest(), before);
+    }
+
+    #[test]
+    fn patch_rejects_out_of_range_and_misaligned_pcs() {
+        let mut p = small();
+        let digest = p.code_digest();
+        assert_eq!(p.patch(CODE_BASE - INSTR_BYTES, Instr::Nop), None);
+        assert_eq!(p.patch(CODE_BASE + 1, Instr::Nop), None);
+        assert_eq!(p.patch(p.code_end(), Instr::Nop), None);
+        assert_eq!(p.code_digest(), digest, "failed patches leave the image");
+    }
+
+    #[test]
+    fn digest_distinguishes_programs_and_instruction_order() {
+        let two = |a: i64, b: i64| {
+            let mut asm = Asm::new();
+            asm.li(Reg::T0, a).li(Reg::T1, b).halt();
+            asm.assemble().unwrap()
+        };
+        assert_eq!(two(1, 2).code_digest(), two(1, 2).code_digest());
+        assert_ne!(two(1, 2).code_digest(), two(2, 1).code_digest());
+        assert_ne!(
+            small().code_digest(),
+            Program::default().code_digest(),
+            "empty program must not collide with a real one"
+        );
     }
 
     #[test]

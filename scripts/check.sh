@@ -34,6 +34,14 @@ echo "==> throughput digest smoke (--jobs 2, committed digests)"
 cargo run --release --offline -p bench-suite --bin throughput -q -- \
     --check --jobs 2 --out "$(mktemp -t fastbar_check_throughput.XXXXXX.json)"
 
+echo "==> throughput digest smoke (decoded-superblock cache disabled)"
+# Same committed digests with the decoded-superblock execution layer off:
+# the decode cache is a host-side fast path, so a digest difference between
+# this run and the previous one means the cache changed simulated behaviour.
+FASTBAR_DECODE_CACHE=0 \
+cargo run --release --offline -p bench-suite --bin throughput -q -- \
+    --check --jobs 2 --out "$(mktemp -t fastbar_check_throughput_nodecode.XXXXXX.json)"
+
 echo "==> chaos recovery smoke (fixed seed, quick grid)"
 # Quick fault-injection sweep at a pinned seed: every point must produce
 # validated kernel output, quiescent filter tables and a bit-identical
