@@ -44,6 +44,12 @@ enum Expr {
     Tid64,
     /// `base + tid * 64` — a per-thread line address.
     ImmPlusTid64(i64),
+    /// `tid >> k` — the cluster index the hierarchical routines compute.
+    TidShr(u8),
+    /// `(tid >> k) * 64` — the per-cluster line stride.
+    TidShr64(u8),
+    /// `base + (tid >> k) * 64` — a per-cluster line address.
+    ImmPlusTidShr64(i64, u8),
 }
 
 /// Abstract register value: a small set of possible [`Expr`]s, or
@@ -120,6 +126,18 @@ fn transfer(instr: &Instr, state: &mut State) {
             } else {
                 state[s.index()].map(|e| match e {
                     Expr::Imm(x) => Some(Expr::Imm(x.wrapping_shl(sh.into()))),
+                    Expr::TidShr(k) if sh == 6 => Some(Expr::TidShr64(k)),
+                    _ => None,
+                })
+            };
+            set(state, d, v);
+        }
+        Instr::Srli(d, s, sh) => {
+            let v = if s == Reg::TID {
+                AbsVal::of(Expr::TidShr(sh))
+            } else {
+                state[s.index()].map(|e| match e {
+                    Expr::Imm(x) => Some(Expr::Imm(((x as u64) >> sh) as i64)),
                     _ => None,
                 })
             };
@@ -130,6 +148,9 @@ fn transfer(instr: &Instr, state: &mut State) {
                 Expr::Imm(x) => Some(Expr::Imm(x.wrapping_add(imm))),
                 Expr::Tid64 => Some(Expr::ImmPlusTid64(imm)),
                 Expr::ImmPlusTid64(x) => Some(Expr::ImmPlusTid64(x.wrapping_add(imm))),
+                Expr::TidShr64(k) => Some(Expr::ImmPlusTidShr64(imm, k)),
+                Expr::ImmPlusTidShr64(x, k) => Some(Expr::ImmPlusTidShr64(x.wrapping_add(imm), k)),
+                Expr::TidShr(_) => None,
             });
             set(state, d, v);
         }
@@ -149,6 +170,12 @@ fn transfer(instr: &Instr, state: &mut State) {
                                 (Expr::Imm(p), Expr::ImmPlusTid64(q))
                                 | (Expr::ImmPlusTid64(q), Expr::Imm(p)) => {
                                     Expr::ImmPlusTid64(p.wrapping_add(q))
+                                }
+                                (Expr::Imm(p), Expr::TidShr64(k))
+                                | (Expr::TidShr64(k), Expr::Imm(p)) => Expr::ImmPlusTidShr64(p, k),
+                                (Expr::Imm(p), Expr::ImmPlusTidShr64(q, k))
+                                | (Expr::ImmPlusTidShr64(q, k), Expr::Imm(p)) => {
+                                    Expr::ImmPlusTidShr64(p.wrapping_add(q), k)
                                 }
                                 _ => {
                                     ok = false;
@@ -199,12 +226,16 @@ fn classify(state: &State, base: Reg, offset: i64) -> Option<BTreeSet<AddrClass>
                     Expr::Imm(x) => {
                         out.insert(AddrClass::Exact(x.wrapping_add(offset) as u64));
                     }
-                    Expr::Tid64 => {
+                    // A per-cluster line address strides like a per-thread
+                    // one for classification: only the range base matters.
+                    Expr::Tid64 | Expr::TidShr64(_) => {
                         out.insert(AddrClass::PerThread(offset as u64));
                     }
-                    Expr::ImmPlusTid64(x) => {
+                    Expr::ImmPlusTid64(x) | Expr::ImmPlusTidShr64(x, _) => {
                         out.insert(AddrClass::PerThread(x.wrapping_add(offset) as u64));
                     }
+                    // A raw cluster index is never a well-formed address.
+                    Expr::TidShr(_) => return None,
                 }
             }
             Some(out)
@@ -382,9 +413,15 @@ pub fn check(program: &Program, cfg: &Cfg, spec: &ProtocolSpec, diags: &mut Vec<
     };
     let facts = gather(program, cfg, spec, entry);
     match spec.mechanism {
-        SwCentral | SwTree => {
+        SwCentral | SwTree | SwHier => {
             check_llsc(program, cfg, &facts, diags);
             check_sense(spec, &facts, diags);
+        }
+        FilterDHier => {
+            check_entry_sync(program, spec, &facts, diags);
+            check_arrival(cfg, spec, &facts, diags);
+            check_post_fetch_sync(cfg, spec, &facts, diags);
+            check_exit(cfg, spec, &facts, diags);
         }
         FilterD => {
             check_entry_sync(program, spec, &facts, diags);

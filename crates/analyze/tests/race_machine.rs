@@ -39,8 +39,14 @@ fn unsynchronized_kernel_is_caught() {
 /// Each thread publishes to its own line, crosses the barrier, then reads
 /// its neighbour's line — safe if and only if the barrier orders them.
 fn neighbour_exchange(mechanism: BarrierMechanism) -> RaceReport {
-    let threads = 4;
-    let config = SimConfig::with_cores(threads);
+    neighbour_exchange_on(SimConfig::with_cores(4), mechanism, 4)
+}
+
+fn neighbour_exchange_on(
+    config: SimConfig,
+    mechanism: BarrierMechanism,
+    threads: usize,
+) -> RaceReport {
     let mut space = AddressSpace::new(&config);
     let mut asm = Asm::new();
     let mut sys = BarrierSystem::new(&config, threads, &mut space).unwrap();
@@ -123,6 +129,31 @@ fn filter_i_ping_pong_orders_the_exchange() {
 #[test]
 fn hw_dedicated_orders_the_exchange() {
     assert_race_free(BarrierMechanism::HwDedicated);
+}
+
+#[test]
+fn sw_hier_orders_the_exchange() {
+    assert_race_free(BarrierMechanism::SwHier);
+}
+
+#[test]
+fn filter_d_hier_orders_the_exchange() {
+    assert_race_free(BarrierMechanism::FilterDHier);
+}
+
+#[test]
+fn hier_mechanisms_order_the_exchange_on_a_clustered_machine() {
+    // Cross-cluster edges: a thread reads its neighbour's line, and at the
+    // cluster boundaries that neighbour combined through a different local
+    // phase, so the happens-before path runs through the global level.
+    for mechanism in [BarrierMechanism::SwHier, BarrierMechanism::FilterDHier] {
+        let report = neighbour_exchange_on(SimConfig::clustered(64, 4), mechanism, 64);
+        assert!(
+            !report.racy(),
+            "{mechanism} must order the clustered exchange, found: {:?}",
+            report.races
+        );
+    }
 }
 
 #[test]

@@ -82,6 +82,47 @@ fn hw_dedicated_verifies_clean() {
     assert_clean(BarrierMechanism::HwDedicated);
 }
 
+#[test]
+fn sw_hier_verifies_clean() {
+    assert_clean(BarrierMechanism::SwHier);
+}
+
+#[test]
+fn filter_d_hier_verifies_clean() {
+    assert_clean(BarrierMechanism::FilterDHier);
+}
+
+#[test]
+fn hier_routines_verify_clean_on_a_clustered_machine() {
+    // The clustered registration exercises the `tid >> k` addressing the
+    // leaders use for the global phase, which the flat 4-core degenerate
+    // form never emits.
+    for mechanism in [BarrierMechanism::SwHier, BarrierMechanism::FilterDHier] {
+        let config = SimConfig::clustered(64, 4);
+        let mut space = AddressSpace::new(&config);
+        let mut asm = Asm::new();
+        let mut sys = BarrierSystem::new(&config, 64, &mut space).unwrap();
+        let barrier = sys
+            .create_barrier(&mut asm, &mut space, mechanism, 64)
+            .unwrap();
+        assert!(!barrier.is_fallback());
+        asm.label("entry").unwrap();
+        barrier.emit_call(&mut asm);
+        asm.halt();
+        let spec = barrier.protocol().clone();
+        let program = asm.assemble().unwrap();
+        let diags = analyze_program(&program, &[spec]);
+        let bad: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity > Severity::Info)
+            .collect();
+        assert!(
+            bad.is_empty(),
+            "{mechanism} on the clustered machine must verify clean, got: {bad:#?}"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------
 // Broken fixtures
 // ---------------------------------------------------------------------

@@ -108,7 +108,10 @@ fn main() {
 
     if let Some(path) = args.out.as_deref() {
         let json = to_json(&doc);
-        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("chaos: writing {path}: {e}");
+            std::process::exit(1);
+        }
         println!("wrote {path}");
     }
 }

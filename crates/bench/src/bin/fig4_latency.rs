@@ -35,6 +35,16 @@ fn main() {
     .parse();
     let (quick, runner) = (args.quick, args.runner);
     let trace_prefix = args.trace.as_deref();
+    if let Some(prefix) = trace_prefix {
+        // Fail before the sweep, not mid-build inside a worker: trace
+        // files land next to the prefix, so the prefix must be writable.
+        let probe = format!("{prefix}.probe");
+        if let Err(e) = std::fs::write(&probe, b"") {
+            eprintln!("fig4_latency: cannot write trace files at prefix {prefix:?}: {e}");
+            std::process::exit(2);
+        }
+        let _ = std::fs::remove_file(&probe);
+    }
     let (inner, outer) = if quick { (16, 4) } else { (64, 64) };
     let core_counts = [4usize, 8, 16, 32, 64];
 

@@ -1,0 +1,125 @@
+//! Scaling sweep: barrier latency from the paper's 16-core bus to
+//! clustered 256- and 1024-core machines.
+//!
+//! Sweeps the Figure 4 micro-benchmark over the preset machines of
+//! [`scale_config`](bench_suite::scale::scale_config) (flat 16-core bus,
+//! then 4×16, 16×16 and 16×64 clustered topologies) under the flat
+//! baselines and both hierarchical tree-combining variants, writing the
+//! machine-readable `BENCH_scale.json` (schema `fastbar-scale/v1`).
+//!
+//! Usage: `fig_scale [--quick] [--jobs N] [--check] [--out PATH]`
+//!
+//! `--quick` shrinks the grid to the CI smoke (the 64-core clustered
+//! machine under `sw-central` and `sw-hier`, short loops). `--check`
+//! additionally re-runs the two committed 16-core workloads at full rep
+//! counts and asserts their pinned digests — the degenerate-topology
+//! guard that the flat machine, now expressed as a 1-cluster topology
+//! routed through the interconnect layer, is bit-identical to every
+//! trajectory before it. It composes with `--quick`: the digest check
+//! always uses the full committed rep counts, so `fig_scale --quick
+//! --check` is a complete smoke.
+
+use bench_suite::cli::Cli;
+use bench_suite::report;
+use bench_suite::scale::{run_scale, to_scale_json, ScaleDoc};
+use bench_suite::throughput::{
+    fig4_sample, viterbi_sample, EXPECTED_FIG4_16CORE_DIGEST, EXPECTED_VITERBI_K5_16T_DIGEST,
+};
+
+fn main() {
+    let args = Cli::new(
+        "fig_scale",
+        "Scaling sweep 16 -> 1024 cores -> BENCH_scale.json",
+    )
+    .with_check()
+    .with_out("BENCH_scale.json")
+    .parse();
+    let runner = args.runner;
+    let out_path = args.out.as_deref().expect("--out has a default");
+
+    let points = match run_scale(&runner, &args) {
+        Ok(points) => points,
+        Err(panic) => {
+            eprintln!("fig_scale: {panic}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "Barrier latency vs machine scale ({} points, {} jobs{})",
+        points.len(),
+        runner.jobs(),
+        if args.quick { ", quick grid" } else { "" }
+    );
+    println!();
+    let header: Vec<String> = [
+        "cores",
+        "clusters",
+        "mechanism",
+        "cyc/barrier",
+        "bus wait",
+        "episodes",
+        "stats digest",
+    ]
+    .map(String::from)
+    .to_vec();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.point.cores.to_string(),
+                p.clusters.to_string(),
+                p.point.mechanism.to_string(),
+                report::f1(p.point.cycles_per_barrier),
+                report::f2(p.point.bus_mean_wait),
+                p.point.sim.episodes.episodes.to_string(),
+                format!("{:#018x}", p.point.sim.stats_digest),
+            ]
+        })
+        .collect();
+    print!("{}", report::table(&header, &rows));
+
+    if args.check {
+        // The degenerate-topology guard: the flat 16-core machine is now a
+        // 1-cluster topology routed through the interconnect layer, and the
+        // committed workloads must still land on the exact digests every
+        // past (pre-topology) trajectory committed to. Full rep counts
+        // regardless of --quick: the constants were minted at 64 x 64.
+        let fig4 = fig4_sample(16, 64, 64);
+        let viterbi = viterbi_sample(96, 16);
+        for (workload, got, expected) in [
+            (
+                "fig4_16core",
+                fig4.sim.stats_digest,
+                EXPECTED_FIG4_16CORE_DIGEST,
+            ),
+            (
+                "viterbi_k5_16t",
+                viterbi.sim.stats_digest,
+                EXPECTED_VITERBI_K5_16T_DIGEST,
+            ),
+        ] {
+            if got != expected {
+                eprintln!(
+                    "fig_scale: {workload}: digest {got:#018x} != committed {expected:#018x} — \
+                     the degenerate 1-cluster topology changed the flat machine"
+                );
+                std::process::exit(1);
+            }
+        }
+        println!();
+        println!("digest check passed: the flat machine survives the topology layer bit-identical");
+    }
+
+    let doc = ScaleDoc {
+        jobs: runner.jobs(),
+        quick: args.quick,
+        points,
+    };
+    if let Err(e) = std::fs::write(out_path, to_scale_json(&doc)) {
+        eprintln!("fig_scale: writing {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!();
+    println!("wrote {out_path}");
+}

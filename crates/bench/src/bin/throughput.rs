@@ -47,6 +47,14 @@ fn main() {
         eprintln!("throughput: --check asserts the full-workload digests; drop --quick");
         std::process::exit(2);
     }
+    if let Some(path) = trace_path {
+        // Fail before the suite runs, not after: the traced re-run is the
+        // very last step, and an unwritable path would waste the whole run.
+        if let Err(e) = std::fs::write(path, b"") {
+            eprintln!("throughput: cannot write trace file {path:?}: {e}");
+            std::process::exit(2);
+        }
+    }
 
     let (inner, outer, vit_bits) = if quick { (8, 2, 24) } else { (64, 64, 96) };
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -146,7 +154,10 @@ fn main() {
         samples,
     };
     let json = to_json(&doc);
-    std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("throughput: writing {out_path}: {e}");
+        std::process::exit(1);
+    }
     println!("wrote {out_path}");
 
     if let Some(path) = trace_path {

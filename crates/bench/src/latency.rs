@@ -92,16 +92,29 @@ pub fn build_latency_machine_engine(
     burst_budget: u32,
     decode_cache: bool,
 ) -> Machine {
-    build_latency_machine_inner(
-        mechanism,
-        cores,
-        inner,
-        outer,
-        trace,
-        burst_budget,
-        decode_cache,
-        |_| None,
-    )
+    let mut config = SimConfig::with_cores(cores);
+    config.burst_budget = burst_budget;
+    config.decode_cache = decode_cache;
+    config.trace = trace;
+    build_latency_machine_inner(config, mechanism, inner, outer, |_| None)
+}
+
+/// [`build_latency_machine`] on an explicit [`SimConfig`] — the entry
+/// point for non-flat machines (clustered topologies, alternative hop
+/// latencies). Every core in the config runs the barrier loop. The flat
+/// path above is the degenerate case: `SimConfig::with_cores(n)` here is
+/// bit-identical to `build_latency_machine(mechanism, n, ..)`.
+///
+/// # Panics
+///
+/// Panics on assembler/build failures (static program construction bugs).
+pub fn build_latency_machine_on(
+    config: SimConfig,
+    mechanism: BarrierMechanism,
+    inner: u64,
+    outer: u64,
+) -> Machine {
+    build_latency_machine_inner(config, mechanism, inner, outer, |_| None)
 }
 
 /// [`build_latency_machine`] with a hook that may attach a trace sink
@@ -119,33 +132,23 @@ pub fn build_latency_machine_observed(
     outer: u64,
     observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
 ) -> Machine {
-    let defaults = SimConfig::with_cores(cores);
     build_latency_machine_inner(
+        SimConfig::with_cores(cores),
         mechanism,
-        cores,
         inner,
         outer,
-        TraceConfig::Off,
-        defaults.burst_budget,
-        defaults.decode_cache,
         observe,
     )
 }
 
-#[allow(clippy::too_many_arguments)]
 fn build_latency_machine_inner(
+    config: SimConfig,
     mechanism: BarrierMechanism,
-    cores: usize,
     inner: u64,
     outer: u64,
-    trace: TraceConfig,
-    burst_budget: u32,
-    decode_cache: bool,
     observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
 ) -> Machine {
-    let mut config = SimConfig::with_cores(cores);
-    config.burst_budget = burst_budget;
-    config.decode_cache = decode_cache;
+    let cores = config.num_cores;
     let mut space = AddressSpace::new(&config);
     let mut asm = Asm::new();
     let mut sys =
@@ -168,8 +171,7 @@ fn build_latency_machine_inner(
     let program = asm.assemble().expect("assembly");
     let entry = program.require_symbol("entry").unwrap();
     let mut cfg = config;
-    cfg.cycle_limit = 2_000_000_000;
-    cfg.trace = trace;
+    cfg.cycle_limit = cfg.cycle_limit.max(2_000_000_000);
     let mut mb = MachineBuilder::new(cfg, program).expect("builder");
     for _ in 0..cores {
         mb.add_thread(entry);
@@ -236,6 +238,38 @@ pub fn barrier_latency_traced(
     trace: TraceConfig,
 ) -> Result<LatencyPoint, SimError> {
     let mut m = build_latency_machine_traced(mechanism, cores, inner, outer, trace);
+    measure_latency_machine(&mut m, mechanism, cores, inner, outer)
+}
+
+/// [`barrier_latency`] on an explicit [`SimConfig`] — the measured entry
+/// point for clustered topologies. `cores` in the returned point is the
+/// config's core count; the flat path is the degenerate case.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics on assembler/build failures (static program construction bugs).
+pub fn barrier_latency_on(
+    config: SimConfig,
+    mechanism: BarrierMechanism,
+    inner: u64,
+    outer: u64,
+) -> Result<LatencyPoint, SimError> {
+    let cores = config.num_cores;
+    let mut m = build_latency_machine_on(config, mechanism, inner, outer);
+    measure_latency_machine(&mut m, mechanism, cores, inner, outer)
+}
+
+fn measure_latency_machine(
+    m: &mut Machine,
+    mechanism: BarrierMechanism,
+    cores: usize,
+    inner: u64,
+    outer: u64,
+) -> Result<LatencyPoint, SimError> {
     let summary = m.run()?;
     let stats = m.stats();
     Ok(LatencyPoint {

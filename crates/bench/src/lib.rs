@@ -12,6 +12,7 @@
 //! | `fig7_loop2` | Figure 7 — Livermore Loop 2 time vs vector length |
 //! | `fig8_loop3` | Figure 8 — Livermore Loop 3 time vs vector length |
 //! | `fig10_loop6` | Figure 10 — Livermore Loop 6 time vs vector length |
+//! | `fig_scale` | scaling sweep 16→1024 cores → `BENCH_scale.json` |
 //! | `ocean_coarse` | §4.1 — coarse-grained (Ocean-like) barrier overhead |
 //! | `ablations` | design ablations called out in DESIGN.md |
 //! | `throughput` | host-side simulator throughput → `BENCH_throughput.json` |
@@ -25,6 +26,7 @@ pub mod cli;
 pub mod kernel_runs;
 pub mod latency;
 pub mod report;
+pub mod scale;
 pub mod sweep;
 pub mod throughput;
 pub mod verify;
@@ -33,8 +35,13 @@ pub use chaos::{run_chaos, ChaosDoc, ChaosPoint, ChaosWorkload};
 pub use cli::{BenchArgs, Cli};
 pub use kernel_runs::{measure, measure_on, speedup_table, sweep_grid, GridVariant, SpeedupRow};
 pub use latency::{
-    barrier_latency, barrier_latency_traced, build_latency_machine, build_latency_machine_observed,
-    build_latency_machine_traced, build_latency_machine_tuned, LatencyPoint,
+    barrier_latency, barrier_latency_on, barrier_latency_traced, build_latency_machine,
+    build_latency_machine_observed, build_latency_machine_on, build_latency_machine_traced,
+    build_latency_machine_tuned, LatencyPoint,
+};
+pub use scale::{
+    run_scale, scale_config, scale_grid, scale_mechanisms, scale_reps, to_scale_json, ScaleDoc,
+    ScalePoint, SCALE_CORE_COUNTS,
 };
 pub use sweep::{JobPanic, SweepRunner};
 pub use throughput::{

@@ -1,0 +1,276 @@
+//! The scaling sweep behind `fig_scale`: barrier latency as the machine
+//! grows from the paper's 16-core bus to clustered 256- and 1024-core
+//! topologies.
+//!
+//! The paper's evaluation stops at 16 cores on a single shared bus; the
+//! hierarchical-topology extension asks how each mechanism behaves when
+//! the interconnect is no longer flat. Every point reuses the Figure 4
+//! micro-benchmark loop ([`barrier_latency_on`]) — `inner` consecutive
+//! barriers repeated `outer` times with no work between them — on the
+//! preset machine for that core count:
+//!
+//! | cores | machine |
+//! |---|---|
+//! | 16 | flat Table 2 bus (the paper's machine, 1-cluster degenerate) |
+//! | 64 | 4 clusters × 16 cores |
+//! | 256 | 16 clusters × 16 cores |
+//! | 1024 | 16 clusters × 64 cores |
+//!
+//! Mechanism coverage pairs the flat baselines (centralized LL/SC,
+//! combining tree, dedicated wires) with the two hierarchical variants
+//! (`sw-hier`, `filter-d-hier`) whose tree-combining shape is the point
+//! of the sweep. The flat `filter-d` barrier rides along at 16 cores
+//! where its single-bank table still fits; beyond that its per-thread
+//! lines outgrow a cluster bank granule and the hierarchical variant is
+//! its successor.
+//!
+//! Barrier repetitions shrink as the machine grows (512 barriers at 16
+//! cores down to 8 at 1024) so the full sweep stays tractable while each
+//! point still averages over enough episodes to be stable — the engine
+//! is deterministic, so repetitions smooth pipeline warm-up, not noise.
+
+use crate::cli::BenchArgs;
+use crate::latency::{barrier_latency_on, LatencyPoint};
+use crate::sweep::SweepRunner;
+use barrier_filter::BarrierMechanism;
+use cmp_sim::{json_escape, SimConfig};
+
+/// Core counts of the full sweep, smallest first.
+pub const SCALE_CORE_COUNTS: [usize; 4] = [16, 64, 256, 1024];
+
+/// The preset machine for `cores` cores: the paper's flat bus at 16,
+/// hierarchical clusters beyond (see the module table).
+pub fn scale_config(cores: usize) -> SimConfig {
+    match cores {
+        c if c <= 16 => SimConfig::with_cores(c),
+        64 => SimConfig::clustered(64, 4),
+        c => SimConfig::clustered(c, 16),
+    }
+}
+
+/// Mechanisms measured at `cores` cores. Always includes the flat
+/// baselines and both hierarchical variants; the single-bank `filter-d`
+/// joins only while its per-thread table fits one flat bank.
+pub fn scale_mechanisms(cores: usize) -> Vec<BarrierMechanism> {
+    let mut mechanisms = vec![
+        BarrierMechanism::SwCentral,
+        BarrierMechanism::SwTree,
+        BarrierMechanism::HwDedicated,
+        BarrierMechanism::SwHier,
+        BarrierMechanism::FilterDHier,
+    ];
+    if cores <= 16 {
+        mechanisms.insert(2, BarrierMechanism::FilterD);
+    }
+    mechanisms
+}
+
+/// Barrier repetitions `(inner, outer)` for a point at `cores` cores.
+/// The centralized LL/SC barrier's episode cost grows quadratically with
+/// contenders (every arrival re-fights for one line), so at 1024 cores it
+/// gets the minimum loop that still demonstrates the blowup — one
+/// sw-central barrier at 1024 cores simulates ~4M cycles of bus fights.
+pub fn scale_reps(cores: usize, mechanism: BarrierMechanism, quick: bool) -> (u64, u64) {
+    if quick {
+        return (8, 2);
+    }
+    match cores {
+        c if c <= 16 => (64, 8),
+        64 => (32, 4),
+        256 => (16, 2),
+        _ if mechanism == BarrierMechanism::SwCentral => (2, 1),
+        _ => (4, 2),
+    }
+}
+
+/// One measured point of the scaling sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalePoint {
+    /// Clusters in the machine (1 = the flat bus).
+    pub clusters: usize,
+    /// Inner barrier count of the measurement loop.
+    pub inner: u64,
+    /// Outer repetition count of the measurement loop.
+    pub outer: u64,
+    /// The Figure 4 measurement (mechanism, cores, cycles/barrier,
+    /// saturation signal, simulated-run record).
+    pub point: LatencyPoint,
+}
+
+/// The sweep grid as `(cores, mechanism)` pairs, in report order.
+/// `quick` restricts to the CI smoke: the 64-core clustered machine
+/// under the centralized baseline and one hierarchical variant.
+pub fn scale_grid(quick: bool) -> Vec<(usize, BarrierMechanism)> {
+    if quick {
+        return vec![
+            (64, BarrierMechanism::SwCentral),
+            (64, BarrierMechanism::SwHier),
+        ];
+    }
+    SCALE_CORE_COUNTS
+        .into_iter()
+        .flat_map(|cores| {
+            scale_mechanisms(cores)
+                .into_iter()
+                .map(move |mechanism| (cores, mechanism))
+        })
+        .collect()
+}
+
+/// Run the scaling sweep on `runner`, honouring `args.quick`.
+///
+/// # Errors
+///
+/// Reports the sweep jobs that panicked (a simulation failure is a
+/// harness bug, not a measurement).
+pub fn run_scale(runner: &SweepRunner, args: &BenchArgs) -> Result<Vec<ScalePoint>, String> {
+    let grid = scale_grid(args.quick);
+    runner.run_all(&grid, |_, &(cores, mechanism)| {
+        let config = scale_config(cores);
+        let clusters = config.topology.clusters;
+        let (inner, outer) = scale_reps(cores, mechanism, args.quick);
+        let point = barrier_latency_on(config, mechanism, inner, outer)
+            .unwrap_or_else(|e| panic!("{mechanism} @ {cores} cores: {e}"));
+        ScalePoint {
+            clusters,
+            inner,
+            outer,
+            point,
+        }
+    })
+}
+
+/// The `BENCH_scale.json` document.
+pub struct ScaleDoc {
+    /// Worker count the sweep ran with.
+    pub jobs: usize,
+    /// Whether this was the `--quick` smoke grid.
+    pub quick: bool,
+    /// Measured points, in grid order.
+    pub points: Vec<ScalePoint>,
+}
+
+/// Serialize the document as `BENCH_scale.json` (std-only, hand-rolled
+/// JSON — the repo builds with no registry access).
+///
+/// Schema `fastbar-scale/v1`: per point the machine shape (`cores`,
+/// `clusters`), the loop (`inner`, `outer`), the headline
+/// `cycles_per_barrier`, the interconnect saturation signal
+/// (`bus_mean_wait`), and the simulated-run record (`sim_cycles`,
+/// `sim_instructions`, `stats_digest`, `episodes`).
+pub fn to_scale_json(doc: &ScaleDoc) -> String {
+    let mut out = String::from("{\n  \"schema\": \"fastbar-scale/v1\",\n");
+    out.push_str(&format!("  \"jobs\": {},\n", doc.jobs));
+    out.push_str(&format!("  \"quick\": {},\n", doc.quick));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in doc.points.iter().enumerate() {
+        let l = &p.point;
+        out.push_str("    {");
+        out.push_str(&format!("\"cores\": {}, ", l.cores));
+        out.push_str(&format!("\"clusters\": {}, ", p.clusters));
+        out.push_str(&format!(
+            "\"mechanism\": \"{}\", ",
+            json_escape(l.mechanism.name())
+        ));
+        out.push_str(&format!("\"inner\": {}, ", p.inner));
+        out.push_str(&format!("\"outer\": {}, ", p.outer));
+        out.push_str(&format!(
+            "\"cycles_per_barrier\": {:.1}, ",
+            l.cycles_per_barrier
+        ));
+        out.push_str(&format!("\"bus_mean_wait\": {:.3}, ", l.bus_mean_wait));
+        out.push_str(&format!("\"sim_cycles\": {}, ", l.sim.cycles));
+        out.push_str(&format!("\"sim_instructions\": {}, ", l.sim.instructions));
+        out.push_str(&format!(
+            "\"stats_digest\": \"{:#018x}\", ",
+            l.sim.stats_digest
+        ));
+        let e = &l.sim.episodes;
+        out.push_str(&format!(
+            "\"episodes\": {{\"count\": {}, \"parks\": {}, \"releases\": {}, \
+             \"serviced\": {}}}",
+            e.episodes, e.parks, e.releases, e.serviced,
+        ));
+        out.push('}');
+        if i + 1 < doc.points.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmp_sim::{EpisodeStats, Measurement};
+
+    #[test]
+    fn full_grid_covers_every_core_count_with_a_hierarchical_variant() {
+        let grid = scale_grid(false);
+        for cores in SCALE_CORE_COUNTS {
+            let at: Vec<_> = grid.iter().filter(|(c, _)| *c == cores).collect();
+            assert!(at.len() >= 4, "{cores} cores: need >= 4 mechanisms");
+            assert!(
+                at.iter().any(|(_, m)| m.is_hierarchical()),
+                "{cores} cores: need a tree-combining variant"
+            );
+        }
+        assert!(
+            grid.iter()
+                .any(|&(c, m)| c == 16 && m == BarrierMechanism::FilterD),
+            "the paper's filter-d baseline rides along at 16 cores"
+        );
+    }
+
+    #[test]
+    fn quick_grid_is_the_64_core_smoke() {
+        let grid = scale_grid(true);
+        assert_eq!(grid.len(), 2);
+        assert!(grid.iter().all(|&(c, _)| c == 64));
+        assert!(grid.iter().any(|(_, m)| m.is_hierarchical()));
+    }
+
+    #[test]
+    fn the_16_core_preset_is_the_paper_machine() {
+        let config = scale_config(16);
+        assert_eq!(config.topology.clusters, 1, "16 cores stay flat");
+        assert_eq!(config, SimConfig::with_cores(16));
+        assert_eq!(scale_config(256).topology.clusters, 16);
+        assert_eq!(scale_config(1024).cores_per_cluster(), 64);
+    }
+
+    #[test]
+    fn json_document_has_schema_and_all_points() {
+        let point = LatencyPoint {
+            mechanism: BarrierMechanism::SwHier,
+            cores: 64,
+            cycles_per_barrier: 123.45,
+            bus_mean_wait: 0.5,
+            sim: Measurement {
+                cycles: 2000,
+                instructions: 900,
+                stats_digest: 0xabcd,
+                episodes: EpisodeStats::default(),
+            },
+        };
+        let doc = ScaleDoc {
+            jobs: 2,
+            quick: false,
+            points: vec![ScalePoint {
+                clusters: 4,
+                inner: 8,
+                outer: 2,
+                point,
+            }],
+        };
+        let json = to_scale_json(&doc);
+        assert!(json.contains("\"schema\": \"fastbar-scale/v1\""));
+        assert!(json.contains("\"mechanism\": \"sw-hier\""));
+        assert!(json.contains("\"clusters\": 4"));
+        assert!(json.contains("\"cycles_per_barrier\": 123.5"));
+        assert!(json.contains("\"stats_digest\": \"0x000000000000abcd\""));
+        assert!(json.ends_with("}\n"));
+    }
+}

@@ -10,7 +10,9 @@
 
 use analyze::RaceDetectorSink;
 use barrier_filter::BarrierMechanism;
+use bench_suite::latency::{barrier_latency, barrier_latency_on};
 use bench_suite::latency::{build_latency_machine_engine, build_latency_machine_traced};
+use bench_suite::scale::scale_config;
 use bench_suite::throughput::{
     fig4_sample_engine, fig4_sample_observed, EXPECTED_FIG4_16CORE_DIGEST,
     EXPECTED_VITERBI_K5_16T_DIGEST,
@@ -56,6 +58,51 @@ fn filter_d_barrier_is_deterministic() {
 #[test]
 fn filter_i_barrier_is_deterministic() {
     assert_repeatable(BarrierMechanism::FilterI);
+}
+
+/// The topology layer's degenerate case: `fig_scale` reaches the 16-core
+/// machine through `scale_config(16)` + `barrier_latency_on` (the
+/// explicit-config path every clustered point uses), while the historical
+/// figures go through `barrier_latency`'s flat path. The two must be the
+/// same machine bit-for-bit — same `Measurement` (cycles, instructions,
+/// stats digest) — or the 1-cluster topology is not actually degenerate.
+#[test]
+fn the_scale_path_reproduces_the_flat_machine_bit_identically() {
+    let (inner, outer) = (8, 2);
+    for mechanism in [
+        BarrierMechanism::SwCentral,
+        BarrierMechanism::FilterD,
+        BarrierMechanism::SwHier,
+        BarrierMechanism::FilterDHier,
+    ] {
+        let flat = barrier_latency(mechanism, 16, inner, outer).expect("flat path");
+        let scaled =
+            barrier_latency_on(scale_config(16), mechanism, inner, outer).expect("scale path");
+        assert_eq!(
+            flat.sim, scaled.sim,
+            "{mechanism}: the 1-cluster topology must be degenerate"
+        );
+        assert_eq!(flat.cycles_per_barrier, scaled.cycles_per_barrier);
+        assert!(flat.sim.cycles > 0);
+    }
+}
+
+/// Run-twice determinism beyond the old 64-core ceiling: a 256-core
+/// clustered machine (16 clusters x 16 cores) under both tree-combining
+/// variants must reproduce its whole `Measurement` from scratch.
+#[test]
+fn clustered_256_core_tree_barriers_are_deterministic() {
+    for mechanism in [BarrierMechanism::SwHier, BarrierMechanism::FilterDHier] {
+        let run = || barrier_latency_on(scale_config(256), mechanism, 4, 2).expect("256-core run");
+        let (a, b) = (run(), run());
+        assert_eq!(
+            a.sim, b.sim,
+            "{mechanism}: 256-core measurement must be reproducible"
+        );
+        assert_eq!(a.cycles_per_barrier, b.cycles_per_barrier);
+        assert_eq!(a.cores, 256);
+        assert!(a.sim.cycles > 0);
+    }
 }
 
 #[test]

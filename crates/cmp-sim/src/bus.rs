@@ -66,9 +66,140 @@ impl Resource {
     }
 }
 
+/// The hierarchical interconnect: one address/data bus pair per cluster
+/// plus a shared global segment connecting the clusters.
+///
+/// Every transaction arbitrates its origin cluster's bus; a transaction
+/// whose destination lies in another cluster then crosses to the global
+/// segment (paying [`HopLatency::cross_cluster`] each way) and arbitrates
+/// the destination cluster's bus. Hop latencies are additive constants on
+/// top of the FIFO [`Resource`] arbitration.
+///
+/// With one cluster and zero hop latencies this degenerates to exactly
+/// the original single shared bus: one `acquire` per transaction, the
+/// global segment never touched — which is what keeps the flat Table-2
+/// digests bit-identical through the topology refactor.
+///
+/// [`HopLatency::cross_cluster`]: crate::config::HopLatency
+#[derive(Debug)]
+pub struct Interconnect {
+    cluster_addr: Vec<Resource>,
+    cluster_data: Vec<Resource>,
+    global_addr: Resource,
+    global_data: Resource,
+    hop: crate::config::HopLatency,
+    cmd_cycles: u64,
+    data_cycles: u64,
+}
+
+impl Interconnect {
+    /// An idle interconnect for `clusters` clusters.
+    pub fn new(
+        clusters: usize,
+        hop: crate::config::HopLatency,
+        bus: crate::config::BusConfig,
+    ) -> Interconnect {
+        Interconnect {
+            cluster_addr: (0..clusters).map(|_| Resource::new()).collect(),
+            cluster_data: (0..clusters).map(|_| Resource::new()).collect(),
+            global_addr: Resource::new(),
+            global_data: Resource::new(),
+            hop,
+            cmd_cycles: bus.cmd_cycles,
+            data_cycles: bus.data_cycles,
+        }
+    }
+
+    /// Route a command (request/ack) issued in cluster `from` at cycle `t`
+    /// to a destination in cluster `to`. Returns the cycle the command
+    /// arrives at the destination.
+    pub fn cmd(&mut self, from: usize, to: usize, t: u64) -> u64 {
+        let cy = self.cmd_cycles;
+        let g = self.cluster_addr[from].acquire(t + self.hop.intra_tile, cy);
+        let local = g + cy + self.hop.intra_cluster;
+        if from == to {
+            return local;
+        }
+        let g2 = self.global_addr.acquire(local + self.hop.cross_cluster, cy);
+        let g3 = self.cluster_addr[to].acquire(g2 + cy + self.hop.cross_cluster, cy);
+        g3 + cy + self.hop.intra_cluster
+    }
+
+    /// Route a broadcast command (an invalidation that every cache and
+    /// bank must observe) issued in cluster `from` at cycle `t`. Returns
+    /// the cycle the broadcast has reached every cluster. Remote cluster
+    /// buses snoop the global segment rather than re-arbitrating it, so a
+    /// broadcast costs one local grant plus (beyond one cluster) one
+    /// global grant.
+    pub fn broadcast_cmd(&mut self, from: usize, t: u64) -> u64 {
+        let cy = self.cmd_cycles;
+        let g = self.cluster_addr[from].acquire(t + self.hop.intra_tile, cy);
+        let local = g + cy + self.hop.intra_cluster;
+        if self.cluster_addr.len() == 1 {
+            return local;
+        }
+        let g2 = self.global_addr.acquire(local + self.hop.cross_cluster, cy);
+        g2 + cy + self.hop.cross_cluster + self.hop.intra_cluster
+    }
+
+    /// Move one cache line from cluster `from` to cluster `to` starting at
+    /// cycle `t`. Returns the cycle the transfer completes at the
+    /// destination.
+    pub fn data(&mut self, from: usize, to: usize, t: u64) -> u64 {
+        let cy = self.data_cycles;
+        let g = self.cluster_data[from].acquire(t, cy);
+        let local = g + cy + self.hop.intra_cluster;
+        if from == to {
+            return local + self.hop.intra_tile;
+        }
+        let g2 = self.global_data.acquire(local + self.hop.cross_cluster, cy);
+        let g3 = self.cluster_data[to].acquire(g2 + cy + self.hop.cross_cluster, cy);
+        g3 + cy + self.hop.intra_cluster + self.hop.intra_tile
+    }
+
+    /// Summed address-side stats across cluster buses and the global
+    /// segment. [`ResourceStats`] counters are additive, so on the
+    /// degenerate one-cluster topology this equals the flat machine's
+    /// single-bus stats exactly (the global segment stays at zero).
+    pub fn addr_stats(&self) -> ResourceStats {
+        sum_stats(
+            self.cluster_addr
+                .iter()
+                .chain(std::iter::once(&self.global_addr)),
+        )
+    }
+
+    /// Summed data-side stats (see [`Interconnect::addr_stats`]).
+    pub fn data_stats(&self) -> ResourceStats {
+        sum_stats(
+            self.cluster_data
+                .iter()
+                .chain(std::iter::once(&self.global_data)),
+        )
+    }
+
+    /// Stats of the global segment alone (address, data) — the
+    /// cross-cluster saturation signal.
+    pub fn global_stats(&self) -> (ResourceStats, ResourceStats) {
+        (self.global_addr.stats(), self.global_data.stats())
+    }
+}
+
+fn sum_stats<'a>(resources: impl Iterator<Item = &'a Resource>) -> ResourceStats {
+    let mut total = ResourceStats::default();
+    for r in resources {
+        let s = r.stats();
+        total.grants += s.grants;
+        total.busy_cycles += s.busy_cycles;
+        total.wait_cycles += s.wait_cycles;
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{BusConfig, HopLatency};
 
     #[test]
     fn uncontended_grants_are_immediate() {
@@ -105,5 +236,86 @@ mod tests {
         r.acquire(0, 10);
         r.acquire(0, 10);
         assert_eq!(r.stats().mean_wait(), 5.0);
+    }
+
+    fn bus() -> BusConfig {
+        BusConfig {
+            cmd_cycles: 1,
+            data_cycles: 2,
+        }
+    }
+
+    #[test]
+    fn one_cluster_zero_hop_matches_a_flat_bus() {
+        // The degenerate topology must reproduce the flat single-bus
+        // arithmetic exactly: arrival = grant + cmd_cycles, one acquire.
+        let mut net = Interconnect::new(1, HopLatency::flat(), bus());
+        let mut flat = Resource::new();
+        for (t, broadcast) in [
+            (0u64, false),
+            (0, true),
+            (5, false),
+            (5, true),
+            (100, false),
+        ] {
+            let expect = flat.acquire(t, 1) + 1;
+            let got = if broadcast {
+                net.broadcast_cmd(0, t)
+            } else {
+                net.cmd(0, 0, t)
+            };
+            assert_eq!(got, expect);
+        }
+        assert_eq!(net.addr_stats(), flat.stats());
+        let (ga, gd) = net.global_stats();
+        assert_eq!(ga.grants, 0, "global segment untouched on 1 cluster");
+        assert_eq!(gd.grants, 0);
+    }
+
+    #[test]
+    fn cross_cluster_pays_hops_and_all_three_segments() {
+        let hop = HopLatency {
+            intra_tile: 1,
+            intra_cluster: 2,
+            cross_cluster: 8,
+        };
+        let mut net = Interconnect::new(4, hop, bus());
+        // local: tile(1) + grant + cmd(1) + cluster(2)
+        assert_eq!(net.cmd(0, 0, 0), 1 + 1 + 2);
+        // remote: local leg, +8 to global, global grant + 1 + 8, remote
+        // bus grant + 1 + 2
+        let t = net.cmd(1, 2, 0);
+        assert_eq!(t, (1 + 1 + 2) + 8 + 1 + 8 + 1 + 2);
+        let (ga, _) = net.global_stats();
+        assert_eq!(ga.grants, 1);
+        assert!(net.addr_stats().grants >= 3);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_clusters_via_one_global_grant() {
+        let hop = HopLatency {
+            intra_tile: 0,
+            intra_cluster: 0,
+            cross_cluster: 4,
+        };
+        let mut net = Interconnect::new(2, hop, bus());
+        let done = net.broadcast_cmd(0, 0);
+        // local grant+1, +4 up, global grant+1, +4 down
+        assert_eq!(done, 1 + 4 + 1 + 4);
+        let (ga, _) = net.global_stats();
+        assert_eq!(ga.grants, 1);
+    }
+
+    #[test]
+    fn data_transfers_queue_per_segment() {
+        let mut net = Interconnect::new(2, HopLatency::flat(), bus());
+        assert_eq!(net.data(0, 0, 0), 2);
+        assert_eq!(net.data(0, 0, 0), 4, "same cluster bus queues FIFO");
+        // cross-cluster: origin bus (grant 4, done 6) then global (done 8)
+        // then destination bus (done 10)
+        assert_eq!(net.data(0, 1, 0), 10);
+        // cluster 1's bus was occupied [8, 10) by the incoming transfer,
+        // so its next local transfer queues behind it.
+        assert_eq!(net.data(1, 1, 0), 12);
     }
 }

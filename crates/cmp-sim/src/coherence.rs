@@ -6,34 +6,138 @@
 //! between cores), and its Livermore partitionings are chosen "so cache
 //! lines will only need to be transferred between cores at most once"
 //! (§4.4) — behaviour this module makes observable.
+//!
+//! Sharer sets are a single `u64` bitmask while every holder's index fits
+//! in one word (the common case, and the only case on the flat Table-2
+//! machine), widening to a boxed multi-word mask the first time a core
+//! ≥ 64 joins — this is what lifted the old hard `num_cores > 64`
+//! rejection without taxing small configs.
 
 use crate::fastmap::FxHashMap;
 
+/// Set of core indices holding a line in Shared state.
+///
+/// Iteration order is always ascending core index, matching the old
+/// fixed `0..64` scan bit-for-bit on narrow machines — invalidation
+/// lists derived from this set are part of deterministic event order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SharerSet {
+    /// Cores 0–63 as a bitmask (the flat-machine fast path).
+    Mask(u64),
+    /// Arbitrary core indices, 64 per word.
+    Wide(Box<[u64]>),
+}
+
+impl SharerSet {
+    /// The empty set.
+    pub const EMPTY: SharerSet = SharerSet::Mask(0);
+
+    /// Whether `core` is in the set.
+    pub fn contains(&self, core: u16) -> bool {
+        let (word, bit) = (core as usize / 64, core as usize % 64);
+        match self {
+            SharerSet::Mask(m) => word == 0 && m & (1 << bit) != 0,
+            SharerSet::Wide(w) => w.get(word).is_some_and(|&v| v & (1 << bit) != 0),
+        }
+    }
+
+    /// Insert `core`, widening the representation if its index does not
+    /// fit the single-word mask.
+    pub fn insert(&mut self, core: u16) {
+        let (word, bit) = (core as usize / 64, core as usize % 64);
+        match self {
+            SharerSet::Mask(m) if word == 0 => *m |= 1 << bit,
+            SharerSet::Mask(m) => {
+                let mut words = vec![0u64; word + 1];
+                words[0] = *m;
+                words[word] |= 1 << bit;
+                *self = SharerSet::Wide(words.into_boxed_slice());
+            }
+            SharerSet::Wide(w) => {
+                if w.len() <= word {
+                    let mut words = w.to_vec();
+                    words.resize(word + 1, 0);
+                    *w = words.into_boxed_slice();
+                }
+                w[word] |= 1 << bit;
+            }
+        }
+    }
+
+    /// Remove `core` if present.
+    pub fn remove(&mut self, core: u16) {
+        let (word, bit) = (core as usize / 64, core as usize % 64);
+        match self {
+            SharerSet::Mask(m) => {
+                if word == 0 {
+                    *m &= !(1 << bit);
+                }
+            }
+            SharerSet::Wide(w) => {
+                if let Some(v) = w.get_mut(word) {
+                    *v &= !(1 << bit);
+                }
+            }
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            SharerSet::Mask(m) => *m == 0,
+            SharerSet::Wide(w) => w.iter().all(|&v| v == 0),
+        }
+    }
+
+    /// Number of cores in the set.
+    pub fn count(&self) -> u32 {
+        match self {
+            SharerSet::Mask(m) => m.count_ones(),
+            SharerSet::Wide(w) => w.iter().map(|v| v.count_ones()).sum(),
+        }
+    }
+
+    /// Visit every member in ascending core order.
+    pub fn for_each(&self, mut f: impl FnMut(u16)) {
+        let words: &[u64] = match self {
+            SharerSet::Mask(m) => std::slice::from_ref(m),
+            SharerSet::Wide(w) => w,
+        };
+        for (i, &word) in words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                f((i * 64 + bits.trailing_zeros() as usize) as u16);
+                bits &= bits - 1;
+            }
+        }
+    }
+}
+
 /// Who holds a line, as seen by the bus/directory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DirEntry {
-    /// Bitmask of cores holding the line in Shared state.
-    pub sharers: u64,
+    /// Cores holding the line in Shared state.
+    pub sharers: SharerSet,
     /// Core holding the line in Modified state, if any. When set, `sharers`
-    /// is zero.
-    pub owner: Option<u8>,
+    /// is empty.
+    pub owner: Option<u16>,
 }
 
 impl DirEntry {
     /// Entry with no holders.
     pub const EMPTY: DirEntry = DirEntry {
-        sharers: 0,
+        sharers: SharerSet::EMPTY,
         owner: None,
     };
 
     /// Whether no L1 holds the line.
     pub fn is_empty(&self) -> bool {
-        self.sharers == 0 && self.owner.is_none()
+        self.sharers.is_empty() && self.owner.is_none()
     }
 
     /// Number of cores sharing the line.
     pub fn sharer_count(&self) -> u32 {
-        self.sharers.count_ones()
+        self.sharers.count()
     }
 }
 
@@ -67,16 +171,16 @@ pub enum ReadOutcome {
     FromHierarchy,
     /// Another core holds the line Modified: it supplies the data
     /// (cache-to-cache) and downgrades to Shared.
-    FromOwner(u8),
+    FromOwner(u16),
 }
 
 /// Effect of a write request on other caches.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WriteOutcome {
-    /// Cores whose Shared copies must be invalidated.
-    pub invalidate: Vec<u8>,
+    /// Cores whose Shared copies must be invalidated (ascending).
+    pub invalidate: Vec<u16>,
     /// Core holding the line Modified (data source + invalidate), if any.
-    pub dirty_owner: Option<u8>,
+    pub dirty_owner: Option<u16>,
 }
 
 impl Directory {
@@ -87,18 +191,31 @@ impl Directory {
 
     /// Current entry for a line.
     pub fn entry(&self, line: u64) -> DirEntry {
-        self.entries.get(&line).copied().unwrap_or(DirEntry::EMPTY)
+        self.entries.get(&line).cloned().unwrap_or(DirEntry::EMPTY)
+    }
+
+    /// Whether `core` holds `line` in Shared state.
+    pub fn is_sharer(&self, core: u16, line: u64) -> bool {
+        self.entries
+            .get(&line)
+            .is_some_and(|e| e.sharers.contains(core))
+    }
+
+    /// The core holding `line` Modified, if any.
+    pub fn owner_of(&self, line: u64) -> Option<u16> {
+        self.entries.get(&line).and_then(|e| e.owner)
     }
 
     /// Core `core` wants to read `line`. Updates the directory (core becomes
     /// a sharer; a dirty owner is downgraded) and reports where the data
     /// comes from.
-    pub fn read(&mut self, core: u8, line: u64) -> ReadOutcome {
+    pub fn read(&mut self, core: u16, line: u64) -> ReadOutcome {
         let e = self.entries.entry(line).or_insert(DirEntry::EMPTY);
         match e.owner {
             Some(owner) if owner != core => {
                 // Remote dirty: downgrade owner to sharer; requester joins.
-                e.sharers |= (1 << owner) | (1 << core);
+                e.sharers.insert(owner);
+                e.sharers.insert(core);
                 e.owner = None;
                 self.stats.dirty_transfers += 1;
                 ReadOutcome::FromOwner(owner)
@@ -110,7 +227,7 @@ impl Directory {
                 ReadOutcome::FromHierarchy
             }
             None => {
-                e.sharers |= 1 << core;
+                e.sharers.insert(core);
                 ReadOutcome::FromHierarchy
             }
         }
@@ -119,7 +236,7 @@ impl Directory {
     /// Core `core` wants to write `line` (fetch-exclusive or upgrade).
     /// Updates the directory (core becomes sole Modified owner) and reports
     /// which remote copies must be invalidated / supply data.
-    pub fn write(&mut self, core: u8, line: u64) -> WriteOutcome {
+    pub fn write(&mut self, core: u16, line: u64) -> WriteOutcome {
         let e = self.entries.entry(line).or_insert(DirEntry::EMPTY);
         let mut invalidate = Vec::new();
         let mut dirty_owner = None;
@@ -127,13 +244,12 @@ impl Directory {
             Some(owner) if owner != core => dirty_owner = Some(owner),
             _ => {}
         }
-        let others = e.sharers & !(1 << core);
-        if others != 0 {
-            for c in 0..64u8 {
-                if others & (1 << c) != 0 {
-                    invalidate.push(c);
-                }
+        e.sharers.for_each(|c| {
+            if c != core {
+                invalidate.push(c);
             }
+        });
+        if !invalidate.is_empty() {
             self.stats.upgrade_invalidations += 1;
             self.stats.copies_invalidated += invalidate.len() as u64;
         }
@@ -141,7 +257,7 @@ impl Directory {
             self.stats.dirty_transfers += 1;
         }
         *e = DirEntry {
-            sharers: 0,
+            sharers: SharerSet::EMPTY,
             owner: Some(core),
         };
         WriteOutcome {
@@ -152,7 +268,7 @@ impl Directory {
 
     /// Core `core` dropped `line` from its L1 (eviction). Returns `true` if
     /// the line was held Modified (a writeback is required).
-    pub fn evict(&mut self, core: u8, line: u64) -> bool {
+    pub fn evict(&mut self, core: u16, line: u64) -> bool {
         let Some(e) = self.entries.get_mut(&line) else {
             return false;
         };
@@ -160,7 +276,7 @@ impl Directory {
         if was_dirty {
             e.owner = None;
         }
-        e.sharers &= !(1 << core);
+        e.sharers.remove(core);
         if e.is_empty() {
             self.entries.remove(&line);
         }
@@ -168,17 +284,14 @@ impl Directory {
     }
 
     /// Remove every copy of `line` from every L1 (an explicit `dcbi`).
-    /// Returns the cores that held it and whether a writeback is required.
-    pub fn invalidate_all(&mut self, line: u64) -> (Vec<u8>, bool) {
+    /// Returns the cores that held it (sharers ascending, then the owner)
+    /// and whether a writeback is required.
+    pub fn invalidate_all(&mut self, line: u64) -> (Vec<u16>, bool) {
         let Some(e) = self.entries.remove(&line) else {
             return (Vec::new(), false);
         };
         let mut holders = Vec::new();
-        for c in 0..64u8 {
-            if e.sharers & (1 << c) != 0 {
-                holders.push(c);
-            }
-        }
+        e.sharers.for_each(|c| holders.push(c));
         let dirty = e.owner.is_some();
         if let Some(owner) = e.owner {
             holders.push(owner);
@@ -201,8 +314,11 @@ mod tests {
         let mut d = Directory::new();
         assert_eq!(d.read(3, 10), ReadOutcome::FromHierarchy);
         let e = d.entry(10);
-        assert_eq!(e.sharers, 1 << 3);
+        assert!(e.sharers.contains(3));
+        assert_eq!(e.sharer_count(), 1);
         assert_eq!(e.owner, None);
+        assert!(d.is_sharer(3, 10));
+        assert!(!d.is_sharer(4, 10));
     }
 
     #[test]
@@ -216,7 +332,8 @@ mod tests {
         assert_eq!(w.dirty_owner, None);
         let e = d.entry(10);
         assert_eq!(e.owner, Some(1));
-        assert_eq!(e.sharers, 0);
+        assert!(e.sharers.is_empty());
+        assert_eq!(d.owner_of(10), Some(1));
         assert_eq!(d.stats().upgrade_invalidations, 1);
         assert_eq!(d.stats().copies_invalidated, 2);
     }
@@ -228,7 +345,8 @@ mod tests {
         assert_eq!(d.read(6, 20), ReadOutcome::FromOwner(5));
         let e = d.entry(20);
         assert_eq!(e.owner, None);
-        assert_eq!(e.sharers, (1 << 5) | (1 << 6));
+        assert!(e.sharers.contains(5) && e.sharers.contains(6));
+        assert_eq!(e.sharer_count(), 2);
         assert_eq!(d.stats().dirty_transfers, 1);
     }
 
@@ -275,5 +393,53 @@ mod tests {
         let w = d.write(7, 60);
         assert!(w.invalidate.is_empty());
         assert_eq!(w.dirty_owner, None);
+    }
+
+    #[test]
+    fn cores_beyond_64_widen_the_sharer_set() {
+        let mut d = Directory::new();
+        d.read(3, 70);
+        d.read(700, 70);
+        d.read(64, 70);
+        let e = d.entry(70);
+        assert_eq!(e.sharer_count(), 3);
+        assert!(e.sharers.contains(3));
+        assert!(e.sharers.contains(64));
+        assert!(e.sharers.contains(700));
+        assert!(!e.sharers.contains(63));
+        let w = d.write(64, 70);
+        assert_eq!(w.invalidate, vec![3, 700], "ascending core order");
+        assert_eq!(d.owner_of(70), Some(64));
+        assert_eq!(d.read(1000, 70), ReadOutcome::FromOwner(64));
+    }
+
+    #[test]
+    fn wide_set_supports_removal_and_invalidate_all() {
+        let mut d = Directory::new();
+        for c in [0u16, 63, 64, 127, 1023] {
+            d.read(c, 80);
+        }
+        assert!(!d.evict(64, 80));
+        let (holders, dirty) = d.invalidate_all(80);
+        assert_eq!(holders, vec![0, 63, 127, 1023]);
+        assert!(!dirty);
+    }
+
+    #[test]
+    fn sharer_set_round_trips() {
+        let mut s = SharerSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(5);
+        s.insert(200);
+        s.insert(5);
+        assert_eq!(s.count(), 2);
+        let mut seen = Vec::new();
+        s.for_each(|c| seen.push(c));
+        assert_eq!(seen, vec![5, 200]);
+        s.remove(5);
+        s.remove(77); // absent: no-op
+        assert_eq!(s.count(), 1);
+        assert!(!s.contains(5));
+        assert!(s.contains(200));
     }
 }

@@ -105,6 +105,80 @@ impl Default for CoreTiming {
     }
 }
 
+/// Per-hop latencies of the hierarchical interconnect.
+///
+/// Every transaction pays one `intra_tile` hop at its core-side endpoint
+/// and one `intra_cluster` hop per cluster bus it crosses; a transaction
+/// that leaves its cluster additionally pays `cross_cluster` on the way to
+/// the global segment and again on the way back down. The flat Table-2
+/// machine is the degenerate case where every hop is zero, which makes
+/// the hierarchical cost formulas collapse to the original single-bus
+/// arithmetic bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopLatency {
+    /// Core ↔ tile junction latency (cycles).
+    pub intra_tile: u64,
+    /// Tile junction ↔ cluster bus/bank latency (cycles).
+    pub intra_cluster: u64,
+    /// Cluster ↔ global segment latency (cycles, each direction).
+    pub cross_cluster: u64,
+}
+
+impl HopLatency {
+    /// All hops free — the flat shared-bus machine.
+    pub const fn flat() -> HopLatency {
+        HopLatency {
+            intra_tile: 0,
+            intra_cluster: 0,
+            cross_cluster: 0,
+        }
+    }
+}
+
+/// Hierarchical machine topology: cores are grouped into tiles, tiles into
+/// clusters. Each cluster owns a slice of the L2 banks (round-robin:
+/// bank `b` belongs to cluster `b % clusters`) and a local address/data
+/// bus pair; clusters communicate over a shared global segment.
+///
+/// Core `c` belongs to cluster `c / (num_cores / clusters)` — cores are
+/// numbered cluster-contiguously, so barrier code can derive a thread's
+/// cluster with a single shift when cores-per-cluster is a power of two.
+///
+/// [`Topology::flat`] (one cluster, one tile, zero hop latencies) is the
+/// degenerate case that reproduces the paper's flat Table-2 machine
+/// exactly: the pinned stats digests are bit-identical through this path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of clusters (1 = the flat machine).
+    pub clusters: usize,
+    /// Tiles per cluster (validation/divisibility layer; tile membership
+    /// only affects timing through [`HopLatency::intra_tile`]).
+    pub tiles_per_cluster: usize,
+    /// Per-hop interconnect latencies.
+    pub hop: HopLatency,
+}
+
+impl Topology {
+    /// The degenerate single-cluster topology of the flat Table-2 machine.
+    pub const fn flat() -> Topology {
+        Topology {
+            clusters: 1,
+            tiles_per_cluster: 1,
+            hop: HopLatency::flat(),
+        }
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Topology {
+        Topology::flat()
+    }
+}
+
+/// Hard ceiling on `num_cores` (directory sharer sets and the scale sweep
+/// are sized for this).
+pub const MAX_CORES: usize = 1024;
+
 /// Dedicated barrier-network model (the aggressive Beckmann &
 /// Polychronopoulos baseline of §4): wire latency to and from the global
 /// combining logic, and the cost of checking/resetting the local status
@@ -202,6 +276,9 @@ pub struct SimConfig {
     /// (off by default; sinks are observers and never change simulated
     /// behaviour).
     pub trace: crate::trace::TraceConfig,
+    /// Hierarchical cluster topology. The default ([`Topology::flat`])
+    /// reproduces the paper's flat shared-bus machine bit-identically.
+    pub topology: Topology,
 }
 
 impl SimConfig {
@@ -211,6 +288,51 @@ impl SimConfig {
             num_cores,
             ..SimConfig::default()
         }
+    }
+
+    /// A clustered many-core preset scaled from the Table-2 baseline:
+    /// `clusters` clusters of `num_cores / clusters` cores, L2/L3 capacity
+    /// scaled with the core count, one bank-interleave granule per
+    /// cluster-slice of filter lines (`cores_per_cluster * 64` bytes), and
+    /// non-zero hop latencies (tile 1, cluster 2, cross-cluster 8).
+    /// `clusters == 1` returns the flat Table-2 config unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting config does not validate (caller supplied a
+    /// non-power-of-two split); use [`SimConfig::validate`] on hand-built
+    /// configs instead.
+    pub fn clustered(num_cores: usize, clusters: usize) -> SimConfig {
+        if clusters <= 1 {
+            return SimConfig::with_cores(num_cores);
+        }
+        let cpc = num_cores / clusters.max(1);
+        let scale = (num_cores / 16).max(1) as u64;
+        let mut c = SimConfig::with_cores(num_cores);
+        c.topology = Topology {
+            clusters,
+            tiles_per_cluster: cpc.min(4),
+            hop: HopLatency {
+                intra_tile: 1,
+                intra_cluster: 2,
+                cross_cluster: 8,
+            },
+        };
+        c.l2.size_bytes *= scale;
+        c.l3.size_bytes *= scale;
+        // One granule = one cluster-slice of line-per-thread filter lines,
+        // so a contiguous arrival range stripes cluster k's slice into a
+        // cluster-k bank (banks are round-robin across clusters).
+        c.bank_granule_log2 = (cpc as u64 * sim_isa::LINE_BYTES).trailing_zeros();
+        c.l2_banks = if clusters * 4 <= 64 {
+            clusters * 4
+        } else {
+            clusters
+        };
+        if let Err(e) = c.validate() {
+            panic!("SimConfig::clustered({num_cores}, {clusters}): {e}");
+        }
+        c
     }
 
     /// The L2 bank index servicing `addr`.
@@ -223,8 +345,24 @@ impl SimConfig {
         1 << self.bank_granule_log2
     }
 
+    /// Cores in each cluster.
+    pub fn cores_per_cluster(&self) -> usize {
+        self.num_cores / self.topology.clusters.max(1)
+    }
+
+    /// The cluster that owns core `core` (cores are numbered
+    /// cluster-contiguously).
+    pub fn cluster_of_core(&self, core: usize) -> usize {
+        core / self.cores_per_cluster().max(1)
+    }
+
+    /// The cluster that owns L2 bank `bank` (round-robin interleave).
+    pub fn cluster_of_bank(&self, bank: usize) -> usize {
+        bank % self.topology.clusters.max(1)
+    }
+
     /// Validate internal consistency (power-of-two geometries, nonzero
-    /// sizes).
+    /// sizes, topology divisibility).
     ///
     /// # Errors
     ///
@@ -233,11 +371,46 @@ impl SimConfig {
         if self.num_cores == 0 {
             return Err("num_cores must be nonzero".into());
         }
-        if self.num_cores > 64 {
-            return Err("directory bitmask limits the model to 64 cores".into());
+        if self.num_cores > MAX_CORES {
+            return Err(format!(
+                "topology supports at most {MAX_CORES} cores (got {})",
+                self.num_cores
+            ));
+        }
+        let t = &self.topology;
+        if t.clusters == 0 || t.tiles_per_cluster == 0 {
+            return Err("topology: clusters and tiles_per_cluster must be nonzero".into());
+        }
+        if !self.num_cores.is_multiple_of(t.clusters) {
+            return Err(format!(
+                "topology: clusters ({}) must divide num_cores ({})",
+                t.clusters, self.num_cores
+            ));
+        }
+        let cpc = self.num_cores / t.clusters;
+        if t.clusters > 1 && !(t.clusters.is_power_of_two() && cpc.is_power_of_two()) {
+            return Err(format!(
+                "topology: clusters ({}) and cores per cluster ({cpc}) must be \
+                 powers of two so barrier code can derive a thread's cluster \
+                 with a shift",
+                t.clusters
+            ));
+        }
+        if !cpc.is_multiple_of(t.tiles_per_cluster) {
+            return Err(format!(
+                "topology: tiles_per_cluster ({}) must divide cores per cluster ({cpc})",
+                t.tiles_per_cluster
+            ));
         }
         if self.l2_banks == 0 || !self.l2_banks.is_power_of_two() {
             return Err("l2_banks must be a nonzero power of two".into());
+        }
+        if !self.l2_banks.is_multiple_of(t.clusters) {
+            return Err(format!(
+                "topology: l2_banks ({}) must be a multiple of clusters ({}) \
+                 so every cluster owns the same number of banks",
+                self.l2_banks, t.clusters
+            ));
         }
         for (name, c) in [
             ("l1d", &self.l1d),
@@ -315,6 +488,7 @@ impl Default for SimConfig {
             burst_budget: 64,
             decode_cache: decode_cache_env_default(),
             trace: crate::trace::TraceConfig::Off,
+            topology: Topology::flat(),
         }
     }
 }
@@ -363,12 +537,6 @@ mod tests {
         assert!(c.validate().is_err());
 
         let c = SimConfig {
-            num_cores: 65,
-            ..SimConfig::default()
-        };
-        assert!(c.validate().is_err());
-
-        let c = SimConfig {
             l2_banks: 3,
             ..SimConfig::default()
         };
@@ -383,6 +551,71 @@ mod tests {
             ..SimConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn core_counts_beyond_64_are_legal_up_to_the_topology_ceiling() {
+        // The old directory bitmask hard-rejected > 64 cores; the widened
+        // directory lifts that to the documented topology ceiling.
+        assert!(SimConfig::with_cores(65).validate().is_ok());
+        assert!(SimConfig::with_cores(MAX_CORES).validate().is_ok());
+        let err = SimConfig::with_cores(MAX_CORES + 1).validate().unwrap_err();
+        assert!(err.contains("at most 1024 cores"), "{err}");
+    }
+
+    #[test]
+    fn topology_validation_messages() {
+        let mut c = SimConfig::with_cores(64);
+        c.topology.clusters = 0;
+        assert!(c.validate().unwrap_err().contains("nonzero"));
+
+        let mut c = SimConfig::with_cores(60);
+        c.topology.clusters = 8;
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("must divide num_cores"), "{err}");
+
+        let mut c = SimConfig::with_cores(96);
+        c.topology.clusters = 4; // cores per cluster = 24: not a power of two
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("powers of two"), "{err}");
+
+        let mut c = SimConfig::with_cores(64);
+        c.topology.clusters = 4;
+        c.topology.tiles_per_cluster = 3;
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("tiles_per_cluster"), "{err}");
+
+        let mut c = SimConfig::with_cores(64);
+        c.topology.clusters = 8; // default 4 banks: not a multiple of 8
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("multiple of clusters"), "{err}");
+    }
+
+    #[test]
+    fn clustered_presets_validate_and_flat_is_degenerate() {
+        assert_eq!(SimConfig::clustered(16, 1), SimConfig::with_cores(16));
+        for (cores, clusters) in [(64, 4), (256, 16), (1024, 16)] {
+            let c = SimConfig::clustered(cores, clusters);
+            assert!(c.validate().is_ok(), "{cores}x{clusters}");
+            assert_eq!(c.cores_per_cluster(), cores / clusters);
+            assert_eq!(c.bank_granule(), (cores / clusters) as u64 * 64);
+            assert_eq!(c.l2_banks % clusters, 0);
+            // cluster k's slice of a bank-aligned granule run homes in a
+            // cluster-k bank (the contiguous-arrival-range invariant).
+            for k in 0..clusters {
+                let bank = (c.bank_of(0x2000_0000) + k) % c.l2_banks;
+                assert_eq!(c.cluster_of_bank(bank), k % clusters);
+            }
+        }
+    }
+
+    #[test]
+    fn core_to_cluster_mapping_is_contiguous() {
+        let c = SimConfig::clustered(64, 4);
+        assert_eq!(c.cluster_of_core(0), 0);
+        assert_eq!(c.cluster_of_core(15), 0);
+        assert_eq!(c.cluster_of_core(16), 1);
+        assert_eq!(c.cluster_of_core(63), 3);
     }
 
     #[test]

@@ -36,6 +36,15 @@ pub enum LayoutError {
     BarrierRegionFull,
     /// The data region collided with the barrier region.
     DataRegionFull,
+    /// A granule run needs the first granule homed at a bank index that is
+    /// a multiple of the run length, which requires the run length to
+    /// divide the bank count.
+    GranuleRunUnmappable {
+        /// Granules requested.
+        granules: u64,
+        /// Banks in the machine.
+        banks: u64,
+    },
 }
 
 impl fmt::Display for LayoutError {
@@ -50,6 +59,11 @@ impl fmt::Display for LayoutError {
             ),
             LayoutError::BarrierRegionFull => f.write_str("barrier address region exhausted"),
             LayoutError::DataRegionFull => f.write_str("data address region exhausted"),
+            LayoutError::GranuleRunUnmappable { granules, banks } => write!(
+                f,
+                "a run of {granules} consecutive bank granules cannot start bank-aligned: \
+                 {granules} does not divide the bank count {banks}"
+            ),
         }
     }
 }
@@ -184,6 +198,51 @@ impl AddressSpace {
         }
     }
 
+    /// Allocate `granules` *consecutive* whole bank-interleave granules
+    /// from the barrier region, starting at a granule homed at bank 0 —
+    /// so granule `k` of the run is homed at bank `k`, for every run.
+    ///
+    /// This is the allocation a hierarchical filter barrier performs: with
+    /// banks striped round-robin across clusters (`bank % clusters`) and a
+    /// granule of `cores_per_cluster * 64` bytes, granule `k` of the run
+    /// lands in a cluster-`k` bank — one contiguous `base + tid * 64`
+    /// arrival range whose per-cluster slices are each watched by a single
+    /// local filter. Because every run starts at bank 0, slice `k` of an
+    /// arrival run and slice `k` of a matching exit run share a bank, the
+    /// §3.3.2 requirement that one filter observe both signals.
+    ///
+    /// # Errors
+    ///
+    /// * [`LayoutError::GranuleRunUnmappable`] if `granules` exceeds the
+    ///   bank count (the run would wrap past bank 0).
+    /// * [`LayoutError::BarrierRegionFull`] if the region is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granules` is zero.
+    pub fn alloc_granule_run(&mut self, granules: u64) -> Result<u64, LayoutError> {
+        assert!(granules > 0, "must allocate at least one granule");
+        if granules > self.banks {
+            return Err(LayoutError::GranuleRunUnmappable {
+                granules,
+                banks: self.banks,
+            });
+        }
+        let base_granule = BARRIER_BASE / self.granule;
+        let mut g = self.barrier_granule_cursor;
+        loop {
+            let addr = self.granule_base(g);
+            if addr + granules * self.granule > BARRIER_END {
+                return Err(LayoutError::BarrierRegionFull);
+            }
+            if (base_granule + g).is_multiple_of(self.banks) {
+                self.barrier_granule_cursor = g + granules;
+                return Ok(addr);
+            }
+            g += 1;
+        }
+    }
+
     /// First unused data-region address (diagnostics).
     pub fn data_watermark(&self) -> u64 {
         self.data_cursor
@@ -238,6 +297,47 @@ mod tests {
         let mut s = AddressSpace::new(&cfg);
         let err = s.alloc_bank_lines(0, granule_lines + 1).unwrap_err();
         assert!(matches!(err, LayoutError::RequestExceedsGranule { .. }));
+    }
+
+    #[test]
+    fn granule_runs_stripe_consecutive_clusters() {
+        let cfg = SimConfig::clustered(64, 4);
+        let clusters = cfg.topology.clusters as u64;
+        let mut s = AddressSpace::new(&cfg);
+        let base = s.alloc_granule_run(clusters).unwrap();
+        let granule = cfg.bank_granule();
+        for k in 0..clusters {
+            let bank = cfg.bank_of(base + k * granule);
+            assert_eq!(
+                cfg.cluster_of_bank(bank),
+                k as usize,
+                "granule {k} of the run is watched by a cluster-{k} bank"
+            );
+            // Every line of the granule shares that bank.
+            for line in 0..granule / 64 {
+                assert_eq!(cfg.bank_of(base + k * granule + line * 64), bank);
+            }
+        }
+        // A second run starts at bank 0 again, so slice k of both runs
+        // shares a bank (arrival/exit pairing).
+        let next = s.alloc_granule_run(clusters).unwrap();
+        assert!(next >= base + clusters * granule);
+        for k in 0..clusters {
+            assert_eq!(
+                cfg.bank_of(next + k * granule),
+                cfg.bank_of(base + k * granule),
+                "slice {k} of paired runs shares its bank"
+            );
+        }
+    }
+
+    #[test]
+    fn granule_run_longer_than_the_banks_is_rejected() {
+        let cfg = SimConfig::default();
+        let mut s = AddressSpace::new(&cfg);
+        let banks = cfg.l2_banks as u64;
+        let err = s.alloc_granule_run(banks + 1).unwrap_err();
+        assert!(matches!(err, LayoutError::GranuleRunUnmappable { .. }));
     }
 
     #[test]

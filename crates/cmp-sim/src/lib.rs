@@ -76,10 +76,12 @@ mod stats;
 mod trace;
 
 pub use builder::{BuildError, MachineBuilder};
-pub use bus::{Resource, ResourceStats};
+pub use bus::{Interconnect, Resource, ResourceStats};
 pub use cache::{Cache, CacheStats, LineState};
-pub use coherence::{DirEntry, Directory, DirectoryStats, ReadOutcome, WriteOutcome};
-pub use config::{BusConfig, CacheConfig, CoreTiming, HwBarrierConfig, SimConfig};
+pub use coherence::{DirEntry, Directory, DirectoryStats, ReadOutcome, SharerSet, WriteOutcome};
+pub use config::{
+    BusConfig, CacheConfig, CoreTiming, HopLatency, HwBarrierConfig, SimConfig, Topology, MAX_CORES,
+};
 pub use core::CoreStats;
 pub use decode::DecodeCacheStats;
 pub use error::SimError;

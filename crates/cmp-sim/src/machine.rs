@@ -28,7 +28,7 @@
 
 use sim_isa::{line_of, Instr, MemWidth, Program, Reg};
 
-use crate::bus::Resource;
+use crate::bus::{Interconnect, Resource};
 use crate::cache::{Cache, LineState};
 use crate::coherence::{Directory, ReadOutcome};
 use crate::core::{Continuation, Core, Waiting};
@@ -125,6 +125,68 @@ struct ParkedFill {
     line: u64,
 }
 
+/// Fills parked at bank hooks, indexed both ways in O(1).
+///
+/// At most one fill is parked per core (a parked core is blocked), so the
+/// core side is a dense per-core slot array; the hook side resolves its
+/// [`ParkToken`]s through a map. The `Vec` scan this replaces was O(n) per
+/// release — quadratic across a barrier episode at 1024 cores. The map is
+/// only ever probed by exact key (never iterated), so hash order cannot
+/// leak into simulated behaviour.
+#[derive(Debug, Default)]
+struct ParkedSet {
+    /// `slot[core] = (token, line)` while that core's fill is parked.
+    slot: Vec<Option<(ParkToken, u64)>>,
+    /// Token → core, for hook-side release/err resolution.
+    by_token: FxHashMap<u64, usize>,
+    len: usize,
+}
+
+impl ParkedSet {
+    fn new(cores: usize) -> ParkedSet {
+        ParkedSet {
+            slot: vec![None; cores],
+            by_token: FxHashMap::default(),
+            len: 0,
+        }
+    }
+
+    fn insert(&mut self, token: ParkToken, core: usize, line: u64) {
+        debug_assert!(self.slot[core].is_none(), "one parked fill per core");
+        self.slot[core] = Some((token, line));
+        self.by_token.insert(token.0, core);
+        self.len += 1;
+    }
+
+    /// Remove the parked fill of `core`, if any, returning its token.
+    fn remove_by_core(&mut self, core: usize) -> Option<ParkToken> {
+        let (token, _) = self.slot[core].take()?;
+        self.by_token.remove(&token.0);
+        self.len -= 1;
+        Some(token)
+    }
+
+    /// Resolve and remove a hook-released token.
+    fn remove_by_token(&mut self, token: ParkToken) -> Option<ParkedFill> {
+        let core = self.by_token.remove(&token.0)?;
+        let (_, line) = self.slot[core].take().expect("slot tracks by_token");
+        self.len -= 1;
+        Some(ParkedFill { core, line })
+    }
+
+    fn contains_core(&self, core: usize) -> bool {
+        self.slot[core].is_some()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
 /// Per-instruction-class issue costs, pre-scaled to twelfths of a cycle
 /// (`cost * 12 / width`, the quantity `finish_units` accumulates). Computed
 /// once at build time so the retire path performs no division.
@@ -197,10 +259,11 @@ pub struct Machine {
     l2: Vec<Cache>,
     l3: Cache,
     dir: Directory,
-    /// Address/command network: requests, invalidations, upgrade commands.
-    addr_bus: Resource,
-    /// Data network: line transfers (fills, writebacks, transfers).
-    data_bus: Resource,
+    /// The interconnect: per-cluster address/data bus pairs plus a global
+    /// segment, carrying requests, invalidations, upgrades and line
+    /// transfers. On the flat (one-cluster) topology it degenerates to the
+    /// original single shared bus pair.
+    net: Interconnect,
     bank_ports: Vec<Resource>,
     hook_ports: Vec<Resource>,
     l3_port: Resource,
@@ -208,10 +271,9 @@ pub struct Machine {
     hwnet: DedicatedNetwork,
     events: CalendarQueue<Ev>,
     now: u64,
-    /// Fills parked at bank hooks. At most one per core (a parked core is
-    /// blocked), so a tiny linear-scanned list beats any map — and unlike
-    /// the `HashMap` it replaced, scans are deterministic by construction.
-    parked: Vec<(ParkToken, ParkedFill)>,
+    /// Fills parked at bank hooks (O(1) by core and by token; see
+    /// [`ParkedSet`]).
+    parked: ParkedSet,
     next_token: u64,
     /// Per-line coherence-serialization point: successive ownership
     /// transfers (dirty cache-to-cache reads, upgrades, exclusive fetches)
@@ -272,6 +334,7 @@ impl std::fmt::Debug for Machine {
             .field("cores", &self.cores.len())
             .field("pending_events", &self.events.len())
             .field("parked_fills", &self.parked.len())
+            .field("clusters", &self.config.topology.clusters)
             .finish_non_exhaustive()
     }
 }
@@ -301,8 +364,7 @@ impl Machine {
             l2: (0..banks).map(|_| Cache::new(per_bank)).collect(),
             l3: Cache::new(config.l3),
             dir: Directory::new(),
-            addr_bus: Resource::new(),
-            data_bus: Resource::new(),
+            net: Interconnect::new(config.topology.clusters, config.topology.hop, config.bus),
             bank_ports: (0..banks).map(|_| Resource::new()).collect(),
             hook_ports: (0..banks).map(|_| Resource::new()).collect(),
             l3_port: Resource::new(),
@@ -310,7 +372,7 @@ impl Machine {
             hwnet,
             events: CalendarQueue::new(),
             now: 0,
-            parked: Vec::new(),
+            parked: ParkedSet::new(n),
             next_token: 0,
             line_busy: FxHashMap::default(),
             scheduled_deadlines: vec![None; banks],
@@ -614,8 +676,8 @@ impl Machine {
             l1i: self.l1i.iter().map(Cache::stats).collect(),
             l2: self.l2.iter().map(Cache::stats).collect(),
             l3: self.l3.stats(),
-            addr_bus: self.addr_bus.stats(),
-            data_bus: self.data_bus.stats(),
+            addr_bus: self.net.addr_stats(),
+            data_bus: self.net.data_stats(),
             hook_ports: self.hook_ports.iter().map(Resource::stats).collect(),
             directory: self.dir.stats(),
             hw_network: self.hwnet.stats(),
@@ -663,10 +725,9 @@ impl Machine {
         else {
             return false;
         };
-        let Some(idx) = self.parked.iter().position(|(_, p)| p.core == core) else {
+        let Some(token) = self.parked.remove_by_core(core) else {
             return false;
         };
-        let (token, _) = self.parked.swap_remove(idx);
         let bank = self.config.bank_of(line);
         if let Some(hook) = self.hooks[bank].as_mut() {
             hook.on_cancel(token);
@@ -719,7 +780,7 @@ impl Machine {
             .enumerate()
             .filter(|&(i, c)| {
                 matches!(c.waiting, Waiting::Fill { parked: true, .. })
-                    && self.parked.iter().any(|(_, p)| p.core == i)
+                    && self.parked.contains_core(i)
             })
             .map(|(i, _)| i)
             .collect()
@@ -839,9 +900,9 @@ impl Machine {
         kind: AccessKind,
         purpose: FillPurpose,
     ) -> Result<(), SimError> {
-        let data = self.config.bus.data_cycles;
-        let grant = self.data_bus.acquire(self.now, data);
-        let done = grant + data + 1;
+        let from = self.config.cluster_of_bank(self.config.bank_of(line));
+        let to = self.config.cluster_of_core(c);
+        let done = self.net.data(from, to, self.now) + 1;
         match purpose {
             FillPurpose::Resume => {
                 self.schedule(
@@ -1025,19 +1086,14 @@ impl Machine {
         out: HookOutcome,
     ) -> Result<(), SimError> {
         let hc = self.config.hook_cycles_per_request;
-        let data = self.config.bus.data_cycles;
+        let bank_cluster = self.config.cluster_of_bank(bank);
         let mut slot = 0u64;
         let mut released = 0u32;
         let mut errored = 0u32;
         let mut last_delivery = base;
         for (tokens, error) in [(&out.released, false), (&out.errored, true)] {
             for &token in tokens.iter() {
-                let Some(p) = self
-                    .parked
-                    .iter()
-                    .position(|&(t, _)| t == token)
-                    .map(|i| self.parked.swap_remove(i).1)
-                else {
+                let Some(p) = self.parked.remove_by_token(token) else {
                     return Err(SimError::Hook {
                         cycle: self.now,
                         line: 0,
@@ -1048,8 +1104,8 @@ impl Machine {
                 };
                 slot += 1;
                 let t2 = base + slot * hc;
-                let grant = self.data_bus.acquire(t2, data);
-                let done = grant + data + 1;
+                let to = self.config.cluster_of_core(p.core);
+                let done = self.net.data(bank_cluster, to, t2) + 1;
                 last_delivery = last_delivery.max(done);
                 if error {
                     errored += 1;
@@ -1103,10 +1159,9 @@ impl Machine {
                 self.l1i[c].insert(line, LineState::Shared);
             }
             AccessKind::DRead | AccessKind::DWrite => {
-                let entry = self.dir.entry(line);
                 let still_mine = match kind {
-                    AccessKind::DWrite => entry.owner == Some(c as u8),
-                    _ => entry.sharers & (1 << c) != 0,
+                    AccessKind::DWrite => self.dir.owner_of(line) == Some(c as u16),
+                    _ => self.dir.is_sharer(c as u16, line),
                 };
                 if !still_mine {
                     return;
@@ -1116,11 +1171,14 @@ impl Machine {
                     _ => LineState::Shared,
                 };
                 if let Some((victim, _)) = self.l1d[c].insert(line, state) {
-                    let dirty = self.dir.evict(c as u8, victim);
+                    let dirty = self.dir.evict(c as u16, victim);
                     if dirty {
                         // Writeback occupies the bus but is off the critical
-                        // path of the fill.
-                        self.data_bus.acquire(t, self.config.bus.data_cycles);
+                        // path of the fill: core's cluster to the victim's
+                        // home bank.
+                        let from = self.config.cluster_of_core(c);
+                        let to = self.config.cluster_of_bank(self.config.bank_of(victim));
+                        self.net.data(from, to, t);
                     }
                 }
             }
@@ -1138,7 +1196,6 @@ impl Machine {
         start: u64,
         purpose: FillPurpose,
     ) -> Result<Access, SimError> {
-        let cmd = self.config.bus.cmd_cycles;
         let l2_lat = self.config.l2.latency;
         let hook_cy = self.config.hook_cycles_per_request;
         let l3_lat = self.config.l3.latency;
@@ -1156,7 +1213,7 @@ impl Machine {
         match kind {
             AccessKind::DRead => {
                 self.trace(TraceEvent::DMiss { core: c, line });
-                if let ReadOutcome::FromOwner(owner) = self.dir.read(c as u8, line) {
+                if let ReadOutcome::FromOwner(owner) = self.dir.read(c as u16, line) {
                     // Cache-to-cache transfer through the shared controller,
                     // serialized against other transfers of this line.
                     self.trace(TraceEvent::CacheToCache {
@@ -1165,8 +1222,10 @@ impl Machine {
                         line,
                     });
                     self.l1d[owner as usize].set_state(line, LineState::Shared);
-                    let grant = self.addr_bus.acquire(t, cmd);
-                    let g = self.line_acquire(line, grant + cmd, l2_lat);
+                    let from = self.config.cluster_of_core(c);
+                    let to = self.config.cluster_of_core(owner as usize);
+                    let arrive = self.net.cmd(from, to, t);
+                    let g = self.line_acquire(line, arrive, l2_lat);
                     let ready = g + l2_lat;
                     self.schedule(
                         ready,
@@ -1182,7 +1241,7 @@ impl Machine {
             }
             AccessKind::DWrite => {
                 self.trace(TraceEvent::DMiss { core: c, line });
-                let w = self.dir.write(c as u8, line);
+                let w = self.dir.write(c as u16, line);
                 if !w.invalidate.is_empty() {
                     for &s in &w.invalidate {
                         self.l1d[s as usize].invalidate(line);
@@ -1193,13 +1252,15 @@ impl Machine {
                         copies: w.invalidate.len() as u32,
                     });
                     // One broadcast invalidation command.
-                    let grant = self.addr_bus.acquire(t, cmd);
-                    t = grant + cmd + 1;
+                    let cc = self.config.cluster_of_core(c);
+                    t = self.net.broadcast_cmd(cc, t) + 1;
                 }
                 if let Some(owner) = w.dirty_owner {
                     self.l1d[owner as usize].invalidate(line);
-                    let grant = self.addr_bus.acquire(t, cmd);
-                    let g = self.line_acquire(line, grant + cmd, l2_lat);
+                    let from = self.config.cluster_of_core(c);
+                    let to = self.config.cluster_of_core(owner as usize);
+                    let arrive = self.net.cmd(from, to, t);
+                    let g = self.line_acquire(line, arrive, l2_lat);
                     let ready = g + l2_lat;
                     self.schedule(
                         ready,
@@ -1218,10 +1279,11 @@ impl Machine {
             }
         }
 
-        // Request crosses the bus to the home bank.
-        let grant = self.addr_bus.acquire(t, cmd);
-        t = grant + cmd;
+        // Request crosses the interconnect to the home bank.
         let bank = self.config.bank_of(line);
+        let from = self.config.cluster_of_core(c);
+        let to = self.config.cluster_of_bank(bank);
+        t = self.net.cmd(from, to, t);
         t = self.bank_ports[bank].acquire(t, 1) + 1;
 
         // Bank hook (barrier filter): its lookup runs in parallel with the
@@ -1280,7 +1342,7 @@ impl Machine {
                         });
                     }
                     self.hook_ports[bank].acquire(t, hook_cy);
-                    self.parked.push((token, ParkedFill { core: c, line }));
+                    self.parked.insert(token, c, line);
                     self.cores[c].stats.fills_parked += 1;
                     self.tracker.note_park(bank, t);
                     self.trace(TraceEvent::Parked { core: c, line });
@@ -1324,12 +1386,11 @@ impl Machine {
         now: u64,
         purpose: FillPurpose,
     ) -> Result<StoreOutcome, SimError> {
-        let cmd = self.config.bus.cmd_cycles;
         match self.l1d[c].lookup(line) {
             Some(LineState::Modified) => Ok(StoreOutcome::Done(now + self.config.l1d.latency)),
             Some(LineState::Shared) => {
                 // Upgrade: invalidate remote sharers via one bus command.
-                let w = self.dir.write(c as u8, line);
+                let w = self.dir.write(c as u16, line);
                 for &s in &w.invalidate {
                     self.l1d[s as usize].invalidate(line);
                 }
@@ -1346,11 +1407,12 @@ impl Machine {
                     });
                 }
                 self.l1d[c].set_state(line, LineState::Modified);
-                let grant = self.addr_bus.acquire(now + self.config.l1d.latency, cmd);
+                let cc = self.config.cluster_of_core(c);
+                let arrive = self.net.broadcast_cmd(cc, now + self.config.l1d.latency);
                 // The invalidation round trip serializes against other
                 // transfers of this line at the directory.
                 let busy = self.config.upgrade_busy;
-                let g = self.line_acquire(line, grant + cmd, busy);
+                let g = self.line_acquire(line, arrive, busy);
                 Ok(StoreOutcome::Done(g + busy))
             }
             None => {
@@ -1691,7 +1753,6 @@ impl Machine {
                         addr,
                     };
                     let start = now + t.store_issue;
-                    let cmd = self.config.bus.cmd_cycles;
                     match self.l1d[c].lookup(line) {
                         Some(LineState::Modified) => {
                             self.cores[c].mshr_used += 1;
@@ -1706,7 +1767,7 @@ impl Machine {
                             );
                         }
                         Some(LineState::Shared) => {
-                            let w = self.dir.write(c as u8, line);
+                            let w = self.dir.write(c as u16, line);
                             for &sh in &w.invalidate {
                                 self.l1d[sh as usize].invalidate(line);
                             }
@@ -1721,9 +1782,10 @@ impl Machine {
                                 });
                             }
                             self.l1d[c].set_state(line, LineState::Modified);
-                            let grant = self.addr_bus.acquire(start, cmd);
+                            let cc = self.config.cluster_of_core(c);
+                            let arrive = self.net.broadcast_cmd(cc, start);
                             let busy = self.config.upgrade_busy;
-                            let g = self.line_acquire(line, grant + cmd, busy);
+                            let g = self.line_acquire(line, arrive, busy);
                             self.cores[c].mshr_used += 1;
                             self.cores[c].note_mshr();
                             self.schedule(
@@ -1982,25 +2044,28 @@ impl Machine {
                 // stay off this path.
                 self.apply_patches(line);
             }
-        } else {
+        }
+        let bank = self.config.bank_of(line);
+        if !icache {
             let (holders, dirty) = self.dir.invalidate_all(line);
             for h in holders {
                 self.l1d[h as usize].invalidate(line);
             }
             if dirty {
-                // Writeback of the dirty copy (bus occupancy only).
-                self.data_bus.acquire(now, self.config.bus.data_cycles);
+                // Writeback of the dirty copy toward the home bank (bus
+                // occupancy only).
+                let from = self.config.cluster_of_core(c);
+                let to = self.config.cluster_of_bank(bank);
+                self.net.data(from, to, now);
             }
             self.clear_links(line);
         }
-        let bank = self.config.bank_of(line);
         self.l2[bank].invalidate(line);
         self.l3.invalidate(line);
-        let grant = self.addr_bus.acquire(
-            now + self.config.timing.invalidate_issue,
-            self.config.bus.cmd_cycles,
-        );
-        let done = grant + self.config.bus.cmd_cycles;
+        let cc = self.config.cluster_of_core(c);
+        let done = self
+            .net
+            .broadcast_cmd(cc, now + self.config.timing.invalidate_issue);
         // The invalidation message reaches the bank controller one cycle
         // after leaving the bus — the same pipe fills traverse, preserving
         // invalidate-before-fill ordering per issuing core.

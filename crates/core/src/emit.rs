@@ -164,6 +164,102 @@ pub fn sw_tree(
     Ok(entry)
 }
 
+/// Emit the hierarchical (cluster-combining) sense-reversal software
+/// barrier: threads fetch-and-increment a *per-cluster* LL/SC counter at
+/// `local_counters + cluster * 64` (cluster = `tid >> cpc_log2`), the last
+/// arriver of each cluster resets it and ascends to the single global
+/// counter, the last champion toggles the global flag, and every champion
+/// then toggles its cluster's local flag where the non-champions spin.
+/// Two tree levels mirror the two interconnect levels: the global counter
+/// and flag see one access per *cluster*, not per thread.
+///
+/// Requires threads to fill whole clusters (thread `t` runs on core `t`,
+/// so `tid >> cpc_log2` is the thread's physical cluster).
+///
+/// # Errors
+///
+/// Propagates assembler label errors.
+#[allow(clippy::too_many_arguments)]
+pub fn sw_hier(
+    a: &mut Asm,
+    id: usize,
+    local_counters: u64,
+    local_flags: u64,
+    global_counter: u64,
+    global_flag: u64,
+    cpc_log2: u32,
+    clusters: u64,
+    tls_off: i64,
+) -> Result<String, AsmError> {
+    let entry = format!("bar{id}_sw_hier");
+    let skip = format!("bar{id}_skip");
+    let lretry = format!("bar{id}_lretry");
+    let lspin = format!("bar{id}_lspin");
+    let lchamp = format!("bar{id}_lchamp");
+    let gretry = format!("bar{id}_gretry");
+    let gspin = format!("bar{id}_gspin");
+    let glast = format!("bar{id}_glast");
+    let lrelease = format!("bar{id}_lrelease");
+    let cpc = 1i64 << cpc_log2;
+
+    a.j(skip.as_str());
+    a.label(&entry)?;
+    // sense ^= 1 (thread-local line: no coherence traffic)
+    a.ldd(Reg::T8, Reg::TLS, tls_off);
+    a.xori(Reg::T8, Reg::T8, 1);
+    a.std(Reg::T8, Reg::TLS, tls_off);
+    // t7 = cluster * 64, the line offset into every per-cluster array
+    a.srli(Reg::T6, Reg::TID, cpc_log2 as u8);
+    a.slli(Reg::T7, Reg::T6, 6);
+    // fetch-and-increment the cluster's counter with ldq_l/stq_c
+    a.li(Reg::K0, local_counters as i64);
+    a.add(Reg::K0, Reg::K0, Reg::T7);
+    a.label(&lretry)?;
+    a.ll(Reg::T9, Reg::K0, 0);
+    a.addi(Reg::T9, Reg::T9, 1);
+    a.sc(Reg::K1, Reg::T9, Reg::K0, 0);
+    a.beq(Reg::K1, Reg::ZERO, lretry.as_str());
+    a.li(Reg::K1, cpc);
+    a.beq(Reg::T9, Reg::K1, lchamp.as_str());
+    // non-champion: spin on the cluster's flag
+    a.li(Reg::K0, local_flags as i64);
+    a.add(Reg::K0, Reg::K0, Reg::T7);
+    a.label(&lspin)?;
+    a.ldd(Reg::T9, Reg::K0, 0);
+    a.bne(Reg::T9, Reg::T8, lspin.as_str());
+    a.ret();
+    a.label(&lchamp)?;
+    // cluster champion: reset the local counter, ascend to the global one
+    a.std(Reg::ZERO, Reg::K0, 0);
+    a.li(Reg::K0, global_counter as i64);
+    a.label(&gretry)?;
+    a.ll(Reg::T9, Reg::K0, 0);
+    a.addi(Reg::T9, Reg::T9, 1);
+    a.sc(Reg::K1, Reg::T9, Reg::K0, 0);
+    a.beq(Reg::K1, Reg::ZERO, gretry.as_str());
+    a.li(Reg::K1, clusters as i64);
+    a.beq(Reg::T9, Reg::K1, glast.as_str());
+    // champion, not last: spin on the global flag
+    a.li(Reg::K0, global_flag as i64);
+    a.label(&gspin)?;
+    a.ldd(Reg::T9, Reg::K0, 0);
+    a.bne(Reg::T9, Reg::T8, gspin.as_str());
+    a.j(lrelease.as_str());
+    a.label(&glast)?;
+    // last champion: reset the global counter, toggle the global flag
+    a.std(Reg::ZERO, Reg::K0, 0);
+    a.li(Reg::K0, global_flag as i64);
+    a.std(Reg::T8, Reg::K0, 0);
+    a.label(&lrelease)?;
+    // every champion releases its own cluster
+    a.li(Reg::K0, local_flags as i64);
+    a.add(Reg::K0, Reg::K0, Reg::T7);
+    a.std(Reg::T8, Reg::K0, 0);
+    a.ret();
+    a.label(&skip)?;
+    Ok(entry)
+}
+
 /// Emit the D-cache filter barrier, entry/exit variant (§3.4.2):
 ///
 /// ```text
@@ -230,6 +326,83 @@ pub fn filter_d_checked(
     a.sync();
     per_thread_line(a, e_base);
     a.dcbi(Reg::K0, 0);
+    a.ret();
+    a.label(&skip)?;
+    Ok(entry)
+}
+
+/// Emit the hierarchical D-cache filter barrier: three chained §3.4.2
+/// entry/exit filters.
+///
+/// 1. **Local barrier 1** — every thread runs the FilterD sequence over
+///    `a1`/`e1`, whose cluster-`k` slice (`cpc` lines at `a1 + k *
+///    cpc * 64`) is watched by a filter in a cluster-`k` bank. Releases
+///    when the cluster's threads have all arrived.
+/// 2. **Global phase** — each cluster's leader (`tid & (cpc-1) == 0`)
+///    runs FilterD over the leader lines `ga + cluster * 64` / `ge +
+///    cluster * 64`, all homed in one bank. Releases when every cluster
+///    has arrived.
+/// 3. **Local barrier 2** — everyone again, over `a2`/`e2`. Non-leaders
+///    arrive immediately after phase 1 and starve until their leader —
+///    the slice's last arriver — returns from the global phase, which is
+///    what makes the whole construction a barrier.
+///
+/// `cpc` (= `1 << cpc_log2`) is the thread count per cluster; threads
+/// must fill whole clusters so `tid >> cpc_log2` is the physical cluster.
+///
+/// # Errors
+///
+/// Propagates assembler label errors.
+#[allow(clippy::too_many_arguments)]
+pub fn filter_d_hier(
+    a: &mut Asm,
+    id: usize,
+    a1_base: u64,
+    e1_base: u64,
+    ga_base: u64,
+    ge_base: u64,
+    a2_base: u64,
+    e2_base: u64,
+    cpc_log2: u32,
+) -> Result<String, AsmError> {
+    let entry = format!("bar{id}_filter_d_hier");
+    let skip = format!("bar{id}_skip");
+    let join = format!("bar{id}_join");
+    let mask = (1i64 << cpc_log2) - 1;
+
+    // One FilterD phase over `base + tid * 64`.
+    let local_phase = |a: &mut Asm, a_base: u64, e_base: u64| {
+        a.sync();
+        per_thread_line(a, a_base);
+        a.dcbi(Reg::K0, 0);
+        a.isync();
+        a.ldd(Reg::K1, Reg::K0, 0);
+        a.sync();
+        per_thread_line(a, e_base);
+        a.dcbi(Reg::K0, 0);
+    };
+
+    a.j(skip.as_str());
+    a.label(&entry)?;
+    local_phase(a, a1_base, e1_base);
+    // leader (first thread of the cluster) ascends; the rest re-arrive
+    a.andi(Reg::T9, Reg::TID, mask);
+    a.bne(Reg::T9, Reg::ZERO, join.as_str());
+    // global FilterD over one line per cluster: k0 = ga + cluster * 64
+    a.srli(Reg::T6, Reg::TID, cpc_log2 as u8);
+    a.slli(Reg::T7, Reg::T6, 6);
+    a.sync();
+    a.li(Reg::K0, ga_base as i64);
+    a.add(Reg::K0, Reg::K0, Reg::T7);
+    a.dcbi(Reg::K0, 0);
+    a.isync();
+    a.ldd(Reg::K1, Reg::K0, 0);
+    a.sync();
+    a.li(Reg::K0, ge_base as i64);
+    a.add(Reg::K0, Reg::K0, Reg::T7);
+    a.dcbi(Reg::K0, 0);
+    a.label(&join)?;
+    local_phase(a, a2_base, e2_base);
     a.ret();
     a.label(&skip)?;
     Ok(entry)
@@ -462,6 +635,30 @@ mod tests {
         let (b0, b1) = arrival_stub_pair(&mut a, 8, 1 << 14);
         filter_i_ping_pong(&mut a, 5, b0, b1, 24).unwrap();
         hw_dedicated(&mut a, 6, 0).unwrap();
+        sw_hier(
+            &mut a,
+            7,
+            0x1000_2000,
+            0x1000_2400,
+            0x1000_2800,
+            0x1000_2840,
+            2,
+            4,
+            32,
+        )
+        .unwrap();
+        filter_d_hier(
+            &mut a,
+            8,
+            0x2000_2000,
+            0x2000_2400,
+            0x2000_2800,
+            0x2000_2900,
+            0x2000_3000,
+            0x2000_3400,
+            2,
+        )
+        .unwrap();
         a.halt();
         a.assemble().unwrap();
     }

@@ -32,10 +32,28 @@ pub enum BarrierMechanism {
     /// Dedicated barrier network with core modifications (the aggressive
     /// Beckmann & Polychronopoulos baseline).
     HwDedicated,
+    /// Hierarchical (cluster-combining) sense-reversal software barrier:
+    /// threads combine on a per-cluster LL/SC counter, the last arriver of
+    /// each cluster ascends to a single global counter, and release fans
+    /// out through a global flag then per-cluster flags. Two levels of the
+    /// tree mirror the two levels of the interconnect, so cross-cluster
+    /// traffic is one champion per cluster instead of every thread.
+    SwHier,
+    /// Hierarchical D-cache barrier filter: each cluster's threads arrive
+    /// at a *local* filter (one per cluster-homed bank slice), cluster
+    /// leaders arrive at a global filter, and a second local filter phase
+    /// releases the non-leaders — three chained §3.4.2 entry/exit filters.
+    FilterDHier,
 }
 
 impl BarrierMechanism {
-    /// All mechanisms, in the order the paper's figures list them.
+    /// The seven mechanisms of the paper's figures, in the order the
+    /// figures list them.
+    ///
+    /// Deliberately excludes the post-paper hierarchical variants: digest
+    /// chains (`fold_fig4`) and figure sweeps iterate this array, and its
+    /// membership and order are pinned by the committed digests. Use
+    /// [`EXTENDED`](BarrierMechanism::EXTENDED) for everything.
     pub const ALL: [BarrierMechanism; 7] = [
         BarrierMechanism::SwCentral,
         BarrierMechanism::SwTree,
@@ -44,6 +62,20 @@ impl BarrierMechanism {
         BarrierMechanism::FilterDPingPong,
         BarrierMechanism::FilterIPingPong,
         BarrierMechanism::HwDedicated,
+    ];
+
+    /// Every mechanism, including the hierarchical variants that target
+    /// clustered topologies beyond the paper's 16-core machine.
+    pub const EXTENDED: [BarrierMechanism; 9] = [
+        BarrierMechanism::SwCentral,
+        BarrierMechanism::SwTree,
+        BarrierMechanism::FilterD,
+        BarrierMechanism::FilterI,
+        BarrierMechanism::FilterDPingPong,
+        BarrierMechanism::FilterIPingPong,
+        BarrierMechanism::HwDedicated,
+        BarrierMechanism::SwHier,
+        BarrierMechanism::FilterDHier,
     ];
 
     /// Short stable name used in harness output and `FromStr`.
@@ -56,6 +88,8 @@ impl BarrierMechanism {
             BarrierMechanism::FilterIPingPong => "filter-i-pp",
             BarrierMechanism::FilterDPingPong => "filter-d-pp",
             BarrierMechanism::HwDedicated => "hw-dedicated",
+            BarrierMechanism::SwHier => "sw-hier",
+            BarrierMechanism::FilterDHier => "filter-d-hier",
         }
     }
 
@@ -67,13 +101,29 @@ impl BarrierMechanism {
                 | BarrierMechanism::FilterD
                 | BarrierMechanism::FilterIPingPong
                 | BarrierMechanism::FilterDPingPong
+                | BarrierMechanism::FilterDHier
         )
     }
 
     /// Whether this mechanism is software-only (no hardware support beyond
     /// LL/SC).
     pub fn is_software(self) -> bool {
-        matches!(self, BarrierMechanism::SwCentral | BarrierMechanism::SwTree)
+        matches!(
+            self,
+            BarrierMechanism::SwCentral | BarrierMechanism::SwTree | BarrierMechanism::SwHier
+        )
+    }
+
+    /// Whether this mechanism combines arrivals per cluster before a
+    /// global phase (and therefore requires a clustered [`Topology`] with
+    /// whole clusters of threads).
+    ///
+    /// [`Topology`]: cmp_sim::Topology
+    pub fn is_hierarchical(self) -> bool {
+        matches!(
+            self,
+            BarrierMechanism::SwHier | BarrierMechanism::FilterDHier
+        )
     }
 
     /// Whether this mechanism synchronizes through instruction-cache lines.
@@ -108,7 +158,7 @@ impl fmt::Display for ParseMechanismError {
         write!(
             f,
             "unknown barrier mechanism `{}` (expected one of: sw-central, sw-tree, filter-i, \
-             filter-d, filter-i-pp, filter-d-pp, hw-dedicated)",
+             filter-d, filter-i-pp, filter-d-pp, hw-dedicated, sw-hier, filter-d-hier)",
             self.0
         )
     }
@@ -120,7 +170,7 @@ impl FromStr for BarrierMechanism {
     type Err = ParseMechanismError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        BarrierMechanism::ALL
+        BarrierMechanism::EXTENDED
             .into_iter()
             .find(|m| m.name() == s)
             .ok_or_else(|| ParseMechanismError(s.to_owned()))
@@ -133,11 +183,15 @@ mod tests {
 
     #[test]
     fn names_round_trip() {
-        for m in BarrierMechanism::ALL {
+        for m in BarrierMechanism::EXTENDED {
             assert_eq!(m.name().parse::<BarrierMechanism>(), Ok(m));
             assert_eq!(m.to_string(), m.name());
         }
         assert!("bogus".parse::<BarrierMechanism>().is_err());
+        let msg = "bogus".parse::<BarrierMechanism>().unwrap_err().to_string();
+        for m in BarrierMechanism::EXTENDED {
+            assert!(msg.contains(m.name()), "error message lists {}", m.name());
+        }
     }
 
     #[test]
@@ -148,6 +202,11 @@ mod tests {
         assert!(!FilterDPingPong.is_icache());
         assert!(SwCentral.is_software() && !SwCentral.is_filter());
         assert!(!HwDedicated.is_software() && !HwDedicated.is_filter());
-        assert_eq!(BarrierMechanism::ALL.len(), 7);
+        assert!(SwHier.is_software() && SwHier.is_hierarchical() && !SwHier.is_filter());
+        assert!(FilterDHier.is_filter() && FilterDHier.is_hierarchical());
+        assert!(!FilterDHier.is_icache() && !FilterDHier.is_ping_pong());
+        assert_eq!(BarrierMechanism::ALL.len(), 7, "digest chains pin ALL");
+        assert_eq!(BarrierMechanism::EXTENDED.len(), 9);
+        assert!(BarrierMechanism::EXTENDED.starts_with(&BarrierMechanism::ALL));
     }
 }

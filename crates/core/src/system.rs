@@ -63,6 +63,10 @@ pub enum BarrierError {
     },
     /// The per-thread TLS area ran out of sense slots.
     TlsExhausted,
+    /// A hierarchical mechanism's topology requirements were not met:
+    /// threads must fill whole power-of-two clusters, and the hierarchical
+    /// filter additionally needs one bank granule per cluster slice.
+    Hierarchy(String),
     /// Machine-build error while installing hooks.
     Build(BuildError),
     /// `install` found a different number of threads than the system was
@@ -85,6 +89,7 @@ impl fmt::Display for BarrierError {
                 "barrier requested for {requested} threads but filter tables hold {max} entries"
             ),
             BarrierError::TlsExhausted => f.write_str("per-thread TLS sense slots exhausted"),
+            BarrierError::Hierarchy(why) => write!(f, "hierarchical barrier unavailable: {why}"),
             BarrierError::Build(e) => write!(f, "machine build failed: {e}"),
             BarrierError::ThreadCountMismatch { expected, found } => write!(
                 f,
@@ -270,6 +275,42 @@ impl BarrierSystem {
         Ok(off)
     }
 
+    /// Cluster geometry a hierarchical barrier over `threads` threads
+    /// combines through: `(cluster_threads, clusters, log2 cluster
+    /// threads)`. On the flat one-cluster topology the whole thread set is
+    /// one "cluster" and the barrier degenerates to a single level.
+    ///
+    /// # Errors
+    ///
+    /// [`BarrierError::Hierarchy`] unless `threads` fills whole clusters
+    /// whose thread count is a power of two (the routines compute the
+    /// cluster index as `tid >> log2(cluster_threads)`).
+    fn hier_geometry(&self, threads: usize) -> Result<(usize, usize, u32), BarrierError> {
+        let topo_clusters = self.config.topology.clusters.max(1);
+        let cpc = if topo_clusters == 1 {
+            threads
+        } else {
+            self.config.cores_per_cluster()
+        };
+        if threads == 0 || cpc == 0 || !cpc.is_power_of_two() {
+            return Err(BarrierError::Hierarchy(format!(
+                "cluster thread count {cpc} is not a positive power of two"
+            )));
+        }
+        if !threads.is_multiple_of(cpc) {
+            return Err(BarrierError::Hierarchy(format!(
+                "{threads} threads do not fill whole clusters of {cpc}"
+            )));
+        }
+        let spanned = threads / cpc;
+        if spanned > topo_clusters {
+            return Err(BarrierError::Hierarchy(format!(
+                "{threads} threads span {spanned} clusters but the topology has {topo_clusters}"
+            )));
+        }
+        Ok((cpc, spanned, cpc.ilog2()))
+    }
+
     /// The bank with the most free table slots that has at least `need`.
     fn pick_bank(&self, need: usize) -> Option<usize> {
         (0..self.per_bank.len())
@@ -327,7 +368,10 @@ impl BarrierSystem {
         threads: usize,
     ) -> Result<Barrier, BarrierError> {
         use BarrierMechanism::*;
-        if actual.is_filter() && threads > self.capacity.max_threads {
+        // The hierarchical filter shards threads across per-cluster tables,
+        // so its per-table occupancy (checked in its arm) is the cluster
+        // thread count, not the barrier-wide one.
+        if actual.is_filter() && !actual.is_hierarchical() && threads > self.capacity.max_threads {
             return Err(BarrierError::TooManyThreads {
                 requested: threads,
                 max: self.capacity.max_threads,
@@ -468,6 +512,136 @@ impl BarrierSystem {
                 self.hw_groups.push((hw_id, threads));
                 hw_group = Some(hw_id);
                 emit::hw_dedicated(asm, id, hw_id)?
+            }
+            SwHier => {
+                let (_, nclusters, cpc_log2) = self.hier_geometry(threads)?;
+                let local_counters = space.alloc_lines(nclusters as u64)?;
+                let local_flags = space.alloc_lines(nclusters as u64)?;
+                let global_counter = space.alloc_lines(1)?;
+                let global_flag = space.alloc_lines(1)?;
+                let tls = self.alloc_tls_slot()?;
+                regions.push(SyncRegion {
+                    kind: RegionKind::Counter,
+                    base: local_counters,
+                    bytes: nclusters as u64 * LINE_BYTES,
+                });
+                regions.push(SyncRegion {
+                    kind: RegionKind::Flag,
+                    base: local_flags,
+                    bytes: nclusters as u64 * LINE_BYTES,
+                });
+                regions.push(SyncRegion {
+                    kind: RegionKind::Counter,
+                    base: global_counter,
+                    bytes: LINE_BYTES,
+                });
+                regions.push(SyncRegion {
+                    kind: RegionKind::Flag,
+                    base: global_flag,
+                    bytes: LINE_BYTES,
+                });
+                tls_offset = Some(tls);
+                emit::sw_hier(
+                    asm,
+                    id,
+                    local_counters,
+                    local_flags,
+                    global_counter,
+                    global_flag,
+                    cpc_log2,
+                    nclusters as u64,
+                    tls,
+                )?
+            }
+            FilterDHier => {
+                let (cpc, nclusters, cpc_log2) = self.hier_geometry(threads)?;
+                if cpc.max(nclusters) > self.capacity.max_threads {
+                    return Err(BarrierError::TooManyThreads {
+                        requested: cpc.max(nclusters),
+                        max: self.capacity.max_threads,
+                    });
+                }
+                let (a1, e1, ga, ge, a2, e2) = if nclusters == 1 {
+                    // Degenerate: one cluster, so all three chained filter
+                    // phases share a single bank.
+                    let Some(bank) = self.pick_bank(3) else {
+                        return self.create_inner(asm, space, SwHier, requested, threads);
+                    };
+                    let a1 = space.alloc_bank_lines(bank, threads as u64)?;
+                    let e1 = space.alloc_bank_lines(bank, threads as u64)?;
+                    let ga = space.alloc_bank_lines(bank, 1)?;
+                    let ge = space.alloc_bank_lines(bank, 1)?;
+                    let a2 = space.alloc_bank_lines(bank, threads as u64)?;
+                    let e2 = space.alloc_bank_lines(bank, threads as u64)?;
+                    let cfg = self.table_config(a1, Some(e1), threads, ThreadState::Waiting);
+                    self.per_bank[bank].push(cfg);
+                    let cfg = self.table_config(ga, Some(ge), 1, ThreadState::Waiting);
+                    self.per_bank[bank].push(cfg);
+                    let cfg = self.table_config(a2, Some(e2), threads, ThreadState::Waiting);
+                    self.per_bank[bank].push(cfg);
+                    (a1, e1, ga, ge, a2, e2)
+                } else {
+                    // Each cluster's slice of an arrival run must cover
+                    // exactly its threads' lines, so slice k of every run is
+                    // homed in cluster k's bank k.
+                    if granule != cpc as u64 * LINE_BYTES {
+                        return Err(BarrierError::Hierarchy(format!(
+                            "bank granule is {granule} bytes but a cluster slice needs {} \
+                             (cluster threads x line size)",
+                            cpc as u64 * LINE_BYTES
+                        )));
+                    }
+                    if nclusters > cpc {
+                        return Err(BarrierError::Hierarchy(format!(
+                            "{nclusters} leader lines do not fit one bank granule of {cpc} lines"
+                        )));
+                    }
+                    // Banks 0..nclusters each host the cluster's b1 and b2
+                    // tables; bank 0 additionally hosts the leaders' global
+                    // filter.
+                    let fits =
+                        (0..nclusters).all(|k| self.free_tables(k) >= 2 + usize::from(k == 0));
+                    if !fits {
+                        return self.create_inner(asm, space, SwHier, requested, threads);
+                    }
+                    let a1 = space.alloc_granule_run(nclusters as u64)?;
+                    let e1 = space.alloc_granule_run(nclusters as u64)?;
+                    let a2 = space.alloc_granule_run(nclusters as u64)?;
+                    let e2 = space.alloc_granule_run(nclusters as u64)?;
+                    let ga = space.alloc_bank_lines(0, nclusters as u64)?;
+                    let ge = space.alloc_bank_lines(0, nclusters as u64)?;
+                    for k in 0..nclusters {
+                        let off = k as u64 * granule;
+                        let cfg =
+                            self.table_config(a1 + off, Some(e1 + off), cpc, ThreadState::Waiting);
+                        self.per_bank[k].push(cfg);
+                    }
+                    let cfg = self.table_config(ga, Some(ge), nclusters, ThreadState::Waiting);
+                    self.per_bank[0].push(cfg);
+                    for k in 0..nclusters {
+                        let off = k as u64 * granule;
+                        let cfg =
+                            self.table_config(a2 + off, Some(e2 + off), cpc, ThreadState::Waiting);
+                        self.per_bank[k].push(cfg);
+                    }
+                    (a1, e1, ga, ge, a2, e2)
+                };
+                arrival_base = Some(a1);
+                regions.push(ProtocolSpec::thread_lines(RegionKind::Arrival, a1, threads));
+                regions.push(ProtocolSpec::thread_lines(RegionKind::Exit, e1, threads));
+                regions.push(SyncRegion {
+                    kind: RegionKind::Arrival,
+                    base: ga,
+                    bytes: nclusters as u64 * LINE_BYTES,
+                });
+                regions.push(SyncRegion {
+                    kind: RegionKind::Exit,
+                    base: ge,
+                    bytes: nclusters as u64 * LINE_BYTES,
+                });
+                regions.push(ProtocolSpec::thread_lines(RegionKind::Arrival, a2, threads));
+                regions.push(ProtocolSpec::thread_lines(RegionKind::Exit, e2, threads));
+                emit::filter_d_hier(asm, id, a1, e1, ga, ge, a2, e2, cpc_log2)?
             }
         };
         let protocol = ProtocolSpec {
@@ -656,6 +830,92 @@ mod tests {
         for w in addrs.windows(2) {
             assert!(w[1] - w[0] >= TLS_BYTES_PER_THREAD);
         }
+    }
+
+    #[test]
+    fn hier_mechanisms_on_a_clustered_machine() {
+        let config = SimConfig::clustered(64, 4);
+        let mut space = AddressSpace::new(&config);
+        let mut asm = Asm::new();
+        let mut sys = BarrierSystem::new(&config, 64, &mut space).unwrap();
+        for m in [BarrierMechanism::SwHier, BarrierMechanism::FilterDHier] {
+            let b = sys.create_barrier(&mut asm, &mut space, m, 64).unwrap();
+            assert_eq!(b.mechanism(), m);
+            assert!(!b.is_fallback());
+            assert_eq!(b.threads(), 64);
+        }
+        asm.halt();
+        asm.assemble().unwrap();
+    }
+
+    #[test]
+    fn hier_filter_shards_tables_across_cluster_banks() {
+        let config = SimConfig::clustered(64, 4);
+        let mut space = AddressSpace::new(&config);
+        let mut asm = Asm::new();
+        let mut sys = BarrierSystem::new(&config, 64, &mut space).unwrap();
+        let b = sys
+            .create_barrier(&mut asm, &mut space, BarrierMechanism::FilterDHier, 64)
+            .unwrap();
+        // b1 + b2 per cluster bank, plus the leaders' global table in bank 0.
+        assert_eq!(sys.free_tables(0), sys.capacity.tables_per_bank - 3);
+        for k in 1..4 {
+            assert_eq!(sys.free_tables(k), sys.capacity.tables_per_bank - 2);
+        }
+        // Slice k of the arrival run is homed in cluster k's bank.
+        let a1 = b.arrival_base().unwrap();
+        for k in 0..4usize {
+            let bank = config.bank_of(a1 + k as u64 * config.bank_granule());
+            assert_eq!(config.cluster_of_bank(bank), k);
+        }
+    }
+
+    #[test]
+    fn hier_mechanisms_degenerate_on_the_flat_machine() {
+        let (config, mut space, mut asm) = setup();
+        let mut sys = BarrierSystem::new(&config, 4, &mut space).unwrap();
+        for m in [BarrierMechanism::SwHier, BarrierMechanism::FilterDHier] {
+            let b = sys.create_barrier(&mut asm, &mut space, m, 4).unwrap();
+            assert_eq!(b.mechanism(), m);
+            assert!(!b.is_fallback());
+        }
+        asm.halt();
+        asm.assemble().unwrap();
+    }
+
+    #[test]
+    fn hier_rejects_partial_clusters() {
+        let config = SimConfig::clustered(64, 4);
+        let mut space = AddressSpace::new(&config);
+        let mut asm = Asm::new();
+        let mut sys = BarrierSystem::new(&config, 64, &mut space).unwrap();
+        for m in [BarrierMechanism::SwHier, BarrierMechanism::FilterDHier] {
+            let err = sys.create_barrier(&mut asm, &mut space, m, 24).unwrap_err();
+            assert!(matches!(err, BarrierError::Hierarchy(_)), "{err}");
+            let msg = err.to_string();
+            assert!(
+                msg.contains("whole clusters"),
+                "diagnostic names the rule: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn hier_filter_exhaustion_falls_back_to_sw_hier() {
+        let config = SimConfig::clustered(64, 4);
+        let mut space = AddressSpace::new(&config);
+        let mut asm = Asm::new();
+        let cap = FilterCapacity {
+            tables_per_bank: 1,
+            max_threads: 64,
+        };
+        let mut sys = BarrierSystem::with_capacity(&config, 64, &mut space, cap).unwrap();
+        let b = sys
+            .create_barrier(&mut asm, &mut space, BarrierMechanism::FilterDHier, 64)
+            .unwrap();
+        assert!(b.is_fallback());
+        assert_eq!(b.mechanism(), BarrierMechanism::SwHier);
+        assert_eq!(b.requested(), BarrierMechanism::FilterDHier);
     }
 
     #[test]

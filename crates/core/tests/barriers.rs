@@ -47,7 +47,15 @@ fn emit_phase_kernel(a: &mut Asm, barrier: &Barrier, slots: u64, errs: u64, phas
 }
 
 fn run_phase_test(mechanism: BarrierMechanism, threads: usize, phases: u64) -> Machine {
-    let config = SimConfig::with_cores(threads);
+    run_phase_test_on(SimConfig::with_cores(threads), mechanism, threads, phases)
+}
+
+fn run_phase_test_on(
+    config: SimConfig,
+    mechanism: BarrierMechanism,
+    threads: usize,
+    phases: u64,
+) -> Machine {
     let mut space = AddressSpace::new(&config);
     let mut asm = Asm::new();
     let mut sys = BarrierSystem::new(&config, threads, &mut space).unwrap();
@@ -117,6 +125,26 @@ fn filter_i_ping_pong_synchronizes_16_threads() {
 #[test]
 fn hw_dedicated_synchronizes_16_threads() {
     run_phase_test(BarrierMechanism::HwDedicated, 16, 6);
+}
+
+#[test]
+fn sw_hier_synchronizes_16_threads() {
+    // Flat machine: the hierarchy degenerates to one 16-thread "cluster".
+    run_phase_test(BarrierMechanism::SwHier, 16, 6);
+}
+
+#[test]
+fn filter_d_hier_synchronizes_16_threads() {
+    let m = run_phase_test(BarrierMechanism::FilterDHier, 16, 6);
+    assert!(m.stats().fills_parked() > 0, "the filter must starve fills");
+}
+
+#[test]
+fn hier_mechanisms_synchronize_on_a_clustered_64_core_machine() {
+    let for_each = [BarrierMechanism::SwHier, BarrierMechanism::FilterDHier];
+    for mechanism in for_each {
+        run_phase_test_on(SimConfig::clustered(64, 4), mechanism, 64, 3);
+    }
 }
 
 #[test]

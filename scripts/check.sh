@@ -58,4 +58,13 @@ echo "==> program verifier + race detector smoke (quick kernel grid)"
 cargo run --release --offline -p bench-suite --bin verify -q -- \
     --quick --jobs 2 --out "$(mktemp -t fastbar_check_verify.XXXXXX.json)"
 
+echo "==> scaling sweep smoke (quick grid + degenerate-topology digests)"
+# Quick clustered grid (64 cores under sw-central and sw-hier) plus the
+# degenerate-topology guard: --check re-runs the two committed 16-core
+# workloads on the flat machine — now expressed as a 1-cluster topology
+# routed through the interconnect layer — and asserts their pinned
+# digests bit-for-bit.
+cargo run --release --offline -p bench-suite --bin fig_scale -q -- \
+    --quick --check --jobs 2 --out "$(mktemp -t fastbar_check_scale.XXXXXX.json)"
+
 echo "==> all checks passed"
