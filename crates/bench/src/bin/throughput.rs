@@ -10,12 +10,17 @@
 //!
 //! `--jobs N` sizes the worker pool of the parallel pass (default: all
 //! host threads); simulated numbers and digests are bit-identical across
-//! job counts, only wall time moves. `--check` additionally asserts the
-//! committed full-workload digests
-//! ([`EXPECTED_FIG4_16CORE_DIGEST`]/[`EXPECTED_VITERBI_K5_16T_DIGEST`])
-//! and exits non-zero on mismatch — the CI smoke for host-parallelism
-//! regressions (it forces the full rep counts; `--quick` would change the
-//! digests). `--quick` shrinks rep counts for smoke runs (and marks the
+//! job counts, only wall time moves. `--check` re-times each tracked
+//! workload to a median-of-[`CHECK_REPS`] wall (single-shot walls on a
+//! shared host swing ±20%, the median is what lands in the JSON), asserts
+//! the committed full-workload digests
+//! ([`EXPECTED_FIG4_16CORE_DIGEST`]/[`EXPECTED_VITERBI_K5_16T_DIGEST`]),
+//! and then pins the full `{decode_cache} × {event_shards} ×
+//! {fused_memory}` knob cross product (8 combinations) against those same
+//! digests at full workload size — the CI gate that the engine fast paths
+//! stay execution strategies, never model changes (it forces the full rep
+//! counts; `--quick` would change the digests). `--quick` shrinks rep
+//! counts for smoke runs (and marks the
 //! workloads accordingly, so quick numbers are never confused with the
 //! tracked ones); `--out` overrides the JSON path. `--trace PATH`
 //! additionally re-runs the Viterbi workload with a Chrome trace streamed
@@ -24,12 +29,104 @@
 //! traced re-run is not written to the JSON file (its wall time includes
 //! trace I/O).
 
+use barrier_filter::BarrierMechanism;
 use bench_suite::cli::Cli;
 use bench_suite::throughput::{
-    run_suite, to_json, viterbi_sample_traced, ThroughputDoc, EXPECTED_FIG4_16CORE_DIGEST,
-    EXPECTED_VITERBI_K5_16T_DIGEST,
+    fig4_sample, fig4_sample_knobs, run_suite, to_json, viterbi_sample, viterbi_sample_traced,
+    ThroughputDoc, ThroughputSample, EXPECTED_FIG4_16CORE_DIGEST, EXPECTED_VITERBI_K5_16T_DIGEST,
 };
-use bench_suite::{report, SweepRunner};
+use bench_suite::{report, EngineTune, SweepRunner};
+use kernels::viterbi::Viterbi;
+use kernels::EngineKnobs;
+
+/// Wall-time repetitions per workload under `--check`. The reported wall
+/// is the median of this many serial runs.
+const CHECK_REPS: usize = 3;
+
+fn median(mut walls: Vec<f64>) -> f64 {
+    walls.sort_by(f64::total_cmp);
+    walls[walls.len() / 2]
+}
+
+/// `--check`: re-time each tracked workload to a median-of-[`CHECK_REPS`]
+/// wall (updating the sample in place so the table and JSON report the
+/// median), assert the committed digests, then run the full
+/// `{decode_cache} × {event_shards} × {fused_memory}` cross product at
+/// full workload size and require every combination to reproduce the same
+/// committed digests bit-for-bit.
+fn run_check(samples: &mut [ThroughputSample], inner: u64, outer: u64, vit_bits: usize) {
+    for s in samples.iter_mut() {
+        let expected = match s.workload.as_str() {
+            "fig4_16core" => EXPECTED_FIG4_16CORE_DIGEST,
+            "viterbi_k5_16t" => EXPECTED_VITERBI_K5_16T_DIGEST,
+            other => panic!("unexpected workload {other:?} under --check"),
+        };
+        let got = s.sim.stats_digest;
+        assert_eq!(
+            got, expected,
+            "{}: digest {got:#018x} != committed {expected:#018x} — \
+             simulated behaviour changed",
+            s.workload
+        );
+        let mut walls = vec![s.wall_seconds];
+        while walls.len() < CHECK_REPS {
+            let rerun = if s.workload == "fig4_16core" {
+                fig4_sample(16, inner, outer)
+            } else {
+                viterbi_sample(vit_bits, 16)
+            };
+            assert_eq!(
+                rerun.sim.stats_digest, got,
+                "{}: wall-time rep diverged from the first run",
+                s.workload
+            );
+            walls.push(rerun.wall_seconds);
+        }
+        s.wall_seconds = median(walls);
+        s.instr_per_sec = s.sim.instructions as f64 / s.wall_seconds.max(1e-9);
+    }
+    for decode in [false, true] {
+        for shards in [false, true] {
+            for fused in [false, true] {
+                let label = format!("decode={decode} shards={shards} fused={fused}");
+                let tune = EngineTune {
+                    decode_cache: decode,
+                    event_shards: shards,
+                    fused_memory: fused,
+                    ..EngineTune::defaults(16)
+                };
+                let fig4 = fig4_sample_knobs(16, inner, outer, tune);
+                assert_eq!(
+                    fig4.sim.stats_digest, EXPECTED_FIG4_16CORE_DIGEST,
+                    "fig4_16core [{label}]: digest {:#018x} != committed \
+                     {EXPECTED_FIG4_16CORE_DIGEST:#018x} — a fast-path knob \
+                     changed simulated behaviour",
+                    fig4.sim.stats_digest
+                );
+                let knobs = EngineKnobs {
+                    decode_cache: Some(decode),
+                    event_shards: Some(shards),
+                    fused_memory: Some(fused),
+                };
+                let vit = Viterbi::new(vit_bits)
+                    .run_parallel_knobs(16, BarrierMechanism::FilterD, knobs)
+                    .expect("viterbi check workload");
+                assert_eq!(
+                    vit.sim.stats_digest, EXPECTED_VITERBI_K5_16T_DIGEST,
+                    "viterbi_k5_16t [{label}]: digest {:#018x} != committed \
+                     {EXPECTED_VITERBI_K5_16T_DIGEST:#018x} — a fast-path knob \
+                     changed simulated behaviour",
+                    vit.sim.stats_digest
+                );
+            }
+        }
+    }
+    println!(
+        "check passed: median-of-{CHECK_REPS} walls recorded; both committed \
+         digests reproduced by all 8 decode/shards/fused combinations"
+    );
+    println!();
+}
 
 fn main() {
     let args = Cli::new(
@@ -79,6 +176,9 @@ fn main() {
             s.workload.push_str("_quick");
         }
     }
+    if check {
+        run_check(&mut samples, inner, outer, vit_bits);
+    }
 
     println!(
         "Simulator throughput (simulated instructions per host second; \
@@ -126,25 +226,6 @@ fn main() {
         runner.jobs(),
         serial.suite_wall_seconds / parallel.suite_wall_seconds.max(1e-9),
     );
-
-    if check {
-        for (workload, expected) in [
-            ("fig4_16core", EXPECTED_FIG4_16CORE_DIGEST),
-            ("viterbi_k5_16t", EXPECTED_VITERBI_K5_16T_DIGEST),
-        ] {
-            let s = samples
-                .iter()
-                .find(|s| s.workload == workload)
-                .unwrap_or_else(|| panic!("{workload} sample present"));
-            let got = s.sim.stats_digest;
-            assert_eq!(
-                got, expected,
-                "{workload}: digest {got:#018x} != committed {expected:#018x} — \
-                 simulated behaviour changed"
-            );
-        }
-        println!("digest check passed: both workloads match the committed digests");
-    }
 
     let doc = ThroughputDoc {
         jobs: runner.jobs(),

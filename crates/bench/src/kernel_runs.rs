@@ -246,6 +246,8 @@ mod tests {
             },
             cycles_per_rep: cycles as f64,
             decode: Default::default(),
+            queue: Default::default(),
+            fused: Default::default(),
         })
     }
 

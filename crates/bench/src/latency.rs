@@ -72,12 +72,71 @@ pub fn build_latency_machine_tuned(
     )
 }
 
-/// [`build_latency_machine_tuned`] with every engine fast-path knob
-/// explicit: the core-step burst budget *and* the decoded-superblock
-/// cache. Both are host-side execution strategies, not model changes —
-/// any combination must yield a bit-identical
+/// Explicit settings for every engine fast-path knob. All four are
+/// host-side execution strategies, not model changes — any combination
+/// must yield a bit-identical
 /// [`MachineStats::digest`](cmp_sim::MachineStats); the matrix test in
-/// `tests/determinism.rs` holds this line across all mechanisms.
+/// `tests/determinism.rs` holds this line across all mechanisms and the
+/// full knob cross product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineTune {
+    /// Core-step burst budget (`0` disables the burst fast path).
+    pub burst_budget: u32,
+    /// Decoded-superblock cache ([`SimConfig::decode_cache`]).
+    pub decode_cache: bool,
+    /// Sharded per-core event lanes ([`SimConfig::event_shards`]).
+    pub event_shards: bool,
+    /// Memory-op-fused decoded executor ([`SimConfig::fused_memory`]).
+    pub fused_memory: bool,
+}
+
+impl EngineTune {
+    /// The process defaults for a `cores`-core machine (including any
+    /// `FASTBAR_*` environment overrides, exactly as
+    /// [`SimConfig::with_cores`] resolves them).
+    pub fn defaults(cores: usize) -> EngineTune {
+        let c = SimConfig::with_cores(cores);
+        EngineTune {
+            burst_budget: c.burst_budget,
+            decode_cache: c.decode_cache,
+            event_shards: c.event_shards,
+            fused_memory: c.fused_memory,
+        }
+    }
+
+    /// Write the four knobs into `config`, leaving everything else as-is.
+    pub fn apply(&self, config: &mut SimConfig) {
+        config.burst_budget = self.burst_budget;
+        config.decode_cache = self.decode_cache;
+        config.event_shards = self.event_shards;
+        config.fused_memory = self.fused_memory;
+    }
+}
+
+/// [`build_latency_machine_tuned`] with every engine fast-path knob
+/// explicit via [`EngineTune`].
+///
+/// # Panics
+///
+/// Panics on assembler/build/trace-sink failures.
+pub fn build_latency_machine_knobs(
+    mechanism: BarrierMechanism,
+    cores: usize,
+    inner: u64,
+    outer: u64,
+    trace: TraceConfig,
+    tune: EngineTune,
+) -> Machine {
+    let mut config = SimConfig::with_cores(cores);
+    tune.apply(&mut config);
+    config.trace = trace;
+    build_latency_machine_inner(config, mechanism, inner, outer, |_| None)
+}
+
+/// [`build_latency_machine_tuned`] with the burst budget *and* the
+/// decoded-superblock cache explicit; the queue and fused-memory knobs
+/// keep their process defaults (see [`build_latency_machine_knobs`] for
+/// the full set).
 ///
 /// # Panics
 ///
@@ -92,11 +151,12 @@ pub fn build_latency_machine_engine(
     burst_budget: u32,
     decode_cache: bool,
 ) -> Machine {
-    let mut config = SimConfig::with_cores(cores);
-    config.burst_budget = burst_budget;
-    config.decode_cache = decode_cache;
-    config.trace = trace;
-    build_latency_machine_inner(config, mechanism, inner, outer, |_| None)
+    let tune = EngineTune {
+        burst_budget,
+        decode_cache,
+        ..EngineTune::defaults(cores)
+    };
+    build_latency_machine_knobs(mechanism, cores, inner, outer, trace, tune)
 }
 
 /// [`build_latency_machine`] on an explicit [`SimConfig`] — the entry

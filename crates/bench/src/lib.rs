@@ -16,6 +16,7 @@
 //! | `ocean_coarse` | §4.1 — coarse-grained (Ocean-like) barrier overhead |
 //! | `ablations` | design ablations called out in DESIGN.md |
 //! | `throughput` | host-side simulator throughput → `BENCH_throughput.json` |
+//! | `hotpath` | engine per-stage cost profile → committed `results/hotpath.txt` |
 //! | `verify` | static verifier + race detector grid → `BENCH_verify.json` |
 //!
 //! The library half hosts the shared runners so integration tests and
@@ -23,6 +24,7 @@
 
 pub mod chaos;
 pub mod cli;
+pub mod hotpath;
 pub mod kernel_runs;
 pub mod latency;
 pub mod report;
@@ -33,11 +35,12 @@ pub mod verify;
 
 pub use chaos::{run_chaos, ChaosDoc, ChaosPoint, ChaosWorkload};
 pub use cli::{BenchArgs, Cli};
+pub use hotpath::{profile, HotpathPoint, HotpathReport};
 pub use kernel_runs::{measure, measure_on, speedup_table, sweep_grid, GridVariant, SpeedupRow};
 pub use latency::{
     barrier_latency, barrier_latency_on, barrier_latency_traced, build_latency_machine,
-    build_latency_machine_observed, build_latency_machine_on, build_latency_machine_traced,
-    build_latency_machine_tuned, LatencyPoint,
+    build_latency_machine_knobs, build_latency_machine_observed, build_latency_machine_on,
+    build_latency_machine_traced, build_latency_machine_tuned, EngineTune, LatencyPoint,
 };
 pub use scale::{
     run_scale, scale_config, scale_grid, scale_mechanisms, scale_reps, to_scale_json, ScaleDoc,
@@ -45,8 +48,8 @@ pub use scale::{
 };
 pub use sweep::{JobPanic, SweepRunner};
 pub use throughput::{
-    fig4_sample, fig4_sample_observed, run_suite, to_json, viterbi_sample, viterbi_sample_traced,
-    SuiteResult, ThroughputDoc, ThroughputSample, EXPECTED_FIG4_16CORE_DIGEST,
-    EXPECTED_VITERBI_K5_16T_DIGEST,
+    fig4_sample, fig4_sample_knobs, fig4_sample_observed, run_suite, to_json, viterbi_sample,
+    viterbi_sample_traced, SuiteResult, ThroughputDoc, ThroughputSample,
+    EXPECTED_FIG4_16CORE_DIGEST, EXPECTED_VITERBI_K5_16T_DIGEST,
 };
 pub use verify::{run_verify, verify_case, VerifyCase, VerifyDoc, VerifyKernel};

@@ -19,10 +19,12 @@
 use std::time::Instant;
 
 use barrier_filter::BarrierMechanism;
-use cmp_sim::{json_escape, DecodeCacheStats, Measurement, SimConfig, TraceConfig};
+use cmp_sim::{
+    json_escape, DecodeCacheStats, EventQueueStats, FusedMemStats, Measurement, TraceConfig,
+};
 use kernels::viterbi::Viterbi;
 
-use crate::latency::{build_latency_machine, build_latency_machine_engine};
+use crate::latency::{build_latency_machine, build_latency_machine_knobs, EngineTune};
 use crate::sweep::SweepRunner;
 
 /// Committed digest of the full `fig4_16core` workload (16 cores, 64 × 64
@@ -50,8 +52,17 @@ pub struct ThroughputSample {
     pub instr_per_sec: f64,
     /// Decoded-superblock cache counters summed over the workload's
     /// machines. Host-side engine metrics (schema v3): they vary with
-    /// [`SimConfig::decode_cache`] while `sim` stays bit-identical.
+    /// [`SimConfig::decode_cache`](cmp_sim::SimConfig::decode_cache)
+    /// while `sim` stays bit-identical.
     pub decode: DecodeCacheStats,
+    /// Sharded-event-queue counters summed over the workload's machines
+    /// (schema v4). All zero on the default calendar queue; nonzero lane
+    /// pushes prove a sharded run actually ran sharded.
+    pub queue: EventQueueStats,
+    /// Memory-op-fused executor counters summed over the workload's
+    /// machines (schema v4). All zero when fusion (or the decode cache)
+    /// is off.
+    pub fused: FusedMemStats,
 }
 
 fn sample(
@@ -59,6 +70,8 @@ fn sample(
     sim: Measurement,
     wall_seconds: f64,
     decode: DecodeCacheStats,
+    queue: EventQueueStats,
+    fused: FusedMemStats,
 ) -> ThroughputSample {
     ThroughputSample {
         workload: workload.to_string(),
@@ -66,6 +79,8 @@ fn sample(
         wall_seconds,
         instr_per_sec: sim.instructions as f64 / wall_seconds.max(1e-9),
         decode,
+        queue,
+        fused,
     }
 }
 
@@ -77,6 +92,8 @@ struct Fig4Part {
     sim: Measurement,
     wall: f64,
     decode: DecodeCacheStats,
+    queue: EventQueueStats,
+    fused: FusedMemStats,
 }
 
 fn fig4_finish(mechanism: BarrierMechanism, cores: usize, mut m: cmp_sim::Machine) -> Fig4Part {
@@ -89,6 +106,8 @@ fn fig4_finish(mechanism: BarrierMechanism, cores: usize, mut m: cmp_sim::Machin
         sim: Measurement::new(&summary, &m.stats()),
         wall,
         decode: m.decode_stats(),
+        queue: m.queue_stats(),
+        fused: m.fused_stats(),
     }
 }
 
@@ -105,6 +124,8 @@ fn fold_fig4(cores: usize, parts: &[Fig4Part]) -> ThroughputSample {
     let mut sim = Measurement::default();
     let mut wall = 0f64;
     let mut decode = DecodeCacheStats::default();
+    let mut queue = EventQueueStats::default();
+    let mut fused = FusedMemStats::default();
     let mut digest = 0xcbf2_9ce4_8422_2325u64;
     for part in parts {
         sim.cycles += part.sim.cycles;
@@ -113,6 +134,12 @@ fn fold_fig4(cores: usize, parts: &[Fig4Part]) -> ThroughputSample {
         decode.hits += part.decode.hits;
         decode.builds += part.decode.builds;
         decode.invalidations += part.decode.invalidations;
+        queue.core_events += part.queue.core_events;
+        queue.shared_events += part.queue.shared_events;
+        queue.head_rescans += part.queue.head_rescans;
+        fused.loads += part.fused.loads;
+        fused.stores += part.fused.stores;
+        fused.memo_hits += part.fused.memo_hits;
         sim.episodes.merge(&part.sim.episodes);
         for b in part.sim.stats_digest.to_le_bytes() {
             digest ^= b as u64;
@@ -120,7 +147,14 @@ fn fold_fig4(cores: usize, parts: &[Fig4Part]) -> ThroughputSample {
         }
     }
     sim.stats_digest = digest;
-    sample(&format!("fig4_{cores}core"), sim, wall, decode)
+    sample(
+        &format!("fig4_{cores}core"),
+        sim,
+        wall,
+        decode,
+        queue,
+        fused,
+    )
 }
 
 /// The Figure 4 workload: every barrier mechanism at `cores` cores,
@@ -139,11 +173,35 @@ pub fn fig4_sample(cores: usize, inner: u64, outer: u64) -> ThroughputSample {
     fold_fig4(cores, &parts)
 }
 
+/// [`fig4_sample`] with every engine fast-path knob explicit (see
+/// [`EngineTune`]). The knobs are host-side execution strategies, not
+/// model changes: every combination must yield a bit-identical chained
+/// digest — `tests/determinism.rs` and `throughput --check` pin the full
+/// cross product against the committed [`EXPECTED_FIG4_16CORE_DIGEST`].
+///
+/// # Panics
+///
+/// Panics if any mechanism's run fails.
+pub fn fig4_sample_knobs(
+    cores: usize,
+    inner: u64,
+    outer: u64,
+    tune: EngineTune,
+) -> ThroughputSample {
+    let parts: Vec<Fig4Part> = BarrierMechanism::ALL
+        .into_iter()
+        .map(|mechanism| {
+            let m =
+                build_latency_machine_knobs(mechanism, cores, inner, outer, TraceConfig::Off, tune);
+            fig4_finish(mechanism, cores, m)
+        })
+        .collect();
+    fold_fig4(cores, &parts)
+}
+
 /// [`fig4_sample`] with the decoded-superblock cache forced on or off
-/// (instead of the process-wide default). The cache is a host-side
-/// execution strategy, not a model change: the chained digest must be
-/// bit-identical either way — `tests/determinism.rs` pins both settings
-/// against the committed [`EXPECTED_FIG4_16CORE_DIGEST`].
+/// (instead of the process-wide default); every other knob keeps its
+/// default. See [`fig4_sample_knobs`] for the full set.
 ///
 /// # Panics
 ///
@@ -154,23 +212,11 @@ pub fn fig4_sample_engine(
     outer: u64,
     decode_cache: bool,
 ) -> ThroughputSample {
-    let budget = SimConfig::with_cores(cores).burst_budget;
-    let parts: Vec<Fig4Part> = BarrierMechanism::ALL
-        .into_iter()
-        .map(|mechanism| {
-            let m = build_latency_machine_engine(
-                mechanism,
-                cores,
-                inner,
-                outer,
-                TraceConfig::Off,
-                budget,
-                decode_cache,
-            );
-            fig4_finish(mechanism, cores, m)
-        })
-        .collect();
-    fold_fig4(cores, &parts)
+    let tune = EngineTune {
+        decode_cache,
+        ..EngineTune::defaults(cores)
+    };
+    fig4_sample_knobs(cores, inner, outer, tune)
 }
 
 /// [`fig4_sample`] with a hook that may attach a trace sink (e.g. a race
@@ -224,6 +270,8 @@ pub fn viterbi_sample(data_bits: usize, threads: usize) -> ThroughputSample {
         outcome.sim,
         wall,
         outcome.decode,
+        outcome.queue,
+        outcome.fused,
     )
 }
 
@@ -255,6 +303,8 @@ pub fn viterbi_sample_traced(
         outcome.sim,
         wall,
         outcome.decode,
+        outcome.queue,
+        outcome.fused,
     )
 }
 
@@ -354,11 +404,13 @@ pub struct ThroughputDoc {
 /// Serialize the document as `BENCH_throughput.json` (std-only,
 /// hand-rolled JSON: the repo builds with no registry access).
 ///
-/// Schema `fastbar-throughput/v3` extends v2 with a per-sample `decode`
-/// object (decoded-superblock cache hits/builds/invalidations) — host-side
-/// engine counters; every simulated field keeps its v2 meaning.
+/// Schema `fastbar-throughput/v4` extends v3 with per-sample `queue`
+/// (sharded-event-queue lane pushes and cohort rebuilds; all zero on the
+/// default calendar queue) and `fused` (memory-op-fused executor loads,
+/// stores and line-memo hits) objects — host-side engine counters; every
+/// simulated field keeps its v3 meaning.
 pub fn to_json(doc: &ThroughputDoc) -> String {
-    let mut out = String::from("{\n  \"schema\": \"fastbar-throughput/v3\",\n");
+    let mut out = String::from("{\n  \"schema\": \"fastbar-throughput/v4\",\n");
     out.push_str(&format!("  \"jobs\": {},\n", doc.jobs));
     out.push_str(&format!("  \"host_threads\": {},\n", doc.host_threads));
     out.push_str(&format!(
@@ -396,8 +448,18 @@ pub fn to_json(doc: &ThroughputDoc) -> String {
         ));
         let d = &s.decode;
         out.push_str(&format!(
-            "\"decode\": {{\"hits\": {}, \"builds\": {}, \"invalidations\": {}}}",
+            "\"decode\": {{\"hits\": {}, \"builds\": {}, \"invalidations\": {}}}, ",
             d.hits, d.builds, d.invalidations,
+        ));
+        let q = &s.queue;
+        out.push_str(&format!(
+            "\"queue\": {{\"core_events\": {}, \"shared_events\": {}, \"head_rescans\": {}}}, ",
+            q.core_events, q.shared_events, q.head_rescans,
+        ));
+        let f = &s.fused;
+        out.push_str(&format!(
+            "\"fused\": {{\"loads\": {}, \"stores\": {}, \"memo_hits\": {}}}",
+            f.loads, f.stores, f.memo_hits,
         ));
         out.push('}');
         if i + 1 < samples.len() {
@@ -441,6 +503,22 @@ mod tests {
         }
     }
 
+    fn queue(core_events: u64, shared_events: u64, head_rescans: u64) -> EventQueueStats {
+        EventQueueStats {
+            core_events,
+            shared_events,
+            head_rescans,
+        }
+    }
+
+    fn fused(loads: u64, stores: u64, memo_hits: u64) -> FusedMemStats {
+        FusedMemStats {
+            loads,
+            stores,
+            memo_hits,
+        }
+    }
+
     #[test]
     fn fig4_sample_is_deterministic_in_simulated_terms() {
         let a = fig4_sample(4, 4, 2);
@@ -468,10 +546,24 @@ mod tests {
     #[test]
     fn json_document_has_schema_and_all_samples() {
         let j = to_json(&doc(vec![
-            sample("w1", meas(10, 20, 7), 0.5, decode(100, 4, 1)),
-            sample("w2", meas(1, 2, 9), 0.25, decode(0, 0, 0)),
+            sample(
+                "w1",
+                meas(10, 20, 7),
+                0.5,
+                decode(100, 4, 1),
+                queue(50, 6, 9),
+                fused(30, 2, 25),
+            ),
+            sample(
+                "w2",
+                meas(1, 2, 9),
+                0.25,
+                decode(0, 0, 0),
+                queue(0, 0, 0),
+                fused(0, 0, 0),
+            ),
         ]));
-        assert!(j.contains("fastbar-throughput/v3"));
+        assert!(j.contains("fastbar-throughput/v4"));
         assert!(j.contains("\"jobs\": 2"));
         assert!(j.contains("\"host_threads\": 8"));
         assert!(j.contains("\"serial_wall_seconds\": 1.500000"));
@@ -488,6 +580,17 @@ mod tests {
             "v3 samples carry the decoded-superblock counters"
         );
         assert!(j.contains("\"decode\": {\"hits\": 0, \"builds\": 0, \"invalidations\": 0}"));
+        assert!(
+            j.contains(
+                "\"queue\": {\"core_events\": 50, \"shared_events\": 6, \"head_rescans\": 9}"
+            ),
+            "v4 samples carry the sharded-queue counters"
+        );
+        assert!(
+            j.contains("\"fused\": {\"loads\": 30, \"stores\": 2, \"memo_hits\": 25}"),
+            "v4 samples carry the fused-memory counters"
+        );
+        assert!(j.contains("\"fused\": {\"loads\": 0, \"stores\": 0, \"memo_hits\": 0}"));
     }
 
     #[test]
@@ -497,6 +600,8 @@ mod tests {
             meas(1, 1, 0),
             0.5,
             decode(0, 0, 0),
+            queue(0, 0, 0),
+            fused(0, 0, 0),
         )]));
         assert!(j.contains("\"workload\": \"w\\\"quoted\\\\slash\""));
     }

@@ -11,14 +11,16 @@
 use analyze::RaceDetectorSink;
 use barrier_filter::BarrierMechanism;
 use bench_suite::latency::{barrier_latency, barrier_latency_on};
-use bench_suite::latency::{build_latency_machine_engine, build_latency_machine_traced};
+use bench_suite::latency::{
+    build_latency_machine_knobs, build_latency_machine_on, build_latency_machine_traced, EngineTune,
+};
 use bench_suite::scale::scale_config;
 use bench_suite::throughput::{
     fig4_sample_engine, fig4_sample_observed, EXPECTED_FIG4_16CORE_DIGEST,
     EXPECTED_VITERBI_K5_16T_DIGEST,
 };
 use bench_suite::{build_latency_machine, SweepRunner};
-use cmp_sim::{TraceConfig, TraceSink};
+use cmp_sim::{Measurement, TraceConfig, TraceSink};
 use kernels::viterbi::Viterbi;
 
 /// Run the Figure 4 micro-benchmark twice from scratch and require the
@@ -295,63 +297,162 @@ fn parallel_sweep_matches_serial_sweep() {
 
 /// The engine fast-path contract, as a full matrix: the core-step burst
 /// (consuming a core's own ready events in place while every queued event
-/// is strictly later) and the decoded-superblock cache (executing
-/// pre-decoded instruction runs without touching `Program::fetch`) are
-/// execution shortcuts, not model changes. Every combination of
-/// `burst_budget ∈ {0, 1, 64}` × `decode_cache ∈ {off, on}` must yield a
-/// bit-identical `RunSummary`, full `MachineStats`, and digest for every
-/// barrier mechanism. The matrix is held non-vacuous through the engine's
-/// own host-side counters: budgets 0 and 1 must never burst (a burst
-/// needs at least two steps), budget 64 must; the decode cache must hit
-/// when enabled and stay silent when disabled.
+/// is strictly later), the decoded-superblock cache (executing
+/// pre-decoded instruction runs without touching `Program::fetch`), the
+/// sharded per-core event lanes, and the memory-op-fused decoded executor
+/// are execution shortcuts, not model changes. Every combination of
+/// `burst_budget ∈ {0, 1, 64}` × `decode_cache` × `event_shards` ×
+/// `fused_memory` must yield a bit-identical `RunSummary`, full
+/// `MachineStats`, and digest for every barrier mechanism. The matrix is
+/// held non-vacuous through the engine's own host-side counters: budgets
+/// 0 and 1 must never burst (a burst needs at least two steps), budget 64
+/// must; the decode cache must hit when enabled and stay silent when
+/// disabled; a sharded run must push lane events while a calendar run
+/// reports all-zero queue stats; and fused memory must retire fused
+/// accesses exactly when it and the decode cache are both on — for every
+/// mechanism whose barrier loop touches data memory at all (filter-i
+/// stores its arrival flag then sleeps on an interrupt, so its loop can
+/// legitimately retire zero fused *loads*), with an aggregate check that
+/// fused loads and line-memo hits actually happened somewhere in the
+/// matrix.
 #[test]
 fn engine_fast_paths_never_change_simulated_behaviour() {
     let (cores, inner, outer) = (8, 8, 2);
     let budgets = [0u32, 1, 64];
+    let mut fused_loads_anywhere = 0u64;
+    let mut fused_memo_hits_anywhere = 0u64;
     for mechanism in BarrierMechanism::ALL {
-        let run = |budget: u32, decode: bool| {
-            let mut m = build_latency_machine_engine(
-                mechanism,
-                cores,
-                inner,
-                outer,
-                TraceConfig::Off,
-                budget,
-                decode,
-            );
+        let run = |tune: EngineTune| {
+            let mut m =
+                build_latency_machine_knobs(mechanism, cores, inner, outer, TraceConfig::Off, tune);
             let summary = m.run().expect("barrier loop");
             (
                 summary,
                 m.stats().clone(),
                 m.burst_retired(),
                 m.decode_stats(),
+                m.queue_stats(),
+                m.fused_stats(),
             )
         };
-        let (ref_sum, ref_stats, _, _) = run(0, false);
+        let (ref_sum, ref_stats, ..) = run(EngineTune {
+            burst_budget: 0,
+            decode_cache: false,
+            event_shards: false,
+            fused_memory: false,
+        });
         let ref_digest = ref_stats.digest();
         for budget in budgets {
             for decode in [false, true] {
-                let label = format!("{mechanism} budget={budget} decode={decode}");
-                let (sum, stats, bursts, dstats) = run(budget, decode);
-                assert_eq!(sum, ref_sum, "{label}: RunSummary diverged");
-                assert_eq!(stats, ref_stats, "{label}: full MachineStats diverged");
-                assert_eq!(stats.digest(), ref_digest, "{label}: digest diverged");
-                if budget < 2 {
-                    assert_eq!(bursts, 0, "{label}: a burst needs at least two steps");
-                } else {
-                    assert!(bursts > 0, "{label}: burst path never engaged — vacuous");
-                }
-                if decode {
-                    assert!(dstats.hits > 0, "{label}: decode cache never hit — vacuous");
-                    assert!(dstats.builds > 0, "{label}: decode cache built nothing");
-                } else {
-                    assert_eq!(
-                        dstats,
-                        Default::default(),
-                        "{label}: disabled decode cache must stay silent"
-                    );
+                for shards in [false, true] {
+                    for fused in [false, true] {
+                        let label = format!(
+                            "{mechanism} budget={budget} decode={decode} \
+                             shards={shards} fused={fused}"
+                        );
+                        let (sum, stats, bursts, dstats, qstats, fstats) = run(EngineTune {
+                            burst_budget: budget,
+                            decode_cache: decode,
+                            event_shards: shards,
+                            fused_memory: fused,
+                        });
+                        assert_eq!(sum, ref_sum, "{label}: RunSummary diverged");
+                        assert_eq!(stats, ref_stats, "{label}: full MachineStats diverged");
+                        assert_eq!(stats.digest(), ref_digest, "{label}: digest diverged");
+                        if budget < 2 {
+                            assert_eq!(bursts, 0, "{label}: a burst needs at least two steps");
+                        } else {
+                            assert!(bursts > 0, "{label}: burst path never engaged — vacuous");
+                        }
+                        if decode {
+                            assert!(dstats.hits > 0, "{label}: decode cache never hit — vacuous");
+                            assert!(dstats.builds > 0, "{label}: decode cache built nothing");
+                        } else {
+                            assert_eq!(
+                                dstats,
+                                Default::default(),
+                                "{label}: disabled decode cache must stay silent"
+                            );
+                        }
+                        if shards {
+                            assert!(
+                                qstats.core_events > 0,
+                                "{label}: sharded queue saw no lane events — vacuous"
+                            );
+                        } else {
+                            assert_eq!(
+                                qstats,
+                                Default::default(),
+                                "{label}: calendar queue must report zero lane stats"
+                            );
+                        }
+                        if decode && fused {
+                            let l1d_traffic: u64 =
+                                ref_stats.l1d.iter().map(|c| c.hits + c.misses).sum();
+                            if l1d_traffic > 0 {
+                                assert!(
+                                    fstats.loads + fstats.stores > 0,
+                                    "{label}: loop touches data memory but the fused \
+                                     executor retired nothing — vacuous"
+                                );
+                            }
+                            fused_loads_anywhere += fstats.loads;
+                            fused_memo_hits_anywhere += fstats.memo_hits;
+                        } else {
+                            assert_eq!(
+                                fstats,
+                                Default::default(),
+                                "{label}: fused-memory counters must stay silent"
+                            );
+                        }
+                    }
                 }
             }
+        }
+    }
+    assert!(
+        fused_loads_anywhere > 0,
+        "no mechanism retired a fused load — the fused path is vacuous"
+    );
+    assert!(
+        fused_memo_hits_anywhere > 0,
+        "no mechanism hit the fused line memo — the memo path is vacuous"
+    );
+}
+
+/// The knob matrix beyond the flat topology: one 256-core clustered point
+/// (16 clusters × 16 cores, tree-combining software barrier) must produce
+/// the identical `Measurement` — digest included — on the calendar queue
+/// and on the sharded lanes, with and without the fused executor. This is
+/// the scale regime the sharded queue was designed for, so the
+/// equivalence is asserted where the lane count is largest, and held
+/// non-vacuous through the same counters as the flat matrix.
+#[test]
+fn clustered_256_core_knob_matrix_is_digest_invariant() {
+    let run = |shards: bool, fused: bool| {
+        let mut config = scale_config(256);
+        config.event_shards = shards;
+        config.fused_memory = fused;
+        let mut m = build_latency_machine_on(config, BarrierMechanism::SwHier, 4, 2);
+        let summary = m.run().expect("256-core clustered run");
+        (
+            Measurement::new(&summary, &m.stats()),
+            m.queue_stats(),
+            m.fused_stats(),
+        )
+    };
+    let (reference, q0, _) = run(false, false);
+    assert_eq!(q0, Default::default(), "calendar queue stats must be zero");
+    for (shards, fused) in [(false, true), (true, false), (true, true)] {
+        let label = format!("256-core shards={shards} fused={fused}");
+        let (m, q, f) = run(shards, fused);
+        assert_eq!(m, reference, "{label}: Measurement diverged");
+        if shards {
+            assert!(q.core_events > 0, "{label}: no lane events — vacuous");
+            assert!(q.head_rescans > 0, "{label}: no cohort rebuilds — vacuous");
+        }
+        if fused {
+            assert!(f.loads > 0, "{label}: no fused loads — vacuous");
         }
     }
 }

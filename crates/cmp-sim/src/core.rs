@@ -111,6 +111,17 @@ pub(crate) struct Core {
     pub ifetch_hi: u64,
     /// Fractional-cycle accumulator (twelfths) for superscalar issue.
     pub issue_frac: u64,
+    /// Fused-memory line memo: the L1D line the core's last fused load hit.
+    /// `u64::MAX` (never a valid line address) means no memo.
+    pub mem_line: u64,
+    /// The L1D slot `mem_line` occupied when the memo was taken.
+    pub mem_slot: u32,
+    /// [`Cache::generation`](crate::cache::Cache) stamp the memo was taken
+    /// at; the memo is valid only while the L1D's generation still matches
+    /// (insert/invalidate bump it, so a valid memo proves the line is still
+    /// resident in the same slot). Host-side only — the fused hit replays
+    /// exactly the interpreter's lookup mutations.
+    pub mem_gen: u64,
     pub waiting: Waiting,
     pub stats: CoreStats,
     pub regs: [u64; Reg::COUNT],
@@ -142,6 +153,9 @@ impl Core {
             dec_gen: 0,
             mshr_used: 0,
             issue_frac: 0,
+            mem_line: u64::MAX,
+            mem_slot: 0,
+            mem_gen: 0,
             stats: CoreStats::default(),
         }
     }

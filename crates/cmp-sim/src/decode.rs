@@ -32,9 +32,118 @@
 //! is bit-identical with the cache on or off. The hit/build/invalidation
 //! counters are therefore *excluded* from the digest, like `burst_retired`.
 
-use sim_isa::{line_of, Instr, Program, CODE_BASE, INSTR_BYTES};
+use sim_isa::{line_of, FReg, Instr, MemWidth, Program, Reg, CODE_BASE, INSTR_BYTES};
 
 use crate::machine::ScaledCosts;
+
+/// Pre-resolved memory-op descriptor, baked into the op arena at decode
+/// time (the memory-op-fused executor,
+/// [`SimConfig::fused_memory`](crate::SimConfig::fused_memory)). The
+/// decoded loop dispatches on this small tag instead of re-matching the
+/// full [`Instr`], and runs the cache-hit path fused (per-core line memo);
+/// the class's operand fields are exactly the instruction's, so the fused
+/// executor computes the same address, performs the same alignment check,
+/// and falls into the same miss machinery the interpreter would.
+/// Classification is static, so invalidation needs nothing new: a block
+/// drop or arena flush discards the descriptors with their ops. `Sc` stays
+/// [`MemClass::Other`] — its retire path is event-driven either way.
+/// Displacements are stored as `i32` to keep [`DecodedOp`] at 32 bytes
+/// (two ops per cache line); an instruction whose immediate does not fit
+/// (unreachable from the assembler, possible only for hand-built images)
+/// simply classifies as [`MemClass::Other`] and retires through the
+/// interpreter arm — identical simulated behaviour, just unfused.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum MemClass {
+    /// Not a fuseable memory op (or fusion is disabled for this machine).
+    Other,
+    /// `Ld`/`Ll`: integer load, `link` for the load-linked variant.
+    Load {
+        rd: Reg,
+        base: Reg,
+        off: i32,
+        width: MemWidth,
+        link: bool,
+    },
+    /// `Fld`.
+    FLoad { fd: FReg, base: Reg, off: i32 },
+    /// `St`.
+    Store {
+        src: Reg,
+        base: Reg,
+        off: i32,
+        width: MemWidth,
+    },
+    /// `Fst`.
+    FStore { fs: FReg, base: Reg, off: i32 },
+}
+
+impl MemClass {
+    /// Classify `instr`, or [`MemClass::Other`] when fusion is off.
+    fn of(instr: &Instr, fused: bool) -> MemClass {
+        if !fused {
+            return MemClass::Other;
+        }
+        let narrow = |off: i64| i32::try_from(off).ok();
+        match *instr {
+            Instr::Ld(rd, base, off, width) => match narrow(off) {
+                Some(off) => MemClass::Load {
+                    rd,
+                    base,
+                    off,
+                    width,
+                    link: false,
+                },
+                None => MemClass::Other,
+            },
+            Instr::Ll(rd, base, off) => match narrow(off) {
+                Some(off) => MemClass::Load {
+                    rd,
+                    base,
+                    off,
+                    width: MemWidth::D,
+                    link: true,
+                },
+                None => MemClass::Other,
+            },
+            Instr::Fld(fd, base, off) => match narrow(off) {
+                Some(off) => MemClass::FLoad { fd, base, off },
+                None => MemClass::Other,
+            },
+            Instr::St(src, base, off, width) => match narrow(off) {
+                Some(off) => MemClass::Store {
+                    src,
+                    base,
+                    off,
+                    width,
+                },
+                None => MemClass::Other,
+            },
+            Instr::Fst(fs, base, off) => match narrow(off) {
+                Some(off) => MemClass::FStore { fs, base, off },
+                None => MemClass::Other,
+            },
+            _ => MemClass::Other,
+        }
+    }
+}
+
+/// Host-side counters for the memory-op-fused decoded executor.
+///
+/// Engine metrics in the same family as [`DecodeCacheStats`]: they vary
+/// with [`SimConfig::fused_memory`](crate::SimConfig::fused_memory) while
+/// every simulated number stays bit-identical, so they are deliberately
+/// not part of [`MachineStats`](crate::MachineStats) or its digest. Tests
+/// use them to prove the fused paths actually engaged.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FusedMemStats {
+    /// Loads retired through the fused path (hit or miss).
+    pub loads: u64,
+    /// Stores retired through the fused path.
+    pub stores: u64,
+    /// Fused load hits served off the per-core L1D line memo — no set
+    /// walk, just the identical LRU/hit-counter mutations.
+    pub memo_hits: u64,
+}
 
 /// Op-arena size (in decoded ops) at which the cache is flushed wholesale.
 /// Invalidating a line only unlinks its blocks from the table (the arena
@@ -56,8 +165,13 @@ pub(crate) struct DecodedOp {
     pub instr: Instr,
     /// Pre-scaled issue cost in twelfths for ALU-class instructions and
     /// cache-hit memory operations; unused by classes that retire through
-    /// whole-cycle or event-driven paths.
-    pub units: u64,
+    /// whole-cycle or event-driven paths. `u32` keeps the op at 32 bytes;
+    /// per-instruction costs are table entries far below the range limit.
+    pub units: u32,
+    /// Pre-resolved memory class ([`MemClass::Other`] for every op when the
+    /// machine was built with fused memory disabled, so the decoded loop
+    /// never branches on the knob itself).
+    pub mem: MemClass,
 }
 
 /// Host-side counters for the decoded-superblock cache.
@@ -94,16 +208,20 @@ pub(crate) struct DecodeCache {
     /// The [`Program::code_digest`] the current contents were built
     /// against.
     built_digest: u64,
+    /// Whether [`block_at`](DecodeCache::block_at) bakes real [`MemClass`]
+    /// descriptors (fused-memory executor) or `Other` everywhere.
+    fused: bool,
     stats: DecodeCacheStats,
 }
 
 impl DecodeCache {
-    pub fn new(program: &Program) -> DecodeCache {
+    pub fn new(program: &Program, fused: bool) -> DecodeCache {
         DecodeCache {
             ops: Vec::new(),
             blocks: vec![EMPTY; program.len()],
             gen: 0,
             built_digest: program.code_digest(),
+            fused,
             stats: DecodeCacheStats::default(),
         }
     }
@@ -145,9 +263,11 @@ impl DecodeCache {
         let mut p = pc;
         loop {
             let instr = program.fetch(p)?;
+            let units = costs.units_of(&instr);
             self.ops.push(DecodedOp {
                 instr,
-                units: costs.units_of(&instr),
+                units: u32::try_from(units).expect("issue cost fits u32"),
+                mem: MemClass::of(&instr, self.fused),
             });
             let next = p + INSTR_BYTES;
             // Stop after block enders, at line boundaries (a block never

@@ -26,15 +26,15 @@
 //! deadlock detector below fires only when the queue is *empty*, so it has
 //! no ordering dependence at all: its report iterates cores by index.
 
-use sim_isa::{line_of, Instr, MemWidth, Program, Reg};
+use sim_isa::{line_of, FReg, Instr, MemWidth, Program, Reg};
 
 use crate::bus::{Interconnect, Resource};
 use crate::cache::{Cache, LineState};
 use crate::coherence::{Directory, ReadOutcome};
 use crate::core::{Continuation, Core, Waiting};
-use crate::decode::{DecodeCache, DecodeCacheStats};
+use crate::decode::{DecodeCache, DecodeCacheStats, FusedMemStats, MemClass};
 use crate::error::SimError;
-use crate::event_queue::CalendarQueue;
+use crate::event_queue::{EngineQueue, EventQueueStats};
 use crate::fastmap::FxHashMap;
 use crate::hook::{
     BankHook, FillDecision, HookOutcome, HookViolation, ParkToken, FILL_ERROR_SENTINEL,
@@ -269,7 +269,10 @@ pub struct Machine {
     l3_port: Resource,
     hooks: Vec<Option<Box<dyn BankHook>>>,
     hwnet: DedicatedNetwork,
-    events: CalendarQueue<Ev>,
+    /// The event queue: per-core lanes + a shared lane
+    /// ([`SimConfig::event_shards`]) or the single calendar queue. Lane
+    /// routing lives in [`schedule`](Machine::schedule).
+    events: EngineQueue<Ev>,
     now: u64,
     /// Fills parked at bank hooks (O(1) by core and by token; see
     /// [`ParkedSet`]).
@@ -314,6 +317,9 @@ pub struct Machine {
     /// Cached [`SimConfig::decode_cache`]: routes `CoreReady` stepping
     /// through the decoded executor or the reference interpreter.
     decode_on: bool,
+    /// Memory-op-fused executor counters (host-side; see
+    /// [`FusedMemStats`]).
+    fused: FusedMemStats,
     /// Cores currently holding a LL reservation; lets the per-store
     /// [`clear_links`](Machine::clear_links) broadcast skip its all-cores
     /// scan in the (overwhelmingly common) no-reservation case.
@@ -370,7 +376,7 @@ impl Machine {
             l3_port: Resource::new(),
             hooks,
             hwnet,
-            events: CalendarQueue::new(),
+            events: EngineQueue::new(config.event_shards, n),
             now: 0,
             parked: ParkedSet::new(n),
             next_token: 0,
@@ -384,8 +390,9 @@ impl Machine {
             burst_core: usize::MAX,
             burst_ready: None,
             burst_retired: 0,
-            decode: DecodeCache::new(&program),
+            decode: DecodeCache::new(&program, config.decode_cache && config.fused_memory),
             decode_on: config.decode_cache,
+            fused: FusedMemStats::default(),
             live_links: 0,
             pending_patches: Vec::new(),
             config,
@@ -401,8 +408,17 @@ impl Machine {
         m
     }
 
+    /// Enqueue an event, routing it to its queue lane: core-addressed
+    /// events (ready, store retire, fills) go to that core's lane, bank
+    /// hook traffic to the shared lane. Routing is pure dispatch — the
+    /// drain order is the same total `(cycle, seq)` order either way.
     fn schedule(&mut self, cycle: u64, ev: Ev) {
-        self.events.push(cycle, ev);
+        let lane = match ev {
+            Ev::CoreReady(c) | Ev::StoreRetire(c) => c as usize,
+            Ev::FillReady { core, .. } | Ev::FillDone { core, .. } => core as usize,
+            Ev::HookInvalidate { .. } | Ev::HookDeadline { .. } => self.cores.len(),
+        };
+        self.events.push(lane, cycle, ev);
     }
 
     fn trace(&mut self, ev: TraceEvent) {
@@ -482,11 +498,34 @@ impl Machine {
                     limit: self.config.cycle_limit,
                 });
             }
-            let (cycle, ev) = self.events.pop().expect("peeked");
-            self.now = self.now.max(cycle);
-            match ev {
-                Ev::CoreReady(c) => self.core_ready_burst(c as usize, pause_at)?,
-                ev => self.dispatch(ev)?,
+            // Same-cycle cohort drain. Every event in the cohort shares
+            // `head_cycle`, so the pause and cycle-limit gates above hold
+            // for all of them and are checked once instead of per event;
+            // only what an event can actually change — core liveness, and
+            // the queue head via pushes — is re-checked inside. Events
+            // pushed *at* `head_cycle` mid-cohort (store retires chaining
+            // at `now`, hw-barrier releases) join the cohort in `seq`
+            // order, exactly as a pop-one-reconsider loop would drain
+            // them.
+            self.now = self.now.max(head_cycle);
+            while let Some(ev) = self.events.pop_at(head_cycle) {
+                match ev {
+                    Ev::CoreReady(c) if self.events.all_later_than(self.now) => {
+                        self.core_ready_burst(c as usize, pause_at)?;
+                    }
+                    // With another event pending at `now`, the burst gate
+                    // would fail after one step no matter what the step
+                    // does (its deferred ready lies at `>= now`), so skip
+                    // the defer/flush frame: `finish` is every deferring
+                    // path's last event push, so pushing the `CoreReady`
+                    // there directly assigns the identical `seq` the
+                    // flush would have.
+                    Ev::CoreReady(c) => self.step_once(c as usize)?,
+                    ev => self.dispatch(ev)?,
+                }
+                if self.live_cores == 0 {
+                    return Ok(RunState::Finished(self.summary()));
+                }
             }
         }
     }
@@ -604,6 +643,23 @@ impl Machine {
     /// executor actually engaged.
     pub fn decode_stats(&self) -> DecodeCacheStats {
         self.decode.stats()
+    }
+
+    /// Sharded-event-queue counters so far (per-lane push counts, head
+    /// rescans). All zero when the machine runs the calendar queue
+    /// ([`SimConfig::event_shards`] off) — which is what lets tests prove
+    /// the knob actually switched implementations. Host-side engine
+    /// metrics, not part of [`MachineStats`] or its digest.
+    pub fn queue_stats(&self) -> EventQueueStats {
+        self.events.stats()
+    }
+
+    /// Memory-op-fused executor counters so far (fused loads/stores, line-
+    /// memo hits). All zero unless both [`SimConfig::decode_cache`] and
+    /// [`SimConfig::fused_memory`] are on. Host-side engine metrics, not
+    /// part of [`MachineStats`] or its digest.
+    pub fn fused_stats(&self) -> FusedMemStats {
+        self.fused
     }
 
     /// Stage a self-modifying-code patch: replace the instruction at `pc`
@@ -1606,7 +1662,51 @@ impl Machine {
         let core = &mut self.cores[c];
         core.dec_pos = pos + 1;
         core.dec_pc = pc + sim_isa::INSTR_BYTES;
-        self.exec_instr(c, pc, op.instr, op.units)
+        // Memory-op-fused dispatch: the decode cache bakes `Other` for
+        // every op when fusion is off, so this match *is* the knob — the
+        // hot loop never tests the config. The fused arms perform exactly
+        // the interpreter arms' simulated actions in the same order (see
+        // each helper's digest argument); only the dispatch and the L1D
+        // set walk are elided.
+        let units = u64::from(op.units);
+        match op.mem {
+            MemClass::Other => self.exec_instr(c, pc, op.instr, units),
+            MemClass::Load {
+                rd,
+                base,
+                off,
+                width,
+                link,
+            } => self.exec_load_fused(c, pc, rd, base, i64::from(off), width, link, units),
+            MemClass::FLoad { fd, base, off } => {
+                self.exec_fload_fused(c, pc, fd, base, i64::from(off), units)
+            }
+            MemClass::Store {
+                src,
+                base,
+                off,
+                width,
+            } => {
+                self.fused.stores += 1;
+                let addr = self.cores[c].reg(base).wrapping_add(off as i64 as u64);
+                let v = self.cores[c].reg(src);
+                self.exec_store(c, pc, addr, width, v, units, pc + sim_isa::INSTR_BYTES)
+            }
+            MemClass::FStore { fs, base, off } => {
+                self.fused.stores += 1;
+                let addr = self.cores[c].reg(base).wrapping_add(off as i64 as u64);
+                let bits = self.cores[c].freg(fs).to_bits();
+                self.exec_store(
+                    c,
+                    pc,
+                    addr,
+                    MemWidth::D,
+                    bits,
+                    units,
+                    pc + sim_isa::INSTR_BYTES,
+                )
+            }
+        }
     }
 
     /// Execute one already-fetched instruction at `pc` on core `c`.
@@ -1969,6 +2069,156 @@ impl Machine {
                 width,
                 set_link,
             },
+            parked: matches!(access, Access::Parked),
+        };
+        Ok(())
+    }
+
+    /// Fused-executor integer load: [`exec_load`](Machine::exec_load) with
+    /// the L1D set walk memoized per core. Digest argument: the memo is
+    /// valid only while the L1D's generation is unchanged since it was
+    /// taken, and only inserts/invalidations bump the generation, so a
+    /// valid memo proves the line is still resident in the memoized slot —
+    /// exactly the case where `Cache::lookup` would hit. [`Cache::touch`]
+    /// then applies the identical tick/LRU/hit-counter mutations the
+    /// lookup's hit arm would, after the identical `loads` increment, so
+    /// every digest-covered number is bit-for-bit the interpreter's.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_load_fused(
+        &mut self,
+        c: usize,
+        pc: u64,
+        rd: Reg,
+        base: Reg,
+        off: i64,
+        width: MemWidth,
+        set_link: bool,
+        units: u64,
+    ) -> Result<(), SimError> {
+        let next = pc + sim_isa::INSTR_BYTES;
+        let addr = self.cores[c].reg(base).wrapping_add(off as u64);
+        self.check_aligned(c, pc, addr, width.bytes())?;
+        let line = line_of(addr);
+        self.fused.loads += 1;
+        self.cores[c].stats.loads += 1;
+        let hit = if self.cores[c].mem_line == line
+            && self.cores[c].mem_gen == self.l1d[c].generation()
+        {
+            self.fused.memo_hits += 1;
+            let slot = self.cores[c].mem_slot;
+            self.l1d[c].touch(slot, line);
+            true
+        } else if let Some(slot) = self.l1d[c].lookup_slot(line) {
+            let gen = self.l1d[c].generation();
+            let core = &mut self.cores[c];
+            core.mem_line = line;
+            core.mem_slot = slot;
+            core.mem_gen = gen;
+            true
+        } else {
+            false
+        };
+        if hit {
+            // Width-specialized read: `ldd`/`ll` dominate the kernels, and
+            // the constant-width call lets the 8-byte copy compile to one
+            // load instead of a variable-length move.
+            let v = if width == MemWidth::D {
+                self.mem.read_u64(addr)
+            } else {
+                self.mem.read_le(addr, width.bytes() as usize)
+            };
+            self.cores[c].set_reg(rd, v);
+            if set_link {
+                self.set_link(c, line);
+            }
+            self.trace(TraceEvent::DataRead {
+                core: c,
+                addr,
+                bytes: width.bytes(),
+            });
+            self.finish_units(c, units, next);
+            return Ok(());
+        }
+        let access = self.miss_path(
+            c,
+            line,
+            AccessKind::DRead,
+            self.now + self.config.timing.load,
+            FillPurpose::Resume,
+        )?;
+        self.cores[c].pc = next;
+        self.cores[c].stats.instructions += 1;
+        self.cores[c].waiting = Waiting::Fill {
+            line,
+            cont: Continuation::Load {
+                rd,
+                addr,
+                width,
+                set_link,
+            },
+            parked: matches!(access, Access::Parked),
+        };
+        Ok(())
+    }
+
+    /// Fused-executor floating-point load: the `Fld` interpreter arm with
+    /// the same per-core line memo as
+    /// [`exec_load_fused`](Machine::exec_load_fused).
+    fn exec_fload_fused(
+        &mut self,
+        c: usize,
+        pc: u64,
+        fd: FReg,
+        base: Reg,
+        off: i64,
+        units: u64,
+    ) -> Result<(), SimError> {
+        let next = pc + sim_isa::INSTR_BYTES;
+        let addr = self.cores[c].reg(base).wrapping_add(off as u64);
+        self.check_aligned(c, pc, addr, 8)?;
+        let line = line_of(addr);
+        self.fused.loads += 1;
+        self.cores[c].stats.loads += 1;
+        let hit = if self.cores[c].mem_line == line
+            && self.cores[c].mem_gen == self.l1d[c].generation()
+        {
+            self.fused.memo_hits += 1;
+            let slot = self.cores[c].mem_slot;
+            self.l1d[c].touch(slot, line);
+            true
+        } else if let Some(slot) = self.l1d[c].lookup_slot(line) {
+            let gen = self.l1d[c].generation();
+            let core = &mut self.cores[c];
+            core.mem_line = line;
+            core.mem_slot = slot;
+            core.mem_gen = gen;
+            true
+        } else {
+            false
+        };
+        if hit {
+            let v = self.mem.read_f64(addr);
+            self.cores[c].set_freg(fd, v);
+            self.trace(TraceEvent::DataRead {
+                core: c,
+                addr,
+                bytes: 8,
+            });
+            self.finish_units(c, units, next);
+            return Ok(());
+        }
+        let access = self.miss_path(
+            c,
+            line,
+            AccessKind::DRead,
+            self.now + self.config.timing.load,
+            FillPurpose::Resume,
+        )?;
+        self.cores[c].pc = next;
+        self.cores[c].stats.instructions += 1;
+        self.cores[c].waiting = Waiting::Fill {
+            line,
+            cont: Continuation::FLoad { fd, addr },
             parked: matches!(access, Access::Parked),
         };
         Ok(())

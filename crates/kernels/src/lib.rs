@@ -48,4 +48,4 @@ pub mod ocean;
 pub mod viterbi;
 
 pub use error::KernelError;
-pub use harness::{KernelOutcome, REPS};
+pub use harness::{EngineKnobs, KernelOutcome, REPS};

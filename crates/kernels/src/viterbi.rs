@@ -19,7 +19,7 @@ use cmp_sim::{FaultPlan, FaultReport, TraceConfig, TraceSink};
 use sim_isa::{Asm, MemWidth, Program, Reg};
 
 use crate::harness::{
-    check_u64, emit_rep_loop, run_reps_faulted, KernelBuild, KernelOutcome, REPS,
+    check_u64, emit_rep_loop, run_reps_faulted, EngineKnobs, KernelBuild, KernelOutcome, REPS,
 };
 use crate::{input, KernelError};
 
@@ -224,7 +224,37 @@ impl Viterbi {
                 Some((threads, mechanism)),
                 TraceConfig::Off,
                 &FaultPlan::none(),
-                Some(decode_cache),
+                EngineKnobs {
+                    decode_cache: Some(decode_cache),
+                    ..EngineKnobs::default()
+                },
+                |_| None,
+            )?
+            .0
+             .0)
+    }
+
+    /// [`run_parallel`](Viterbi::run_parallel) with any subset of the
+    /// engine fast-path knobs overridden (see [`EngineKnobs`]). Every
+    /// combination must yield a bit-identical outcome digest;
+    /// `throughput --check` asserts the full cross product against the
+    /// committed workload constant.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_parallel`](Viterbi::run_parallel).
+    pub fn run_parallel_knobs(
+        &self,
+        threads: usize,
+        mechanism: BarrierMechanism,
+        knobs: EngineKnobs,
+    ) -> Result<KernelOutcome, KernelError> {
+        Ok(self
+            .run_tuned(
+                Some((threads, mechanism)),
+                TraceConfig::Off,
+                &FaultPlan::none(),
+                knobs,
                 |_| None,
             )?
             .0
@@ -308,7 +338,7 @@ impl Viterbi {
         faults: &FaultPlan,
         observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
     ) -> Result<((KernelOutcome, FaultReport), Program), KernelError> {
-        self.run_tuned(parallel, trace, faults, None, observe)
+        self.run_tuned(parallel, trace, faults, EngineKnobs::default(), observe)
     }
 
     fn run_tuned(
@@ -316,7 +346,7 @@ impl Viterbi {
         parallel: Option<(usize, BarrierMechanism)>,
         trace: TraceConfig,
         faults: &FaultPlan,
-        decode_cache: Option<bool>,
+        knobs: EngineKnobs,
         observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
     ) -> Result<((KernelOutcome, FaultReport), Program), KernelError> {
         let s_count = self.states();
@@ -329,9 +359,7 @@ impl Viterbi {
             None => (KernelBuild::sequential(), None),
         };
         b.trace = trace;
-        if let Some(decode) = decode_cache {
-            b.config.decode_cache = decode;
-        }
+        knobs.apply(&mut b.config);
         if let Some(bar) = &barrier {
             b.sink = observe(bar);
         }

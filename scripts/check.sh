@@ -42,6 +42,22 @@ FASTBAR_DECODE_CACHE=0 \
 cargo run --release --offline -p bench-suite --bin throughput -q -- \
     --check --jobs 2 --out "$(mktemp -t fastbar_check_throughput_nodecode.XXXXXX.json)"
 
+echo "==> throughput digest smoke (sharded event lanes enabled)"
+# Same committed digests with the opt-in sharded per-core event lanes on
+# process-wide: queue implementation is a host-side choice, so a digest
+# difference here means the sharded queue reordered simulated events.
+FASTBAR_EVENT_SHARDS=1 \
+cargo run --release --offline -p bench-suite --bin throughput -q -- \
+    --check --jobs 2 --out "$(mktemp -t fastbar_check_throughput_shards.XXXXXX.json)"
+
+echo "==> throughput digest smoke (fused memory disabled)"
+# Same committed digests with the memory-op-fused decoded executor off:
+# the fused path is a host-side shortcut over the exact cache model, so a
+# digest difference here means fusion changed simulated behaviour.
+FASTBAR_FUSED_MEMORY=0 \
+cargo run --release --offline -p bench-suite --bin throughput -q -- \
+    --check --jobs 2 --out "$(mktemp -t fastbar_check_throughput_nofuse.XXXXXX.json)"
+
 echo "==> chaos recovery smoke (fixed seed, quick grid)"
 # Quick fault-injection sweep at a pinned seed: every point must produce
 # validated kernel output, quiescent filter tables and a bit-identical
