@@ -1,0 +1,229 @@
+//! `fastbar-serve`: the batch sweep daemon and its client, one binary.
+//!
+//! ```text
+//! fastbar_serve serve    (--unix PATH | --tcp ADDR) [--cache DIR] [--jobs N]
+//! fastbar_serve submit   (--unix PATH | --tcp ADDR) [--quick] [--check]
+//! fastbar_serve ping     (--unix PATH | --tcp ADDR)
+//! fastbar_serve shutdown (--unix PATH | --tcp ADDR)
+//! ```
+//!
+//! `serve` listens on a Unix-domain socket or TCP address and answers
+//! the line-delimited JSON protocol documented in
+//! [`bench_suite::serve`], scheduling each batch across `--jobs` host
+//! workers (default: all host threads) and caching every result under
+//! `--cache` (default: `.fastbar-cache`) keyed by the spec digest — a
+//! resubmitted job is served byte-identically from disk without
+//! simulating a cycle.
+//!
+//! `submit` sends the standard suite — the Figure 4 sweep (every
+//! mechanism at 16 cores, 64 × 64 barriers) plus the Viterbi workload —
+//! as one batch, prints a result table, and with `--check` asserts the
+//! committed digests
+//! ([`EXPECTED_FIG4_16CORE_DIGEST`](bench_suite::throughput::EXPECTED_FIG4_16CORE_DIGEST)
+//! /
+//! [`EXPECTED_VITERBI_K5_16T_DIGEST`](bench_suite::throughput::EXPECTED_VITERBI_K5_16T_DIGEST))
+//! against what came off the wire. `--quick` shrinks rep counts (and is
+//! rejected with `--check`: the committed digests are full-size).
+
+use std::path::PathBuf;
+
+use bench_suite::serve::{
+    check_suite, suite_specs, Client, Endpoint, Listener, ResultCache, Server,
+};
+use bench_suite::{report, SweepRunner};
+use cmp_sim::Json;
+
+const USAGE: &str = "\
+Usage: fastbar_serve <command> (--unix PATH | --tcp ADDR) [options]
+
+Commands:
+  serve       run the daemon until a client sends shutdown
+  submit      submit the standard fig4+viterbi suite as one batch
+  ping        check the daemon is alive and speaks fastbar-serve/v1
+  shutdown    ask the daemon to exit
+
+Options:
+      --unix PATH    connect/listen on a Unix-domain socket at PATH
+      --tcp ADDR     connect/listen on a TCP address like 127.0.0.1:7345
+      --cache DIR    (serve) result cache directory (default: .fastbar-cache)
+      --jobs N       (serve) worker threads per batch (default: all host threads)
+      --quick        (submit) shrink rep counts for a smoke run
+      --check        (submit) assert the committed full-size digests
+  -h, --help         print this help
+";
+
+fn die(message: &str) -> ! {
+    eprintln!("fastbar_serve: {message}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Flags shared by every command, parsed from the arguments after the
+/// command word. Flags a command does not use are rejected by `finish`.
+struct Flags {
+    endpoint: Endpoint,
+    cache: Option<String>,
+    jobs: Option<usize>,
+    quick: bool,
+    check: bool,
+}
+
+fn parse_flags(args: &[String], accept: &[&str]) -> Flags {
+    let mut endpoint = None;
+    let mut cache = None;
+    let mut jobs = None;
+    let mut quick = false;
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let mut value = |flag: &str| {
+            inline
+                .clone()
+                .or_else(|| it.next().cloned())
+                .unwrap_or_else(|| die(&format!("{flag} requires a value")))
+        };
+        if !accept.contains(&flag) && flag != "--unix" && flag != "--tcp" {
+            die(&format!("unrecognized argument {arg:?}"));
+        }
+        match flag {
+            "--unix" => endpoint = Some(Endpoint::Unix(PathBuf::from(value("--unix")))),
+            "--tcp" => endpoint = Some(Endpoint::Tcp(value("--tcp"))),
+            "--cache" => cache = Some(value("--cache")),
+            "--jobs" => {
+                let v = value("--jobs");
+                jobs = Some(v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                    die(&format!("--jobs: expected a positive integer, got {v:?}"))
+                }));
+            }
+            "--quick" => quick = true,
+            "--check" => check = true,
+            _ => unreachable!("accept list checked above"),
+        }
+    }
+    let endpoint = endpoint.unwrap_or_else(|| die("one of --unix PATH or --tcp ADDR is required"));
+    Flags {
+        endpoint,
+        cache,
+        jobs,
+        quick,
+        check,
+    }
+}
+
+fn connect(endpoint: &Endpoint) -> Client {
+    Client::connect(endpoint).unwrap_or_else(|e| {
+        die(&format!(
+            "connecting to {endpoint}: {e} (is the daemon running?)"
+        ))
+    })
+}
+
+fn cmd_serve(args: &[String]) {
+    let flags = parse_flags(args, &["--cache", "--jobs"]);
+    let cache_dir = flags.cache.unwrap_or_else(|| ".fastbar-cache".into());
+    let runner = flags
+        .jobs
+        .map_or_else(SweepRunner::available, SweepRunner::new);
+    let listener = Listener::bind(&flags.endpoint)
+        .unwrap_or_else(|e| die(&format!("binding {}: {e}", flags.endpoint)));
+    let bound = listener
+        .endpoint()
+        .unwrap_or_else(|e| die(&format!("resolving bound address: {e}")));
+    println!(
+        "fastbar-serve listening on {bound} ({} jobs, cache at {cache_dir})",
+        runner.jobs()
+    );
+    let server = Server::new(ResultCache::new(cache_dir), runner);
+    if let Err(e) = listener.serve(&server) {
+        eprintln!("fastbar_serve: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+    println!("fastbar-serve: shutdown acknowledged, exiting");
+}
+
+fn cmd_submit(args: &[String]) {
+    let flags = parse_flags(args, &["--quick", "--check"]);
+    if flags.quick && flags.check {
+        die("--check asserts the full-size digests; drop --quick");
+    }
+    let mut client = connect(&flags.endpoint);
+    let specs = suite_specs(flags.quick);
+    let items = client
+        .batch(&specs)
+        .unwrap_or_else(|e| die(&format!("batch failed: {e}")));
+
+    let header: Vec<String> = ["spec", "cached", "sim Mcycles", "cyc/rep", "stats digest"]
+        .map(String::from)
+        .to_vec();
+    let rows: Vec<Vec<String>> = specs
+        .iter()
+        .zip(&items)
+        .map(|(spec, item)| {
+            let j = item.json();
+            let label = match spec.exec.mechanism {
+                Some(m) => format!("{} {m}", spec.workload.kind()),
+                None => spec.workload.kind().to_string(),
+            };
+            vec![
+                label,
+                if item.cached { "hit" } else { "live" }.to_string(),
+                report::f1(j.get("cycles").and_then(Json::as_u64).unwrap_or(0) as f64 / 1e6),
+                report::f1(
+                    j.get("cycles_per_rep")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0),
+                ),
+                format!("{:#018x}", item.stats_digest()),
+            ]
+        })
+        .collect();
+    print!("{}", report::table(&header, &rows));
+    let hits = items.iter().filter(|i| i.cached).count();
+    println!();
+    println!("{} items, {hits} served from cache", items.len());
+
+    if flags.check {
+        if let Err(e) = check_suite(&items) {
+            eprintln!("fastbar_serve: digest check FAILED: {e}");
+            std::process::exit(1);
+        }
+        println!("check passed: both committed digests reproduced over the wire");
+    }
+}
+
+fn cmd_ping(args: &[String]) {
+    let flags = parse_flags(args, &[]);
+    let mut client = connect(&flags.endpoint);
+    match client.ping() {
+        Ok(jobs) => println!("pong from {} ({jobs} jobs)", flags.endpoint),
+        Err(e) => die(&format!("ping failed: {e}")),
+    }
+}
+
+fn cmd_shutdown(args: &[String]) {
+    let flags = parse_flags(args, &[]);
+    let mut client = connect(&flags.endpoint);
+    match client.shutdown() {
+        Ok(()) => println!("daemon at {} acknowledged shutdown", flags.endpoint),
+        Err(e) => die(&format!("shutdown failed: {e}")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("ping") => cmd_ping(&args[1..]),
+        Some("shutdown") => cmd_shutdown(&args[1..]),
+        Some(other) => die(&format!("unknown command {other:?}")),
+        None => die("a command is required"),
+    }
+}

@@ -19,9 +19,10 @@
 
 use barrier_filter::BarrierMechanism;
 use bench_suite::cli::Cli;
-use bench_suite::latency::barrier_latency_traced;
+use bench_suite::latency::run_latency_with;
 use bench_suite::report;
 use cmp_sim::TraceConfig;
+use kernels::{RunAttachments, RunSpec};
 
 /// The core count whose points are traced under `--trace`.
 const TRACED_CORES: usize = 16;
@@ -68,7 +69,8 @@ fn main() {
                 },
                 _ => TraceConfig::Off,
             };
-            barrier_latency_traced(mechanism, cores, inner, outer, trace)
+            let spec = RunSpec::fig4(mechanism, cores, inner, outer);
+            run_latency_with(&spec, RunAttachments::traced(trace))
                 .unwrap_or_else(|e| panic!("{mechanism} @ {cores} cores failed: {e}"))
         })
         .unwrap_or_else(|e| panic!("fig4 sweep: {e}"));

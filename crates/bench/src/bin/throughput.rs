@@ -32,12 +32,12 @@
 use barrier_filter::BarrierMechanism;
 use bench_suite::cli::Cli;
 use bench_suite::throughput::{
-    fig4_sample, fig4_sample_knobs, run_suite, to_json, viterbi_sample, viterbi_sample_traced,
+    fig4_sample, fig4_sample_with, run_suite, to_json, viterbi_sample, viterbi_sample_traced,
     ThroughputDoc, ThroughputSample, EXPECTED_FIG4_16CORE_DIGEST, EXPECTED_VITERBI_K5_16T_DIGEST,
 };
-use bench_suite::{report, EngineTune, SweepRunner};
+use bench_suite::{report, SweepRunner};
 use kernels::viterbi::Viterbi;
-use kernels::EngineKnobs;
+use kernels::{EngineKnobs, ExecSpec, RunAttachments};
 
 /// Wall-time repetitions per workload under `--check`. The reported wall
 /// is the median of this many serial runs.
@@ -89,13 +89,13 @@ fn run_check(samples: &mut [ThroughputSample], inner: u64, outer: u64, vit_bits:
         for shards in [false, true] {
             for fused in [false, true] {
                 let label = format!("decode={decode} shards={shards} fused={fused}");
-                let tune = EngineTune {
-                    decode_cache: decode,
-                    event_shards: shards,
-                    fused_memory: fused,
-                    ..EngineTune::defaults(16)
+                let knobs = EngineKnobs {
+                    decode_cache: Some(decode),
+                    event_shards: Some(shards),
+                    fused_memory: Some(fused),
+                    ..EngineKnobs::default()
                 };
-                let fig4 = fig4_sample_knobs(16, inner, outer, tune);
+                let fig4 = fig4_sample_with(16, inner, outer, knobs, |_| None);
                 assert_eq!(
                     fig4.sim.stats_digest, EXPECTED_FIG4_16CORE_DIGEST,
                     "fig4_16core [{label}]: digest {:#018x} != committed \
@@ -103,14 +103,12 @@ fn run_check(samples: &mut [ThroughputSample], inner: u64, outer: u64, vit_bits:
                      changed simulated behaviour",
                     fig4.sim.stats_digest
                 );
-                let knobs = EngineKnobs {
-                    decode_cache: Some(decode),
-                    event_shards: Some(shards),
-                    fused_memory: Some(fused),
-                };
+                let mut exec = ExecSpec::parallel(16, BarrierMechanism::FilterD);
+                exec.knobs = knobs;
                 let vit = Viterbi::new(vit_bits)
-                    .run_parallel_knobs(16, BarrierMechanism::FilterD, knobs)
-                    .expect("viterbi check workload");
+                    .run_with(&exec, RunAttachments::default())
+                    .expect("viterbi check workload")
+                    .outcome;
                 assert_eq!(
                     vit.sim.stats_digest, EXPECTED_VITERBI_K5_16T_DIGEST,
                     "viterbi_k5_16t [{label}]: digest {:#018x} != committed \

@@ -22,7 +22,7 @@ use barrier_filter::BarrierMechanism;
 use cmp_sim::{json_escape, FaultPlan, FaultReport, Lcg, Measurement};
 use kernels::livermore::Loop2;
 use kernels::viterbi::Viterbi;
-use kernels::{KernelError, KernelOutcome};
+use kernels::{ExecSpec, KernelError, KernelOutcome, RunAttachments};
 
 use crate::sweep::SweepRunner;
 
@@ -68,12 +68,13 @@ impl ChaosWorkload {
         plan: &FaultPlan,
     ) -> Result<(KernelOutcome, FaultReport), KernelError> {
         let (size, threads) = self.shape(quick);
-        match self {
-            ChaosWorkload::Viterbi => {
-                Viterbi::new(size).run_parallel_faulted(threads, mechanism, plan)
-            }
-            ChaosWorkload::Loop2 => Loop2::new(size).run_parallel_faulted(threads, mechanism, plan),
-        }
+        let exec = ExecSpec::parallel(threads, mechanism);
+        let att = RunAttachments::with_plan(plan);
+        let out = match self {
+            ChaosWorkload::Viterbi => Viterbi::new(size).run_with(&exec, att),
+            ChaosWorkload::Loop2 => Loop2::new(size).run_with(&exec, att),
+        }?;
+        Ok((out.outcome, out.faults))
     }
 }
 

@@ -248,6 +248,7 @@ mod tests {
             decode: Default::default(),
             queue: Default::default(),
             fused: Default::default(),
+            bus_mean_wait: 0.0,
         })
     }
 

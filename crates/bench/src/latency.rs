@@ -1,246 +1,63 @@
 //! The Figure 4 micro-benchmark: average time per barrier over a loop of
 //! consecutive barriers with no work between them (the methodology of §4.2,
 //! following Culler/Singh/Gupta).
+//!
+//! The workload itself lives in the kernels crate as
+//! [`Fig4`], addressed — like every other workload — by a
+//! serializable [`RunSpec`]. This module is the measurement view: it maps
+//! a finished run onto [`LatencyPoint`] (cycles/barrier plus the bus
+//! saturation signal) and keeps the two legacy-shaped helpers the
+//! wall-clock benchmark and fixtures still want.
 
-use barrier_filter::{Barrier, BarrierMechanism, BarrierSystem};
-use cmp_sim::{
-    AddressSpace, Machine, MachineBuilder, Measurement, SimConfig, SimError, TraceConfig, TraceSink,
-};
-use sim_isa::{Asm, Reg};
+use barrier_filter::BarrierMechanism;
+use cmp_sim::{Machine, Measurement};
+use kernels::{Fig4, KernelError, RunAttachments, RunSpec, WorkloadSpec};
 
-/// Build (but do not run) the Figure 4 micro-benchmark machine: `inner`
-/// consecutive barriers of `mechanism` across `cores` threads, repeated
-/// `outer` times with no work in between. Shared by [`barrier_latency`]
-/// and the wall-clock throughput benchmark.
+/// Build (but do not run) the Figure 4 machine described by `spec`, with
+/// attachments (trace selection, observer hooks). Split from the run so
+/// the wall-clock throughput benchmark can time only the simulation.
+///
+/// # Errors
+///
+/// [`KernelError::Spec`] if the workload is not `fig4` (or is sequential,
+/// or would fall back); barrier/assembly/build failures otherwise.
+pub fn fig4_machine_with(
+    spec: &RunSpec,
+    att: &mut RunAttachments<'_>,
+) -> Result<Machine, KernelError> {
+    spec.validate()?;
+    match spec.workload {
+        WorkloadSpec::Fig4 { inner, outer } => Fig4::new(inner, outer).build(&spec.exec, att),
+        ref other => Err(KernelError::Spec(format!(
+            "latency measurement wants a fig4 workload, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// [`fig4_machine_with`] with no attachments.
+///
+/// # Errors
+///
+/// Same as [`fig4_machine_with`].
+pub fn fig4_machine(spec: &RunSpec) -> Result<Machine, KernelError> {
+    fig4_machine_with(spec, &mut RunAttachments::default())
+}
+
+/// Legacy-shaped sugar over [`fig4_machine`]: `inner` consecutive barriers
+/// of `mechanism` across `cores` threads, repeated `outer` times.
 ///
 /// # Panics
 ///
-/// Panics on assembler/build failures (static program construction bugs).
+/// Panics on spec/assembler/build failures (static construction bugs).
 pub fn build_latency_machine(
     mechanism: BarrierMechanism,
     cores: usize,
     inner: u64,
     outer: u64,
 ) -> Machine {
-    build_latency_machine_traced(mechanism, cores, inner, outer, TraceConfig::Off)
-}
-
-/// [`build_latency_machine`] with trace events streamed to the sink
-/// `trace` selects. Tracing is an observer: the machine's simulated
-/// behaviour is bit-identical to the untraced build.
-///
-/// # Panics
-///
-/// Panics on assembler/build/trace-sink failures.
-pub fn build_latency_machine_traced(
-    mechanism: BarrierMechanism,
-    cores: usize,
-    inner: u64,
-    outer: u64,
-    trace: TraceConfig,
-) -> Machine {
-    let budget = SimConfig::with_cores(cores).burst_budget;
-    build_latency_machine_tuned(mechanism, cores, inner, outer, trace, budget)
-}
-
-/// [`build_latency_machine_traced`] with an explicit core-step burst
-/// budget (`0` disables the engine's burst fast path entirely). The burst
-/// path is an engine optimization, not a model change: any budget must
-/// yield a bit-identical [`MachineStats::digest`](cmp_sim::MachineStats)
-/// — the invariance test in `tests/determinism.rs` holds this line.
-///
-/// # Panics
-///
-/// Panics on assembler/build/trace-sink failures.
-pub fn build_latency_machine_tuned(
-    mechanism: BarrierMechanism,
-    cores: usize,
-    inner: u64,
-    outer: u64,
-    trace: TraceConfig,
-    burst_budget: u32,
-) -> Machine {
-    let decode_cache = SimConfig::with_cores(cores).decode_cache;
-    build_latency_machine_engine(
-        mechanism,
-        cores,
-        inner,
-        outer,
-        trace,
-        burst_budget,
-        decode_cache,
-    )
-}
-
-/// Explicit settings for every engine fast-path knob. All four are
-/// host-side execution strategies, not model changes — any combination
-/// must yield a bit-identical
-/// [`MachineStats::digest`](cmp_sim::MachineStats); the matrix test in
-/// `tests/determinism.rs` holds this line across all mechanisms and the
-/// full knob cross product.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EngineTune {
-    /// Core-step burst budget (`0` disables the burst fast path).
-    pub burst_budget: u32,
-    /// Decoded-superblock cache ([`SimConfig::decode_cache`]).
-    pub decode_cache: bool,
-    /// Sharded per-core event lanes ([`SimConfig::event_shards`]).
-    pub event_shards: bool,
-    /// Memory-op-fused decoded executor ([`SimConfig::fused_memory`]).
-    pub fused_memory: bool,
-}
-
-impl EngineTune {
-    /// The process defaults for a `cores`-core machine (including any
-    /// `FASTBAR_*` environment overrides, exactly as
-    /// [`SimConfig::with_cores`] resolves them).
-    pub fn defaults(cores: usize) -> EngineTune {
-        let c = SimConfig::with_cores(cores);
-        EngineTune {
-            burst_budget: c.burst_budget,
-            decode_cache: c.decode_cache,
-            event_shards: c.event_shards,
-            fused_memory: c.fused_memory,
-        }
-    }
-
-    /// Write the four knobs into `config`, leaving everything else as-is.
-    pub fn apply(&self, config: &mut SimConfig) {
-        config.burst_budget = self.burst_budget;
-        config.decode_cache = self.decode_cache;
-        config.event_shards = self.event_shards;
-        config.fused_memory = self.fused_memory;
-    }
-}
-
-/// [`build_latency_machine_tuned`] with every engine fast-path knob
-/// explicit via [`EngineTune`].
-///
-/// # Panics
-///
-/// Panics on assembler/build/trace-sink failures.
-pub fn build_latency_machine_knobs(
-    mechanism: BarrierMechanism,
-    cores: usize,
-    inner: u64,
-    outer: u64,
-    trace: TraceConfig,
-    tune: EngineTune,
-) -> Machine {
-    let mut config = SimConfig::with_cores(cores);
-    tune.apply(&mut config);
-    config.trace = trace;
-    build_latency_machine_inner(config, mechanism, inner, outer, |_| None)
-}
-
-/// [`build_latency_machine_tuned`] with the burst budget *and* the
-/// decoded-superblock cache explicit; the queue and fused-memory knobs
-/// keep their process defaults (see [`build_latency_machine_knobs`] for
-/// the full set).
-///
-/// # Panics
-///
-/// Panics on assembler/build/trace-sink failures.
-#[allow(clippy::too_many_arguments)]
-pub fn build_latency_machine_engine(
-    mechanism: BarrierMechanism,
-    cores: usize,
-    inner: u64,
-    outer: u64,
-    trace: TraceConfig,
-    burst_budget: u32,
-    decode_cache: bool,
-) -> Machine {
-    let tune = EngineTune {
-        burst_budget,
-        decode_cache,
-        ..EngineTune::defaults(cores)
-    };
-    build_latency_machine_knobs(mechanism, cores, inner, outer, trace, tune)
-}
-
-/// [`build_latency_machine`] on an explicit [`SimConfig`] — the entry
-/// point for non-flat machines (clustered topologies, alternative hop
-/// latencies). Every core in the config runs the barrier loop. The flat
-/// path above is the degenerate case: `SimConfig::with_cores(n)` here is
-/// bit-identical to `build_latency_machine(mechanism, n, ..)`.
-///
-/// # Panics
-///
-/// Panics on assembler/build failures (static program construction bugs).
-pub fn build_latency_machine_on(
-    config: SimConfig,
-    mechanism: BarrierMechanism,
-    inner: u64,
-    outer: u64,
-) -> Machine {
-    build_latency_machine_inner(config, mechanism, inner, outer, |_| None)
-}
-
-/// [`build_latency_machine`] with a hook that may attach a trace sink
-/// (e.g. a race detector) once the barrier is registered. Sinks are
-/// observers: the machine's simulated behaviour is bit-identical to the
-/// unobserved build.
-///
-/// # Panics
-///
-/// Panics on assembler/build failures.
-pub fn build_latency_machine_observed(
-    mechanism: BarrierMechanism,
-    cores: usize,
-    inner: u64,
-    outer: u64,
-    observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
-) -> Machine {
-    build_latency_machine_inner(
-        SimConfig::with_cores(cores),
-        mechanism,
-        inner,
-        outer,
-        observe,
-    )
-}
-
-fn build_latency_machine_inner(
-    config: SimConfig,
-    mechanism: BarrierMechanism,
-    inner: u64,
-    outer: u64,
-    observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
-) -> Machine {
-    let cores = config.num_cores;
-    let mut space = AddressSpace::new(&config);
-    let mut asm = Asm::new();
-    let mut sys =
-        BarrierSystem::new(&config, cores, &mut space).expect("barrier system allocation");
-    let barrier = sys
-        .create_barrier(&mut asm, &mut space, mechanism, cores)
-        .expect("barrier registration");
-    assert!(!barrier.is_fallback(), "latency sweep must not fall back");
-    asm.label("entry").expect("fresh assembler");
-    asm.li(Reg::S0, outer as i64);
-    asm.label("outer").expect("unique");
-    asm.li(Reg::S1, inner as i64);
-    asm.label("inner").expect("unique");
-    barrier.emit_call(&mut asm);
-    asm.addi(Reg::S1, Reg::S1, -1);
-    asm.bne(Reg::S1, Reg::ZERO, "inner");
-    asm.addi(Reg::S0, Reg::S0, -1);
-    asm.bne(Reg::S0, Reg::ZERO, "outer");
-    asm.halt();
-    let program = asm.assemble().expect("assembly");
-    let entry = program.require_symbol("entry").unwrap();
-    let mut cfg = config;
-    cfg.cycle_limit = cfg.cycle_limit.max(2_000_000_000);
-    let mut mb = MachineBuilder::new(cfg, program).expect("builder");
-    for _ in 0..cores {
-        mb.add_thread(entry);
-    }
-    sys.install(&mut mb).expect("install");
-    if let Some(sink) = observe(&barrier) {
-        mb.with_trace_sink(sink);
-    }
-    mb.build().expect("build")
+    fig4_machine(&RunSpec::fig4(mechanism, cores, inner, outer))
+        .unwrap_or_else(|e| panic!("fig4 machine {mechanism} @ {cores}: {e}"))
 }
 
 /// One measured point of the Figure 4 sweep.
@@ -260,85 +77,59 @@ pub struct LatencyPoint {
     pub sim: Measurement,
 }
 
-/// Measure average cycles/barrier: `inner` consecutive barriers, repeated
-/// `outer` times (the paper uses 64 × 64).
+/// Run the Figure 4 workload described by `spec` and report it as a
+/// latency point. Attachments (tracing, observers) are digest-invariant.
 ///
 /// # Errors
 ///
-/// Propagates simulator errors.
+/// [`KernelError::Spec`] if the workload is not `fig4`; simulation
+/// failures otherwise.
+pub fn run_latency_with(
+    spec: &RunSpec,
+    att: RunAttachments<'_>,
+) -> Result<LatencyPoint, KernelError> {
+    let WorkloadSpec::Fig4 { .. } = spec.workload else {
+        return Err(KernelError::Spec(format!(
+            "latency measurement wants a fig4 workload, got {}",
+            spec.workload.kind()
+        )));
+    };
+    let mechanism = spec.exec.mechanism.ok_or_else(|| {
+        KernelError::Spec("a latency point needs a barrier mechanism".to_string())
+    })?;
+    let out = kernels::run_with(spec, att)?;
+    Ok(LatencyPoint {
+        mechanism,
+        cores: spec.exec.threads,
+        cycles_per_barrier: out.outcome.cycles_per_rep,
+        bus_mean_wait: out.outcome.bus_mean_wait,
+        sim: out.outcome.sim,
+    })
+}
+
+/// [`run_latency_with`] with no attachments.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on assembler/build failures (static program construction bugs).
+/// Same as [`run_latency_with`].
+pub fn run_latency(spec: &RunSpec) -> Result<LatencyPoint, KernelError> {
+    run_latency_with(spec, RunAttachments::default())
+}
+
+/// Measure average cycles/barrier: `inner` consecutive barriers, repeated
+/// `outer` times (the paper uses 64 × 64). Sugar over [`run_latency`] on
+/// the flat topology.
+///
+/// # Errors
+///
+/// Propagates build and simulator errors.
 pub fn barrier_latency(
     mechanism: BarrierMechanism,
     cores: usize,
     inner: u64,
     outer: u64,
-) -> Result<LatencyPoint, SimError> {
-    barrier_latency_traced(mechanism, cores, inner, outer, TraceConfig::Off)
-}
-
-/// [`barrier_latency`] with trace events streamed to the sink `trace`
-/// selects (e.g. [`TraceConfig::ChromeJson`] for a Perfetto-loadable
-/// file). The measured point is bit-identical to the untraced run.
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-///
-/// # Panics
-///
-/// Panics on assembler/build/trace-sink failures.
-pub fn barrier_latency_traced(
-    mechanism: BarrierMechanism,
-    cores: usize,
-    inner: u64,
-    outer: u64,
-    trace: TraceConfig,
-) -> Result<LatencyPoint, SimError> {
-    let mut m = build_latency_machine_traced(mechanism, cores, inner, outer, trace);
-    measure_latency_machine(&mut m, mechanism, cores, inner, outer)
-}
-
-/// [`barrier_latency`] on an explicit [`SimConfig`] — the measured entry
-/// point for clustered topologies. `cores` in the returned point is the
-/// config's core count; the flat path is the degenerate case.
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-///
-/// # Panics
-///
-/// Panics on assembler/build failures (static program construction bugs).
-pub fn barrier_latency_on(
-    config: SimConfig,
-    mechanism: BarrierMechanism,
-    inner: u64,
-    outer: u64,
-) -> Result<LatencyPoint, SimError> {
-    let cores = config.num_cores;
-    let mut m = build_latency_machine_on(config, mechanism, inner, outer);
-    measure_latency_machine(&mut m, mechanism, cores, inner, outer)
-}
-
-fn measure_latency_machine(
-    m: &mut Machine,
-    mechanism: BarrierMechanism,
-    cores: usize,
-    inner: u64,
-    outer: u64,
-) -> Result<LatencyPoint, SimError> {
-    let summary = m.run()?;
-    let stats = m.stats();
-    Ok(LatencyPoint {
-        mechanism,
-        cores,
-        cycles_per_barrier: summary.cycles as f64 / (inner * outer) as f64,
-        bus_mean_wait: stats.addr_bus.mean_wait().max(stats.data_bus.mean_wait()),
-        sim: Measurement::new(&summary, &stats),
-    })
+) -> Result<LatencyPoint, KernelError> {
+    run_latency(&RunSpec::fig4(mechanism, cores, inner, outer))
 }
 
 #[cfg(test)]
@@ -354,5 +145,12 @@ mod tests {
             p16.cycles_per_barrier > p4.cycles_per_barrier,
             "more threads -> more work per episode"
         );
+    }
+
+    #[test]
+    fn non_fig4_specs_are_rejected() {
+        let spec = RunSpec::parallel(WorkloadSpec::Loop1 { n: 64 }, 4, BarrierMechanism::FilterD);
+        assert!(matches!(run_latency(&spec), Err(KernelError::Spec(_))));
+        assert!(matches!(fig4_machine(&spec), Err(KernelError::Spec(_))));
     }
 }

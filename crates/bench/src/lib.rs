@@ -18,6 +18,7 @@
 //! | `throughput` | host-side simulator throughput → `BENCH_throughput.json` |
 //! | `hotpath` | engine per-stage cost profile → committed `results/hotpath.txt` |
 //! | `verify` | static verifier + race detector grid → `BENCH_verify.json` |
+//! | `fastbar_serve` | batch sweep daemon + client over the [`serve`] protocol |
 //!
 //! The library half hosts the shared runners so integration tests and
 //! Criterion benches reuse exactly the code the binaries run.
@@ -29,6 +30,7 @@ pub mod kernel_runs;
 pub mod latency;
 pub mod report;
 pub mod scale;
+pub mod serve;
 pub mod sweep;
 pub mod throughput;
 pub mod verify;
@@ -38,18 +40,21 @@ pub use cli::{BenchArgs, Cli};
 pub use hotpath::{profile, HotpathPoint, HotpathReport};
 pub use kernel_runs::{measure, measure_on, speedup_table, sweep_grid, GridVariant, SpeedupRow};
 pub use latency::{
-    barrier_latency, barrier_latency_on, barrier_latency_traced, build_latency_machine,
-    build_latency_machine_knobs, build_latency_machine_observed, build_latency_machine_on,
-    build_latency_machine_traced, build_latency_machine_tuned, EngineTune, LatencyPoint,
+    barrier_latency, build_latency_machine, fig4_machine, fig4_machine_with, run_latency,
+    run_latency_with, LatencyPoint,
 };
 pub use scale::{
-    run_scale, scale_config, scale_grid, scale_mechanisms, scale_reps, to_scale_json, ScaleDoc,
-    ScalePoint, SCALE_CORE_COUNTS,
+    run_scale, scale_clusters, scale_config, scale_grid, scale_mechanisms, scale_reps,
+    to_scale_json, ScaleDoc, ScalePoint, SCALE_CORE_COUNTS,
+};
+pub use serve::{
+    check_suite, result_json, run_cached, suite_specs, Client, Endpoint, ItemResult, Listener,
+    ResultCache, Server, CACHE_SCHEMA, RESULT_SCHEMA, SERVE_SCHEMA,
 };
 pub use sweep::{JobPanic, SweepRunner};
 pub use throughput::{
-    fig4_sample, fig4_sample_knobs, fig4_sample_observed, run_suite, to_json, viterbi_sample,
-    viterbi_sample_traced, SuiteResult, ThroughputDoc, ThroughputSample,
+    fig4_sample, fig4_sample_with, fig4_specs, fold_fig4_digests, run_suite, to_json,
+    viterbi_sample, viterbi_sample_traced, SuiteResult, ThroughputDoc, ThroughputSample,
     EXPECTED_FIG4_16CORE_DIGEST, EXPECTED_VITERBI_K5_16T_DIGEST,
 };
 pub use verify::{run_verify, verify_case, VerifyCase, VerifyDoc, VerifyKernel};

@@ -5,9 +5,10 @@
 //! The paper's evaluation stops at 16 cores on a single shared bus; the
 //! hierarchical-topology extension asks how each mechanism behaves when
 //! the interconnect is no longer flat. Every point reuses the Figure 4
-//! micro-benchmark loop ([`barrier_latency_on`]) — `inner` consecutive
-//! barriers repeated `outer` times with no work between them — on the
-//! preset machine for that core count:
+//! micro-benchmark loop ([`run_latency`] on a clustered
+//! [`RunSpec`]) — `inner` consecutive barriers repeated `outer` times
+//! with no work between them — on the preset machine for that core
+//! count:
 //!
 //! | cores | machine |
 //! |---|---|
@@ -30,22 +31,31 @@
 //! is deterministic, so repetitions smooth pipeline warm-up, not noise.
 
 use crate::cli::BenchArgs;
-use crate::latency::{barrier_latency_on, LatencyPoint};
+use crate::latency::{run_latency, LatencyPoint};
 use crate::sweep::SweepRunner;
 use barrier_filter::BarrierMechanism;
 use cmp_sim::{json_escape, SimConfig};
+use kernels::RunSpec;
 
 /// Core counts of the full sweep, smallest first.
 pub const SCALE_CORE_COUNTS: [usize; 4] = [16, 64, 256, 1024];
 
-/// The preset machine for `cores` cores: the paper's flat bus at 16,
-/// hierarchical clusters beyond (see the module table).
-pub fn scale_config(cores: usize) -> SimConfig {
+/// Cluster count of the preset machine for `cores` cores (the
+/// [`RunSpec::clustered`] argument): 1 keeps the paper's flat bus,
+/// anything larger selects the hierarchical interconnect.
+pub fn scale_clusters(cores: usize) -> usize {
     match cores {
-        c if c <= 16 => SimConfig::with_cores(c),
-        64 => SimConfig::clustered(64, 4),
-        c => SimConfig::clustered(c, 16),
+        c if c <= 16 => 1,
+        64 => 4,
+        _ => 16,
     }
+}
+
+/// The preset machine for `cores` cores: the paper's flat bus at 16,
+/// hierarchical clusters beyond (see the module table). Identical to
+/// what a [`RunSpec`] with [`scale_clusters`] clusters builds.
+pub fn scale_config(cores: usize) -> SimConfig {
+    SimConfig::clustered(cores, scale_clusters(cores))
 }
 
 /// Mechanisms measured at `cores` cores. Always includes the flat
@@ -126,11 +136,11 @@ pub fn scale_grid(quick: bool) -> Vec<(usize, BarrierMechanism)> {
 pub fn run_scale(runner: &SweepRunner, args: &BenchArgs) -> Result<Vec<ScalePoint>, String> {
     let grid = scale_grid(args.quick);
     runner.run_all(&grid, |_, &(cores, mechanism)| {
-        let config = scale_config(cores);
-        let clusters = config.topology.clusters;
+        let clusters = scale_clusters(cores);
         let (inner, outer) = scale_reps(cores, mechanism, args.quick);
-        let point = barrier_latency_on(config, mechanism, inner, outer)
-            .unwrap_or_else(|e| panic!("{mechanism} @ {cores} cores: {e}"));
+        let spec = RunSpec::fig4(mechanism, cores, inner, outer).clustered(clusters);
+        let point =
+            run_latency(&spec).unwrap_or_else(|e| panic!("{mechanism} @ {cores} cores: {e}"));
         ScalePoint {
             clusters,
             inner,

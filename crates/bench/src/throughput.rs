@@ -18,13 +18,14 @@
 
 use std::time::Instant;
 
-use barrier_filter::BarrierMechanism;
+use barrier_filter::{Barrier, BarrierMechanism};
 use cmp_sim::{
-    json_escape, DecodeCacheStats, EventQueueStats, FusedMemStats, Measurement, TraceConfig,
+    json_escape, DecodeCacheStats, EventQueueStats, FusedMemStats, Measurement, TraceSink,
 };
 use kernels::viterbi::Viterbi;
+use kernels::{EngineKnobs, ExecSpec, RunAttachments, RunSpec};
 
-use crate::latency::{build_latency_machine, build_latency_machine_knobs, EngineTune};
+use crate::latency::fig4_machine_with;
 use crate::sweep::SweepRunner;
 
 /// Committed digest of the full `fig4_16core` workload (16 cores, 64 × 64
@@ -111,8 +112,11 @@ fn fig4_finish(mechanism: BarrierMechanism, cores: usize, mut m: cmp_sim::Machin
     }
 }
 
-fn fig4_part(mechanism: BarrierMechanism, cores: usize, inner: u64, outer: u64) -> Fig4Part {
-    let m = build_latency_machine(mechanism, cores, inner, outer);
+fn fig4_part(spec: &RunSpec, mut att: RunAttachments<'_>) -> Fig4Part {
+    let mechanism = spec.exec.mechanism.expect("fig4 parts are parallel");
+    let cores = spec.exec.threads;
+    let m = fig4_machine_with(spec, &mut att)
+        .unwrap_or_else(|e| panic!("fig4 {mechanism} @ {cores} cores failed to build: {e}"));
     fig4_finish(mechanism, cores, m)
 }
 
@@ -126,7 +130,6 @@ fn fold_fig4(cores: usize, parts: &[Fig4Part]) -> ThroughputSample {
     let mut decode = DecodeCacheStats::default();
     let mut queue = EventQueueStats::default();
     let mut fused = FusedMemStats::default();
-    let mut digest = 0xcbf2_9ce4_8422_2325u64;
     for part in parts {
         sim.cycles += part.sim.cycles;
         sim.instructions += part.sim.instructions;
@@ -141,12 +144,8 @@ fn fold_fig4(cores: usize, parts: &[Fig4Part]) -> ThroughputSample {
         fused.stores += part.fused.stores;
         fused.memo_hits += part.fused.memo_hits;
         sim.episodes.merge(&part.sim.episodes);
-        for b in part.sim.stats_digest.to_le_bytes() {
-            digest ^= b as u64;
-            digest = digest.wrapping_mul(0x100_0000_01b3);
-        }
     }
-    sim.stats_digest = digest;
+    sim.stats_digest = fold_fig4_digests(parts.iter().map(|p| p.sim.stats_digest));
     sample(
         &format!("fig4_{cores}core"),
         sim,
@@ -155,6 +154,33 @@ fn fold_fig4(cores: usize, parts: &[Fig4Part]) -> ThroughputSample {
         queue,
         fused,
     )
+}
+
+/// The per-mechanism [`RunSpec`]s of the fig4 workload: every mechanism
+/// in [`BarrierMechanism::ALL`] at `cores` cores, `inner` × `outer`
+/// barriers each, sharing `knobs`. These are the exact values a serve
+/// batch, a cache key and the in-process sample agree on.
+pub fn fig4_specs(cores: usize, inner: u64, outer: u64, knobs: EngineKnobs) -> Vec<RunSpec> {
+    BarrierMechanism::ALL
+        .into_iter()
+        .map(|mechanism| RunSpec::fig4(mechanism, cores, inner, outer).with_knobs(knobs))
+        .collect()
+}
+
+/// Chain per-mechanism stats digests — which must be in
+/// [`BarrierMechanism::ALL`] order — into the combined fig4 workload
+/// digest (the value pinned by [`EXPECTED_FIG4_16CORE_DIGEST`]). Public
+/// so a serve client can fold the digests it got off the wire and check
+/// them against the committed value.
+pub fn fold_fig4_digests(digests: impl IntoIterator<Item = u64>) -> u64 {
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for d in digests {
+        for b in d.to_le_bytes() {
+            digest ^= b as u64;
+            digest = digest.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    digest
 }
 
 /// The Figure 4 workload: every barrier mechanism at `cores` cores,
@@ -166,85 +192,34 @@ fn fold_fig4(cores: usize, parts: &[Fig4Part]) -> ThroughputSample {
 /// Panics if any mechanism's run fails: the workload is fixed and must
 /// always complete.
 pub fn fig4_sample(cores: usize, inner: u64, outer: u64) -> ThroughputSample {
-    let parts: Vec<Fig4Part> = BarrierMechanism::ALL
-        .into_iter()
-        .map(|mechanism| fig4_part(mechanism, cores, inner, outer))
-        .collect();
-    fold_fig4(cores, &parts)
+    fig4_sample_with(cores, inner, outer, EngineKnobs::default(), |_| None)
 }
 
-/// [`fig4_sample`] with every engine fast-path knob explicit (see
-/// [`EngineTune`]). The knobs are host-side execution strategies, not
-/// model changes: every combination must yield a bit-identical chained
-/// digest — `tests/determinism.rs` and `throughput --check` pin the full
-/// cross product against the committed [`EXPECTED_FIG4_16CORE_DIGEST`].
+/// [`fig4_sample`] with every engine fast-path knob explicit (a `None`
+/// knob keeps the process default) and a hook that may attach a trace
+/// sink (e.g. a race detector) to each mechanism's machine once its
+/// barrier is registered. Knobs are host-side execution strategies and
+/// sinks are observers: every combination must yield a bit-identical
+/// chained digest — `tests/determinism.rs` and `throughput --check` pin
+/// this against the committed [`EXPECTED_FIG4_16CORE_DIGEST`].
 ///
 /// # Panics
 ///
 /// Panics if any mechanism's run fails.
-pub fn fig4_sample_knobs(
+pub fn fig4_sample_with(
     cores: usize,
     inner: u64,
     outer: u64,
-    tune: EngineTune,
+    knobs: EngineKnobs,
+    mut observe: impl FnMut(&Barrier) -> Option<Box<dyn TraceSink>>,
 ) -> ThroughputSample {
-    let parts: Vec<Fig4Part> = BarrierMechanism::ALL
-        .into_iter()
-        .map(|mechanism| {
-            let m =
-                build_latency_machine_knobs(mechanism, cores, inner, outer, TraceConfig::Off, tune);
-            fig4_finish(mechanism, cores, m)
-        })
-        .collect();
-    fold_fig4(cores, &parts)
-}
-
-/// [`fig4_sample`] with the decoded-superblock cache forced on or off
-/// (instead of the process-wide default); every other knob keeps its
-/// default. See [`fig4_sample_knobs`] for the full set.
-///
-/// # Panics
-///
-/// Panics if any mechanism's run fails.
-pub fn fig4_sample_engine(
-    cores: usize,
-    inner: u64,
-    outer: u64,
-    decode_cache: bool,
-) -> ThroughputSample {
-    let tune = EngineTune {
-        decode_cache,
-        ..EngineTune::defaults(cores)
-    };
-    fig4_sample_knobs(cores, inner, outer, tune)
-}
-
-/// [`fig4_sample`] with a hook that may attach a trace sink (e.g. a race
-/// detector) to each mechanism's machine once its barrier is registered.
-/// Sinks are observers: the chained digest is bit-identical to the
-/// unobserved sample — `tests/determinism.rs` pins this against the
-/// committed [`EXPECTED_FIG4_16CORE_DIGEST`].
-///
-/// # Panics
-///
-/// Panics if any mechanism's run fails.
-pub fn fig4_sample_observed(
-    cores: usize,
-    inner: u64,
-    outer: u64,
-    mut observe: impl FnMut(&barrier_filter::Barrier) -> Option<Box<dyn cmp_sim::TraceSink>>,
-) -> ThroughputSample {
-    let parts: Vec<Fig4Part> = BarrierMechanism::ALL
-        .into_iter()
-        .map(|mechanism| {
-            let m = crate::latency::build_latency_machine_observed(
-                mechanism,
-                cores,
-                inner,
-                outer,
-                &mut observe,
-            );
-            fig4_finish(mechanism, cores, m)
+    let parts: Vec<Fig4Part> = fig4_specs(cores, inner, outer, knobs)
+        .iter()
+        .map(|spec| {
+            fig4_part(
+                spec,
+                RunAttachments::observed(&mut |b: &Barrier| observe(b)),
+            )
         })
         .collect();
     fold_fig4(cores, &parts)
@@ -295,8 +270,12 @@ pub fn viterbi_sample_traced(
     };
     let t0 = Instant::now();
     let outcome = v
-        .run_parallel_traced(threads, BarrierMechanism::FilterD, trace)
-        .expect("traced viterbi throughput workload");
+        .run_with(
+            &ExecSpec::parallel(threads, BarrierMechanism::FilterD),
+            RunAttachments::traced(trace),
+        )
+        .expect("traced viterbi throughput workload")
+        .outcome;
     let wall = t0.elapsed().as_secs_f64();
     sample(
         &format!("viterbi_k5_{threads}t_traced"),
@@ -361,7 +340,10 @@ pub fn run_suite(
     let t0 = Instant::now();
     let outs = runner
         .run_all(&jobs, |_, &job| match job {
-            SuiteJob::Fig4(mechanism) => SuiteOut::Fig4(fig4_part(mechanism, cores, inner, outer)),
+            SuiteJob::Fig4(mechanism) => SuiteOut::Fig4(fig4_part(
+                &RunSpec::fig4(mechanism, cores, inner, outer),
+                RunAttachments::default(),
+            )),
             SuiteJob::Viterbi => SuiteOut::Viterbi(Box::new(viterbi_sample(vit_bits, vit_threads))),
         })
         .unwrap_or_else(|e| panic!("throughput suite: {e}"));

@@ -20,7 +20,7 @@ use kernels::autocorr::Autocorr;
 use kernels::livermore::{Loop1, Loop2, Loop3, Loop4, Loop6};
 use kernels::ocean::OceanProxy;
 use kernels::viterbi::Viterbi;
-use kernels::{KernelError, KernelOutcome};
+use kernels::{ExecSpec, KernelError, KernelOutcome, RunAttachments};
 use sim_isa::Program;
 
 use crate::sweep::SweepRunner;
@@ -183,24 +183,19 @@ fn run_observed(
         *handle = Some(sink.handle());
         Some(Box::new(sink) as Box<dyn cmp_sim::TraceSink>)
     };
-    match kernel {
-        VerifyKernel::Loop1 => Loop1::new(if quick { 64 } else { 128 })
-            .run_parallel_observed(threads, mechanism, observe),
-        VerifyKernel::Loop2 => Loop2::new(if quick { 64 } else { 128 })
-            .run_parallel_observed(threads, mechanism, observe),
-        VerifyKernel::Loop3 => Loop3::new(if quick { 64 } else { 128 })
-            .run_parallel_observed(threads, mechanism, observe),
-        VerifyKernel::Loop4 => Loop4::new(if quick { 64 } else { 128 })
-            .run_parallel_observed(threads, mechanism, observe),
-        VerifyKernel::Loop6 => Loop6::new(if quick { 24 } else { 40 })
-            .run_parallel_observed(threads, mechanism, observe),
-        VerifyKernel::Autocorr => Autocorr::new(if quick { 64 } else { 96 })
-            .run_parallel_observed(threads, mechanism, observe),
-        VerifyKernel::Viterbi => Viterbi::new(if quick { 24 } else { 48 })
-            .run_parallel_observed(threads, mechanism, observe),
-        VerifyKernel::Ocean => OceanProxy::new(16, if quick { 2 } else { 3 })
-            .run_parallel_observed(threads, mechanism, observe),
-    }
+    let exec = ExecSpec::parallel(threads, mechanism);
+    let att = RunAttachments::observed(observe);
+    let out = match kernel {
+        VerifyKernel::Loop1 => Loop1::new(if quick { 64 } else { 128 }).run_with(&exec, att),
+        VerifyKernel::Loop2 => Loop2::new(if quick { 64 } else { 128 }).run_with(&exec, att),
+        VerifyKernel::Loop3 => Loop3::new(if quick { 64 } else { 128 }).run_with(&exec, att),
+        VerifyKernel::Loop4 => Loop4::new(if quick { 64 } else { 128 }).run_with(&exec, att),
+        VerifyKernel::Loop6 => Loop6::new(if quick { 24 } else { 40 }).run_with(&exec, att),
+        VerifyKernel::Autocorr => Autocorr::new(if quick { 64 } else { 96 }).run_with(&exec, att),
+        VerifyKernel::Viterbi => Viterbi::new(if quick { 24 } else { 48 }).run_with(&exec, att),
+        VerifyKernel::Ocean => OceanProxy::new(16, if quick { 2 } else { 3 }).run_with(&exec, att),
+    }?;
+    Ok((out.outcome, out.program))
 }
 
 /// Run the full kernel × mechanism grid on `runner`.

@@ -17,6 +17,7 @@ use bench_suite::latency::build_latency_machine;
 use cmp_sim::{run_with_faults, FaultEvent, FaultKind, FaultPlan, FaultReport, Machine, RunState};
 use kernels::livermore::Loop2;
 use kernels::viterbi::Viterbi;
+use kernels::{ExecSpec, RunAttachments};
 
 const FILTERS: [BarrierMechanism; 2] = [BarrierMechanism::FilterD, BarrierMechanism::FilterI];
 const NON_PARKING: [BarrierMechanism; 2] =
@@ -239,11 +240,12 @@ fn zero_fault_plans_are_digest_invariant() {
     let plain = v
         .run_parallel(4, BarrierMechanism::FilterD)
         .expect("plain viterbi");
-    let (faulted, report) = v
-        .run_parallel_faulted(4, BarrierMechanism::FilterD, &FaultPlan::none())
+    let exec = ExecSpec::parallel(4, BarrierMechanism::FilterD);
+    let out = v
+        .run_with(&exec, RunAttachments::with_plan(&FaultPlan::none()))
         .expect("zero-fault viterbi");
-    assert_eq!(report, FaultReport::default());
-    assert_eq!(faulted.sim, plain.sim);
+    assert_eq!(out.faults, FaultReport::default());
+    assert_eq!(out.outcome.sim, plain.sim);
 }
 
 #[test]
@@ -265,11 +267,14 @@ fn faulted_kernels_still_validate_viterbi() {
             .run_parallel(4, mechanism)
             .expect("probe run for the horizon");
         let plan = FaultPlan::generate(0x1e7b, 16, probe.sim.cycles);
-        let (out, report) = v
-            .run_parallel_faulted(4, mechanism, &plan)
+        let out = v
+            .run_with(
+                &ExecSpec::parallel(4, mechanism),
+                RunAttachments::with_plan(&plan),
+            )
             .expect("faulted viterbi must still validate");
-        assert!(out.sim.cycles > 0);
-        assert_eq!(report.injected + report.skipped, 16);
+        assert!(out.outcome.sim.cycles > 0);
+        assert_eq!(out.faults.injected + out.faults.skipped, 16);
     }
 }
 
@@ -281,11 +286,14 @@ fn faulted_kernels_still_validate_loop2() {
             .run_parallel(4, mechanism)
             .expect("probe run for the horizon");
         let plan = FaultPlan::generate(0x10072, 16, probe.sim.cycles);
-        let (out, report) = k
-            .run_parallel_faulted(4, mechanism, &plan)
+        let out = k
+            .run_with(
+                &ExecSpec::parallel(4, mechanism),
+                RunAttachments::with_plan(&plan),
+            )
             .expect("faulted loop2 must still validate");
-        assert!(out.sim.cycles > 0);
-        assert_eq!(report.injected + report.skipped, 16);
+        assert!(out.outcome.sim.cycles > 0);
+        assert_eq!(out.faults.injected + out.faults.skipped, 16);
     }
 }
 

@@ -10,18 +10,15 @@
 
 use analyze::RaceDetectorSink;
 use barrier_filter::BarrierMechanism;
-use bench_suite::latency::{barrier_latency, barrier_latency_on};
-use bench_suite::latency::{
-    build_latency_machine_knobs, build_latency_machine_on, build_latency_machine_traced, EngineTune,
-};
-use bench_suite::scale::scale_config;
+use bench_suite::latency::{barrier_latency, fig4_machine, fig4_machine_with, run_latency};
+use bench_suite::scale::scale_clusters;
 use bench_suite::throughput::{
-    fig4_sample_engine, fig4_sample_observed, EXPECTED_FIG4_16CORE_DIGEST,
-    EXPECTED_VITERBI_K5_16T_DIGEST,
+    fig4_sample_with, EXPECTED_FIG4_16CORE_DIGEST, EXPECTED_VITERBI_K5_16T_DIGEST,
 };
 use bench_suite::{build_latency_machine, SweepRunner};
 use cmp_sim::{Measurement, TraceConfig, TraceSink};
 use kernels::viterbi::Viterbi;
+use kernels::{EngineKnobs, ExecSpec, RunAttachments, RunSpec};
 
 /// Run the Figure 4 micro-benchmark twice from scratch and require the
 /// whole observable outcome — `RunSummary` and the full `MachineStats`
@@ -63,11 +60,11 @@ fn filter_i_barrier_is_deterministic() {
 }
 
 /// The topology layer's degenerate case: `fig_scale` reaches the 16-core
-/// machine through `scale_config(16)` + `barrier_latency_on` (the
-/// explicit-config path every clustered point uses), while the historical
-/// figures go through `barrier_latency`'s flat path. The two must be the
-/// same machine bit-for-bit — same `Measurement` (cycles, instructions,
-/// stats digest) — or the 1-cluster topology is not actually degenerate.
+/// machine through a [`RunSpec`] clustered with `scale_clusters(16)` (the
+/// spec shape every clustered point uses), while the historical figures
+/// go through `barrier_latency`'s flat sugar. The two must be the same
+/// machine bit-for-bit — same `Measurement` (cycles, instructions, stats
+/// digest) — or the 1-cluster topology is not actually degenerate.
 #[test]
 fn the_scale_path_reproduces_the_flat_machine_bit_identically() {
     let (inner, outer) = (8, 2);
@@ -78,8 +75,8 @@ fn the_scale_path_reproduces_the_flat_machine_bit_identically() {
         BarrierMechanism::FilterDHier,
     ] {
         let flat = barrier_latency(mechanism, 16, inner, outer).expect("flat path");
-        let scaled =
-            barrier_latency_on(scale_config(16), mechanism, inner, outer).expect("scale path");
+        let spec = RunSpec::fig4(mechanism, 16, inner, outer).clustered(scale_clusters(16));
+        let scaled = run_latency(&spec).expect("scale path");
         assert_eq!(
             flat.sim, scaled.sim,
             "{mechanism}: the 1-cluster topology must be degenerate"
@@ -95,7 +92,8 @@ fn the_scale_path_reproduces_the_flat_machine_bit_identically() {
 #[test]
 fn clustered_256_core_tree_barriers_are_deterministic() {
     for mechanism in [BarrierMechanism::SwHier, BarrierMechanism::FilterDHier] {
-        let run = || barrier_latency_on(scale_config(256), mechanism, 4, 2).expect("256-core run");
+        let spec = RunSpec::fig4(mechanism, 256, 4, 2).clustered(scale_clusters(256));
+        let run = || run_latency(&spec).expect("256-core run");
         let (a, b) = (run(), run());
         assert_eq!(
             a.sim, b.sim,
@@ -146,7 +144,9 @@ fn trace_sinks_never_change_simulated_behaviour() {
         let stats_base = base.stats();
         for trace in [TraceConfig::ring(), TraceConfig::Metrics, chrome.clone()] {
             let label = format!("{mechanism} with {trace:?}");
-            let mut m = build_latency_machine_traced(mechanism, cores, inner, outer, trace);
+            let spec = RunSpec::fig4(mechanism, cores, inner, outer);
+            let mut m = fig4_machine_with(&spec, &mut RunAttachments::traced(trace))
+                .expect("traced machine");
             let sum = m.run().expect("traced run");
             assert_eq!(sum, sum_base, "{label}: RunSummary diverged");
             let stats = m.stats();
@@ -175,7 +175,7 @@ fn race_detector_leaves_pinned_digests_bit_identical() {
     // fig4_16core: all seven mechanisms at 16 cores, 64 × 64 barriers,
     // one detector per mechanism run.
     let mut handles = Vec::new();
-    let fig4 = fig4_sample_observed(16, 64, 64, |bar| {
+    let fig4 = fig4_sample_with(16, 64, 64, EngineKnobs::default(), |bar| {
         let sink = RaceDetectorSink::new([bar.protocol()]);
         handles.push(sink.handle());
         Some(Box::new(sink) as Box<dyn TraceSink>)
@@ -199,13 +199,17 @@ fn race_detector_leaves_pinned_digests_bit_identical() {
     // viterbi_k5_16t: the committed kernel workload (K=5, 96 data bits,
     // 16 threads, FilterD), observed end to end.
     let mut handle = None;
-    let (outcome, _) = Viterbi::new(96)
-        .run_parallel_observed(16, BarrierMechanism::FilterD, |bar| {
-            let sink = RaceDetectorSink::new([bar.protocol()]);
-            handle = Some(sink.handle());
-            Some(Box::new(sink))
-        })
-        .expect("observed viterbi workload");
+    let outcome = Viterbi::new(96)
+        .run_with(
+            &ExecSpec::parallel(16, BarrierMechanism::FilterD),
+            RunAttachments::observed(|bar| {
+                let sink = RaceDetectorSink::new([bar.protocol()]);
+                handle = Some(sink.handle());
+                Some(Box::new(sink))
+            }),
+        )
+        .expect("observed viterbi workload")
+        .outcome;
     assert_eq!(
         outcome.sim.stats_digest, EXPECTED_VITERBI_K5_16T_DIGEST,
         "viterbi_k5_16t digest moved under observation: {:#018x} != committed {:#018x}",
@@ -322,9 +326,9 @@ fn engine_fast_paths_never_change_simulated_behaviour() {
     let mut fused_loads_anywhere = 0u64;
     let mut fused_memo_hits_anywhere = 0u64;
     for mechanism in BarrierMechanism::ALL {
-        let run = |tune: EngineTune| {
-            let mut m =
-                build_latency_machine_knobs(mechanism, cores, inner, outer, TraceConfig::Off, tune);
+        let run = |knobs: EngineKnobs| {
+            let spec = RunSpec::fig4(mechanism, cores, inner, outer).with_knobs(knobs);
+            let mut m = fig4_machine(&spec).expect("fig4 machine");
             let summary = m.run().expect("barrier loop");
             (
                 summary,
@@ -335,11 +339,11 @@ fn engine_fast_paths_never_change_simulated_behaviour() {
                 m.fused_stats(),
             )
         };
-        let (ref_sum, ref_stats, ..) = run(EngineTune {
-            burst_budget: 0,
-            decode_cache: false,
-            event_shards: false,
-            fused_memory: false,
+        let (ref_sum, ref_stats, ..) = run(EngineKnobs {
+            burst_budget: Some(0),
+            decode_cache: Some(false),
+            event_shards: Some(false),
+            fused_memory: Some(false),
         });
         let ref_digest = ref_stats.digest();
         for budget in budgets {
@@ -350,11 +354,11 @@ fn engine_fast_paths_never_change_simulated_behaviour() {
                             "{mechanism} budget={budget} decode={decode} \
                              shards={shards} fused={fused}"
                         );
-                        let (sum, stats, bursts, dstats, qstats, fstats) = run(EngineTune {
-                            burst_budget: budget,
-                            decode_cache: decode,
-                            event_shards: shards,
-                            fused_memory: fused,
+                        let (sum, stats, bursts, dstats, qstats, fstats) = run(EngineKnobs {
+                            burst_budget: Some(budget),
+                            decode_cache: Some(decode),
+                            event_shards: Some(shards),
+                            fused_memory: Some(fused),
                         });
                         assert_eq!(sum, ref_sum, "{label}: RunSummary diverged");
                         assert_eq!(stats, ref_stats, "{label}: full MachineStats diverged");
@@ -430,10 +434,14 @@ fn engine_fast_paths_never_change_simulated_behaviour() {
 #[test]
 fn clustered_256_core_knob_matrix_is_digest_invariant() {
     let run = |shards: bool, fused: bool| {
-        let mut config = scale_config(256);
-        config.event_shards = shards;
-        config.fused_memory = fused;
-        let mut m = build_latency_machine_on(config, BarrierMechanism::SwHier, 4, 2);
+        let spec = RunSpec::fig4(BarrierMechanism::SwHier, 256, 4, 2)
+            .clustered(scale_clusters(256))
+            .with_knobs(EngineKnobs {
+                event_shards: Some(shards),
+                fused_memory: Some(fused),
+                ..EngineKnobs::default()
+            });
+        let mut m = fig4_machine(&spec).expect("256-core clustered machine");
         let summary = m.run().expect("256-core clustered run");
         (
             Measurement::new(&summary, &m.stats()),
@@ -468,15 +476,22 @@ fn clustered_256_core_knob_matrix_is_digest_invariant() {
 #[test]
 fn decode_cache_reproduces_pinned_digests_on_and_off() {
     for decode in [false, true] {
-        let fig4 = fig4_sample_engine(16, 64, 64, decode);
+        let knobs = EngineKnobs {
+            decode_cache: Some(decode),
+            ..EngineKnobs::default()
+        };
+        let fig4 = fig4_sample_with(16, 64, 64, knobs, |_| None);
         assert_eq!(
             fig4.sim.stats_digest, EXPECTED_FIG4_16CORE_DIGEST,
             "fig4_16core digest moved with decode_cache={decode}: {:#018x} != committed {:#018x}",
             fig4.sim.stats_digest, EXPECTED_FIG4_16CORE_DIGEST
         );
+        let mut exec = ExecSpec::parallel(16, BarrierMechanism::FilterD);
+        exec.knobs = knobs;
         let outcome = Viterbi::new(96)
-            .run_parallel_engine(16, BarrierMechanism::FilterD, decode)
-            .expect("viterbi workload");
+            .run_with(&exec, RunAttachments::default())
+            .expect("viterbi workload")
+            .outcome;
         assert_eq!(
             outcome.sim.stats_digest, EXPECTED_VITERBI_K5_16T_DIGEST,
             "viterbi_k5_16t digest moved with decode_cache={decode}: {:#018x} != committed {:#018x}",

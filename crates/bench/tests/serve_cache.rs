@@ -1,0 +1,129 @@
+//! The on-disk result cache across the spec grid: a hit must return the
+//! *exact bytes* a live replay of the same spec would produce — flat,
+//! faulted and clustered points alike — and a corrupted entry must be
+//! detected by its digest and silently recomputed.
+
+use std::path::PathBuf;
+
+use barrier_filter::BarrierMechanism;
+use bench_suite::cli::DEFAULT_SEED;
+use bench_suite::serve::{result_json, run_cached, ResultCache};
+use cmp_sim::Json;
+use kernels::{run, RunSpec, WorkloadSpec};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("fastbar-serve-cache-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Three grid points that exercise the spec dimensions the cache key
+/// must cover: a flat fig4 smoke point, a fault-injected Viterbi run,
+/// and a 256-core clustered point (hierarchical mechanism — flat
+/// filters do not fit a 16-cluster topology).
+fn grid() -> Vec<RunSpec> {
+    vec![
+        RunSpec::fig4(BarrierMechanism::FilterD, 8, 8, 4),
+        RunSpec::parallel(
+            WorkloadSpec::Viterbi {
+                constraint: 5,
+                data_bits: 24,
+                noise_per_mille: 10,
+            },
+            4,
+            BarrierMechanism::FilterD,
+        )
+        .with_faults(DEFAULT_SEED, 3, 20_000),
+        RunSpec::fig4(BarrierMechanism::FilterDHier, 256, 4, 2).clustered(16),
+    ]
+}
+
+#[test]
+fn hits_are_bit_identical_to_live_replay_across_the_grid() {
+    let dir = tmp("grid");
+    let cache = ResultCache::new(&dir);
+    for spec in grid() {
+        let digest = spec.digest();
+        let (first, cached) =
+            run_cached(&cache, &spec).unwrap_or_else(|e| panic!("{}: {e}", spec.canonical_json()));
+        assert!(!cached, "{digest:#018x}: first run must miss");
+        // An independent live replay through the plain run() entry point
+        // serializes to the same bytes the cache now holds.
+        let replay = result_json(&spec, &run(&spec).expect("live replay"));
+        assert_eq!(first, replay, "{digest:#018x}: cached bytes != live replay");
+        let (hit, cached) = run_cached(&cache, &spec).expect("cache hit");
+        assert!(cached, "{digest:#018x}: second run must hit");
+        assert_eq!(hit, first, "{digest:#018x}: hit bytes != first-run bytes");
+        // The entry lives at the content-addressed path and carries the
+        // spec for provenance.
+        assert!(cache.entry_path(digest).is_file());
+        let body = Json::parse(&hit).expect("result body parses");
+        assert_eq!(
+            body.get("spec").map(Json::dump).as_deref(),
+            Some(spec.canonical_json().as_str())
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn faulted_point_records_injections_in_the_body() {
+    let dir = tmp("faulted");
+    let cache = ResultCache::new(&dir);
+    let spec = grid().remove(1);
+    let (body, _) = run_cached(&cache, &spec).expect("faulted run");
+    let j = Json::parse(&body).expect("result body parses");
+    let faults = j.get("faults").expect("faults block");
+    let injected = faults
+        .get("injected")
+        .and_then(Json::as_u64)
+        .expect("count");
+    let skipped = faults.get("skipped").and_then(Json::as_u64).expect("count");
+    assert_eq!(injected + skipped, 3, "every scheduled event accounted for");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_entries_are_detected_and_recomputed() {
+    let dir = tmp("corrupt");
+    let cache = ResultCache::new(&dir);
+    let spec = RunSpec::fig4(BarrierMechanism::FilterD, 8, 8, 4);
+    let (good, _) = run_cached(&cache, &spec).expect("seed the cache");
+    let path = cache.entry_path(spec.digest());
+
+    // Flip one digit inside the stored body: the header's body_fnv no
+    // longer matches, so the entry must read as a miss and be repaired.
+    let text = std::fs::read_to_string(&path).expect("read entry");
+    let (header, body) = text.split_once('\n').expect("two-line entry");
+    let tampered = format!("{header}\n{}", body.replacen('1', "2", 1));
+    assert_ne!(tampered, text, "tamper actually changed the entry");
+    std::fs::write(&path, tampered).expect("tamper entry");
+    assert!(
+        cache.load(spec.digest()).is_none(),
+        "tampered body is a miss"
+    );
+    let (recomputed, cached) = run_cached(&cache, &spec).expect("recompute");
+    assert!(!cached, "tampered entry must recompute, not hit");
+    assert_eq!(recomputed, good, "recomputed bytes match the original");
+    assert_eq!(
+        cache.load(spec.digest()).as_deref(),
+        Some(good.as_str()),
+        "the entry was repaired on disk"
+    );
+
+    // A header whose spec_fnv names a different spec is also a miss —
+    // an entry can never answer for a key it was not stored under.
+    let text = std::fs::read_to_string(&path).expect("read repaired entry");
+    let wrong_key = text.replacen(
+        &format!("{:#018x}", spec.digest()),
+        &format!("{:#018x}", spec.digest() ^ 1),
+        1,
+    );
+    std::fs::write(&path, wrong_key).expect("rekey entry");
+    assert!(
+        cache.load(spec.digest()).is_none(),
+        "rekeyed header is a miss"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,107 @@
+//! End-to-end serve protocol: a daemon on a Unix socket, the standard
+//! {fig4 × 7 mechanisms + Viterbi} batch streamed back in item order
+//! with the committed digests intact, a resubmission served entirely
+//! from cache with byte-identical results, and a clean shutdown. A
+//! second test smoke-checks the TCP transport on an ephemeral port.
+
+use std::path::PathBuf;
+
+use bench_suite::serve::{
+    check_suite, suite_specs, Client, Endpoint, Listener, ResultCache, Server,
+};
+use bench_suite::throughput::{
+    fold_fig4_digests, EXPECTED_FIG4_16CORE_DIGEST, EXPECTED_VITERBI_K5_16T_DIGEST,
+};
+use bench_suite::SweepRunner;
+use kernels::{RunSpec, WorkloadSpec};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fastbar-serve-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn full_suite_over_unix_socket_pins_digests_and_replays_from_cache() {
+    let dir = tmp("unix");
+    let sock = dir.join("serve.sock");
+    let endpoint = Endpoint::Unix(sock.clone());
+    let listener = Listener::bind(&endpoint).expect("bind unix socket");
+    let server = Server::new(
+        ResultCache::new(dir.join("cache")),
+        SweepRunner::available(),
+    );
+    let daemon = std::thread::spawn(move || listener.serve(&server));
+
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let jobs = client.ping().expect("ping");
+    assert!(jobs >= 1);
+
+    // The full-size tracked suite: every mechanism's fig4 point at 16
+    // cores (64 × 64 barriers) plus Viterbi (K=5, 96 bits, 16 threads).
+    let specs = suite_specs(false);
+    let first = client.batch(&specs).expect("live batch");
+    assert_eq!(first.len(), specs.len());
+    for (i, item) in first.iter().enumerate() {
+        assert_eq!(item.index, i, "results stream in item order");
+        assert!(!item.cached, "item {i}: cold cache must run live");
+    }
+
+    // The committed digests hold through the wire: the seven fig4 items
+    // fold to the pinned workload digest, the Viterbi item matches its
+    // own pin. check_suite() is the same assertion the submit --check
+    // CLI path runs; the explicit folds below keep the constants visible.
+    check_suite(&first).expect("committed digests over the wire");
+    let fig4 = fold_fig4_digests(first[..7].iter().map(|i| i.stats_digest()));
+    assert_eq!(fig4, EXPECTED_FIG4_16CORE_DIGEST);
+    assert_eq!(first[7].stats_digest(), EXPECTED_VITERBI_K5_16T_DIGEST);
+
+    // Resubmission: every item answered from cache, byte-identical.
+    let second = client.batch(&specs).expect("cached batch");
+    assert_eq!(second.len(), first.len());
+    for (a, b) in first.iter().zip(&second) {
+        assert!(
+            b.cached,
+            "item {}: resubmission must hit the cache",
+            b.index
+        );
+        assert_eq!(a.body, b.body, "item {}: cached bytes differ", b.index);
+        assert_eq!(a.body_fnv, b.body_fnv);
+    }
+    check_suite(&second).expect("cached digests identical");
+
+    client.shutdown().expect("clean shutdown");
+    daemon.join().expect("daemon thread").expect("serve loop");
+    assert!(!sock.exists(), "socket file unlinked on clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tcp_transport_round_trips_on_an_ephemeral_port() {
+    let dir = tmp("tcp");
+    let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).expect("bind tcp");
+    let endpoint = listener.endpoint().expect("resolved port");
+    let server = Server::new(ResultCache::new(dir.join("cache")), SweepRunner::new(2));
+    let daemon = std::thread::spawn(move || listener.serve(&server));
+
+    let mut client = Client::connect(&endpoint).expect("connect");
+    client.ping().expect("ping");
+    let spec = RunSpec::sequential(WorkloadSpec::Loop1 { n: 64 });
+    let live = client.run_spec(&spec).expect("live run");
+    assert!(!live.cached);
+
+    // A second connection sees the same daemon (and its warm cache).
+    drop(client);
+    let mut client = Client::connect(&endpoint).expect("reconnect");
+    let hit = client.run_spec(&spec).expect("cached run");
+    assert!(hit.cached, "second submission hits the cache");
+    assert_eq!(
+        hit.body, live.body,
+        "cached bytes identical across connections"
+    );
+
+    client.shutdown().expect("clean shutdown");
+    daemon.join().expect("daemon thread").expect("serve loop");
+    let _ = std::fs::remove_dir_all(&dir);
+}

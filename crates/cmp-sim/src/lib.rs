@@ -69,6 +69,7 @@ mod fastmap;
 mod faults;
 mod hook;
 mod hwnet;
+pub mod json;
 mod layout;
 mod machine;
 mod mem;
@@ -91,6 +92,7 @@ pub use hook::{
     BankHook, FillDecision, HookOutcome, HookViolation, ParkToken, FILL_ERROR_SENTINEL,
 };
 pub use hwnet::{DedicatedNetwork, HwBarResult, HwNetStats};
+pub use json::{fnv64, parse_u64_flex, Json, JsonError};
 pub use layout::{AddressSpace, LayoutError, BARRIER_BASE, BARRIER_END, DATA_BASE};
 pub use machine::{Machine, RunState};
 pub use mem::Memory;

@@ -15,10 +15,10 @@
 //! ```
 
 use barrier_filter::{Barrier, BarrierMechanism};
-use cmp_sim::TraceSink;
-use sim_isa::{Asm, Program, Reg};
+use sim_isa::{Asm, Reg};
 
-use crate::harness::{check_u64, emit_rep_loop, run_reps, KernelBuild, KernelOutcome, REPS};
+use crate::harness::{check_u64, emit_rep_loop, KernelBuild, KernelOutcome, REPS};
+use crate::spec::{run_spec_reps, ExecSpec, RunAttachments, RunOutput};
 use crate::{input, KernelError};
 
 /// Autocorrelation over `n` samples with `lags` lags (the paper uses
@@ -77,43 +77,9 @@ impl Autocorr {
     ///
     /// Simulation or validation failures.
     pub fn run_sequential(&self) -> Result<KernelOutcome, KernelError> {
-        let mut b = KernelBuild::sequential();
-        let x = b.space.alloc_u64(self.n as u64)?;
-        let r = b.space.alloc_u64(self.lags as u64)?;
-        emit_rep_loop(&mut b.asm, REPS, |a| {
-            a.li(Reg::S0, 0); // k
-            a.label("lag_loop")?;
-            a.li(Reg::T0, x as i64); // &x[0]
-            a.slli(Reg::T1, Reg::S0, 3);
-            a.add(Reg::T1, Reg::T0, Reg::T1); // &x[k]
-            a.li(Reg::T2, self.n as i64);
-            a.sub(Reg::T2, Reg::T2, Reg::S0); // count = n - k
-            a.li(Reg::T3, 0); // acc
-            a.label("sum_loop")?;
-            a.ldd(Reg::T4, Reg::T0, 0);
-            a.ldd(Reg::T5, Reg::T1, 0);
-            a.mul(Reg::T4, Reg::T4, Reg::T5);
-            a.add(Reg::T3, Reg::T3, Reg::T4);
-            a.addi(Reg::T0, Reg::T0, 8);
-            a.addi(Reg::T1, Reg::T1, 8);
-            a.addi(Reg::T2, Reg::T2, -1);
-            a.bne(Reg::T2, Reg::ZERO, "sum_loop");
-            a.slli(Reg::T4, Reg::S0, 3);
-            a.li(Reg::T5, r as i64);
-            a.add(Reg::T5, Reg::T5, Reg::T4);
-            a.std(Reg::T3, Reg::T5, 0);
-            a.addi(Reg::S0, Reg::S0, 1);
-            a.li(Reg::T4, self.lags as i64);
-            a.blt(Reg::S0, Reg::T4, "lag_loop");
-            Ok(())
-        })?;
-        let xs: Vec<u64> = self.x.iter().map(|&v| v as u64).collect();
-        let mut m = b.finish(move |mb| {
-            mb.write_u64_slice(x, &xs);
-        })?;
-        let outcome = run_reps(&mut m, REPS)?;
-        check_u64("r", &m.read_u64_slice(r, self.lags), &self.reference())?;
-        Ok(outcome)
+        Ok(self
+            .run_with(&ExecSpec::sequential(), RunAttachments::default())?
+            .outcome)
     }
 
     /// Run the paper's parallel version: per lag, a parallel partial
@@ -128,37 +94,77 @@ impl Autocorr {
         threads: usize,
         mechanism: BarrierMechanism,
     ) -> Result<KernelOutcome, KernelError> {
-        Ok(self.run_parallel_observed(threads, mechanism, |_| None)?.0)
+        Ok(self
+            .run_with(
+                &ExecSpec::parallel(threads, mechanism),
+                RunAttachments::default(),
+            )?
+            .outcome)
     }
 
-    /// [`run_parallel`](Autocorr::run_parallel) with a hook that may
-    /// attach a trace sink (e.g. a race detector) once the barrier is
-    /// registered; the assembled [`Program`] comes back for post-run
-    /// static analysis. Sinks are observers: the outcome is bit-identical
-    /// to the unobserved run.
+    /// Run under a full [`ExecSpec`] (threads, mechanism, topology,
+    /// engine knobs, seeded faults) with optional in-process
+    /// [`RunAttachments`] (trace sinks, observer hooks, hand-built
+    /// plans). The integer results are exact, so both shapes validate
+    /// against the same host reference; attachments and knobs are
+    /// digest-invariant.
     ///
     /// # Errors
     ///
-    /// Same as [`run_parallel`](Autocorr::run_parallel).
-    pub fn run_parallel_observed(
+    /// Spec, simulation, barrier-setup or validation failures.
+    pub fn run_with(
         &self,
-        threads: usize,
-        mechanism: BarrierMechanism,
-        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
-    ) -> Result<(KernelOutcome, Program), KernelError> {
-        let (mut b, barrier) = KernelBuild::parallel(threads, mechanism)?;
-        b.sink = observe(&barrier);
+        exec: &ExecSpec,
+        mut att: RunAttachments<'_>,
+    ) -> Result<RunOutput, KernelError> {
+        let (mut b, barrier) = KernelBuild::from_exec(exec, &mut att)?;
+        let threads = b.threads;
         let x = b.space.alloc_u64(self.n as u64)?;
         let r = b.space.alloc_u64(self.lags as u64)?;
-        let partials = b.space.alloc_lines(threads as u64)?;
-        self.emit_parallel_body(&mut b.asm, &barrier, x, r, partials)?;
+        match &barrier {
+            Some(bar) => {
+                let partials = b.space.alloc_lines(threads as u64)?;
+                self.emit_parallel_body(&mut b.asm, bar, x, r, partials)?;
+            }
+            None => emit_rep_loop(&mut b.asm, REPS, |a| {
+                a.li(Reg::S0, 0); // k
+                a.label("lag_loop")?;
+                a.li(Reg::T0, x as i64); // &x[0]
+                a.slli(Reg::T1, Reg::S0, 3);
+                a.add(Reg::T1, Reg::T0, Reg::T1); // &x[k]
+                a.li(Reg::T2, self.n as i64);
+                a.sub(Reg::T2, Reg::T2, Reg::S0); // count = n - k
+                a.li(Reg::T3, 0); // acc
+                a.label("sum_loop")?;
+                a.ldd(Reg::T4, Reg::T0, 0);
+                a.ldd(Reg::T5, Reg::T1, 0);
+                a.mul(Reg::T4, Reg::T4, Reg::T5);
+                a.add(Reg::T3, Reg::T3, Reg::T4);
+                a.addi(Reg::T0, Reg::T0, 8);
+                a.addi(Reg::T1, Reg::T1, 8);
+                a.addi(Reg::T2, Reg::T2, -1);
+                a.bne(Reg::T2, Reg::ZERO, "sum_loop");
+                a.slli(Reg::T4, Reg::S0, 3);
+                a.li(Reg::T5, r as i64);
+                a.add(Reg::T5, Reg::T5, Reg::T4);
+                a.std(Reg::T3, Reg::T5, 0);
+                a.addi(Reg::S0, Reg::S0, 1);
+                a.li(Reg::T4, self.lags as i64);
+                a.blt(Reg::S0, Reg::T4, "lag_loop");
+                Ok(())
+            })?,
+        }
         let xs: Vec<u64> = self.x.iter().map(|&v| v as u64).collect();
         let mut m = b.finish(move |mb| {
             mb.write_u64_slice(x, &xs);
         })?;
-        let outcome = run_reps(&mut m, REPS)?;
+        let (outcome, faults) = run_spec_reps(&mut m, REPS, exec, &att)?;
         check_u64("r", &m.read_u64_slice(r, self.lags), &self.reference())?;
-        Ok((outcome, m.program().clone()))
+        Ok(RunOutput {
+            outcome,
+            faults,
+            program: m.program().clone(),
+        })
     }
 
     fn emit_parallel_body(

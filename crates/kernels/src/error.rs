@@ -24,6 +24,11 @@ pub enum KernelError {
     Layout(LayoutError),
     /// The simulated output did not match the host reference.
     Validation(String),
+    /// A [`RunSpec`](crate::RunSpec) was malformed or inconsistent
+    /// (unknown workload, bad sizes, sequential spec with threads, ...).
+    /// Spec problems are reported as errors rather than panics so a
+    /// daemon can reject a bad wire job without dying.
+    Spec(String),
 }
 
 impl fmt::Display for KernelError {
@@ -36,6 +41,7 @@ impl fmt::Display for KernelError {
             KernelError::Symbol(e) => write!(f, "entry resolution failed: {e}"),
             KernelError::Layout(e) => write!(f, "allocation failed: {e}"),
             KernelError::Validation(why) => write!(f, "output validation failed: {why}"),
+            KernelError::Spec(why) => write!(f, "bad run spec: {why}"),
         }
     }
 }

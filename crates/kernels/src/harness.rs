@@ -1,6 +1,6 @@
 //! Shared plumbing for building and timing kernel runs.
 
-use barrier_filter::{Barrier, BarrierMechanism, BarrierSystem};
+use barrier_filter::BarrierSystem;
 use cmp_sim::{
     run_with_faults, AddressSpace, DecodeCacheStats, EventQueueStats, FaultPlan, FaultReport,
     FusedMemStats, Machine, MachineBuilder, Measurement, SimConfig, TraceConfig, TraceSink,
@@ -35,6 +35,11 @@ pub struct KernelOutcome {
     /// Memory-op-fused executor counters (all zero when fusion or the
     /// decode cache is off). Host-side engine metrics, like `decode`.
     pub fused: FusedMemStats,
+    /// Mean wait on the more contended of the two shared buses
+    /// (address/data), in cycles per access — the Figure 4 saturation
+    /// signal, reported here so latency-style measurements can be read
+    /// straight off a kernel outcome.
+    pub bus_mean_wait: f64,
 }
 
 /// Optional overrides for the engine fast-path knobs, applied on top of
@@ -46,6 +51,9 @@ pub struct KernelOutcome {
 /// line).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineKnobs {
+    /// Override for [`SimConfig::burst_budget`], the max events drained
+    /// per core visit before re-arbitration.
+    pub burst_budget: Option<u32>,
     /// Override for [`SimConfig::decode_cache`].
     pub decode_cache: Option<bool>,
     /// Override for [`SimConfig::event_shards`].
@@ -57,6 +65,9 @@ pub struct EngineKnobs {
 impl EngineKnobs {
     /// Apply the set overrides to `config`.
     pub fn apply(&self, config: &mut SimConfig) {
+        if let Some(b) = self.burst_budget {
+            config.burst_budget = b;
+        }
         if let Some(d) = self.decode_cache {
             config.decode_cache = d;
         }
@@ -81,7 +92,7 @@ pub(crate) struct KernelBuild {
     /// An explicit sink instance to attach (e.g. the race detector);
     /// overrides `trace` when set. Still a pure observer.
     pub sink: Option<Box<dyn TraceSink>>,
-    threads: usize,
+    pub threads: usize,
 }
 
 impl KernelBuild {
@@ -98,35 +109,6 @@ impl KernelBuild {
             sink: None,
             threads: 1,
         }
-    }
-
-    /// Parallel build: `threads` threads with a barrier of the requested
-    /// mechanism registered and ready to emit.
-    ///
-    /// # Errors
-    ///
-    /// Barrier registration failures.
-    pub fn parallel(
-        threads: usize,
-        mechanism: BarrierMechanism,
-    ) -> Result<(KernelBuild, Barrier), KernelError> {
-        let config = SimConfig::with_cores(threads);
-        let mut space = AddressSpace::new(&config);
-        let mut asm = Asm::new();
-        let mut sys = BarrierSystem::new(&config, threads, &mut space)?;
-        let barrier = sys.create_barrier(&mut asm, &mut space, mechanism, threads)?;
-        Ok((
-            KernelBuild {
-                config,
-                space,
-                asm,
-                sys: Some(sys),
-                trace: TraceConfig::Off,
-                sink: None,
-                threads,
-            },
-            barrier,
-        ))
     }
 
     /// Assemble, initialize memory via `init`, add the threads at label
@@ -156,25 +138,9 @@ impl KernelBuild {
     }
 }
 
-/// Run a machine for a kernel of `reps` repetitions and package the result.
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-pub(crate) fn run_reps(machine: &mut Machine, reps: u64) -> Result<KernelOutcome, KernelError> {
-    let summary = machine.run()?;
-    let stats = machine.stats();
-    Ok(KernelOutcome {
-        sim: Measurement::new(&summary, &stats),
-        cycles_per_rep: summary.cycles as f64 / reps as f64,
-        decode: machine.decode_stats(),
-        queue: machine.queue_stats(),
-        fused: machine.fused_stats(),
-    })
-}
-
-/// Like [`run_reps`], but drive the machine through a [`FaultPlan`] and
-/// require the filter hooks to be quiescent afterwards — the chaos
+/// Run a machine for a kernel of `reps` repetitions through a
+/// [`FaultPlan`] (possibly empty — an empty plan is bit-identical to a
+/// plain run) and require the filter hooks to be quiescent afterwards — the chaos
 /// harness's graceful-degradation contract (§3.3.3).
 ///
 /// # Errors
@@ -200,6 +166,7 @@ pub(crate) fn run_reps_faulted(
             decode: machine.decode_stats(),
             queue: machine.queue_stats(),
             fused: machine.fused_stats(),
+            bus_mean_wait: stats.addr_bus.mean_wait().max(stats.data_bus.mean_wait()),
         },
         report,
     ))

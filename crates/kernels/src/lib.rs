@@ -41,11 +41,21 @@
 
 pub mod autocorr;
 mod error;
+pub mod fig4;
 mod harness;
 pub mod input;
 pub mod livermore;
 pub mod ocean;
+pub mod spec;
 pub mod viterbi;
 
+pub use autocorr::Autocorr;
 pub use error::KernelError;
+pub use fig4::Fig4;
 pub use harness::{EngineKnobs, KernelOutcome, REPS};
+pub use ocean::OceanProxy;
+pub use spec::{
+    run, run_with, ExecSpec, FaultSpec, RunAttachments, RunOutput, RunSpec, WorkloadSpec,
+    SPEC_SCHEMA,
+};
+pub use viterbi::Viterbi;

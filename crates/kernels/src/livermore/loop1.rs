@@ -9,12 +9,10 @@
 //! ```
 
 use barrier_filter::{Barrier, BarrierMechanism};
-use cmp_sim::TraceSink;
-use sim_isa::{Asm, FReg, Program, Reg};
+use sim_isa::{Asm, FReg, Reg};
 
-use crate::harness::{
-    check_f64, chunk_for, emit_rep_loop, run_reps, KernelBuild, KernelOutcome, REPS,
-};
+use crate::harness::{check_f64, chunk_for, emit_rep_loop, KernelBuild, KernelOutcome, REPS};
+use crate::spec::{run_spec_reps, ExecSpec, RunAttachments, RunOutput};
 use crate::{input, KernelError};
 
 const Q: f64 = 0.5;
@@ -86,23 +84,9 @@ impl Loop1 {
     ///
     /// Simulation or validation failures.
     pub fn run_sequential(&self) -> Result<KernelOutcome, KernelError> {
-        let mut b = KernelBuild::sequential();
-        let x = b.space.alloc_f64(self.n as u64)?;
-        let y = b.space.alloc_f64(self.n as u64)?;
-        let z = b.space.alloc_f64(self.n as u64 + 11)?;
-        emit_rep_loop(&mut b.asm, REPS, |a| {
-            a.li(Reg::T1, 0);
-            a.li(Reg::T2, self.n as i64);
-            self.emit_range_body(a, x, y, z)
-        })?;
-        let (ys, zs) = (self.y.clone(), self.z.clone());
-        let mut m = b.finish(move |mb| {
-            mb.write_f64_slice(y, &ys);
-            mb.write_f64_slice(z, &zs);
-        })?;
-        let outcome = run_reps(&mut m, REPS)?;
-        check_f64("x", &m.read_f64_slice(x, self.n), &self.reference(), 1e-9)?;
-        Ok(outcome)
+        Ok(self
+            .run_with(&ExecSpec::sequential(), RunAttachments::default())?
+            .outcome)
     }
 
     /// Run the parallel version: pure chunked distribution, one barrier per
@@ -116,39 +100,55 @@ impl Loop1 {
         threads: usize,
         mechanism: BarrierMechanism,
     ) -> Result<KernelOutcome, KernelError> {
-        Ok(self.run_parallel_observed(threads, mechanism, |_| None)?.0)
+        Ok(self
+            .run_with(
+                &ExecSpec::parallel(threads, mechanism),
+                RunAttachments::default(),
+            )?
+            .outcome)
     }
 
-    /// [`run_parallel`](Loop1::run_parallel) with a hook that may attach a
-    /// trace sink (e.g. a race detector) once the barrier is registered;
-    /// the assembled [`Program`] comes back for post-run static analysis.
-    /// Sinks are observers: the outcome is bit-identical to the unobserved
-    /// run.
+    /// Run under a full [`ExecSpec`] (threads, mechanism, topology,
+    /// engine knobs, seeded faults) with optional in-process
+    /// [`RunAttachments`] (trace sinks, observer hooks, hand-built
+    /// plans). The output vector is always validated against the host
+    /// reference; attachments and knobs are digest-invariant.
     ///
     /// # Errors
     ///
-    /// Same as [`run_parallel`](Loop1::run_parallel).
-    pub fn run_parallel_observed(
+    /// Spec, simulation, barrier-setup or validation failures.
+    pub fn run_with(
         &self,
-        threads: usize,
-        mechanism: BarrierMechanism,
-        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
-    ) -> Result<(KernelOutcome, Program), KernelError> {
-        let (mut b, barrier) = KernelBuild::parallel(threads, mechanism)?;
-        b.sink = observe(&barrier);
+        exec: &ExecSpec,
+        mut att: RunAttachments<'_>,
+    ) -> Result<RunOutput, KernelError> {
+        let (mut b, barrier) = KernelBuild::from_exec(exec, &mut att)?;
         let x = b.space.alloc_f64(self.n as u64)?;
         let y = b.space.alloc_f64(self.n as u64)?;
         let z = b.space.alloc_f64(self.n as u64 + 11)?;
-        let chunk = chunk_for(self.n, threads, 8);
-        self.emit_parallel_body(&mut b.asm, &barrier, x, y, z, chunk)?;
+        match &barrier {
+            Some(bar) => {
+                let chunk = chunk_for(self.n, b.threads, 8);
+                self.emit_parallel_body(&mut b.asm, bar, x, y, z, chunk)?;
+            }
+            None => emit_rep_loop(&mut b.asm, REPS, |a| {
+                a.li(Reg::T1, 0);
+                a.li(Reg::T2, self.n as i64);
+                self.emit_range_body(a, x, y, z)
+            })?,
+        }
         let (ys, zs) = (self.y.clone(), self.z.clone());
         let mut m = b.finish(move |mb| {
             mb.write_f64_slice(y, &ys);
             mb.write_f64_slice(z, &zs);
         })?;
-        let outcome = run_reps(&mut m, REPS)?;
+        let (outcome, faults) = run_spec_reps(&mut m, REPS, exec, &att)?;
         check_f64("x", &m.read_f64_slice(x, self.n), &self.reference(), 1e-9)?;
-        Ok((outcome, m.program().clone()))
+        Ok(RunOutput {
+            outcome,
+            faults,
+            program: m.program().clone(),
+        })
     }
 
     fn emit_parallel_body(

@@ -22,12 +22,10 @@
 //! kernel has the latest crossover of the three (vector length 256).
 
 use barrier_filter::{Barrier, BarrierMechanism};
-use cmp_sim::{FaultPlan, FaultReport, TraceSink};
-use sim_isa::{Asm, FReg, Program, Reg};
+use sim_isa::{Asm, FReg, Reg};
 
-use crate::harness::{
-    check_f64, emit_rep_loop, run_reps, run_reps_faulted, KernelBuild, KernelOutcome, REPS,
-};
+use crate::harness::{check_f64, emit_rep_loop, KernelBuild, KernelOutcome, REPS};
+use crate::spec::{run_spec_reps, ExecSpec, RunAttachments, RunOutput};
 use crate::{input, KernelError};
 
 /// Livermore Loop 2 at vector length `n` (must be a power of two ≥ 4).
@@ -127,42 +125,9 @@ impl Loop2 {
     ///
     /// Simulation or validation failures.
     pub fn run_sequential(&self) -> Result<KernelOutcome, KernelError> {
-        let mut b = KernelBuild::sequential();
-        let x = b.space.alloc_f64(self.total() as u64)?;
-        let v = b.space.alloc_f64(self.total() as u64)?;
-        emit_rep_loop(&mut b.asm, REPS, |a| {
-            a.li(Reg::S0, self.n as i64); // ii
-            a.li(Reg::S1, 0); // ipntp
-            a.label("stage")?;
-            a.mv(Reg::S2, Reg::S1); // ipnt
-            a.add(Reg::S1, Reg::S1, Reg::S0);
-            a.srai(Reg::S0, Reg::S0, 1);
-            a.mv(Reg::T3, Reg::S1); // i = ipntp
-            a.addi(Reg::T4, Reg::S2, 1); // k = ipnt + 1
-            a.label("k_loop")?;
-            a.bge(Reg::T4, Reg::S1, "stage_end");
-            a.addi(Reg::T3, Reg::T3, 1);
-            Self::emit_element(a, x, v);
-            a.addi(Reg::T4, Reg::T4, 2);
-            a.j("k_loop");
-            a.label("stage_end")?;
-            a.li(Reg::T0, 1);
-            a.blt(Reg::T0, Reg::S0, "stage");
-            Ok(())
-        })?;
-        let (xs, vs) = (self.x0.clone(), self.v.clone());
-        let mut m = b.finish(move |mb| {
-            mb.write_f64_slice(x, &xs);
-            mb.write_f64_slice(v, &vs);
-        })?;
-        let outcome = run_reps(&mut m, REPS)?;
-        check_f64(
-            "x",
-            &m.read_f64_slice(x, self.total()),
-            &self.reference(),
-            1e-9,
-        )?;
-        Ok(outcome)
+        Ok(self
+            .run_with(&ExecSpec::sequential(), RunAttachments::default())?
+            .outcome)
     }
 
     /// Run the paper's parallel decomposition and validate.
@@ -176,73 +141,71 @@ impl Loop2 {
         mechanism: BarrierMechanism,
     ) -> Result<KernelOutcome, KernelError> {
         Ok(self
-            .run_parallel_faulted(threads, mechanism, &FaultPlan::none())?
-            .0)
+            .run_with(
+                &ExecSpec::parallel(threads, mechanism),
+                RunAttachments::default(),
+            )?
+            .outcome)
     }
 
-    /// [`run_parallel`](Loop2::run_parallel) driven through a seeded
-    /// [`FaultPlan`]: the output is still validated against the host
-    /// reference and the filter tables must end quiescent (§3.3.3).
+    /// Run under a full [`ExecSpec`] (threads, mechanism, topology,
+    /// engine knobs, seeded faults) with optional in-process
+    /// [`RunAttachments`] (trace sinks, observer hooks, hand-built
+    /// plans). The output is always validated against the host reference,
+    /// and after a faulted run the filter tables must end quiescent
+    /// (§3.3.3). Attachments and knobs are digest-invariant.
     ///
     /// # Errors
     ///
-    /// Same as [`run_parallel`](Loop2::run_parallel), plus
-    /// [`KernelError::Validation`] if the filters are not quiescent.
-    pub fn run_parallel_faulted(
+    /// Spec, simulation, barrier-setup or validation failures.
+    pub fn run_with(
         &self,
-        threads: usize,
-        mechanism: BarrierMechanism,
-        plan: &FaultPlan,
-    ) -> Result<(KernelOutcome, FaultReport), KernelError> {
-        let (outcome, report, _) = self.run_inner(threads, mechanism, plan, |_| None)?;
-        Ok((outcome, report))
-    }
-
-    /// [`run_parallel`](Loop2::run_parallel) with a hook that may attach a
-    /// trace sink (e.g. a race detector) once the barrier is registered;
-    /// the assembled [`Program`] comes back for post-run static analysis.
-    /// Sinks are observers: the outcome is bit-identical to the unobserved
-    /// run.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`run_parallel`](Loop2::run_parallel).
-    pub fn run_parallel_observed(
-        &self,
-        threads: usize,
-        mechanism: BarrierMechanism,
-        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
-    ) -> Result<(KernelOutcome, Program), KernelError> {
-        let (outcome, _, program) =
-            self.run_inner(threads, mechanism, &FaultPlan::none(), observe)?;
-        Ok((outcome, program))
-    }
-
-    fn run_inner(
-        &self,
-        threads: usize,
-        mechanism: BarrierMechanism,
-        plan: &FaultPlan,
-        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
-    ) -> Result<(KernelOutcome, FaultReport, Program), KernelError> {
-        let (mut b, barrier) = KernelBuild::parallel(threads, mechanism)?;
-        b.sink = observe(&barrier);
+        exec: &ExecSpec,
+        mut att: RunAttachments<'_>,
+    ) -> Result<RunOutput, KernelError> {
+        let (mut b, barrier) = KernelBuild::from_exec(exec, &mut att)?;
         let x = b.space.alloc_f64(self.total() as u64)?;
         let v = b.space.alloc_f64(self.total() as u64)?;
-        self.emit_parallel_body(&mut b.asm, &barrier, x, v)?;
+        match &barrier {
+            Some(bar) => self.emit_parallel_body(&mut b.asm, bar, x, v)?,
+            None => emit_rep_loop(&mut b.asm, REPS, |a| {
+                a.li(Reg::S0, self.n as i64); // ii
+                a.li(Reg::S1, 0); // ipntp
+                a.label("stage")?;
+                a.mv(Reg::S2, Reg::S1); // ipnt
+                a.add(Reg::S1, Reg::S1, Reg::S0);
+                a.srai(Reg::S0, Reg::S0, 1);
+                a.mv(Reg::T3, Reg::S1); // i = ipntp
+                a.addi(Reg::T4, Reg::S2, 1); // k = ipnt + 1
+                a.label("k_loop")?;
+                a.bge(Reg::T4, Reg::S1, "stage_end");
+                a.addi(Reg::T3, Reg::T3, 1);
+                Self::emit_element(a, x, v);
+                a.addi(Reg::T4, Reg::T4, 2);
+                a.j("k_loop");
+                a.label("stage_end")?;
+                a.li(Reg::T0, 1);
+                a.blt(Reg::T0, Reg::S0, "stage");
+                Ok(())
+            })?,
+        }
         let (xs, vs) = (self.x0.clone(), self.v.clone());
         let mut m = b.finish(move |mb| {
             mb.write_f64_slice(x, &xs);
             mb.write_f64_slice(v, &vs);
         })?;
-        let (outcome, report) = run_reps_faulted(&mut m, REPS, plan)?;
+        let (outcome, faults) = run_spec_reps(&mut m, REPS, exec, &att)?;
         check_f64(
             "x",
             &m.read_f64_slice(x, self.total()),
             &self.reference(),
             1e-9,
         )?;
-        Ok((outcome, report, m.program().clone()))
+        Ok(RunOutput {
+            outcome,
+            faults,
+            program: m.program().clone(),
+        })
     }
 
     fn emit_parallel_body(

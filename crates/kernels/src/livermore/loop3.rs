@@ -12,12 +12,10 @@
 //! lines, and reduces on thread 0 — two barriers per invocation.
 
 use barrier_filter::{Barrier, BarrierMechanism};
-use cmp_sim::TraceSink;
-use sim_isa::{Asm, FReg, Program, Reg};
+use sim_isa::{Asm, FReg, Reg};
 
-use crate::harness::{
-    check_f64, chunk_for, emit_rep_loop, run_reps, KernelBuild, KernelOutcome, REPS,
-};
+use crate::harness::{check_f64, chunk_for, emit_rep_loop, KernelBuild, KernelOutcome, REPS};
+use crate::spec::{run_spec_reps, ExecSpec, RunAttachments, RunOutput};
 use crate::{input, KernelError};
 
 /// Livermore Loop 3 at vector length `n`.
@@ -75,40 +73,9 @@ impl Loop3 {
     ///
     /// Simulation or validation failures.
     pub fn run_sequential(&self) -> Result<KernelOutcome, KernelError> {
-        let mut b = KernelBuild::sequential();
-        let x = b.space.alloc_f64(self.n as u64)?;
-        let z = b.space.alloc_f64(self.n as u64)?;
-        let out = b.space.alloc_lines(1)?;
-        emit_rep_loop(&mut b.asm, REPS, |a| {
-            a.fli(FReg::F0, 0.0);
-            a.li(Reg::T0, x as i64);
-            a.li(Reg::T1, z as i64);
-            a.li(Reg::T3, self.n as i64);
-            a.label("k_loop")?;
-            a.fld(FReg::F1, Reg::T1, 0);
-            a.fld(FReg::F2, Reg::T0, 0);
-            a.fmadd(FReg::F0, FReg::F1, FReg::F2, FReg::F0);
-            a.addi(Reg::T0, Reg::T0, 8);
-            a.addi(Reg::T1, Reg::T1, 8);
-            a.addi(Reg::T3, Reg::T3, -1);
-            a.bne(Reg::T3, Reg::ZERO, "k_loop");
-            a.li(Reg::T2, out as i64);
-            a.fst(FReg::F0, Reg::T2, 0);
-            Ok(())
-        })?;
-        let (xs, zs) = (self.x.clone(), self.z.clone());
-        let mut m = b.finish(move |mb| {
-            mb.write_f64_slice(x, &xs);
-            mb.write_f64_slice(z, &zs);
-        })?;
-        let outcome = run_reps(&mut m, REPS)?;
-        check_f64(
-            "q",
-            &[m.read_f64(out)],
-            &[self.reference_sequential()],
-            1e-9,
-        )?;
-        Ok(outcome)
+        Ok(self
+            .run_with(&ExecSpec::sequential(), RunAttachments::default())?
+            .outcome)
     }
 
     /// Run the paper's parallel version on `threads` cores using
@@ -122,45 +89,77 @@ impl Loop3 {
         threads: usize,
         mechanism: BarrierMechanism,
     ) -> Result<KernelOutcome, KernelError> {
-        Ok(self.run_parallel_observed(threads, mechanism, |_| None)?.0)
+        Ok(self
+            .run_with(
+                &ExecSpec::parallel(threads, mechanism),
+                RunAttachments::default(),
+            )?
+            .outcome)
     }
 
-    /// [`run_parallel`](Loop3::run_parallel) with a hook that may attach a
-    /// trace sink (e.g. a race detector) once the barrier is registered;
-    /// the assembled [`Program`] comes back for post-run static analysis.
-    /// Sinks are observers: the outcome is bit-identical to the unobserved
-    /// run.
+    /// Run under a full [`ExecSpec`] (threads, mechanism, topology,
+    /// engine knobs, seeded faults) with optional in-process
+    /// [`RunAttachments`] (trace sinks, observer hooks, hand-built
+    /// plans). The inner product is validated against the host reference
+    /// in the matching accumulation order; attachments and knobs are
+    /// digest-invariant.
     ///
     /// # Errors
     ///
-    /// Same as [`run_parallel`](Loop3::run_parallel).
-    pub fn run_parallel_observed(
+    /// Spec, simulation, barrier-setup or validation failures.
+    pub fn run_with(
         &self,
-        threads: usize,
-        mechanism: BarrierMechanism,
-        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
-    ) -> Result<(KernelOutcome, Program), KernelError> {
-        let (mut b, barrier) = KernelBuild::parallel(threads, mechanism)?;
-        b.sink = observe(&barrier);
+        exec: &ExecSpec,
+        mut att: RunAttachments<'_>,
+    ) -> Result<RunOutput, KernelError> {
+        let (mut b, barrier) = KernelBuild::from_exec(exec, &mut att)?;
+        let threads = b.threads;
         let x = b.space.alloc_f64(self.n as u64)?;
         let z = b.space.alloc_f64(self.n as u64)?;
-        let partials = b.space.alloc_lines(threads as u64)?;
-        let out = b.space.alloc_lines(1)?;
-        let chunk = chunk_for(self.n, threads, 8);
-        self.emit_parallel_body(&mut b.asm, &barrier, x, z, partials, out, chunk)?;
+        let out;
+        let expected;
+        match &barrier {
+            Some(bar) => {
+                let partials = b.space.alloc_lines(threads as u64)?;
+                out = b.space.alloc_lines(1)?;
+                let chunk = chunk_for(self.n, threads, 8);
+                self.emit_parallel_body(&mut b.asm, bar, x, z, partials, out, chunk)?;
+                expected = self.reference_parallel(threads);
+            }
+            None => {
+                out = b.space.alloc_lines(1)?;
+                emit_rep_loop(&mut b.asm, REPS, |a| {
+                    a.fli(FReg::F0, 0.0);
+                    a.li(Reg::T0, x as i64);
+                    a.li(Reg::T1, z as i64);
+                    a.li(Reg::T3, self.n as i64);
+                    a.label("k_loop")?;
+                    a.fld(FReg::F1, Reg::T1, 0);
+                    a.fld(FReg::F2, Reg::T0, 0);
+                    a.fmadd(FReg::F0, FReg::F1, FReg::F2, FReg::F0);
+                    a.addi(Reg::T0, Reg::T0, 8);
+                    a.addi(Reg::T1, Reg::T1, 8);
+                    a.addi(Reg::T3, Reg::T3, -1);
+                    a.bne(Reg::T3, Reg::ZERO, "k_loop");
+                    a.li(Reg::T2, out as i64);
+                    a.fst(FReg::F0, Reg::T2, 0);
+                    Ok(())
+                })?;
+                expected = self.reference_sequential();
+            }
+        }
         let (xs, zs) = (self.x.clone(), self.z.clone());
         let mut m = b.finish(move |mb| {
             mb.write_f64_slice(x, &xs);
             mb.write_f64_slice(z, &zs);
         })?;
-        let outcome = run_reps(&mut m, REPS)?;
-        check_f64(
-            "q",
-            &[m.read_f64(out)],
-            &[self.reference_parallel(threads)],
-            1e-9,
-        )?;
-        Ok((outcome, m.program().clone()))
+        let (outcome, faults) = run_spec_reps(&mut m, REPS, exec, &att)?;
+        check_f64("q", &[m.read_f64(out)], &[expected], 1e-9)?;
+        Ok(RunOutput {
+            outcome,
+            faults,
+            program: m.program().clone(),
+        })
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -16,10 +16,10 @@
 //! ```
 
 use barrier_filter::{Barrier, BarrierMechanism};
-use cmp_sim::TraceSink;
-use sim_isa::{Asm, FReg, Program, Reg};
+use sim_isa::{Asm, FReg, Reg};
 
-use crate::harness::{check_f64, emit_rep_loop, run_reps, KernelBuild, KernelOutcome, REPS};
+use crate::harness::{check_f64, emit_rep_loop, KernelBuild, KernelOutcome, REPS};
+use crate::spec::{run_spec_reps, ExecSpec, RunAttachments, RunOutput};
 use crate::{input, KernelError};
 
 /// Livermore Loop 4 with inner-reduction length `n` (the `j` loop runs
@@ -104,49 +104,9 @@ impl Loop4 {
     ///
     /// Simulation or validation failures.
     pub fn run_sequential(&self) -> Result<KernelOutcome, KernelError> {
-        let mut b = KernelBuild::sequential();
-        let x = b.space.alloc_f64(self.x0.len() as u64)?;
-        let y = b.space.alloc_f64(self.y.len() as u64)?;
-        let terms = self.terms() as i64;
-        emit_rep_loop(&mut b.asm, REPS, |a| {
-            for (ki, k) in Self::ks().into_iter().enumerate() {
-                let xk = x + 8 * (k as u64 - 1);
-                let lw = x + 8 * (k as u64 - 6);
-                let body = format!("k{ki}_loop");
-                a.li(Reg::T0, lw as i64); // &x[lw]
-                a.li(Reg::T1, (y + 32) as i64); // &y[4]
-                a.li(Reg::T2, terms);
-                a.li(Reg::T3, xk as i64);
-                a.fld(FReg::F0, Reg::T3, 0); // temp = x[k-1]
-                a.label(&body)?;
-                a.fld(FReg::F1, Reg::T0, 0);
-                a.fld(FReg::F2, Reg::T1, 0);
-                a.fmul(FReg::F1, FReg::F1, FReg::F2);
-                a.fsub(FReg::F0, FReg::F0, FReg::F1);
-                a.addi(Reg::T0, Reg::T0, 8);
-                a.addi(Reg::T1, Reg::T1, 40);
-                a.addi(Reg::T2, Reg::T2, -1);
-                a.bne(Reg::T2, Reg::ZERO, body.as_str());
-                a.li(Reg::T1, (y + 32) as i64);
-                a.fld(FReg::F2, Reg::T1, 0); // y[4]
-                a.fmul(FReg::F0, FReg::F0, FReg::F2);
-                a.fst(FReg::F0, Reg::T3, 0);
-            }
-            Ok(())
-        })?;
-        let (xs, ys) = (self.x0.clone(), self.y.clone());
-        let mut m = b.finish(move |mb| {
-            mb.write_f64_slice(x, &xs);
-            mb.write_f64_slice(y, &ys);
-        })?;
-        let outcome = run_reps(&mut m, REPS)?;
-        check_f64(
-            "x",
-            &m.read_f64_slice(x, self.x0.len()),
-            &self.reference(None),
-            1e-9,
-        )?;
-        Ok(outcome)
+        Ok(self
+            .run_with(&ExecSpec::sequential(), RunAttachments::default())?
+            .outcome)
     }
 
     /// Run the parallel version — exactly Loop 3's shape: per-`k` parallel
@@ -160,43 +120,82 @@ impl Loop4 {
         threads: usize,
         mechanism: BarrierMechanism,
     ) -> Result<KernelOutcome, KernelError> {
-        Ok(self.run_parallel_observed(threads, mechanism, |_| None)?.0)
+        Ok(self
+            .run_with(
+                &ExecSpec::parallel(threads, mechanism),
+                RunAttachments::default(),
+            )?
+            .outcome)
     }
 
-    /// [`run_parallel`](Loop4::run_parallel) with a hook that may attach a
-    /// trace sink (e.g. a race detector) once the barrier is registered;
-    /// the assembled [`Program`] comes back for post-run static analysis.
-    /// Sinks are observers: the outcome is bit-identical to the unobserved
-    /// run.
+    /// Run under a full [`ExecSpec`] (threads, mechanism, topology,
+    /// engine knobs, seeded faults) with optional in-process
+    /// [`RunAttachments`] (trace sinks, observer hooks, hand-built
+    /// plans). The banded solve is validated against the host reference
+    /// in the matching accumulation order; attachments and knobs are
+    /// digest-invariant.
     ///
     /// # Errors
     ///
-    /// Same as [`run_parallel`](Loop4::run_parallel).
-    pub fn run_parallel_observed(
+    /// Spec, simulation, barrier-setup or validation failures.
+    pub fn run_with(
         &self,
-        threads: usize,
-        mechanism: BarrierMechanism,
-        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
-    ) -> Result<(KernelOutcome, Program), KernelError> {
-        let (mut b, barrier) = KernelBuild::parallel(threads, mechanism)?;
-        b.sink = observe(&barrier);
+        exec: &ExecSpec,
+        mut att: RunAttachments<'_>,
+    ) -> Result<RunOutput, KernelError> {
+        let (mut b, barrier) = KernelBuild::from_exec(exec, &mut att)?;
+        let threads = b.threads;
         let x = b.space.alloc_f64(self.x0.len() as u64)?;
         let y = b.space.alloc_f64(self.y.len() as u64)?;
-        let partials = b.space.alloc_lines(threads as u64)?;
-        self.emit_parallel(&mut b.asm, &barrier, x, y, partials, threads)?;
+        let expected = match &barrier {
+            Some(bar) => {
+                let partials = b.space.alloc_lines(threads as u64)?;
+                self.emit_parallel(&mut b.asm, bar, x, y, partials, threads)?;
+                self.reference(Some(threads))
+            }
+            None => {
+                let terms = self.terms() as i64;
+                emit_rep_loop(&mut b.asm, REPS, |a| {
+                    for (ki, k) in Self::ks().into_iter().enumerate() {
+                        let xk = x + 8 * (k as u64 - 1);
+                        let lw = x + 8 * (k as u64 - 6);
+                        let body = format!("k{ki}_loop");
+                        a.li(Reg::T0, lw as i64); // &x[lw]
+                        a.li(Reg::T1, (y + 32) as i64); // &y[4]
+                        a.li(Reg::T2, terms);
+                        a.li(Reg::T3, xk as i64);
+                        a.fld(FReg::F0, Reg::T3, 0); // temp = x[k-1]
+                        a.label(&body)?;
+                        a.fld(FReg::F1, Reg::T0, 0);
+                        a.fld(FReg::F2, Reg::T1, 0);
+                        a.fmul(FReg::F1, FReg::F1, FReg::F2);
+                        a.fsub(FReg::F0, FReg::F0, FReg::F1);
+                        a.addi(Reg::T0, Reg::T0, 8);
+                        a.addi(Reg::T1, Reg::T1, 40);
+                        a.addi(Reg::T2, Reg::T2, -1);
+                        a.bne(Reg::T2, Reg::ZERO, body.as_str());
+                        a.li(Reg::T1, (y + 32) as i64);
+                        a.fld(FReg::F2, Reg::T1, 0); // y[4]
+                        a.fmul(FReg::F0, FReg::F0, FReg::F2);
+                        a.fst(FReg::F0, Reg::T3, 0);
+                    }
+                    Ok(())
+                })?;
+                self.reference(None)
+            }
+        };
         let (xs, ys) = (self.x0.clone(), self.y.clone());
         let mut m = b.finish(move |mb| {
             mb.write_f64_slice(x, &xs);
             mb.write_f64_slice(y, &ys);
         })?;
-        let outcome = run_reps(&mut m, REPS)?;
-        check_f64(
-            "x",
-            &m.read_f64_slice(x, self.x0.len()),
-            &self.reference(Some(threads)),
-            1e-9,
-        )?;
-        Ok((outcome, m.program().clone()))
+        let (outcome, faults) = run_spec_reps(&mut m, REPS, exec, &att)?;
+        check_f64("x", &m.read_f64_slice(x, self.x0.len()), &expected, 1e-9)?;
+        Ok(RunOutput {
+            outcome,
+            faults,
+            program: m.program().clone(),
+        })
     }
 
     fn emit_parallel(

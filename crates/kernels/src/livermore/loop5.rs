@@ -15,7 +15,8 @@
 
 use sim_isa::{FReg, Reg};
 
-use crate::harness::{check_f64, emit_rep_loop, run_reps, KernelBuild, KernelOutcome, REPS};
+use crate::harness::{check_f64, emit_rep_loop, KernelBuild, KernelOutcome, REPS};
+use crate::spec::{run_spec_reps, ExecSpec, RunAttachments, RunOutput};
 use crate::{input, KernelError};
 
 /// Livermore Loop 5 at vector length `n`.
@@ -72,8 +73,32 @@ impl Loop5 {
     ///
     /// Simulation or validation failures.
     pub fn run_sequential(&self) -> Result<KernelOutcome, KernelError> {
+        Ok(self
+            .run_with(&ExecSpec::sequential(), RunAttachments::default())?
+            .outcome)
+    }
+
+    /// Run under a full [`ExecSpec`]. The only accepted shape is
+    /// sequential ([`KernelError::Spec`] otherwise — the recurrence is
+    /// serial), but engine knobs, seeded faults and attachments all apply
+    /// like any other kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Spec`] for a parallel spec; simulation or validation
+    /// failures otherwise.
+    pub fn run_with(
+        &self,
+        exec: &ExecSpec,
+        mut att: RunAttachments<'_>,
+    ) -> Result<RunOutput, KernelError> {
+        if exec.mechanism.is_some() {
+            return Err(KernelError::Spec(
+                "loop5 is a serial recurrence; it has no parallel form".into(),
+            ));
+        }
         let n = self.n;
-        let mut b = KernelBuild::sequential();
+        let (mut b, _) = KernelBuild::from_exec(exec, &mut att)?;
         let x = b.space.alloc_f64(n as u64)?;
         let y = b.space.alloc_f64(n as u64)?;
         let z = b.space.alloc_f64(n as u64)?;
@@ -102,9 +127,13 @@ impl Loop5 {
             mb.write_f64_slice(y, &ys);
             mb.write_f64_slice(z, &zs);
         })?;
-        let outcome = run_reps(&mut m, REPS)?;
+        let (outcome, faults) = run_spec_reps(&mut m, REPS, exec, &att)?;
         check_f64("x", &m.read_f64_slice(x, n), &self.reference(), 1e-9)?;
-        Ok(outcome)
+        Ok(RunOutput {
+            outcome,
+            faults,
+            program: m.program().clone(),
+        })
     }
 }
 

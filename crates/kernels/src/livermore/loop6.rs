@@ -24,10 +24,10 @@
 //! natural choice."
 
 use barrier_filter::{Barrier, BarrierMechanism};
-use cmp_sim::TraceSink;
-use sim_isa::{Asm, FReg, Program, Reg};
+use sim_isa::{Asm, FReg, Reg};
 
-use crate::harness::{check_f64, emit_rep_loop, run_reps, KernelBuild, KernelOutcome, REPS};
+use crate::harness::{check_f64, emit_rep_loop, KernelBuild, KernelOutcome, REPS};
+use crate::spec::{run_spec_reps, ExecSpec, RunAttachments, RunOutput};
 use crate::{input, KernelError};
 
 /// Livermore Loop 6 at vector length `n` (matrix `b` is `n`×`n`).
@@ -102,51 +102,9 @@ impl Loop6 {
     ///
     /// Simulation or validation failures.
     pub fn run_sequential(&self) -> Result<KernelOutcome, KernelError> {
-        let n = self.n;
-        let mut bld = KernelBuild::sequential();
-        let w = bld.space.alloc_f64(n as u64)?;
-        let b = bld.space.alloc_f64((n * n) as u64)?;
-        emit_rep_loop(&mut bld.asm, REPS, |a| {
-            a.li(Reg::S4, n as i64);
-            a.li(Reg::S3, (n * 8) as i64); // row stride
-            a.li(Reg::S0, 1); // i
-            a.label("i_loop")?;
-            // f0 = w[i]
-            a.slli(Reg::T0, Reg::S0, 3);
-            a.li(Reg::T1, w as i64);
-            a.add(Reg::T1, Reg::T1, Reg::T0); // &w[i]
-            a.fld(FReg::F0, Reg::T1, 0);
-            // b walker: b[0][i]; w walker: w[i-1] stepping down
-            a.li(Reg::T2, b as i64);
-            a.add(Reg::T2, Reg::T2, Reg::T0);
-            a.addi(Reg::T3, Reg::T1, -8);
-            a.mv(Reg::T4, Reg::S0); // count = i
-            a.label("k_loop")?;
-            a.fld(FReg::F1, Reg::T2, 0); // b[k][i]
-            a.fld(FReg::F2, Reg::T3, 0); // w[i-k-1]
-            a.fmadd(FReg::F0, FReg::F1, FReg::F2, FReg::F0);
-            a.add(Reg::T2, Reg::T2, Reg::S3);
-            a.addi(Reg::T3, Reg::T3, -8);
-            a.addi(Reg::T4, Reg::T4, -1);
-            a.bne(Reg::T4, Reg::ZERO, "k_loop");
-            a.fst(FReg::F0, Reg::T1, 0);
-            a.addi(Reg::S0, Reg::S0, 1);
-            a.blt(Reg::S0, Reg::S4, "i_loop");
-            Ok(())
-        })?;
-        let (ws, bs) = (self.w0.clone(), self.b.clone());
-        let mut m = bld.finish(move |mb| {
-            mb.write_f64_slice(w, &ws);
-            mb.write_f64_slice(b, &bs);
-        })?;
-        let outcome = run_reps(&mut m, REPS)?;
-        check_f64(
-            "w",
-            &m.read_f64_slice(w, n),
-            &self.reference_sequential(),
-            1e-9,
-        )?;
-        Ok(outcome)
+        Ok(self
+            .run_with(&ExecSpec::sequential(), RunAttachments::default())?
+            .outcome)
     }
 
     /// Run the paper's wavefront-parallel version and validate.
@@ -159,44 +117,84 @@ impl Loop6 {
         threads: usize,
         mechanism: BarrierMechanism,
     ) -> Result<KernelOutcome, KernelError> {
-        Ok(self.run_parallel_observed(threads, mechanism, |_| None)?.0)
+        Ok(self
+            .run_with(
+                &ExecSpec::parallel(threads, mechanism),
+                RunAttachments::default(),
+            )?
+            .outcome)
     }
 
-    /// [`run_parallel`](Loop6::run_parallel) with a hook that may attach a
-    /// trace sink (e.g. a race detector) once the barrier is registered;
-    /// the assembled [`Program`] comes back for post-run static analysis.
-    /// Sinks are observers: the outcome is bit-identical to the unobserved
-    /// run.
+    /// Run under a full [`ExecSpec`] (threads, mechanism, topology,
+    /// engine knobs, seeded faults) with optional in-process
+    /// [`RunAttachments`] (trace sinks, observer hooks, hand-built
+    /// plans). The recurrence output is validated against the host
+    /// reference in the matching evaluation order; attachments and knobs
+    /// are digest-invariant.
     ///
     /// # Errors
     ///
-    /// Same as [`run_parallel`](Loop6::run_parallel).
-    pub fn run_parallel_observed(
+    /// Spec, simulation, barrier-setup or validation failures.
+    pub fn run_with(
         &self,
-        threads: usize,
-        mechanism: BarrierMechanism,
-        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
-    ) -> Result<(KernelOutcome, Program), KernelError> {
+        exec: &ExecSpec,
+        mut att: RunAttachments<'_>,
+    ) -> Result<RunOutput, KernelError> {
         let n = self.n;
-        let (mut bld, barrier) = KernelBuild::parallel(threads, mechanism)?;
-        bld.sink = observe(&barrier);
+        let (mut bld, barrier) = KernelBuild::from_exec(exec, &mut att)?;
+        let threads = bld.threads;
         let w = bld.space.alloc_f64(n as u64)?;
         let b = bld.space.alloc_f64((n * n) as u64)?;
-        let chunk = (n - 1).div_ceil(threads);
-        self.emit_parallel_body(&mut bld.asm, &barrier, w, b, chunk)?;
+        let expected = match &barrier {
+            Some(bar) => {
+                let chunk = (n - 1).div_ceil(threads);
+                self.emit_parallel_body(&mut bld.asm, bar, w, b, chunk)?;
+                self.reference_parallel()
+            }
+            None => {
+                emit_rep_loop(&mut bld.asm, REPS, |a| {
+                    a.li(Reg::S4, n as i64);
+                    a.li(Reg::S3, (n * 8) as i64); // row stride
+                    a.li(Reg::S0, 1); // i
+                    a.label("i_loop")?;
+                    // f0 = w[i]
+                    a.slli(Reg::T0, Reg::S0, 3);
+                    a.li(Reg::T1, w as i64);
+                    a.add(Reg::T1, Reg::T1, Reg::T0); // &w[i]
+                    a.fld(FReg::F0, Reg::T1, 0);
+                    // b walker: b[0][i]; w walker: w[i-1] stepping down
+                    a.li(Reg::T2, b as i64);
+                    a.add(Reg::T2, Reg::T2, Reg::T0);
+                    a.addi(Reg::T3, Reg::T1, -8);
+                    a.mv(Reg::T4, Reg::S0); // count = i
+                    a.label("k_loop")?;
+                    a.fld(FReg::F1, Reg::T2, 0); // b[k][i]
+                    a.fld(FReg::F2, Reg::T3, 0); // w[i-k-1]
+                    a.fmadd(FReg::F0, FReg::F1, FReg::F2, FReg::F0);
+                    a.add(Reg::T2, Reg::T2, Reg::S3);
+                    a.addi(Reg::T3, Reg::T3, -8);
+                    a.addi(Reg::T4, Reg::T4, -1);
+                    a.bne(Reg::T4, Reg::ZERO, "k_loop");
+                    a.fst(FReg::F0, Reg::T1, 0);
+                    a.addi(Reg::S0, Reg::S0, 1);
+                    a.blt(Reg::S0, Reg::S4, "i_loop");
+                    Ok(())
+                })?;
+                self.reference_sequential()
+            }
+        };
         let (ws, bs) = (self.w0.clone(), self.b.clone());
         let mut m = bld.finish(move |mb| {
             mb.write_f64_slice(w, &ws);
             mb.write_f64_slice(b, &bs);
         })?;
-        let outcome = run_reps(&mut m, REPS)?;
-        check_f64(
-            "w",
-            &m.read_f64_slice(w, n),
-            &self.reference_parallel(),
-            1e-9,
-        )?;
-        Ok((outcome, m.program().clone()))
+        let (outcome, faults) = run_spec_reps(&mut m, REPS, exec, &att)?;
+        check_f64("w", &m.read_f64_slice(w, n), &expected, 1e-9)?;
+        Ok(RunOutput {
+            outcome,
+            faults,
+            program: m.program().clone(),
+        })
     }
 
     fn emit_parallel_body(

@@ -10,10 +10,10 @@
 //! barriers per sweep, with per-barrier work that dwarfs barrier latency.
 
 use barrier_filter::{Barrier, BarrierMechanism};
-use cmp_sim::TraceSink;
-use sim_isa::{Asm, FReg, Program, Reg};
+use sim_isa::{Asm, FReg, Reg};
 
-use crate::harness::{check_f64, run_reps, KernelBuild, KernelOutcome};
+use crate::harness::{check_f64, KernelBuild, KernelOutcome};
+use crate::spec::{run_spec_reps, ExecSpec, RunAttachments, RunOutput};
 use crate::{input, KernelError};
 
 /// A red-black Gauss–Seidel stencil on a `g`×`g` grid for `sweeps` sweeps.
@@ -79,7 +79,9 @@ impl OceanProxy {
     ///
     /// Simulation or validation failures.
     pub fn run_sequential(&self) -> Result<KernelOutcome, KernelError> {
-        Ok(self.run(None, |_| None)?.0)
+        Ok(self
+            .run_with(&ExecSpec::sequential(), RunAttachments::default())?
+            .outcome)
     }
 
     /// Run the row-partitioned parallel version and validate.
@@ -92,44 +94,31 @@ impl OceanProxy {
         threads: usize,
         mechanism: BarrierMechanism,
     ) -> Result<KernelOutcome, KernelError> {
-        Ok(self.run(Some((threads, mechanism)), |_| None)?.0)
+        Ok(self
+            .run_with(
+                &ExecSpec::parallel(threads, mechanism),
+                RunAttachments::default(),
+            )?
+            .outcome)
     }
 
-    /// [`run_parallel`](OceanProxy::run_parallel) with a hook that may
-    /// attach a trace sink (e.g. a race detector) once the barrier is
-    /// registered; the assembled [`Program`] comes back for post-run
-    /// static analysis. Sinks are observers: the outcome is bit-identical
-    /// to the unobserved run.
+    /// Run under a full [`ExecSpec`] (threads, mechanism, topology,
+    /// engine knobs, seeded faults) with optional in-process
+    /// [`RunAttachments`] (trace sinks, observer hooks, hand-built
+    /// plans). The relaxed grid is always validated against the host
+    /// reference; attachments and knobs are digest-invariant.
     ///
     /// # Errors
     ///
-    /// Same as [`run_parallel`](OceanProxy::run_parallel).
-    pub fn run_parallel_observed(
+    /// Spec, simulation, barrier-setup or validation failures.
+    pub fn run_with(
         &self,
-        threads: usize,
-        mechanism: BarrierMechanism,
-        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
-    ) -> Result<(KernelOutcome, Program), KernelError> {
-        self.run(Some((threads, mechanism)), observe)
-    }
-
-    fn run(
-        &self,
-        parallel: Option<(usize, BarrierMechanism)>,
-        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
-    ) -> Result<(KernelOutcome, Program), KernelError> {
+        exec: &ExecSpec,
+        mut att: RunAttachments<'_>,
+    ) -> Result<RunOutput, KernelError> {
         let g = self.g;
-        let (mut b, barrier) = match parallel {
-            Some((threads, mechanism)) => {
-                let (b, bar) = KernelBuild::parallel(threads, mechanism)?;
-                (b, Some(bar))
-            }
-            None => (KernelBuild::sequential(), None),
-        };
-        if let Some(bar) = &barrier {
-            b.sink = observe(bar);
-        }
-        let threads = if let Some((t, _)) = parallel { t } else { 1 };
+        let (mut b, barrier) = KernelBuild::from_exec(exec, &mut att)?;
+        let threads = b.threads;
         let u = b.space.alloc_f64((g * g) as u64)?;
         self.emit_body(&mut b.asm, barrier.as_ref(), u, threads)?;
         let us = self.u0.clone();
@@ -137,9 +126,13 @@ impl OceanProxy {
             mb.write_f64_slice(u, &us);
         })?;
         // One "rep" = the whole multi-sweep solve.
-        let outcome = run_reps(&mut m, 1)?;
+        let (outcome, faults) = run_spec_reps(&mut m, 1, exec, &att)?;
         check_f64("u", &m.read_f64_slice(u, g * g), &self.reference(), 1e-9)?;
-        Ok((outcome, m.program().clone()))
+        Ok(RunOutput {
+            outcome,
+            faults,
+            program: m.program().clone(),
+        })
     }
 
     fn emit_body(

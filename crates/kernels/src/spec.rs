@@ -1,0 +1,965 @@
+//! `RunSpec`: one serializable description of a kernel run.
+//!
+//! Historically every orthogonal run option (engine knobs, fault plans,
+//! trace sinks, race-detector observers, clustered topologies) grew its
+//! own `run_parallel_*` / `build_latency_machine_*` function variant, so
+//! a run configuration could not be described as *data* — which blocked
+//! putting the sweep grid behind a wire protocol or a result cache. This
+//! module collapses the variant zoo into a single value:
+//!
+//! * [`WorkloadSpec`] — which kernel, at what size (the paper's eight
+//!   workloads plus the Figure 4 barrier micro-benchmark);
+//! * [`ExecSpec`] — threads, barrier mechanism, topology preset,
+//!   [`EngineKnobs`], and an optional seeded [`FaultSpec`];
+//! * [`RunSpec`] — the pair, with a canonical single-line JSON form
+//!   ([`RunSpec::canonical_json`]) whose FNV-1a hash
+//!   ([`RunSpec::digest`]) keys the `fastbar-serve` result cache.
+//!
+//! A wire job, a cache key and an in-process call are now the same
+//! value: [`run`] consumes a spec, [`run_with`] additionally takes the
+//! non-serializable [`RunAttachments`] (trace sinks, observer hooks,
+//! hand-built fault plans) that only make sense in-process.
+//!
+//! Everything in [`ExecSpec`] beyond threads/mechanism/topology is a
+//! host-side concern: knobs, faults-with-empty-plans, traces and
+//! observers must leave the run's [`Measurement`](cmp_sim::Measurement)
+//! digest bit-identical. The determinism suite pins the committed Figure
+//! 4 and Viterbi digests through this path.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use barrier_filter::{Barrier, BarrierMechanism, BarrierSystem};
+use cmp_sim::{
+    fnv64, json_escape, AddressSpace, FaultPlan, FaultReport, Json, SimConfig, TraceConfig,
+    TraceSink,
+};
+use sim_isa::{Asm, Program};
+
+use crate::fig4::Fig4;
+use crate::harness::{EngineKnobs, KernelBuild, KernelOutcome};
+use crate::livermore::{Loop1, Loop2, Loop3, Loop4, Loop5, Loop6};
+use crate::{Autocorr, KernelError, OceanProxy, Viterbi};
+
+/// Which kernel to run, at what size. Serializable; sizes are validated
+/// by [`RunSpec::validate`] before any kernel constructor (which would
+/// panic on bad sizes) is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// The Figure 4 micro-benchmark: `inner` consecutive barriers with no
+    /// work between them, repeated `outer` times.
+    Fig4 {
+        /// Consecutive barriers per outer repetition.
+        inner: u64,
+        /// Outer repetitions.
+        outer: u64,
+    },
+    /// Livermore Loop 1 (hydro fragment) over `n` elements.
+    Loop1 {
+        /// Element count.
+        n: usize,
+    },
+    /// Livermore Loop 2 (ICCG) over `n` elements (power of two, ≥ 4).
+    Loop2 {
+        /// Element count.
+        n: usize,
+    },
+    /// Livermore Loop 3 (inner product) over `n` elements.
+    Loop3 {
+        /// Element count.
+        n: usize,
+    },
+    /// Livermore Loop 4 (banded linear equations) over `n` elements (≥ 9).
+    Loop4 {
+        /// Element count.
+        n: usize,
+    },
+    /// Livermore Loop 5 (tri-diagonal elimination) over `n` elements —
+    /// a true recurrence, sequential-only.
+    Loop5 {
+        /// Element count.
+        n: usize,
+    },
+    /// Livermore Loop 6 (general linear recurrence) over `n` elements (≥ 2).
+    Loop6 {
+        /// Element count.
+        n: usize,
+    },
+    /// EEMBC-like autocorrelation over `n` samples with `lags` lags.
+    Autocorr {
+        /// Sample count.
+        n: usize,
+        /// Lag count (0 < lags ≤ n).
+        lags: usize,
+    },
+    /// EEMBC-like Viterbi decode: constraint length 5 or 7, `data_bits`
+    /// payload bits, `noise_per_mille` soft-symbol perturbation rate.
+    Viterbi {
+        /// Constraint length (5 or 7).
+        constraint: u32,
+        /// Payload bits to decode.
+        data_bits: usize,
+        /// Per-mille rate of perturbed soft symbols.
+        noise_per_mille: u32,
+    },
+    /// The SPLASH-2-inspired red-black Gauss-Seidel proxy on a
+    /// `grid`×`grid` field for `sweeps` sweeps.
+    Ocean {
+        /// Grid edge length (≥ 4).
+        grid: usize,
+        /// Red-black sweeps.
+        sweeps: usize,
+    },
+}
+
+impl WorkloadSpec {
+    /// Stable wire name of this workload kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Fig4 { .. } => "fig4",
+            WorkloadSpec::Loop1 { .. } => "loop1",
+            WorkloadSpec::Loop2 { .. } => "loop2",
+            WorkloadSpec::Loop3 { .. } => "loop3",
+            WorkloadSpec::Loop4 { .. } => "loop4",
+            WorkloadSpec::Loop5 { .. } => "loop5",
+            WorkloadSpec::Loop6 { .. } => "loop6",
+            WorkloadSpec::Autocorr { .. } => "autocorr",
+            WorkloadSpec::Viterbi { .. } => "viterbi",
+            WorkloadSpec::Ocean { .. } => "ocean",
+        }
+    }
+
+    /// Whether this workload can run under a barrier mechanism at all
+    /// (Loop 5 is a true recurrence and cannot).
+    pub fn is_parallelizable(&self) -> bool {
+        !matches!(self, WorkloadSpec::Loop5 { .. })
+    }
+
+    fn check(&self) -> Result<(), KernelError> {
+        let bad = |why: String| Err(KernelError::Spec(why));
+        match *self {
+            WorkloadSpec::Fig4 { inner, outer } => {
+                if inner == 0 || outer == 0 {
+                    return bad(format!("fig4 needs inner/outer >= 1, got {inner}x{outer}"));
+                }
+            }
+            WorkloadSpec::Loop1 { n } | WorkloadSpec::Loop3 { n } => {
+                if n == 0 {
+                    return bad(format!("{} needs n >= 1", self.kind()));
+                }
+            }
+            WorkloadSpec::Loop2 { n } => {
+                if !n.is_power_of_two() || n < 4 {
+                    return bad(format!("loop2 needs a power-of-two n >= 4, got {n}"));
+                }
+            }
+            WorkloadSpec::Loop4 { n } => {
+                if n < 9 {
+                    return bad(format!("loop4 needs n >= 9, got {n}"));
+                }
+            }
+            WorkloadSpec::Loop5 { n } | WorkloadSpec::Loop6 { n } => {
+                if n < 2 {
+                    return bad(format!("{} needs n >= 2, got {n}", self.kind()));
+                }
+            }
+            WorkloadSpec::Autocorr { n, lags } => {
+                if lags == 0 || lags > n {
+                    return bad(format!(
+                        "autocorr needs 0 < lags <= n, got n={n} lags={lags}"
+                    ));
+                }
+            }
+            WorkloadSpec::Viterbi {
+                constraint,
+                data_bits,
+                noise_per_mille,
+            } => {
+                if constraint != 5 && constraint != 7 {
+                    return bad(format!(
+                        "viterbi constraint must be 5 or 7, got {constraint}"
+                    ));
+                }
+                if data_bits == 0 {
+                    return bad("viterbi needs data_bits >= 1".into());
+                }
+                if noise_per_mille > 1000 {
+                    return bad(format!(
+                        "viterbi noise_per_mille must be <= 1000, got {noise_per_mille}"
+                    ));
+                }
+            }
+            WorkloadSpec::Ocean { grid, sweeps } => {
+                if grid < 4 {
+                    return bad(format!("ocean needs grid >= 4, got {grid}"));
+                }
+                if sweeps == 0 {
+                    return bad("ocean needs sweeps >= 1".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn json_into(&self, out: &mut String) {
+        out.push_str("{\"kind\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        match *self {
+            WorkloadSpec::Fig4 { inner, outer } => {
+                let _ = write!(out, ",\"inner\":{inner},\"outer\":{outer}");
+            }
+            WorkloadSpec::Loop1 { n }
+            | WorkloadSpec::Loop2 { n }
+            | WorkloadSpec::Loop3 { n }
+            | WorkloadSpec::Loop4 { n }
+            | WorkloadSpec::Loop5 { n }
+            | WorkloadSpec::Loop6 { n } => {
+                let _ = write!(out, ",\"n\":{n}");
+            }
+            WorkloadSpec::Autocorr { n, lags } => {
+                let _ = write!(out, ",\"n\":{n},\"lags\":{lags}");
+            }
+            WorkloadSpec::Viterbi {
+                constraint,
+                data_bits,
+                noise_per_mille,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"constraint\":{constraint},\"data_bits\":{data_bits},\
+                     \"noise_per_mille\":{noise_per_mille}"
+                );
+            }
+            WorkloadSpec::Ocean { grid, sweeps } => {
+                let _ = write!(out, ",\"grid\":{grid},\"sweeps\":{sweeps}");
+            }
+        }
+        out.push('}');
+    }
+
+    fn from_json(j: &Json) -> Result<WorkloadSpec, KernelError> {
+        let kind = j
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| KernelError::Spec("workload.kind missing".into()))?;
+        let field = |name: &str| -> Result<usize, KernelError> {
+            j.get(name)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| KernelError::Spec(format!("workload.{name} missing for {kind}")))
+        };
+        Ok(match kind {
+            "fig4" => WorkloadSpec::Fig4 {
+                inner: field("inner")? as u64,
+                outer: field("outer")? as u64,
+            },
+            "loop1" => WorkloadSpec::Loop1 { n: field("n")? },
+            "loop2" => WorkloadSpec::Loop2 { n: field("n")? },
+            "loop3" => WorkloadSpec::Loop3 { n: field("n")? },
+            "loop4" => WorkloadSpec::Loop4 { n: field("n")? },
+            "loop5" => WorkloadSpec::Loop5 { n: field("n")? },
+            "loop6" => WorkloadSpec::Loop6 { n: field("n")? },
+            "autocorr" => WorkloadSpec::Autocorr {
+                n: field("n")?,
+                lags: field("lags")?,
+            },
+            "viterbi" => WorkloadSpec::Viterbi {
+                constraint: field("constraint")? as u32,
+                data_bits: field("data_bits")?,
+                noise_per_mille: field("noise_per_mille")? as u32,
+            },
+            "ocean" => WorkloadSpec::Ocean {
+                grid: field("grid")?,
+                sweeps: field("sweeps")?,
+            },
+            other => {
+                return Err(KernelError::Spec(format!(
+                    "unknown workload kind `{other}`"
+                )))
+            }
+        })
+    }
+}
+
+/// A seeded fault plan, expressed as data: expands to
+/// [`FaultPlan::generate`]`(seed, count, horizon)` at run time. Carrying
+/// the horizon explicitly (instead of deriving it from a baseline run)
+/// keeps the spec self-contained, so the same wire value always produces
+/// the same plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Generator seed.
+    pub seed: u64,
+    /// Number of fault events to schedule.
+    pub count: usize,
+    /// Cycle horizon the events are spread over.
+    pub horizon: u64,
+}
+
+/// How to execute a workload: parallelism, machine shape, engine knobs,
+/// faults. Everything here is serializable; see [`RunAttachments`] for
+/// the in-process-only extras.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecSpec {
+    /// Thread count (= core count; one thread per core). Must be 1 when
+    /// `mechanism` is `None`.
+    pub threads: usize,
+    /// Barrier mechanism, or `None` for the sequential baseline.
+    pub mechanism: Option<BarrierMechanism>,
+    /// Topology preset: 1 = the paper's flat Table-2 bus
+    /// ([`SimConfig::with_cores`]), k > 1 = `k` clusters
+    /// ([`SimConfig::clustered`]).
+    pub clusters: usize,
+    /// Engine fast-path knob overrides (digest-invariant).
+    pub knobs: EngineKnobs,
+    /// Optional seeded fault plan (§3.3.3 graceful degradation).
+    pub faults: Option<FaultSpec>,
+}
+
+impl ExecSpec {
+    /// The sequential baseline: one thread, no barrier, flat machine.
+    pub fn sequential() -> ExecSpec {
+        ExecSpec {
+            threads: 1,
+            mechanism: None,
+            clusters: 1,
+            knobs: EngineKnobs::default(),
+            faults: None,
+        }
+    }
+
+    /// `threads` threads under `mechanism` on the flat Table-2 machine.
+    pub fn parallel(threads: usize, mechanism: BarrierMechanism) -> ExecSpec {
+        ExecSpec {
+            threads,
+            mechanism: Some(mechanism),
+            clusters: 1,
+            knobs: EngineKnobs::default(),
+            faults: None,
+        }
+    }
+
+    /// The [`SimConfig`] this spec's topology preset selects (before
+    /// knob overrides, which the build path applies at the same point
+    /// the legacy variants did).
+    pub fn config(&self) -> SimConfig {
+        SimConfig::clustered(self.threads, self.clusters)
+    }
+
+    /// The fault plan this spec describes (the empty plan when `faults`
+    /// is `None` — bit-identical to an unfaulted run).
+    pub fn fault_plan(&self) -> FaultPlan {
+        match self.faults {
+            Some(FaultSpec {
+                seed,
+                count,
+                horizon,
+            }) => FaultPlan::generate(seed, count, horizon),
+            None => FaultPlan::none(),
+        }
+    }
+
+    fn check(&self) -> Result<(), KernelError> {
+        if self.threads == 0 {
+            return Err(KernelError::Spec("threads must be >= 1".into()));
+        }
+        if self.threads > cmp_sim::MAX_CORES {
+            return Err(KernelError::Spec(format!(
+                "threads {} exceeds MAX_CORES {}",
+                self.threads,
+                cmp_sim::MAX_CORES
+            )));
+        }
+        if self.mechanism.is_none() && self.threads != 1 {
+            return Err(KernelError::Spec(format!(
+                "sequential specs run one thread, got {}",
+                self.threads
+            )));
+        }
+        if self.clusters == 0 {
+            return Err(KernelError::Spec("clusters must be >= 1".into()));
+        }
+        if self.clusters > 1 {
+            let cpc = self.threads / self.clusters;
+            if cpc == 0 || cpc * self.clusters != self.threads || !cpc.is_power_of_two() {
+                return Err(KernelError::Spec(format!(
+                    "clusters {} must evenly split threads {} into power-of-two slices",
+                    self.clusters, self.threads
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One serializable description of a kernel run: workload + execution.
+/// The same value serves as the wire job, the cache key and the
+/// in-process call — see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSpec {
+    /// Which kernel, at what size.
+    pub workload: WorkloadSpec,
+    /// How to execute it.
+    pub exec: ExecSpec,
+}
+
+/// Wire schema tag of the canonical spec encoding.
+pub const SPEC_SCHEMA: &str = "fastbar-spec/v1";
+
+impl RunSpec {
+    /// `workload` under `mechanism` across `threads` threads on the flat
+    /// machine, default knobs, no faults.
+    pub fn parallel(
+        workload: WorkloadSpec,
+        threads: usize,
+        mechanism: BarrierMechanism,
+    ) -> RunSpec {
+        RunSpec {
+            workload,
+            exec: ExecSpec::parallel(threads, mechanism),
+        }
+    }
+
+    /// The sequential baseline of `workload`.
+    pub fn sequential(workload: WorkloadSpec) -> RunSpec {
+        RunSpec {
+            workload,
+            exec: ExecSpec::sequential(),
+        }
+    }
+
+    /// The Figure 4 micro-benchmark: `inner`×`outer` barriers of
+    /// `mechanism` across `cores` cores (the paper uses 64 × 64 at 16).
+    pub fn fig4(mechanism: BarrierMechanism, cores: usize, inner: u64, outer: u64) -> RunSpec {
+        RunSpec::parallel(WorkloadSpec::Fig4 { inner, outer }, cores, mechanism)
+    }
+
+    /// This spec on a `clusters`-cluster machine (builder style).
+    #[must_use]
+    pub fn clustered(mut self, clusters: usize) -> RunSpec {
+        self.exec.clusters = clusters;
+        self
+    }
+
+    /// This spec with engine knob overrides (builder style).
+    #[must_use]
+    pub fn with_knobs(mut self, knobs: EngineKnobs) -> RunSpec {
+        self.exec.knobs = knobs;
+        self
+    }
+
+    /// This spec driven through a seeded fault plan (builder style).
+    #[must_use]
+    pub fn with_faults(mut self, seed: u64, count: usize, horizon: u64) -> RunSpec {
+        self.exec.faults = Some(FaultSpec {
+            seed,
+            count,
+            horizon,
+        });
+        self
+    }
+
+    /// Validate without running: workload sizes, thread/topology shape,
+    /// and that a sequential-only workload is not asked to parallelize.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Spec`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), KernelError> {
+        self.workload.check()?;
+        self.exec.check()?;
+        if self.exec.mechanism.is_some() && !self.workload.is_parallelizable() {
+            return Err(KernelError::Spec(format!(
+                "{} is a true recurrence and cannot run in parallel",
+                self.workload.kind()
+            )));
+        }
+        if self.exec.mechanism.is_none() && matches!(self.workload, WorkloadSpec::Fig4 { .. }) {
+            return Err(KernelError::Spec(
+                "fig4 measures a barrier; it has no sequential form".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The canonical single-line JSON encoding: fixed field order, every
+    /// field explicit (`null` for unset options), `u64` values as `0x`
+    /// hex strings where full width matters. Two equal specs always
+    /// produce identical bytes, so [`RunSpec::digest`] is a content
+    /// address.
+    pub fn canonical_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(out, "{{\"schema\":\"{SPEC_SCHEMA}\",\"workload\":");
+        self.workload.json_into(&mut out);
+        let _ = write!(out, ",\"threads\":{}", self.exec.threads);
+        match self.exec.mechanism {
+            Some(m) => {
+                let _ = write!(out, ",\"mechanism\":\"{}\"", json_escape(m.name()));
+            }
+            None => out.push_str(",\"mechanism\":null"),
+        }
+        let _ = write!(out, ",\"clusters\":{}", self.exec.clusters);
+        out.push_str(",\"knobs\":{");
+        match self.exec.knobs.burst_budget {
+            Some(b) => {
+                let _ = write!(out, "\"burst_budget\":{b}");
+            }
+            None => out.push_str("\"burst_budget\":null"),
+        }
+        for (name, v) in [
+            ("decode_cache", self.exec.knobs.decode_cache),
+            ("event_shards", self.exec.knobs.event_shards),
+            ("fused_memory", self.exec.knobs.fused_memory),
+        ] {
+            match v {
+                Some(b) => {
+                    let _ = write!(out, ",\"{name}\":{b}");
+                }
+                None => {
+                    let _ = write!(out, ",\"{name}\":null");
+                }
+            }
+        }
+        out.push('}');
+        match self.exec.faults {
+            Some(f) => {
+                let _ = write!(
+                    out,
+                    ",\"faults\":{{\"seed\":\"{:#018x}\",\"count\":{},\"horizon\":{}}}",
+                    f.seed, f.count, f.horizon
+                );
+            }
+            None => out.push_str(",\"faults\":null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// The spec's content address: the 64-bit FNV-1a hash of
+    /// [`canonical_json`](RunSpec::canonical_json). This is the
+    /// `fastbar-serve` cache key; determinism makes it a complete one.
+    pub fn digest(&self) -> u64 {
+        fnv64(self.canonical_json().as_bytes())
+    }
+
+    /// Decode a spec from parsed JSON (tolerant: field order and unknown
+    /// fields don't matter; missing optional fields default).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Spec`] on missing/malformed fields.
+    pub fn from_json(j: &Json) -> Result<RunSpec, KernelError> {
+        if let Some(schema) = j.get("schema").and_then(Json::as_str) {
+            if schema != SPEC_SCHEMA {
+                return Err(KernelError::Spec(format!("unknown spec schema `{schema}`")));
+            }
+        }
+        let workload = WorkloadSpec::from_json(
+            j.get("workload")
+                .ok_or_else(|| KernelError::Spec("workload missing".into()))?,
+        )?;
+        let threads = j
+            .get("threads")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| KernelError::Spec("threads missing".into()))?;
+        let mechanism = match j.get("mechanism") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| KernelError::Spec("mechanism must be a name string".into()))?;
+                Some(
+                    BarrierMechanism::from_str(name)
+                        .map_err(|e| KernelError::Spec(e.to_string()))?,
+                )
+            }
+        };
+        let clusters = match j.get("clusters") {
+            None | Some(Json::Null) => 1,
+            Some(v) => v
+                .as_usize()
+                .ok_or_else(|| KernelError::Spec("clusters must be a count".into()))?,
+        };
+        let mut knobs = EngineKnobs::default();
+        if let Some(k) = j.get("knobs") {
+            if !k.is_null() {
+                if let Some(b) = k.get("burst_budget") {
+                    if !b.is_null() {
+                        knobs.burst_budget = Some(b.as_u64().ok_or_else(|| {
+                            KernelError::Spec("knobs.burst_budget must be a number".into())
+                        })? as u32);
+                    }
+                }
+                for (name, slot) in [
+                    ("decode_cache", &mut knobs.decode_cache),
+                    ("event_shards", &mut knobs.event_shards),
+                    ("fused_memory", &mut knobs.fused_memory),
+                ] {
+                    if let Some(v) = k.get(name) {
+                        if !v.is_null() {
+                            *slot = Some(v.as_bool().ok_or_else(|| {
+                                KernelError::Spec(format!("knobs.{name} must be a bool"))
+                            })?);
+                        }
+                    }
+                }
+            }
+        }
+        let faults = match j.get("faults") {
+            None | Some(Json::Null) => None,
+            Some(f) => {
+                let field = |name: &str| {
+                    f.get(name)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| KernelError::Spec(format!("faults.{name} missing")))
+                };
+                Some(FaultSpec {
+                    seed: field("seed")?,
+                    count: field("count")? as usize,
+                    horizon: field("horizon")?,
+                })
+            }
+        };
+        Ok(RunSpec {
+            workload,
+            exec: ExecSpec {
+                threads,
+                mechanism,
+                clusters,
+                knobs,
+                faults,
+            },
+        })
+    }
+
+    /// [`from_json`](RunSpec::from_json) straight from text.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Spec`] on malformed JSON or fields.
+    pub fn parse(src: &str) -> Result<RunSpec, KernelError> {
+        let j = Json::parse(src).map_err(|e| KernelError::Spec(e.to_string()))?;
+        RunSpec::from_json(&j)
+    }
+}
+
+/// The in-process-only side channel of a run: trace sinks, observer
+/// hooks and hand-built fault plans. None of these belong in the
+/// serializable [`RunSpec`] — they hold host closures and file handles —
+/// and all of them are observers or replay drivers: attaching them never
+/// changes the run's measurement digest.
+#[derive(Default)]
+pub struct RunAttachments<'a> {
+    /// Trace-sink selection for the built machine (default off).
+    pub trace: TraceConfig,
+    /// A hook invoked once the barrier is registered; may attach an
+    /// explicit sink instance (e.g. the race detector). Not invoked for
+    /// sequential runs (there is no barrier to observe).
+    #[allow(clippy::type_complexity)]
+    pub observe: Option<Box<dyn FnOnce(&Barrier) -> Option<Box<dyn TraceSink>> + 'a>>,
+    /// A hand-built fault plan, overriding whatever
+    /// [`ExecSpec::fault_plan`] would generate. Used by the chaos tests
+    /// to drive specific event sequences.
+    pub fault_plan: Option<&'a FaultPlan>,
+}
+
+impl<'a> RunAttachments<'a> {
+    /// Attachments carrying only a trace selection.
+    pub fn traced(trace: TraceConfig) -> RunAttachments<'a> {
+        RunAttachments {
+            trace,
+            ..RunAttachments::default()
+        }
+    }
+
+    /// Attachments carrying only an observer hook.
+    pub fn observed(
+        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>> + 'a,
+    ) -> RunAttachments<'a> {
+        RunAttachments {
+            observe: Some(Box::new(observe)),
+            ..RunAttachments::default()
+        }
+    }
+
+    /// Attachments carrying only a hand-built fault plan.
+    pub fn with_plan(plan: &'a FaultPlan) -> RunAttachments<'a> {
+        RunAttachments {
+            fault_plan: Some(plan),
+            ..RunAttachments::default()
+        }
+    }
+}
+
+/// Everything a finished run produces: the validated outcome, the fault
+/// report (all-zero for unfaulted runs), and the assembled program (for
+/// post-run static analysis, e.g. the verify harness's race detector).
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The validated measurement.
+    pub outcome: KernelOutcome,
+    /// What the fault driver actually did.
+    pub faults: FaultReport,
+    /// The program the machine executed.
+    pub program: Program,
+}
+
+/// Run `spec` with no attachments: the single in-process entry point the
+/// wire protocol and the cache key share.
+///
+/// # Errors
+///
+/// Spec validation, build, simulation or output-validation failures.
+pub fn run(spec: &RunSpec) -> Result<RunOutput, KernelError> {
+    run_with(spec, RunAttachments::default())
+}
+
+/// Run `spec` with in-process attachments (traces, observers, hand-built
+/// fault plans). The attachments are observers/replay drivers: the
+/// outcome is bit-identical to [`run`]`(spec)`.
+///
+/// # Errors
+///
+/// Spec validation, build, simulation or output-validation failures.
+pub fn run_with(spec: &RunSpec, att: RunAttachments<'_>) -> Result<RunOutput, KernelError> {
+    spec.validate()?;
+    let exec = &spec.exec;
+    match spec.workload {
+        WorkloadSpec::Fig4 { inner, outer } => Fig4::new(inner, outer).run_with(exec, att),
+        WorkloadSpec::Loop1 { n } => Loop1::new(n).run_with(exec, att),
+        WorkloadSpec::Loop2 { n } => Loop2::new(n).run_with(exec, att),
+        WorkloadSpec::Loop3 { n } => Loop3::new(n).run_with(exec, att),
+        WorkloadSpec::Loop4 { n } => Loop4::new(n).run_with(exec, att),
+        WorkloadSpec::Loop5 { n } => Loop5::new(n).run_with(exec, att),
+        WorkloadSpec::Loop6 { n } => Loop6::new(n).run_with(exec, att),
+        WorkloadSpec::Autocorr { n, lags } => Autocorr::with_lags(n, lags).run_with(exec, att),
+        WorkloadSpec::Viterbi {
+            constraint,
+            data_bits,
+            noise_per_mille,
+        } => Viterbi::with_params(constraint, data_bits, noise_per_mille).run_with(exec, att),
+        WorkloadSpec::Ocean { grid, sweeps } => OceanProxy::new(grid, sweeps).run_with(exec, att),
+    }
+}
+
+/// Run `machine` for a spec-described kernel of `reps` repetitions:
+/// resolve the fault plan (an attachment-supplied plan overrides the
+/// spec's seeded one) and drive the faulted-run harness. The empty plan
+/// is bit-identical to a plain `Machine::run`.
+pub(crate) fn run_spec_reps(
+    machine: &mut cmp_sim::Machine,
+    reps: u64,
+    exec: &ExecSpec,
+    att: &RunAttachments<'_>,
+) -> Result<(KernelOutcome, FaultReport), KernelError> {
+    let resolved;
+    let plan = match att.fault_plan {
+        Some(plan) => plan,
+        None => {
+            resolved = exec.fault_plan();
+            &resolved
+        }
+    };
+    crate::harness::run_reps_faulted(machine, reps, plan)
+}
+
+impl KernelBuild {
+    /// Build state for `exec`: the topology preset's machine, the barrier
+    /// (when a mechanism is set), trace/knob/observer wiring — in exactly
+    /// the order the legacy variants applied them, so the digest path is
+    /// unchanged.
+    pub(crate) fn from_exec(
+        exec: &ExecSpec,
+        att: &mut RunAttachments<'_>,
+    ) -> Result<(KernelBuild, Option<Barrier>), KernelError> {
+        exec.check()?;
+        let trace = std::mem::replace(&mut att.trace, TraceConfig::Off);
+        match exec.mechanism {
+            None => {
+                let mut b = KernelBuild::sequential();
+                b.trace = trace;
+                exec.knobs.apply(&mut b.config);
+                Ok((b, None))
+            }
+            Some(mechanism) => {
+                let config = exec.config();
+                let mut space = AddressSpace::new(&config);
+                let mut asm = Asm::new();
+                let mut sys = BarrierSystem::new(&config, exec.threads, &mut space)?;
+                let barrier = sys.create_barrier(&mut asm, &mut space, mechanism, exec.threads)?;
+                let mut b = KernelBuild {
+                    config,
+                    space,
+                    asm,
+                    sys: Some(sys),
+                    trace,
+                    sink: None,
+                    threads: exec.threads,
+                };
+                exec.knobs.apply(&mut b.config);
+                if let Some(observe) = att.observe.take() {
+                    b.sink = observe(&barrier);
+                }
+                Ok((b, Some(barrier)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(spec: RunSpec) {
+        let text = spec.canonical_json();
+        let back = RunSpec::parse(&text).expect("canonical form re-parses");
+        assert_eq!(back, spec, "round trip of {text}");
+        assert_eq!(back.canonical_json(), text, "canonical form is a fixpoint");
+    }
+
+    #[test]
+    fn canonical_json_round_trips_every_workload() {
+        roundtrip(RunSpec::fig4(BarrierMechanism::FilterD, 16, 64, 64));
+        roundtrip(RunSpec::sequential(WorkloadSpec::Loop5 { n: 64 }));
+        roundtrip(RunSpec::parallel(
+            WorkloadSpec::Loop2 { n: 64 },
+            8,
+            BarrierMechanism::SwTree,
+        ));
+        roundtrip(RunSpec::parallel(
+            WorkloadSpec::Autocorr { n: 128, lags: 8 },
+            4,
+            BarrierMechanism::FilterI,
+        ));
+        roundtrip(
+            RunSpec::parallel(
+                WorkloadSpec::Viterbi {
+                    constraint: 5,
+                    data_bits: 96,
+                    noise_per_mille: 10,
+                },
+                16,
+                BarrierMechanism::FilterD,
+            )
+            .with_faults(u64::MAX, 16, 1 << 40),
+        );
+        roundtrip(
+            RunSpec::fig4(BarrierMechanism::SwHier, 256, 4, 2)
+                .clustered(16)
+                .with_knobs(EngineKnobs {
+                    burst_budget: Some(0),
+                    decode_cache: Some(true),
+                    event_shards: Some(false),
+                    fused_memory: None,
+                }),
+        );
+        roundtrip(RunSpec::parallel(
+            WorkloadSpec::Ocean {
+                grid: 16,
+                sweeps: 2,
+            },
+            8,
+            BarrierMechanism::HwDedicated,
+        ));
+    }
+
+    #[test]
+    fn digest_is_field_sensitive() {
+        let base = RunSpec::fig4(BarrierMechanism::FilterD, 16, 64, 64);
+        let mut seen = vec![base.digest()];
+        for other in [
+            RunSpec::fig4(BarrierMechanism::FilterI, 16, 64, 64),
+            RunSpec::fig4(BarrierMechanism::FilterD, 8, 64, 64),
+            RunSpec::fig4(BarrierMechanism::FilterD, 16, 32, 64),
+            base.with_faults(1, 1, 1000),
+            base.with_knobs(EngineKnobs {
+                decode_cache: Some(false),
+                ..EngineKnobs::default()
+            }),
+            RunSpec::fig4(BarrierMechanism::SwHier, 256, 4, 2).clustered(16),
+        ] {
+            let d = other.digest();
+            assert!(!seen.contains(&d), "digest collision for {other:?}");
+            seen.push(d);
+        }
+    }
+
+    #[test]
+    fn tolerant_decode_accepts_reordered_and_sparse_fields() {
+        let spec = RunSpec::parse(
+            r#"{ "threads": 4, "workload": {"n": 64, "kind": "loop3"},
+                 "mechanism": "sw-central", "extra": "ignored" }"#,
+        )
+        .expect("sparse spec parses");
+        assert_eq!(
+            spec,
+            RunSpec::parallel(
+                WorkloadSpec::Loop3 { n: 64 },
+                4,
+                BarrierMechanism::SwCentral
+            )
+        );
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_specs() {
+        for (spec, why) in [
+            (
+                RunSpec::parallel(WorkloadSpec::Loop5 { n: 64 }, 4, BarrierMechanism::FilterD),
+                "recurrence",
+            ),
+            (
+                RunSpec::sequential(WorkloadSpec::Fig4 { inner: 8, outer: 2 }),
+                "sequential",
+            ),
+            (
+                RunSpec::parallel(WorkloadSpec::Loop2 { n: 63 }, 4, BarrierMechanism::FilterD),
+                "power-of-two",
+            ),
+            (
+                RunSpec::fig4(BarrierMechanism::SwHier, 24, 8, 2).clustered(5),
+                "split",
+            ),
+            (
+                RunSpec::parallel(
+                    WorkloadSpec::Autocorr { n: 8, lags: 9 },
+                    4,
+                    BarrierMechanism::FilterD,
+                ),
+                "lags",
+            ),
+        ] {
+            let err = spec.validate().expect_err(why);
+            assert!(matches!(err, KernelError::Spec(_)), "{why}: {err}");
+        }
+        let mut seq = RunSpec::sequential(WorkloadSpec::Loop5 { n: 64 });
+        seq.exec.threads = 4;
+        assert!(seq.validate().is_err(), "sequential with 4 threads");
+    }
+
+    #[test]
+    fn fault_spec_expands_to_the_seeded_plan() {
+        let spec = RunSpec::parallel(
+            WorkloadSpec::Viterbi {
+                constraint: 5,
+                data_bits: 24,
+                noise_per_mille: 10,
+            },
+            8,
+            BarrierMechanism::FilterD,
+        )
+        .with_faults(0x1e7b, 16, 500_000);
+        let plan = spec.exec.fault_plan();
+        assert_eq!(plan.events.len(), 16);
+        assert_eq!(
+            plan.events,
+            FaultPlan::generate(0x1e7b, 16, 500_000).events,
+            "same spec, same plan"
+        );
+        assert!(RunSpec::fig4(BarrierMechanism::FilterD, 4, 2, 1)
+            .exec
+            .fault_plan()
+            .events
+            .is_empty());
+    }
+}

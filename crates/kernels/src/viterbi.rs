@@ -15,12 +15,10 @@
 //! seeded random bitstream transmitted over a noisy soft channel.
 
 use barrier_filter::{Barrier, BarrierMechanism};
-use cmp_sim::{FaultPlan, FaultReport, TraceConfig, TraceSink};
-use sim_isa::{Asm, MemWidth, Program, Reg};
+use sim_isa::{Asm, MemWidth, Reg};
 
-use crate::harness::{
-    check_u64, emit_rep_loop, run_reps_faulted, EngineKnobs, KernelBuild, KernelOutcome, REPS,
-};
+use crate::harness::{check_u64, emit_rep_loop, KernelBuild, KernelOutcome, REPS};
+use crate::spec::{run_spec_reps, ExecSpec, RunAttachments, RunOutput};
 use crate::{input, KernelError};
 
 const BIG: i64 = 1 << 20;
@@ -175,9 +173,8 @@ impl Viterbi {
     /// Simulation or validation failures.
     pub fn run_sequential(&self) -> Result<KernelOutcome, KernelError> {
         Ok(self
-            .run(None, TraceConfig::Off, &FaultPlan::none(), |_| None)?
-            .0
-             .0)
+            .run_with(&ExecSpec::sequential(), RunAttachments::default())?
+            .outcome)
     }
 
     /// Run the parallel version (states partitioned across threads, one
@@ -192,178 +189,35 @@ impl Viterbi {
         mechanism: BarrierMechanism,
     ) -> Result<KernelOutcome, KernelError> {
         Ok(self
-            .run(
-                Some((threads, mechanism)),
-                TraceConfig::Off,
-                &FaultPlan::none(),
-                |_| None,
+            .run_with(
+                &ExecSpec::parallel(threads, mechanism),
+                RunAttachments::default(),
             )?
-            .0
-             .0)
+            .outcome)
     }
 
-    /// [`run_parallel`](Viterbi::run_parallel) with the decoded-superblock
-    /// cache forced on or off (instead of the process-wide default). The
-    /// cache is a host-side execution strategy, not a model change: the
-    /// outcome's [`Measurement`](cmp_sim::Measurement) — including the
-    /// stats digest — must be bit-identical either way, and
-    /// `bench/tests/determinism.rs` pins the committed workload digest
-    /// against both settings.
+    /// Run under a full [`ExecSpec`] (threads, mechanism, topology,
+    /// engine knobs, seeded faults) with optional in-process
+    /// [`RunAttachments`] (trace sinks, observer hooks, hand-built
+    /// plans). The decoded output is always validated against the host
+    /// decoder, and after a faulted run the filter tables must end
+    /// quiescent — the §3.3.3 graceful-degradation contract. Knobs and
+    /// attachments are digest-invariant: the outcome's
+    /// [`Measurement`](cmp_sim::Measurement) is bit-identical across any
+    /// combination.
     ///
     /// # Errors
     ///
-    /// Same as [`run_parallel`](Viterbi::run_parallel).
-    pub fn run_parallel_engine(
+    /// Spec, simulation, barrier-setup or validation failures.
+    pub fn run_with(
         &self,
-        threads: usize,
-        mechanism: BarrierMechanism,
-        decode_cache: bool,
-    ) -> Result<KernelOutcome, KernelError> {
-        Ok(self
-            .run_tuned(
-                Some((threads, mechanism)),
-                TraceConfig::Off,
-                &FaultPlan::none(),
-                EngineKnobs {
-                    decode_cache: Some(decode_cache),
-                    ..EngineKnobs::default()
-                },
-                |_| None,
-            )?
-            .0
-             .0)
-    }
-
-    /// [`run_parallel`](Viterbi::run_parallel) with any subset of the
-    /// engine fast-path knobs overridden (see [`EngineKnobs`]). Every
-    /// combination must yield a bit-identical outcome digest;
-    /// `throughput --check` asserts the full cross product against the
-    /// committed workload constant.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`run_parallel`](Viterbi::run_parallel).
-    pub fn run_parallel_knobs(
-        &self,
-        threads: usize,
-        mechanism: BarrierMechanism,
-        knobs: EngineKnobs,
-    ) -> Result<KernelOutcome, KernelError> {
-        Ok(self
-            .run_tuned(
-                Some((threads, mechanism)),
-                TraceConfig::Off,
-                &FaultPlan::none(),
-                knobs,
-                |_| None,
-            )?
-            .0
-             .0)
-    }
-
-    /// [`run_parallel`](Viterbi::run_parallel) with a hook that may attach
-    /// a trace sink (e.g. a race detector) once the barrier is registered;
-    /// the assembled [`Program`] comes back for post-run static analysis.
-    /// Sinks are observers: the outcome is bit-identical to the unobserved
-    /// run.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`run_parallel`](Viterbi::run_parallel).
-    pub fn run_parallel_observed(
-        &self,
-        threads: usize,
-        mechanism: BarrierMechanism,
-        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
-    ) -> Result<(KernelOutcome, Program), KernelError> {
-        let ((outcome, _), program) = self.run(
-            Some((threads, mechanism)),
-            TraceConfig::Off,
-            &FaultPlan::none(),
-            observe,
-        )?;
-        Ok((outcome, program))
-    }
-
-    /// [`run_parallel`](Viterbi::run_parallel) driven through a seeded
-    /// [`FaultPlan`] (context switches, delayed resumes, migrations,
-    /// reprogram probes). The decoded output is still validated against
-    /// the host decoder and the filter tables must end quiescent — the
-    /// §3.3.3 graceful-degradation contract.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`run_parallel`](Viterbi::run_parallel), plus
-    /// [`KernelError::Validation`] if the filters are not quiescent.
-    pub fn run_parallel_faulted(
-        &self,
-        threads: usize,
-        mechanism: BarrierMechanism,
-        plan: &FaultPlan,
-    ) -> Result<(KernelOutcome, FaultReport), KernelError> {
-        Ok(self
-            .run(Some((threads, mechanism)), TraceConfig::Off, plan, |_| None)?
-            .0)
-    }
-
-    /// [`run_parallel`](Viterbi::run_parallel) with trace events streamed
-    /// to the sink `trace` selects (e.g. a Chrome trace file). Tracing is
-    /// an observer: the outcome is bit-identical to the untraced run.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`run_parallel`](Viterbi::run_parallel), plus trace-sink
-    /// construction failures.
-    pub fn run_parallel_traced(
-        &self,
-        threads: usize,
-        mechanism: BarrierMechanism,
-        trace: TraceConfig,
-    ) -> Result<KernelOutcome, KernelError> {
-        Ok(self
-            .run(
-                Some((threads, mechanism)),
-                trace,
-                &FaultPlan::none(),
-                |_| None,
-            )?
-            .0
-             .0)
-    }
-
-    fn run(
-        &self,
-        parallel: Option<(usize, BarrierMechanism)>,
-        trace: TraceConfig,
-        faults: &FaultPlan,
-        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
-    ) -> Result<((KernelOutcome, FaultReport), Program), KernelError> {
-        self.run_tuned(parallel, trace, faults, EngineKnobs::default(), observe)
-    }
-
-    fn run_tuned(
-        &self,
-        parallel: Option<(usize, BarrierMechanism)>,
-        trace: TraceConfig,
-        faults: &FaultPlan,
-        knobs: EngineKnobs,
-        observe: impl FnOnce(&Barrier) -> Option<Box<dyn TraceSink>>,
-    ) -> Result<((KernelOutcome, FaultReport), Program), KernelError> {
+        exec: &ExecSpec,
+        mut att: RunAttachments<'_>,
+    ) -> Result<RunOutput, KernelError> {
         let s_count = self.states();
         let t_count = self.stages();
-        let (mut b, barrier) = match parallel {
-            Some((threads, mechanism)) => {
-                let (b, bar) = KernelBuild::parallel(threads, mechanism)?;
-                (b, Some(bar))
-            }
-            None => (KernelBuild::sequential(), None),
-        };
-        b.trace = trace;
-        knobs.apply(&mut b.config);
-        if let Some(bar) = &barrier {
-            b.sink = observe(bar);
-        }
-        let threads = if let Some((t, _)) = parallel { t } else { 1 };
+        let (mut b, barrier) = KernelBuild::from_exec(exec, &mut att)?;
+        let threads = b.threads;
         let lvl0 = b.space.alloc_u64(2 * s_count as u64)?;
         let lvl1 = b.space.alloc_u64(2 * s_count as u64)?;
         let recv0 = b.space.alloc_u64(t_count as u64)?;
@@ -402,13 +256,17 @@ impl Viterbi {
             mb.write_u64_slice(recv0, &r0);
             mb.write_u64_slice(recv1, &r1);
         })?;
-        let outcome = run_reps_faulted(&mut m, REPS, faults)?;
+        let (outcome, faults) = run_spec_reps(&mut m, REPS, exec, &att)?;
         check_u64(
             "decoded",
             &m.read_u64_slice(out, t_count),
             &self.reference_decode(),
         )?;
-        Ok((outcome, m.program().clone()))
+        Ok(RunOutput {
+            outcome,
+            faults,
+            program: m.program().clone(),
+        })
     }
 
     fn emit_body(

@@ -1,0 +1,186 @@
+//! The RunSpec plumbing grid: every kernel must honour every field of a
+//! [`RunSpec`] — no workload may silently ignore engine knobs, seeded
+//! faults or observer attachments. Before the spec unification each of
+//! these capabilities existed only on the kernels whose legacy variant
+//! happened to plumb it (`run_parallel_knobs` on viterbi,
+//! `run_parallel_faulted` on loop2/viterbi, `run_parallel_observed` on
+//! most but not all); this grid is the regression fence that keeps the
+//! unified surface uniform.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use barrier_filter::BarrierMechanism;
+use cmp_sim::{TraceEvent, TraceSink};
+use kernels::{run, run_with, EngineKnobs, RunAttachments, RunSpec, WorkloadSpec};
+
+/// One spec per parallel-capable workload, small enough to run the whole
+/// grid three times (baseline / knobbed / faulted) in one test binary.
+fn parallel_grid() -> Vec<RunSpec> {
+    vec![
+        RunSpec::fig4(BarrierMechanism::FilterD, 4, 8, 2),
+        RunSpec::parallel(WorkloadSpec::Loop1 { n: 128 }, 4, BarrierMechanism::FilterI),
+        RunSpec::parallel(
+            WorkloadSpec::Loop2 { n: 64 },
+            4,
+            BarrierMechanism::FilterDPingPong,
+        ),
+        RunSpec::parallel(
+            WorkloadSpec::Loop3 { n: 128 },
+            4,
+            BarrierMechanism::SwCentral,
+        ),
+        RunSpec::parallel(WorkloadSpec::Loop4 { n: 64 }, 4, BarrierMechanism::SwTree),
+        RunSpec::parallel(
+            WorkloadSpec::Loop6 { n: 32 },
+            4,
+            BarrierMechanism::FilterIPingPong,
+        ),
+        RunSpec::parallel(
+            WorkloadSpec::Autocorr { n: 128, lags: 4 },
+            4,
+            BarrierMechanism::HwDedicated,
+        ),
+        RunSpec::parallel(
+            WorkloadSpec::Viterbi {
+                constraint: 5,
+                data_bits: 48,
+                noise_per_mille: 10,
+            },
+            4,
+            BarrierMechanism::FilterD,
+        ),
+        RunSpec::parallel(
+            WorkloadSpec::Ocean {
+                grid: 12,
+                sweeps: 2,
+            },
+            4,
+            BarrierMechanism::FilterI,
+        ),
+    ]
+}
+
+/// A sink that only counts events — enough to prove the observer hook was
+/// both invoked and attached to the built machine.
+struct CountingSink(Arc<AtomicU64>);
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, _cycle: u64, _ev: &TraceEvent) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn every_kernel_honours_engine_knobs_and_keeps_its_digest() {
+    let knobs = EngineKnobs {
+        burst_budget: Some(1),
+        decode_cache: Some(false),
+        ..EngineKnobs::default()
+    };
+    for spec in parallel_grid() {
+        let kind = spec.workload.kind();
+        let base = run(&spec).unwrap();
+        assert!(
+            base.outcome.decode.hits + base.outcome.decode.builds > 0,
+            "{kind}: baseline run should exercise the decode cache"
+        );
+        let tuned = run(&spec.with_knobs(knobs)).unwrap();
+        assert_eq!(
+            tuned.outcome.decode.hits + tuned.outcome.decode.builds,
+            0,
+            "{kind}: decode_cache=false knob was silently ignored"
+        );
+        assert_eq!(
+            base.outcome.sim.stats_digest, tuned.outcome.sim.stats_digest,
+            "{kind}: engine knobs must be digest-invariant"
+        );
+    }
+}
+
+#[test]
+fn every_kernel_feeds_its_fault_spec_to_the_injector() {
+    for spec in parallel_grid() {
+        let kind = spec.workload.kind();
+        let faulted = spec.with_faults(0x9e37_79b9 ^ spec.digest(), 4, 2_000_000);
+        let out = run(&faulted).unwrap();
+        assert_eq!(
+            out.faults.injected + out.faults.skipped,
+            4,
+            "{kind}: fault spec was silently ignored ({:?})",
+            out.faults
+        );
+    }
+    // The serial contrast case takes the same spec surface.
+    let loop5 =
+        RunSpec::sequential(WorkloadSpec::Loop5 { n: 64 }).with_faults(0x5e5e, 4, 2_000_000);
+    let out = run(&loop5).unwrap();
+    assert_eq!(out.faults.injected + out.faults.skipped, 4);
+}
+
+#[test]
+fn observers_fire_on_every_kernel_without_perturbing_the_digest() {
+    for spec in parallel_grid() {
+        let kind = spec.workload.kind();
+        let base = run(&spec).unwrap();
+        let events = Arc::new(AtomicU64::new(0));
+        let hooked = Arc::new(AtomicU64::new(0));
+        let (ev, hk) = (Arc::clone(&events), Arc::clone(&hooked));
+        let out = run_with(
+            &spec,
+            RunAttachments::observed(move |_barrier| {
+                hk.fetch_add(1, Ordering::Relaxed);
+                Some(Box::new(CountingSink(ev)))
+            }),
+        )
+        .unwrap();
+        assert_eq!(
+            hooked.load(Ordering::Relaxed),
+            1,
+            "{kind}: hook not invoked"
+        );
+        assert!(
+            events.load(Ordering::Relaxed) > 0,
+            "{kind}: sink saw no events"
+        );
+        assert_eq!(
+            base.outcome.sim.stats_digest, out.outcome.sim.stats_digest,
+            "{kind}: observing a run must not change it"
+        );
+    }
+}
+
+#[test]
+fn sequential_runs_accept_knobs_too() {
+    let spec = RunSpec::sequential(WorkloadSpec::Loop5 { n: 64 });
+    let base = run(&spec).unwrap();
+    let tuned = run(&spec.with_knobs(EngineKnobs {
+        decode_cache: Some(false),
+        ..EngineKnobs::default()
+    }))
+    .unwrap();
+    assert!(base.outcome.decode.hits + base.outcome.decode.builds > 0);
+    assert_eq!(tuned.outcome.decode.hits + tuned.outcome.decode.builds, 0);
+    assert_eq!(
+        base.outcome.sim.stats_digest,
+        tuned.outcome.sim.stats_digest
+    );
+}
+
+#[test]
+fn clustered_topology_is_part_of_the_spec_surface() {
+    // The 64-core/4-cluster point from the scale sweep; only the
+    // hierarchical mechanisms fit a clustered bank granule at this size.
+    let spec = RunSpec::fig4(BarrierMechanism::FilterDHier, 64, 8, 2).clustered(4);
+    let flat = RunSpec::fig4(BarrierMechanism::FilterDHier, 64, 8, 2);
+    assert_ne!(
+        spec.digest(),
+        flat.digest(),
+        "clusters must be cache-relevant"
+    );
+    let out = run(&spec).unwrap();
+    assert!(out.outcome.cycles_per_rep > 0.0);
+    // and it round-trips over the wire like every other field
+    let back = RunSpec::parse(&spec.canonical_json()).unwrap();
+    assert_eq!(back.canonical_json(), spec.canonical_json());
+}

@@ -83,4 +83,37 @@ echo "==> scaling sweep smoke (quick grid + degenerate-topology digests)"
 cargo run --release --offline -p bench-suite --bin fig_scale -q -- \
     --quick --check --jobs 2 --out "$(mktemp -t fastbar_check_scale.XXXXXX.json)"
 
+echo "==> fastbar-serve smoke (unix socket, quick suite, cached resubmit)"
+# Daemon on a throwaway Unix socket: submit the quick fig4+viterbi suite
+# twice. The first pass runs live, the second must be answered entirely
+# from the on-disk cache with every table row byte-identical — then the
+# daemon exits cleanly on the shutdown op (wait collects its status).
+SERVE_SOCK="$(mktemp -u -t fastbar_check_serve.XXXXXX.sock)"
+SERVE_CACHE="$(mktemp -d -t fastbar_check_serve_cache.XXXXXX)"
+cargo run --release --offline -p bench-suite --bin fastbar_serve -q -- \
+    serve --unix "$SERVE_SOCK" --cache "$SERVE_CACHE" --jobs 2 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 300); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+[ -S "$SERVE_SOCK" ] || { echo "error: fastbar-serve never bound $SERVE_SOCK" >&2; exit 1; }
+first="$(cargo run --release --offline -p bench-suite --bin fastbar_serve -q -- \
+    submit --unix "$SERVE_SOCK" --quick)"
+second="$(cargo run --release --offline -p bench-suite --bin fastbar_serve -q -- \
+    submit --unix "$SERVE_SOCK" --quick)"
+echo "$first"  | grep -q "8 items, 0 served from cache" \
+    || { echo "error: first submit was not fully live" >&2; echo "$first" >&2; exit 1; }
+echo "$second" | grep -q "8 items, 8 served from cache" \
+    || { echo "error: resubmit was not fully cached" >&2; echo "$second" >&2; exit 1; }
+# Cached rows must report the exact digests of the live ones (the
+# client itself verifies byte identity of each result body against the
+# server's body_fnv hash; serve_e2e.rs asserts it end to end).
+diff <(echo "$first" | grep -o '0x[0-9a-f]*') \
+     <(echo "$second" | grep -o '0x[0-9a-f]*') \
+    || { echo "error: cached submit digests differ from live submit" >&2; exit 1; }
+cargo run --release --offline -p bench-suite --bin fastbar_serve -q -- \
+    shutdown --unix "$SERVE_SOCK"
+wait "$SERVE_PID"
+trap - EXIT
+rm -rf "$SERVE_CACHE"
+
 echo "==> all checks passed"

@@ -26,13 +26,19 @@ pub use sim_isa;
 
 /// Commonly needed items in one import: machine construction, the barrier
 /// mechanisms, the shared [`Measurement`](cmp_sim::Measurement) record
-/// every benchmark layer reports, and the fault-injection surface.
+/// every benchmark layer reports, the fault-injection surface, and the
+/// [`RunSpec`](kernels::RunSpec) job description — the one serializable
+/// value that drives in-process runs, `fastbar-serve` wire jobs and the
+/// result cache alike.
 pub mod prelude {
     pub use barrier_filter::{BarrierMechanism, BarrierSystem};
     pub use cmp_sim::{
-        run_with_faults, FaultKind, FaultPlan, FaultReport, Machine, MachineBuilder, Measurement,
-        SimConfig, SimError,
+        fnv64, run_with_faults, FaultKind, FaultPlan, FaultReport, Json, Machine, MachineBuilder,
+        Measurement, SimConfig, SimError,
     };
-    pub use kernels::{KernelError, KernelOutcome};
+    pub use kernels::{
+        run, run_with, EngineKnobs, ExecSpec, FaultSpec, KernelError, KernelOutcome,
+        RunAttachments, RunOutput, RunSpec, WorkloadSpec,
+    };
     pub use sim_isa::{Asm, FReg, Instr, MemWidth, Program, Reg};
 }
