@@ -72,6 +72,28 @@ pub mod rules {
     /// A load-linked is not followed by a matching store-conditional with
     /// a retry loop back to the `ll`.
     pub const BARRIER_LLSC: &str = "R-BARRIER-LLSC";
+    /// The model checker reached a state where some thread has not
+    /// finished its episodes and no thread can take a step (every
+    /// unfinished thread is parked on a fill or blocked at a `hwbar` that
+    /// can never fire).
+    pub const MC_DEADLOCK: &str = "R-MC-DEADLOCK";
+    /// The model checker reached a state from which the barrier can never
+    /// complete even though threads keep running: a spinner's release
+    /// word can no longer be written, or a parked fill can no longer be
+    /// serviced (including a fill issued while the filter still believed
+    /// the thread had not arrived).
+    pub const MC_LOST_WAKEUP: &str = "R-MC-LOST-WAKEUP";
+    /// Episode atomicity: a thread left episode *k*'s barrier (returned,
+    /// or invalidated its exit line) on a schedule where some peer had not
+    /// yet entered episode *k* — the episodes are not serialized.
+    pub const MC_EPISODE_ATOMIC: &str = "R-MC-EPISODE-ATOMIC";
+    /// Sense-reversal soundness: on some schedule a thread's TLS sense
+    /// slot does not alternate once per completed episode.
+    pub const MC_SENSE: &str = "R-MC-SENSE";
+    /// Dedicated-network arm/fire pairing: a thread executed `hwbar` with
+    /// an id that is not the barrier's armed group (or the barrier has no
+    /// dedicated group at all).
+    pub const MC_HW_PAIRING: &str = "R-MC-HW-PAIRING";
 }
 
 /// One verifier finding.

@@ -27,6 +27,8 @@ mod cfg;
 mod dataflow;
 mod diag;
 mod lint;
+pub mod mc;
+mod props;
 mod race;
 
 use barrier_filter::{ProtocolSpec, RegionKind};
@@ -35,6 +37,8 @@ use sim_isa::{Instr, Program};
 pub use cfg::{idx_of, pc_of, Block, Cfg};
 pub use dataflow::Root;
 pub use diag::{rules, Diagnostic, Severity};
+pub use lint::mechanism_rules;
+pub use mc::{model_check, McConfig, McReport};
 pub use race::{Race, RaceDetectorSink, RaceHandle, RaceKind, RaceReport};
 
 /// Entry points of `program` for reachability and dataflow: every symbol

@@ -451,6 +451,46 @@ pub fn check(program: &Program, cfg: &Cfg, spec: &ProtocolSpec, diags: &mut Vec<
     }
 }
 
+/// The mechanism-specific lint rules the protocol linter can emit for `mechanism`
+/// (beyond the structural `R-BARRIER-ENTRY`, which applies to all).
+///
+/// This is the anti-rot contract: adding a mechanism without wiring at
+/// least one protocol lint for it makes this return an empty slice, which
+/// the analyzer test suite rejects.
+pub fn mechanism_rules(mechanism: BarrierMechanism) -> &'static [&'static str] {
+    use BarrierMechanism::*;
+    match mechanism {
+        SwCentral | SwTree | SwHier => &[rules::BARRIER_LLSC, rules::BARRIER_SENSE],
+        FilterD | FilterDHier => &[
+            rules::BARRIER_SYNC,
+            rules::BARRIER_DCBI_FETCH,
+            rules::BARRIER_ISYNC,
+            rules::BARRIER_EXIT,
+        ],
+        FilterDPingPong => &[
+            rules::BARRIER_SYNC,
+            rules::BARRIER_DCBI_FETCH,
+            rules::BARRIER_ISYNC,
+            rules::BARRIER_PINGPONG,
+            rules::BARRIER_SENSE,
+        ],
+        FilterI => &[
+            rules::BARRIER_SYNC,
+            rules::BARRIER_DCBI_FETCH,
+            rules::BARRIER_ISYNC,
+            rules::BARRIER_EXIT,
+        ],
+        FilterIPingPong => &[
+            rules::BARRIER_SYNC,
+            rules::BARRIER_DCBI_FETCH,
+            rules::BARRIER_ISYNC,
+            rules::BARRIER_PINGPONG,
+            rules::BARRIER_SENSE,
+        ],
+        HwDedicated => &[rules::BARRIER_HWBAR],
+    }
+}
+
 fn check_entry_sync(
     program: &Program,
     spec: &ProtocolSpec,

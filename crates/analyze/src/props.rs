@@ -1,0 +1,199 @@
+//! Property layer of the bounded model checker.
+//!
+//! [`mc`](crate::mc) explores the interleaving space of a barrier routine;
+//! this module decides what counts as a violation and how a counterexample
+//! is presented. Each property has a stable `R-MC-*` rule id (see
+//! [`rules`](crate::diag::rules)), and every emitted [`Diagnostic`] carries
+//! the full minimized schedule — the breadth-first path of visible
+//! operations, one `t<core>@<pc> <op>` step per scheduled transition — so a
+//! failing mechanism can be replayed by hand.
+
+use barrier_filter::{FsmEvent, FsmViolation, ProtocolSpec};
+use sim_isa::{Instr, Program};
+
+use crate::diag::{rules, Diagnostic, Severity};
+
+/// One scheduled transition of a counterexample: which core moved, at
+/// which pc, and whether the move was a normal visible operation, a fetch
+/// satisfied by a stale prefetched copy, or an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Act {
+    /// Core that moved.
+    pub core: u8,
+    /// Program counter of the visible operation (the parked pc for a
+    /// fault on a blocked core).
+    pub pc: u64,
+    /// Flavor of the move.
+    pub tag: ActTag,
+}
+
+/// Flavor of one scheduled transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ActTag {
+    /// The core executed the visible operation at its pc.
+    Op,
+    /// The fetch at the pc was satisfied by a stale prefetched copy of
+    /// the just-invalidated line (reachable only when no `isync`
+    /// separates the invalidate from the fetch).
+    StaleBypass,
+    /// The injected `SwitchOut`/`Migrate` fault hit the core: its LL
+    /// reservation and prefetched state are lost and a parked fill is
+    /// cancelled and re-issued (§3.3.3).
+    Fault,
+}
+
+/// A property violation found during exploration, before it is attached
+/// to its schedule: rule id, the pc of the offending operation (if any),
+/// and the human-readable cause.
+pub(crate) struct Viol {
+    pub rule: &'static str,
+    pub pc: Option<u64>,
+    pub msg: String,
+}
+
+impl Viol {
+    pub(crate) fn new(rule: &'static str, pc: Option<u64>, msg: impl Into<String>) -> Viol {
+        Viol {
+            rule,
+            pc,
+            msg: msg.into(),
+        }
+    }
+}
+
+/// Map a filter FSM violation (§3.3.4) to the barrier-level property it
+/// breaks: a misplaced invalidate means the thread left or re-entered an
+/// episode the filter had not closed (episode atomicity), while a fill
+/// the filter cannot account for is an arrival the barrier lost.
+pub(crate) fn fsm_violation(v: &FsmViolation, core: usize, pc: u64) -> Viol {
+    let rule = match v.event {
+        FsmEvent::ArrivalInvalidate | FsmEvent::ExitInvalidate => rules::MC_EPISODE_ATOMIC,
+        FsmEvent::ArrivalFill => rules::MC_LOST_WAKEUP,
+    };
+    Viol::new(rule, Some(pc), format!("t{core}: {v}"))
+}
+
+/// Check the two return-time properties when core `core` finishes an
+/// episode: sense-reversal soundness (the TLS sense slot must alternate
+/// once per completed episode) and episode atomicity (no peer may still
+/// be short of the episode this core just completed).
+pub(crate) fn check_return(
+    spec: &ProtocolSpec,
+    core: usize,
+    completed: u32,
+    sense: Option<u64>,
+    entered: impl Iterator<Item = (usize, u32)>,
+) -> Option<Viol> {
+    if let Some(sense) = sense {
+        let expect = u64::from(completed % 2);
+        if sense != expect {
+            return Some(Viol::new(
+                rules::MC_SENSE,
+                None,
+                format!(
+                    "t{core}: TLS sense slot is {sense} after completing episode {completed} \
+                     (expected {expect}; the sense flag did not alternate)"
+                ),
+            ));
+        }
+    }
+    for (peer, peer_entered) in entered {
+        if peer != core && peer_entered < completed {
+            return Some(Viol::new(
+                rules::MC_EPISODE_ATOMIC,
+                None,
+                format!(
+                    "t{core}: completed episode {completed} of `{}` while t{peer} has only \
+                     entered episode {peer_entered} — the barrier released early",
+                    spec.entry
+                ),
+            ));
+        }
+    }
+    None
+}
+
+/// Collects counterexamples, keeping the first (shortest, since the
+/// explorer is breadth-first) schedule per rule id.
+#[derive(Default)]
+pub(crate) struct PropSink {
+    found: Vec<Diagnostic>,
+}
+
+impl PropSink {
+    /// Record `viol` with its schedule unless this rule already has a
+    /// counterexample.
+    pub(crate) fn report(&mut self, program: &Program, viol: Viol, path: &[Act]) {
+        if self.found.iter().any(|d| d.rule == viol.rule) {
+            return;
+        }
+        let msg = format!("{}; schedule: {}", viol.msg, render(program, path));
+        self.found.push(match viol.pc {
+            Some(pc) => Diagnostic::at(Severity::Error, pc, viol.rule, msg),
+            None => Diagnostic::global(Severity::Error, viol.rule, msg),
+        });
+    }
+
+    /// Whether any counterexample has been recorded.
+    pub(crate) fn any(&self) -> bool {
+        !self.found.is_empty()
+    }
+
+    /// The collected diagnostics, in discovery order.
+    pub(crate) fn into_diags(self) -> Vec<Diagnostic> {
+        self.found
+    }
+}
+
+/// Maximum schedule steps spelled out before eliding the middle.
+const RENDER_CAP: usize = 48;
+
+/// Render a schedule as `t0@0x10004 dcbi -> t1@0x10010 ll -> ...`.
+pub(crate) fn render(program: &Program, path: &[Act]) -> String {
+    if path.is_empty() {
+        return "<initial state>".into();
+    }
+    let step = |a: &Act| -> String {
+        match a.tag {
+            ActTag::Fault => format!("t{}@{:#x} <fault>", a.core, a.pc),
+            ActTag::StaleBypass => {
+                format!("t{}@{:#x} {}(stale)", a.core, a.pc, mnemonic(program, a.pc))
+            }
+            ActTag::Op => format!("t{}@{:#x} {}", a.core, a.pc, mnemonic(program, a.pc)),
+        }
+    };
+    if path.len() <= RENDER_CAP {
+        let steps: Vec<String> = path.iter().map(step).collect();
+        steps.join(" -> ")
+    } else {
+        let head: Vec<String> = path[..RENDER_CAP / 2].iter().map(step).collect();
+        let tail: Vec<String> = path[path.len() - RENDER_CAP / 2..]
+            .iter()
+            .map(step)
+            .collect();
+        format!(
+            "{} -> ... ({} steps elided) ... -> {}",
+            head.join(" -> "),
+            path.len() - RENDER_CAP,
+            tail.join(" -> ")
+        )
+    }
+}
+
+/// Short operation name for a schedule step.
+fn mnemonic(program: &Program, pc: u64) -> &'static str {
+    match program.fetch(pc) {
+        Some(Instr::Ld(..)) => "ld",
+        Some(Instr::St(..)) => "st",
+        Some(Instr::Ll(..)) => "ll",
+        Some(Instr::Sc(..)) => "sc",
+        Some(Instr::Dcbi(..)) => "dcbi",
+        Some(Instr::Icbi(..)) => "icbi",
+        Some(Instr::HwBar(_)) => "hwbar",
+        Some(Instr::Jal(..)) | Some(Instr::Jalr(..)) => "fetch",
+        Some(_) => "op",
+        // A pc inside an arrival-stub line the image does not cover, or a
+        // parked fill: describe it as the fetch it is.
+        None => "fetch",
+    }
+}

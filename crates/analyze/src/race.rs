@@ -409,6 +409,8 @@ mod tests {
             regions,
             tls_offset: None,
             hw_id: None,
+            episode_counter: None,
+            wake_addrs: Vec::new(),
         }
     }
 

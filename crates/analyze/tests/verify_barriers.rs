@@ -149,6 +149,8 @@ fn filter_spec() -> ProtocolSpec {
         ],
         tls_offset: None,
         hw_id: None,
+        episode_counter: None,
+        wake_addrs: Vec::new(),
     }
 }
 

@@ -1,34 +1,87 @@
-//! Program verifier + race detector over the kernel × mechanism grid.
+//! Program verifier + race detector + model checker over the kernel ×
+//! mechanism grid.
 //!
-//! Runs every parallel kernel under every barrier mechanism with the
+//! Runs every parallel kernel under every barrier mechanism (including
+//! 64-core clustered topology points for the hierarchical pair) with the
 //! happens-before race detector attached, statically analyzes the exact
-//! program each run executed, and writes the machine-readable verdict
-//! file `BENCH_verify.json` in the current directory.
+//! program each run executed, optionally explores every mechanism's
+//! emitted routine with the bounded model checker, and writes the
+//! machine-readable verdict file `BENCH_verify.json` in the current
+//! directory.
 //!
-//! Usage: `verify [--quick] [--jobs N] [--out PATH]`
+//! Usage: `verify [--quick] [--jobs N] [--check] [--out PATH] [--mc] [--json]`
 //!
-//! Every cell must come back *clean* — no static `Error` diagnostics and
-//! no dynamic race — or the binary exits non-zero, printing each dirty
-//! cell's findings. `--quick` shrinks problem sizes for the CI smoke run
-//! (verdicts are size-independent for the shipped kernels; only cycle
-//! counts move). `--jobs N` sizes the host worker pool; cells are
-//! independent simulations, so parallelism cannot change a verdict.
+//! Every cell must come back *clean* — no static `Error` diagnostics, no
+//! dynamic race, and (with `--mc`) no model-checker counterexample — or
+//! the binary exits non-zero, printing each dirty cell's findings.
+//! `--quick` shrinks problem sizes for the CI smoke run (verdicts are
+//! size-independent for the shipped kernels; only cycle counts move).
+//! `--check` additionally replays the two committed throughput samples
+//! and asserts their pinned stats digests. `--json` streams every finding
+//! as one JSON object per line on stdout instead of the table. `--jobs N`
+//! sizes the host worker pool; cells are independent simulations, so
+//! parallelism cannot change a verdict.
 
 use bench_suite::cli::Cli;
 use bench_suite::report;
-use bench_suite::verify::{run_verify, to_json};
+use bench_suite::verify::{run_verify, stream_findings, to_json};
+use bench_suite::{
+    fig4_sample, viterbi_sample, EXPECTED_FIG4_16CORE_DIGEST, EXPECTED_VITERBI_K5_16T_DIGEST,
+};
+
+/// Replay the two committed throughput samples and compare their stats
+/// digests against the pinned constants. Any drift in ISA semantics,
+/// barrier emission, or timing model shows up here before it shows up as
+/// a wrong figure.
+fn check_digests() -> Result<(), String> {
+    let fig4 = fig4_sample(16, 64, 64);
+    if fig4.sim.stats_digest != EXPECTED_FIG4_16CORE_DIGEST {
+        return Err(format!(
+            "fig4 16-core digest drifted: got {:#018x}, pinned {EXPECTED_FIG4_16CORE_DIGEST:#018x}",
+            fig4.sim.stats_digest
+        ));
+    }
+    let vit = viterbi_sample(96, 16);
+    if vit.sim.stats_digest != EXPECTED_VITERBI_K5_16T_DIGEST {
+        return Err(format!(
+            "viterbi K=5 16-thread digest drifted: got {:#018x}, pinned \
+             {EXPECTED_VITERBI_K5_16T_DIGEST:#018x}",
+            vit.sim.stats_digest
+        ));
+    }
+    Ok(())
+}
 
 fn main() {
     let args = Cli::new(
         "verify",
-        "Static verifier + race detector over every kernel × mechanism → BENCH_verify.json",
+        "Static verifier + race detector + model checker over every kernel × mechanism \
+         → BENCH_verify.json",
     )
     .with_out("BENCH_verify.json")
+    .with_check()
+    .with_switch(
+        "--mc",
+        "explore every mechanism with the bounded model checker",
+    )
+    .with_switch("--json", "stream findings as one JSON object per line")
     .parse();
     let out_path = args.out.as_deref().expect("--out has a default");
+    let json_mode = args.switch("--json");
+    let with_mc = args.switch("--mc");
     let threads = 4;
 
-    let doc = match run_verify(&args.runner, threads, args.quick) {
+    if args.check {
+        if let Err(e) = check_digests() {
+            eprintln!("verify: digest check failed: {e}");
+            std::process::exit(1);
+        }
+        if !json_mode {
+            println!("digest check: both committed samples match their pinned digests");
+        }
+    }
+
+    let doc = match run_verify(&args.runner, threads, args.quick, with_mc) {
         Ok(doc) => doc,
         Err(e) => {
             eprintln!("verify: sweep failed: {e}");
@@ -36,53 +89,105 @@ fn main() {
         }
     };
 
-    let header: Vec<String> = [
-        "kernel",
-        "mechanism",
-        "errors",
-        "warnings",
-        "races",
-        "reads",
-        "writes",
-        "verdict",
-    ]
-    .map(String::from)
-    .to_vec();
-    let rows: Vec<Vec<String>> = doc
-        .cases
-        .iter()
-        .map(|c| {
-            vec![
-                c.kernel.to_string(),
-                c.mechanism.to_string(),
-                c.errors().to_string(),
-                c.warnings().to_string(),
-                c.races.total_races.to_string(),
-                c.races.reads_checked.to_string(),
-                c.races.writes_checked.to_string(),
-                if c.clean() { "clean" } else { "DIRTY" }.to_string(),
+    if json_mode {
+        print!("{}", stream_findings(&doc));
+    } else {
+        let header: Vec<String> = [
+            "kernel",
+            "mechanism",
+            "cores",
+            "errors",
+            "warnings",
+            "races",
+            "reads",
+            "writes",
+            "verdict",
+        ]
+        .map(String::from)
+        .to_vec();
+        let rows: Vec<Vec<String>> = doc
+            .cases
+            .iter()
+            .map(|c| {
+                vec![
+                    c.kernel.to_string(),
+                    c.mechanism.to_string(),
+                    if c.clusters > 1 {
+                        format!("{}/{}cl", c.threads, c.clusters)
+                    } else {
+                        c.threads.to_string()
+                    },
+                    c.errors().to_string(),
+                    c.warnings().to_string(),
+                    c.races.total_races.to_string(),
+                    c.races.reads_checked.to_string(),
+                    c.races.writes_checked.to_string(),
+                    if c.clean() { "clean" } else { "DIRTY" }.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "Verifying {} kernels × {} mechanisms at {threads} threads{}",
+            bench_suite::verify::VerifyKernel::ALL.len(),
+            barrier_filter::BarrierMechanism::EXTENDED.len(),
+            if doc.quick { " (quick sizes)" } else { "" },
+        );
+        println!();
+        print!("{}", report::table(&header, &rows));
+
+        if with_mc {
+            let header: Vec<String> = [
+                "mechanism",
+                "cores",
+                "fault",
+                "states",
+                "transitions",
+                "verdict",
             ]
-        })
-        .collect();
-    println!(
-        "Verifying {} kernels × {} mechanisms at {threads} threads{}",
-        bench_suite::verify::VerifyKernel::ALL.len(),
-        barrier_filter::BarrierMechanism::ALL.len(),
-        if doc.quick { " (quick sizes)" } else { "" },
-    );
-    println!();
-    print!("{}", report::table(&header, &rows));
+            .map(String::from)
+            .to_vec();
+            let rows: Vec<Vec<String>> = doc
+                .mc
+                .iter()
+                .map(|c| {
+                    vec![
+                        c.mechanism.to_string(),
+                        c.cores.to_string(),
+                        if c.fault { "on" } else { "off" }.to_string(),
+                        c.states.to_string(),
+                        c.transitions.to_string(),
+                        if c.skipped.is_some() {
+                            "skip".to_string()
+                        } else if c.clean() {
+                            "clean".to_string()
+                        } else {
+                            "DIRTY".to_string()
+                        },
+                    ]
+                })
+                .collect();
+            println!();
+            println!("Model checker (episodes ×2, fault off/on):");
+            println!();
+            print!("{}", report::table(&header, &rows));
+        }
+    }
 
     if let Err(e) = std::fs::write(out_path, to_json(&doc)) {
         eprintln!("verify: cannot write {out_path}: {e}");
         std::process::exit(1);
     }
-    println!();
-    println!("wrote {out_path}");
+    if !json_mode {
+        println!();
+        println!("wrote {out_path}");
+    }
 
     if !doc.passed() {
         for c in doc.cases.iter().filter(|c| !c.clean()) {
-            eprintln!("{} × {}:", c.kernel, c.mechanism);
+            eprintln!(
+                "{} × {} ({}t/{}c):",
+                c.kernel, c.mechanism, c.threads, c.clusters
+            );
             for d in c
                 .diagnostics
                 .iter()
@@ -101,8 +206,24 @@ fn main() {
                 );
             }
         }
+        for c in doc.mc.iter().filter(|c| !c.clean()) {
+            eprintln!("mc {} ×{} fault={}:", c.mechanism, c.cores, c.fault);
+            if c.truncated {
+                eprintln!("  exploration truncated at {} states", c.states);
+            }
+            for d in &c.findings {
+                eprintln!("  {d}");
+            }
+        }
         eprintln!("verify: FAILED — the cells above are not clean");
         std::process::exit(1);
     }
-    println!("verify: all {} cells clean", doc.cases.len());
+    if !json_mode {
+        let mc_note = if with_mc {
+            format!(" + {} mc cells", doc.mc.len())
+        } else {
+            String::new()
+        };
+        println!("verify: all {} cells clean{mc_note}", doc.cases.len());
+    }
 }

@@ -22,6 +22,9 @@ use crate::sweep::SweepRunner;
 /// chaos schedule).
 pub const DEFAULT_SEED: u64 = 0x5eed_ba44_1e4a_0001;
 
+/// Most boolean switches one binary can declare via [`Cli::with_switch`].
+const MAX_SWITCHES: usize = 4;
+
 /// Flag declaration for one figure binary: the universal flags plus
 /// whichever optional ones the binary supports.
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +35,7 @@ pub struct Cli {
     trace: bool,
     out: Option<&'static str>,
     faults: bool,
+    switches: [Option<(&'static str, &'static str)>; MAX_SWITCHES],
 }
 
 /// Parsed command line, with defaults filled in for every flag the binary
@@ -53,6 +57,16 @@ pub struct BenchArgs {
     pub faults: usize,
     /// `--seed S`: fault-plan seed, decimal or `0x` hex.
     pub seed: u64,
+    /// Declared boolean switches that were present, by flag spelling.
+    switches: Vec<&'static str>,
+}
+
+impl BenchArgs {
+    /// Whether the declared boolean switch `flag` (e.g. `"--mc"`) was
+    /// present on the command line.
+    pub fn switch(&self, flag: &str) -> bool {
+        self.switches.contains(&flag)
+    }
 }
 
 /// Outcome of [`Cli::parse_from`]: either a parsed argument set or a
@@ -77,6 +91,7 @@ impl Cli {
             trace: false,
             out: None,
             faults: false,
+            switches: [None; MAX_SWITCHES],
         }
     }
 
@@ -108,6 +123,25 @@ impl Cli {
         self
     }
 
+    /// Accept a binary-specific boolean switch (e.g. `--mc`), read back
+    /// via [`BenchArgs::switch`]. `flag` must include the `--` prefix.
+    ///
+    /// # Panics
+    ///
+    /// More than four declared switches (a declaration-time bug, not an
+    /// input error).
+    #[must_use]
+    pub fn with_switch(mut self, flag: &'static str, help: &'static str) -> Cli {
+        assert!(flag.starts_with("--"), "switch {flag:?} must start with --");
+        let slot = self
+            .switches
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("too many declared switches");
+        *slot = Some((flag, help));
+        self
+    }
+
     /// The full help text for this binary's declared flags.
     pub fn usage(&self) -> String {
         let mut flags = String::from("[--quick] [--jobs N]");
@@ -122,6 +156,9 @@ impl Cli {
         }
         if self.faults {
             flags.push_str(" [--faults N] [--seed S]");
+        }
+        for (flag, _) in self.switches.iter().flatten() {
+            flags.push_str(&format!(" [{flag}]"));
         }
         let mut text = format!(
             "Usage: {} {flags} [--help]\n\n{}\n\nOptions:\n      \
@@ -147,6 +184,9 @@ impl Cli {
                 "      --faults N     scheduled fault events per run (default: 0)\n      \
                  --seed S       fault-plan seed, decimal or 0x hex (default: {DEFAULT_SEED:#x})\n"
             ));
+        }
+        for (flag, help) in self.switches.iter().flatten() {
+            text.push_str(&format!("      {flag:<14} {help}\n"));
         }
         text.push_str("  -h, --help         print this help\n");
         text
@@ -186,6 +226,7 @@ impl Cli {
             out: self.out.map(String::from),
             faults: 0,
             seed: DEFAULT_SEED,
+            switches: Vec::new(),
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -224,7 +265,18 @@ impl Cli {
                     parsed.seed = parse_seed(&v)
                         .ok_or_else(|| format!("--seed: expected decimal or 0x hex, got {v:?}"))?;
                 }
-                _ => return Err(format!("unrecognized argument {arg:?} (try --help)")),
+                _ => {
+                    if let Some((declared, _)) = self
+                        .switches
+                        .iter()
+                        .flatten()
+                        .find(|(declared, _)| *declared == flag)
+                    {
+                        parsed.switches.push(declared);
+                    } else {
+                        return Err(format!("unrecognized argument {arg:?} (try --help)"));
+                    }
+                }
             }
         }
         Ok(Parse::Run(parsed))
@@ -312,6 +364,26 @@ mod tests {
         assert_eq!(b.seed, 0x2a);
         let c = run(&cli, &["--seed", "42"]).unwrap();
         assert_eq!(c.seed, 42);
+    }
+
+    #[test]
+    fn declared_switches_parse_and_undeclared_ones_are_rejected() {
+        let cli = Cli::new("t", "test binary")
+            .with_switch("--mc", "run the model-checker layer")
+            .with_switch("--json", "stream findings as JSON lines");
+        let a = run(&cli, &["--mc", "--quick"]).unwrap();
+        assert!(a.switch("--mc"));
+        assert!(!a.switch("--json"));
+        let b = run(&cli, &["--json", "--mc"]).unwrap();
+        assert!(b.switch("--mc") && b.switch("--json"));
+        let err = run(&cli, &["--verbose"]).unwrap_err();
+        assert!(err.contains("unrecognized"));
+        // A switch declared by one binary stays rejected by another.
+        let plain = Cli::new("t", "test binary");
+        assert!(run(&plain, &["--mc"]).unwrap_err().contains("unrecognized"));
+        let usage = cli.usage();
+        assert!(usage.contains("[--mc]"));
+        assert!(usage.contains("stream findings as JSON lines"));
     }
 
     #[test]

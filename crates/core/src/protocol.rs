@@ -82,6 +82,17 @@ pub struct ProtocolSpec {
     pub tls_offset: Option<i64>,
     /// Dedicated-network barrier id, for [`BarrierMechanism::HwDedicated`].
     pub hw_id: Option<u16>,
+    /// Address of the word that counts arrivals for a whole episode (the
+    /// top-level counter of a software barrier). The model checker samples
+    /// it when rendering counterexample schedules; filter and dedicated
+    /// mechanisms track arrivals in hardware and leave this `None`.
+    pub episode_counter: Option<u64>,
+    /// Words whose writes can wake a spinning thread (software release
+    /// flags, in protocol order). The model checker classifies a stuck
+    /// state as a *lost wakeup* (rather than a structural deadlock) when a
+    /// thread is still spinning on one of these and no enabled transition
+    /// can ever write it again.
+    pub wake_addrs: Vec<u64>,
 }
 
 impl ProtocolSpec {
@@ -139,6 +150,8 @@ mod tests {
             ],
             tls_offset: None,
             hw_id: None,
+            episode_counter: None,
+            wake_addrs: Vec::new(),
         };
         assert_eq!(spec.region_of(0x2040).unwrap().kind, RegionKind::Arrival);
         assert_eq!(spec.region_of(0x30ff).unwrap().kind, RegionKind::Exit);

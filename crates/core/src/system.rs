@@ -384,11 +384,15 @@ impl BarrierSystem {
         let mut regions = Vec::new();
         let mut tls_offset = None;
         let mut hw_group = None;
+        let mut episode_counter = None;
+        let mut wake_addrs = Vec::new();
         let label = match actual {
             SwCentral => {
                 let counter = space.alloc_lines(1)?;
                 let flag = space.alloc_lines(1)?;
                 let tls = self.alloc_tls_slot()?;
+                episode_counter = Some(counter);
+                wake_addrs.push(flag);
                 regions.push(SyncRegion {
                     kind: RegionKind::Counter,
                     base: counter,
@@ -419,6 +423,10 @@ impl BarrierSystem {
                     bytes: lines * LINE_BYTES,
                 });
                 tls_offset = Some(tls);
+                // The root node of the combining tree closes the episode.
+                episode_counter =
+                    Some(counters + (levels as u64 - 1) * threads as u64 * LINE_BYTES);
+                wake_addrs.extend((0..lines).map(|i| flags + i * LINE_BYTES));
                 emit::sw_tree(asm, id, counters, flags, tls)?
             }
             FilterD => {
@@ -541,6 +549,9 @@ impl BarrierSystem {
                     bytes: LINE_BYTES,
                 });
                 tls_offset = Some(tls);
+                episode_counter = Some(global_counter);
+                wake_addrs.push(global_flag);
+                wake_addrs.extend((0..nclusters as u64).map(|k| local_flags + k * LINE_BYTES));
                 emit::sw_hier(
                     asm,
                     id,
@@ -651,6 +662,8 @@ impl BarrierSystem {
             regions,
             tls_offset,
             hw_id: hw_group,
+            episode_counter,
+            wake_addrs,
         };
         Ok(Barrier {
             id,
@@ -707,6 +720,8 @@ impl BarrierSystem {
             ],
             tls_offset: None,
             hw_id: None,
+            episode_counter: None,
+            wake_addrs: Vec::new(),
         };
         Ok(Barrier {
             id,

@@ -67,12 +67,18 @@ cargo run --release --offline -p bench-suite --bin chaos -q -- \
     --quick --jobs 2 --seed 0x5eedba441e4a0001 \
     --out "$(mktemp -t fastbar_check_chaos.XXXXXX.json)"
 
-echo "==> program verifier + race detector smoke (quick kernel grid)"
-# Every parallel kernel under every barrier mechanism, race detector
-# attached, assembled program statically verified: any static Error or
-# observed race exits non-zero. Quick sizes; verdicts are size-independent.
+echo "==> program verifier + race detector + model checker smoke (quick kernel grid)"
+# Every parallel kernel under every barrier mechanism (including the
+# 64-core clustered topology points), race detector attached, assembled
+# program statically verified, plus the bounded model checker over every
+# mechanism's emitted routine at 2-4 cores with and without an injected
+# fault: any static Error, observed race, or property counterexample
+# exits non-zero. --check also replays the two committed throughput
+# samples and asserts their pinned stats digests. Quick sizes; verdicts
+# are size-independent.
 cargo run --release --offline -p bench-suite --bin verify -q -- \
-    --quick --jobs 2 --out "$(mktemp -t fastbar_check_verify.XXXXXX.json)"
+    --quick --mc --check --jobs 2 \
+    --out "$(mktemp -t fastbar_check_verify.XXXXXX.json)"
 
 echo "==> scaling sweep smoke (quick grid + degenerate-topology digests)"
 # Quick clustered grid (64 cores under sw-central and sw-hier) plus the
